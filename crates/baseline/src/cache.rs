@@ -1,0 +1,344 @@
+//! Set-associative cache model.
+//!
+//! The paper's Fig 1 story — and the motivation for CIM — is that a Von
+//! Neumann machine interposes a cache hierarchy between compute and data.
+//! This is a trace-driven, true-LRU, set-associative cache: workloads
+//! replay address streams through a [`CacheHierarchy`] to find out where
+//! their bytes actually came from, which prices both latency and energy.
+
+use cim_sim::calib::cpu as cal;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// Where an access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceLevel {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory.
+    Dram,
+}
+
+/// One cache level: set-associative with true LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::cache::Cache;
+///
+/// let mut c = Cache::new(1024, 2, 64).unwrap(); // 1 KiB, 2-way, 64B lines
+/// assert!(!c.access(0));      // cold miss
+/// assert!(c.access(0));       // hit
+/// assert!(c.access(32));      // same line: hit
+/// assert!(!c.access(4096));   // different line: miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line: usize,
+    /// tags[set * ways + way] = Some(tag), LRU order tracked per set.
+    tags: Vec<Option<u64>>,
+    /// lru[set * ways + way] = age counter (higher = more recent).
+    lru: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// Returns `None` unless `size_bytes` is divisible by
+    /// `ways * line_bytes` with a power-of-two line size and at least one
+    /// set.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Option<Self> {
+        if ways == 0 || line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return None;
+        }
+        let way_bytes = ways * line_bytes;
+        if way_bytes == 0 || !size_bytes.is_multiple_of(way_bytes) || size_bytes / way_bytes == 0 {
+            return None;
+        }
+        let sets = size_bytes / way_bytes;
+        Some(Cache {
+            sets,
+            ways,
+            line: line_bytes,
+            tags: vec![None; sets * ways],
+            lru: vec![0; sets * ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On miss the line is filled
+    /// (allocate-on-miss for both reads and writes).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line_addr = addr / self.line as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        // Hit?
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(tag) {
+                self.lru[base + w] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: fill LRU way.
+        self.misses += 1;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.lru[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = Some(tag);
+        self.lru[base + victim] = self.clock;
+        false
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Empties the cache and zeroes statistics.
+    pub fn flush(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = None);
+        self.lru.iter_mut().for_each(|a| *a = 0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Per-level access counters of a hierarchy replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by L3.
+    pub l3_hits: u64,
+    /// Accesses that went to DRAM.
+    pub dram_accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Total accesses replayed.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.dram_accesses
+    }
+}
+
+/// A three-level inclusive-enough cache hierarchy with Skylake-like
+/// parameters from [`cim_sim::calib::cpu`].
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    stats: HierarchyStats,
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheHierarchy {
+    /// Builds the calibrated hierarchy (32 KiB L1 / 1 MiB L2 / 1.375 MiB
+    /// L3 slice, 64-byte lines, 8/16/11-way).
+    pub fn new() -> Self {
+        CacheHierarchy {
+            l1: Cache::new(cal::L1_BYTES, 8, cal::LINE_BYTES).expect("valid L1 geometry"),
+            l2: Cache::new(cal::L2_BYTES, 16, cal::LINE_BYTES).expect("valid L2 geometry"),
+            l3: Cache::new(cal::L3_BYTES, 11, cal::LINE_BYTES).expect("valid L3 geometry"),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Accesses one address; returns the level that served it.
+    pub fn access(&mut self, addr: u64) -> ServiceLevel {
+        if self.l1.access(addr) {
+            self.stats.l1_hits += 1;
+            return ServiceLevel::L1;
+        }
+        if self.l2.access(addr) {
+            self.stats.l2_hits += 1;
+            return ServiceLevel::L2;
+        }
+        if self.l3.access(addr) {
+            self.stats.l3_hits += 1;
+            return ServiceLevel::L3;
+        }
+        self.stats.dram_accesses += 1;
+        ServiceLevel::Dram
+    }
+
+    /// Latency of an access served at `level`.
+    pub fn latency(level: ServiceLevel) -> SimDuration {
+        SimDuration::from_ps(match level {
+            ServiceLevel::L1 => cal::L1_LATENCY_PS,
+            ServiceLevel::L2 => cal::L2_LATENCY_PS,
+            ServiceLevel::L3 => cal::L3_LATENCY_PS,
+            ServiceLevel::Dram => cal::DRAM_LATENCY_PS,
+        })
+    }
+
+    /// Energy of moving one cache line from `level` to the core.
+    pub fn line_energy(level: ServiceLevel) -> Energy {
+        let per_byte = match level {
+            ServiceLevel::L1 => cal::ENERGY_PER_L1_BYTE_FJ,
+            ServiceLevel::L2 => cal::ENERGY_PER_L2_BYTE_FJ,
+            ServiceLevel::L3 => cal::ENERGY_PER_L3_BYTE_FJ,
+            ServiceLevel::Dram => cal::ENERGY_PER_DRAM_BYTE_FJ,
+        };
+        Energy::from_fj(per_byte * cal::LINE_BYTES as u64)
+    }
+
+    /// Replay statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Flushes all levels and statistics.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+        self.stats = HierarchyStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(Cache::new(1024, 2, 64).is_some());
+        assert!(Cache::new(0, 2, 64).is_none());
+        assert!(Cache::new(1024, 0, 64).is_none());
+        assert!(Cache::new(1024, 2, 63).is_none(), "non-power-of-two line");
+        assert!(Cache::new(100, 2, 64).is_none(), "not divisible");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, 1 set, 64B lines: capacity 128B.
+        let mut c = Cache::new(128, 2, 64).unwrap();
+        assert!(!c.access(0)); // A miss
+        assert!(!c.access(64)); // B miss
+        assert!(c.access(0)); // A hit (A most recent)
+        assert!(!c.access(128)); // C evicts B (LRU)
+        assert!(c.access(0)); // A still resident
+        assert!(!c.access(64)); // B was evicted
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        let mut c = Cache::new(32 * 1024, 8, 64).unwrap();
+        // Fits: 16 KiB streamed twice -> second pass all hits.
+        for pass in 0..2 {
+            for addr in (0..16 * 1024).step_by(64) {
+                let hit = c.access(addr as u64);
+                if pass == 1 {
+                    assert!(hit, "addr {addr} should hit on the second pass");
+                }
+            }
+        }
+        assert!(c.hit_rate() > 0.49);
+        // Does not fit: 1 MiB streamed repeatedly keeps missing.
+        let mut c = Cache::new(32 * 1024, 8, 64).unwrap();
+        for _ in 0..2 {
+            for addr in (0..1024 * 1024).step_by(64) {
+                c.access(addr as u64);
+            }
+        }
+        assert!(c.hit_rate() < 0.01, "streaming a 32x working set thrashes");
+    }
+
+    #[test]
+    fn hierarchy_serves_from_upper_levels_after_fill() {
+        let mut h = CacheHierarchy::new();
+        assert_eq!(h.access(0), ServiceLevel::Dram);
+        assert_eq!(h.access(0), ServiceLevel::L1);
+        // Evict from L1 by sweeping > L1 capacity; line should be in L2.
+        for addr in (1024..(cal::L1_BYTES as u64 + 1024) * 2).step_by(cal::LINE_BYTES) {
+            h.access(addr);
+        }
+        let lvl = h.access(0);
+        assert!(
+            lvl == ServiceLevel::L2 || lvl == ServiceLevel::L3,
+            "expected lower-cache hit, got {lvl:?}"
+        );
+        assert!(h.stats().total() > 0);
+    }
+
+    #[test]
+    fn latency_and_energy_are_monotone_in_level() {
+        let order = [
+            ServiceLevel::L1,
+            ServiceLevel::L2,
+            ServiceLevel::L3,
+            ServiceLevel::Dram,
+        ];
+        for pair in order.windows(2) {
+            assert!(CacheHierarchy::latency(pair[0]) < CacheHierarchy::latency(pair[1]));
+            assert!(CacheHierarchy::line_energy(pair[0]) < CacheHierarchy::line_energy(pair[1]));
+        }
+    }
+
+    #[test]
+    fn flush_resets_everything() {
+        let mut c = Cache::new(1024, 2, 64).unwrap();
+        c.access(0);
+        c.access(0);
+        c.flush();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(0), "flushed cache misses again");
+    }
+
+    #[test]
+    fn capacity_reports_geometry() {
+        let c = Cache::new(4096, 4, 64).unwrap();
+        assert_eq!(c.capacity(), 4096);
+        assert_eq!(c.sets(), 16);
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributed-cluster model (Table 1, column "Distributed").
+//!
+//! Message-passing machines scale to "200 racks" (Table 1) because nodes
+//! share nothing: scaling is limited by communication, not coherence.
+//! Failure is machine-granular — a standby takes over after detection and
+//! state transfer — and a compromised node only reaches its own memory.
+
+use crate::cost::PlatformCost;
+use cim_sim::calib::{cluster as cal, cpu};
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// A message-passing cluster of identical nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::cluster::Cluster;
+///
+/// let c = Cluster::new(64).unwrap();
+/// // More nodes, more aggregate throughput (communication permitting).
+/// assert!(c.speedup(64) > c.speedup(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: usize,
+    /// Bytes exchanged per node per superstep (workload parameter).
+    comm_bytes_per_step: u64,
+    /// FLOPs per work item.
+    flops_per_item: u64,
+    /// Work items per superstep (before division across nodes).
+    items_per_step: u64,
+}
+
+impl Cluster {
+    /// Default communication per superstep: a 1 MiB halo/allreduce share.
+    const DEFAULT_COMM: u64 = 1 << 20;
+
+    /// Creates a cluster of `nodes` nodes with a default BSP workload
+    /// shape (tune with [`with_workload`](Self::with_workload)).
+    ///
+    /// Returns `None` if `nodes` is zero or exceeds 1 048 576.
+    pub fn new(nodes: usize) -> Option<Self> {
+        if nodes == 0 || nodes > (1 << 20) {
+            return None;
+        }
+        Some(Cluster {
+            nodes,
+            comm_bytes_per_step: Self::DEFAULT_COMM,
+            flops_per_item: 1_000_000,
+            items_per_step: 1 << 16,
+        })
+    }
+
+    /// Overrides the BSP workload shape.
+    #[must_use]
+    pub fn with_workload(
+        mut self,
+        items_per_step: u64,
+        flops_per_item: u64,
+        comm_bytes_per_step: u64,
+    ) -> Self {
+        self.items_per_step = items_per_step.max(1);
+        self.flops_per_item = flops_per_item.max(1);
+        self.comm_bytes_per_step = comm_bytes_per_step;
+        self
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn step_time(&self, n: usize) -> f64 {
+        let node_flops = cpu::FLOPS_PER_CORE * cpu::CORES as f64;
+        let compute_s =
+            (self.items_per_step * self.flops_per_item) as f64 / (node_flops * n as f64);
+        // Tree allreduce: log2(n) rounds of latency + bandwidth term.
+        let rounds = (n as f64).log2().ceil().max(0.0);
+        let comm_s = rounds * (cal::RTT_PS as f64 / 1e12)
+            + self.comm_bytes_per_step as f64 / cal::NODE_BW_BYTES;
+        compute_s + comm_s
+    }
+
+    /// BSP speedup at `n` nodes relative to one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cluster size.
+    pub fn speedup(&self, n: usize) -> f64 {
+        assert!(n >= 1 && n <= self.nodes, "n must be in 1..=nodes");
+        self.step_time(1) / self.step_time(n)
+    }
+
+    /// Node count past which adding nodes helps by less than 1 %
+    /// per doubling — the practical scale limit.
+    pub fn useful_scale_limit(&self) -> usize {
+        let mut n = 1usize;
+        while 2 * n <= self.nodes {
+            let gain = self.speedup(2 * n) / self.speedup(n);
+            if gain < 1.01 {
+                return n;
+            }
+            n *= 2;
+        }
+        self.nodes
+    }
+
+    /// Runs `steps` BSP supersteps on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cluster size.
+    pub fn run_steps(&self, steps: u64, n: usize) -> PlatformCost {
+        assert!(n >= 1 && n <= self.nodes, "n must be in 1..=nodes");
+        let latency = SimDuration::from_secs_f64(self.step_time(n) * steps as f64);
+        let flops = steps * self.items_per_step * self.flops_per_item;
+        let net_bytes = steps * self.comm_bytes_per_step * n as u64;
+        let mut energy = Energy::from_fj(
+            flops * cpu::ENERGY_PER_FLOP_FJ + net_bytes * cal::ENERGY_PER_NET_BYTE_FJ,
+        );
+        energy += Energy::from_joules(
+            cpu::STATIC_W * n as f64 * latency.as_secs_f64(),
+        );
+        PlatformCost { latency, energy }
+    }
+
+    /// Consequence of one node failing: detection plus state transfer to a
+    /// standby, and the failed node's in-flight work (1/n of a superstep)
+    /// is re-executed.
+    ///
+    /// Returns `(lost_fraction_of_step, downtime)`.
+    pub fn fault_impact(&self, state_bytes: u64) -> (f64, SimDuration) {
+        let detection = SimDuration::from_ps(cal::FAILOVER_PS);
+        let transfer =
+            SimDuration::from_secs_f64(state_bytes as f64 / cal::NODE_BW_BYTES);
+        (1.0 / self.nodes as f64, detection + transfer)
+    }
+
+    /// Fraction of system state reachable from one compromised node: its
+    /// own shard only.
+    pub fn compromise_blast_radius(&self) -> f64 {
+        1.0 / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(Cluster::new(0).is_none());
+        assert!(Cluster::new(1 << 21).is_none());
+        assert!(Cluster::new(200 * 48).is_some(), "200 racks of 48 nodes");
+    }
+
+    #[test]
+    fn scales_far_beyond_smp_but_not_forever() {
+        let c = Cluster::new(1 << 16).unwrap();
+        let limit = c.useful_scale_limit();
+        assert!(limit >= 1024, "clusters scale to thousands, got {limit}");
+        assert!(limit < 1 << 16, "communication eventually binds, got {limit}");
+    }
+
+    #[test]
+    fn speedup_monotone_in_useful_range() {
+        let c = Cluster::new(4096).unwrap();
+        assert!(c.speedup(2) > 1.5);
+        assert!(c.speedup(64) > c.speedup(8));
+        assert_eq!(c.speedup(1), 1.0);
+    }
+
+    #[test]
+    fn run_steps_cost_scales() {
+        let c = Cluster::new(256).unwrap();
+        let one = c.run_steps(1, 64);
+        let ten = c.run_steps(10, 64);
+        let ratio = ten.latency.as_ps() as f64 / one.latency.as_ps() as f64;
+        assert!((ratio - 10.0).abs() < 1e-6, "latency ratio {ratio}");
+        assert!(ten.energy > one.energy);
+    }
+
+    #[test]
+    fn failover_dominated_by_detection_for_small_state() {
+        let c = Cluster::new(64).unwrap();
+        let (lost, downtime) = c.fault_impact(1 << 20);
+        assert!((lost - 1.0 / 64.0).abs() < 1e-12);
+        assert!(downtime.as_secs_f64() >= 0.05, "50 ms heartbeat floor");
+        let (_, big) = c.fault_impact(100 << 30); // 100 GiB of state
+        assert!(big.as_secs_f64() > 5.0, "state transfer dominates");
+    }
+
+    #[test]
+    fn blast_radius_is_one_node() {
+        let c = Cluster::new(128).unwrap();
+        assert!((c.compromise_blast_radius() - 1.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_heavy_workloads_scale_worse() {
+        let light = Cluster::new(4096)
+            .unwrap()
+            .with_workload(1 << 16, 10_000_000, 1 << 10);
+        let heavy = Cluster::new(4096)
+            .unwrap()
+            .with_workload(1 << 16, 10_000_000, 1 << 28);
+        assert!(light.speedup(1024) > heavy.speedup(1024));
+    }
+}

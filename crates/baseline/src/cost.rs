@@ -1,0 +1,72 @@
+//! Shared cost record for baseline platform runs.
+
+use cim_sim::energy::{Energy, Power};
+use cim_sim::time::SimDuration;
+
+/// Latency and energy of a workload run on a baseline platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlatformCost {
+    /// Wall-clock (simulated) duration.
+    pub latency: SimDuration,
+    /// Total energy consumed.
+    pub energy: Energy,
+}
+
+impl PlatformCost {
+    /// Sequential composition.
+    pub fn then(self, other: PlatformCost) -> PlatformCost {
+        PlatformCost {
+            latency: self.latency + other.latency,
+            energy: self.energy + other.energy,
+        }
+    }
+
+    /// Average power over the run, `None` for zero-duration runs.
+    pub fn power(&self) -> Option<Power> {
+        Power::from_energy(self.energy, self.latency)
+    }
+
+    /// Operations per second for `ops` operations performed in this run;
+    /// `None` for zero-duration runs.
+    pub fn throughput(&self, ops: u64) -> Option<f64> {
+        let secs = self.latency.as_secs_f64();
+        (secs > 0.0).then(|| ops as f64 / secs)
+    }
+
+    /// Operations per joule; `None` when no energy was consumed.
+    pub fn ops_per_joule(&self, ops: u64) -> Option<f64> {
+        let joules = self.energy.as_joules();
+        (joules > 0.0).then(|| ops as f64 / joules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PlatformCost {
+            latency: SimDuration::from_us(1),
+            energy: Energy::from_nj(500.0),
+        };
+        assert!((c.power().unwrap().as_watts() - 0.5).abs() < 1e-9);
+        assert!((c.throughput(1_000_000).unwrap() - 1e12).abs() / 1e12 < 1e-9);
+        assert!((c.ops_per_joule(500).unwrap() - 1e9).abs() / 1e9 < 1e-9);
+        let zero = PlatformCost::default();
+        assert!(zero.power().is_none());
+        assert!(zero.throughput(5).is_none());
+        assert!(zero.ops_per_joule(5).is_none());
+    }
+
+    #[test]
+    fn then_accumulates() {
+        let a = PlatformCost {
+            latency: SimDuration::from_ns(10),
+            energy: Energy::from_pj(1.0),
+        };
+        let b = a.then(a);
+        assert_eq!(b.latency, SimDuration::from_ns(20));
+        assert_eq!(b.energy, Energy::from_pj(2.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Von Neumann CPU model (the paper's Fig 1 machine).
+//!
+//! A calibrated roofline core fed through the cache hierarchy: kernels are
+//! limited by either peak FLOP rate or memory bandwidth, data pays
+//! per-byte movement energy at the level that actually serves it, and the
+//! socket burns static power for the whole duration. Dataflow graphs are
+//! executed by pricing every operator's compute and *weight traffic* —
+//! the traffic CIM eliminates by computing inside the memory.
+
+use crate::cache::{CacheHierarchy, HierarchyStats, ServiceLevel};
+use crate::cost::PlatformCost;
+use cim_dataflow::graph::DataflowGraph;
+use cim_sim::calib::cpu as cal;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// Effective L3 streaming bandwidth, bytes/s (model parameter: roughly
+/// 6× DRAM bandwidth on Skylake-class parts).
+const L3_BW_BYTES: f64 = 400e9;
+
+/// A multicore CPU socket.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::cpu::CpuModel;
+///
+/// let cpu = CpuModel::new(20).unwrap();
+/// // A bandwidth-bound kernel: 1 MFLOP over 64 MB of DRAM traffic.
+/// let cost = cpu.run_kernel(1_000_000, 64_000_000, 0);
+/// // 64 MB / 64 GB/s = 1 ms.
+/// assert!((cost.latency.as_secs_f64() - 1e-3).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cores: usize,
+}
+
+impl CpuModel {
+    /// Creates a socket model using `cores` cores.
+    ///
+    /// Returns `None` if `cores` is zero or exceeds the calibrated socket
+    /// core count.
+    pub fn new(cores: usize) -> Option<Self> {
+        if cores == 0 || cores > cal::CORES {
+            return None;
+        }
+        Some(CpuModel { cores })
+    }
+
+    /// Cores in use.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Peak FLOP/s of the configured cores.
+    pub fn peak_flops(&self) -> f64 {
+        cal::FLOPS_PER_CORE * self.cores as f64
+    }
+
+    /// Runs an abstract kernel: `flops` of compute, `dram_bytes` streamed
+    /// from DRAM, `l3_bytes` streamed from the last-level cache.
+    ///
+    /// Latency is the roofline max of the compute time and the two
+    /// streaming times, plus one DRAM access latency of startup; energy
+    /// prices each component and adds static power over the duration.
+    pub fn run_kernel(&self, flops: u64, dram_bytes: u64, l3_bytes: u64) -> PlatformCost {
+        let compute_s = flops as f64 / self.peak_flops();
+        let dram_s = dram_bytes as f64 / cal::MEM_BW_BYTES;
+        let l3_s = l3_bytes as f64 / L3_BW_BYTES;
+        let startup = SimDuration::from_ps(cal::DRAM_LATENCY_PS);
+        let latency = SimDuration::from_secs_f64(compute_s.max(dram_s).max(l3_s)) + startup;
+        let mut energy = Energy::from_fj(
+            flops * cal::ENERGY_PER_FLOP_FJ
+                + dram_bytes * cal::ENERGY_PER_DRAM_BYTE_FJ
+                + l3_bytes * cal::ENERGY_PER_L3_BYTE_FJ,
+        );
+        // Static socket power share for the active cores.
+        let static_w = cal::STATIC_W * self.cores as f64 / cal::CORES as f64;
+        energy += Energy::from_joules(static_w * latency.as_secs_f64());
+        PlatformCost { latency, energy }
+    }
+
+    /// Executes a dataflow graph `batch` times, pricing weight traffic
+    /// through the memory system.
+    ///
+    /// The first activation streams all stationary state (weights) from
+    /// DRAM; later activations stream it from L3 when it fits there, else
+    /// from DRAM again — the crossover that makes small models CPU-friendly
+    /// and large models bandwidth-starved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run_graph(&self, graph: &DataflowGraph, batch: usize) -> PlatformCost {
+        assert!(batch > 0, "batch must be positive");
+        let m = graph.metrics();
+        let weights_fit_l3 = (m.state_bytes as usize) <= cal::L3_BYTES * self.cores;
+        // First activation: weights from DRAM; activations stream through
+        // the cache (priced as L3 traffic).
+        let mut total = self.run_kernel(m.total_flops, m.state_bytes, m.edge_bytes);
+        for _ in 1..batch {
+            let cost = if weights_fit_l3 {
+                self.run_kernel(m.total_flops, 0, m.state_bytes + m.edge_bytes)
+            } else {
+                self.run_kernel(m.total_flops, m.state_bytes, m.edge_bytes)
+            };
+            total = total.then(cost);
+        }
+        total
+    }
+
+    /// Replays an address trace through a fresh cache hierarchy and prices
+    /// it; returns the cost and the hierarchy statistics. Each address is
+    /// one 8-byte access.
+    pub fn run_trace(&self, addrs: &[u64]) -> (PlatformCost, HierarchyStats) {
+        let (cost, stats, _) = self.run_trace_with_dram(addrs);
+        (cost, stats)
+    }
+
+    /// Like [`run_trace`](Self::run_trace), but also returns the DRAM
+    /// channel's row-buffer statistics. Cache-missing accesses are priced
+    /// by the bank/row-buffer model in [`crate::dram`], so sequential
+    /// sweeps stream at row-hit latency while pointer chases pay
+    /// precharge + activate on nearly every access.
+    pub fn run_trace_with_dram(
+        &self,
+        addrs: &[u64],
+    ) -> (PlatformCost, HierarchyStats, crate::dram::DramStats) {
+        let mut h = CacheHierarchy::new();
+        let mut dram = crate::dram::DramChannel::new(crate::dram::DramConfig::default())
+            .expect("default DRAM geometry is valid");
+        let mut latency = SimDuration::ZERO;
+        let mut energy = Energy::ZERO;
+        // Model an out-of-order window: up to `overlap` accesses overlap,
+        // so each access contributes 1/overlap of its latency.
+        let overlap = 10u64;
+        for &a in addrs {
+            let level = h.access(a);
+            match level {
+                ServiceLevel::Dram => {
+                    // A miss fills one cache line from the channel.
+                    let (_, lat, e) = dram.access(a, cal::LINE_BYTES);
+                    latency += lat / overlap;
+                    energy += e;
+                }
+                _ => {
+                    latency += CacheHierarchy::latency(level) / overlap;
+                    energy += CacheHierarchy::line_energy(level);
+                }
+            }
+        }
+        let static_w = cal::STATIC_W * self.cores as f64 / cal::CORES as f64;
+        energy += Energy::from_joules(static_w * latency.as_secs_f64());
+        (PlatformCost { latency, energy }, h.stats(), dram.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::Operation;
+
+    fn mlp_graph(dim: usize) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: dim });
+        let mv = b.add(
+            "fc",
+            Operation::MatVec {
+                rows: dim,
+                cols: dim,
+                weights: vec![0.01; dim * dim],
+            },
+        );
+        let out = b.add("out", Operation::Sink { width: dim });
+        b.chain(&[src, mv, out]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_validates_core_count() {
+        assert!(CpuModel::new(0).is_none());
+        assert!(CpuModel::new(cal::CORES + 1).is_none());
+        assert!(CpuModel::new(1).is_some());
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_cores() {
+        let one = CpuModel::new(1).unwrap();
+        let twenty = CpuModel::new(20).unwrap();
+        let flops = 10_000_000_000; // 10 GFLOP, no memory traffic
+        let t1 = one.run_kernel(flops, 0, 0).latency;
+        let t20 = twenty.run_kernel(flops, 0, 0).latency;
+        let speedup = t1.as_secs_f64() / t20.as_secs_f64();
+        assert!(speedup > 15.0, "near-linear scaling expected, got {speedup}");
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_does_not_scale() {
+        let one = CpuModel::new(1).unwrap();
+        let twenty = CpuModel::new(20).unwrap();
+        let bytes = 1_000_000_000;
+        let t1 = one.run_kernel(1000, bytes, 0).latency;
+        let t20 = twenty.run_kernel(1000, bytes, 0).latency;
+        let ratio = t1.as_secs_f64() / t20.as_secs_f64();
+        assert!(ratio < 1.05, "shared memory bus: no scaling, got {ratio}");
+    }
+
+    #[test]
+    fn small_model_batch_benefits_from_l3_residency() {
+        let cpu = CpuModel::new(20).unwrap();
+        let g = mlp_graph(256); // 512 KiB of weights: fits in L3
+        let single = cpu.run_graph(&g, 1);
+        let batch8 = cpu.run_graph(&g, 8);
+        let per_item = batch8.latency.as_secs_f64() / 8.0;
+        assert!(
+            per_item < single.latency.as_secs_f64(),
+            "warm weights should be cheaper per item"
+        );
+    }
+
+    #[test]
+    fn large_model_stays_dram_bound() {
+        let cpu = CpuModel::new(20).unwrap();
+        let g = mlp_graph(2048); // 32 MiB of weights: exceeds L3
+        let single = cpu.run_graph(&g, 1).latency.as_secs_f64();
+        let batch4 = cpu.run_graph(&g, 4).latency.as_secs_f64();
+        assert!(
+            batch4 / single > 3.5,
+            "no warm-cache benefit for oversized weights: {}",
+            batch4 / single
+        );
+    }
+
+    #[test]
+    fn energy_includes_static_share() {
+        let cpu = CpuModel::new(20).unwrap();
+        // A pure-latency kernel (no flops, no bytes) still burns static power.
+        let c = cpu.run_kernel(0, 0, 0);
+        assert!(c.energy.as_fj() > 0);
+    }
+
+    #[test]
+    fn trace_replay_distinguishes_locality() {
+        let cpu = CpuModel::new(1).unwrap();
+        // Hot loop over 4 KiB vs. random sweep over 64 MiB.
+        let hot: Vec<u64> = (0..10_000).map(|i| (i % 512) * 8).collect();
+        let cold: Vec<u64> = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (64 << 20))
+            .collect();
+        let (hot_cost, hot_stats) = cpu.run_trace(&hot);
+        let (cold_cost, cold_stats) = cpu.run_trace(&cold);
+        assert!(hot_stats.l1_hits > hot_stats.dram_accesses * 10);
+        assert!(cold_stats.dram_accesses > cold_stats.l1_hits);
+        assert!(cold_cost.latency > hot_cost.latency * 2);
+        assert!(cold_cost.energy > hot_cost.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let cpu = CpuModel::new(1).unwrap();
+        cpu.run_graph(&mlp_graph(8), 0);
+    }
+}

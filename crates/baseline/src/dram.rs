@@ -1,0 +1,258 @@
+//! DRAM channel model with banks and row buffers.
+//!
+//! The Von Neumann story the paper tells (Fig 1/Fig 2) ends at DRAM, so
+//! the baseline prices it properly: a channel of independent banks, each
+//! with one open row. A hit in the open row pays CAS only; a closed bank
+//! pays activate then CAS; a conflicting open row pays precharge,
+//! activate, then CAS. Sequential scans therefore stream near the
+//! channel's best case while pointer-chasing pays the full random-access
+//! penalty — the same locality cliff the cache hierarchy shows, one
+//! level down.
+//!
+//! Timing/energy constants follow DDR4-2666 datasheet class values.
+
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// How an access resolved against the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The addressed row was already open: CAS only.
+    Hit,
+    /// The bank was idle (no open row): activate + CAS.
+    Miss,
+    /// Another row was open: precharge + activate + CAS.
+    Conflict,
+}
+
+/// DRAM channel geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent banks on the channel.
+    pub banks: usize,
+    /// Row (page) size per bank, bytes.
+    pub row_bytes: usize,
+    /// Column access strobe latency (CAS), ps.
+    pub t_cas_ps: u64,
+    /// Row-to-column delay (activate), ps.
+    pub t_rcd_ps: u64,
+    /// Precharge time, ps.
+    pub t_rp_ps: u64,
+    /// Energy of one row activation, fJ.
+    pub activate_fj: u64,
+    /// Energy per byte transferred, fJ.
+    pub transfer_byte_fj: u64,
+}
+
+impl Default for DramConfig {
+    /// DDR4-2666 class: 16 banks, 8 KiB rows, ~14 ns CAS/RCD/RP.
+    fn default() -> Self {
+        DramConfig {
+            banks: 16,
+            row_bytes: 8 * 1024,
+            t_cas_ps: 14_000,
+            t_rcd_ps: 14_000,
+            t_rp_ps: 14_000,
+            activate_fj: 2_000_000, // ~2 nJ per activation
+            transfer_byte_fj: cim_sim::calib::cpu::ENERGY_PER_DRAM_BYTE_FJ,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Validates geometry.
+    ///
+    /// Returns `None` for zero banks or a non-power-of-two/zero row size.
+    pub fn validated(self) -> Option<Self> {
+        (self.banks > 0 && self.row_bytes.is_power_of_two()).then_some(self)
+    }
+}
+
+/// Per-channel access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Row-buffer hits.
+    pub hits: u64,
+    /// Accesses to idle banks.
+    pub misses: u64,
+    /// Row-buffer conflicts.
+    pub conflicts: u64,
+}
+
+impl DramStats {
+    /// All accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.conflicts
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`; zero before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+/// One DRAM channel.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::dram::{DramChannel, DramConfig, RowOutcome};
+///
+/// let mut ch = DramChannel::new(DramConfig::default()).unwrap();
+/// let (first, _, _) = ch.access(0, 64);
+/// assert_eq!(first, RowOutcome::Miss); // cold bank
+/// let (second, lat2, _) = ch.access(64, 64);
+/// assert_eq!(second, RowOutcome::Hit); // same row
+/// let (_, lat1, _) = ch.access(1 << 30, 64); // far away: other row, same bank? maybe not
+/// assert!(lat2 <= lat1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    config: DramConfig,
+    open_rows: Vec<Option<u64>>,
+    stats: DramStats,
+}
+
+impl DramChannel {
+    /// Creates a channel with all banks idle.
+    ///
+    /// Returns `None` for invalid geometry (see
+    /// [`DramConfig::validated`]).
+    pub fn new(config: DramConfig) -> Option<Self> {
+        let config = config.validated()?;
+        Some(DramChannel {
+            open_rows: vec![None; config.banks],
+            config,
+            stats: DramStats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Performs one access of `bytes` at `addr`; returns the row outcome,
+    /// the access latency, and the energy consumed.
+    pub fn access(&mut self, addr: u64, bytes: usize) -> (RowOutcome, SimDuration, Energy) {
+        let row_global = addr / self.config.row_bytes as u64;
+        let bank = (row_global % self.config.banks as u64) as usize;
+        let row = row_global / self.config.banks as u64;
+        let (outcome, ps) = match self.open_rows[bank] {
+            Some(open) if open == row => (RowOutcome::Hit, self.config.t_cas_ps),
+            Some(_) => (
+                RowOutcome::Conflict,
+                self.config.t_rp_ps + self.config.t_rcd_ps + self.config.t_cas_ps,
+            ),
+            None => (RowOutcome::Miss, self.config.t_rcd_ps + self.config.t_cas_ps),
+        };
+        self.open_rows[bank] = Some(row);
+        match outcome {
+            RowOutcome::Hit => self.stats.hits += 1,
+            RowOutcome::Miss => self.stats.misses += 1,
+            RowOutcome::Conflict => self.stats.conflicts += 1,
+        }
+        let mut energy =
+            Energy::from_fj(self.config.transfer_byte_fj * bytes.max(1) as u64);
+        if outcome != RowOutcome::Hit {
+            energy += Energy::from_fj(self.config.activate_fj);
+        }
+        (outcome, SimDuration::from_ps(ps), energy)
+    }
+
+    /// Closes all rows (refresh / power-down boundary).
+    pub fn precharge_all(&mut self) {
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(DramChannel::new(DramConfig { banks: 0, ..DramConfig::default() }).is_none());
+        assert!(DramChannel::new(DramConfig { row_bytes: 1000, ..DramConfig::default() }).is_none());
+        assert!(DramChannel::new(DramConfig::default()).is_some());
+    }
+
+    #[test]
+    fn sequential_stream_is_mostly_row_hits() {
+        let mut ch = DramChannel::new(DramConfig::default()).unwrap();
+        for addr in (0..(1 << 20)).step_by(64) {
+            ch.access(addr, 64);
+        }
+        assert!(
+            ch.stats().hit_rate() > 0.95,
+            "streaming hit rate {}",
+            ch.stats().hit_rate()
+        );
+    }
+
+    #[test]
+    fn random_pointer_chase_conflicts() {
+        let mut ch = DramChannel::new(DramConfig::default()).unwrap();
+        let mut addr = 0x12345u64;
+        for _ in 0..10_000 {
+            addr = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (4 << 30);
+            ch.access(addr, 64);
+        }
+        assert!(
+            ch.stats().hit_rate() < 0.05,
+            "random hit rate {}",
+            ch.stats().hit_rate()
+        );
+        assert!(ch.stats().conflicts > ch.stats().hits);
+    }
+
+    #[test]
+    fn latency_ordering_hit_miss_conflict() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg).unwrap();
+        let (o1, miss_lat, miss_e) = ch.access(0, 64); // idle bank
+        assert_eq!(o1, RowOutcome::Miss);
+        let (o2, hit_lat, hit_e) = ch.access(128, 64); // same row
+        assert_eq!(o2, RowOutcome::Hit);
+        // Same bank, different row: row_global differs by banks.
+        let conflict_addr = (cfg.banks * cfg.row_bytes) as u64;
+        let (o3, conf_lat, _) = ch.access(conflict_addr, 64);
+        assert_eq!(o3, RowOutcome::Conflict);
+        assert!(hit_lat < miss_lat);
+        assert!(miss_lat < conf_lat);
+        assert!(hit_e < miss_e, "activation energy only on misses");
+    }
+
+    #[test]
+    fn precharge_closes_rows() {
+        let mut ch = DramChannel::new(DramConfig::default()).unwrap();
+        ch.access(0, 64);
+        ch.precharge_all();
+        let (o, _, _) = ch.access(0, 64);
+        assert_eq!(o, RowOutcome::Miss, "row was closed");
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg).unwrap();
+        // Touch every bank once, then again: all second touches hit.
+        for b in 0..cfg.banks {
+            ch.access((b * cfg.row_bytes) as u64, 64);
+        }
+        for b in 0..cfg.banks {
+            let (o, _, _) = ch.access((b * cfg.row_bytes) as u64 + 256, 64);
+            assert_eq!(o, RowOutcome::Hit, "bank {b}");
+        }
+    }
+}

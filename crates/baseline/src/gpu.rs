@@ -1,0 +1,189 @@
+//! GPU model (the paper's §VI "modern GPUs" comparator).
+//!
+//! A V100-class throughput machine: enormous peak FLOP rate and HBM
+//! bandwidth, but every kernel pays a host launch overhead and weights
+//! stream from HBM per kernel. The model captures exactly the two effects
+//! §VI's latency comparison turns on: batch-1 inference is dominated by
+//! launch overhead, and large batches amortize it until the roofline
+//! binds.
+
+use crate::cost::PlatformCost;
+use cim_dataflow::graph::DataflowGraph;
+use cim_dataflow::ops::Operation;
+use cim_sim::calib::gpu as cal;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// A GPU board.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::gpu::GpuModel;
+///
+/// let gpu = GpuModel::new();
+/// // Tiny kernel: launch overhead dominates.
+/// let c = gpu.run_kernel(1_000, 1_000);
+/// assert!(c.latency.as_us_f64() >= 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GpuModel {
+    _private: (),
+}
+
+impl GpuModel {
+    /// Creates the calibrated board model.
+    pub fn new() -> Self {
+        GpuModel { _private: () }
+    }
+
+    /// Runs one kernel of `flops` tensor-path FLOPs reading `hbm_bytes`
+    /// from device memory. Includes one launch overhead.
+    pub fn run_kernel(&self, flops: u64, hbm_bytes: u64) -> PlatformCost {
+        let compute_s = flops as f64 / cal::TENSOR_FLOPS;
+        let mem_s = hbm_bytes as f64 / cal::MEM_BW_BYTES;
+        let latency = SimDuration::from_ps(cal::LAUNCH_OVERHEAD_PS)
+            + SimDuration::from_ps(cal::HBM_LATENCY_PS)
+            + SimDuration::from_secs_f64(compute_s.max(mem_s));
+        let mut energy = Energy::from_fj(
+            flops * cal::ENERGY_PER_FLOP_FJ + hbm_bytes * cal::ENERGY_PER_HBM_BYTE_FJ,
+        );
+        energy += Energy::from_joules(cal::STATIC_W * latency.as_secs_f64());
+        PlatformCost { latency, energy }
+    }
+
+    /// Executes a dataflow graph `batch` times.
+    ///
+    /// Each `MatVec` node is one kernel launch processing the whole batch
+    /// (the standard batched-GEMM mapping): weights stream from HBM once
+    /// per launch, activations once per batch item. Non-matvec nodes fuse
+    /// into the preceding kernel (standard elementwise fusion) and only
+    /// add FLOPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run_graph(&self, graph: &DataflowGraph, batch: usize) -> PlatformCost {
+        assert!(batch > 0, "batch must be positive");
+        let mut total = PlatformCost::default();
+        let mut fused_flops: u64 = 0;
+        let mut launches = 0u32;
+        for (_, node) in graph.nodes() {
+            match &node.op {
+                Operation::MatVec { rows, cols, .. } => {
+                    let weight_bytes = (rows * cols * 8) as u64;
+                    let act_bytes = ((rows + cols) * 8) as u64 * batch as u64;
+                    let flops = node.op.flops() * batch as u64 + fused_flops;
+                    fused_flops = 0;
+                    launches += 1;
+                    total = total.then(self.run_kernel(flops, weight_bytes + act_bytes));
+                }
+                op => fused_flops += op.flops() * batch as u64,
+            }
+        }
+        if launches == 0 || fused_flops > 0 {
+            // Graph with no matvec (or trailing elementwise work): one
+            // catch-all kernel streaming the edge data.
+            let m = graph.metrics();
+            total = total.then(self.run_kernel(fused_flops, m.edge_bytes * batch as u64));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+
+    fn mlp(dim: usize, layers: usize) -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: dim });
+        let mut prev = src;
+        for i in 0..layers {
+            let mv = b.add(
+                format!("fc{i}"),
+                Operation::MatVec {
+                    rows: dim,
+                    cols: dim,
+                    weights: vec![0.01; dim * dim],
+                },
+            );
+            let act = b.add(
+                format!("relu{i}"),
+                Operation::Map {
+                    func: Elementwise::Relu,
+                    width: dim,
+                },
+            );
+            b.chain(&[prev, mv, act]).unwrap();
+            prev = act;
+        }
+        let out = b.add("out", Operation::Sink { width: dim });
+        b.connect(prev, out, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn launch_overhead_dominates_batch_one() {
+        let gpu = GpuModel::new();
+        let g = mlp(64, 4);
+        let c = gpu.run_graph(&g, 1);
+        // 4 launches × ~5.4 us each.
+        assert!(c.latency.as_us_f64() > 20.0);
+        assert!(c.latency.as_us_f64() < 30.0);
+    }
+
+    #[test]
+    fn batching_amortizes_launches() {
+        let gpu = GpuModel::new();
+        let g = mlp(256, 4);
+        let t1 = gpu.run_graph(&g, 1).latency.as_secs_f64();
+        let t256 = gpu.run_graph(&g, 256).latency.as_secs_f64() / 256.0;
+        assert!(
+            t1 / t256 > 20.0,
+            "per-item latency should collapse with batch: {}",
+            t1 / t256
+        );
+    }
+
+    #[test]
+    fn large_kernels_hit_the_roofline() {
+        let gpu = GpuModel::new();
+        // 1 TFLOP of compute, tiny memory traffic.
+        let c = gpu.run_kernel(1_000_000_000_000, 1024);
+        let expected = 1e12 / cal::TENSOR_FLOPS;
+        let got = c.latency.as_secs_f64();
+        assert!((got - expected).abs() / expected < 0.01, "got {got}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_limited_by_hbm() {
+        let gpu = GpuModel::new();
+        let bytes = 9_000_000_000u64; // 9 GB => 10 ms at 900 GB/s
+        let c = gpu.run_kernel(1000, bytes);
+        assert!((c.latency.as_secs_f64() - 0.01).abs() < 0.001);
+    }
+
+    #[test]
+    fn energy_scales_with_work_plus_static() {
+        let gpu = GpuModel::new();
+        let small = gpu.run_kernel(0, 0);
+        let big = gpu.run_kernel(1_000_000_000_000, 0);
+        assert!(big.energy > small.energy * 10);
+        assert!(small.energy.as_fj() > 0, "static power always burns");
+    }
+
+    #[test]
+    fn graph_without_matvec_still_runs() {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 8 });
+        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 8 });
+        let k = b.add("k", Operation::Sink { width: 8 });
+        b.chain(&[s, m, k]).unwrap();
+        let g = b.build().unwrap();
+        let c = GpuModel::new().run_graph(&g, 2);
+        assert!(c.latency.as_us_f64() >= 5.0, "one catch-all launch");
+    }
+}

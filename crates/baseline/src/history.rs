@@ -1,0 +1,167 @@
+//! Historical machine dataset for Fig 2 (memory bandwidth per FLOP).
+//!
+//! The paper's Fig 2 plots the steady drop of the bytes/FLOP ratio from
+//! ~1 (all of memory available at processor speed) to several orders of
+//! magnitude lower. This module reproduces the figure from public peak
+//! FLOP/s and memory-bandwidth numbers for representative machines from
+//! EDVAC (1949) to Summit-era parts (2018). Figures are peak/vendor
+//! numbers from the standard literature (Hennessy & Patterson, vendor
+//! datasheets, TOP500 reports); they are order-of-magnitude data, which is
+//! all the figure requires.
+
+/// One machine's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Machine name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u32,
+    /// Peak floating-point rate, FLOP/s.
+    pub flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+}
+
+impl Machine {
+    /// Memory bandwidth per FLOP — the paper's Fig 2 y-axis.
+    pub fn bytes_per_flop(&self) -> f64 {
+        self.mem_bw / self.flops
+    }
+}
+
+/// The curated dataset, in chronological order.
+pub const MACHINES: &[Machine] = &[
+    Machine { name: "EDVAC", year: 1949, flops: 3.4e2, mem_bw: 4.0e2 },
+    Machine { name: "UNIVAC I", year: 1951, flops: 4.6e2, mem_bw: 7.0e2 },
+    Machine { name: "IBM 704", year: 1954, flops: 1.2e4, mem_bw: 2.0e4 },
+    Machine { name: "IBM 7090", year: 1959, flops: 1.0e5, mem_bw: 2.2e5 },
+    Machine { name: "CDC 6600", year: 1964, flops: 3.0e6, mem_bw: 4.8e6 },
+    Machine { name: "IBM 360/91", year: 1967, flops: 1.6e7, mem_bw: 1.3e7 },
+    Machine { name: "CDC 7600", year: 1969, flops: 3.6e7, mem_bw: 3.6e7 },
+    Machine { name: "Cray-1", year: 1976, flops: 1.6e8, mem_bw: 6.4e8 },
+    Machine { name: "Cray X-MP", year: 1983, flops: 8.0e8, mem_bw: 2.4e9 },
+    Machine { name: "Cray-2", year: 1985, flops: 1.9e9, mem_bw: 2.0e9 },
+    Machine { name: "Cray Y-MP", year: 1988, flops: 2.7e9, mem_bw: 5.4e9 },
+    Machine { name: "Intel i860", year: 1989, flops: 8.0e7, mem_bw: 1.6e8 },
+    Machine { name: "Pentium", year: 1993, flops: 6.6e7, mem_bw: 5.3e8 },
+    Machine { name: "Cray T90", year: 1995, flops: 1.8e9, mem_bw: 1.4e10 },
+    Machine { name: "Pentium II", year: 1997, flops: 3.0e8, mem_bw: 8.0e8 },
+    Machine { name: "Pentium III", year: 1999, flops: 1.0e9, mem_bw: 1.1e9 },
+    Machine { name: "Pentium 4", year: 2002, flops: 6.0e9, mem_bw: 3.2e9 },
+    Machine { name: "AMD Opteron 250", year: 2005, flops: 9.6e9, mem_bw: 6.4e9 },
+    Machine { name: "Core 2 Quad", year: 2007, flops: 3.8e10, mem_bw: 8.5e9 },
+    Machine { name: "Nehalem-EP", year: 2009, flops: 5.1e10, mem_bw: 2.6e10 },
+    Machine { name: "Sandy Bridge-EP", year: 2012, flops: 1.7e11, mem_bw: 5.1e10 },
+    Machine { name: "Haswell-EP", year: 2014, flops: 5.0e11, mem_bw: 6.0e10 },
+    Machine { name: "NVIDIA K80", year: 2014, flops: 2.9e12, mem_bw: 4.8e11 },
+    Machine { name: "Xeon Phi KNL", year: 2016, flops: 3.0e12, mem_bw: 4.0e11 },
+    Machine { name: "NVIDIA P100", year: 2016, flops: 5.3e12, mem_bw: 7.2e11 },
+    Machine { name: "Skylake-SP 8160", year: 2017, flops: 1.6e12, mem_bw: 1.2e11 },
+    Machine { name: "NVIDIA V100", year: 2017, flops: 7.8e12, mem_bw: 9.0e11 },
+    Machine { name: "Summit node", year: 2018, flops: 4.9e13, mem_bw: 5.4e12 },
+];
+
+/// A fitted log-linear trend of the bytes/FLOP ratio over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trend {
+    /// Slope in log10(bytes/FLOP) per year (negative = decline).
+    pub log10_slope_per_year: f64,
+    /// Intercept at year 0 (for reconstruction).
+    pub log10_intercept: f64,
+}
+
+impl Trend {
+    /// Change in orders of magnitude per decade.
+    pub fn orders_per_decade(&self) -> f64 {
+        self.log10_slope_per_year * 10.0
+    }
+
+    /// Predicted ratio at `year`.
+    pub fn predict(&self, year: u32) -> f64 {
+        10f64.powf(self.log10_intercept + self.log10_slope_per_year * year as f64)
+    }
+}
+
+/// Ordinary-least-squares fit of `log10(bytes/FLOP)` against year over the
+/// whole dataset.
+pub fn fit_trend(machines: &[Machine]) -> Trend {
+    assert!(machines.len() >= 2, "need at least two machines to fit");
+    let n = machines.len() as f64;
+    let xs: Vec<f64> = machines.iter().map(|m| m.year as f64).collect();
+    let ys: Vec<f64> = machines
+        .iter()
+        .map(|m| m.bytes_per_flop().log10())
+        .collect();
+    let xm = xs.iter().sum::<f64>() / n;
+    let ym = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xm) * (y - ym)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - xm) * (x - xm)).sum();
+    let slope = sxy / sxx;
+    Trend {
+        log10_slope_per_year: slope,
+        log10_intercept: ym - slope * xm,
+    }
+}
+
+/// Mean bytes/FLOP of machines introduced in `[start, end)`.
+pub fn era_mean(machines: &[Machine], start: u32, end: u32) -> Option<f64> {
+    let era: Vec<f64> = machines
+        .iter()
+        .filter(|m| m.year >= start && m.year < end)
+        .map(|m| m.bytes_per_flop())
+        .collect();
+    if era.is_empty() {
+        None
+    } else {
+        Some(era.iter().sum::<f64>() / era.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_chronological_and_plausible() {
+        for pair in MACHINES.windows(2) {
+            assert!(pair[0].year <= pair[1].year, "{} out of order", pair[1].name);
+        }
+        for m in MACHINES {
+            assert!(m.flops > 0.0 && m.mem_bw > 0.0, "{} has bad data", m.name);
+            let r = m.bytes_per_flop();
+            assert!(r > 1e-4 && r < 100.0, "{} ratio {r} implausible", m.name);
+        }
+    }
+
+    #[test]
+    fn early_machines_near_parity_late_machines_starved() {
+        let early = era_mean(MACHINES, 1940, 1980).expect("early era present");
+        let late = era_mean(MACHINES, 2010, 2020).expect("late era present");
+        assert!(early > 1.0, "pre-1980 machines were ~balanced, got {early}");
+        assert!(late < 0.25, "modern machines are starved, got {late}");
+        assert!(
+            early / late > 10.0,
+            "at least an order of magnitude decline: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn trend_declines() {
+        let t = fit_trend(MACHINES);
+        assert!(
+            t.log10_slope_per_year < 0.0,
+            "Fig 2's decline must be negative, got {}",
+            t.log10_slope_per_year
+        );
+        // Roughly a quarter to three-quarters of an order per decade.
+        let opd = t.orders_per_decade();
+        assert!((-1.2..=-0.1).contains(&opd), "orders/decade {opd}");
+        // Prediction should decrease over time.
+        assert!(t.predict(2018) < t.predict(1976));
+    }
+
+    #[test]
+    fn era_mean_handles_empty_eras() {
+        assert!(era_mean(MACHINES, 1900, 1940).is_none());
+    }
+}

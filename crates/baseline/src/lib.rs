@@ -1,0 +1,50 @@
+//! # cim-baseline — Von Neumann comparators
+//!
+//! Every comparison in the paper needs the other side: §VI compares the
+//! Dot Product Engine against "modern CPUs" and "modern GPUs"; Table 1
+//! compares CIM against shared-memory and distributed machines; Fig 2
+//! plots seven decades of bytes-per-FLOP decline. This crate implements
+//! all of them as calibrated models:
+//!
+//! * [`cache`] / [`cpu`] — trace-driven cache hierarchy + roofline socket;
+//! * [`gpu`] — V100-class throughput machine with launch overheads;
+//! * [`shared_memory`] — coherence-limited SMP (Table 1 col. 1);
+//! * [`cluster`] — message-passing cluster (Table 1 col. 2);
+//! * [`history`] — the Fig 2 machine dataset and trend fit.
+//!
+//! ## Example
+//!
+//! ```
+//! use cim_baseline::cpu::CpuModel;
+//! use cim_baseline::gpu::GpuModel;
+//!
+//! let cpu = CpuModel::new(20).unwrap();
+//! let gpu = GpuModel::new();
+//! // A 100 MFLOP kernel over 100 MB: CPU is DRAM-bound, GPU wins.
+//! let c = cpu.run_kernel(100_000_000, 100_000_000, 0);
+//! let g = gpu.run_kernel(100_000_000, 100_000_000);
+//! assert!(g.latency < c.latency);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod cluster;
+pub mod cost;
+pub mod dram;
+pub mod cpu;
+pub mod gpu;
+pub mod history;
+pub mod roofline;
+pub mod shared_memory;
+
+pub use cache::{Cache, CacheHierarchy, HierarchyStats, ServiceLevel};
+pub use cluster::Cluster;
+pub use cost::PlatformCost;
+pub use dram::{DramChannel, DramConfig, DramStats, RowOutcome};
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use history::{fit_trend, Machine, Trend, MACHINES};
+pub use roofline::Roof;
+pub use shared_memory::SmpMachine;

@@ -1,0 +1,144 @@
+//! Roofline model utilities.
+//!
+//! The paper's Fig 2 argument is a roofline argument: as bytes/FLOP
+//! falls, more of the workload space lands under the memory roof. This
+//! module computes attainable performance for a given operational
+//! intensity on the calibrated CPU and GPU models, locates the ridge
+//! points, and classifies workloads as compute- or memory-bound — the
+//! quantitative backbone for Appendix A's "applications with substantial
+//! computation needs are better suited to Von Neumann".
+
+use cim_sim::calib::{cpu, gpu};
+
+/// A machine roof: peak compute and peak memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roof {
+    /// Machine label.
+    pub name: &'static str,
+    /// Peak FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub peak_bw: f64,
+}
+
+impl Roof {
+    /// The calibrated CPU socket roof.
+    pub fn cpu() -> Roof {
+        Roof {
+            name: "CPU (20-core socket)",
+            peak_flops: cpu::FLOPS_PER_CORE * cpu::CORES as f64,
+            peak_bw: cpu::MEM_BW_BYTES,
+        }
+    }
+
+    /// The calibrated GPU board roof (tensor path).
+    pub fn gpu() -> Roof {
+        Roof {
+            name: "GPU (tensor path)",
+            peak_flops: gpu::TENSOR_FLOPS,
+            peak_bw: gpu::MEM_BW_BYTES,
+        }
+    }
+
+    /// Attainable FLOP/s at operational intensity `oi` (FLOP/byte):
+    /// `min(peak, oi × bw)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oi` is negative or not finite.
+    pub fn attainable(&self, oi: f64) -> f64 {
+        assert!(oi.is_finite() && oi >= 0.0, "operational intensity >= 0");
+        (oi * self.peak_bw).min(self.peak_flops)
+    }
+
+    /// The ridge point: the operational intensity where the memory roof
+    /// meets the compute roof. Below it, workloads are memory-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.peak_bw
+    }
+
+    /// Whether a workload at `oi` is memory-bound on this machine.
+    pub fn memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge()
+    }
+
+    /// Fraction of peak achieved at `oi` (1.0 at/above the ridge).
+    pub fn efficiency(&self, oi: f64) -> f64 {
+        self.attainable(oi) / self.peak_flops
+    }
+}
+
+/// An effective "roof" for the CIM fabric on stationary-weight matvec:
+/// the crossbars deliver their MACs regardless of operand traffic, so the
+/// roof is flat — operational intensity does not bind. Peak is set by the
+/// phase rate of the occupied arrays.
+///
+/// `arrays` is the number of 128×128 crossbar arrays the model occupies;
+/// `phase_s` the analog phase time in seconds; `phases_per_mvm` how many
+/// phases one full-precision matvec needs.
+pub fn cim_effective_flops(arrays: usize, phase_s: f64, phases_per_mvm: u32) -> f64 {
+    use cim_sim::calib::dpe;
+    let macs = (arrays as f64 / (2.0 * dpe::WEIGHT_BITS as f64 / dpe::CELL_BITS as f64))
+        * dpe::MACS_PER_READ as f64;
+    2.0 * macs / (phase_s * f64::from(phases_per_mvm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_points_are_ordered_sensibly() {
+        let cpu = Roof::cpu();
+        let gpu = Roof::gpu();
+        // Modern machines need tens of FLOPs per byte to leave the
+        // memory roof — the Fig 2 complaint.
+        assert!(cpu.ridge() > 10.0, "cpu ridge {}", cpu.ridge());
+        assert!(gpu.ridge() > 50.0, "gpu ridge {}", gpu.ridge());
+        assert!(gpu.ridge() > cpu.ridge(), "GPUs are even more starved");
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roof::cpu();
+        let low = r.attainable(0.1);
+        assert!((low - 0.1 * r.peak_bw).abs() / low < 1e-12, "memory roof binds");
+        let high = r.attainable(1e6);
+        assert_eq!(high, r.peak_flops, "compute roof binds");
+        assert!(r.memory_bound(1.0));
+        assert!(!r.memory_bound(1e4));
+    }
+
+    #[test]
+    fn efficiency_saturates_at_ridge() {
+        let r = Roof::gpu();
+        assert!(r.efficiency(r.ridge() / 10.0) < 0.11);
+        assert_eq!(r.efficiency(r.ridge() * 2.0), 1.0);
+    }
+
+    #[test]
+    fn streaming_workloads_waste_most_of_a_socket() {
+        // A scan at 0.25 FLOP/byte uses a few percent of peak — the
+        // quantitative version of "compute is free, data is priceless".
+        let r = Roof::cpu();
+        assert!(r.efficiency(0.25) < 0.05);
+    }
+
+    #[test]
+    fn cim_flat_roof_beats_cpu_at_low_oi() {
+        // A 1024-array occupancy (a 1024x1024 layer) at the ISAAC phase
+        // rate: one 16-bit matvec per 8 phases across 64 stacks.
+        let flops = cim_effective_flops(1024, 100e-9, 8);
+        let cpu = Roof::cpu();
+        // At scan-like intensity the CPU attains ~16 GFLOP/s; the
+        // crossbar fabric is orders above it because its roof is flat —
+        // weights never move, so operational intensity never binds.
+        assert!(flops > 10.0 * cpu.attainable(0.25), "{flops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "operational intensity")]
+    fn negative_oi_panics() {
+        let _ = Roof::cpu().attainable(-1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared-memory multiprocessor model (Table 1, column "Parallel").
+//!
+//! The paper's Table 1 characterizes shared-memory machines as scaling to
+//! "100s of cores" with multi-threaded programming, partition-granularity
+//! failure, and partition-wide security exposure. This model makes those
+//! three rows measurable:
+//!
+//! * **scaling** — Universal Scalability Law throughput with coherence
+//!   contention (the "coherence wall" that caps useful core counts);
+//! * **failure tolerance** — a fault takes down the whole partition and
+//!   loses all uncheckpointed work;
+//! * **security** — one compromised thread reaches the entire shared
+//!   address space (blast radius 1.0).
+
+use crate::cost::PlatformCost;
+use cim_sim::calib::{cpu, smp};
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// A cache-coherent shared-memory machine.
+///
+/// # Examples
+///
+/// ```
+/// use cim_baseline::shared_memory::SmpMachine;
+///
+/// let m = SmpMachine::new(64).unwrap();
+/// assert!(m.speedup(64) > 20.0);
+/// assert!(m.speedup(64) < 64.0, "coherence overhead is not free");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmpMachine {
+    cores: usize,
+    /// Serial/contention fraction (USL sigma).
+    sigma: f64,
+    /// Coherence (crosstalk) coefficient (USL kappa).
+    kappa: f64,
+}
+
+impl SmpMachine {
+    /// Creates a machine with `cores` cores and calibrated contention.
+    ///
+    /// Returns `None` if `cores` is zero or exceeds the calibrated maximum
+    /// partition size.
+    pub fn new(cores: usize) -> Option<Self> {
+        if cores == 0 || cores > smp::MAX_CORES {
+            return None;
+        }
+        Some(SmpMachine {
+            cores,
+            sigma: smp::CONTENTION_PER_CORE,
+            kappa: smp::CONTENTION_PER_CORE / 10.0,
+        })
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// USL speedup at `n` active cores relative to one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the machine's cores.
+    pub fn speedup(&self, n: usize) -> f64 {
+        assert!(n >= 1 && n <= self.cores, "n must be in 1..=cores");
+        let nf = n as f64;
+        nf / (1.0 + self.sigma * (nf - 1.0) + self.kappa * nf * (nf - 1.0))
+    }
+
+    /// The core count with the highest throughput — beyond it coherence
+    /// crosstalk makes adding cores *slow the machine down* (the scaling
+    /// wall Table 1 row 2 refers to).
+    pub fn useful_scale_limit(&self) -> usize {
+        (1..=self.cores)
+            .max_by(|&a, &b| {
+                self.speedup(a)
+                    .partial_cmp(&self.speedup(b))
+                    .expect("speedup is finite")
+            })
+            .expect("at least one core")
+    }
+
+    /// Runs `items` work items of `flops_each` on `n` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the machine's cores.
+    pub fn run_stream(&self, items: u64, flops_each: u64, n: usize) -> PlatformCost {
+        let single_core_s = (items * flops_each) as f64 / cpu::FLOPS_PER_CORE;
+        let latency = SimDuration::from_secs_f64(single_core_s / self.speedup(n));
+        // Coherence misses add energy: each contended access pays a
+        // remote-socket round trip.
+        let coherence_fraction = self.sigma * (n as f64 - 1.0);
+        let coherence_accesses = (items as f64 * coherence_fraction).max(0.0) as u64;
+        let mut energy = Energy::from_fj(
+            items * flops_each * cpu::ENERGY_PER_FLOP_FJ
+                + coherence_accesses * cpu::ENERGY_PER_DRAM_BYTE_FJ * cpu::LINE_BYTES as u64,
+        );
+        energy += Energy::from_joules(
+            cpu::STATIC_W * (n as f64 / cpu::CORES as f64) * latency.as_secs_f64(),
+        );
+        PlatformCost { latency, energy }
+    }
+
+    /// Consequence of a hardware fault at `progress` (fraction of a run
+    /// completed) with checkpoints every `checkpoint_interval` fraction:
+    /// the whole partition fails, losing everything since the last
+    /// checkpoint, and pays a full partition reboot.
+    ///
+    /// Returns `(lost_fraction, downtime)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are in `(0, 1]`.
+    pub fn fault_impact(
+        &self,
+        progress: f64,
+        checkpoint_interval: f64,
+    ) -> (f64, SimDuration) {
+        assert!((0.0..=1.0).contains(&progress), "progress in [0,1]");
+        assert!(
+            checkpoint_interval > 0.0 && checkpoint_interval <= 1.0,
+            "checkpoint interval in (0,1]"
+        );
+        let lost = progress % checkpoint_interval;
+        // Partition reboot: OS + application restart, ~60 s scaled by size.
+        let reboot = SimDuration::from_secs_f64(60.0 + 0.05 * self.cores as f64);
+        (lost, reboot)
+    }
+
+    /// Fraction of system state reachable from one compromised thread:
+    /// the entire shared address space.
+    pub fn compromise_blast_radius(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(SmpMachine::new(0).is_none());
+        assert!(SmpMachine::new(smp::MAX_CORES + 1).is_none());
+        assert!(SmpMachine::new(smp::MAX_CORES).is_some());
+    }
+
+    #[test]
+    fn speedup_is_sublinear_and_eventually_retrogrades() {
+        let m = SmpMachine::new(1024).unwrap();
+        assert_eq!(m.speedup(1), 1.0);
+        assert!(m.speedup(64) > m.speedup(16));
+        let limit = m.useful_scale_limit();
+        assert!(limit < 1024, "coherence wall below max cores, got {limit}");
+        assert!(
+            m.speedup(1024) < m.speedup(limit),
+            "past the wall, more cores are slower"
+        );
+    }
+
+    #[test]
+    fn stream_faster_on_more_cores_below_wall() {
+        let m = SmpMachine::new(256).unwrap();
+        let t8 = m.run_stream(10_000, 1_000_000, 8).latency;
+        let t64 = m.run_stream(10_000, 1_000_000, 64).latency;
+        assert!(t64 < t8);
+    }
+
+    #[test]
+    fn fault_loses_work_since_checkpoint() {
+        let m = SmpMachine::new(128).unwrap();
+        let (lost, downtime) = m.fault_impact(0.55, 0.25);
+        assert!((lost - 0.05).abs() < 1e-12);
+        assert!(downtime.as_secs_f64() > 60.0);
+        let (lost_no_ckpt, _) = m.fault_impact(0.99, 1.0);
+        assert!((lost_no_ckpt - 0.99).abs() < 1e-12, "no checkpoints: lose it all");
+    }
+
+    #[test]
+    fn blast_radius_is_total() {
+        assert_eq!(SmpMachine::new(4).unwrap().compromise_blast_radius(), 1.0);
+    }
+
+    #[test]
+    fn energy_grows_with_contention() {
+        let m = SmpMachine::new(512).unwrap();
+        let e_few = m.run_stream(100_000, 1_000, 2).energy;
+        let e_many = m.run_stream(100_000, 1_000, 512).energy;
+        assert!(e_many > e_few, "coherence traffic costs energy");
+    }
+}

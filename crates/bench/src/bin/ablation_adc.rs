@@ -1,0 +1,5 @@
+//! ABL-ADC: ADC resolution vs accuracy vs energy.
+fn main() {
+    let points = cim_bench::experiments::ablations::run_adc(&[2, 3, 4, 5, 6, 8, 10, 12]);
+    print!("{}", cim_bench::experiments::ablations::render_adc(&points));
+}

@@ -1,0 +1,5 @@
+//! ABL-DAC: input DAC digit width vs latency/energy/accuracy.
+fn main() {
+    let points = cim_bench::experiments::ablations::run_dac(&[1, 2, 4]);
+    print!("{}", cim_bench::experiments::ablations::render_dac(&points));
+}

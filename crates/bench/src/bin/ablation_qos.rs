@@ -1,0 +1,5 @@
+//! ABL-QOS: virtual-channel isolation between streams.
+fn main() {
+    let report = cim_bench::experiments::ablations::run_qos(64);
+    print!("{}", cim_bench::experiments::ablations::render_qos(&report));
+}

@@ -1,0 +1,5 @@
+//! ABL-SEC: link-encryption overhead and tamper detection.
+fn main() {
+    let report = cim_bench::experiments::ablations::run_security();
+    print!("{}", cim_bench::experiments::ablations::render_security(&report));
+}

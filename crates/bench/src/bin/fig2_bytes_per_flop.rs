@@ -1,0 +1,5 @@
+//! Regenerates Fig 2: memory bandwidth per FLOP, 1949–2018.
+fn main() {
+    let report = cim_bench::experiments::fig2::run();
+    print!("{}", cim_bench::experiments::fig2::render(&report));
+}

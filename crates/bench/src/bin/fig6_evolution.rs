@@ -1,0 +1,5 @@
+//! Regenerates Fig 6: slave -> cooperative -> integrated -> native.
+fn main() {
+    let report = cim_bench::experiments::fig6::run(32);
+    print!("{}", cim_bench::experiments::fig6::render(&report));
+}

@@ -1,0 +1,5 @@
+//! XOVER: model size vs platform advantage (extension experiment).
+fn main() {
+    let points = cim_bench::experiments::crossover::run(&[128, 256, 512, 1024, 2048, 4096]);
+    print!("{}", cim_bench::experiments::crossover::render(&points));
+}

@@ -1,0 +1,5 @@
+//! ROOF: roofline placement of the Table 2 workload suite.
+fn main() {
+    let rows = cim_bench::experiments::roofline::run();
+    print!("{}", cim_bench::experiments::roofline::render(&rows));
+}

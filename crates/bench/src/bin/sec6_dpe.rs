@@ -1,0 +1,11 @@
+//! Regenerates §VI: Dot Product Engine vs CPU vs GPU (latency,
+//! throughput, power). Pass a layer dimension to override the default
+//! paper-scale 4096.
+fn main() {
+    let dim = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let report = cim_bench::experiments::sec6::run(dim, 6);
+    print!("{}", cim_bench::experiments::sec6::render(&report));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: shared-memory vs distributed vs in-memory.
+fn main() {
+    let report = cim_bench::experiments::table1::run(8);
+    print!("{}", cim_bench::experiments::table1::render(&report));
+}

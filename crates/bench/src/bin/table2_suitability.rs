@@ -1,0 +1,5 @@
+//! Regenerates Table 2: application suitability for CIM.
+fn main() {
+    let report = cim_bench::experiments::table2::run();
+    print!("{}", cim_bench::experiments::table2::render(&report));
+}

@@ -1,0 +1,508 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! * **ABL-ADC** — ADC resolution vs inference accuracy and energy
+//!   (§III.A / §V.C "different precision can be configured at the lowest
+//!   level");
+//! * **ABL-DAC** — input DAC digit width vs latency/accuracy;
+//! * **ABL-RED** — spare-unit provisioning vs recovery outcome (§V.A);
+//! * **ABL-SEC** — link-encryption overhead (§IV.A);
+//! * **ABL-QOS** — virtual-channel isolation between streams (§IV.B).
+
+use crate::table::TextTable;
+use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+use cim_crossbar::matrix::DenseMatrix;
+use cim_dataflow::graph::GraphBuilder;
+use cim_dataflow::ops::Operation;
+use cim_fabric::reliability::{run_fault_campaign, ScheduledFault};
+use cim_fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim_noc::network::NocNetwork;
+use cim_noc::packet::{NodeId, Packet, TrafficClass};
+use cim_sim::energy::Energy;
+use cim_sim::time::{SimDuration, SimTime};
+use cim_sim::SeedTree;
+use cim_workloads::nn::{accuracy, synthetic_classification};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// ABL-ADC
+// ---------------------------------------------------------------------------
+
+/// One point of the ADC sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct AdcPoint {
+    /// ADC resolution in bits.
+    pub bits: u32,
+    /// Classification accuracy on the analog engine.
+    pub accuracy: f64,
+    /// Energy per inference.
+    pub energy_per_inference: Energy,
+}
+
+/// Sweeps ADC resolution on the template classifier.
+pub fn run_adc(bits: &[u32]) -> Vec<AdcPoint> {
+    let seeds = SeedTree::new(0xADC);
+    let data = synthetic_classification(8, 128, 24, 0.25, seeds);
+    // Template weights as a dense matrix (dim × classes).
+    let dim = data.dim();
+    let classes = data.classes();
+    let mut w = DenseMatrix::zeros(dim, classes);
+    for (c, mean) in data.class_means.iter().enumerate() {
+        for (d, &m) in mean.iter().enumerate() {
+            *w.get_mut(d, c) = m;
+        }
+    }
+    bits.iter()
+        .map(|&adc_bits| {
+            let config = DpeConfig {
+                adc_bits,
+                ..DpeConfig::default()
+            };
+            let mut dpe = DotProductEngine::new(config, seeds.child_idx(u64::from(adc_bits)));
+            dpe.program(&w).expect("valid template matrix");
+            let mut energy = Energy::ZERO;
+            let mut preds = Vec::with_capacity(data.len());
+            for s in &data.samples {
+                let out = dpe.matvec(s).expect("programmed engine");
+                energy += out.cost.energy;
+                let arg = out
+                    .values
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i as f64)
+                    .expect("non-empty output");
+                preds.push(arg);
+            }
+            AdcPoint {
+                bits: adc_bits,
+                accuracy: accuracy(&preds, &data.labels),
+                energy_per_inference: energy / data.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the ADC sweep.
+pub fn render_adc(points: &[AdcPoint]) -> String {
+    let mut t = TextTable::new(["ADC bits", "accuracy", "energy/inference"]);
+    for p in points {
+        t.row([
+            p.bits.to_string(),
+            format!("{:.3}", p.accuracy),
+            p.energy_per_inference.to_string(),
+        ]);
+    }
+    format!(
+        "ABL-ADC: ADC resolution vs accuracy vs energy (precision knob of §V.C)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// ABL-DAC
+// ---------------------------------------------------------------------------
+
+/// One point of the DAC-digit-width sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct DacPoint {
+    /// Bits per input DAC digit.
+    pub dac_bits: u32,
+    /// Matvec latency at this digit width.
+    pub latency: SimDuration,
+    /// Matvec energy at this digit width.
+    pub energy: Energy,
+    /// Normalized RMSE against the exact product.
+    pub rmse: f64,
+}
+
+/// Sweeps the input DAC digit width (§III.B / §V.C: configuration reaches
+/// down to converter precision). Wider digits cut the phase count —
+/// latency falls — while multi-level drivers and a wider ADC input range
+/// erode accuracy on noisy devices.
+pub fn run_dac(dac_bits: &[u32]) -> Vec<DacPoint> {
+    use cim_crossbar::faults::normalized_rmse;
+    let seeds = SeedTree::new(0xDAC);
+    let w = DenseMatrix::from_fn(128, 64, |r, c| (((r * 7 + c) % 31) as f64 / 31.0) - 0.5);
+    let mut rng = seeds.rng("dac-x");
+    use rand::Rng;
+    let x: Vec<f64> = (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let exact = w.matvec(&x).expect("dims match");
+    dac_bits
+        .iter()
+        .map(|&bits| {
+            let mut dpe = DotProductEngine::new(
+                DpeConfig {
+                    dac_bits: bits,
+                    input_bits: 8,
+                    ..DpeConfig::default()
+                },
+                seeds.child_idx(u64::from(bits)),
+            );
+            dpe.program(&w).expect("valid matrix");
+            let out = dpe.matvec(&x).expect("programmed");
+            DacPoint {
+                dac_bits: bits,
+                latency: out.cost.latency,
+                energy: out.cost.energy,
+                rmse: normalized_rmse(&out.values, &exact),
+            }
+        })
+        .collect()
+}
+
+/// Renders the DAC sweep.
+pub fn render_dac(points: &[DacPoint]) -> String {
+    let mut t = TextTable::new(["DAC bits/digit", "matvec latency", "energy", "norm. RMSE"]);
+    for p in points {
+        t.row([
+            p.dac_bits.to_string(),
+            p.latency.to_string(),
+            p.energy.to_string(),
+            format!("{:.4}", p.rmse),
+        ]);
+    }
+    format!(
+        "ABL-DAC: input digit width vs latency/energy/accuracy\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// ABL-RED
+// ---------------------------------------------------------------------------
+
+/// One point of the redundancy sweep.
+#[derive(Debug, Clone)]
+pub struct RedundancyPoint {
+    /// Spare units provisioned beyond the program's needs.
+    pub spares: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// Whether the stream completed.
+    pub survived: bool,
+    /// Total recovery overhead (zero when the stream died).
+    pub recovery_overhead: SimDuration,
+}
+
+/// Sweeps spare provisioning against a fixed fault schedule.
+pub fn run_redundancy(spare_counts: &[usize], faults: usize) -> Vec<RedundancyPoint> {
+    spare_counts
+        .iter()
+        .map(|&spares| {
+            // A 6-node pipeline on a device with exactly 6 + spares units.
+            let units_needed = 6 + spares;
+            let mut device = CimDevice::new(FabricConfig {
+                mesh_width: units_needed,
+                mesh_height: 1,
+                units_per_tile: 1,
+                dpe: DpeConfig::noise_free(),
+                ..FabricConfig::default()
+            })
+            .expect("line mesh");
+            let mut b = GraphBuilder::new();
+            let src = b.add("s", Operation::Source { width: 16 });
+            let mut prev = src;
+            for i in 0..4 {
+                let n = b.add(
+                    format!("mv{i}"),
+                    Operation::MatVec {
+                        rows: 16,
+                        cols: 16,
+                        weights: vec![0.1; 256],
+                    },
+                );
+                b.connect(prev, n, 0).expect("chain");
+                prev = n;
+            }
+            let sink = b.add("k", Operation::Sink { width: 16 });
+            b.connect(prev, sink, 0).expect("chain");
+            let graph = b.build().expect("valid");
+            let mut prog = device
+                .load_program(&graph, MappingPolicy::RoundRobin)
+                .expect("fits");
+            let items: Vec<_> = (0..8)
+                .map(|_| HashMap::from([(src, vec![0.3; 16])]))
+                .collect();
+            // Fail distinct matvec nodes before successive items.
+            let schedule: Vec<ScheduledFault> = (0..faults)
+                .map(|f| ScheduledFault {
+                    before_item: 2 + f,
+                    node: 1 + f,
+                })
+                .collect();
+            match run_fault_campaign(
+                &mut device,
+                &mut prog,
+                &items,
+                &StreamOptions::default(),
+                &schedule,
+            ) {
+                Ok(report) => RedundancyPoint {
+                    spares,
+                    faults,
+                    survived: report.stream.outputs.len() == items.len(),
+                    recovery_overhead: report.recovery_overheads.iter().copied().sum(),
+                },
+                Err(_) => RedundancyPoint {
+                    spares,
+                    faults,
+                    survived: false,
+                    recovery_overhead: SimDuration::ZERO,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders the redundancy sweep.
+pub fn render_redundancy(points: &[RedundancyPoint]) -> String {
+    let mut t = TextTable::new(["spares", "faults", "survived", "recovery overhead"]);
+    for p in points {
+        t.row([
+            p.spares.to_string(),
+            p.faults.to_string(),
+            p.survived.to_string(),
+            p.recovery_overhead.to_string(),
+        ]);
+    }
+    format!(
+        "ABL-RED: spare provisioning vs fault survival (§V.A redundancy)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// ABL-SEC
+// ---------------------------------------------------------------------------
+
+/// Security-overhead measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SecurityReport {
+    /// Plaintext stream mean latency.
+    pub plain_latency: SimDuration,
+    /// Encrypted stream mean latency.
+    pub encrypted_latency: SimDuration,
+    /// Plaintext stream energy.
+    pub plain_energy: Energy,
+    /// Encrypted stream energy.
+    pub encrypted_energy: Energy,
+    /// Tamper attempts detected with encryption on (out of attempts).
+    pub tampers_detected: u32,
+    /// Tamper attempts made.
+    pub tamper_attempts: u32,
+}
+
+/// Measures the cost and the benefit of link encryption.
+pub fn run_security() -> SecurityReport {
+    let run_stream = |encryption: bool| {
+        let mut device = CimDevice::new(FabricConfig {
+            encryption,
+            dpe: DpeConfig::noise_free(),
+            ..FabricConfig::default()
+        })
+        .expect("fabric");
+        let seeds = SeedTree::new(0x5EC);
+        let (graph, src, _sink) = cim_workloads::nn::mlp_graph(&[128, 64, 16], seeds);
+        let mut prog = device
+            .load_program(&graph, MappingPolicy::RoundRobin) // cross-tile traffic
+            .expect("fits");
+        let items: Vec<_> = (0..16)
+            .map(|_| HashMap::from([(src, vec![0.4; 128])]))
+            .collect();
+        let report = device
+            .execute_stream(&mut prog, &items, &StreamOptions::default())
+            .expect("runs");
+        (report.mean_latency(), report.energy)
+    };
+    let (plain_latency, plain_energy) = run_stream(false);
+    let (encrypted_latency, encrypted_energy) = run_stream(true);
+
+    // Tamper detection: man-in-the-middle on raw packets.
+    let mut noc = NocNetwork::new(4, 4, 99).expect("mesh");
+    noc.set_encryption(true);
+    let attempts = 32u32;
+    let mut detected = 0u32;
+    for i in 0..attempts {
+        let p = Packet::new(u64::from(i), NodeId::new(0, 0), NodeId::new(3, 3), vec![i as u8; 64]);
+        let flip = |buf: &mut Vec<u8>| buf[0] ^= 0x80;
+        if noc.transmit_with(&p, SimTime::ZERO, Some(&flip)).is_err() {
+            detected += 1;
+        }
+    }
+    SecurityReport {
+        plain_latency,
+        encrypted_latency,
+        plain_energy,
+        encrypted_energy,
+        tampers_detected: detected,
+        tamper_attempts: attempts,
+    }
+}
+
+/// Renders the security ablation.
+pub fn render_security(r: &SecurityReport) -> String {
+    let lat_overhead =
+        r.encrypted_latency.as_secs_f64() / r.plain_latency.as_secs_f64() - 1.0;
+    let energy_overhead =
+        r.encrypted_energy.as_joules() / r.plain_energy.as_joules() - 1.0;
+    let mut t = TextTable::new(["configuration", "mean latency", "stream energy"]);
+    t.row([
+        "plaintext".to_owned(),
+        r.plain_latency.to_string(),
+        r.plain_energy.to_string(),
+    ]);
+    t.row([
+        "encrypted + authenticated".to_owned(),
+        r.encrypted_latency.to_string(),
+        r.encrypted_energy.to_string(),
+    ]);
+    format!(
+        "ABL-SEC: link encryption overhead (§IV.A)\n\n{}\noverhead: {:.1}% latency, {:.1}% energy; \
+         tampering detected {}/{} times (0/{} without encryption)\n",
+        t.render(),
+        lat_overhead * 100.0,
+        energy_overhead * 100.0,
+        r.tampers_detected,
+        r.tamper_attempts,
+        r.tamper_attempts,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// ABL-QOS
+// ---------------------------------------------------------------------------
+
+/// QoS isolation measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct QosReport {
+    /// Victim latency with no attacker.
+    pub baseline: SimDuration,
+    /// Victim latency with the attacker on the *same* traffic class.
+    pub same_class: SimDuration,
+    /// Victim latency with the attacker on a lower class (own VC).
+    pub cross_class: SimDuration,
+}
+
+/// Floods a path with bulk traffic and measures a small packet's latency
+/// when it shares the attacker's class vs when it rides its own virtual
+/// channel.
+pub fn run_qos(attacker_packets: usize) -> QosReport {
+    let victim = |noc: &mut NocNetwork, class: TrafficClass| {
+        let p = Packet::new(9_999, NodeId::new(0, 0), NodeId::new(7, 0), vec![0u8; 32])
+            .with_class(class);
+        let d = noc.transmit(&p, SimTime::ZERO).expect("delivers");
+        d.arrival.saturating_since(SimTime::ZERO)
+    };
+    let flood = |noc: &mut NocNetwork, class: TrafficClass| {
+        for i in 0..attacker_packets {
+            let p = Packet::new(i as u64, NodeId::new(0, 0), NodeId::new(7, 0), vec![0u8; 1024])
+                .with_class(class);
+            noc.transmit(&p, SimTime::ZERO).expect("delivers");
+        }
+    };
+
+    let mut clean = NocNetwork::new(8, 2, 1).expect("mesh");
+    let baseline = victim(&mut clean, TrafficClass::Guaranteed);
+
+    let mut shared = NocNetwork::new(8, 2, 1).expect("mesh");
+    flood(&mut shared, TrafficClass::Guaranteed);
+    let same_class = victim(&mut shared, TrafficClass::Guaranteed);
+
+    let mut separated = NocNetwork::new(8, 2, 1).expect("mesh");
+    flood(&mut separated, TrafficClass::BestEffort);
+    let cross_class = victim(&mut separated, TrafficClass::Guaranteed);
+
+    QosReport {
+        baseline,
+        same_class,
+        cross_class,
+    }
+}
+
+/// Renders the QoS ablation.
+pub fn render_qos(r: &QosReport) -> String {
+    let mut t = TextTable::new(["scenario", "victim latency", "slowdown"]);
+    let base = r.baseline.as_secs_f64();
+    t.row(["no attacker".to_owned(), r.baseline.to_string(), "1.00x".to_owned()]);
+    t.row([
+        "attacker on same class".to_owned(),
+        r.same_class.to_string(),
+        format!("{:.1}x", r.same_class.as_secs_f64() / base),
+    ]);
+    t.row([
+        "attacker on its own VC".to_owned(),
+        r.cross_class.to_string(),
+        format!("{:.2}x", r.cross_class.as_secs_f64() / base),
+    ]);
+    format!(
+        "ABL-QOS: virtual-channel isolation between streams (§IV.B)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_sweep_trades_accuracy_for_energy() {
+        let points = run_adc(&[3, 6, 10]);
+        assert!(points[0].accuracy < points[2].accuracy, "{points:?}");
+        // Above ~8 bits the ADC stops being the bottleneck: accuracy
+        // saturates at the *device* noise floor (write variation + read
+        // noise), which is the physically meaningful plateau.
+        assert!(
+            points[2].accuracy > 0.85,
+            "high-resolution ADC should reach the device noise floor, got {}",
+            points[2].accuracy
+        );
+        assert!(
+            points[2].energy_per_inference > points[0].energy_per_inference,
+            "resolution costs energy"
+        );
+    }
+
+    #[test]
+    fn dac_sweep_trades_latency_for_accuracy() {
+        let points = run_dac(&[1, 2, 4]);
+        assert!(points[1].latency < points[0].latency, "{points:?}");
+        assert!(points[2].latency < points[1].latency, "{points:?}");
+        assert!(points[0].rmse < 0.1, "bit-serial is the accuracy anchor");
+    }
+
+    #[test]
+    fn redundancy_sweep_shows_survival_threshold() {
+        let points = run_redundancy(&[0, 1, 2], 2);
+        assert!(!points[0].survived, "no spares, two faults: stream dies");
+        assert!(!points[1].survived, "one spare cannot absorb two faults");
+        assert!(points[2].survived, "two spares absorb two faults");
+        assert!(points[2].recovery_overhead.as_ps() > 0);
+    }
+
+    #[test]
+    fn security_costs_little_and_detects_everything() {
+        let r = run_security();
+        assert_eq!(r.tampers_detected, r.tamper_attempts);
+        let overhead = r.encrypted_latency.as_secs_f64() / r.plain_latency.as_secs_f64();
+        assert!(overhead >= 1.0);
+        assert!(overhead < 1.5, "encryption should cost well under 50%: {overhead}");
+        assert!(r.encrypted_energy > r.plain_energy);
+    }
+
+    #[test]
+    fn qos_isolates_classes() {
+        let r = run_qos(32);
+        let same = r.same_class.as_secs_f64() / r.baseline.as_secs_f64();
+        let cross = r.cross_class.as_secs_f64() / r.baseline.as_secs_f64();
+        assert!(same > 5.0, "shared class suffers: {same}");
+        assert!(cross < 1.05, "own VC is unaffected: {cross}");
+    }
+
+    #[test]
+    fn renders_are_complete() {
+        assert!(render_adc(&run_adc(&[4, 8])).contains("ADC bits"));
+        assert!(render_redundancy(&run_redundancy(&[1], 1)).contains("spares"));
+        assert!(render_security(&run_security()).contains("tampering detected"));
+        assert!(render_qos(&run_qos(8)).contains("attacker"));
+    }
+}

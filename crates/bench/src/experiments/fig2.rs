@@ -1,0 +1,82 @@
+//! FIG2 — memory bandwidth per FLOP, 1949–2018 (paper Fig 2).
+//!
+//! Regenerates the paper's declining bytes/FLOP series from the public
+//! machine dataset and fits the log-linear trend.
+
+use crate::table::TextTable;
+use cim_baseline::history::{era_mean, fit_trend, Machine, Trend, MACHINES};
+
+/// The Fig 2 series plus its fitted trend.
+#[derive(Debug, Clone)]
+pub struct Fig2Report {
+    /// `(machine, bytes_per_flop)` in chronological order.
+    pub series: Vec<(Machine, f64)>,
+    /// Fitted log-linear trend.
+    pub trend: Trend,
+    /// Mean ratio before 1980.
+    pub early_mean: f64,
+    /// Mean ratio from 2010.
+    pub late_mean: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig2Report {
+    let series: Vec<(Machine, f64)> = MACHINES
+        .iter()
+        .map(|m| (*m, m.bytes_per_flop()))
+        .collect();
+    Fig2Report {
+        trend: fit_trend(MACHINES),
+        early_mean: era_mean(MACHINES, 1940, 1980).expect("early machines present"),
+        late_mean: era_mean(MACHINES, 2010, 2020).expect("late machines present"),
+        series,
+    }
+}
+
+/// Renders the report as the figure's data table.
+pub fn render(r: &Fig2Report) -> String {
+    let mut t = TextTable::new(["year", "machine", "peak FLOP/s", "mem BW B/s", "bytes/FLOP"]);
+    for (m, ratio) in &r.series {
+        t.row([
+            m.year.to_string(),
+            m.name.to_owned(),
+            format!("{:.2e}", m.flops),
+            format!("{:.2e}", m.mem_bw),
+            format!("{ratio:.4}"),
+        ]);
+    }
+    let mut out = String::from("FIG2: memory bandwidth per FLOP (paper Fig 2)\n\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ntrend: {:+.3} orders of magnitude per decade (paper: steady decline)\n",
+        r.trend.orders_per_decade()
+    ));
+    out.push_str(&format!(
+        "pre-1980 mean {:.2} bytes/FLOP -> post-2010 mean {:.3} bytes/FLOP ({:.0}x decline)\n",
+        r.early_mean,
+        r.late_mean,
+        r.early_mean / r.late_mean
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_decline() {
+        let r = run();
+        assert!(r.trend.orders_per_decade() < -0.1, "a clear decline");
+        assert!(r.early_mean / r.late_mean > 10.0, "orders of magnitude lost");
+        assert_eq!(r.series.len(), MACHINES.len());
+    }
+
+    #[test]
+    fn render_contains_anchor_machines() {
+        let s = render(&run());
+        assert!(s.contains("Cray-1"));
+        assert!(s.contains("Summit node"));
+        assert!(s.contains("orders of magnitude per decade"));
+    }
+}

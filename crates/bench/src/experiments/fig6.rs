@@ -1,0 +1,102 @@
+//! FIG6 — the evolution of Computing in Memory (paper Fig 6, §III.E–F).
+//!
+//! Measures the same inference stream under the four host-integration
+//! modes the paper sketches — slave accelerator, cooperative, integrated
+//! (coherent attach), and native — showing per-item latency falling as
+//! the host leaves the datapath.
+
+use crate::table::TextTable;
+use cim_crossbar::dpe::DpeConfig;
+use cim_fabric::integration::{run_integrated, IntegrationMode, IntegrationReport};
+use cim_fabric::{CimDevice, FabricConfig, MappingPolicy};
+use cim_sim::SeedTree;
+use cim_workloads::nn::{mlp_graph, random_inputs};
+use std::collections::HashMap;
+
+/// Results for all four modes, in evolution order.
+#[derive(Debug)]
+pub struct Fig6Report {
+    /// Batch size used.
+    pub batch: usize,
+    /// Per-mode reports.
+    pub modes: Vec<IntegrationReport>,
+}
+
+/// Runs the evolution experiment.
+pub fn run(batch: usize) -> Fig6Report {
+    let seeds = SeedTree::new(0xF16);
+    let mut device = CimDevice::new(FabricConfig {
+        dpe: DpeConfig::noise_free(),
+        ..FabricConfig::default()
+    })
+    .expect("default fabric");
+    let (graph, src, _sink) = mlp_graph(&[256, 128, 32], seeds);
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .expect("fits");
+    let inputs: Vec<_> = random_inputs(batch, 256, seeds.child("x"))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    let modes = IntegrationMode::ALL
+        .iter()
+        .map(|&mode| run_integrated(&mut device, &mut prog, &inputs, mode).expect("runs"))
+        .collect();
+    Fig6Report { batch, modes }
+}
+
+/// Renders the evolution table.
+pub fn render(r: &Fig6Report) -> String {
+    let mut t = TextTable::new(["mode", "per-item latency", "total energy", "vs slave"]);
+    let slave = r.modes[0].per_item_latency.as_secs_f64();
+    for m in &r.modes {
+        t.row([
+            format!("{:?}", m.mode),
+            m.per_item_latency.to_string(),
+            m.energy.to_string(),
+            format!("{:.2}x", slave / m.per_item_latency.as_secs_f64()),
+        ]);
+    }
+    let mut out = format!(
+        "FIG6: evolution of Computing in Memory (paper Fig 6), batch {}\n\n",
+        r.batch
+    );
+    out.push_str(&t.render());
+    out.push_str("\nslave -> cooperative -> integrated -> native: the host leaves the datapath.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_step_of_the_evolution_improves() {
+        let r = run(16);
+        assert_eq!(r.modes.len(), 4);
+        for pair in r.modes.windows(2) {
+            assert!(
+                pair[1].per_item_latency < pair[0].per_item_latency,
+                "{:?} must improve on {:?}",
+                pair[1].mode,
+                pair[0].mode
+            );
+            assert!(pair[1].energy <= pair[0].energy);
+        }
+    }
+
+    #[test]
+    fn native_mode_has_no_host_cost() {
+        let r = run(8);
+        let native = r.modes.last().expect("four modes");
+        assert_eq!(native.energy, native.fabric.energy);
+    }
+
+    #[test]
+    fn render_lists_all_modes() {
+        let s = render(&run(8));
+        for mode in ["Slave", "Cooperative", "Integrated", "Native"] {
+            assert!(s.contains(mode), "missing {mode}");
+        }
+    }
+}

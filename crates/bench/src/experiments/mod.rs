@@ -1,0 +1,8 @@
+pub mod ablations;
+pub mod crossover;
+pub mod fig2;
+pub mod fig6;
+pub mod roofline;
+pub mod sec6;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,107 @@
+//! ROOF — roofline placement of the Table 2 suite (extension).
+//!
+//! Locates every measured workload on the calibrated CPU and GPU
+//! rooflines. This is the quantitative backbone of Appendix A: workloads
+//! stuck far below the memory ridge waste the socket — exactly the ones
+//! the paper sends to CIM, whose stationary-weight roof is flat.
+
+use crate::table::TextTable;
+use cim_baseline::roofline::Roof;
+use cim_workloads::{standard_suite, WorkloadClass};
+
+/// One workload's roofline placement.
+#[derive(Debug, Clone)]
+pub struct RooflineRow {
+    /// The application class.
+    pub class: WorkloadClass,
+    /// Measured operational intensity, FLOP/byte.
+    pub oi: f64,
+    /// Fraction of CPU peak attainable at this intensity.
+    pub cpu_efficiency: f64,
+    /// Fraction of GPU peak attainable.
+    pub gpu_efficiency: f64,
+    /// Memory-bound on the CPU?
+    pub cpu_memory_bound: bool,
+}
+
+/// Runs the suite and places every class on the rooflines.
+pub fn run() -> Vec<RooflineRow> {
+    let cpu = Roof::cpu();
+    let gpu = Roof::gpu();
+    standard_suite()
+        .iter()
+        .map(|w| {
+            let oi = w.characterize().operational_intensity();
+            RooflineRow {
+                class: w.class(),
+                oi,
+                cpu_efficiency: cpu.efficiency(oi),
+                gpu_efficiency: gpu.efficiency(oi),
+                cpu_memory_bound: cpu.memory_bound(oi),
+            }
+        })
+        .collect()
+}
+
+/// Renders the placement table.
+pub fn render(rows: &[RooflineRow]) -> String {
+    let cpu = Roof::cpu();
+    let gpu = Roof::gpu();
+    let mut t = TextTable::new([
+        "class",
+        "OI (flop/byte)",
+        "CPU eff.",
+        "GPU eff.",
+        "CPU verdict",
+    ]);
+    for r in rows {
+        t.row([
+            r.class.label().to_owned(),
+            format!("{:.3}", r.oi),
+            format!("{:.1}%", r.cpu_efficiency * 100.0),
+            format!("{:.2}%", r.gpu_efficiency * 100.0),
+            if r.cpu_memory_bound {
+                "memory-bound".to_owned()
+            } else {
+                "compute-bound".to_owned()
+            },
+        ]);
+    }
+    format!(
+        "ROOF: roofline placement of the Table 2 suite (extension)\n\n{}\n\
+         ridges: CPU at {:.1} flop/byte, GPU at {:.1} flop/byte.\n\
+         Every class below the ridge wastes the machine on data movement —\n\
+         the paper's Fig 2 argument, per workload.\n",
+        t.render(),
+        cpu.ridge(),
+        gpu.ridge(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_entire_suite_is_memory_bound_on_cpu() {
+        let rows = run();
+        assert_eq!(rows.len(), 14);
+        // The paper's premise: real data-centric applications sit under
+        // the memory roof. Every measured class does.
+        let bound = rows.iter().filter(|r| r.cpu_memory_bound).count();
+        assert!(bound >= 13, "expected ~all memory-bound, got {bound}/14");
+        // And efficiency is correspondingly dismal for the data-heavy ones.
+        let dba = rows
+            .iter()
+            .find(|r| r.class == WorkloadClass::DatabasesAnalytics)
+            .expect("present");
+        assert!(dba.cpu_efficiency < 0.02, "scan efficiency {}", dba.cpu_efficiency);
+    }
+
+    #[test]
+    fn render_mentions_both_ridges() {
+        let s = render(&run());
+        assert!(s.contains("ridges"));
+        assert!(s.contains("memory-bound"));
+    }
+}

@@ -1,0 +1,130 @@
+//! TAB2 — application suitability for CIM (paper Table 2 / Appendix A).
+//!
+//! Runs the whole instrumented workload suite, buckets the measured
+//! counters onto the paper's low/medium/high vocabulary, derives a CIM
+//! suitability with the executable classifier, and compares against the
+//! paper's column.
+
+use crate::table::TextTable;
+use cim_workloads::spec::{paper_rating, Level, WorkloadClass};
+use cim_workloads::{cim_suitability, standard_suite, MeasuredLevels};
+
+/// One evaluated row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The application class.
+    pub class: WorkloadClass,
+    /// Measured characteristic levels.
+    pub measured: MeasuredLevels,
+    /// Suitability predicted from measurements.
+    pub predicted: Level,
+    /// The paper's rating.
+    pub paper: Level,
+}
+
+/// The whole table.
+#[derive(Debug, Clone)]
+pub struct Table2Report {
+    /// All 14 rows in paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Report {
+    /// Rows where prediction and paper agree.
+    pub fn agreement(&self) -> usize {
+        self.rows.iter().filter(|r| r.predicted == r.paper).count()
+    }
+
+    /// Mean distance (0–2 level steps) between prediction and paper.
+    pub fn mean_distance(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| f64::from(r.predicted.distance(r.paper)))
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+}
+
+/// Runs the full suite (tens of seconds in release mode).
+pub fn run() -> Table2Report {
+    let rows = standard_suite()
+        .iter()
+        .map(|w| {
+            let measured = w.characterize().bucketize();
+            Table2Row {
+                class: w.class(),
+                measured,
+                predicted: cim_suitability(measured),
+                paper: paper_rating(w.class()).cim,
+            }
+        })
+        .collect();
+    Table2Report { rows }
+}
+
+/// Renders the table.
+pub fn render(r: &Table2Report) -> String {
+    let mut t = TextTable::new([
+        "class", "compute", "bandwidth", "size", "op-int", "comm", "parallel",
+        "CIM (measured)", "CIM (paper)", "",
+    ]);
+    for row in &r.rows {
+        let mark = if row.predicted == row.paper { "=" } else { "!" };
+        t.row([
+            row.class.label().to_owned(),
+            row.measured.compute.to_string(),
+            row.measured.bandwidth.to_string(),
+            row.measured.size.to_string(),
+            row.measured.op_intensity.to_string(),
+            row.measured.communication.to_string(),
+            row.measured.parallelism.to_string(),
+            row.predicted.to_string(),
+            row.paper.to_string(),
+            mark.to_owned(),
+        ]);
+    }
+    let mut out =
+        String::from("TAB2: suitability of application classes to CIM (paper Table 2)\n\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nagreement with the paper's CIM column: {}/{} (mean distance {:.2} levels)\n\
+         note: Table 2 itself is internally inconsistent on KVS vs DB-analytics\n\
+         (identical characteristics, different ratings) — see EXPERIMENTS.md.\n",
+        r.agreement(),
+        r.rows.len(),
+        r.mean_distance()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_agrees_with_paper_on_most_rows() {
+        let r = run();
+        assert_eq!(r.rows.len(), 14);
+        assert!(r.agreement() >= 12, "agreement {} rows: {:?}", r.agreement(),
+            r.rows.iter().map(|x| (x.class, x.predicted, x.paper)).collect::<Vec<_>>());
+        assert!(r.mean_distance() <= 0.25);
+    }
+
+    #[test]
+    fn anchors_are_correct() {
+        let r = run();
+        let get = |c: WorkloadClass| r.rows.iter().find(|x| x.class == c).expect("present");
+        assert_eq!(get(WorkloadClass::NeuralNetworks).predicted, Level::High);
+        assert_eq!(get(WorkloadClass::GraphProblems).predicted, Level::High);
+        assert_eq!(get(WorkloadClass::Optimization).predicted, Level::Low);
+        assert_eq!(get(WorkloadClass::MarkovChain).predicted, Level::Low);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let s = render(&run());
+        assert!(s.contains("Machine learning"));
+        assert!(s.contains("Signal (image) processing"));
+        assert!(s.contains("agreement with the paper"));
+    }
+}

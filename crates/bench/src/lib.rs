@@ -1,0 +1,11 @@
+//! # cim-bench — experiment harness
+//!
+//! Regenerates every table and figure of *Computing In-Memory, Revisited*
+//! (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results). Each experiment lives in [`experiments`] as a
+//! `run()` returning a typed report plus a `render()` producing the
+//! table text; thin binaries under `src/bin/` print them, and the
+//! criterion benches under `benches/` time the underlying hot paths.
+
+pub mod experiments;
+pub mod table;

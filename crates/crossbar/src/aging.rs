@@ -1,0 +1,212 @@
+//! Device aging, retention and refresh management.
+//!
+//! §V.D (Serviceability) of the paper calls for "graceful aging and
+//! self-healing": understanding how devices age so they can be switched
+//! out *before* failing. This module models conductance retention drift
+//! over deployment time and the refresh (reprogram) policy that bounds it,
+//! exposing the accuracy-vs-refresh-overhead trade-off.
+//!
+//! Deployment time spans years, far beyond the picosecond-resolution
+//! [`cim_sim::SimDuration`] (which caps at ~213 days), so ages here are
+//! plain `f64` seconds.
+
+use crate::dpe::DotProductEngine;
+use crate::matrix::DenseMatrix;
+
+/// One year of deployment time, in seconds.
+pub const YEAR_SECS: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Retention model: how fast programmed conductances decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Nominal retention life in seconds — the deployment time after which
+    /// an unrefreshed cell has drifted by `drift_at_life`.
+    pub retention_life_secs: f64,
+    /// Fractional conductance loss at one retention life.
+    pub drift_at_life: f64,
+}
+
+impl Default for RetentionModel {
+    /// A 10-year retention life with 10 % drift — typical filamentary
+    /// ReRAM retention figures.
+    fn default() -> Self {
+        RetentionModel {
+            retention_life_secs: 10.0 * YEAR_SECS,
+            drift_at_life: 0.10,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// Fractional drift accumulated after `elapsed_secs` without refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_secs` is negative.
+    pub fn drift_fraction(&self, elapsed_secs: f64) -> f64 {
+        assert!(elapsed_secs >= 0.0, "elapsed time must be non-negative");
+        (self.drift_at_life * elapsed_secs / self.retention_life_secs).min(1.0)
+    }
+}
+
+/// Tracks deployment age of a programmed engine and applies drift/refresh.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::aging::{AgingManager, RetentionModel, YEAR_SECS};
+/// use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+/// use cim_crossbar::matrix::DenseMatrix;
+/// use cim_sim::SeedTree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = DenseMatrix::from_fn(8, 8, |_, _| 0.5);
+/// let mut dpe = DotProductEngine::new(DpeConfig::ideal(), SeedTree::new(1));
+/// dpe.program(&w)?;
+/// let mut mgr = AgingManager::new(RetentionModel::default(), w.clone());
+/// mgr.advance(&mut dpe, YEAR_SECS);
+/// assert!(mgr.age_secs() > 0.0);
+/// let cost = mgr.refresh(&mut dpe)?;
+/// assert!(cost.latency.as_ps() > 0);
+/// assert_eq!(mgr.age_secs(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgingManager {
+    model: RetentionModel,
+    golden: DenseMatrix,
+    age_secs: f64,
+    refreshes: u64,
+}
+
+impl AgingManager {
+    /// Creates a manager holding the golden weights for refresh.
+    pub fn new(model: RetentionModel, golden: DenseMatrix) -> Self {
+        AgingManager {
+            model,
+            golden,
+            age_secs: 0.0,
+            refreshes: 0,
+        }
+    }
+
+    /// Seconds of deployment since the last refresh (or programming).
+    pub fn age_secs(&self) -> f64 {
+        self.age_secs
+    }
+
+    /// Number of refreshes performed.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Advances deployment time, applying the corresponding drift to every
+    /// array in the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_secs` is negative.
+    pub fn advance(&mut self, dpe: &mut DotProductEngine, elapsed_secs: f64) {
+        let frac = self.model.drift_fraction(elapsed_secs);
+        dpe.for_each_array(|_, _, _, _, xbar| {
+            xbar.drift_all(1.0, frac);
+        });
+        self.age_secs += elapsed_secs;
+    }
+
+    /// Reprograms the engine from the golden weights, resetting drift.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors from the engine.
+    pub fn refresh(
+        &mut self,
+        dpe: &mut DotProductEngine,
+    ) -> crate::error::Result<crate::array::OpCost> {
+        let cost = dpe.program(&self.golden)?;
+        self.age_secs = 0.0;
+        self.refreshes += 1;
+        Ok(cost)
+    }
+
+    /// Whether the projected drift at the current age exceeds `budget`
+    /// (a fractional accuracy budget) — the §V.D "switch out before it
+    /// fails" predicate.
+    pub fn needs_refresh(&self, budget: f64) -> bool {
+        self.model.drift_fraction(self.age_secs) > budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpe::DpeConfig;
+    use crate::faults::normalized_rmse;
+    use cim_sim::SeedTree;
+
+    fn setup() -> (DotProductEngine, DenseMatrix, Vec<f64>) {
+        let w = DenseMatrix::from_fn(32, 16, |r, c| (((r * 5 + c) % 11) as f64 / 11.0) + 0.1);
+        let mut dpe = DotProductEngine::new(DpeConfig::ideal(), SeedTree::new(21));
+        dpe.program(&w).unwrap();
+        let x = vec![0.5; 32];
+        (dpe, w, x)
+    }
+
+    #[test]
+    fn drift_fraction_is_linear_and_clamped() {
+        let m = RetentionModel {
+            retention_life_secs: 100.0,
+            drift_at_life: 0.2,
+        };
+        assert_eq!(m.drift_fraction(0.0), 0.0);
+        assert!((m.drift_fraction(50.0) - 0.1).abs() < 1e-12);
+        assert_eq!(m.drift_fraction(100_000.0), 1.0);
+    }
+
+    #[test]
+    fn aging_degrades_accuracy_and_refresh_restores_it() {
+        let (mut dpe, w, x) = setup();
+        let exact = w.matvec(&x).unwrap();
+        let fresh_err = normalized_rmse(&dpe.matvec(&x).unwrap().values, &exact);
+
+        let mut mgr = AgingManager::new(RetentionModel::default(), w.clone());
+        mgr.advance(&mut dpe, 20.0 * YEAR_SECS); // two retention lives
+        let aged_err = normalized_rmse(&dpe.matvec(&x).unwrap().values, &exact);
+        assert!(
+            aged_err > fresh_err * 2.0 + 0.01,
+            "aged {aged_err} vs fresh {fresh_err}"
+        );
+
+        mgr.refresh(&mut dpe).unwrap();
+        let refreshed_err = normalized_rmse(&dpe.matvec(&x).unwrap().values, &exact);
+        assert!(refreshed_err < aged_err / 2.0);
+        assert_eq!(mgr.refresh_count(), 1);
+    }
+
+    #[test]
+    fn needs_refresh_threshold() {
+        let (mut dpe, w, _) = setup();
+        let mut mgr = AgingManager::new(RetentionModel::default(), w);
+        assert!(!mgr.needs_refresh(0.01));
+        mgr.advance(&mut dpe, 5.0 * YEAR_SECS); // half retention life => 5% drift
+        assert!(mgr.needs_refresh(0.01));
+        assert!(!mgr.needs_refresh(0.09));
+    }
+
+    #[test]
+    fn age_accumulates_across_advances() {
+        let (mut dpe, w, _) = setup();
+        let mut mgr = AgingManager::new(RetentionModel::default(), w);
+        mgr.advance(&mut dpe, YEAR_SECS);
+        mgr.advance(&mut dpe, YEAR_SECS);
+        assert_eq!(mgr.age_secs(), 2.0 * YEAR_SECS);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_elapsed_panics() {
+        let m = RetentionModel::default();
+        let _ = m.drift_fraction(-1.0);
+    }
+}

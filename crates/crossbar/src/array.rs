@@ -1,0 +1,452 @@
+//! A 2-D array of memristor cells with an analog read path.
+//!
+//! The array is the physical resource: it stores one conductance matrix and
+//! performs one *read phase* at a time — all driven rows discharge into all
+//! column sense lines simultaneously, which is where the O(rows×cols) MACs
+//! per ~100 ns come from (paper §VI, ISAAC \[49\]).
+
+use crate::device::{CellFault, DeviceParams, MemristorCell};
+use crate::error::{CrossbarError, Result};
+use cim_sim::calib::dpe;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+use rand::rngs::StdRng;
+
+/// Cost of an operation on the array: how long it occupied the array and
+/// how much energy it consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCost {
+    /// Array occupancy time.
+    pub latency: SimDuration,
+    /// Energy consumed.
+    pub energy: Energy,
+}
+
+impl OpCost {
+    /// Adds another cost (sequential composition).
+    pub fn then(self, other: OpCost) -> OpCost {
+        OpCost {
+            latency: self.latency + other.latency,
+            energy: self.energy + other.energy,
+        }
+    }
+
+    /// Combines costs of operations running in parallel: latencies take the
+    /// max, energies add.
+    pub fn join_parallel(self, other: OpCost) -> OpCost {
+        OpCost {
+            latency: self.latency.max(other.latency),
+            energy: self.energy + other.energy,
+        }
+    }
+}
+
+/// A crossbar array of memristor cells.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::array::CrossbarArray;
+/// use cim_crossbar::device::DeviceParams;
+/// use cim_sim::SeedTree;
+///
+/// let mut xbar = CrossbarArray::new(4, 4, DeviceParams::ideal(2), SeedTree::new(7));
+/// // Identity-ish pattern: level 3 on the diagonal.
+/// let levels: Vec<u16> = (0..16).map(|i| if i % 5 == 0 { 3 } else { 0 }).collect();
+/// xbar.program_levels(&levels).unwrap();
+/// let sums = xbar.read_phase(&[true, false, true, false]).unwrap();
+/// assert_eq!(sums, vec![3.0, 0.0, 3.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<MemristorCell>,
+    params: DeviceParams,
+    rng: StdRng,
+    programmed: bool,
+    /// Cached effective conductances for the noise-free read fast path;
+    /// rebuilt whenever cells change (program, fault, drift).
+    fast: Option<Vec<f64>>,
+}
+
+impl CrossbarArray {
+    /// Creates an array of fresh (minimum-conductance) cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, params: DeviceParams, seeds: cim_sim::SeedTree) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        CrossbarArray {
+            rows,
+            cols,
+            cells: vec![MemristorCell::new(); rows * cols],
+            params,
+            rng: seeds.rng("crossbar-array"),
+            programmed: false,
+            fast: None,
+        }
+    }
+
+    /// Rebuilds (or clears) the noise-free conductance cache. Reads are
+    /// deterministic exactly when `read_sigma == 0`, in which case one
+    /// flat `f64` table replaces per-cell model evaluation on the hot
+    /// analog-read path.
+    fn refresh_fast_path(&mut self) {
+        if self.params.read_sigma == 0.0 {
+            let params = &self.params;
+            // A fresh RNG is irrelevant here: with zero read noise,
+            // MemristorCell::read never samples it.
+            let mut throwaway = self.rng.clone();
+            self.fast = Some(
+                self.cells
+                    .iter()
+                    .map(|c| c.read(params, &mut throwaway))
+                    .collect(),
+            );
+        } else {
+            self.fast = None;
+        }
+    }
+
+    /// Array rows (input lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (output lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Whether a matrix has been programmed.
+    pub fn is_programmed(&self) -> bool {
+        self.programmed
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> Result<usize> {
+        if row < self.rows && col < self.cols {
+            Ok(row * self.cols + col)
+        } else {
+            Err(CrossbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            })
+        }
+    }
+
+    /// Programs every cell from a row-major level matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `levels` is not
+    /// exactly `rows × cols` long, or [`CrossbarError::InvalidConfig`] if
+    /// any level exceeds the device's maximum.
+    pub fn program_levels(&mut self, levels: &[u16]) -> Result<OpCost> {
+        if levels.len() != self.rows * self.cols {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                actual: levels.len(),
+                what: "level matrix size",
+            });
+        }
+        if let Some(&bad) = levels.iter().find(|&&l| l > self.params.max_level()) {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("level {bad} exceeds device max {}", self.params.max_level()),
+            });
+        }
+        for (cell, &level) in self.cells.iter_mut().zip(levels) {
+            cell.program(level, &self.params, &mut self.rng);
+        }
+        self.programmed = true;
+        self.refresh_fast_path();
+        Ok(self.program_cost())
+    }
+
+    /// Cost of a full-array reprogram: rows are written one at a time with
+    /// all columns in parallel (column drivers are shared per row).
+    pub fn program_cost(&self) -> OpCost {
+        OpCost {
+            latency: SimDuration::from_ps(dpe::CELL_WRITE_PS * self.rows as u64),
+            energy: Energy::from_fj(dpe::CELL_WRITE_FJ * (self.rows * self.cols) as u64),
+        }
+    }
+
+    /// Performs one analog read phase: every active row is driven and every
+    /// column returns the sum of its active cells' conductances
+    /// (in level units, with read noise applied per cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NotProgrammed`] before the first program,
+    /// or [`CrossbarError::DimensionMismatch`] if `active_rows` has the
+    /// wrong length.
+    pub fn read_phase(&mut self, active_rows: &[bool]) -> Result<Vec<f64>> {
+        if !self.programmed {
+            return Err(CrossbarError::NotProgrammed);
+        }
+        if active_rows.len() != self.rows {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: self.rows,
+                actual: active_rows.len(),
+                what: "active row mask length",
+            });
+        }
+        let mut sums = vec![0.0f64; self.cols];
+        if let Some(fast) = &self.fast {
+            for (r, &active) in active_rows.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                let row = &fast[r * self.cols..(r + 1) * self.cols];
+                for (sum, &g) in sums.iter_mut().zip(row) {
+                    *sum += g;
+                }
+            }
+        } else {
+            for (r, &active) in active_rows.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                let base = r * self.cols;
+                for (c, sum) in sums.iter_mut().enumerate() {
+                    *sum += self.cells[base + c].read(&self.params, &mut self.rng);
+                }
+            }
+        }
+        Ok(sums)
+    }
+
+    /// Performs one analog read phase with *multi-level* row drives:
+    /// row `r` is driven at DAC level `levels[r]` (0 = idle), and every
+    /// column returns `Σ levels[r] · g[r][c]`. The 1-bit
+    /// [`read_phase`](Self::read_phase) is the `levels ∈ {0,1}` special
+    /// case of this operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NotProgrammed`] before the first program,
+    /// or [`CrossbarError::DimensionMismatch`] if `levels` has the wrong
+    /// length.
+    pub fn read_phase_levels(&mut self, levels: &[u16]) -> Result<Vec<f64>> {
+        if !self.programmed {
+            return Err(CrossbarError::NotProgrammed);
+        }
+        if levels.len() != self.rows {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: self.rows,
+                actual: levels.len(),
+                what: "drive level vector length",
+            });
+        }
+        let mut sums = vec![0.0f64; self.cols];
+        if let Some(fast) = &self.fast {
+            for (r, &level) in levels.iter().enumerate() {
+                if level == 0 {
+                    continue;
+                }
+                let drive = f64::from(level);
+                let row = &fast[r * self.cols..(r + 1) * self.cols];
+                for (sum, &g) in sums.iter_mut().zip(row) {
+                    *sum += drive * g;
+                }
+            }
+        } else {
+            for (r, &level) in levels.iter().enumerate() {
+                if level == 0 {
+                    continue;
+                }
+                let drive = f64::from(level);
+                let base = r * self.cols;
+                for (c, sum) in sums.iter_mut().enumerate() {
+                    *sum += drive * self.cells[base + c].read(&self.params, &mut self.rng);
+                }
+            }
+        }
+        Ok(sums)
+    }
+
+    /// Cost of one read phase: analog settle plus DAC drive on the active
+    /// rows. (ADC cost is accounted by the engine, which owns the ADCs.)
+    pub fn read_phase_cost(&self, active_row_count: usize) -> OpCost {
+        OpCost {
+            latency: SimDuration::from_ps(dpe::READ_PHASE_PS),
+            energy: Energy::from_fj(
+                dpe::READ_PHASE_FJ * active_row_count as u64 / self.rows.max(1) as u64
+                    + dpe::DAC_DRIVE_FJ * active_row_count as u64,
+            ),
+        }
+    }
+
+    /// Injects a fault into one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn inject_fault(&mut self, row: usize, col: usize, fault: CellFault) -> Result<()> {
+        let i = self.idx(row, col)?;
+        self.cells[i].set_fault(fault);
+        self.refresh_fast_path();
+        Ok(())
+    }
+
+    /// Number of faulty cells.
+    pub fn fault_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.fault() != CellFault::None)
+            .count()
+    }
+
+    /// Applies retention drift to every cell (see
+    /// [`MemristorCell::drift`]).
+    pub fn drift_all(&mut self, relative_age: f64, drift_fraction: f64) {
+        for cell in &mut self.cells {
+            cell.drift(relative_age, drift_fraction);
+        }
+        self.refresh_fast_path();
+    }
+
+    /// Total programming pulses absorbed across all cells (wear telemetry
+    /// for the serviceability model, paper §V.D).
+    pub fn total_writes(&self) -> u64 {
+        self.cells.iter().map(MemristorCell::write_count).sum()
+    }
+
+    /// The level a cell was last programmed to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn target_level(&self, row: usize, col: usize) -> Result<u16> {
+        Ok(self.cells[self.idx(row, col)?].target_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::SeedTree;
+
+    fn ideal_array(rows: usize, cols: usize) -> CrossbarArray {
+        CrossbarArray::new(rows, cols, DeviceParams::ideal(2), SeedTree::new(5))
+    }
+
+    #[test]
+    fn read_before_program_is_an_error() {
+        let mut a = ideal_array(2, 2);
+        assert_eq!(
+            a.read_phase(&[true, true]),
+            Err(CrossbarError::NotProgrammed)
+        );
+    }
+
+    #[test]
+    fn program_validates_dimensions_and_levels() {
+        let mut a = ideal_array(2, 2);
+        assert!(matches!(
+            a.program_levels(&[1, 2, 3]),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.program_levels(&[1, 2, 3, 9]),
+            Err(CrossbarError::InvalidConfig { .. })
+        ));
+        assert!(a.program_levels(&[1, 2, 3, 0]).is_ok());
+    }
+
+    #[test]
+    fn read_phase_sums_active_rows_only() {
+        let mut a = ideal_array(3, 2);
+        // rows: [1,2], [3,0], [2,2]
+        a.program_levels(&[1, 2, 3, 0, 2, 2]).unwrap();
+        assert_eq!(a.read_phase(&[true, true, true]).unwrap(), vec![6.0, 4.0]);
+        assert_eq!(a.read_phase(&[false, true, false]).unwrap(), vec![3.0, 0.0]);
+        assert_eq!(a.read_phase(&[false, false, false]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn wrong_mask_length_is_an_error() {
+        let mut a = ideal_array(2, 2);
+        a.program_levels(&[0, 0, 0, 0]).unwrap();
+        assert!(matches!(
+            a.read_phase(&[true]),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn write_is_much_slower_than_read() {
+        let a = ideal_array(128, 128);
+        let w = a.program_cost();
+        let r = a.read_phase_cost(128);
+        assert!(w.latency.as_ps() > 100 * r.latency.as_ps());
+    }
+
+    #[test]
+    fn faults_change_sums() {
+        let mut a = ideal_array(2, 2);
+        a.program_levels(&[3, 3, 3, 3]).unwrap();
+        a.inject_fault(0, 0, CellFault::StuckOff).unwrap();
+        let sums = a.read_phase(&[true, true]).unwrap();
+        assert_eq!(sums, vec![3.0, 6.0]);
+        assert_eq!(a.fault_count(), 1);
+        assert!(a.inject_fault(5, 0, CellFault::StuckOn).is_err());
+    }
+
+    #[test]
+    fn drift_reduces_sums() {
+        let mut a = ideal_array(2, 1);
+        a.program_levels(&[2, 2]).unwrap();
+        a.drift_all(1.0, 0.25);
+        let sums = a.read_phase(&[true, true]).unwrap();
+        assert!((sums[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_telemetry_counts_program_pulses() {
+        let mut a = ideal_array(2, 2);
+        a.program_levels(&[0, 0, 0, 0]).unwrap();
+        a.program_levels(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(a.total_writes(), 8);
+        assert_eq!(a.target_level(1, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn noisy_reads_are_reproducible_per_seed() {
+        let params = DeviceParams::default();
+        let mk = || {
+            let mut a = CrossbarArray::new(8, 8, params.clone(), SeedTree::new(77));
+            a.program_levels(&[2; 64]).unwrap();
+            a.read_phase(&[true; 8]).unwrap()
+        };
+        assert_eq!(mk(), mk(), "same seed, same noise");
+    }
+
+    #[test]
+    fn op_cost_composition() {
+        let a = OpCost {
+            latency: SimDuration::from_ns(10),
+            energy: Energy::from_fj(100),
+        };
+        let b = OpCost {
+            latency: SimDuration::from_ns(4),
+            energy: Energy::from_fj(50),
+        };
+        let seq = a.then(b);
+        assert_eq!(seq.latency, SimDuration::from_ns(14));
+        assert_eq!(seq.energy, Energy::from_fj(150));
+        let par = a.join_parallel(b);
+        assert_eq!(par.latency, SimDuration::from_ns(10));
+        assert_eq!(par.energy, Energy::from_fj(150));
+    }
+}

@@ -1,0 +1,748 @@
+//! The Dot Product Engine: an ISAAC-style analog matrix–vector unit.
+//!
+//! This is the reproduction of the hardware behind the paper's §VI. A
+//! weight matrix is quantized to `weight_bits` signed fixed point, split
+//! into a differential (positive/negative) pair of conductance matrices,
+//! bit-sliced across `weight_bits/cell_bits`-deep stacks of crossbar
+//! arrays, and tiled over the physical 128×128 array size. Inputs are
+//! quantized to `input_bits` signed fixed point and streamed
+//! **digit-serially** (1–8 bits per DAC digit, positive and negative
+//! polarities in separate phases): each phase drives the rows with one
+//! digit of the input, the ADC digitizes every column, and a digital
+//! shift-and-add merges phases, slices and signs.
+//!
+//! One analog read phase performs `rows × cols` MACs in ~100 ns regardless
+//! of operand locality — computation happens *in* the memory that stores
+//! the weights, which is the whole point of the CIM model.
+
+use crate::adc::Adc;
+use crate::array::{CrossbarArray, OpCost};
+use crate::device::DeviceParams;
+use crate::error::{CrossbarError, Result};
+use crate::matrix::DenseMatrix;
+use crate::quant::{split_slices, Quantizer};
+use cim_sim::calib::dpe as cal;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+use cim_sim::SeedTree;
+
+/// Configuration of a dot-product engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpeConfig {
+    /// Physical rows of one crossbar array.
+    pub array_rows: usize,
+    /// Physical columns of one crossbar array.
+    pub array_cols: usize,
+    /// Weight precision in bits (signed).
+    pub weight_bits: u32,
+    /// Input precision in bits (signed, streamed digit-serially).
+    pub input_bits: u32,
+    /// Bits per input DAC digit: 1 = classic bit-serial streaming (ISAAC);
+    /// larger digits cut the phase count at the cost of multi-level row
+    /// drivers and a wider ADC input range.
+    pub dac_bits: u32,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// ADCs shared per array (1 in ISAAC: columns are converted serially).
+    pub adcs_per_array: usize,
+    /// Device (cell) parameters: bits per cell, noise, endurance.
+    pub device: DeviceParams,
+}
+
+impl Default for DpeConfig {
+    /// The ISAAC design point from [`cim_sim::calib::dpe`].
+    fn default() -> Self {
+        DpeConfig {
+            array_rows: cal::XBAR_DIM,
+            array_cols: cal::XBAR_DIM,
+            weight_bits: cal::WEIGHT_BITS,
+            input_bits: 8,
+            dac_bits: cal::DAC_BITS,
+            adc_bits: cal::ADC_BITS,
+            adcs_per_array: 1,
+            device: DeviceParams::default(),
+        }
+    }
+}
+
+impl DpeConfig {
+    /// An idealized engine: noise-free devices and a lossless ADC, for
+    /// validating functional correctness separately from analog effects.
+    ///
+    /// Note the 16-bit ADC is an *accuracy* idealization: its modeled
+    /// energy (4× per bit past the 8-bit design point) makes this
+    /// configuration unrealistically expensive. Use
+    /// [`noise_free`](Self::noise_free) when reporting energy.
+    pub fn ideal() -> Self {
+        DpeConfig {
+            adc_bits: 16,
+            device: DeviceParams::ideal(cal::CELL_BITS),
+            ..Self::default()
+        }
+    }
+
+    /// Noise-free devices at the *calibrated* ADC design point: exact
+    /// enough for functional work, honest about energy.
+    pub fn noise_free() -> Self {
+        DpeConfig {
+            device: DeviceParams::ideal(cal::CELL_BITS),
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] when any parameter is out
+    /// of range.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |reason: String| Err(CrossbarError::InvalidConfig { reason });
+        if self.array_rows == 0 || self.array_cols == 0 {
+            return bad(format!(
+                "array dimensions must be positive, got {}x{}",
+                self.array_rows, self.array_cols
+            ));
+        }
+        if !(2..=24).contains(&self.weight_bits) {
+            return bad(format!("weight_bits must be in 2..=24, got {}", self.weight_bits));
+        }
+        if !(2..=16).contains(&self.input_bits) {
+            return bad(format!("input_bits must be in 2..=16, got {}", self.input_bits));
+        }
+        if !(1..=8).contains(&self.dac_bits) {
+            return bad(format!("dac_bits must be in 1..=8, got {}", self.dac_bits));
+        }
+        if self.dac_bits >= self.input_bits {
+            return bad(format!(
+                "dac_bits ({}) must be below input_bits ({})",
+                self.dac_bits, self.input_bits
+            ));
+        }
+        if !(1..=16).contains(&self.adc_bits) {
+            return bad(format!("adc_bits must be in 1..=16, got {}", self.adc_bits));
+        }
+        if self.adcs_per_array == 0 {
+            return bad("adcs_per_array must be positive".to_owned());
+        }
+        if self.device.bits == 0 || self.device.bits > 8 {
+            return bad(format!("cell bits must be in 1..=8, got {}", self.device.bits));
+        }
+        Ok(())
+    }
+
+    /// Slices needed to hold one signed weight's magnitude.
+    pub fn slices(&self) -> usize {
+        (self.weight_bits - 1).div_ceil(self.device.bits) as usize
+    }
+}
+
+/// Result of a matrix–vector product on the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpeOutput {
+    /// The computed product, dequantized to real values.
+    pub values: Vec<f64>,
+    /// Latency and energy of the operation.
+    pub cost: OpCost,
+}
+
+/// Occupancy statistics of a programmed engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpeFootprint {
+    /// Physical crossbar arrays allocated.
+    pub arrays: usize,
+    /// Total memristor cells allocated.
+    pub cells: usize,
+    /// Row tiles (input-dimension partitions).
+    pub row_tiles: usize,
+    /// Column tiles (output-dimension partitions).
+    pub col_tiles: usize,
+}
+
+/// An analog dot-product engine programmed with one weight matrix.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+/// use cim_crossbar::matrix::DenseMatrix;
+/// use cim_sim::SeedTree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = DenseMatrix::from_fn(8, 4, |r, c| ((r + c) as f64 - 5.0) / 6.0);
+/// let mut dpe = DotProductEngine::new(DpeConfig::ideal(), SeedTree::new(1));
+/// dpe.program(&w)?;
+/// let x = vec![0.5; 8];
+/// let out = dpe.matvec(&x)?;
+/// let exact = w.matvec(&x)?;
+/// for (a, b) in out.values.iter().zip(&exact) {
+///     assert!((a - b).abs() < 0.05);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DotProductEngine {
+    config: DpeConfig,
+    adc: Adc,
+    seeds: SeedTree,
+    /// arrays[row_tile][col_tile][sign][slice]
+    arrays: Vec<Vec<[Vec<CrossbarArray>; 2]>>,
+    weight_quant: Option<Quantizer>,
+    matrix_rows: usize,
+    matrix_cols: usize,
+    total_energy: Energy,
+    total_busy: SimDuration,
+    mvm_count: u64,
+}
+
+impl DotProductEngine {
+    /// Creates an unprogrammed engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`DpeConfig::validate`] to check fallibly first.
+    pub fn new(config: DpeConfig, seeds: SeedTree) -> Self {
+        config.validate().expect("invalid DPE configuration");
+        // Full-scale column current: every row driven at the maximum DAC
+        // digit into a maximum-conductance cell.
+        let max_drive = ((1u32 << config.dac_bits) - 1) as f64;
+        let full_scale = (config.array_rows as f64)
+            * f64::from(config.device.max_level().max(1))
+            * max_drive;
+        let adc = Adc::new(config.adc_bits, full_scale).expect("validated adc bits");
+        DotProductEngine {
+            config,
+            adc,
+            seeds,
+            arrays: Vec::new(),
+            weight_quant: None,
+            matrix_rows: 0,
+            matrix_cols: 0,
+            total_energy: Energy::ZERO,
+            total_busy: SimDuration::ZERO,
+            mvm_count: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DpeConfig {
+        &self.config
+    }
+
+    /// Programs (or reprograms) the engine with a weight matrix of shape
+    /// `inputs × outputs`. Returns the programming cost — dominated by the
+    /// slow memristor writes, the asymmetry §VI highlights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is degenerate (see
+    /// [`DenseMatrix::new`]).
+    pub fn program(&mut self, weights: &DenseMatrix) -> Result<OpCost> {
+        let wq = Quantizer::new(self.config.weight_bits, weights.max_abs().max(f64::MIN_POSITIVE))
+            .or_else(|| Quantizer::new(self.config.weight_bits, 1.0))
+            .expect("validated weight bits");
+        let (ar, ac) = (self.config.array_rows, self.config.array_cols);
+        let row_tiles = weights.rows().div_ceil(ar);
+        let col_tiles = weights.cols().div_ceil(ac);
+        let slices = self.config.slices();
+        let mut cost = OpCost::default();
+
+        let mut all = Vec::with_capacity(row_tiles);
+        for rt in 0..row_tiles {
+            let mut row = Vec::with_capacity(col_tiles);
+            for ct in 0..col_tiles {
+                let tile = weights.tile(rt * ar, ct * ac, ar, ac);
+                let mut pair: [Vec<CrossbarArray>; 2] = [Vec::new(), Vec::new()];
+                // Quantize the tile once, split by sign and slice.
+                let mut pos_levels = vec![vec![0u16; ar * ac]; slices];
+                let mut neg_levels = vec![vec![0u16; ar * ac]; slices];
+                for r in 0..ar {
+                    for c in 0..ac {
+                        let q = wq.quantize(tile.get(r, c));
+                        let mag = q.unsigned_abs();
+                        let sl = split_slices(mag, self.config.device.bits, slices);
+                        for (s, &lv) in sl.iter().enumerate() {
+                            if q >= 0 {
+                                pos_levels[s][r * ac + c] = lv;
+                            } else {
+                                neg_levels[s][r * ac + c] = lv;
+                            }
+                        }
+                    }
+                }
+                for (sign, levels) in [(0usize, &pos_levels), (1usize, &neg_levels)] {
+                    for (s, lv) in levels.iter().enumerate() {
+                        let seeds = self
+                            .seeds
+                            .child("dpe-array")
+                            .child_idx((rt * col_tiles + ct) as u64)
+                            .child_idx((sign * slices + s) as u64);
+                        let mut xbar =
+                            CrossbarArray::new(ar, ac, self.config.device.clone(), seeds);
+                        // All arrays program in parallel (independent write
+                        // drivers): latency joins, energy adds.
+                        let c = xbar.program_levels(lv)?;
+                        cost = cost.join_parallel(c);
+                        pair[sign].push(xbar);
+                    }
+                }
+                row.push(pair);
+            }
+            all.push(row);
+        }
+
+        self.arrays = all;
+        self.weight_quant = Some(wq);
+        self.matrix_rows = weights.rows();
+        self.matrix_cols = weights.cols();
+        self.total_energy += cost.energy;
+        self.total_busy += cost.latency;
+        Ok(cost)
+    }
+
+    /// Physical footprint of the programmed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NotProgrammed`] before the first program.
+    pub fn footprint(&self) -> Result<DpeFootprint> {
+        if self.arrays.is_empty() {
+            return Err(CrossbarError::NotProgrammed);
+        }
+        let row_tiles = self.arrays.len();
+        let col_tiles = self.arrays[0].len();
+        let arrays = row_tiles * col_tiles * 2 * self.config.slices();
+        Ok(DpeFootprint {
+            arrays,
+            cells: arrays * self.config.array_rows * self.config.array_cols,
+            row_tiles,
+            col_tiles,
+        })
+    }
+
+    /// Computes `y = xᵀ·W` on the analog fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NotProgrammed`] before programming, or
+    /// [`CrossbarError::DimensionMismatch`] for a wrong-length input.
+    pub fn matvec(&mut self, x: &[f64]) -> Result<DpeOutput> {
+        if self.arrays.is_empty() {
+            return Err(CrossbarError::NotProgrammed);
+        }
+        if x.len() != self.matrix_rows {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: self.matrix_rows,
+                actual: x.len(),
+                what: "input vector length",
+            });
+        }
+        let wq = self.weight_quant.expect("programmed engine has a quantizer");
+        let xq = Quantizer::new(self.config.input_bits, x.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(f64::MIN_POSITIVE))
+            .or_else(|| Quantizer::new(self.config.input_bits, 1.0))
+            .expect("validated input bits");
+        let q_in: Vec<i64> = x.iter().map(|&v| xq.quantize(v)).collect();
+
+        let (ar, ac) = (self.config.array_rows, self.config.array_cols);
+        let slices = self.config.slices();
+        let in_bits = self.config.input_bits;
+        let dac_bits = self.config.dac_bits;
+        let digit_base = 1u64 << dac_bits;
+        // Magnitudes fit in input_bits-1 bits; digits are streamed
+        // little-endian, positive and negative polarities separately
+        // (an analog sum cannot mix signs on the same wire).
+        let n_digits = (in_bits - 1).div_ceil(dac_bits);
+        let row_tiles = self.arrays.len();
+        let col_tiles = self.arrays[0].len();
+
+        let pos_mag: Vec<u64> = q_in.iter().map(|&q| q.max(0) as u64).collect();
+        let neg_mag: Vec<u64> = q_in.iter().map(|&q| (-q).max(0) as u64).collect();
+
+        let mut acc = vec![0.0f64; col_tiles * ac];
+        let mut energy = Energy::ZERO;
+        let mut executed_phases = 0u64;
+
+        for (polarity, mags) in [(1.0f64, &pos_mag), (-1.0f64, &neg_mag)] {
+            for d in 0..n_digits {
+                let digit_weight = polarity * digit_base.pow(d) as f64;
+                let shift = d * dac_bits;
+                let mut phase_active = false;
+                for rt in 0..row_tiles {
+                    let levels: Vec<u16> = (0..ar)
+                        .map(|r| {
+                            let i = rt * ar + r;
+                            if i < self.matrix_rows {
+                                ((mags[i] >> shift) & (digit_base - 1)) as u16
+                            } else {
+                                0
+                            }
+                        })
+                        .collect();
+                    let active = levels.iter().filter(|&&l| l != 0).count();
+                    if active == 0 {
+                        continue;
+                    }
+                    phase_active = true;
+                    for ct in 0..col_tiles {
+                        for sign in 0..2 {
+                            let sign_f = if sign == 0 { 1.0 } else { -1.0 };
+                            for s in 0..slices {
+                                let xbar = &mut self.arrays[rt][ct][sign][s];
+                                let sums = xbar.read_phase_levels(&levels)?;
+                                energy += xbar.read_phase_cost(active).energy;
+                                // Multi-level drivers cost extra DAC
+                                // energy, roughly linear in digit width.
+                                energy += Energy::from_fj(
+                                    cal::DAC_DRIVE_FJ
+                                        * active as u64
+                                        * u64::from(dac_bits - 1),
+                                );
+                                let slice_weight =
+                                    (1u64 << (s as u32 * self.config.device.bits)) as f64;
+                                for (c, &sum) in sums.iter().enumerate() {
+                                    let code = self.adc.convert(sum);
+                                    let recon = self.adc.reconstruct(code);
+                                    acc[ct * ac + c] +=
+                                        sign_f * digit_weight * slice_weight * recon;
+                                }
+                                energy += Energy::from_fj(
+                                    (self.adc.conversion_energy().as_fj() + cal::SHIFT_ADD_FJ)
+                                        * ac as u64,
+                                );
+                            }
+                        }
+                    }
+                }
+                if phase_active {
+                    executed_phases += 1;
+                }
+            }
+        }
+
+        // Latency: executed phases run back to back; within a phase the
+        // analog settle overlaps the previous phase's ADC sweep
+        // (pipelined), so the phase time is the max of the two. All
+        // arrays operate in parallel (each has its own ADC). One trailing
+        // ADC sweep drains the pipeline.
+        let settle = SimDuration::from_ps(cal::READ_PHASE_PS);
+        let adc_sweep = self.adc.conversion_time() * (ac / self.config.adcs_per_array).max(1) as u64;
+        let phase = settle.max(adc_sweep);
+        let latency = phase * executed_phases + adc_sweep;
+
+        // Static power of the occupied tiles over the occupied interval.
+        let arrays = (row_tiles * col_tiles * 2 * slices) as f64;
+        energy += Energy::from_joules(
+            cal::TILE_STATIC_W * arrays * latency.as_secs_f64(),
+        );
+
+        let scale = wq.step() * xq.step();
+        let values: Vec<f64> = acc[..self.matrix_cols].iter().map(|&a| a * scale).collect();
+        let cost = OpCost { latency, energy };
+        self.total_energy += cost.energy;
+        self.total_busy += cost.latency;
+        self.mvm_count += 1;
+        Ok(DpeOutput { values, cost })
+    }
+
+    /// Runs a batch of inputs through the engine, sequentially (a single
+    /// engine instance is one physical resource).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`matvec`](Self::matvec) error.
+    pub fn matvec_batch(&mut self, xs: &[Vec<f64>]) -> Result<(Vec<Vec<f64>>, OpCost)> {
+        let mut outs = Vec::with_capacity(xs.len());
+        let mut cost = OpCost::default();
+        for x in xs {
+            let out = self.matvec(x)?;
+            cost = cost.then(out.cost);
+            outs.push(out.values);
+        }
+        Ok((outs, cost))
+    }
+
+    /// Effective MAC operations performed per [`matvec`](Self::matvec):
+    /// every occupied cell pair contributes, as the analog read is
+    /// all-rows × all-columns.
+    pub fn macs_per_matvec(&self) -> u64 {
+        (self.matrix_rows * self.matrix_cols) as u64
+    }
+
+    /// Total energy consumed since construction.
+    pub fn total_energy(&self) -> Energy {
+        self.total_energy
+    }
+
+    /// Total busy time accumulated since construction.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Number of matrix–vector products performed.
+    pub fn mvm_count(&self) -> u64 {
+        self.mvm_count
+    }
+
+    /// Total programming pulses absorbed across all arrays — the wear
+    /// telemetry the serviceability layer (§V.D) reads.
+    pub fn programmed_pulses(&self) -> u64 {
+        self.arrays
+            .iter()
+            .flatten()
+            .flat_map(|pair| pair.iter())
+            .flatten()
+            .map(CrossbarArray::total_writes)
+            .sum()
+    }
+
+    /// Direct access to the underlying arrays for fault-injection
+    /// campaigns: `f` receives `(row_tile, col_tile, sign, slice, array)`.
+    pub fn for_each_array(
+        &mut self,
+        mut f: impl FnMut(usize, usize, usize, usize, &mut CrossbarArray),
+    ) {
+        for (rt, row) in self.arrays.iter_mut().enumerate() {
+            for (ct, pair) in row.iter_mut().enumerate() {
+                for (sign, stack) in pair.iter_mut().enumerate() {
+                    for (s, xbar) in stack.iter_mut().enumerate() {
+                        f(rt, ct, sign, s, xbar);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(config: DpeConfig) -> DotProductEngine {
+        DotProductEngine::new(config, SeedTree::new(42))
+    }
+
+    fn max_rel_err(got: &[f64], want: &[f64]) -> f64 {
+        let scale = want.iter().fold(1e-9f64, |m, &x| m.max(x.abs()));
+        got.iter()
+            .zip(want)
+            .map(|(a, b)| (a - b).abs() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn ideal_engine_matches_exact_matvec() {
+        let w = DenseMatrix::from_fn(16, 8, |r, c| ((r * 8 + c) as f64 / 64.0) - 1.0);
+        let mut dpe = engine(DpeConfig::ideal());
+        dpe.program(&w).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 / 8.0) - 1.0).collect();
+        let out = dpe.matvec(&x).unwrap();
+        let exact = w.matvec(&x).unwrap();
+        assert!(
+            max_rel_err(&out.values, &exact) < 0.02,
+            "got {:?} want {:?}",
+            out.values,
+            exact
+        );
+    }
+
+    #[test]
+    fn tiled_matrix_matches_exact() {
+        // Matrix larger than one 128x128 array in both dimensions.
+        let w = DenseMatrix::from_fn(200, 150, |r, c| ((r as f64).sin() * (c as f64).cos()) / 2.0);
+        let mut dpe = engine(DpeConfig::ideal());
+        dpe.program(&w).unwrap();
+        let fp = dpe.footprint().unwrap();
+        assert_eq!(fp.row_tiles, 2);
+        assert_eq!(fp.col_tiles, 2);
+        let x: Vec<f64> = (0..200).map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5).collect();
+        let out = dpe.matvec(&x).unwrap();
+        let exact = w.matvec(&x).unwrap();
+        assert!(max_rel_err(&out.values, &exact) < 0.03);
+    }
+
+    #[test]
+    fn noisy_engine_is_approximately_correct() {
+        let w = DenseMatrix::from_fn(64, 32, |r, c| (((r + 3 * c) % 17) as f64 / 17.0) - 0.5);
+        let mut dpe = engine(DpeConfig::default());
+        dpe.program(&w).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 / 9.0) - 0.4).collect();
+        let out = dpe.matvec(&x).unwrap();
+        let exact = w.matvec(&x).unwrap();
+        let err = max_rel_err(&out.values, &exact);
+        assert!(err < 0.15, "noisy relative error too large: {err}");
+        assert!(err > 0.0, "noise should perturb the result");
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let mut dpe = engine(DpeConfig::ideal());
+        assert_eq!(dpe.matvec(&[1.0]).unwrap_err(), CrossbarError::NotProgrammed);
+        assert!(dpe.footprint().is_err());
+        let w = DenseMatrix::from_fn(4, 4, |_, _| 0.5);
+        dpe.program(&w).unwrap();
+        assert!(matches!(
+            dpe.matvec(&[1.0, 2.0]),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn programming_dominates_first_use_latency() {
+        let w = DenseMatrix::from_fn(128, 128, |_, _| 0.25);
+        let mut dpe = engine(DpeConfig::ideal());
+        let prog = dpe.program(&w).unwrap();
+        let run = dpe.matvec(&vec![0.5; 128]).unwrap();
+        assert!(
+            prog.latency.as_ps() > 3 * run.cost.latency.as_ps(),
+            "write asymmetry: program {} vs matvec {}",
+            prog.latency,
+            run.cost.latency
+        );
+    }
+
+    #[test]
+    fn matvec_latency_scales_with_input_bits() {
+        let w = DenseMatrix::from_fn(32, 32, |_, _| 0.5);
+        let mut lat = Vec::new();
+        for bits in [4u32, 8, 16] {
+            let mut dpe = engine(DpeConfig {
+                input_bits: bits,
+                ..DpeConfig::ideal()
+            });
+            dpe.program(&w).unwrap();
+            lat.push(dpe.matvec(&vec![0.5; 32]).unwrap().cost.latency);
+        }
+        assert!(lat[0] < lat[1] && lat[1] < lat[2]);
+    }
+
+    #[test]
+    fn low_adc_bits_degrade_accuracy() {
+        let w = DenseMatrix::from_fn(128, 16, |r, c| (((r + c) % 29) as f64 / 29.0) - 0.5);
+        let x: Vec<f64> = (0..128).map(|i| (i % 11) as f64 / 11.0).collect();
+        let exact = w.matvec(&x).unwrap();
+        let mut errs = Vec::new();
+        for adc_bits in [4u32, 8, 14] {
+            let mut dpe = engine(DpeConfig {
+                adc_bits,
+                device: DeviceParams::ideal(cal::CELL_BITS),
+                ..DpeConfig::default()
+            });
+            dpe.program(&w).unwrap();
+            let out = dpe.matvec(&x).unwrap();
+            errs.push(max_rel_err(&out.values, &exact));
+        }
+        assert!(errs[0] > errs[2], "4-bit ADC must be worse than 14-bit: {errs:?}");
+        assert!(errs[2] < 0.02, "14-bit ADC should be near-exact: {errs:?}");
+    }
+
+    #[test]
+    fn batch_accumulates_cost() {
+        let w = DenseMatrix::from_fn(8, 8, |_, _| 0.5);
+        let mut dpe = engine(DpeConfig::ideal());
+        dpe.program(&w).unwrap();
+        let single = dpe.matvec(&[0.1; 8]).unwrap().cost;
+        let (outs, cost) = dpe
+            .matvec_batch(&vec![vec![0.1; 8]; 4])
+            .unwrap();
+        assert_eq!(outs.len(), 4);
+        assert_eq!(cost.latency, single.latency * 4);
+        assert_eq!(dpe.mvm_count(), 5);
+    }
+
+    #[test]
+    fn footprint_counts_arrays() {
+        let w = DenseMatrix::from_fn(128, 128, |_, _| 0.5);
+        let mut dpe = engine(DpeConfig::ideal());
+        dpe.program(&w).unwrap();
+        let fp = dpe.footprint().unwrap();
+        // 1 row tile × 1 col tile × 2 signs × ceil(15/2)=8 slices
+        assert_eq!(fp.arrays, 16);
+        assert_eq!(fp.cells, 16 * 128 * 128);
+    }
+
+    #[test]
+    fn wider_dac_digits_cut_latency_not_accuracy() {
+        let w = DenseMatrix::from_fn(64, 32, |r, c| (((r * 3 + c) % 23) as f64 / 23.0) - 0.5);
+        let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 / 9.0) - 0.45).collect();
+        let exact = w.matvec(&x).unwrap();
+        let mut lats = Vec::new();
+        for dac_bits in [1u32, 2, 4] {
+            let mut dpe = engine(DpeConfig {
+                dac_bits,
+                input_bits: 8,
+                ..DpeConfig::ideal()
+            });
+            dpe.program(&w).unwrap();
+            let out = dpe.matvec(&x).unwrap();
+            assert!(
+                max_rel_err(&out.values, &exact) < 0.02,
+                "dac_bits={dac_bits} must stay accurate"
+            );
+            lats.push(out.cost.latency);
+        }
+        assert!(lats[1] < lats[0], "2-bit digits halve the phase count");
+        assert!(lats[2] < lats[1], "4-bit digits cut it again");
+    }
+
+    #[test]
+    fn multi_level_read_phase_matches_scaled_sum() {
+        let mut a = CrossbarArray::new(3, 2, DeviceParams::ideal(2), SeedTree::new(9));
+        a.program_levels(&[1, 2, 3, 0, 2, 2]).unwrap();
+        // levels [2, 0, 3] -> col sums: 2*[1,2] + 3*[2,2] = [8, 10]
+        let sums = a.read_phase_levels(&[2, 0, 3]).unwrap();
+        assert_eq!(sums, vec![8.0, 10.0]);
+        assert!(a.read_phase_levels(&[1, 1]).is_err(), "wrong length");
+    }
+
+    #[test]
+    fn all_negative_inputs_skip_positive_phases() {
+        let w = DenseMatrix::from_fn(16, 8, |_, _| 0.25);
+        let mut dpe = engine(DpeConfig::ideal());
+        dpe.program(&w).unwrap();
+        let neg = dpe.matvec(&[-0.5; 16]).unwrap();
+        let mixed_x: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let mixed = dpe.matvec(&mixed_x).unwrap();
+        assert!(
+            neg.cost.latency < mixed.cost.latency,
+            "single-polarity inputs need half the phases: {} vs {}",
+            neg.cost.latency,
+            mixed.cost.latency
+        );
+        // And the math still works.
+        let exact = w.matvec(&[-0.5; 16]).unwrap();
+        assert!(max_rel_err(&neg.values, &exact) < 0.02);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let c = DpeConfig { weight_bits: 1, ..DpeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = DpeConfig { adcs_per_array: 0, ..DpeConfig::default() };
+        assert!(c.validate().is_err());
+        let c = DpeConfig { array_rows: 0, ..DpeConfig::default() };
+        assert!(c.validate().is_err());
+        assert!(DpeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn energy_per_mac_is_orders_below_digital_cpu() {
+        let w = DenseMatrix::from_fn(128, 128, |r, c| (((r ^ c) % 31) as f64 / 31.0) - 0.5);
+        let mut dpe = engine(DpeConfig::default());
+        dpe.program(&w).unwrap();
+        let out = dpe.matvec(&vec![0.3; 128]).unwrap();
+        let per_mac_fj = out.cost.energy.as_fj() as f64 / dpe.macs_per_matvec() as f64;
+        // CPU cost per MAC = 2 FLOPs of core energy + the DRAM traffic of
+        // streaming the 2-byte weight (the CIM advantage the paper argues:
+        // weights never move).
+        let cpu_per_mac_fj = 2.0 * cim_sim::calib::cpu::ENERGY_PER_FLOP_FJ as f64
+            + 2.0 * cim_sim::calib::cpu::ENERGY_PER_DRAM_BYTE_FJ as f64;
+        assert!(
+            per_mac_fj * 5.0 < cpu_per_mac_fj,
+            "analog MAC {per_mac_fj} fJ vs cpu {cpu_per_mac_fj} fJ"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the crossbar crate.
+
+use core::fmt;
+
+/// Errors raised by crossbar construction and operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrossbarError {
+    /// A matrix/vector dimension did not match the engine configuration.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+        /// Which dimension was wrong (for the message).
+        what: &'static str,
+    },
+    /// A configuration parameter was out of its supported range.
+    InvalidConfig {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// The engine was asked to compute before any matrix was programmed.
+    NotProgrammed,
+    /// A cell index was outside the array.
+    OutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "{what} mismatch: expected {expected}, got {actual}"),
+            CrossbarError::InvalidConfig { reason } => {
+                write!(f, "invalid crossbar configuration: {reason}")
+            }
+            CrossbarError::NotProgrammed => {
+                write!(f, "no matrix has been programmed into the engine")
+            }
+            CrossbarError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "cell ({row},{col}) outside {rows}x{cols} array"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, CrossbarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CrossbarError::DimensionMismatch {
+            expected: 128,
+            actual: 64,
+            what: "input length",
+        };
+        assert_eq!(e.to_string(), "input length mismatch: expected 128, got 64");
+        let e = CrossbarError::NotProgrammed;
+        assert!(e.to_string().contains("no matrix"));
+        let e = CrossbarError::OutOfBounds {
+            row: 5,
+            col: 9,
+            rows: 4,
+            cols: 4,
+        };
+        assert!(e.to_string().contains("(5,9)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CrossbarError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! # cim-crossbar — memristor crossbar and Dot Product Engine simulator
+//!
+//! The analog compute substrate of the CIM reproduction: single-device
+//! memristor models, crossbar arrays, DAC/ADC converters, the ISAAC-style
+//! [`dpe::DotProductEngine`] (the hardware behind the paper's §VI), the
+//! stateful-logic and TCAM engines of §III.A, plus fault-injection and
+//! aging models for §V.
+//!
+//! Behaviour and cost are modeled together: every operation both computes
+//! a (quantized, noisy) value *and* returns an [`array::OpCost`] with its
+//! latency and energy, derived from the public calibration constants in
+//! [`cim_sim::calib`].
+//!
+//! ## Example: analog matrix–vector product
+//!
+//! ```
+//! use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+//! use cim_crossbar::matrix::DenseMatrix;
+//! use cim_sim::SeedTree;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let weights = DenseMatrix::from_fn(128, 64, |r, c| {
+//!     (((r * 31 + c * 17) % 97) as f64 / 97.0) - 0.5
+//! });
+//! let mut dpe = DotProductEngine::new(DpeConfig::default(), SeedTree::new(7));
+//! let programming = dpe.program(&weights)?;
+//! let out = dpe.matvec(&vec![0.25; 128])?;
+//! // Analog reads are orders of magnitude faster than programming.
+//! assert!(programming.latency > out.cost.latency);
+//! assert_eq!(out.values.len(), 64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adc;
+pub mod aging;
+pub mod array;
+pub mod device;
+pub mod dpe;
+pub mod error;
+pub mod faults;
+pub mod logic;
+pub mod matrix;
+pub mod quant;
+pub mod tcam;
+
+pub use array::{CrossbarArray, OpCost};
+pub use device::{CellFault, DeviceParams, MemristorCell};
+pub use dpe::{DotProductEngine, DpeConfig, DpeFootprint, DpeOutput};
+pub use error::{CrossbarError, Result};
+pub use matrix::DenseMatrix;

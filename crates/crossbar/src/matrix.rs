@@ -1,0 +1,207 @@
+//! A minimal dense row-major matrix used at the engine boundary.
+
+use crate::error::{CrossbarError, Result};
+
+/// A dense row-major `f64` matrix.
+///
+/// Rows correspond to crossbar input lines, columns to output lines, so a
+/// matrix–vector product is `y[c] = Σ_r x[r] · m[(r, c)]`.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::matrix::DenseMatrix;
+///
+/// let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 5.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `data.len() != rows*cols`
+    /// and [`CrossbarError::InvalidConfig`] for zero dimensions or non-finite
+    /// entries.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("matrix dimensions must be positive, got {rows}x{cols}"),
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                what: "matrix data length",
+            });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(CrossbarError::InvalidConfig {
+                reason: "matrix entries must be finite".to_owned(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or `f` produces non-finite values.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let data = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(r, c)| f(r, c))
+            .collect();
+        Self::new(rows, cols, data).expect("from_fn produced an invalid matrix")
+    }
+
+    /// An all-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(rows, cols, vec![0.0; rows * cols]).expect("zeros matrix")
+    }
+
+    /// Number of rows (crossbar input lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (crossbar output lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Exact `f64` matrix–vector product (the reference the analog engine
+    /// is validated against).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `x.len() != rows`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(CrossbarError::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+                what: "input vector length",
+            });
+        }
+        let mut y = vec![0.0; self.cols];
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let base = r * self.cols;
+            for (c, yv) in y.iter_mut().enumerate() {
+                *yv += xv * self.data[base + c];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Largest absolute entry (quantizer range).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// A sub-matrix view copied out as an owned matrix, clamped to bounds;
+    /// used for tiling across crossbar arrays. Out-of-range area is
+    /// zero-padded to the requested size.
+    pub fn tile(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |r, c| {
+            let (rr, cc) = (row0 + r, col0 + c);
+            if rr < self.rows && cc < self.cols {
+                self.get(rr, cc)
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(DenseMatrix::new(0, 3, vec![]).is_err());
+        assert!(DenseMatrix::new(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::new(1, 1, vec![f64::NAN]).is_err());
+        assert!(DenseMatrix::new(1, 1, vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = DenseMatrix::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(m.matvec(&[2.0, -1.0]).unwrap(), vec![-1.0, 0.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn tile_zero_pads() {
+        let m = DenseMatrix::from_fn(2, 2, |r, c| (r * 2 + c) as f64 + 1.0);
+        let t = m.tile(1, 1, 2, 2);
+        assert_eq!(t.get(0, 0), 4.0);
+        assert_eq!(t.get(0, 1), 0.0);
+        assert_eq!(t.get(1, 0), 0.0);
+        assert_eq!(t.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn max_abs_scans_all() {
+        let m = DenseMatrix::new(1, 3, vec![0.5, -2.5, 1.0]).unwrap();
+        assert_eq!(m.max_abs(), 2.5);
+        assert_eq!(DenseMatrix::zeros(2, 2).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        *m.get_mut(0, 1) = 7.0;
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Ternary content-addressable memory (TCAM).
+//!
+//! The paper's §III.A lists associative processors — "content addressable
+//! memory combined with nonvolatile memory" (Guo et al. \[54\], Yavits et
+//! al. \[56\]) — as one of the four CIM hardware families. A TCAM compares a
+//! search key against *every* stored pattern simultaneously: an O(1)-time
+//! associative lookup that a Von Neumann machine needs O(n) memory traffic
+//! for. The search-indexing and key-value workloads use this module.
+
+use crate::array::OpCost;
+use cim_sim::calib::dpe;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+
+/// One ternary pattern: each bit is 0, 1 or X (don't care).
+///
+/// Stored as a value/mask pair: `mask` bit set ⇒ the bit must match
+/// `value`; clear ⇒ don't care.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::tcam::TernaryPattern;
+///
+/// let p = TernaryPattern::parse("10X1").unwrap();
+/// assert!(p.matches(0b1001));
+/// assert!(p.matches(0b1011));
+/// assert!(!p.matches(0b0001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TernaryPattern {
+    value: u64,
+    mask: u64,
+    width: u32,
+}
+
+impl TernaryPattern {
+    /// Creates a pattern from a value/mask pair over `width` bits.
+    ///
+    /// Returns `None` if `width` is 0 or > 64, or if `value` has bits set
+    /// outside the mask or width.
+    pub fn new(value: u64, mask: u64, width: u32) -> Option<Self> {
+        if width == 0 || width > 64 {
+            return None;
+        }
+        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        if mask & !width_mask != 0 || value & !mask != 0 {
+            return None;
+        }
+        Some(TernaryPattern { value, mask, width })
+    }
+
+    /// An exact-match pattern (no don't-cares).
+    pub fn exact(value: u64, width: u32) -> Option<Self> {
+        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        Self::new(value & width_mask, width_mask, width)
+    }
+
+    /// Parses a pattern string of `0`, `1`, `X`/`x` characters,
+    /// most-significant bit first.
+    ///
+    /// Returns `None` for empty strings, strings longer than 64 characters
+    /// or invalid characters.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut value = 0u64;
+        let mut mask = 0u64;
+        for ch in s.chars() {
+            value <<= 1;
+            mask <<= 1;
+            match ch {
+                '0' => mask |= 1,
+                '1' => {
+                    value |= 1;
+                    mask |= 1;
+                }
+                'X' | 'x' => {}
+                _ => return None,
+            }
+        }
+        Some(TernaryPattern {
+            value,
+            mask,
+            width: s.len() as u32,
+        })
+    }
+
+    /// Pattern width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether `key` matches this pattern.
+    pub fn matches(&self, key: u64) -> bool {
+        (key ^ self.value) & self.mask == 0
+    }
+}
+
+/// A ternary CAM holding up to `capacity` patterns.
+///
+/// # Examples
+///
+/// ```
+/// use cim_crossbar::tcam::{Tcam, TernaryPattern};
+///
+/// let mut cam = Tcam::new(64, 8);
+/// cam.insert(TernaryPattern::exact(0xAB, 8).unwrap()).unwrap();
+/// cam.insert(TernaryPattern::parse("1XXXXXXX").unwrap()).unwrap();
+/// let (hits, cost) = cam.search(0xAB);
+/// assert_eq!(hits, vec![0, 1]);
+/// assert!(cost.latency.as_ps() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    rows: Vec<Option<TernaryPattern>>,
+    width: u32,
+    searches: u64,
+    total: OpCost,
+}
+
+impl Tcam {
+    /// Creates an empty TCAM with `capacity` rows of `width`-bit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `width` not in 1..=64.
+    pub fn new(capacity: usize, width: u32) -> Self {
+        assert!(capacity > 0, "TCAM capacity must be positive");
+        assert!((1..=64).contains(&width), "TCAM width must be 1..=64");
+        Tcam {
+            rows: vec![None; capacity],
+            width,
+            searches: 0,
+            total: OpCost::default(),
+        }
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of occupied rows.
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a pattern into the first free row; returns its row index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pattern back if the CAM is full or the width differs.
+    pub fn insert(&mut self, pattern: TernaryPattern) -> Result<usize, TernaryPattern> {
+        if pattern.width() != self.width {
+            return Err(pattern);
+        }
+        match self.rows.iter_mut().enumerate().find(|(_, r)| r.is_none()) {
+            Some((i, slot)) => {
+                *slot = Some(pattern);
+                // Writing a CAM row = programming `width` cells in parallel.
+                self.total = self.total.then(OpCost {
+                    latency: SimDuration::from_ps(dpe::CELL_WRITE_PS),
+                    energy: Energy::from_fj(dpe::CELL_WRITE_FJ * u64::from(self.width)),
+                });
+                Ok(i)
+            }
+            None => Err(pattern),
+        }
+    }
+
+    /// Removes the pattern at `row`, returning it if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn remove(&mut self, row: usize) -> Option<TernaryPattern> {
+        self.rows[row].take()
+    }
+
+    /// Searches all rows in parallel; returns matching row indices in
+    /// ascending order, plus the cost of the search.
+    ///
+    /// A search drives the key onto every match line simultaneously: one
+    /// read-phase latency regardless of occupancy, energy proportional to
+    /// the number of stored bits compared.
+    pub fn search(&mut self, key: u64) -> (Vec<usize>, OpCost) {
+        self.searches += 1;
+        let hits: Vec<usize> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().filter(|p| p.matches(key)).map(|_| i))
+            .collect();
+        let compared_bits = self.len() as u64 * u64::from(self.width);
+        let cost = OpCost {
+            latency: SimDuration::from_ps(dpe::READ_PHASE_PS),
+            energy: Energy::from_fj(
+                // Match-line precharge + compare, ~1 read-noise-margin
+                // sense per bit; reuse the DAC drive constant as the
+                // per-bit compare energy.
+                dpe::DAC_DRIVE_FJ * compared_bits.max(1),
+            ),
+        };
+        self.total = self.total.then(cost);
+        (hits, cost)
+    }
+
+    /// First matching row only (priority encoder behaviour).
+    pub fn search_first(&mut self, key: u64) -> (Option<usize>, OpCost) {
+        let (hits, cost) = self.search(key);
+        (hits.first().copied(), cost)
+    }
+
+    /// Number of searches performed.
+    pub fn search_count(&self) -> u64 {
+        self.searches
+    }
+
+    /// Accumulated cost of all inserts and searches.
+    pub fn total_cost(&self) -> OpCost {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parse_and_match() {
+        let p = TernaryPattern::parse("1X0").unwrap();
+        assert_eq!(p.width(), 3);
+        assert!(p.matches(0b100));
+        assert!(p.matches(0b110));
+        assert!(!p.matches(0b101));
+        assert!(!p.matches(0b000));
+    }
+
+    #[test]
+    fn pattern_parse_rejects_garbage() {
+        assert!(TernaryPattern::parse("").is_none());
+        assert!(TernaryPattern::parse("102").is_none());
+        assert!(TernaryPattern::parse(&"1".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn pattern_new_validates() {
+        assert!(TernaryPattern::new(0b10, 0b11, 2).is_some());
+        assert!(TernaryPattern::new(0b10, 0b01, 2).is_none(), "value outside mask");
+        assert!(TernaryPattern::new(0, 0b100, 2).is_none(), "mask outside width");
+        assert!(TernaryPattern::new(0, 0, 0).is_none());
+        assert!(TernaryPattern::new(0, u64::MAX, 64).is_some());
+    }
+
+    #[test]
+    fn exact_match_only_hits_equal_keys() {
+        let p = TernaryPattern::exact(0x5A, 8).unwrap();
+        assert!(p.matches(0x5A));
+        assert!(!p.matches(0x5B));
+    }
+
+    #[test]
+    fn search_returns_all_hits_in_order() {
+        let mut cam = Tcam::new(4, 4);
+        cam.insert(TernaryPattern::parse("1XXX").unwrap()).unwrap();
+        cam.insert(TernaryPattern::parse("0000").unwrap()).unwrap();
+        cam.insert(TernaryPattern::parse("1010").unwrap()).unwrap();
+        let (hits, _) = cam.search(0b1010);
+        assert_eq!(hits, vec![0, 2]);
+        let (first, _) = cam.search_first(0b1010);
+        assert_eq!(first, Some(0));
+        let (hits, _) = cam.search(0b0000);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn insert_fills_holes_and_rejects_on_full() {
+        let mut cam = Tcam::new(2, 4);
+        let p = TernaryPattern::exact(1, 4).unwrap();
+        assert_eq!(cam.insert(p).unwrap(), 0);
+        assert_eq!(cam.insert(p).unwrap(), 1);
+        assert!(cam.insert(p).is_err(), "full");
+        cam.remove(0);
+        assert_eq!(cam.insert(p).unwrap(), 0, "reuses freed row");
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut cam = Tcam::new(2, 8);
+        assert!(cam.insert(TernaryPattern::exact(1, 4).unwrap()).is_err());
+    }
+
+    #[test]
+    fn search_cost_is_constant_latency_linear_energy() {
+        let mut small = Tcam::new(128, 16);
+        let mut large = Tcam::new(128, 16);
+        for i in 0..4 {
+            small.insert(TernaryPattern::exact(i, 16).unwrap()).unwrap();
+        }
+        for i in 0..64 {
+            large.insert(TernaryPattern::exact(i, 16).unwrap()).unwrap();
+        }
+        let (_, c_small) = small.search(2);
+        let (_, c_large) = large.search(2);
+        assert_eq!(c_small.latency, c_large.latency, "associative search is O(1) time");
+        assert!(c_large.energy > c_small.energy, "energy scales with stored bits");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut cam = Tcam::new(4, 4);
+        cam.insert(TernaryPattern::exact(3, 4).unwrap()).unwrap();
+        cam.search(3);
+        cam.search(0);
+        assert_eq!(cam.search_count(), 2);
+        assert!(cam.total_cost().energy.as_fj() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the dataflow crate.
+
+use core::fmt;
+
+/// Errors raised while building, validating or executing dataflow graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An edge connects ports whose widths disagree.
+    WidthMismatch {
+        /// Producer node index.
+        from: usize,
+        /// Consumer node index.
+        to: usize,
+        /// Producer output width.
+        produced: usize,
+        /// Consumer expected width.
+        expected: usize,
+    },
+    /// A node has the wrong number of inputs for its operation.
+    ArityMismatch {
+        /// The node index.
+        node: usize,
+        /// Inputs the operation requires.
+        required: usize,
+        /// Inputs actually connected.
+        connected: usize,
+    },
+    /// The graph contains a cycle (static dataflow graphs must be DAGs).
+    CyclicGraph,
+    /// An operation was constructed with inconsistent parameters.
+    InvalidOperation {
+        /// Why the operation is invalid.
+        reason: String,
+    },
+    /// Execution was given inputs that do not match the graph sources.
+    InputMismatch {
+        /// Why the inputs are unusable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            DataflowError::WidthMismatch {
+                from,
+                to,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "edge {from} -> {to} width mismatch: produces {produced}, consumer expects {expected}"
+            ),
+            DataflowError::ArityMismatch {
+                node,
+                required,
+                connected,
+            } => write!(
+                f,
+                "node {node} requires {required} inputs, has {connected}"
+            ),
+            DataflowError::CyclicGraph => write!(f, "graph contains a cycle"),
+            DataflowError::InvalidOperation { reason } => {
+                write!(f, "invalid operation: {reason}")
+            }
+            DataflowError::InputMismatch { reason } => {
+                write!(f, "input mismatch: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, DataflowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = DataflowError::WidthMismatch {
+            from: 1,
+            to: 2,
+            produced: 64,
+            expected: 128,
+        };
+        assert!(e.to_string().contains("produces 64"));
+        assert!(DataflowError::CyclicGraph.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DataflowError>();
+    }
+}

@@ -1,0 +1,196 @@
+//! Reference interpreter for dataflow graphs.
+//!
+//! Executes a graph with exact `f64` semantics. Every hardware model
+//! (the CIM fabric, the CPU/GPU baselines) is validated against this
+//! interpreter: same graph, same inputs, approximately the same outputs.
+
+use crate::error::{DataflowError, Result};
+use crate::graph::{DataflowGraph, NodeRef};
+use crate::ops::Operation;
+use std::collections::HashMap;
+
+/// Executes `graph` once with the given source inputs; returns the vector
+/// delivered to each sink.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::InputMismatch`] when `inputs` is missing a
+/// source, contains an unknown or non-source node, or a vector has the
+/// wrong width.
+///
+/// # Examples
+///
+/// ```
+/// use cim_dataflow::graph::GraphBuilder;
+/// use cim_dataflow::interpreter::execute;
+/// use cim_dataflow::ops::{Elementwise, Operation};
+/// use std::collections::HashMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new();
+/// let src = b.add("in", Operation::Source { width: 3 });
+/// let relu = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 3 });
+/// let out = b.add("out", Operation::Sink { width: 3 });
+/// b.chain(&[src, relu, out])?;
+/// let g = b.build()?;
+/// let results = execute(&g, &HashMap::from([(src, vec![-1.0, 0.5, 2.0])]))?;
+/// assert_eq!(results[&out], vec![0.0, 0.5, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(
+    graph: &DataflowGraph,
+    inputs: &HashMap<NodeRef, Vec<f64>>,
+) -> Result<HashMap<NodeRef, Vec<f64>>> {
+    // Validate inputs against sources.
+    let sources = graph.sources();
+    for (&r, v) in inputs {
+        let node = graph
+            .nodes()
+            .find(|(nr, _)| *nr == r)
+            .ok_or(DataflowError::InputMismatch {
+                reason: format!("input for unknown node {}", r.index()),
+            })?
+            .1;
+        match &node.op {
+            Operation::Source { width } => {
+                if v.len() != *width {
+                    return Err(DataflowError::InputMismatch {
+                        reason: format!(
+                            "source '{}' expects width {width}, got {}",
+                            node.name,
+                            v.len()
+                        ),
+                    });
+                }
+            }
+            _ => {
+                return Err(DataflowError::InputMismatch {
+                    reason: format!("node '{}' is not a source", node.name),
+                })
+            }
+        }
+    }
+    for s in &sources {
+        if !inputs.contains_key(s) {
+            return Err(DataflowError::InputMismatch {
+                reason: format!("missing input for source '{}'", graph.node(*s).name),
+            });
+        }
+    }
+
+    let mut values: Vec<Option<Vec<f64>>> = vec![None; graph.node_count()];
+    for &i in graph.topo_order() {
+        let r = NodeRef(i);
+        let node = graph.node(r);
+        let out = match &node.op {
+            Operation::Source { .. } => inputs[&r].clone(),
+            op => {
+                let in_refs = graph.inputs_of(r);
+                let in_vals: Vec<&[f64]> = in_refs
+                    .iter()
+                    .map(|ir| {
+                        values[ir.index()]
+                            .as_deref()
+                            .expect("topological order guarantees inputs are ready")
+                    })
+                    .collect();
+                op.evaluate(&in_vals)
+            }
+        };
+        values[i] = Some(out);
+    }
+
+    Ok(graph
+        .sinks()
+        .into_iter()
+        .map(|s| (s, values[s.index()].clone().expect("sink evaluated")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ops::{Elementwise, Reduction};
+
+    #[test]
+    fn executes_mlp_layer() {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: 2 });
+        let mv = b.add(
+            "fc",
+            Operation::MatVec {
+                rows: 2,
+                cols: 2,
+                weights: vec![1.0, -1.0, 0.5, 2.0],
+            },
+        );
+        let relu = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 2 });
+        let out = b.add("out", Operation::Sink { width: 2 });
+        b.chain(&[src, mv, relu, out]).unwrap();
+        let g = b.build().unwrap();
+        let res = execute(&g, &HashMap::from([(src, vec![2.0, 4.0])])).unwrap();
+        // y = [2*1 + 4*0.5, 2*-1 + 4*2] = [4, 6]; relu no-op
+        assert_eq!(res[&out], vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn diamond_with_two_sinks() {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: 2 });
+        let dbl = b.add("x2", Operation::Map { func: Elementwise::Scale(2.0), width: 2 });
+        let sum = b.add("sum", Operation::Reduce { kind: Reduction::Sum, width: 2 });
+        let s1 = b.add("o1", Operation::Sink { width: 2 });
+        let s2 = b.add("o2", Operation::Sink { width: 1 });
+        b.connect(src, dbl, 0).unwrap();
+        b.connect(dbl, s1, 0).unwrap();
+        b.connect(src, sum, 0).unwrap();
+        b.connect(sum, s2, 0).unwrap();
+        let g = b.build().unwrap();
+        let res = execute(&g, &HashMap::from([(src, vec![1.0, 3.0])])).unwrap();
+        assert_eq!(res[&s1], vec![2.0, 6.0]);
+        assert_eq!(res[&s2], vec![4.0]);
+    }
+
+    #[test]
+    fn missing_source_input_rejected() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.add("a", Operation::Source { width: 1 });
+        let s2 = b.add("b", Operation::Source { width: 1 });
+        let add = b.add("add", Operation::Add { width: 1 });
+        let out = b.add("out", Operation::Sink { width: 1 });
+        b.connect(s1, add, 0).unwrap();
+        b.connect(s2, add, 1).unwrap();
+        b.connect(add, out, 0).unwrap();
+        let g = b.build().unwrap();
+        let res = execute(&g, &HashMap::from([(s1, vec![1.0])]));
+        assert!(matches!(res, Err(DataflowError::InputMismatch { .. })));
+    }
+
+    #[test]
+    fn wrong_width_input_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add("a", Operation::Source { width: 3 });
+        let out = b.add("out", Operation::Sink { width: 3 });
+        b.connect(s, out, 0).unwrap();
+        let g = b.build().unwrap();
+        let res = execute(&g, &HashMap::from([(s, vec![1.0])]));
+        assert!(matches!(res, Err(DataflowError::InputMismatch { .. })));
+    }
+
+    #[test]
+    fn input_for_non_source_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add("a", Operation::Source { width: 1 });
+        let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 1 });
+        let out = b.add("out", Operation::Sink { width: 1 });
+        b.chain(&[s, m, out]).unwrap();
+        let g = b.build().unwrap();
+        let res = execute(
+            &g,
+            &HashMap::from([(s, vec![1.0]), (m, vec![2.0])]),
+        );
+        assert!(matches!(res, Err(DataflowError::InputMismatch { .. })));
+    }
+}

@@ -1,0 +1,49 @@
+//! # cim-dataflow — dataflow graph IR and programming models
+//!
+//! The paper's applications "employ dataflow" (§II.B): computation is a
+//! graph of operators that data streams through. This crate provides the
+//! graph IR ([`graph::DataflowGraph`]), a reference interpreter
+//! ([`interpreter::execute`]) that defines the semantics every hardware
+//! model must match, and the three programming models of §III.B
+//! ([`program`]): static, dynamic, and self-programmable dataflow.
+//!
+//! ## Example
+//!
+//! ```
+//! use cim_dataflow::graph::GraphBuilder;
+//! use cim_dataflow::interpreter::execute;
+//! use cim_dataflow::ops::{Elementwise, Operation, Reduction};
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny classifier: matvec -> relu -> argmax.
+//! let mut b = GraphBuilder::new();
+//! let src = b.add("pixels", Operation::Source { width: 4 });
+//! let fc = b.add("fc", Operation::MatVec {
+//!     rows: 4, cols: 3,
+//!     weights: vec![0.1; 12],
+//! });
+//! let relu = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 3 });
+//! let arg = b.add("argmax", Operation::Reduce { kind: Reduction::ArgMax, width: 3 });
+//! let out = b.add("class", Operation::Sink { width: 1 });
+//! b.chain(&[src, fc, relu, arg, out])?;
+//! let g = b.build()?;
+//! let result = execute(&g, &HashMap::from([(src, vec![1.0; 4])]))?;
+//! assert_eq!(result[&out].len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod graph;
+pub mod interpreter;
+pub mod ops;
+pub mod program;
+
+pub use error::{DataflowError, Result};
+pub use graph::{DataflowGraph, GraphBuilder, GraphMetrics, Node, NodeRef};
+pub use ops::{Elementwise, Operation, Reduction};
+pub use program::{HashRoute, LeastLoadedRoute, Patch, RoutePolicy, RouteState, StaticProgram};

@@ -1,0 +1,333 @@
+//! The three CIM programming models (paper §III.B).
+//!
+//! * **Static dataflow** — a graph is compiled and programmed into the
+//!   fabric once, then executed over and over ([`StaticProgram`]).
+//! * **Dynamic dataflow** — incoming data is routed to different parts of
+//!   the fabric as a function of the packet and of fabric state
+//!   ([`RoutePolicy`] and its implementations).
+//! * **Self-programmable dataflow** — packets carry code: a [`Patch`]
+//!   serialized into the packet payload reprograms a node on arrival
+//!   ([`Patch::encode`] / [`Patch::decode`]).
+
+use crate::error::{DataflowError, Result};
+use crate::graph::DataflowGraph;
+use crate::ops::Elementwise;
+
+/// A compiled static-dataflow program: an immutable graph plus a version
+/// counter that tracks full reconfigurations (each one costs a slow
+/// crossbar reprogram on the fabric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticProgram {
+    graph: DataflowGraph,
+    version: u64,
+}
+
+impl StaticProgram {
+    /// Wraps a validated graph as version 0.
+    pub fn new(graph: DataflowGraph) -> Self {
+        StaticProgram { graph, version: 0 }
+    }
+
+    /// The program graph.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// Current configuration version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Replaces the whole graph (a full reconfiguration), bumping the
+    /// version.
+    pub fn reconfigure(&mut self, graph: DataflowGraph) {
+        self.graph = graph;
+        self.version += 1;
+    }
+}
+
+/// Observable state a dynamic-routing decision may depend on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteState {
+    /// Pending work (queue depth) at each candidate target.
+    pub queue_depths: Vec<usize>,
+}
+
+/// A dynamic-routing policy: given a packet tag and fabric state, choose
+/// which of `n` candidate targets receives the packet.
+///
+/// Implementations must be deterministic in their inputs so simulations
+/// replay exactly.
+pub trait RoutePolicy: std::fmt::Debug {
+    /// Chooses a target index in `0..state.queue_depths.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::InvalidOperation`] if there are no
+    /// candidates.
+    fn select(&self, packet_tag: u64, state: &RouteState) -> Result<usize>;
+}
+
+/// Routes by hashing the packet tag — "routing expressed explicitly as a
+/// part of the incoming packet".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashRoute;
+
+impl RoutePolicy for HashRoute {
+    fn select(&self, packet_tag: u64, state: &RouteState) -> Result<usize> {
+        let n = state.queue_depths.len();
+        if n == 0 {
+            return Err(DataflowError::InvalidOperation {
+                reason: "no route candidates".into(),
+            });
+        }
+        Ok((cim_sim::rng::splitmix64(packet_tag) % n as u64) as usize)
+    }
+}
+
+/// Routes to the least-loaded candidate — "implicit as a function of the
+/// state in CIM". Ties break toward the lowest index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoadedRoute;
+
+impl RoutePolicy for LeastLoadedRoute {
+    fn select(&self, _packet_tag: u64, state: &RouteState) -> Result<usize> {
+        state
+            .queue_depths
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &d)| (d, *i))
+            .map(|(i, _)| i)
+            .ok_or(DataflowError::InvalidOperation {
+                reason: "no route candidates".into(),
+            })
+    }
+}
+
+/// A code patch carried inside a packet (self-programmable dataflow).
+///
+/// The vocabulary is intentionally small: swap a map node's function, or
+/// replace a matvec node's weights. Patches serialize to a compact byte
+/// format so they can ride in `bytes::Bytes` payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Patch {
+    /// Replace the elementwise function of a `Map` node.
+    SetMapFunc {
+        /// Target node index in the installed graph.
+        node: u32,
+        /// New function.
+        func: Elementwise,
+    },
+    /// Replace the weights of a `MatVec` node (length must match).
+    SetWeights {
+        /// Target node index in the installed graph.
+        node: u32,
+        /// New row-major weights.
+        weights: Vec<f64>,
+    },
+}
+
+impl Patch {
+    const TAG_MAP: u8 = 1;
+    const TAG_WEIGHTS: u8 = 2;
+
+    fn encode_func(func: Elementwise) -> (u8, f64) {
+        match func {
+            Elementwise::Relu => (0, 0.0),
+            Elementwise::Sigmoid => (1, 0.0),
+            Elementwise::Tanh => (2, 0.0),
+            Elementwise::Scale(k) => (3, k),
+            Elementwise::Offset(k) => (4, k),
+            Elementwise::Identity => (5, 0.0),
+        }
+    }
+
+    fn decode_func(code: u8, k: f64) -> Option<Elementwise> {
+        Some(match code {
+            0 => Elementwise::Relu,
+            1 => Elementwise::Sigmoid,
+            2 => Elementwise::Tanh,
+            3 => Elementwise::Scale(k),
+            4 => Elementwise::Offset(k),
+            5 => Elementwise::Identity,
+            _ => return None,
+        })
+    }
+
+    /// Serializes the patch to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Patch::SetMapFunc { node, func } => {
+                let (code, k) = Self::encode_func(*func);
+                let mut out = vec![Self::TAG_MAP];
+                out.extend_from_slice(&node.to_le_bytes());
+                out.push(code);
+                out.extend_from_slice(&k.to_le_bytes());
+                out
+            }
+            Patch::SetWeights { node, weights } => {
+                let mut out = vec![Self::TAG_WEIGHTS];
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
+                for w in weights {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Deserializes a patch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::InvalidOperation`] for truncated or
+    /// malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Patch> {
+        let bad = |reason: &str| DataflowError::InvalidOperation {
+            reason: format!("patch decode: {reason}"),
+        };
+        let tag = *bytes.first().ok_or_else(|| bad("empty"))?;
+        match tag {
+            Self::TAG_MAP => {
+                if bytes.len() != 1 + 4 + 1 + 8 {
+                    return Err(bad("bad map patch length"));
+                }
+                let node = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
+                let code = bytes[5];
+                let k = f64::from_le_bytes(bytes[6..14].try_into().expect("len checked"));
+                if !k.is_finite() {
+                    return Err(bad("non-finite constant"));
+                }
+                let func = Self::decode_func(code, k).ok_or_else(|| bad("unknown func"))?;
+                Ok(Patch::SetMapFunc { node, func })
+            }
+            Self::TAG_WEIGHTS => {
+                if bytes.len() < 9 {
+                    return Err(bad("truncated weights patch"));
+                }
+                let node = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
+                let n = u32::from_le_bytes(bytes[5..9].try_into().expect("len checked")) as usize;
+                if bytes.len() != 9 + 8 * n {
+                    return Err(bad("weights length mismatch"));
+                }
+                let mut weights = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 9 + 8 * i;
+                    let w = f64::from_le_bytes(
+                        bytes[off..off + 8].try_into().expect("len checked"),
+                    );
+                    if !w.is_finite() {
+                        return Err(bad("non-finite weight"));
+                    }
+                    weights.push(w);
+                }
+                Ok(Patch::SetWeights { node, weights })
+            }
+            _ => Err(bad("unknown tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ops::Operation;
+
+    fn tiny_graph() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 1 });
+        let k = b.add("k", Operation::Sink { width: 1 });
+        b.connect(s, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_program_versions_reconfigurations() {
+        let mut p = StaticProgram::new(tiny_graph());
+        assert_eq!(p.version(), 0);
+        p.reconfigure(tiny_graph());
+        p.reconfigure(tiny_graph());
+        assert_eq!(p.version(), 2);
+        assert_eq!(p.graph().node_count(), 2);
+    }
+
+    #[test]
+    fn hash_route_is_deterministic_and_covers_targets() {
+        let policy = HashRoute;
+        let state = RouteState {
+            queue_depths: vec![0; 4],
+        };
+        let mut seen = [false; 4];
+        for tag in 0..64 {
+            let a = policy.select(tag, &state).unwrap();
+            let b = policy.select(tag, &state).unwrap();
+            assert_eq!(a, b);
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hashing should spread across targets");
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum_with_tie_break() {
+        let policy = LeastLoadedRoute;
+        let state = RouteState {
+            queue_depths: vec![3, 1, 1, 5],
+        };
+        assert_eq!(policy.select(99, &state).unwrap(), 1);
+        assert!(policy
+            .select(0, &RouteState { queue_depths: vec![] })
+            .is_err());
+    }
+
+    #[test]
+    fn patch_roundtrip_map_func() {
+        for func in [
+            Elementwise::Relu,
+            Elementwise::Sigmoid,
+            Elementwise::Tanh,
+            Elementwise::Scale(2.5),
+            Elementwise::Offset(-1.25),
+            Elementwise::Identity,
+        ] {
+            let p = Patch::SetMapFunc { node: 7, func };
+            assert_eq!(Patch::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn patch_roundtrip_weights() {
+        let p = Patch::SetWeights {
+            node: 3,
+            weights: vec![0.1, -0.2, 0.3],
+        };
+        assert_eq!(Patch::decode(&p.encode()).unwrap(), p);
+        let empty = Patch::SetWeights {
+            node: 0,
+            weights: vec![],
+        };
+        assert_eq!(Patch::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn patch_decode_rejects_garbage() {
+        assert!(Patch::decode(&[]).is_err());
+        assert!(Patch::decode(&[9, 0, 0]).is_err());
+        let mut good = Patch::SetMapFunc {
+            node: 1,
+            func: Elementwise::Relu,
+        }
+        .encode();
+        good.pop();
+        assert!(Patch::decode(&good).is_err(), "truncated");
+        let mut nan = Patch::SetWeights {
+            node: 1,
+            weights: vec![0.5],
+        }
+        .encode();
+        // Overwrite weight bytes with NaN.
+        nan[9..17].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Patch::decode(&nan).is_err(), "NaN weight rejected");
+    }
+}

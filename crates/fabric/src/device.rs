@@ -1,0 +1,252 @@
+//! The CIM device: a mesh of tiles of micro-units plus the interconnect.
+//!
+//! This is the paper's Fig 5 hierarchy made concrete: micro-units grouped
+//! into tiles, tiles arranged in a 2-D mesh, packets between them carried
+//! by [`cim_noc::NocNetwork`]. The device owns the global energy meter and
+//! trace buffer every experiment reads.
+
+use crate::config::FabricConfig;
+use crate::error::{FabricError, Result};
+use crate::unit::{MicroUnit, UnitHealth};
+use cim_noc::network::NocNetwork;
+use cim_noc::packet::NodeId;
+use cim_sim::energy::EnergyMeter;
+use cim_sim::trace::TraceBuffer;
+use cim_sim::SeedTree;
+
+/// A complete CIM device.
+///
+/// # Examples
+///
+/// ```
+/// use cim_fabric::config::FabricConfig;
+/// use cim_fabric::device::CimDevice;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let device = CimDevice::new(FabricConfig::default())?;
+/// assert_eq!(device.units().len(), 64);
+/// assert_eq!(device.healthy_unit_count(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CimDevice {
+    config: FabricConfig,
+    noc: NocNetwork,
+    units: Vec<MicroUnit>,
+    seeds: SeedTree,
+    meter: EnergyMeter,
+    trace: TraceBuffer,
+    next_packet_id: u64,
+}
+
+impl CimDevice {
+    /// Builds a device from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] (or a wrapped layer error)
+    /// if the configuration is unusable.
+    pub fn new(config: FabricConfig) -> Result<Self> {
+        config.validate()?;
+        let mut noc = NocNetwork::new(config.mesh_width, config.mesh_height, config.seed)
+            .map_err(FabricError::from)?;
+        noc.set_encryption(config.encryption);
+        let mut units = Vec::with_capacity(config.total_units());
+        for y in 0..config.mesh_height {
+            for x in 0..config.mesh_width {
+                for _ in 0..config.units_per_tile {
+                    let index = units.len();
+                    units.push(MicroUnit::new(index, NodeId::new(x as u16, y as u16)));
+                }
+            }
+        }
+        Ok(CimDevice {
+            seeds: SeedTree::new(config.seed),
+            config,
+            noc,
+            units,
+            meter: EnergyMeter::new(),
+            trace: TraceBuffer::default(),
+            next_packet_id: 0,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// All micro-units, device-index order.
+    pub fn units(&self) -> &[MicroUnit] {
+        &self.units
+    }
+
+    /// One micro-unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn unit(&self, index: usize) -> &MicroUnit {
+        &self.units[index]
+    }
+
+    /// One micro-unit, mutable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn unit_mut(&mut self, index: usize) -> &mut MicroUnit {
+        &mut self.units[index]
+    }
+
+    /// Units and NoC together (the executor needs both mutably).
+    pub(crate) fn units_and_noc_mut(&mut self) -> (&mut Vec<MicroUnit>, &mut NocNetwork) {
+        (&mut self.units, &mut self.noc)
+    }
+
+    /// Number of units currently healthy.
+    pub fn healthy_unit_count(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| u.health() == UnitHealth::Healthy)
+            .count()
+    }
+
+    /// The interconnect, read-only.
+    pub fn noc(&self) -> &NocNetwork {
+        &self.noc
+    }
+
+    /// The interconnect, mutable (link faults, isolation policy).
+    pub fn noc_mut(&mut self) -> &mut NocNetwork {
+        &mut self.noc
+    }
+
+    /// The device seed tree (deriving per-component streams).
+    pub fn seeds(&self) -> SeedTree {
+        self.seeds
+    }
+
+    /// Energy accounting across all subsystems.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Energy accounting, mutable (executors charge here).
+    pub fn meter_mut(&mut self) -> &mut EnergyMeter {
+        &mut self.meter
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// The trace buffer, mutable.
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Allocates a unique packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Injects a hard fault into a unit (§V.A fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn fail_unit(&mut self, unit: usize) {
+        self.units[unit].set_health(UnitHealth::Failed);
+    }
+
+    /// Administratively fences a unit (containment, §V.A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn disable_unit(&mut self, unit: usize) {
+        self.units[unit].set_health(UnitHealth::Disabled);
+    }
+
+    /// Units on a given tile, device-index order.
+    pub fn units_on_tile(&self, tile: NodeId) -> Vec<usize> {
+        self.units
+            .iter()
+            .filter(|u| u.tile() == tile)
+            .map(|u| u.index())
+            .collect()
+    }
+
+    /// Resets all unit occupancy, NoC reservations, meter and trace —
+    /// health and assignments (including programmed engines) are kept.
+    /// Call between independent experiments on the same loaded device.
+    pub fn reset_occupancy(&mut self) {
+        for u in &mut self.units {
+            u.clear_occupancy();
+        }
+        self.noc.reset();
+        self.meter.reset();
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_lays_out_tiles_row_major() {
+        let d = CimDevice::new(FabricConfig::default()).unwrap();
+        assert_eq!(d.unit(0).tile(), NodeId::new(0, 0));
+        assert_eq!(d.unit(3).tile(), NodeId::new(0, 0));
+        assert_eq!(d.unit(4).tile(), NodeId::new(1, 0));
+        let last = d.units().len() - 1;
+        assert_eq!(d.unit(last).tile(), NodeId::new(3, 3));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let c = FabricConfig { mesh_width: 0, ..FabricConfig::default() };
+        assert!(CimDevice::new(c).is_err());
+    }
+
+    #[test]
+    fn fault_injection_changes_health_counts() {
+        let mut d = CimDevice::new(FabricConfig::default()).unwrap();
+        d.fail_unit(0);
+        d.disable_unit(1);
+        assert_eq!(d.healthy_unit_count(), 62);
+        assert_eq!(d.unit(0).health(), UnitHealth::Failed);
+        assert_eq!(d.unit(1).health(), UnitHealth::Disabled);
+    }
+
+    #[test]
+    fn units_on_tile_groups_correctly() {
+        let d = CimDevice::new(FabricConfig::default()).unwrap();
+        let units = d.units_on_tile(NodeId::new(2, 1));
+        assert_eq!(units.len(), 4);
+        for &u in &units {
+            assert_eq!(d.unit(u).tile(), NodeId::new(2, 1));
+        }
+    }
+
+    #[test]
+    fn packet_ids_are_unique() {
+        let mut d = CimDevice::new(FabricConfig::default()).unwrap();
+        let a = d.next_packet_id();
+        let b = d.next_packet_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encryption_follows_config() {
+        let c = FabricConfig { encryption: true, ..FabricConfig::default() };
+        let d = CimDevice::new(c).unwrap();
+        assert!(d.noc().encryption());
+    }
+}

@@ -1,0 +1,583 @@
+//! The streaming execution engine.
+//!
+//! Executes a mapped dataflow program on the device: operators run on
+//! their micro-units (analog matvec, digital everything else), results
+//! travel between tiles as real packets over the NoC (encrypted if
+//! configured), and pipelining emerges from per-unit and per-link busy
+//! horizons — item *i+1* starts flowing while item *i* is still in the
+//! back of the pipeline, exactly the dataflow behaviour the paper's §II.B
+//! banks on.
+//!
+//! The engine also implements §V.A recovery: when a unit fails mid-stream,
+//! the failure is detected, a spare is programmed (paying the full
+//! crossbar write cost — CIM's recovery currency), the placement is
+//! updated, and the in-flight item is replayed from its upstream-buffered
+//! inputs.
+
+use crate::device::CimDevice;
+use crate::error::{FabricError, Result};
+use crate::mapper::{map_graph, MappingPolicy, Placement};
+use crate::security::CapabilityTable;
+use crate::unit::UnitHealth;
+use cim_crossbar::array::OpCost;
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+use cim_noc::packet::{Packet, TrafficClass};
+use cim_sim::energy::Energy;
+use cim_sim::time::{SimDuration, SimTime};
+use cim_sim::trace::TraceLevel;
+use std::collections::HashMap;
+
+/// Detection latency for a failed unit: a missed control heartbeat plus
+/// fabric-manager notification (control-class packets, ~1 µs).
+const FAULT_DETECTION: SimDuration = SimDuration::from_us(1);
+
+/// A program loaded onto the device.
+#[derive(Debug, Clone)]
+pub struct MappedProgram {
+    pub(crate) graph: DataflowGraph,
+    pub(crate) placement: Placement,
+    /// Cost of the initial configuration (crossbar programming).
+    pub config_cost: OpCost,
+    /// Stream identifier used for packets and capabilities.
+    pub stream_id: u64,
+}
+
+impl MappedProgram {
+    /// The program's graph.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// The current placement (updated by recoveries).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+/// Options controlling stream execution.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Gap between item injections; `ZERO` saturates the pipeline.
+    pub inter_arrival: SimDuration,
+    /// Injection time of the first item.
+    pub start: SimTime,
+    /// Capability policy; `None` disables checks.
+    pub capabilities: Option<CapabilityTable>,
+}
+
+/// One recovery performed during a stream (§V.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Index of the item being processed when the fault surfaced.
+    pub item: usize,
+    /// The failed unit.
+    pub failed_unit: usize,
+    /// The spare that took over.
+    pub replacement: usize,
+    /// Detection + reprogramming overhead added to the item.
+    pub overhead: SimDuration,
+}
+
+/// Results and telemetry of one stream execution.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Sink outputs per item.
+    pub outputs: Vec<HashMap<NodeRef, Vec<f64>>>,
+    /// Injection time per item.
+    pub injected: Vec<SimTime>,
+    /// Completion time per item.
+    pub completed: Vec<SimTime>,
+    /// Total energy of the stream (compute + interconnect).
+    pub energy: Energy,
+    /// Recoveries performed.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+impl StreamReport {
+    /// Per-item end-to-end latencies.
+    pub fn latencies(&self) -> Vec<SimDuration> {
+        self.injected
+            .iter()
+            .zip(&self.completed)
+            .map(|(&i, &c)| c.saturating_since(i))
+            .collect()
+    }
+
+    /// Mean end-to-end latency; zero for empty streams.
+    pub fn mean_latency(&self) -> SimDuration {
+        let lats = self.latencies();
+        if lats.is_empty() {
+            SimDuration::ZERO
+        } else {
+            lats.iter().copied().sum::<SimDuration>() / lats.len() as u64
+        }
+    }
+
+    /// First-injection to last-completion span.
+    pub fn makespan(&self) -> SimDuration {
+        match (self.injected.first(), self.completed.iter().max()) {
+            (Some(&first), Some(&last)) => last.saturating_since(first),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Sustained throughput in items/s; `None` for degenerate streams.
+    pub fn throughput(&self) -> Option<f64> {
+        let span = self.makespan().as_secs_f64();
+        (span > 0.0).then(|| self.outputs.len() as f64 / span)
+    }
+}
+
+fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect()
+}
+
+impl CimDevice {
+    /// Loads a program: maps the graph and programs every assigned unit.
+    ///
+    /// The configuration latency is the *max* across units (they program
+    /// in parallel); the energy is the sum. This is the static-dataflow
+    /// configuration step of §III.B, dominated by memristor writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and programming failures.
+    pub fn load_program(
+        &mut self,
+        graph: &DataflowGraph,
+        policy: MappingPolicy,
+    ) -> Result<MappedProgram> {
+        let placement = map_graph(self, graph, policy)?;
+        self.finish_load(graph, placement)
+    }
+
+    /// Programs every unit of `placement` with its node (in parallel);
+    /// returns the configuration cost. Shared by initial load, partition
+    /// failover and recovery paths.
+    pub(crate) fn reprogram_placement(
+        &mut self,
+        graph: &DataflowGraph,
+        placement: &Placement,
+    ) -> Result<OpCost> {
+        let seeds = self.seeds().child("program");
+        let mut config_cost = OpCost::default();
+        for (r, node) in graph.nodes() {
+            let unit_idx = placement.unit_of(r.index());
+            let config = self.config().clone();
+            let cost = self
+                .unit_mut(unit_idx)
+                .assign(r.index(), &node.op, &config, seeds)?;
+            config_cost = config_cost.join_parallel(cost);
+        }
+        self.meter_mut().charge("config", config_cost.energy);
+        Ok(config_cost)
+    }
+
+    /// Completes a load from an externally computed placement (used by
+    /// the partition manager).
+    pub(crate) fn finish_load(
+        &mut self,
+        graph: &DataflowGraph,
+        placement: Placement,
+    ) -> Result<MappedProgram> {
+        let config_cost = self.reprogram_placement(graph, &placement)?;
+        let stream_id = self.next_packet_id();
+        Ok(MappedProgram {
+            graph: graph.clone(),
+            placement,
+            config_cost,
+            stream_id,
+        })
+    }
+
+    /// Finds a healthy spare for a node previously on `failed_unit`,
+    /// preferring the same tile (cheapest recovery route).
+    pub(crate) fn find_spare(&self, failed_unit: usize) -> Option<usize> {
+        let tile = self.unit(failed_unit).tile();
+        let mut candidates: Vec<usize> = self
+            .units()
+            .iter()
+            .filter(|u| u.health() == UnitHealth::Healthy && u.assigned_node().is_none())
+            .map(|u| u.index())
+            .collect();
+        candidates.sort_by_key(|&u| (self.unit(u).tile().manhattan(tile), u));
+        candidates.first().copied()
+    }
+
+    /// Executes a stream of inputs through a loaded program.
+    ///
+    /// Each element of `inputs` maps every source node to its input
+    /// vector for that item. Items are injected `opts.inter_arrival`
+    /// apart (back to back when zero) and pipeline through the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter-style input mismatches, interconnect
+    /// failures, capability denials, and unrecoverable unit faults.
+    pub fn execute_stream(
+        &mut self,
+        prog: &mut MappedProgram,
+        inputs: &[HashMap<NodeRef, Vec<f64>>],
+        opts: &StreamOptions,
+    ) -> Result<StreamReport> {
+        let graph = prog.graph.clone();
+        let sources = graph.sources();
+        let sinks = graph.sinks();
+        let mut report = StreamReport {
+            outputs: Vec::with_capacity(inputs.len()),
+            injected: Vec::with_capacity(inputs.len()),
+            completed: Vec::with_capacity(inputs.len()),
+            energy: Energy::ZERO,
+            recoveries: Vec::new(),
+        };
+
+        for (item_idx, item) in inputs.iter().enumerate() {
+            for s in &sources {
+                if !item.contains_key(s) {
+                    return Err(FabricError::Dataflow(
+                        cim_dataflow::DataflowError::InputMismatch {
+                            reason: format!(
+                                "item {item_idx} missing input for source '{}'",
+                                graph.node(*s).name
+                            ),
+                        },
+                    ));
+                }
+            }
+            let release = opts.start + opts.inter_arrival * item_idx as u64;
+            report.injected.push(release);
+
+            let n = graph.node_count();
+            let mut values: Vec<Option<Vec<f64>>> = vec![None; n];
+            let mut done: Vec<SimTime> = vec![release; n];
+
+            for &node_idx in graph.topo_order() {
+                let r = NodeRef::from_index(node_idx);
+                let node = graph.node(r).clone();
+                let unit_idx = prog.placement.unit_of(node_idx);
+
+                if let Some(caps) = &opts.capabilities {
+                    if !caps.allows(prog.stream_id, unit_idx) {
+                        return Err(FabricError::CapabilityDenied {
+                            stream: prog.stream_id,
+                            unit: unit_idx,
+                        });
+                    }
+                }
+
+                // Gather inputs: same-tile data is handed over locally,
+                // cross-tile data rides the NoC as real packets.
+                let my_tile = self.unit(unit_idx).tile();
+                let mut ready = release;
+                let mut in_values: Vec<Vec<f64>> = Vec::new();
+                if let cim_dataflow::ops::Operation::Source { .. } = node.op {
+                    in_values.push(item[&r].clone());
+                } else {
+                    for prod in graph.inputs_of(r) {
+                        let pv = values[prod.index()]
+                            .clone()
+                            .expect("topological order guarantees producer ran");
+                        let p_done = done[prod.index()];
+                        let p_unit = prog.placement.unit_of(prod.index());
+                        let p_tile = self.unit(p_unit).tile();
+                        if p_tile == my_tile {
+                            ready = ready.max(p_done);
+                            in_values.push(pv);
+                        } else {
+                            let id = self.next_packet_id();
+                            let stream = prog.stream_id;
+                            let packet =
+                                Packet::new(id, p_tile, my_tile, encode_f64s(&pv))
+                                    .with_stream(stream)
+                                    .with_class(TrafficClass::Guaranteed);
+                            let (_, noc) = self.units_and_noc_mut();
+                            let delivery =
+                                noc.transmit(&packet, p_done).map_err(FabricError::from)?;
+                            report.energy += delivery.energy;
+                            self.meter_mut().charge("noc", delivery.energy);
+                            ready = ready.max(delivery.arrival);
+                            in_values.push(decode_f64s(&delivery.payload));
+                        }
+                    }
+                }
+                let in_refs: Vec<&[f64]> = in_values.iter().map(Vec::as_slice).collect();
+
+                // Execute, with one recovery attempt on unit failure.
+                let config = self.config().clone();
+                let exec = {
+                    let unit = self.unit_mut(unit_idx);
+                    if let cim_dataflow::ops::Operation::Source { .. } = node.op {
+                        // Sources inject: charge a digital pass-through.
+                        unit.execute(&node.op, &in_refs[..1], ready, &config)
+                    } else {
+                        unit.execute(&node.op, &in_refs, ready, &config)
+                    }
+                };
+                let (vals, t_done, energy) = match exec {
+                    Ok(ok) => ok,
+                    Err(FabricError::NoSpareAvailable { unit: failed }) => {
+                        // §V.A recovery: detect, fence, re-map, reprogram,
+                        // replay from buffered inputs.
+                        let spare = self
+                            .find_spare(failed)
+                            .ok_or(FabricError::NoSpareAvailable { unit: failed })?;
+                        // The spare must itself be authorized: recovery is
+                        // not a capability bypass (secure default — the
+                        // orchestrator re-grants after a remap).
+                        if let Some(caps) = &opts.capabilities {
+                            if !caps.allows(prog.stream_id, spare) {
+                                return Err(FabricError::CapabilityDenied {
+                                    stream: prog.stream_id,
+                                    unit: spare,
+                                });
+                            }
+                        }
+                        let seeds = self.seeds().child("recovery");
+                        let program_cost = self
+                            .unit_mut(spare)
+                            .assign(node_idx, &node.op, &config, seeds)?;
+                        self.meter_mut().charge("config", program_cost.energy);
+                        prog.placement.node_to_unit[node_idx] = spare;
+                        let overhead = FAULT_DETECTION + program_cost.latency;
+                        report.recoveries.push(RecoveryEvent {
+                            item: item_idx,
+                            failed_unit: failed,
+                            replacement: spare,
+                            overhead,
+                        });
+                        let when = ready + overhead;
+                        self.trace_mut().emit(
+                            when,
+                            TraceLevel::Error,
+                            format!("unit{failed}"),
+                            format!("fault detected; node {node_idx} remapped to unit {spare}"),
+                        );
+                        self.unit_mut(spare)
+                            .execute(&node.op, &in_refs, when, &config)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                report.energy += energy;
+                self.meter_mut().charge("compute", energy);
+                values[node_idx] = Some(vals);
+                done[node_idx] = t_done;
+            }
+
+            let mut outs = HashMap::new();
+            let mut completed = release;
+            for s in &sinks {
+                outs.insert(
+                    *s,
+                    values[s.index()].clone().expect("sink evaluated"),
+                );
+                completed = completed.max(done[s.index()]);
+            }
+            report.outputs.push(outs);
+            report.completed.push(completed);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::interpreter;
+    use cim_dataflow::ops::{Elementwise, Operation, Reduction};
+
+    fn device() -> CimDevice {
+        CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn mlp_graph() -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: 16 });
+        let fc1 = b.add(
+            "fc1",
+            Operation::MatVec {
+                rows: 16,
+                cols: 8,
+                weights: (0..128).map(|i| ((i % 7) as f64 - 3.0) / 10.0).collect(),
+            },
+        );
+        let act = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 8 });
+        let fc2 = b.add(
+            "fc2",
+            Operation::MatVec {
+                rows: 8,
+                cols: 4,
+                weights: (0..32).map(|i| ((i % 5) as f64 - 2.0) / 8.0).collect(),
+            },
+        );
+        let arg = b.add("argmax", Operation::Reduce { kind: Reduction::ArgMax, width: 4 });
+        let out = b.add("out", Operation::Sink { width: 1 });
+        b.chain(&[src, fc1, act, fc2, arg, out]).unwrap();
+        (b.build().unwrap(), src, out)
+    }
+
+    fn input_for(src: NodeRef, v: Vec<f64>) -> HashMap<NodeRef, Vec<f64>> {
+        HashMap::from([(src, v)])
+    }
+
+    #[test]
+    fn end_to_end_matches_reference_interpreter() {
+        let mut d = device();
+        let (g, src, out) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| ((i % 5) as f64) / 5.0).collect();
+        let report = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        let reference =
+            interpreter::execute(&g, &HashMap::from([(src, x)])).unwrap();
+        // ArgMax class prediction should agree between analog and exact.
+        assert_eq!(report.outputs[0][&out], reference[&out]);
+        assert!(report.energy.as_fj() > 0);
+        assert!(report.completed[0] > report.injected[0]);
+    }
+
+    #[test]
+    fn pipelining_beats_serial_latency_sum() {
+        let mut d = device();
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let items: Vec<_> = (0..16)
+            .map(|i| input_for(src, vec![(i % 4) as f64 / 4.0; 16]))
+            .collect();
+        let report = d
+            .execute_stream(&mut prog, &items, &StreamOptions::default())
+            .unwrap();
+        let mean = report.mean_latency();
+        let makespan = report.makespan();
+        // With a 6-stage pipeline, 16 items should take far less than
+        // 16 × mean latency.
+        assert!(
+            makespan.as_secs_f64() < 16.0 * mean.as_secs_f64() * 0.9,
+            "pipelining expected: makespan {makespan} vs mean {mean}"
+        );
+        assert!(report.throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn programming_cost_dominates_single_inference() {
+        let mut d = device();
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let report = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, vec![0.5; 16])],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert!(
+            prog.config_cost.latency > report.mean_latency(),
+            "write asymmetry: config {} vs inference {}",
+            prog.config_cost.latency,
+            report.mean_latency()
+        );
+    }
+
+    #[test]
+    fn recovery_remaps_and_replays() {
+        let mut d = device();
+        let (g, src, out) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        // Process one clean item.
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        let clean = d
+            .execute_stream(&mut prog, &[input_for(src, x.clone())], &StreamOptions::default())
+            .unwrap();
+        // Fail the unit hosting fc1 (node index 1), then run again.
+        let victim = prog.placement().unit_of(1);
+        d.fail_unit(victim);
+        let recovered = d
+            .execute_stream(&mut prog, &[input_for(src, x)], &StreamOptions::default())
+            .unwrap();
+        assert_eq!(recovered.recoveries.len(), 1);
+        let ev = recovered.recoveries[0];
+        assert_eq!(ev.failed_unit, victim);
+        assert_ne!(ev.replacement, victim);
+        assert!(ev.overhead > FAULT_DETECTION, "reprogramming is the bulk");
+        // Same answer after recovery.
+        assert_eq!(recovered.outputs[0][&out], clean.outputs[0][&out]);
+        // Placement updated: subsequent runs use the spare without events.
+        let after = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, vec![0.25; 16])],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert!(after.recoveries.is_empty());
+    }
+
+    #[test]
+    fn unrecoverable_when_no_spares() {
+        let mut d = CimDevice::new(FabricConfig {
+            mesh_width: 1,
+            mesh_height: 1,
+            units_per_tile: 6,
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap();
+        let (g, src, _) = mlp_graph(); // exactly 6 nodes
+        let mut prog = d.load_program(&g, MappingPolicy::RoundRobin).unwrap();
+        d.fail_unit(prog.placement().unit_of(2));
+        let res = d.execute_stream(
+            &mut prog,
+            &[input_for(src, vec![0.1; 16])],
+            &StreamOptions::default(),
+        );
+        assert!(matches!(res, Err(FabricError::NoSpareAvailable { .. })));
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut d = device();
+        let (g, _, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::RoundRobin).unwrap();
+        let res = d.execute_stream(&mut prog, &[HashMap::new()], &StreamOptions::default());
+        assert!(matches!(res, Err(FabricError::Dataflow(_))));
+    }
+
+    #[test]
+    fn inter_arrival_paces_injection() {
+        let mut d = device();
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let items: Vec<_> = (0..4).map(|_| input_for(src, vec![0.5; 16])).collect();
+        let opts = StreamOptions {
+            inter_arrival: SimDuration::from_us(100),
+            ..StreamOptions::default()
+        };
+        let report = d.execute_stream(&mut prog, &items, &opts).unwrap();
+        assert_eq!(
+            report.injected[3].saturating_since(report.injected[0]),
+            SimDuration::from_us(300)
+        );
+    }
+}

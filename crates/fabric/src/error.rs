@@ -1,0 +1,115 @@
+//! Error types for the fabric crate.
+
+use core::fmt;
+
+/// Errors raised by CIM device construction, mapping and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// The device configuration is inconsistent.
+    InvalidConfig {
+        /// Why the configuration is unusable.
+        reason: String,
+    },
+    /// The graph does not fit on the available micro-units.
+    CapacityExceeded {
+        /// Units the mapping needs.
+        needed: usize,
+        /// Units available.
+        available: usize,
+    },
+    /// A graph/program error bubbled up from the dataflow layer.
+    Dataflow(cim_dataflow::DataflowError),
+    /// An interconnect error bubbled up from the NoC layer.
+    Noc(cim_noc::NocError),
+    /// An analog-engine error bubbled up from the crossbar layer.
+    Crossbar(cim_crossbar::CrossbarError),
+    /// Execution referenced a unit that is failed or disabled and no spare
+    /// could take over.
+    NoSpareAvailable {
+        /// The failed unit index.
+        unit: usize,
+    },
+    /// A stream was denied by the capability policy.
+    CapabilityDenied {
+        /// Stream identifier.
+        stream: u64,
+        /// Unit that was refused.
+        unit: usize,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::InvalidConfig { reason } => {
+                write!(f, "invalid fabric configuration: {reason}")
+            }
+            FabricError::CapacityExceeded { needed, available } => {
+                write!(f, "graph needs {needed} units, fabric has {available}")
+            }
+            FabricError::Dataflow(e) => write!(f, "dataflow error: {e}"),
+            FabricError::Noc(e) => write!(f, "interconnect error: {e}"),
+            FabricError::Crossbar(e) => write!(f, "crossbar error: {e}"),
+            FabricError::NoSpareAvailable { unit } => {
+                write!(f, "unit {unit} failed and no spare is available")
+            }
+            FabricError::CapabilityDenied { stream, unit } => {
+                write!(f, "stream {stream} lacks a capability for unit {unit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Dataflow(e) => Some(e),
+            FabricError::Noc(e) => Some(e),
+            FabricError::Crossbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cim_dataflow::DataflowError> for FabricError {
+    fn from(e: cim_dataflow::DataflowError) -> Self {
+        FabricError::Dataflow(e)
+    }
+}
+
+impl From<cim_noc::NocError> for FabricError {
+    fn from(e: cim_noc::NocError) -> Self {
+        FabricError::Noc(e)
+    }
+}
+
+impl From<cim_crossbar::CrossbarError> for FabricError {
+    fn from(e: cim_crossbar::CrossbarError) -> Self {
+        FabricError::Crossbar(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_layer_errors_with_source() {
+        use std::error::Error;
+        let e = FabricError::from(cim_dataflow::DataflowError::CyclicGraph);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("cycle"));
+        let e = FabricError::from(cim_crossbar::CrossbarError::NotProgrammed);
+        assert!(e.to_string().contains("crossbar"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<FabricError>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Von Neumann ⇄ CIM integration modes (paper Fig 6, §III.E–F).
+//!
+//! The paper sketches an evolution: CIM starts as a **slave** accelerator
+//! behind a host (per-item offload), becomes **cooperative** (batched
+//! host interaction), then **integrated** (coherent shared memory), and
+//! finally **native** (CIM runs the whole pipeline, no host in the loop).
+//! Each step removes host overhead from the datapath; this module makes
+//! the four modes measurable on the same workload.
+
+use crate::device::CimDevice;
+use crate::engine::{MappedProgram, StreamOptions, StreamReport};
+use crate::error::Result;
+use cim_dataflow::graph::NodeRef;
+use cim_sim::energy::Energy;
+use cim_sim::time::SimDuration;
+use std::collections::HashMap;
+
+/// How the CIM device is attached to the Von Neumann host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IntegrationMode {
+    /// Classic accelerator: the host orchestrates *every item* over a
+    /// PCIe-class link (Fig 6 step 1).
+    Slave,
+    /// The host submits batches; the device runs them autonomously
+    /// (Fig 6 step 2).
+    Cooperative,
+    /// Coherent attach (CXL/GenZ-class): shared memory, low-overhead
+    /// submission (Fig 6 step 3).
+    Integrated,
+    /// CIM-native: sources and sinks live in the fabric; the host is not
+    /// on the datapath at all (Fig 6 step 4).
+    Native,
+}
+
+impl IntegrationMode {
+    /// All modes in evolution order.
+    pub const ALL: [IntegrationMode; 4] = [
+        IntegrationMode::Slave,
+        IntegrationMode::Cooperative,
+        IntegrationMode::Integrated,
+        IntegrationMode::Native,
+    ];
+
+    /// Host-side orchestration overhead charged per item (Slave) or per
+    /// batch (Cooperative / Integrated).
+    fn host_overhead(self) -> SimDuration {
+        match self {
+            // User-space driver round trip + interrupt: ~10 us.
+            IntegrationMode::Slave => SimDuration::from_us(10),
+            IntegrationMode::Cooperative => SimDuration::from_us(10),
+            // Coherent doorbell: ~1 us.
+            IntegrationMode::Integrated => SimDuration::from_us(1),
+            IntegrationMode::Native => SimDuration::ZERO,
+        }
+    }
+
+    /// Host↔device transfer bandwidth for input/output payloads.
+    fn link_bandwidth(self) -> Option<f64> {
+        match self {
+            // PCIe gen3 x16 effective.
+            IntegrationMode::Slave | IntegrationMode::Cooperative => Some(12.5e9),
+            // Coherent fabric.
+            IntegrationMode::Integrated => Some(50e9),
+            IntegrationMode::Native => None,
+        }
+    }
+
+    /// Host CPU power while orchestrating, watts.
+    const HOST_ACTIVE_W: f64 = 100.0;
+}
+
+/// Cost report for one integration mode.
+#[derive(Debug, Clone)]
+pub struct IntegrationReport {
+    /// The mode measured.
+    pub mode: IntegrationMode,
+    /// Per-item end-to-end latency (host + transfer + fabric).
+    pub per_item_latency: SimDuration,
+    /// Total energy (host + transfer + fabric).
+    pub energy: Energy,
+    /// The underlying fabric report.
+    pub fabric: StreamReport,
+}
+
+/// Runs `inputs` through a loaded program under the given integration
+/// mode and prices the host side of the interaction.
+///
+/// Each call is an isolated measurement: device occupancy is reset first
+/// so successive modes are compared on equal footing.
+///
+/// # Errors
+///
+/// Propagates fabric execution errors.
+pub fn run_integrated(
+    device: &mut CimDevice,
+    prog: &mut MappedProgram,
+    inputs: &[HashMap<NodeRef, Vec<f64>>],
+    mode: IntegrationMode,
+) -> Result<IntegrationReport> {
+    device.reset_occupancy();
+    let fabric = device.execute_stream(prog, inputs, &StreamOptions::default())?;
+    let items = inputs.len().max(1) as u64;
+
+    // Bytes crossing the host link per item: inputs + outputs.
+    let bytes_per_item: u64 = {
+        let in_bytes: usize = inputs
+            .first()
+            .map(|m| m.values().map(|v| v.len() * 8).sum())
+            .unwrap_or(0);
+        let out_bytes: usize = fabric
+            .outputs
+            .first()
+            .map(|m| m.values().map(|v| v.len() * 8).sum())
+            .unwrap_or(0);
+        (in_bytes + out_bytes) as u64
+    };
+
+    let transfer_per_item = mode
+        .link_bandwidth()
+        .map(|bw| SimDuration::from_secs_f64(bytes_per_item as f64 / bw))
+        .unwrap_or(SimDuration::ZERO);
+
+    let host_per_item = match mode {
+        IntegrationMode::Slave => mode.host_overhead(),
+        IntegrationMode::Cooperative | IntegrationMode::Integrated => {
+            mode.host_overhead() / items
+        }
+        IntegrationMode::Native => SimDuration::ZERO,
+    };
+
+    // Sustained per-item cost: the pipeline's makespan divided by items
+    // (mean residence latency would double-count queueing).
+    let fabric_per_item = fabric.makespan() / items;
+    let per_item_latency = fabric_per_item + transfer_per_item + host_per_item;
+
+    let host_busy = (host_per_item + transfer_per_item) * items;
+    let host_energy =
+        Energy::from_joules(IntegrationMode::HOST_ACTIVE_W * host_busy.as_secs_f64());
+    Ok(IntegrationReport {
+        mode,
+        per_item_latency,
+        energy: fabric.energy + host_energy,
+        fabric,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::mapper::MappingPolicy;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::{DataflowGraph, GraphBuilder};
+    use cim_dataflow::ops::{Elementwise, Operation};
+
+    fn setup() -> (CimDevice, DataflowGraph, NodeRef) {
+        let d = CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 32 });
+        let mv = b.add(
+            "mv",
+            Operation::MatVec {
+                rows: 32,
+                cols: 16,
+                weights: vec![0.05; 512],
+            },
+        );
+        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 16 });
+        let k = b.add("k", Operation::Sink { width: 16 });
+        b.chain(&[s, mv, m, k]).unwrap();
+        (d, b.build().unwrap(), s)
+    }
+
+    fn batch(src: NodeRef, n: usize) -> Vec<HashMap<NodeRef, Vec<f64>>> {
+        (0..n)
+            .map(|i| HashMap::from([(src, vec![(i % 3) as f64 / 3.0; 32])]))
+            .collect()
+    }
+
+    #[test]
+    fn evolution_strictly_improves_latency() {
+        let (mut d, g, s) = setup();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let inputs = batch(s, 16);
+        let mut last = None;
+        for mode in IntegrationMode::ALL {
+            let r = run_integrated(&mut d, &mut prog, &inputs, mode).unwrap();
+            if let Some(prev) = last {
+                assert!(
+                    r.per_item_latency < prev,
+                    "{mode:?} must beat the previous mode ({prev} vs {})",
+                    r.per_item_latency
+                );
+            }
+            last = Some(r.per_item_latency);
+        }
+    }
+
+    #[test]
+    fn slave_mode_is_host_dominated() {
+        let (mut d, g, s) = setup();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let inputs = batch(s, 4);
+        let slave = run_integrated(&mut d, &mut prog, &inputs, IntegrationMode::Slave).unwrap();
+        let fabric_per_item = slave.fabric.makespan() / 4;
+        assert!(
+            slave.per_item_latency > fabric_per_item * 2,
+            "host overhead should dominate a small kernel"
+        );
+    }
+
+    #[test]
+    fn native_mode_adds_nothing() {
+        let (mut d, g, s) = setup();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let inputs = batch(s, 4);
+        let native =
+            run_integrated(&mut d, &mut prog, &inputs, IntegrationMode::Native).unwrap();
+        assert_eq!(native.per_item_latency, native.fabric.makespan() / 4);
+        assert_eq!(native.energy, native.fabric.energy);
+    }
+
+    #[test]
+    fn cooperative_amortizes_with_batch_size() {
+        let (mut d, g, s) = setup();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let small = run_integrated(&mut d, &mut prog, &batch(s, 2), IntegrationMode::Cooperative)
+            .unwrap();
+        let large = run_integrated(&mut d, &mut prog, &batch(s, 64), IntegrationMode::Cooperative)
+            .unwrap();
+        assert!(large.per_item_latency < small.per_item_latency);
+    }
+}

@@ -1,0 +1,324 @@
+//! A minimal CIM runtime (paper §III.E).
+//!
+//! "Initially CIM components will be used as slave devices… over time …
+//! CIM computers can start running natively requiring full run time and
+//! operating system support." This module is that runtime's kernel: it
+//! owns the device, admits programs while free micro-units last, queues
+//! the rest, and reclaims units when jobs finish — the resource-manager
+//! role an OS plays for CPUs, at micro-unit granularity.
+
+use crate::device::CimDevice;
+use crate::engine::{MappedProgram, StreamOptions, StreamReport};
+use crate::error::{FabricError, Result};
+use crate::mapper::MappingPolicy;
+use crate::unit::UnitHealth;
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Raw id (diagnostics).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Admission outcome of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Loaded onto the fabric and ready to run.
+    Running(JobId),
+    /// Waiting for micro-units to free up.
+    Queued(JobId),
+}
+
+impl JobStatus {
+    /// The job id regardless of state.
+    pub fn id(self) -> JobId {
+        match self {
+            JobStatus::Running(id) | JobStatus::Queued(id) => id,
+        }
+    }
+}
+
+/// The multi-program device manager.
+///
+/// # Examples
+///
+/// ```
+/// use cim_fabric::runtime::CimRuntime;
+/// use cim_fabric::{FabricConfig, MappingPolicy};
+/// use cim_dataflow::graph::GraphBuilder;
+/// use cim_dataflow::ops::Operation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rt = CimRuntime::new(FabricConfig::default())?;
+/// let mut b = GraphBuilder::new();
+/// let s = b.add("s", Operation::Source { width: 2 });
+/// let k = b.add("k", Operation::Sink { width: 2 });
+/// b.connect(s, k, 0)?;
+/// let status = rt.submit(b.build()?, MappingPolicy::LocalityAware)?;
+/// assert!(matches!(status, cim_fabric::runtime::JobStatus::Running(_)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CimRuntime {
+    device: CimDevice,
+    jobs: HashMap<JobId, MappedProgram>,
+    queue: VecDeque<(JobId, DataflowGraph, MappingPolicy)>,
+    next_id: u64,
+}
+
+impl CimRuntime {
+    /// Boots a runtime on a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-construction failures.
+    pub fn new(config: crate::config::FabricConfig) -> Result<Self> {
+        Ok(CimRuntime {
+            device: CimDevice::new(config)?,
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            next_id: 0,
+        })
+    }
+
+    /// The device, read-only (telemetry).
+    pub fn device(&self) -> &CimDevice {
+        &self.device
+    }
+
+    /// Free healthy micro-units right now.
+    pub fn free_units(&self) -> usize {
+        self.device
+            .units()
+            .iter()
+            .filter(|u| u.health() == UnitHealth::Healthy && u.assigned_node().is_none())
+            .count()
+    }
+
+    /// Fraction of healthy units currently assigned to jobs.
+    pub fn utilization(&self) -> f64 {
+        let healthy = self.device.healthy_unit_count();
+        if healthy == 0 {
+            return 0.0;
+        }
+        let busy = self
+            .device
+            .units()
+            .iter()
+            .filter(|u| u.health() == UnitHealth::Healthy && u.assigned_node().is_some())
+            .count();
+        busy as f64 / healthy as f64
+    }
+
+    /// Jobs currently loaded.
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Jobs waiting for capacity, in arrival order.
+    pub fn queued_jobs(&self) -> Vec<JobId> {
+        self.queue.iter().map(|(id, _, _)| *id).collect()
+    }
+
+    fn fresh_id(&mut self) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Submits a graph: loads it if enough units are free, queues it
+    /// otherwise (FIFO admission — no overtaking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::CapacityExceeded`] if the graph can *never*
+    /// fit (more nodes than the device has units), or propagates
+    /// programming failures.
+    pub fn submit(&mut self, graph: DataflowGraph, policy: MappingPolicy) -> Result<JobStatus> {
+        if graph.node_count() > self.device.units().len() {
+            return Err(FabricError::CapacityExceeded {
+                needed: graph.node_count(),
+                available: self.device.units().len(),
+            });
+        }
+        let id = self.fresh_id();
+        // FIFO: if anything is already queued, join the queue.
+        if !self.queue.is_empty() || graph.node_count() > self.free_units() {
+            self.queue.push_back((id, graph, policy));
+            return Ok(JobStatus::Queued(id));
+        }
+        let prog = self.device.load_program(&graph, policy)?;
+        self.jobs.insert(id, prog);
+        Ok(JobStatus::Running(id))
+    }
+
+    /// Runs a stream of inputs through a loaded job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for unknown or queued jobs;
+    /// propagates execution errors.
+    pub fn run(
+        &mut self,
+        job: JobId,
+        inputs: &[HashMap<NodeRef, Vec<f64>>],
+        opts: &StreamOptions,
+    ) -> Result<StreamReport> {
+        let prog = self.jobs.get_mut(&job).ok_or(FabricError::InvalidConfig {
+            reason: format!("job {} is not loaded (queued or unknown)", job.0),
+        })?;
+        self.device.execute_stream(prog, inputs, opts)
+    }
+
+    /// Finishes a job: releases its units and admits queued jobs that now
+    /// fit (FIFO). Returns the newly admitted job ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for unknown jobs; propagates
+    /// programming failures during admission.
+    pub fn finish(&mut self, job: JobId) -> Result<Vec<JobId>> {
+        let prog = self.jobs.remove(&job).ok_or(FabricError::InvalidConfig {
+            reason: format!("job {} is not loaded", job.0),
+        })?;
+        for &unit in &prog.placement().node_to_unit {
+            self.device.unit_mut(unit).reset();
+        }
+        // FIFO admission: stop at the first job that does not fit.
+        let mut admitted = Vec::new();
+        while let Some((id, graph, policy)) = self.queue.front().cloned() {
+            if graph.node_count() > self.free_units() {
+                break;
+            }
+            self.queue.pop_front();
+            let prog = self.device.load_program(&graph, policy)?;
+            self.jobs.insert(id, prog);
+            admitted.push(id);
+        }
+        Ok(admitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+
+    fn small_runtime(units: usize) -> CimRuntime {
+        CimRuntime::new(FabricConfig {
+            mesh_width: units,
+            mesh_height: 1,
+            units_per_tile: 1,
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .expect("runtime boots")
+    }
+
+    fn chain(nodes: usize) -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 4 });
+        let mut prev = s;
+        for i in 0..nodes.saturating_sub(2) {
+            let n = b.add(
+                format!("m{i}"),
+                Operation::Map { func: Elementwise::Relu, width: 4 },
+            );
+            b.connect(prev, n, 0).expect("chain");
+            prev = n;
+        }
+        let k = b.add("k", Operation::Sink { width: 4 });
+        b.connect(prev, k, 0).expect("chain");
+        (b.build().expect("valid"), s, k)
+    }
+
+    #[test]
+    fn admits_until_full_then_queues_fifo() {
+        let mut rt = small_runtime(8);
+        let (g1, _, _) = chain(4);
+        let (g2, _, _) = chain(4);
+        let (g3, _, _) = chain(3);
+        let a = rt.submit(g1, MappingPolicy::RoundRobin).expect("fits");
+        let b = rt.submit(g2, MappingPolicy::RoundRobin).expect("fits");
+        let c = rt.submit(g3, MappingPolicy::RoundRobin).expect("queues");
+        assert!(matches!(a, JobStatus::Running(_)));
+        assert!(matches!(b, JobStatus::Running(_)));
+        assert!(matches!(c, JobStatus::Queued(_)));
+        assert_eq!(rt.running_jobs().len(), 2);
+        assert_eq!(rt.queued_jobs(), vec![c.id()]);
+        assert!((rt.utilization() - 1.0).abs() < 1e-12);
+
+        // Finishing one job admits the queued one.
+        let admitted = rt.finish(a.id()).expect("finish");
+        assert_eq!(admitted, vec![c.id()]);
+        assert_eq!(rt.running_jobs().len(), 2);
+        assert!(rt.queued_jobs().is_empty());
+    }
+
+    #[test]
+    fn fifo_prevents_overtaking() {
+        let mut rt = small_runtime(8);
+        let (g1, _, _) = chain(8);
+        let (big, _, _) = chain(6);
+        let (small, _, _) = chain(2);
+        let a = rt.submit(g1, MappingPolicy::RoundRobin).expect("fits");
+        let b = rt.submit(big, MappingPolicy::RoundRobin).expect("queues");
+        let c = rt.submit(small, MappingPolicy::RoundRobin).expect("queues");
+        assert!(matches!(b, JobStatus::Queued(_)));
+        assert!(
+            matches!(c, JobStatus::Queued(_)),
+            "small job must not overtake the queued big one"
+        );
+        let admitted = rt.finish(a.id()).expect("finish");
+        assert_eq!(admitted, vec![b.id(), c.id()], "admitted in order");
+    }
+
+    #[test]
+    fn running_jobs_compute_queued_jobs_do_not() {
+        let mut rt = small_runtime(4);
+        let (g1, s1, k1) = chain(4);
+        let (g2, _, _) = chain(4);
+        let a = rt.submit(g1, MappingPolicy::RoundRobin).expect("fits");
+        let b = rt.submit(g2, MappingPolicy::RoundRobin).expect("queues");
+
+        let report = rt
+            .run(
+                a.id(),
+                &[HashMap::from([(s1, vec![-1.0, 2.0, -3.0, 4.0])])],
+                &StreamOptions::default(),
+            )
+            .expect("runs");
+        assert_eq!(report.outputs[0][&k1], vec![0.0, 2.0, 0.0, 4.0]);
+
+        let err = rt.run(b.id(), &[], &StreamOptions::default());
+        assert!(matches!(err, Err(FabricError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn impossible_jobs_rejected_immediately() {
+        let mut rt = small_runtime(4);
+        let (g, _, _) = chain(10);
+        assert!(matches!(
+            rt.submit(g, MappingPolicy::RoundRobin),
+            Err(FabricError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_unknown_job_errors() {
+        let mut rt = small_runtime(4);
+        assert!(rt.finish(JobId(42)).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Stream capabilities and containment (paper §IV.A).
+//!
+//! The paper proposes fine-grained, capability-based protection (citing
+//! CHERI \[73\]) as the complement to packet encryption: a stream may only
+//! touch micro-units it holds a capability for. The table is
+//! *default-closed* — a stream with no grants can run nowhere — and the
+//! execution engine enforces it on every operator dispatch.
+//!
+//! Containment (§V.A) is the other half: [`fence_tile`] administratively
+//! disables every unit on a tile so a detected fault (or compromise)
+//! cannot spread.
+
+use crate::device::CimDevice;
+use cim_noc::packet::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Default-closed stream → unit capability table.
+///
+/// # Examples
+///
+/// ```
+/// use cim_fabric::security::CapabilityTable;
+///
+/// let mut caps = CapabilityTable::new();
+/// caps.grant(7, 3);
+/// assert!(caps.allows(7, 3));
+/// assert!(!caps.allows(7, 4), "no grant, no access");
+/// assert!(!caps.allows(8, 3), "unknown stream denied");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapabilityTable {
+    grants: HashMap<u64, HashSet<usize>>,
+}
+
+impl CapabilityTable {
+    /// Creates an empty (deny-everything) table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `stream` the right to execute on `unit`.
+    pub fn grant(&mut self, stream: u64, unit: usize) {
+        self.grants.entry(stream).or_default().insert(unit);
+    }
+
+    /// Grants a stream access to many units at once.
+    pub fn grant_all<I: IntoIterator<Item = usize>>(&mut self, stream: u64, units: I) {
+        let set = self.grants.entry(stream).or_default();
+        set.extend(units);
+    }
+
+    /// Revokes a single grant.
+    pub fn revoke(&mut self, stream: u64, unit: usize) {
+        if let Some(set) = self.grants.get_mut(&stream) {
+            set.remove(&unit);
+        }
+    }
+
+    /// Revokes everything a stream holds.
+    pub fn revoke_stream(&mut self, stream: u64) {
+        self.grants.remove(&stream);
+    }
+
+    /// Whether `stream` may execute on `unit`.
+    pub fn allows(&self, stream: u64, unit: usize) -> bool {
+        self.grants
+            .get(&stream)
+            .is_some_and(|set| set.contains(&unit))
+    }
+
+    /// Number of units a stream can reach (its blast radius in units).
+    pub fn reach(&self, stream: u64) -> usize {
+        self.grants.get(&stream).map_or(0, HashSet::len)
+    }
+
+    /// Grants a stream exactly the units of an existing placement — the
+    /// least privilege a loaded program needs.
+    pub fn grant_placement(&mut self, stream: u64, placement: &crate::mapper::Placement) {
+        self.grant_all(stream, placement.node_to_unit.iter().copied());
+    }
+}
+
+/// Administratively disables every unit on `tile` (containment barrier).
+/// Returns the fenced unit indices.
+pub fn fence_tile(device: &mut CimDevice, tile: NodeId) -> Vec<usize> {
+    let units = device.units_on_tile(tile);
+    for &u in &units {
+        device.disable_unit(u);
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::engine::{StreamOptions};
+    use crate::error::FabricError;
+    use crate::mapper::MappingPolicy;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+    use std::collections::HashMap;
+
+    #[test]
+    fn default_closed_and_revocable() {
+        let mut caps = CapabilityTable::new();
+        assert!(!caps.allows(1, 0));
+        caps.grant_all(1, [0, 1, 2]);
+        assert_eq!(caps.reach(1), 3);
+        caps.revoke(1, 1);
+        assert!(caps.allows(1, 0));
+        assert!(!caps.allows(1, 1));
+        caps.revoke_stream(1);
+        assert_eq!(caps.reach(1), 0);
+    }
+
+    fn tiny_program() -> (CimDevice, crate::engine::MappedProgram, cim_dataflow::NodeRef) {
+        let mut d = CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap();
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 2 });
+        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 2 });
+        let k = b.add("k", Operation::Sink { width: 2 });
+        b.chain(&[s, m, k]).unwrap();
+        let g = b.build().unwrap();
+        let prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        (d, prog, s)
+    }
+
+    #[test]
+    fn engine_enforces_capabilities() {
+        let (mut d, mut prog, s) = tiny_program();
+        let inputs = vec![HashMap::from([(s, vec![1.0, -1.0])])];
+
+        // Deny-all: execution refused.
+        let opts = StreamOptions {
+            capabilities: Some(CapabilityTable::new()),
+            ..StreamOptions::default()
+        };
+        let res = d.execute_stream(&mut prog, &inputs, &opts);
+        assert!(matches!(res, Err(FabricError::CapabilityDenied { .. })));
+
+        // Least privilege: grant exactly the placement, execution runs.
+        let mut caps = CapabilityTable::new();
+        caps.grant_placement(prog.stream_id, prog.placement());
+        let opts = StreamOptions {
+            capabilities: Some(caps),
+            ..StreamOptions::default()
+        };
+        assert!(d.execute_stream(&mut prog, &inputs, &opts).is_ok());
+    }
+
+    #[test]
+    fn fence_tile_disables_all_its_units() {
+        let mut d = CimDevice::new(FabricConfig::default()).unwrap();
+        let tile = NodeId::new(1, 1);
+        let fenced = fence_tile(&mut d, tile);
+        assert_eq!(fenced.len(), 4);
+        assert_eq!(d.healthy_unit_count(), 60);
+        for &u in &fenced {
+            assert_eq!(d.unit(u).health(), crate::unit::UnitHealth::Disabled);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Self-programmable dataflow (paper §III.B, third model).
+//!
+//! "Carrying code as a part of the packets to dynamically program
+//! functions as packets arrive." A [`Patch`] (defined in
+//! `cim-dataflow`) is serialized into a control-class packet, travels
+//! the NoC to the tile hosting the target node — encrypted and
+//! authenticated like any other packet when the device is configured so
+//! — and reprograms the node on arrival:
+//!
+//! * retuning a `Map` node is a cheap digital micro-program update;
+//! * replacing `MatVec` weights pays the full crossbar write cost, the
+//!   same asymmetry every other reconfiguration path exposes.
+//!
+//! Patches are structure-preserving (shape checked by
+//! [`cim_dataflow::graph::DataflowGraph::replace_op`]); placements and
+//! routes stay valid.
+
+use crate::device::CimDevice;
+use crate::engine::MappedProgram;
+use crate::error::{FabricError, Result};
+use cim_crossbar::array::OpCost;
+use cim_dataflow::graph::NodeRef;
+use cim_dataflow::ops::Operation;
+use cim_dataflow::program::Patch;
+use cim_noc::packet::{Packet, TrafficClass};
+use cim_sim::energy::Energy;
+use cim_sim::time::{SimDuration, SimTime};
+
+/// Outcome of applying one code packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchOutcome {
+    /// Graph node that was reprogrammed.
+    pub node: usize,
+    /// Unit that hosts it.
+    pub unit: usize,
+    /// When the patch took effect (delivery + reprogram).
+    pub effective_at: SimTime,
+    /// Cost of the reprogramming itself (excluding packet transit).
+    pub apply_cost: OpCost,
+}
+
+/// Builds the code-carrying packet for a patch, addressed to the tile
+/// hosting the patched node.
+///
+/// # Errors
+///
+/// Returns [`FabricError::InvalidConfig`] if the patch targets a node
+/// outside the program.
+pub fn encode_patch_packet(
+    device: &mut CimDevice,
+    prog: &MappedProgram,
+    patch: &Patch,
+    src: cim_noc::packet::NodeId,
+) -> Result<Packet> {
+    let node = patch_target(patch);
+    if node >= prog.graph().node_count() {
+        return Err(FabricError::InvalidConfig {
+            reason: format!("patch targets node {node} outside the program"),
+        });
+    }
+    let unit = prog.placement().unit_of(node);
+    let dst = device.unit(unit).tile();
+    let id = device.next_packet_id();
+    Ok(Packet::new(id, src, dst, patch.encode())
+        .with_stream(prog.stream_id)
+        .with_class(TrafficClass::Control))
+}
+
+fn patch_target(patch: &Patch) -> usize {
+    match patch {
+        Patch::SetMapFunc { node, .. } | Patch::SetWeights { node, .. } => *node as usize,
+    }
+}
+
+/// Delivers a code packet over the NoC and applies it on arrival.
+///
+/// # Errors
+///
+/// Propagates NoC errors (isolation, tampering), decode failures, shape
+/// violations, and reprogramming errors.
+pub fn deliver_and_apply(
+    device: &mut CimDevice,
+    prog: &mut MappedProgram,
+    packet: &Packet,
+    depart: SimTime,
+) -> Result<PatchOutcome> {
+    let (_, noc) = device.units_and_noc_mut();
+    let delivery = noc.transmit(packet, depart).map_err(FabricError::from)?;
+    device.meter_mut().charge("noc", delivery.energy);
+    let patch = Patch::decode(&delivery.payload).map_err(FabricError::from)?;
+    apply_patch(device, prog, &patch, delivery.arrival)
+}
+
+/// Applies a decoded patch directly (the local-control-port path).
+///
+/// # Errors
+///
+/// Returns [`FabricError::Dataflow`] for shape violations, or propagates
+/// reprogramming errors.
+pub fn apply_patch(
+    device: &mut CimDevice,
+    prog: &mut MappedProgram,
+    patch: &Patch,
+    at: SimTime,
+) -> Result<PatchOutcome> {
+    let node = patch_target(patch);
+    if node >= prog.graph().node_count() {
+        return Err(FabricError::InvalidConfig {
+            reason: format!("patch targets node {node} outside the program"),
+        });
+    }
+    let node_ref = NodeRef::from_index(node);
+    let new_op: Operation = match patch {
+        Patch::SetMapFunc { func, .. } => {
+            let width = prog.graph().node(node_ref).op.output_width();
+            Operation::Map { func: *func, width }
+        }
+        Patch::SetWeights { weights, .. } => match &prog.graph().node(node_ref).op {
+            Operation::MatVec { rows, cols, .. } => Operation::MatVec {
+                rows: *rows,
+                cols: *cols,
+                weights: weights.clone(),
+            },
+            other => {
+                return Err(FabricError::InvalidConfig {
+                    reason: format!(
+                        "weight patch targets non-matvec node {node} ({other:?})"
+                    ),
+                })
+            }
+        },
+    };
+    prog.graph.replace_op(node_ref, new_op.clone())?;
+
+    let unit = prog.placement().unit_of(node);
+    let config = device.config().clone();
+    let seeds = device.seeds().child("self-prog");
+    let apply_cost = match &new_op {
+        Operation::MatVec { .. } => {
+            // Full crossbar reprogram: the §VI write asymmetry again.
+            let cost = device.unit_mut(unit).assign(node, &new_op, &config, seeds)?;
+            device.meter_mut().charge("config", cost.energy);
+            cost
+        }
+        _ => {
+            // Digital micro-program update: one control write.
+            let cost = OpCost {
+                latency: SimDuration::from_ns(20),
+                energy: Energy::from_pj(2.0),
+            };
+            device.unit_mut(unit).assign(node, &new_op, &config, seeds)?;
+            device.meter_mut().charge("config", cost.energy);
+            cost
+        }
+    };
+    Ok(PatchOutcome {
+        node,
+        unit,
+        effective_at: at + apply_cost.latency,
+        apply_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::engine::StreamOptions;
+    use crate::mapper::MappingPolicy;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::{DataflowGraph, GraphBuilder};
+    use cim_dataflow::ops::Elementwise;
+    use cim_noc::packet::NodeId;
+    use std::collections::HashMap;
+
+    fn device() -> CimDevice {
+        CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            encryption: true,
+            ..FabricConfig::default()
+        })
+        .expect("fabric")
+    }
+
+    fn graph() -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 4 });
+        let mv = b.add(
+            "mv",
+            Operation::MatVec {
+                rows: 4,
+                cols: 4,
+                weights: vec![0.5, 0.0, 0.0, 0.0,
+                              0.0, 0.5, 0.0, 0.0,
+                              0.0, 0.0, 0.5, 0.0,
+                              0.0, 0.0, 0.0, 0.5],
+            },
+        );
+        let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 4 });
+        let k = b.add("k", Operation::Sink { width: 4 });
+        b.chain(&[s, mv, m, k]).expect("chain");
+        (b.build().expect("valid"), s, k)
+    }
+
+    fn run_once(
+        d: &mut CimDevice,
+        prog: &mut MappedProgram,
+        src: NodeRef,
+        sink: NodeRef,
+    ) -> Vec<f64> {
+        let r = d
+            .execute_stream(
+                prog,
+                &[HashMap::from([(src, vec![1.0, 2.0, -3.0, 4.0])])],
+                &StreamOptions::default(),
+            )
+            .expect("runs");
+        r.outputs[0][&sink].clone()
+    }
+
+    #[test]
+    fn map_patch_changes_behaviour_cheaply() {
+        let mut d = device();
+        let (g, src, sink) = graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let before = run_once(&mut d, &mut prog, src, sink);
+        assert!(before[2] < 0.0, "identity passes the negative through");
+
+        let patch = Patch::SetMapFunc { node: 2, func: Elementwise::Relu };
+        let outcome = apply_patch(&mut d, &mut prog, &patch, SimTime::ZERO).expect("applies");
+        assert!(
+            outcome.apply_cost.latency < SimDuration::from_us(1),
+            "map patches are digital-cheap"
+        );
+        let after = run_once(&mut d, &mut prog, src, sink);
+        assert_eq!(after[2], 0.0, "ReLU now clamps the negative lane");
+        assert!((after[0] - before[0]).abs() < 0.05, "positive lanes unchanged");
+    }
+
+    #[test]
+    fn weight_patch_pays_crossbar_write_cost() {
+        let mut d = device();
+        let (g, src, sink) = graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let before = run_once(&mut d, &mut prog, src, sink);
+
+        // Double the diagonal.
+        let mut w = vec![0.0; 16];
+        for i in 0..4 {
+            w[i * 4 + i] = 1.0;
+        }
+        let patch = Patch::SetWeights { node: 1, weights: w };
+        let outcome = apply_patch(&mut d, &mut prog, &patch, SimTime::ZERO).expect("applies");
+        assert!(
+            outcome.apply_cost.latency > SimDuration::from_us(10),
+            "weight patches reprogram the crossbar: {}",
+            outcome.apply_cost.latency
+        );
+        let after = run_once(&mut d, &mut prog, src, sink);
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - 2.0 * b).abs() < 0.1, "outputs should double: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn code_packet_rides_the_encrypted_noc() {
+        let mut d = device();
+        let (g, src, sink) = graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let patch = Patch::SetMapFunc { node: 2, func: Elementwise::Scale(3.0) };
+        let packet =
+            encode_patch_packet(&mut d, &prog, &patch, NodeId::new(3, 3)).expect("encodes");
+        assert_eq!(packet.class, TrafficClass::Control);
+        let outcome =
+            deliver_and_apply(&mut d, &mut prog, &packet, SimTime::ZERO).expect("applies");
+        assert!(outcome.effective_at > SimTime::ZERO);
+        let after = run_once(&mut d, &mut prog, src, sink);
+        assert!((after[0] - 1.5).abs() < 0.1, "0.5 * 3.0 = 1.5, got {}", after[0]);
+    }
+
+    #[test]
+    fn malformed_and_shape_breaking_patches_rejected() {
+        let mut d = device();
+        let (g, _, _) = graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+
+        // Wrong-length weights: shape violation.
+        let bad = Patch::SetWeights { node: 1, weights: vec![1.0; 3] };
+        assert!(apply_patch(&mut d, &mut prog, &bad, SimTime::ZERO).is_err());
+
+        // Weight patch to a non-matvec node.
+        let misdirected = Patch::SetWeights { node: 2, weights: vec![1.0; 16] };
+        assert!(apply_patch(&mut d, &mut prog, &misdirected, SimTime::ZERO).is_err());
+
+        // Out-of-range node.
+        let oob = Patch::SetMapFunc { node: 99, func: Elementwise::Relu };
+        assert!(apply_patch(&mut d, &mut prog, &oob, SimTime::ZERO).is_err());
+
+        // Garbage payload via the packet path.
+        let id = d.next_packet_id();
+        let tile = d.unit(prog.placement().unit_of(2)).tile();
+        let garbage = Packet::new(id, NodeId::new(0, 0), tile, vec![0xFF, 0x01])
+            .with_class(TrafficClass::Control);
+        assert!(deliver_and_apply(&mut d, &mut prog, &garbage, SimTime::ZERO).is_err());
+    }
+}

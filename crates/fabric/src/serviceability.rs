@@ -1,0 +1,355 @@
+//! Serviceability: graceful aging and self-healing (paper §V.D).
+//!
+//! "Understanding how individual devices age can enable switching them
+//! out of active configurations preventing failures from even
+//! happening." The monitor tracks two aging axes per micro-unit:
+//!
+//! * **retention drift** — programmed conductances decay over deployment
+//!   time; past a drift budget the unit's answers degrade measurably;
+//! * **endurance wear** — every reprogram consumes write cycles; a unit
+//!   near its endurance limit should be *migrated away from*, not
+//!   refreshed in place (a refresh spends exactly the cycles it is
+//!   trying to conserve).
+//!
+//! [`ServiceabilityMonitor::proactive_service`] closes the loop:
+//! drift-aged units are refreshed from the program's golden weights,
+//! worn units are fenced and their nodes migrated to spares — before
+//! anything fails.
+
+use crate::device::CimDevice;
+use crate::engine::MappedProgram;
+use crate::error::{FabricError, Result};
+use crate::unit::UnitHealth;
+use cim_crossbar::aging::RetentionModel;
+use cim_crossbar::array::OpCost;
+use cim_dataflow::graph::NodeRef;
+
+/// Health projection for one micro-unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitServiceReport {
+    /// Unit index.
+    pub unit: usize,
+    /// Seconds since the unit's engine was last (re)programmed.
+    pub age_secs: f64,
+    /// Projected fractional conductance drift at the current age.
+    pub projected_drift: f64,
+    /// Total programming pulses absorbed by the unit's cells.
+    pub write_pulses: u64,
+    /// Fraction of endurance consumed (0 = fresh, 1 = worn out).
+    pub wear: f64,
+    /// Whether the monitor recommends service now.
+    pub needs_service: bool,
+}
+
+/// One action taken by a proactive-service pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceAction {
+    /// The unit was reprogrammed in place from golden weights.
+    Refreshed {
+        /// Serviced unit.
+        unit: usize,
+        /// Cost of the refresh.
+        cost: OpCost,
+    },
+    /// The node was migrated to a spare and the worn unit fenced.
+    Migrated {
+        /// Worn unit taken out of service.
+        from: usize,
+        /// Spare that took over.
+        to: usize,
+        /// Cost of programming the spare.
+        cost: OpCost,
+    },
+}
+
+/// Tracks deployment aging across a device.
+#[derive(Debug, Clone)]
+pub struct ServiceabilityMonitor {
+    retention: RetentionModel,
+    /// Drift fraction beyond which a refresh is recommended.
+    drift_budget: f64,
+    /// Wear fraction beyond which migration (not refresh) is recommended.
+    wear_budget: f64,
+    /// Per-unit deployment age since last reprogram, seconds.
+    ages: Vec<f64>,
+}
+
+impl ServiceabilityMonitor {
+    /// Creates a monitor for a device with the given budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if budgets are outside `(0, 1]`.
+    pub fn new(
+        device: &CimDevice,
+        retention: RetentionModel,
+        drift_budget: f64,
+        wear_budget: f64,
+    ) -> Self {
+        assert!(
+            drift_budget > 0.0 && drift_budget <= 1.0,
+            "drift budget in (0,1]"
+        );
+        assert!(
+            wear_budget > 0.0 && wear_budget <= 1.0,
+            "wear budget in (0,1]"
+        );
+        ServiceabilityMonitor {
+            retention,
+            drift_budget,
+            wear_budget,
+            ages: vec![0.0; device.units().len()],
+        }
+    }
+
+    /// Advances deployment time: every programmed engine drifts by the
+    /// corresponding fraction and every unit's age grows.
+    pub fn advance(&mut self, device: &mut CimDevice, elapsed_secs: f64) {
+        let frac = self.retention.drift_fraction(elapsed_secs);
+        for (i, age) in self.ages.iter_mut().enumerate() {
+            *age += elapsed_secs;
+            if let Some(dpe) = device.unit_mut(i).dpe_mut() {
+                dpe.for_each_array(|_, _, _, _, xbar| xbar.drift_all(1.0, frac));
+            }
+        }
+    }
+
+    /// Current service report for every unit that hosts an engine.
+    pub fn report(&self, device: &CimDevice) -> Vec<UnitServiceReport> {
+        device
+            .units()
+            .iter()
+            .filter_map(|u| {
+                let dpe = u.dpe()?;
+                let fp = dpe.footprint().ok()?;
+                let pulses = dpe_total_writes(u);
+                let endurance = device.config().dpe.device.endurance.max(1);
+                let per_cell = pulses as f64 / fp.cells as f64;
+                let wear = per_cell / endurance as f64;
+                let age = self.ages[u.index()];
+                let drift = self.retention.drift_fraction(age);
+                Some(UnitServiceReport {
+                    unit: u.index(),
+                    age_secs: age,
+                    projected_drift: drift,
+                    write_pulses: pulses,
+                    wear,
+                    needs_service: drift > self.drift_budget || wear > self.wear_budget,
+                })
+            })
+            .collect()
+    }
+
+    /// Services every program node whose unit exceeds a budget:
+    /// drift-aged units are refreshed in place, wear-limited units are
+    /// fenced and migrated to spares. Returns the actions taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reprogramming/migration failures (e.g. no spare left).
+    pub fn proactive_service(
+        &mut self,
+        device: &mut CimDevice,
+        prog: &mut MappedProgram,
+    ) -> Result<Vec<ServiceAction>> {
+        let mut actions = Vec::new();
+        let flagged: Vec<UnitServiceReport> = self
+            .report(device)
+            .into_iter()
+            .filter(|r| r.needs_service)
+            .collect();
+        for r in flagged {
+            // Which program node lives there?
+            let Some(node) = device.unit(r.unit).assigned_node() else {
+                continue;
+            };
+            if node >= prog.graph().node_count()
+                || prog.placement().unit_of(node) != r.unit
+            {
+                continue; // belongs to another program
+            }
+            let op = prog.graph().node(NodeRef::from_index(node)).op.clone();
+            let config = device.config().clone();
+            let seeds = device.seeds().child("service");
+            if r.wear > self.wear_budget {
+                // Migrate: fence the worn unit, program a spare.
+                let spare = device
+                    .find_spare(r.unit)
+                    .ok_or(FabricError::NoSpareAvailable { unit: r.unit })?;
+                let cost = device.unit_mut(spare).assign(node, &op, &config, seeds)?;
+                device.meter_mut().charge("config", cost.energy);
+                device.unit_mut(r.unit).set_health(UnitHealth::Disabled);
+                prog.placement.node_to_unit[node] = spare;
+                self.ages[spare] = 0.0;
+                actions.push(ServiceAction::Migrated {
+                    from: r.unit,
+                    to: spare,
+                    cost,
+                });
+            } else {
+                // Refresh in place from golden weights.
+                let cost = device.unit_mut(r.unit).assign(node, &op, &config, seeds)?;
+                device.meter_mut().charge("config", cost.energy);
+                self.ages[r.unit] = 0.0;
+                actions.push(ServiceAction::Refreshed { unit: r.unit, cost });
+            }
+        }
+        Ok(actions)
+    }
+}
+
+fn dpe_total_writes(unit: &crate::unit::MicroUnit) -> u64 {
+    // Sum of programming pulses across the unit's arrays. Accessible via
+    // the immutable engine handle.
+    unit.dpe().map_or(0, |dpe| dpe.programmed_pulses())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::engine::StreamOptions;
+    use crate::mapper::MappingPolicy;
+    use cim_crossbar::aging::YEAR_SECS;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::Operation;
+    use std::collections::HashMap;
+
+    fn setup() -> (CimDevice, MappedProgram, NodeRef, NodeRef) {
+        let mut d = CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .expect("fabric");
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 8 });
+        let mv = b.add(
+            "mv",
+            Operation::MatVec {
+                rows: 8,
+                cols: 8,
+                weights: (0..64).map(|i| ((i % 5) as f64) / 5.0 + 0.1).collect(),
+            },
+        );
+        let k = b.add("k", Operation::Sink { width: 8 });
+        b.chain(&[s, mv, k]).expect("chain");
+        let g = b.build().expect("valid");
+        let prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        (d, prog, s, k)
+    }
+
+    fn output(d: &mut CimDevice, prog: &mut MappedProgram, s: NodeRef, k: NodeRef) -> Vec<f64> {
+        d.execute_stream(
+            prog,
+            &[HashMap::from([(s, vec![0.5; 8])])],
+            &StreamOptions::default(),
+        )
+        .expect("runs")
+        .outputs[0][&k]
+            .clone()
+    }
+
+    #[test]
+    fn aging_is_observable_and_refresh_heals_it() {
+        let (mut d, mut prog, s, k) = setup();
+        let fresh = output(&mut d, &mut prog, s, k);
+        let mut mon =
+            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
+        mon.advance(&mut d, 8.0 * YEAR_SECS); // 8% drift > 5% budget
+        let aged = output(&mut d, &mut prog, s, k);
+        let drifted: f64 = fresh
+            .iter()
+            .zip(&aged)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(drifted > 0.01, "drift must be visible: {drifted}");
+
+        let mv_unit = prog.placement().unit_of(1);
+        let report = mon.report(&d);
+        let entry = report.iter().find(|r| r.unit == mv_unit).expect("engine unit");
+        assert!(entry.needs_service, "drift budget exceeded: {entry:?}");
+
+        let actions = mon.proactive_service(&mut d, &mut prog).expect("services");
+        assert!(matches!(actions[..], [ServiceAction::Refreshed { .. }]));
+        let healed = output(&mut d, &mut prog, s, k);
+        let residual: f64 = fresh
+            .iter()
+            .zip(&healed)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(residual < drifted / 5.0, "refresh restores accuracy");
+        // Monitor is clean again.
+        assert!(mon.report(&d).iter().all(|r| !r.needs_service));
+    }
+
+    #[test]
+    fn worn_units_are_migrated_not_refreshed() {
+        // Finite endurance so wear is measurable: one programming pass
+        // consumes 1/1000 of each cell's life.
+        let mut device_params = cim_crossbar::device::DeviceParams::ideal(2);
+        device_params.endurance = 1_000;
+        let mut d = CimDevice::new(FabricConfig {
+            dpe: DpeConfig {
+                device: device_params,
+                ..DpeConfig::ideal()
+            },
+            ..FabricConfig::default()
+        })
+        .expect("fabric");
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 8 });
+        let mv = b.add(
+            "mv",
+            Operation::MatVec {
+                rows: 8,
+                cols: 8,
+                weights: (0..64).map(|i| ((i % 5) as f64) / 5.0 + 0.1).collect(),
+            },
+        );
+        let k = b.add("k", Operation::Sink { width: 8 });
+        b.chain(&[s, mv, k]).expect("chain");
+        let g = b.build().expect("valid");
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+
+        let before = output(&mut d, &mut prog, s, k);
+        let mv_unit = prog.placement().unit_of(1);
+        // Wear budget below the consumed 1/1000: migration required.
+        let mut mon =
+            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.5, 1e-4);
+        let actions = mon.proactive_service(&mut d, &mut prog).expect("services");
+        let migrated = actions
+            .iter()
+            .find_map(|a| match a {
+                ServiceAction::Migrated { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .expect("wear triggers migration");
+        assert_eq!(migrated.0, mv_unit);
+        assert_ne!(migrated.1, mv_unit);
+        assert_eq!(d.unit(mv_unit).health(), UnitHealth::Disabled);
+        assert_eq!(prog.placement().unit_of(1), migrated.1);
+        // Still computes the same function on the spare.
+        let after = output(&mut d, &mut prog, s, k);
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn fresh_device_needs_no_service() {
+        let (mut d, mut prog, _, _) = setup();
+        let mut mon =
+            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
+        assert!(mon.report(&d).iter().all(|r| !r.needs_service));
+        let actions = mon.proactive_service(&mut d, &mut prog).expect("no-op");
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "drift budget")]
+    fn bad_budget_panics() {
+        let (d, _, _, _) = setup();
+        let _ = ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.0, 0.5);
+    }
+}

@@ -1,0 +1,288 @@
+//! Virtualization and partitioning (paper §IV.B).
+//!
+//! The paper draws the analogy to Network Function Virtualization: tiles
+//! are carved into tenant partitions, each an isolation domain on the
+//! interconnect; programs load into their partition's tiles only; and a
+//! partition can fail over to a spare set of tiles, paying the crossbar
+//! reprogramming cost (the CIM failover currency, §IV.B "failover").
+
+use crate::device::CimDevice;
+use crate::engine::MappedProgram;
+use crate::error::{FabricError, Result};
+use crate::mapper::{map_graph_subset, MappingPolicy};
+use cim_crossbar::array::OpCost;
+use cim_dataflow::graph::DataflowGraph;
+use cim_noc::packet::NodeId;
+
+/// One tenant partition: a set of tiles forming an isolation domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Partition (isolation domain) id; domain 0 is the unpartitioned
+    /// default, so tenant ids start at 1.
+    pub id: u32,
+    /// Member tiles.
+    pub tiles: Vec<NodeId>,
+}
+
+/// Manages tenant partitions on one device.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionManager {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a partition over `tiles` and applies the isolation domain
+    /// to the device's interconnect policy (cross-partition traffic is
+    /// denied by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for an empty tile set, a
+    /// tile outside the mesh, a reused id, id 0, or a tile already owned
+    /// by another partition.
+    pub fn create(
+        &mut self,
+        device: &mut CimDevice,
+        id: u32,
+        tiles: Vec<NodeId>,
+    ) -> Result<()> {
+        if id == 0 {
+            return Err(FabricError::InvalidConfig {
+                reason: "partition id 0 is reserved for the default domain".to_owned(),
+            });
+        }
+        if tiles.is_empty() {
+            return Err(FabricError::InvalidConfig {
+                reason: "partition needs at least one tile".to_owned(),
+            });
+        }
+        if self.partitions.iter().any(|p| p.id == id) {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("partition id {id} already exists"),
+            });
+        }
+        for t in &tiles {
+            device.noc().mesh().check(*t).map_err(FabricError::from)?;
+            if self.owner_of(*t).is_some() {
+                return Err(FabricError::InvalidConfig {
+                    reason: format!("tile {t} already belongs to a partition"),
+                });
+            }
+        }
+        for t in &tiles {
+            device.noc_mut().policy_mut().assign(*t, id);
+        }
+        self.partitions.push(Partition { id, tiles });
+        Ok(())
+    }
+
+    /// The partition owning `tile`, if any.
+    pub fn owner_of(&self, tile: NodeId) -> Option<u32> {
+        self.partitions
+            .iter()
+            .find(|p| p.tiles.contains(&tile))
+            .map(|p| p.id)
+    }
+
+    /// The partition with the given id.
+    pub fn partition(&self, id: u32) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.id == id)
+    }
+
+    /// Unit indices belonging to a partition.
+    pub fn units_of(&self, device: &CimDevice, id: u32) -> Vec<usize> {
+        self.partition(id)
+            .map(|p| {
+                p.tiles
+                    .iter()
+                    .flat_map(|t| device.units_on_tile(*t))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Loads a program restricted to one partition's tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for an unknown partition, or
+    /// propagates mapping/programming failures.
+    pub fn load_program_in(
+        &self,
+        device: &mut CimDevice,
+        id: u32,
+        graph: &DataflowGraph,
+        policy: MappingPolicy,
+    ) -> Result<MappedProgram> {
+        let units = self.units_of(device, id);
+        if units.is_empty() {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("unknown or empty partition {id}"),
+            });
+        }
+        let placement = map_graph_subset(device, graph, policy, &units)?;
+        device.finish_load(graph, placement)
+    }
+
+    /// Fails a whole partition over to another: every program node placed
+    /// in `from` must be re-placed (and re-programmed) on `to`'s tiles.
+    /// Returns the reconfiguration cost — §IV.B promises failover with
+    /// "minimal impact", and this measures exactly how minimal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for unknown partitions, or
+    /// propagates remapping failures.
+    pub fn fail_over(
+        &self,
+        device: &mut CimDevice,
+        prog: &mut MappedProgram,
+        from: u32,
+        to: u32,
+    ) -> Result<OpCost> {
+        let from_units = self.units_of(device, from);
+        let to_units = self.units_of(device, to);
+        if from_units.is_empty() || to_units.is_empty() {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("unknown partition in failover {from} -> {to}"),
+            });
+        }
+        // Fence the failed partition.
+        for &u in &from_units {
+            device.disable_unit(u);
+        }
+        let graph = prog.graph().clone();
+        let placement = map_graph_subset(device, &graph, MappingPolicy::LocalityAware, &to_units)?;
+        let cost = device.reprogram_placement(&graph, &placement)?;
+        *prog = MappedProgram {
+            graph,
+            placement,
+            config_cost: cost,
+            stream_id: prog.stream_id,
+        };
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::engine::StreamOptions;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+    use std::collections::HashMap;
+
+    fn device() -> CimDevice {
+        CimDevice::new(FabricConfig {
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn graph() -> DataflowGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width: 4 });
+        let m = b.add(
+            "mv",
+            Operation::MatVec {
+                rows: 4,
+                cols: 4,
+                weights: vec![0.25; 16],
+            },
+        );
+        let r = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 4 });
+        let k = b.add("k", Operation::Sink { width: 4 });
+        b.chain(&[s, m, r, k]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn column(x: u16) -> Vec<NodeId> {
+        (0..4).map(|y| NodeId::new(x, y)).collect()
+    }
+
+    #[test]
+    fn create_validates() {
+        let mut d = device();
+        let mut pm = PartitionManager::new();
+        assert!(pm.create(&mut d, 0, column(0)).is_err(), "id 0 reserved");
+        assert!(pm.create(&mut d, 1, vec![]).is_err(), "empty");
+        pm.create(&mut d, 1, column(0)).unwrap();
+        assert!(pm.create(&mut d, 1, column(1)).is_err(), "dup id");
+        assert!(pm.create(&mut d, 2, column(0)).is_err(), "tile taken");
+        assert!(
+            pm.create(&mut d, 3, vec![NodeId::new(99, 0)]).is_err(),
+            "outside mesh"
+        );
+        assert_eq!(pm.owner_of(NodeId::new(0, 2)), Some(1));
+        assert_eq!(pm.owner_of(NodeId::new(1, 0)), None);
+    }
+
+    #[test]
+    fn programs_stay_inside_their_partition() {
+        let mut d = device();
+        let mut pm = PartitionManager::new();
+        pm.create(&mut d, 1, column(0)).unwrap();
+        pm.create(&mut d, 2, column(1)).unwrap();
+        let prog = pm
+            .load_program_in(&mut d, 1, &graph(), MappingPolicy::LocalityAware)
+            .unwrap();
+        let allowed = pm.units_of(&d, 1);
+        for &u in &prog.placement().node_to_unit {
+            assert!(allowed.contains(&u), "unit {u} outside partition 1");
+        }
+    }
+
+    #[test]
+    fn cross_partition_traffic_is_denied() {
+        let mut d = device();
+        let mut pm = PartitionManager::new();
+        pm.create(&mut d, 1, column(0)).unwrap();
+        pm.create(&mut d, 2, column(1)).unwrap();
+        use cim_noc::packet::Packet;
+        let p = Packet::new(1, NodeId::new(0, 0), NodeId::new(1, 0), vec![1u8]);
+        let res = d.noc_mut().transmit(&p, cim_sim::SimTime::ZERO);
+        assert!(matches!(res, Err(cim_noc::NocError::IsolationViolation { .. })));
+    }
+
+    #[test]
+    fn failover_moves_program_and_preserves_results() {
+        let mut d = device();
+        let mut pm = PartitionManager::new();
+        pm.create(&mut d, 1, column(0)).unwrap();
+        pm.create(&mut d, 2, column(2)).unwrap();
+        let g = graph();
+        let src = g.sources()[0];
+        let sink = g.sinks()[0];
+        let mut prog = pm
+            .load_program_in(&mut d, 1, &g, MappingPolicy::LocalityAware)
+            .unwrap();
+        let input = vec![HashMap::from([(src, vec![0.5; 4])])];
+        let before = d
+            .execute_stream(&mut prog, &input, &StreamOptions::default())
+            .unwrap();
+
+        let cost = pm.fail_over(&mut d, &mut prog, 1, 2).unwrap();
+        assert!(cost.latency.as_ps() > 0, "failover pays reprogramming");
+        // Old units are fenced.
+        for &u in &pm.units_of(&d, 1) {
+            assert_ne!(d.unit(u).health(), crate::unit::UnitHealth::Healthy);
+        }
+        // Program still works on the new partition.
+        let after = d
+            .execute_stream(&mut prog, &input, &StreamOptions::default())
+            .unwrap();
+        let a: Vec<f64> = before.outputs[0][&sink].clone();
+        let b: Vec<f64> = after.outputs[0][&sink].clone();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.05, "failover changed results: {x} vs {y}");
+        }
+    }
+}

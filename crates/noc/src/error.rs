@@ -1,0 +1,85 @@
+//! Error types for the network-on-chip crate.
+
+use crate::packet::NodeId;
+use core::fmt;
+
+/// Errors raised by NoC routing and transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A node coordinate is outside the mesh.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+    /// The isolation policy forbids this source–destination pair.
+    IsolationViolation {
+        /// Packet source.
+        src: NodeId,
+        /// Packet destination.
+        dst: NodeId,
+    },
+    /// No route exists (all candidate paths cross failed links).
+    NoRoute {
+        /// Packet source.
+        src: NodeId,
+        /// Packet destination.
+        dst: NodeId,
+    },
+    /// The packet failed authentication at the destination boundary.
+    AuthenticationFailed {
+        /// Packet identifier.
+        packet_id: u64,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::UnknownNode {
+                node,
+                width,
+                height,
+            } => write!(f, "node {node} outside {width}x{height} mesh"),
+            NocError::IsolationViolation { src, dst } => {
+                write!(f, "isolation policy forbids traffic {src} -> {dst}")
+            }
+            NocError::NoRoute { src, dst } => {
+                write!(f, "no live route {src} -> {dst}")
+            }
+            NocError::AuthenticationFailed { packet_id } => {
+                write!(f, "packet {packet_id} failed authentication")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, NocError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parties() {
+        let e = NocError::IsolationViolation {
+            src: NodeId::new(0, 0),
+            dst: NodeId::new(1, 2),
+        };
+        assert!(e.to_string().contains("(0,0)"));
+        assert!(e.to_string().contains("(1,2)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NocError>();
+    }
+}

@@ -1,0 +1,531 @@
+//! Flow-level network-on-chip model with QoS, isolation and encryption.
+//!
+//! The model tracks per-link, per-virtual-channel reservations: a packet
+//! walking its route reserves each link for its serialization time, so
+//! contention, head-of-line blocking within a class, and QoS separation
+//! across classes all emerge without a cycle-level router simulation.
+//! This is the "provision enough interconnect" machinery of §IV.B and the
+//! packet-based security boundary of §IV.A.
+
+use crate::crypto::{self, LinkKey};
+use crate::error::{NocError, Result};
+use crate::packet::{NodeId, Packet};
+use crate::topology::{Link, Mesh};
+use bytes::Bytes;
+use cim_sim::calib::noc as cal;
+use cim_sim::energy::Energy;
+use cim_sim::stats::Summary;
+use cim_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Assigns nodes to isolation domains and controls cross-domain traffic
+/// (§IV.B "dynamic hardware isolation").
+///
+/// Nodes default to domain 0; traffic within a domain is always allowed,
+/// cross-domain traffic only if explicitly permitted.
+#[derive(Debug, Clone, Default)]
+pub struct IsolationPolicy {
+    domains: HashMap<NodeId, u32>,
+    allowed: Vec<(u32, u32)>,
+}
+
+impl IsolationPolicy {
+    /// Creates the default policy (everything in domain 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a node to a domain.
+    pub fn assign(&mut self, node: NodeId, domain: u32) {
+        self.domains.insert(node, domain);
+    }
+
+    /// The domain a node belongs to.
+    pub fn domain_of(&self, node: NodeId) -> u32 {
+        self.domains.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Permits traffic from domain `from` to domain `to` (directed).
+    pub fn allow(&mut self, from: u32, to: u32) {
+        if !self.allowed.contains(&(from, to)) {
+            self.allowed.push((from, to));
+        }
+    }
+
+    /// Revokes a previously granted cross-domain permission.
+    pub fn revoke(&mut self, from: u32, to: u32) {
+        self.allowed.retain(|&p| p != (from, to));
+    }
+
+    /// Whether traffic between two nodes is permitted.
+    pub fn allows(&self, src: NodeId, dst: NodeId) -> bool {
+        let (a, b) = (self.domain_of(src), self.domain_of(dst));
+        a == b || self.allowed.contains(&(a, b))
+    }
+}
+
+/// A man-in-the-middle hook used by the security experiments: receives
+/// the wire payload at the route's midpoint and may mutate it.
+pub type TamperFn<'a> = &'a dyn Fn(&mut Vec<u8>);
+
+/// Outcome of one packet transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the tail flit arrived at the destination.
+    pub arrival: SimTime,
+    /// Total energy spent on the transfer (hops + crypto).
+    pub energy: Energy,
+    /// Hop count of the path taken.
+    pub hops: u32,
+    /// The payload as seen *on the wire* (ciphertext when encryption is
+    /// on) — what a link tap would observe.
+    pub wire_payload: Bytes,
+    /// The payload delivered to the destination (decrypted, verified).
+    pub payload: Bytes,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Packets delivered.
+    pub packets: u64,
+    /// Flit-hops traversed.
+    pub flit_hops: u64,
+    /// Total energy.
+    pub energy: Energy,
+    /// End-to-end latency summary (ns) per traffic class.
+    pub latency_ns: [Summary; 3],
+    /// Packets rejected by the isolation policy.
+    pub isolation_rejects: u64,
+    /// Packets that failed authentication.
+    pub auth_failures: u64,
+}
+
+/// The mesh network with per-link virtual-channel reservations.
+///
+/// # Examples
+///
+/// ```
+/// use cim_noc::network::NocNetwork;
+/// use cim_noc::packet::{NodeId, Packet};
+/// use cim_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut noc = NocNetwork::new(4, 4, 42)?;
+/// let p = Packet::new(1, NodeId::new(0, 0), NodeId::new(3, 3), vec![7u8; 64]);
+/// let d = noc.transmit(&p, SimTime::ZERO)?;
+/// assert_eq!(d.hops, 6);
+/// assert_eq!(&d.payload[..], &[7u8; 64]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NocNetwork {
+    mesh: Mesh,
+    busy: HashMap<(Link, usize), SimTime>,
+    /// Cumulative serialization time reserved per link (all VCs) — the
+    /// §IV.C "load information" the resource manager reads.
+    reserved: HashMap<Link, SimDuration>,
+    policy: IsolationPolicy,
+    encryption: bool,
+    master_seed: u64,
+    stats: NocStats,
+}
+
+impl NocNetwork {
+    /// Creates a `width × height` mesh network.
+    ///
+    /// Encryption is off by default; enable with
+    /// [`set_encryption`](Self::set_encryption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::UnknownNode`] if dimensions are degenerate.
+    pub fn new(width: usize, height: usize, master_seed: u64) -> Result<Self> {
+        let mesh = Mesh::new(width, height).ok_or(NocError::UnknownNode {
+            node: NodeId::new(0, 0),
+            width,
+            height,
+        })?;
+        Ok(NocNetwork {
+            mesh,
+            busy: HashMap::new(),
+            reserved: HashMap::new(),
+            policy: IsolationPolicy::new(),
+            encryption: false,
+            master_seed,
+            stats: NocStats::default(),
+        })
+    }
+
+    /// The underlying mesh (for fault injection on links).
+    pub fn mesh_mut(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
+    /// The underlying mesh, read-only.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The isolation policy, mutable.
+    pub fn policy_mut(&mut self) -> &mut IsolationPolicy {
+        &mut self.policy
+    }
+
+    /// Enables or disables link encryption + authentication.
+    pub fn set_encryption(&mut self, on: bool) {
+        self.encryption = on;
+    }
+
+    /// Whether encryption is enabled.
+    pub fn encryption(&self) -> bool {
+        self.encryption
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Clears per-link reservations and statistics (fresh experiment).
+    pub fn reset(&mut self) {
+        self.busy.clear();
+        self.reserved.clear();
+        self.stats = NocStats::default();
+    }
+
+    /// Cumulative reserved (serialization) time per link, hottest first —
+    /// the load telemetry §IV.C's "load information management" needs
+    /// before balancing or re-provisioning.
+    pub fn link_load(&self) -> Vec<(Link, SimDuration)> {
+        let mut loads: Vec<(Link, SimDuration)> =
+            self.reserved.iter().map(|(l, d)| (*l, *d)).collect();
+        loads.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        loads
+    }
+
+    /// The most heavily reserved link, if any traffic has flowed.
+    pub fn hottest_link(&self) -> Option<(Link, SimDuration)> {
+        self.link_load().into_iter().next()
+    }
+
+    fn cycle() -> SimDuration {
+        SimDuration::from_ps((1e12 / cal::CLOCK_HZ) as u64)
+    }
+
+    fn domain_key(&self, domain: u32) -> LinkKey {
+        LinkKey::derive(self.master_seed, domain)
+    }
+
+    /// Sends one packet, reserving links along the way. Returns the
+    /// delivery record; the network's clock state is the set of link
+    /// reservations, so calls must be made in non-decreasing `depart`
+    /// order per stream for meaningful contention results.
+    ///
+    /// # Errors
+    ///
+    /// * [`NocError::IsolationViolation`] if the policy forbids the pair;
+    /// * [`NocError::NoRoute`] if link failures disconnect the pair;
+    /// * [`NocError::AuthenticationFailed`] if the payload was tampered
+    ///   with in flight (only detectable when encryption is on).
+    pub fn transmit(&mut self, packet: &Packet, depart: SimTime) -> Result<Delivery> {
+        self.transmit_with(packet, depart, None)
+    }
+
+    /// Like [`transmit`](Self::transmit), but optionally passes the
+    /// payload through a man-in-the-middle closure at the half-way hop —
+    /// the hook the security experiments use to model tampering.
+    ///
+    /// # Errors
+    ///
+    /// See [`transmit`](Self::transmit).
+    pub fn transmit_with(
+        &mut self,
+        packet: &Packet,
+        depart: SimTime,
+        tamper: Option<TamperFn<'_>>,
+    ) -> Result<Delivery> {
+        if !self.policy.allows(packet.src, packet.dst) {
+            self.stats.isolation_rejects += 1;
+            return Err(NocError::IsolationViolation {
+                src: packet.src,
+                dst: packet.dst,
+            });
+        }
+        let path = self.mesh.route(packet.src, packet.dst)?;
+        let vc = packet.class.virtual_channel();
+        let mut energy = Energy::ZERO;
+        let mut cursor = depart;
+
+        // Source boundary: encrypt + tag.
+        let src_domain = self.policy.domain_of(packet.src);
+        let nonce = packet.id;
+        let (mut wire, tag) = if self.encryption {
+            let key = self.domain_key(src_domain);
+            let (cipher, cost) = crypto::encrypt(&packet.payload, key, nonce);
+            cursor += cost.latency;
+            energy += cost.energy;
+            let tag = crypto::auth_tag(&cipher, key, packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y));
+            (cipher.to_vec(), Some(tag))
+        } else {
+            (packet.payload.to_vec(), None)
+        };
+
+        // Walk the path, reserving each link's virtual channel.
+        let flits = packet.flit_count();
+        let serialization = Self::cycle() * (flits * cal::LINK_CYCLES);
+        let router_delay = Self::cycle() * cal::ROUTER_CYCLES;
+        let crypto_link_delay = if self.encryption {
+            Self::cycle() * cal::CRYPTO_CYCLES
+        } else {
+            SimDuration::ZERO
+        };
+        let hops = path.len().saturating_sub(1) as u32;
+        for (i, w) in path.windows(2).enumerate() {
+            let link = Link::new(w[0], w[1]);
+            let slot = self.busy.entry((link, vc)).or_insert(SimTime::ZERO);
+            let start = cursor.max(*slot) + router_delay + crypto_link_delay;
+            let done = start + serialization;
+            *slot = done;
+            *self.reserved.entry(link).or_insert(SimDuration::ZERO) += serialization;
+            cursor = done;
+            energy += Energy::from_fj(cal::FLIT_HOP_FJ * flits);
+            self.stats.flit_hops += flits;
+            if i == (hops as usize) / 2 {
+                if let Some(t) = tamper {
+                    t(&mut wire);
+                }
+            }
+        }
+
+        let wire_payload = Bytes::from(wire.clone());
+        // Destination boundary: verify + decrypt.
+        let payload = if self.encryption {
+            let key = self.domain_key(src_domain);
+            let expect = crypto::auth_tag(&wire, key, packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y));
+            if Some(expect) != tag {
+                self.stats.auth_failures += 1;
+                return Err(NocError::AuthenticationFailed { packet_id: packet.id });
+            }
+            let (plain, cost) = crypto::decrypt(&wire, key, nonce);
+            cursor += cost.latency;
+            energy += cost.energy;
+            plain
+        } else {
+            wire_payload.clone()
+        };
+
+        self.stats.packets += 1;
+        self.stats.energy += energy;
+        self.stats.latency_ns[vc].record((cursor - depart).as_ns_f64());
+        Ok(Delivery {
+            arrival: cursor,
+            energy,
+            hops,
+            wire_payload,
+            payload,
+        })
+    }
+
+    /// The zero-load latency of a packet over `hops` hops — the floor the
+    /// QoS experiments compare against.
+    pub fn zero_load_latency(&self, packet: &Packet, hops: u32) -> SimDuration {
+        let serialization = Self::cycle() * (packet.flit_count() * cal::LINK_CYCLES);
+        let per_hop = Self::cycle() * cal::ROUTER_CYCLES + serialization;
+        let crypto = if self.encryption {
+            Self::cycle() * (cal::CRYPTO_CYCLES * u64::from(hops))
+        } else {
+            SimDuration::ZERO
+        };
+        per_hop * u64::from(hops) + crypto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    fn n(x: u16, y: u16) -> NodeId {
+        NodeId::new(x, y)
+    }
+
+    fn net() -> NocNetwork {
+        NocNetwork::new(8, 8, 1234).unwrap()
+    }
+
+    #[test]
+    fn delivers_payload_intact_plaintext() {
+        let mut noc = net();
+        let p = Packet::new(1, n(0, 0), n(4, 4), vec![1, 2, 3, 4]);
+        let d = noc.transmit(&p, SimTime::ZERO).unwrap();
+        assert_eq!(&d.payload[..], &[1, 2, 3, 4]);
+        assert_eq!(&d.wire_payload[..], &[1, 2, 3, 4], "no encryption: wire is plain");
+        assert_eq!(d.hops, 8);
+        assert!(d.arrival > SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_grows_with_distance_and_size() {
+        let mut noc = net();
+        let near = Packet::new(1, n(0, 0), n(1, 0), vec![0u8; 16]);
+        let far = Packet::new(2, n(0, 0), n(7, 7), vec![0u8; 16]);
+        let big = Packet::new(3, n(0, 0), n(1, 0), vec![0u8; 1024]);
+        let t_near = noc.transmit(&near, SimTime::ZERO).unwrap().arrival;
+        noc.reset();
+        let t_far = noc.transmit(&far, SimTime::ZERO).unwrap().arrival;
+        noc.reset();
+        let t_big = noc.transmit(&big, SimTime::ZERO).unwrap().arrival;
+        assert!(t_far > t_near);
+        assert!(t_big > t_near);
+    }
+
+    #[test]
+    fn contention_delays_same_class_packets() {
+        let mut noc = net();
+        let a = Packet::new(1, n(0, 0), n(3, 0), vec![0u8; 256]);
+        let b = Packet::new(2, n(0, 0), n(3, 0), vec![0u8; 256]);
+        let d1 = noc.transmit(&a, SimTime::ZERO).unwrap();
+        let d2 = noc.transmit(&b, SimTime::ZERO).unwrap();
+        assert!(
+            d2.arrival > d1.arrival,
+            "second packet on the same links must queue"
+        );
+    }
+
+    #[test]
+    fn virtual_channels_isolate_classes() {
+        let mut congested = net();
+        // Saturate the best-effort VC along row 0.
+        for i in 0..20 {
+            let p = Packet::new(i, n(0, 0), n(7, 0), vec![0u8; 1024]);
+            congested.transmit(&p, SimTime::ZERO).unwrap();
+        }
+        let ctrl = Packet::new(100, n(0, 0), n(7, 0), vec![0u8; 16])
+            .with_class(TrafficClass::Control);
+        let d = congested.transmit(&ctrl, SimTime::ZERO).unwrap();
+        let floor = congested.zero_load_latency(&ctrl, 7);
+        assert_eq!(
+            (d.arrival - SimTime::ZERO).as_ps(),
+            floor.as_ps(),
+            "control traffic rides its own VC at zero-load latency"
+        );
+    }
+
+    #[test]
+    fn isolation_policy_blocks_cross_domain() {
+        let mut noc = net();
+        noc.policy_mut().assign(n(0, 0), 1);
+        noc.policy_mut().assign(n(1, 0), 2);
+        let p = Packet::new(1, n(0, 0), n(1, 0), vec![1]);
+        assert!(matches!(
+            noc.transmit(&p, SimTime::ZERO),
+            Err(NocError::IsolationViolation { .. })
+        ));
+        assert_eq!(noc.stats().isolation_rejects, 1);
+        noc.policy_mut().allow(1, 2);
+        assert!(noc.transmit(&p, SimTime::ZERO).is_ok());
+        noc.policy_mut().revoke(1, 2);
+        assert!(noc.transmit(&p, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn encryption_hides_wire_payload_and_roundtrips() {
+        let mut noc = net();
+        noc.set_encryption(true);
+        let secret = b"model weights".to_vec();
+        let p = Packet::new(1, n(0, 0), n(3, 3), secret.clone());
+        let d = noc.transmit(&p, SimTime::ZERO).unwrap();
+        assert_eq!(&d.payload[..], &secret[..]);
+        assert_ne!(&d.wire_payload[..], &secret[..], "tap sees ciphertext");
+    }
+
+    #[test]
+    fn tampering_is_detected_with_encryption() {
+        let mut noc = net();
+        noc.set_encryption(true);
+        let p = Packet::new(1, n(0, 0), n(3, 3), vec![9u8; 32]);
+        let flip = |buf: &mut Vec<u8>| buf[0] ^= 0xFF;
+        let res = noc.transmit_with(&p, SimTime::ZERO, Some(&flip));
+        assert_eq!(
+            res,
+            Err(NocError::AuthenticationFailed { packet_id: 1 })
+        );
+        assert_eq!(noc.stats().auth_failures, 1);
+    }
+
+    #[test]
+    fn tampering_goes_undetected_without_encryption() {
+        let mut noc = net();
+        let p = Packet::new(1, n(0, 0), n(3, 3), vec![9u8; 32]);
+        let flip = |buf: &mut Vec<u8>| buf[0] ^= 0xFF;
+        let d = noc.transmit_with(&p, SimTime::ZERO, Some(&flip)).unwrap();
+        assert_ne!(&d.payload[..], &[9u8; 32][..], "corruption reaches the app");
+    }
+
+    #[test]
+    fn encryption_costs_latency_and_energy() {
+        let p = Packet::new(1, n(0, 0), n(5, 5), vec![0u8; 512]);
+        let mut plain = net();
+        let d_plain = plain.transmit(&p, SimTime::ZERO).unwrap();
+        let mut enc = net();
+        enc.set_encryption(true);
+        let d_enc = enc.transmit(&p, SimTime::ZERO).unwrap();
+        assert!(d_enc.arrival > d_plain.arrival);
+        assert!(d_enc.energy > d_plain.energy);
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        let mut noc = net();
+        noc.mesh_mut().fail_link(n(0, 0), n(1, 0));
+        let p = Packet::new(1, n(0, 0), n(2, 0), vec![0u8; 8]);
+        let d = noc.transmit(&p, SimTime::ZERO).unwrap();
+        assert!(d.hops > 2, "detour is longer than the direct 2-hop path");
+    }
+
+    #[test]
+    fn link_load_telemetry_finds_the_hot_path() {
+        let mut noc = net();
+        // Ten packets down row 0, one packet down row 7.
+        for i in 0..10 {
+            let p = Packet::new(i, n(0, 0), n(7, 0), vec![0u8; 256]);
+            noc.transmit(&p, SimTime::ZERO).unwrap();
+        }
+        let lone = Packet::new(99, n(0, 7), n(7, 7), vec![0u8; 256]);
+        noc.transmit(&lone, SimTime::ZERO).unwrap();
+
+        let loads = noc.link_load();
+        assert!(!loads.is_empty());
+        let (hot, hot_load) = noc.hottest_link().unwrap();
+        assert_eq!(hot.from.y, 0, "the hot path is row 0: {hot:?}");
+        // Every row-0 link carries 10x the lone row-7 link's traffic.
+        let cold = loads
+            .iter()
+            .find(|(l, _)| l.from.y == 7)
+            .expect("row 7 link present");
+        assert!(hot_load.as_ps() >= 10 * cold.1.as_ps() / 2);
+        // Reset clears telemetry.
+        noc.reset();
+        assert!(noc.hottest_link().is_none());
+    }
+
+    #[test]
+    fn stats_accumulate_per_class() {
+        let mut noc = net();
+        noc.transmit(&Packet::new(1, n(0, 0), n(1, 1), vec![0u8; 64]), SimTime::ZERO)
+            .unwrap();
+        noc.transmit(
+            &Packet::new(2, n(0, 0), n(1, 1), vec![0u8; 64]).with_class(TrafficClass::Control),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let s = noc.stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.latency_ns[0].count(), 1);
+        assert_eq!(s.latency_ns[2].count(), 1);
+        assert!(s.energy.as_fj() > 0);
+        assert!(s.flit_hops > 0);
+    }
+}

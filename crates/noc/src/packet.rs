@@ -1,0 +1,184 @@
+//! Packets, flits and traffic classes.
+//!
+//! The paper's CIM model is packet-based end to end (§III, §IV.A):
+//! streams of packets carry data between micro-units, and the security and
+//! QoS stories hang off packet boundaries. A packet is serialized into
+//! fixed-size flits on the wire; its flit count determines serialization
+//! latency and per-hop energy.
+
+use bytes::Bytes;
+use cim_sim::calib::noc as cal;
+use core::fmt;
+
+/// A node coordinate in the 2-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId {
+    /// Column (0-based).
+    pub x: u16,
+    /// Row (0-based).
+    pub y: u16,
+}
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(x: u16, y: u16) -> Self {
+        NodeId { x, y }
+    }
+
+    /// Manhattan distance to another node (minimum hop count).
+    pub fn manhattan(&self, other: NodeId) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Service class of a packet; maps to a virtual channel at each link.
+///
+/// Ordering matters: higher classes win arbitration (QoS, §IV.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum TrafficClass {
+    /// Bulk data, no guarantees.
+    #[default]
+    BestEffort,
+    /// Provisioned streams with bandwidth guarantees.
+    Guaranteed,
+    /// Fabric control traffic (configuration, fault signalling).
+    Control,
+}
+
+impl TrafficClass {
+    /// The virtual channel index this class uses.
+    pub fn virtual_channel(self) -> usize {
+        match self {
+            TrafficClass::BestEffort => 0,
+            TrafficClass::Guaranteed => 1,
+            TrafficClass::Control => 2,
+        }
+    }
+
+    /// All classes, lowest priority first.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::BestEffort,
+        TrafficClass::Guaranteed,
+        TrafficClass::Control,
+    ];
+}
+
+/// A packet travelling the NoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique packet id (assigned by the sender).
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Stream this packet belongs to (for QoS accounting and redirection).
+    pub stream: u64,
+    /// Service class.
+    pub class: TrafficClass,
+    /// Payload bytes (possibly ciphertext).
+    pub payload: Bytes,
+    /// Whether the payload is encrypted (set by the crypto boundary).
+    pub encrypted: bool,
+    /// Authentication tag, if the security policy adds one.
+    pub auth_tag: Option<u64>,
+}
+
+impl Packet {
+    /// Creates a plaintext best-effort packet.
+    pub fn new(id: u64, src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            stream: 0,
+            class: TrafficClass::BestEffort,
+            payload: payload.into(),
+            encrypted: false,
+            auth_tag: None,
+        }
+    }
+
+    /// Builder-style stream assignment.
+    #[must_use]
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Builder-style class assignment.
+    #[must_use]
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Number of flits this packet serializes into: one head flit plus
+    /// payload flits.
+    pub fn flit_count(&self) -> u64 {
+        1 + (self.payload.len() as u64).div_ceil(cal::FLIT_BYTES as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = NodeId::new(1, 2);
+        let b = NodeId::new(4, 0);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn class_priority_order() {
+        assert!(TrafficClass::Control > TrafficClass::Guaranteed);
+        assert!(TrafficClass::Guaranteed > TrafficClass::BestEffort);
+        assert_eq!(TrafficClass::Control.virtual_channel(), 2);
+    }
+
+    #[test]
+    fn flit_count_includes_head_flit() {
+        let p = Packet::new(1, NodeId::new(0, 0), NodeId::new(1, 1), vec![0u8; 0]);
+        assert_eq!(p.flit_count(), 1, "empty payload is a head flit only");
+        let p = Packet::new(2, NodeId::new(0, 0), NodeId::new(1, 1), vec![0u8; 16]);
+        assert_eq!(p.flit_count(), 2);
+        let p = Packet::new(3, NodeId::new(0, 0), NodeId::new(1, 1), vec![0u8; 17]);
+        assert_eq!(p.flit_count(), 3);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = Packet::new(1, NodeId::new(0, 0), NodeId::new(1, 1), vec![1, 2, 3])
+            .with_stream(9)
+            .with_class(TrafficClass::Control);
+        assert_eq!(p.stream, 9);
+        assert_eq!(p.class, TrafficClass::Control);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(NodeId::new(3, 7).to_string(), "(3,7)");
+    }
+}

@@ -1,0 +1,393 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Every timing result in this repository comes out of this kernel: the
+//! crossbar, the network-on-chip, the cache hierarchy and the CIM fabric all
+//! schedule work as timestamped events. Determinism matters — two runs with
+//! the same seed must produce identical traces — so ties in time are broken
+//! by a monotone sequence number, never by heap insertion order.
+
+use crate::time::{SimDuration, SimTime};
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event together with its scheduled activation time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Popping advances the queue's clock to the popped event's timestamp.
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO), which makes simulations reproducible regardless of heap
+/// internals.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::event::EventQueue;
+/// use cim_sim::time::{SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10), "late");
+/// q.schedule(SimTime::from_ns(5), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "early")));
+/// assert_eq!(q.now(), SimTime::from_ns(5));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — an event in the
+    /// past indicates a model bug, not a recoverable condition.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` at `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty (clock unchanged).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained {
+        /// Number of events processed.
+        events: u64,
+    },
+    /// The horizon was reached with events still pending.
+    HorizonReached {
+        /// Number of events processed before stopping.
+        events: u64,
+    },
+    /// The handler requested an early stop.
+    Stopped {
+        /// Number of events processed including the stopping one.
+        events: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Number of events processed, regardless of why the run ended.
+    pub fn events(self) -> u64 {
+        match self {
+            RunOutcome::Drained { events }
+            | RunOutcome::HorizonReached { events }
+            | RunOutcome::Stopped { events } => events,
+        }
+    }
+}
+
+/// What an event handler tells the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep processing events.
+    #[default]
+    Continue,
+    /// Stop the run after this event.
+    Stop,
+}
+
+/// A thin driver that pairs an [`EventQueue`] with shared model state.
+///
+/// Components communicate exclusively through scheduled events; the handler
+/// closure dispatches each event against the state and may schedule more.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::event::{Control, Simulation};
+/// use cim_sim::time::{SimDuration, SimTime};
+///
+/// // Count down from 3, one tick per nanosecond.
+/// let mut sim = Simulation::new(3u32);
+/// sim.queue_mut().schedule(SimTime::ZERO, ());
+/// let outcome = sim.run(|state, queue, _t, ()| {
+///     if *state > 1 {
+///         *state -= 1;
+///         queue.schedule_after(SimDuration::from_ns(1), ());
+///     } else {
+///         *state = 0;
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(outcome.events(), 3);
+/// assert_eq!(*sim.state(), 0);
+/// assert_eq!(sim.now(), SimTime::from_ns(2));
+/// ```
+#[derive(Debug)]
+pub struct Simulation<S, E> {
+    state: S,
+    queue: EventQueue<E>,
+}
+
+impl<S, E> Simulation<S, E> {
+    /// Creates a simulation around the given model state.
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Immutable access to the model state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the model state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Mutable access to the event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Runs until the queue drains or the handler stops the run.
+    pub fn run<F>(&mut self, handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut S, &mut EventQueue<E>, SimTime, E) -> Control,
+    {
+        self.run_until(SimTime::MAX, handler)
+    }
+
+    /// Runs until the queue drains, the handler stops the run, or the next
+    /// event would be strictly later than `horizon`.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut S, &mut EventQueue<E>, SimTime, E) -> Control,
+    {
+        let mut events = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained { events },
+                Some(t) if t > horizon => return RunOutcome::HorizonReached { events },
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            events += 1;
+            if handler(&mut self.state, &mut self.queue, t, ev) == Control::Stop {
+                return RunOutcome::Stopped { events };
+            }
+        }
+    }
+
+    /// Consumes the simulation and returns the final model state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(3), 3);
+        q.schedule(SimTime::from_ns(1), 1);
+        q.schedule(SimTime::from_ns(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop_only() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime::from_ns(7), "empty pop keeps the clock");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.pop();
+        q.schedule_after(SimDuration::from_ns(5), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(15), "b")));
+    }
+
+    #[test]
+    fn run_until_horizon_leaves_future_events() {
+        let mut sim = Simulation::new(0u32);
+        sim.queue_mut().schedule(SimTime::from_ns(1), ());
+        sim.queue_mut().schedule(SimTime::from_ns(100), ());
+        let outcome = sim.run_until(SimTime::from_ns(10), |s, _, _, ()| {
+            *s += 1;
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::HorizonReached { events: 1 });
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut sim = Simulation::new(());
+        for i in 0..10 {
+            sim.queue_mut().schedule(SimTime::from_ns(i), i);
+        }
+        let outcome = sim.run(|_, _, _, ev| {
+            if ev == 4 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped { events: 5 });
+    }
+
+    #[test]
+    fn cascading_events_drain() {
+        // Each event spawns one more until depth 50.
+        let mut sim = Simulation::new(Vec::new());
+        sim.queue_mut().schedule(SimTime::ZERO, 0u32);
+        let outcome = sim.run(|log: &mut Vec<u32>, q, _, depth| {
+            log.push(depth);
+            if depth < 49 {
+                q.schedule_after(SimDuration::from_ps(10), depth + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained { events: 50 });
+        assert_eq!(sim.state().len(), 50);
+        assert_eq!(sim.now(), SimTime::from_ps(490));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), ());
+        q.schedule(SimTime::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic random-number utilities.
+//!
+//! Every stochastic model (device noise, workload generators, fault
+//! injection) draws from an RNG derived from a single experiment seed, so
+//! whole experiments replay bit-identically. Component streams are derived
+//! with SplitMix64 so adding a new component never perturbs existing ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent, reproducible RNG streams from one root seed.
+///
+/// Each `(root_seed, label)` pair yields a fixed stream; distinct labels
+/// yield decorrelated streams.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::rng::SeedTree;
+///
+/// let tree = SeedTree::new(42);
+/// let mut a1 = tree.rng("crossbar-noise");
+/// let mut a2 = tree.rng("crossbar-noise");
+/// let mut b = tree.rng("fault-injection");
+/// use rand::Rng;
+/// let x1: u64 = a1.gen();
+/// let x2: u64 = a2.gen();
+/// let y: u64 = b.gen();
+/// assert_eq!(x1, x2, "same label replays the same stream");
+/// assert_ne!(x1, y, "different labels are decorrelated");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    root: u64,
+}
+
+impl SeedTree {
+    /// Creates a seed tree from a root experiment seed.
+    pub fn new(root: u64) -> Self {
+        SeedTree { root }
+    }
+
+    /// The root seed.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives the 64-bit seed for a labelled stream.
+    pub fn seed_for(&self, label: &str) -> u64 {
+        // FNV-1a over the label, mixed with the root through SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        splitmix64(self.root ^ h)
+    }
+
+    /// Creates the RNG for a labelled stream.
+    pub fn rng(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed_for(label))
+    }
+
+    /// Derives a child tree, for hierarchies like
+    /// `experiment → tile[i] → micro-unit[j]`.
+    pub fn child(&self, label: &str) -> SeedTree {
+        SeedTree {
+            root: self.seed_for(label),
+        }
+    }
+
+    /// Derives a child tree from an index (e.g. a replica number).
+    pub fn child_idx(&self, index: u64) -> SeedTree {
+        SeedTree {
+            root: splitmix64(self.root ^ splitmix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15))),
+        }
+    }
+}
+
+/// One step of the SplitMix64 mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard-normal variate via the Box–Muller transform.
+///
+/// The allowed dependency set excludes `rand_distr`, so the few
+/// distributions the models need are provided here.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0,1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples from a Zipf distribution over `{0, 1, .., n-1}` with exponent
+/// `s`, by inverse-CDF over precomputed weights.
+///
+/// Zipf-distributed keys drive the key-value-store and search workloads
+/// (Table 2), whose skew determines cache behaviour.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one value in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Samples an exponential variate with the given rate (events per unit).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive, got {rate}");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_tree_is_reproducible_and_label_sensitive() {
+        let t = SeedTree::new(7);
+        assert_eq!(t.seed_for("a"), t.seed_for("a"));
+        assert_ne!(t.seed_for("a"), t.seed_for("b"));
+        assert_ne!(SeedTree::new(8).seed_for("a"), t.seed_for("a"));
+    }
+
+    #[test]
+    fn child_trees_are_decorrelated() {
+        let t = SeedTree::new(123);
+        let c1 = t.child("tile");
+        let c2 = t.child("unit");
+        assert_ne!(c1.root(), c2.root());
+        assert_ne!(t.child_idx(0).root(), t.child_idx(1).root());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SeedTree::new(1).rng("normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = SeedTree::new(2).rng("normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SeedTree::new(3).rng("zipf");
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+        assert!(counts[0] > counts[999] * 10, "heavy skew expected");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SeedTree::new(4).rng("zipf0");
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SeedTree::new(5).rng("exp");
+        let n = 30_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf support")]
+    fn zipf_empty_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

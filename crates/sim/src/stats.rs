@@ -1,0 +1,491 @@
+//! Lightweight statistics for simulation outputs.
+//!
+//! Experiments report latency distributions, throughput and utilization;
+//! these accumulators are allocation-light and deterministic so they can sit
+//! on hot simulation paths.
+
+use core::fmt;
+
+/// Streaming summary statistics (Welford's online algorithm).
+///
+/// Tracks count, mean, variance, min and max of a stream of `f64` samples
+/// in O(1) space.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(9.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN — a NaN sample silently poisons every derived
+    /// statistic, so it is rejected at the boundary.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot record NaN sample");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Population variance (divides by *n*); zero when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.population_std_dev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// A base-2 logarithmic histogram over `u64` values.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` for `i >= 1`; bucket 0 covers the
+/// single value 0. Log buckets are the right shape for latency data, which
+/// spans many decades in these experiments.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::stats::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for v in [0, 1, 2, 3, 4, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.bucket_count(0), 1); // value 0
+/// assert_eq!(h.bucket_count(1), 1); // value 1
+/// assert_eq!(h.bucket_count(2), 2); // values 2,3
+/// assert_eq!(h.bucket_count(3), 1); // value 4
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Adds one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of values that fell in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 64`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0) computed from bucket
+    /// boundaries. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i == 0 { 0 } else { (1u128 << i) as u64 - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// An exact-percentile collector that stores every sample.
+///
+/// Use for experiment-sized data (up to a few million points); use
+/// [`Log2Histogram`] on unbounded hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in 1..=100u64 {
+///     s.record(v as f64);
+/// }
+/// assert_eq!(s.percentile(50.0), Some(50.0));
+/// assert_eq!(s.percentile(99.0), Some(99.0));
+/// assert_eq!(s.percentile(100.0), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot record NaN sample");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank method); `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0,100], got {p}"
+        );
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        Some(self.values[rank.min(n) - 1])
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+/// A monotonically increasing named counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_empty_is_benign() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &data[..37] {
+            left.record(x);
+        }
+        for &x in &data[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(5.0);
+        let b = Summary::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Summary::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot record NaN")]
+    fn summary_rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let median = h.quantile_upper_bound(0.5).expect("non-empty");
+        assert!((511..=1023).contains(&median), "median bound {median}");
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1023));
+        assert!(Log2Histogram::new().quantile_upper_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_count(3), 2);
+        assert!((a.mean() - (110.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_percentiles_exact() {
+        let mut s = Samples::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(3.0));
+        assert_eq!(s.percentile(100.0), Some(5.0));
+        assert_eq!(s.mean(), 3.0);
+        assert!(Samples::new().percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+}

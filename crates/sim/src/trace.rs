@@ -1,0 +1,223 @@
+//! Bounded event tracing.
+//!
+//! Models emit trace records for debugging and for experiments that need a
+//! timeline (e.g. fault-recovery latency is measured as the gap between a
+//! `fault` record and the matching `recovered` record). The buffer is
+//! bounded so tracing can stay on in long benchmark runs.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Severity / category of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Fine-grained per-event records.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Degraded-mode operation (e.g. retransmission, failover).
+    Warn,
+    /// Faults and containment actions.
+    Error,
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting component, e.g. `"tile(1,2)/mu3"`.
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded in-memory trace buffer.
+///
+/// When full, the oldest records are dropped (and counted).
+///
+/// # Examples
+///
+/// ```
+/// use cim_sim::time::SimTime;
+/// use cim_sim::trace::{TraceBuffer, TraceLevel};
+///
+/// let mut trace = TraceBuffer::with_capacity(2);
+/// trace.emit(SimTime::from_ns(1), TraceLevel::Info, "a", "first");
+/// trace.emit(SimTime::from_ns(2), TraceLevel::Info, "a", "second");
+/// trace.emit(SimTime::from_ns(3), TraceLevel::Warn, "b", "third");
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.dropped(), 1);
+/// assert_eq!(trace.iter().next().map(|r| r.message.as_str()), Some("second"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    min_level: TraceLevel,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(65_536)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            min_level: TraceLevel::Debug,
+        }
+    }
+
+    /// Sets the minimum level retained; lower-level records are discarded
+    /// on emission (not counted as dropped).
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Appends a record.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            level,
+            component: component.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// First retained record whose message contains `needle`, searching
+    /// oldest-first. Useful for measuring event-to-event latencies.
+    pub fn find(&self, needle: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.message.contains(needle))
+    }
+
+    /// Last retained record whose message contains `needle`.
+    pub fn rfind(&self, needle: &str) -> Option<&TraceRecord> {
+        self.records.iter().rev().find(|r| r.message.contains(needle))
+    }
+
+    /// Count of retained records at `level` or above.
+    pub fn count_at_least(&self, level: TraceLevel) -> usize {
+        self.records.iter().filter(|r| r.level >= level).count()
+    }
+
+    /// Clears all records (the dropped counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(buf: &mut TraceBuffer, t: u64, level: TraceLevel, msg: &str) {
+        buf.emit(SimTime::from_ns(t), level, "c", msg);
+    }
+
+    #[test]
+    fn retains_in_order() {
+        let mut b = TraceBuffer::with_capacity(10);
+        rec(&mut b, 1, TraceLevel::Info, "one");
+        rec(&mut b, 2, TraceLevel::Info, "two");
+        let msgs: Vec<&str> = b.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut b = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            rec(&mut b, i, TraceLevel::Info, &format!("m{i}"));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 2);
+        assert_eq!(b.iter().next().map(|r| r.message.as_str()), Some("m2"));
+    }
+
+    #[test]
+    fn min_level_filters_on_emit() {
+        let mut b = TraceBuffer::with_capacity(10);
+        b.set_min_level(TraceLevel::Warn);
+        rec(&mut b, 1, TraceLevel::Debug, "dropped");
+        rec(&mut b, 2, TraceLevel::Error, "kept");
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped(), 0, "level filtering is not eviction");
+    }
+
+    #[test]
+    fn find_and_rfind() {
+        let mut b = TraceBuffer::with_capacity(10);
+        rec(&mut b, 1, TraceLevel::Error, "fault at mu0");
+        rec(&mut b, 5, TraceLevel::Info, "recovered via mu1");
+        rec(&mut b, 9, TraceLevel::Error, "fault at mu2");
+        assert_eq!(b.find("fault").map(|r| r.at), Some(SimTime::from_ns(1)));
+        assert_eq!(b.rfind("fault").map(|r| r.at), Some(SimTime::from_ns(9)));
+        let gap = b.find("recovered").unwrap().at - b.find("fault").unwrap().at;
+        assert_eq!(gap.as_ns_f64(), 4.0);
+    }
+
+    #[test]
+    fn count_at_least_orders_levels() {
+        let mut b = TraceBuffer::with_capacity(10);
+        rec(&mut b, 1, TraceLevel::Debug, "d");
+        rec(&mut b, 2, TraceLevel::Info, "i");
+        rec(&mut b, 3, TraceLevel::Warn, "w");
+        rec(&mut b, 4, TraceLevel::Error, "e");
+        assert_eq!(b.count_at_least(TraceLevel::Debug), 4);
+        assert_eq!(b.count_at_least(TraceLevel::Warn), 2);
+        assert_eq!(b.count_at_least(TraceLevel::Error), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace capacity")]
+    fn zero_capacity_panics() {
+        let _ = TraceBuffer::with_capacity(0);
+    }
+}

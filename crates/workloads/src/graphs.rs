@@ -1,0 +1,305 @@
+//! Graph-analytics workload (Table 2 row "Graph problems").
+//!
+//! An RMAT (Kronecker) graph generator plus PageRank. Graph analytics is
+//! the paper's motivating memory-centric workload: huge stationary state,
+//! light arithmetic per edge, chatty iterations, abundant parallelism —
+//! so the compute should come to the data.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::{DataflowForm, Workload};
+use cim_dataflow::graph::GraphBuilder;
+use cim_dataflow::ops::{Elementwise, Operation};
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// A directed graph in CSR (compressed sparse row) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// Row offsets, length `nodes + 1`.
+    pub offsets: Vec<u32>,
+    /// Destination node per edge.
+    pub dests: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.dests[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Resident bytes of the CSR structure.
+    pub fn bytes(&self) -> u64 {
+        4 * (self.offsets.len() + self.dests.len()) as u64
+    }
+}
+
+/// Generates an RMAT graph with `2^scale` nodes and `edge_factor` edges
+/// per node, using the standard (0.57, 0.19, 0.19, 0.05) partition.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or > 28, or `edge_factor` is 0.
+pub fn rmat(scale: u32, edge_factor: usize, seeds: SeedTree) -> Csr {
+    assert!((1..=28).contains(&scale), "scale must be 1..=28");
+    assert!(edge_factor > 0, "edge_factor must be positive");
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = seeds.rng("rmat");
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        pairs.push((src, dst));
+    }
+    // Build CSR.
+    let mut counts = vec![0u32; n + 1];
+    for &(s, _) in &pairs {
+        counts[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = offsets.clone();
+    let mut dests = vec![0u32; m];
+    for &(s, d) in &pairs {
+        let at = cursor[s as usize];
+        dests[at as usize] = d;
+        cursor[s as usize] += 1;
+    }
+    Csr { offsets, dests }
+}
+
+/// Runs `iters` PageRank iterations; returns the rank vector and the
+/// total L1 change of the final iteration (convergence telemetry).
+pub fn pagerank(g: &Csr, iters: u32, damping: f64) -> (Vec<f64>, f64) {
+    let n = g.nodes();
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut delta = 0.0;
+    for _ in 0..iters {
+        next.iter_mut().for_each(|v| *v = (1.0 - damping) / n as f64);
+        for (u, &rank) in ranks.iter().enumerate() {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = damping * rank / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        delta = ranks
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    (ranks, delta)
+}
+
+/// The PageRank workload.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    /// RMAT scale (nodes = 2^scale).
+    pub scale: u32,
+    /// Edges per node.
+    pub edge_factor: usize,
+    /// Iterations.
+    pub iters: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PageRank {
+    /// The standard TAB2 size: 2^18 nodes × 5 edges, 3 iterations.
+    fn default() -> Self {
+        PageRank {
+            scale: 18,
+            edge_factor: 5,
+            iters: 3,
+            seed: 17,
+        }
+    }
+}
+
+impl PageRank {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        PageRank {
+            scale: 8,
+            edge_factor: 4,
+            iters: 3,
+            seed: 17,
+        }
+    }
+}
+
+impl Workload for PageRank {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::GraphProblems
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let g = rmat(self.scale, self.edge_factor, SeedTree::new(self.seed));
+        let (ranks, _) = pagerank(&g, self.iters, 0.85);
+        std::hint::black_box(ranks.len());
+        let n = g.nodes() as u64;
+        let e = g.edges() as u64;
+        let iters = u64::from(self.iters);
+        // Per iteration: one divide+multiply per node, one add per edge.
+        let flops = iters * (2 * n + e);
+        let footprint = g.bytes() + 2 * 8 * n; // CSR + two rank vectors
+        // Traffic: per edge read dest (4B) + read-modify-write accumulator
+        // (16B); per node read rank + degree + init (24B).
+        let moved = iters * (e * 20 + n * 24);
+        // Each iteration republishes the whole rank vector to dependents.
+        let comm = iters * 8 * n;
+        // Span: iterations are sequential; inside one, the longest chain
+        // is the serial accumulation into the hottest in-degree node.
+        let mut indeg = vec![0u32; g.nodes()];
+        for &d in &g.dests {
+            indeg[d as usize] += 1;
+        }
+        let hottest = u64::from(indeg.iter().copied().max().unwrap_or(1));
+        let span = iters * hottest;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+
+    fn dataflow(&self) -> Option<DataflowForm> {
+        // A scaled-down PageRank step as dataflow: ranks × (dampened
+        // column-stochastic adjacency) + teleport.
+        let n = 64usize;
+        let g = rmat(6, self.edge_factor.min(8), SeedTree::new(self.seed));
+        let mut weights = vec![0.0f64; n * n];
+        for u in 0..n {
+            let deg = g.degree(u).max(1) as f64;
+            for &v in g.neighbors(u) {
+                weights[u * n + (v as usize)] += 0.85 / deg;
+            }
+        }
+        let mut b = GraphBuilder::new();
+        let src = b.add("ranks", Operation::Source { width: n });
+        let mv = b.add(
+            "spread",
+            Operation::MatVec {
+                rows: n,
+                cols: n,
+                weights,
+            },
+        );
+        let tel = b.add(
+            "teleport",
+            Operation::Map {
+                func: Elementwise::Offset(0.15 / n as f64),
+                width: n,
+            },
+        );
+        let sink = b.add("next_ranks", Operation::Sink { width: n });
+        b.chain(&[src, mv, tel, sink]).ok()?;
+        let graph = b.build().ok()?;
+        Some(DataflowForm {
+            graph,
+            source: src,
+            sink,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g1 = rmat(8, 4, SeedTree::new(1));
+        let g2 = rmat(8, 4, SeedTree::new(1));
+        assert_eq!(g1, g2);
+        assert_eq!(g1.nodes(), 256);
+        assert_eq!(g1.edges(), 1024);
+        // RMAT is skewed: max degree far above average.
+        let max_deg = (0..g1.nodes()).map(|u| g1.degree(u)).max().unwrap();
+        assert!(max_deg > 12, "power-law skew expected, got {max_deg}");
+    }
+
+    #[test]
+    fn csr_neighbor_access() {
+        let g = rmat(4, 2, SeedTree::new(2));
+        let total: usize = (0..g.nodes()).map(|u| g.neighbors(u).len()).sum();
+        assert_eq!(total, g.edges());
+    }
+
+    #[test]
+    fn pagerank_conserves_probability_mass() {
+        let g = rmat(8, 8, SeedTree::new(3));
+        let (ranks, _) = pagerank(&g, 20, 0.85);
+        let mass: f64 = ranks.iter().sum();
+        // Dangling nodes leak a bit of mass; it stays in (0.3, 1.0].
+        assert!(mass > 0.3 && mass <= 1.0 + 1e-9, "mass {mass}");
+        assert!(ranks.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_converges() {
+        let g = rmat(8, 8, SeedTree::new(4));
+        let (_, d5) = pagerank(&g, 5, 0.85);
+        let (_, d50) = pagerank(&g, 50, 0.85);
+        assert!(d50 < d5 / 10.0, "delta must shrink: {d5} -> {d50}");
+    }
+
+    #[test]
+    fn default_buckets_match_paper_row_shape() {
+        let l = PageRank::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Low, "graph analytics is compute-light");
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.parallelism, Level::High);
+    }
+
+    #[test]
+    fn dataflow_form_is_one_step() {
+        let df = PageRank::small().dataflow().unwrap();
+        assert_eq!(df.graph.node_count(), 4);
+        let m = df.graph.metrics();
+        assert!(m.state_bytes > 0, "adjacency is stationary state");
+    }
+}

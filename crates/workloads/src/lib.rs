@@ -1,0 +1,143 @@
+//! # cim-workloads — the Table 2 application suite
+//!
+//! Real, instrumented implementations of all 14 application classes the
+//! paper rates in Appendix A (Table 2), plus the neural-network building
+//! blocks the §VI Dot Product Engine experiments run.
+//!
+//! Each workload:
+//!
+//! * executes a genuine kernel (PageRank really ranks, CG really
+//!   converges, the annealer really packs a knapsack);
+//! * counts its arithmetic, footprint, traffic, communication and span
+//!   ([`chars::Characteristics`]);
+//! * buckets those counters onto the paper's low/medium/high vocabulary
+//!   and derives a CIM suitability with the executable version of the
+//!   appendix's reasoning ([`chars::cim_suitability`]);
+//! * where the class maps naturally onto dataflow, lowers itself to a
+//!   [`cim_dataflow::DataflowGraph`] runnable on the CIM fabric.
+//!
+//! ## Example
+//!
+//! ```
+//! use cim_workloads::{standard_suite, Workload};
+//! use cim_workloads::spec::WorkloadClass;
+//!
+//! let suite = standard_suite();
+//! assert_eq!(suite.len(), 14);
+//! let kvs = suite
+//!     .iter()
+//!     .find(|w| w.class() == WorkloadClass::KeyValueStores)
+//!     .unwrap();
+//! // `characterize` runs the real kernel with counters.
+//! let c = kvs.characterize();
+//! assert!(c.flops > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chars;
+pub mod graphs;
+pub mod misc;
+pub mod ml;
+pub mod nn;
+pub mod optim;
+pub mod prob;
+pub mod sci;
+pub mod search;
+pub mod spec;
+pub mod store;
+pub mod workload;
+
+pub use chars::{cim_suitability, Characteristics, MeasuredLevels};
+pub use spec::{paper_rating, paper_table, Level, PaperRating, WorkloadClass};
+pub use workload::{CpuKernelSpec, DataflowForm, Workload};
+
+/// The standard suite: one instance per Table 2 row, at the calibrated
+/// TAB2 sizes, in the paper's row order.
+pub fn standard_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(ml::MlTraining::default()),
+        Box::new(ml::CnnInference::default()),
+        Box::new(graphs::PageRank::default()),
+        Box::new(prob::BeliefPropagation::default()),
+        Box::new(prob::McmcChain::default()),
+        Box::new(store::KvStore::default()),
+        Box::new(store::ColumnAnalytics::default()),
+        Box::new(store::Transactions::default()),
+        Box::new(search::SearchIndexing::default()),
+        Box::new(optim::Annealing::default()),
+        Box::new(sci::JacobiSolver::default()),
+        Box::new(sci::FemSolver::default()),
+        Box::new(misc::MessageRouting::default()),
+        Box::new(misc::FilterBank::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_class_in_order() {
+        let suite = standard_suite();
+        let classes: Vec<WorkloadClass> = suite.iter().map(|w| w.class()).collect();
+        assert_eq!(classes, WorkloadClass::ALL.to_vec());
+    }
+
+    /// The headline TAB2 result: measured characteristics, fed through
+    /// the executable suitability classifier, agree with the paper's CIM
+    /// column on at least 12 of 14 rows.
+    #[test]
+    fn measured_suitability_matches_paper_on_most_rows() {
+        let suite = standard_suite();
+        let mut agree = 0;
+        let mut report = Vec::new();
+        for w in &suite {
+            let predicted = cim_suitability(w.characterize().bucketize());
+            let paper = paper_rating(w.class()).cim;
+            if predicted == paper {
+                agree += 1;
+            }
+            report.push((w.class(), predicted, paper));
+        }
+        assert!(
+            agree >= 12,
+            "expected >= 12/14 agreement, got {agree}: {report:?}"
+        );
+    }
+
+    #[test]
+    fn cpu_kernels_are_derived_consistently() {
+        for w in standard_suite() {
+            let k = w.cpu_kernel();
+            let c = w.characterize();
+            assert_eq!(k.flops, c.flops, "{:?}", w.class());
+            assert_eq!(
+                k.dram_bytes + k.l3_bytes,
+                c.bytes_moved,
+                "traffic split must conserve bytes for {:?}",
+                w.class()
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_forms_exist_for_the_streaming_classes() {
+        let suite = standard_suite();
+        let with_df: Vec<WorkloadClass> = suite
+            .iter()
+            .filter(|w| w.dataflow().is_some())
+            .map(|w| w.class())
+            .collect();
+        for expected in [
+            WorkloadClass::MachineLearning,
+            WorkloadClass::NeuralNetworks,
+            WorkloadClass::GraphProblems,
+            WorkloadClass::DatabasesAnalytics,
+            WorkloadClass::SignalProcessing,
+        ] {
+            assert!(with_df.contains(&expected), "{expected:?} should lower to dataflow");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Collaborative and signal-processing workloads (Table 2 rows
+//! "Collaborative (mail, chat)" and "Signal (image) processing").
+//!
+//! * [`MessageRouting`] — a mail/chat hub: almost no arithmetic, all
+//!   communication, and a hot mailbox that serializes delivery.
+//! * [`FilterBank`] — a chain of 5×5 convolutions over an image: dense
+//!   streaming arithmetic with stage-to-stage frame handoff.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::{DataflowForm, Workload};
+use cim_dataflow::graph::GraphBuilder;
+use cim_dataflow::ops::{Elementwise, Operation};
+use cim_sim::rng::Zipf;
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// A mail/chat message router with skewed recipients.
+#[derive(Debug, Clone)]
+pub struct MessageRouting {
+    /// Messages routed.
+    pub messages: usize,
+    /// Message size in bytes.
+    pub message_bytes: usize,
+    /// Mailboxes.
+    pub mailboxes: usize,
+    /// Fraction of traffic addressed to the hottest mailbox.
+    pub hot_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MessageRouting {
+    /// The standard TAB2 size: 20 k messages × 200 B, 5 k mailboxes,
+    /// one mailbox receiving half the traffic.
+    fn default() -> Self {
+        MessageRouting {
+            messages: 20_000,
+            message_bytes: 200,
+            mailboxes: 5_000,
+            hot_fraction: 0.5,
+            seed: 47,
+        }
+    }
+}
+
+impl MessageRouting {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        MessageRouting {
+            messages: 500,
+            message_bytes: 64,
+            mailboxes: 50,
+            hot_fraction: 0.5,
+            seed: 47,
+        }
+    }
+
+    /// Routes all messages; returns `(delivered, hot_mailbox_count)`.
+    pub fn run(&self) -> (u64, u64) {
+        let mut rng = SeedTree::new(self.seed).rng("mail");
+        let zipf = Zipf::new(self.mailboxes - 1, 0.9);
+        let mut mailboxes: Vec<Vec<u8>> = vec![Vec::new(); self.mailboxes];
+        let mut hot = 0u64;
+        for m in 0..self.messages {
+            let to = if rng.gen::<f64>() < self.hot_fraction {
+                hot += 1;
+                0
+            } else {
+                1 + zipf.sample(&mut rng)
+            };
+            // "Parse headers": a small checksum over the payload prefix.
+            let mut acc = m as u64;
+            for i in 0..16 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            let byte = (acc & 0xFF) as u8;
+            mailboxes[to].extend(std::iter::repeat_n(byte, self.message_bytes));
+        }
+        let delivered: u64 = mailboxes.iter().map(|m| (m.len() / self.message_bytes) as u64).sum();
+        (delivered, hot)
+    }
+}
+
+impl Workload for MessageRouting {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Collaborative
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (delivered, hot) = self.run();
+        let msgs = self.messages as u64;
+        debug_assert_eq!(delivered, msgs);
+        std::hint::black_box(delivered);
+        // Header parse + route ≈ 25 ops per message.
+        let flops = msgs * 25;
+        let footprint = msgs * self.message_bytes as u64;
+        let moved = msgs * self.message_bytes as u64 * 2;
+        // Every message *is* communication.
+        let comm = msgs * self.message_bytes as u64;
+        // Hot-mailbox appends serialize.
+        let span = hot * 25;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+}
+
+/// A 4-stage 5×5 convolution filter bank over one image.
+#[derive(Debug, Clone)]
+pub struct FilterBank {
+    /// Square image side.
+    pub image: usize,
+    /// Convolution stages chained output→input.
+    pub stages: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FilterBank {
+    /// The standard TAB2 size: 768×768 image, 4 stages.
+    fn default() -> Self {
+        FilterBank {
+            image: 768,
+            stages: 4,
+            seed: 53,
+        }
+    }
+}
+
+impl FilterBank {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        FilterBank {
+            image: 32,
+            stages: 2,
+            seed: 53,
+        }
+    }
+
+    /// Runs the bank; returns the mean absolute output (smoothing sanity).
+    pub fn run(&self) -> f64 {
+        let n = self.image;
+        let mut rng = SeedTree::new(self.seed).rng("filter");
+        let mut img: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0f64; n * n];
+        // A normalized box-ish kernel with a random perturbation.
+        let kernel: Vec<f64> = (0..25)
+            .map(|_| 0.04 + rng.gen_range(-0.005..0.005))
+            .collect();
+        for _ in 0..self.stages {
+            for y in 2..n - 2 {
+                for x in 2..n - 2 {
+                    let mut acc = 0.0;
+                    for ky in 0..5 {
+                        for kx in 0..5 {
+                            acc += kernel[ky * 5 + kx] * img[(y + ky - 2) * n + (x + kx - 2)];
+                        }
+                    }
+                    out[y * n + x] = acc;
+                }
+            }
+            std::mem::swap(&mut img, &mut out);
+        }
+        img.iter().map(|v| v.abs()).sum::<f64>() / (n * n) as f64
+    }
+}
+
+impl Workload for FilterBank {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::SignalProcessing
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let mean = self.run();
+        std::hint::black_box(mean);
+        let n = self.image as u64;
+        let stages = self.stages as u64;
+        let interior = (n - 4) * (n - 4);
+        // 25 multiply-adds per pixel per stage.
+        let flops = stages * interior * 50;
+        let footprint = 2 * n * n * 8; // ping-pong buffers
+        let moved = stages * interior * 8 * 26; // 25 reads + 1 write
+        // Stage-to-stage frame handoff.
+        let comm = stages * n * n * 8;
+        // Stages sequential, pixels parallel within a stage.
+        let span = stages * 50;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+
+    fn dataflow(&self) -> Option<DataflowForm> {
+        // A row-window of the convolution as a matvec stage pipeline:
+        // each stage is a (window × window) banded matrix.
+        let width = 64usize;
+        let mut rng = SeedTree::new(self.seed).rng("filter-df");
+        let mut b = GraphBuilder::new();
+        let src = b.add("scanline", Operation::Source { width });
+        let mut prev = src;
+        for s in 0..self.stages.min(4) {
+            let mut weights = vec![0.0f64; width * width];
+            for r in 0..width {
+                for dc in 0..5usize {
+                    let c = (r + dc).saturating_sub(2).min(width - 1);
+                    weights[r * width + c] += 0.2 + rng.gen_range(-0.01..0.01);
+                }
+            }
+            let stage = b.add(
+                format!("conv{s}"),
+                Operation::MatVec {
+                    rows: width,
+                    cols: width,
+                    weights,
+                },
+            );
+            let clamp = b.add(
+                format!("clamp{s}"),
+                Operation::Map {
+                    func: Elementwise::Tanh,
+                    width,
+                },
+            );
+            b.connect(prev, stage, 0).ok()?;
+            b.connect(stage, clamp, 0).ok()?;
+            prev = clamp;
+        }
+        let sink = b.add("filtered", Operation::Sink { width });
+        b.connect(prev, sink, 0).ok()?;
+        let graph = b.build().ok()?;
+        Some(DataflowForm {
+            graph,
+            source: src,
+            sink,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn routing_delivers_everything() {
+        let (delivered, hot) = MessageRouting::small().run();
+        assert_eq!(delivered, 500);
+        // Hot mailbox takes roughly half.
+        assert!((200..=300).contains(&hot), "hot count {hot}");
+    }
+
+    #[test]
+    fn routing_buckets_are_serial_and_chatty() {
+        let l = MessageRouting::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Low);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.parallelism, Level::Low);
+    }
+
+    #[test]
+    fn filter_bank_smooths() {
+        // Raw noise in [-1, 1] has mean |x| = 0.5; one near-box smoothing
+        // pass collapses it by several times.
+        let smoothed = FilterBank { image: 64, stages: 1, seed: 1 }.run();
+        assert!(
+            smoothed < 0.3,
+            "smoothing must shrink noise magnitude, got {smoothed}"
+        );
+    }
+
+    #[test]
+    fn filter_buckets() {
+        let l = FilterBank::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.bandwidth, Level::High);
+        assert_eq!(l.op_intensity, Level::Low);
+        assert_eq!(l.communication, Level::High);
+    }
+
+    #[test]
+    fn filter_dataflow_is_a_pipeline() {
+        let df = FilterBank::small().dataflow().unwrap();
+        // source + 2 stages × (conv + clamp) + sink
+        assert_eq!(df.graph.node_count(), 6);
+    }
+}

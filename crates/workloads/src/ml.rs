@@ -1,0 +1,390 @@
+//! Machine-learning and neural-network workloads (Table 2 rows 1–2).
+//!
+//! * [`MlTraining`] — a dense MLP training epoch (forward, backward,
+//!   weight update) over a batch: high compute, high data, high
+//!   operational intensity, no iterative communication, massive
+//!   parallelism.
+//! * [`CnnInference`] — im2col convolution + fully-connected inference
+//!   over an image batch: the paper's flagship CIM workload.
+//!
+//! Both run real `f64` arithmetic with counters; both lower naturally to
+//! dataflow graphs for CIM execution.
+
+use crate::chars::Characteristics;
+use crate::nn::mlp_graph;
+use crate::spec::WorkloadClass;
+use crate::workload::{DataflowForm, Workload};
+use cim_sim::rng::normal;
+use cim_sim::SeedTree;
+
+/// Batched dense matmul `C[m×n] = A[m×k] · B[k×n]`, counting work.
+/// Returns (flops, bytes_moved) — B is streamed once (tiled reuse),
+/// A and C once each.
+fn matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) -> (u64, u64) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for row in 0..m {
+        for kk in 0..k {
+            let av = a[row * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let crow = &mut c[row * n..(row + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    let flops = 2 * (m * k * n) as u64;
+    let moved = 8 * (m * k + k * n + 2 * m * n) as u64;
+    (flops, moved)
+}
+
+/// An MLP training epoch (Table 2 "Machine learning").
+#[derive(Debug, Clone)]
+pub struct MlTraining {
+    /// Layer dimensions.
+    pub dims: Vec<usize>,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlTraining {
+    /// The standard TAB2 size: `512→1024→512→64`, batch 32.
+    fn default() -> Self {
+        MlTraining {
+            dims: vec![512, 1024, 512, 64],
+            batch: 32,
+            seed: 11,
+        }
+    }
+}
+
+impl MlTraining {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        MlTraining {
+            dims: vec![32, 64, 16],
+            batch: 4,
+            seed: 11,
+        }
+    }
+}
+
+impl Workload for MlTraining {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::MachineLearning
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let seeds = SeedTree::new(self.seed);
+        let mut rng = seeds.rng("ml-train");
+        let b = self.batch;
+        // Allocate weights and a batch.
+        let weights: Vec<Vec<f64>> = self
+            .dims
+            .windows(2)
+            .map(|w| {
+                (0..w[0] * w[1])
+                    .map(|_| normal(&mut rng, 0.0, 1.0 / (w[0] as f64).sqrt()))
+                    .collect()
+            })
+            .collect();
+        let x0: Vec<f64> = (0..b * self.dims[0])
+            .map(|_| normal(&mut rng, 0.0, 1.0))
+            .collect();
+
+        let mut flops = 0u64;
+        let mut moved = 0u64;
+        // Forward pass, keeping activations.
+        let mut acts: Vec<Vec<f64>> = vec![x0];
+        for (l, w) in self.dims.windows(2).enumerate() {
+            let (k, n) = (w[0], w[1]);
+            let mut z = vec![0.0; b * n];
+            let (f, m) = matmul(&acts[l], &weights[l], &mut z, b, k, n);
+            flops += f;
+            moved += m;
+            // ReLU in place.
+            for v in &mut z {
+                *v = v.max(0.0);
+            }
+            flops += (b * n) as u64;
+            moved += 8 * 2 * (b * n) as u64;
+            acts.push(z);
+        }
+        // Backward pass: dX = dZ·Wᵀ and dW = Xᵀ·dZ per layer, plus update.
+        let mut dz: Vec<f64> = acts.last().expect("forward ran").clone();
+        for l in (0..self.dims.len() - 1).rev() {
+            let (k, n) = (self.dims[l], self.dims[l + 1]);
+            // dW = Xᵀ[k×b] · dZ[b×n]
+            let xt: Vec<f64> = {
+                let x = &acts[l];
+                let mut t = vec![0.0; k * b];
+                for r in 0..b {
+                    for c in 0..k {
+                        t[c * b + r] = x[r * k + c];
+                    }
+                }
+                moved += 8 * 2 * (k * b) as u64;
+                t
+            };
+            let mut dw = vec![0.0; k * n];
+            let (f, m) = matmul(&xt, &dz, &mut dw, k, b, n);
+            flops += f;
+            moved += m;
+            // dX = dZ[b×n] · Wᵀ[n×k]
+            let wt: Vec<f64> = {
+                let w = &weights[l];
+                let mut t = vec![0.0; n * k];
+                for r in 0..k {
+                    for c in 0..n {
+                        t[c * k + r] = w[r * n + c];
+                    }
+                }
+                moved += 8 * 2 * (n * k) as u64;
+                t
+            };
+            let mut dx = vec![0.0; b * k];
+            let (f, m) = matmul(&dz, &wt, &mut dx, b, n, k);
+            flops += f;
+            moved += m;
+            // SGD update (uses dw so the optimizer isn't dead code).
+            let lr = 1e-3;
+            let mut w_sum = 0.0;
+            for (wv, g) in weights[l].iter().zip(&dw) {
+                w_sum += wv - lr * g;
+            }
+            flops += 2 * (k * n) as u64;
+            moved += 8 * 2 * (k * n) as u64;
+            std::hint::black_box(w_sum);
+            dz = dx;
+        }
+
+        let weight_bytes: u64 = weights.iter().map(|w| 8 * w.len() as u64).sum();
+        let act_bytes: u64 = acts.iter().map(|a| 8 * a.len() as u64).sum();
+        // Span: one dot-product chain per layer, three passes.
+        let span: u64 = 3 * self
+            .dims
+            .windows(2)
+            .map(|w| 2 * w[0] as u64)
+            .sum::<u64>();
+        Characteristics {
+            flops,
+            footprint_bytes: weight_bytes + act_bytes,
+            bytes_moved: moved,
+            comm_bytes: 0, // samples are independent; updates are local
+            critical_path_flops: span,
+        }
+    }
+
+    fn dataflow(&self) -> Option<DataflowForm> {
+        let (graph, source, sink) = mlp_graph(&self.dims, SeedTree::new(self.seed));
+        Some(DataflowForm {
+            graph,
+            source,
+            sink,
+        })
+    }
+}
+
+/// CNN inference via im2col (Table 2 "Neural Networks").
+#[derive(Debug, Clone)]
+pub struct CnnInference {
+    /// Square input image side.
+    pub image: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Convolution filters (3×3).
+    pub filters: usize,
+    /// Fully-connected output classes.
+    pub classes: usize,
+    /// Image batch.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CnnInference {
+    /// The standard TAB2 size: 32×32×3 images, 16 filters, batch 64.
+    fn default() -> Self {
+        CnnInference {
+            image: 32,
+            channels: 3,
+            filters: 16,
+            classes: 64,
+            batch: 64,
+            seed: 13,
+        }
+    }
+}
+
+impl CnnInference {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        CnnInference {
+            image: 8,
+            channels: 1,
+            filters: 4,
+            classes: 4,
+            batch: 2,
+            seed: 13,
+        }
+    }
+
+    fn patch_side(&self) -> usize {
+        self.image - 2 // valid 3x3 convolution
+    }
+}
+
+impl Workload for CnnInference {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::NeuralNetworks
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let seeds = SeedTree::new(self.seed);
+        let mut rng = seeds.rng("cnn");
+        let (img, ch, nf) = (self.image, self.channels, self.filters);
+        let ps = self.patch_side();
+        let patches = ps * ps;
+        let k = 9 * ch;
+        let conv_w: Vec<f64> = (0..k * nf).map(|_| normal(&mut rng, 0.0, 0.3)).collect();
+        let flat = patches * nf;
+        let fc_w: Vec<f64> = (0..flat * self.classes)
+            .map(|_| normal(&mut rng, 0.0, 0.05))
+            .collect();
+
+        let mut flops = 0u64;
+        let mut moved = 0u64;
+        let mut act_bytes = 0u64;
+        for _ in 0..self.batch {
+            let image: Vec<f64> = (0..img * img * ch)
+                .map(|_| normal(&mut rng, 0.0, 1.0))
+                .collect();
+            moved += 8 * image.len() as u64;
+            // im2col.
+            let mut cols = vec![0.0; patches * k];
+            for py in 0..ps {
+                for px in 0..ps {
+                    let p = py * ps + px;
+                    for c in 0..ch {
+                        for dy in 0..3 {
+                            for dx in 0..3 {
+                                cols[p * k + c * 9 + dy * 3 + dx] =
+                                    image[((py + dy) * img + (px + dx)) * ch + c];
+                            }
+                        }
+                    }
+                }
+            }
+            moved += 8 * 2 * cols.len() as u64;
+            // Convolution as matmul, then ReLU.
+            let mut fmap = vec![0.0; patches * nf];
+            let (f, m) = matmul(&cols, &conv_w, &mut fmap, patches, k, nf);
+            flops += f;
+            moved += m;
+            for v in &mut fmap {
+                *v = v.max(0.0);
+            }
+            flops += fmap.len() as u64;
+            // Fully connected head.
+            let mut logits = vec![0.0; self.classes];
+            let (f, m) = matmul(&fmap, &fc_w, &mut logits, 1, flat, self.classes);
+            flops += f;
+            moved += m;
+            // Inference reuses the same per-image buffers; the resident
+            // footprint is one image's worth, not the whole batch.
+            act_bytes = act_bytes.max(8 * (image.len() + cols.len() + fmap.len()) as u64);
+            std::hint::black_box(logits);
+        }
+
+        let weight_bytes = 8 * (conv_w.len() + fc_w.len()) as u64;
+        // Span per image: conv dot chain + fc dot chain; images parallel.
+        let span = (2 * k + 2 * flat) as u64;
+        Characteristics {
+            flops,
+            footprint_bytes: weight_bytes + act_bytes,
+            bytes_moved: moved,
+            comm_bytes: 0,
+            critical_path_flops: span,
+        }
+    }
+
+    fn dataflow(&self) -> Option<DataflowForm> {
+        // The im2col'd network is an MLP: flat conv matmul then fc.
+        let k = 9 * self.channels;
+        let dims = [k, self.filters * 4, self.classes];
+        let (graph, source, sink) = mlp_graph(&dims, SeedTree::new(self.seed));
+        Some(DataflowForm {
+            graph,
+            source,
+            sink,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn matmul_is_correct() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        let (flops, moved) = matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(flops, 16);
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn ml_small_counters_are_consistent() {
+        let c = MlTraining::small().characterize();
+        assert!(c.flops > 0);
+        assert!(c.bytes_moved > c.footprint_bytes, "training re-streams data");
+        assert_eq!(c.comm_bytes, 0);
+        assert!(c.parallelism() > 8.0);
+    }
+
+    #[test]
+    fn ml_default_buckets_match_paper_row() {
+        let l = MlTraining::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.bandwidth, Level::High);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.op_intensity, Level::High);
+        assert_eq!(l.communication, Level::Low);
+        assert_eq!(l.parallelism, Level::High);
+    }
+
+    #[test]
+    fn cnn_default_buckets_match_paper_row() {
+        let l = CnnInference::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.bandwidth, Level::High);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.communication, Level::Low);
+        assert_eq!(l.parallelism, Level::High);
+    }
+
+    #[test]
+    fn both_lower_to_dataflow() {
+        assert!(MlTraining::small().dataflow().is_some());
+        let df = CnnInference::small().dataflow().unwrap();
+        assert!(df.graph.node_count() >= 4);
+    }
+
+    #[test]
+    fn characterize_is_deterministic() {
+        let a = MlTraining::small().characterize();
+        let b = MlTraining::small().characterize();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,283 @@
+//! Neural-network building blocks for the §VI experiments.
+//!
+//! Provides random-weight MLP graphs (latency/throughput/power
+//! benchmarks), a synthetic classification task with an analytically
+//! derived template classifier (accuracy benchmarks — no training loop
+//! needed), and helpers to score predictions.
+
+use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
+use cim_dataflow::ops::{Elementwise, Operation, Reduction};
+use cim_sim::rng::normal;
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// A dataflow MLP: `dims[0] → dims[1] → … → dims.last()`, ReLU between
+/// layers, random Gaussian weights scaled 1/√fan_in.
+///
+/// Returns the graph plus its source and sink.
+///
+/// # Panics
+///
+/// Panics if `dims` has fewer than two entries or contains a zero.
+///
+/// # Examples
+///
+/// ```
+/// use cim_workloads::nn::mlp_graph;
+/// use cim_sim::SeedTree;
+///
+/// let (g, _src, _sink) = mlp_graph(&[64, 32, 10], SeedTree::new(1));
+/// assert_eq!(g.metrics().state_bytes, (64 * 32 + 32 * 10) * 8);
+/// ```
+pub fn mlp_graph(dims: &[usize], seeds: SeedTree) -> (DataflowGraph, NodeRef, NodeRef) {
+    assert!(dims.len() >= 2, "an MLP needs at least two dims");
+    assert!(dims.iter().all(|&d| d > 0), "dims must be positive");
+    let mut rng = seeds.rng("mlp-weights");
+    let mut b = GraphBuilder::new();
+    let src = b.add("input", Operation::Source { width: dims[0] });
+    let mut prev = src;
+    for (i, w) in dims.windows(2).enumerate() {
+        let (rows, cols) = (w[0], w[1]);
+        let scale = 1.0 / (rows as f64).sqrt();
+        let weights: Vec<f64> = (0..rows * cols)
+            .map(|_| normal(&mut rng, 0.0, scale))
+            .collect();
+        let fc = b.add(
+            format!("fc{i}"),
+            Operation::MatVec {
+                rows,
+                cols,
+                weights,
+            },
+        );
+        b.connect(prev, fc, 0).expect("widths match by construction");
+        prev = fc;
+        if i + 2 < dims.len() {
+            let act = b.add(
+                format!("relu{i}"),
+                Operation::Map {
+                    func: Elementwise::Relu,
+                    width: cols,
+                },
+            );
+            b.connect(prev, act, 0).expect("widths match");
+            prev = act;
+        }
+    }
+    let sink = b.add("output", Operation::Sink { width: *dims.last().expect("non-empty") });
+    b.connect(prev, sink, 0).expect("widths match");
+    (b.build().expect("structurally valid MLP"), src, sink)
+}
+
+/// A labelled synthetic classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature vectors.
+    pub samples: Vec<Vec<f64>>,
+    /// Ground-truth class per sample.
+    pub labels: Vec<usize>,
+    /// Per-class mean vectors (the generative model).
+    pub class_means: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.class_means.first().map_or(0, Vec::len)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_means.len()
+    }
+}
+
+/// Generates a Gaussian-mixture classification task: `classes` unit-norm
+/// mean vectors in `dim` dimensions, `per_class` samples each, with
+/// isotropic noise of the given standard deviation.
+///
+/// # Panics
+///
+/// Panics for zero classes/dim/per_class or negative noise.
+pub fn synthetic_classification(
+    classes: usize,
+    dim: usize,
+    per_class: usize,
+    noise: f64,
+    seeds: SeedTree,
+) -> Dataset {
+    assert!(classes > 0 && dim > 0 && per_class > 0, "degenerate dataset");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut rng = seeds.rng("dataset");
+    let class_means: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            v.iter_mut().for_each(|x| *x /= norm);
+            v
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    // Interleave classes so stream prefixes stay balanced.
+    for i in 0..per_class {
+        for (c, mean) in class_means.iter().enumerate() {
+            let _ = i;
+            let s: Vec<f64> = mean
+                .iter()
+                .map(|&m| m + normal(&mut rng, 0.0, noise))
+                .collect();
+            samples.push(s);
+            labels.push(c);
+        }
+    }
+    Dataset {
+        samples,
+        labels,
+        class_means,
+    }
+}
+
+/// Builds the matched-filter (template) classifier for a dataset: a
+/// `dim × classes` matvec whose columns are the class means, followed by
+/// argmax. For a Gaussian mixture with equal priors this is the Bayes
+/// classifier, so accuracy is high without any training loop.
+pub fn template_classifier(dataset: &Dataset) -> (DataflowGraph, NodeRef, NodeRef) {
+    let dim = dataset.dim();
+    let classes = dataset.classes();
+    let mut weights = vec![0.0; dim * classes];
+    for (c, mean) in dataset.class_means.iter().enumerate() {
+        for (d, &m) in mean.iter().enumerate() {
+            weights[d * classes + c] = m;
+        }
+    }
+    let mut b = GraphBuilder::new();
+    let src = b.add("features", Operation::Source { width: dim });
+    let mv = b.add(
+        "templates",
+        Operation::MatVec {
+            rows: dim,
+            cols: classes,
+            weights,
+        },
+    );
+    let arg = b.add(
+        "argmax",
+        Operation::Reduce {
+            kind: Reduction::ArgMax,
+            width: classes,
+        },
+    );
+    let sink = b.add("class", Operation::Sink { width: 1 });
+    b.chain(&[src, mv, arg, sink]).expect("widths match");
+    (b.build().expect("valid classifier"), src, sink)
+}
+
+/// Fraction of predictions (argmax indices as `f64`) matching labels.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `predictions` is empty.
+pub fn accuracy(predictions: &[f64], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "no predictions");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, &l)| p.round() as usize == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Generates a batch of random input vectors in `[-1, 1]` for throughput
+/// benchmarks.
+pub fn random_inputs(n: usize, dim: usize, seeds: SeedTree) -> Vec<Vec<f64>> {
+    let mut rng = seeds.rng("inputs");
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_dataflow::interpreter::execute;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mlp_graph_shape() {
+        let (g, src, sink) = mlp_graph(&[16, 8, 4], SeedTree::new(3));
+        // source + 2 matvec + 1 relu + sink
+        assert_eq!(g.node_count(), 5);
+        let out = execute(&g, &HashMap::from([(src, vec![0.1; 16])])).unwrap();
+        assert_eq!(out[&sink].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two dims")]
+    fn mlp_needs_two_dims() {
+        let _ = mlp_graph(&[4], SeedTree::new(0));
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_reproducible() {
+        let d1 = synthetic_classification(4, 16, 25, 0.1, SeedTree::new(9));
+        let d2 = synthetic_classification(4, 16, 25, 0.1, SeedTree::new(9));
+        assert_eq!(d1.len(), 100);
+        assert_eq!(d1.samples, d2.samples, "same seed, same data");
+        let mut counts = [0usize; 4];
+        for &l in &d1.labels {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [25; 4]);
+        assert_eq!(d1.dim(), 16);
+        assert_eq!(d1.classes(), 4);
+    }
+
+    #[test]
+    fn template_classifier_is_accurate_at_low_noise() {
+        let data = synthetic_classification(8, 64, 40, 0.15, SeedTree::new(5));
+        let (g, src, sink) = template_classifier(&data);
+        let mut preds = Vec::new();
+        for s in &data.samples {
+            let out = execute(&g, &HashMap::from([(src, s.clone())])).unwrap();
+            preds.push(out[&sink][0]);
+        }
+        let acc = accuracy(&preds, &data.labels);
+        assert!(acc > 0.95, "Bayes-ish classifier should be accurate: {acc}");
+    }
+
+    #[test]
+    fn accuracy_degrades_with_noise() {
+        let mut accs = Vec::new();
+        for noise in [0.1, 0.5, 1.2] {
+            let data = synthetic_classification(8, 32, 30, noise, SeedTree::new(6));
+            let (g, src, sink) = template_classifier(&data);
+            let mut preds = Vec::new();
+            for s in &data.samples {
+                let out = execute(&g, &HashMap::from([(src, s.clone())])).unwrap();
+                preds.push(out[&sink][0]);
+            }
+            accs.push(accuracy(&preds, &data.labels));
+        }
+        assert!(accs[0] > accs[2], "noise must hurt accuracy: {accs:?}");
+        assert!(accs[2] > 1.0 / 8.0, "still above chance");
+    }
+
+    #[test]
+    fn random_inputs_in_range() {
+        let xs = random_inputs(10, 32, SeedTree::new(1));
+        assert_eq!(xs.len(), 10);
+        assert!(xs.iter().flatten().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+}

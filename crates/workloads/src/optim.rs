@@ -1,0 +1,158 @@
+//! Optimization workload (Table 2 row "Optimization problem (resource
+//! allocation)").
+//!
+//! Simulated annealing on a 0/1 knapsack: a tiny state mutated through a
+//! long, strictly sequential accept/reject chain. High compute intensity,
+//! no data to speak of, no parallelism — the paper's canonical
+//! "keep it on a CPU" workload.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::Workload;
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// Simulated-annealing knapsack.
+#[derive(Debug, Clone)]
+pub struct Annealing {
+    /// Items to pack.
+    pub items: usize,
+    /// Annealing steps.
+    pub steps: u32,
+    /// Capacity as a fraction of total weight.
+    pub capacity_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Annealing {
+    /// The standard TAB2 size: 300 items, 70 000 steps.
+    fn default() -> Self {
+        Annealing {
+            items: 300,
+            steps: 70_000,
+            capacity_fraction: 0.4,
+            seed: 43,
+        }
+    }
+}
+
+impl Annealing {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        Annealing {
+            items: 30,
+            steps: 2_000,
+            capacity_fraction: 0.4,
+            seed: 43,
+        }
+    }
+
+    /// Runs the annealer; returns `(best_value, greedy_value)` so the
+    /// improvement over a greedy baseline is observable.
+    pub fn run(&self) -> (f64, f64) {
+        let mut rng = SeedTree::new(self.seed).rng("anneal");
+        let values: Vec<f64> = (0..self.items).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let weights: Vec<f64> = (0..self.items).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let capacity: f64 = weights.iter().sum::<f64>() * self.capacity_fraction;
+
+        // Greedy baseline by density.
+        let mut order: Vec<usize> = (0..self.items).collect();
+        order.sort_by(|&a, &b| {
+            (values[b] / weights[b])
+                .partial_cmp(&(values[a] / weights[a]))
+                .expect("finite")
+        });
+        let mut greedy_value = 0.0;
+        let mut greedy_weight = 0.0;
+        for &i in &order {
+            if greedy_weight + weights[i] <= capacity {
+                greedy_weight += weights[i];
+                greedy_value += values[i];
+            }
+        }
+
+        // Annealing from an empty knapsack.
+        let mut taken = vec![false; self.items];
+        let (mut value, mut weight) = (0.0f64, 0.0f64);
+        let (mut best, mut temp) = (0.0f64, 50.0f64);
+        let cooling = 0.9999f64;
+        for _ in 0..self.steps {
+            let i = rng.gen_range(0..self.items);
+            let (dv, dw) = if taken[i] {
+                (-values[i], -weights[i])
+            } else {
+                (values[i], weights[i])
+            };
+            let feasible = weight + dw <= capacity;
+            let accept = feasible && (dv > 0.0 || rng.gen::<f64>() < (dv / temp).exp());
+            if accept {
+                taken[i] = !taken[i];
+                value += dv;
+                weight += dw;
+                best = best.max(value);
+            }
+            temp *= cooling;
+        }
+        (best, greedy_value)
+    }
+}
+
+impl Workload for Annealing {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Optimization
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (best, greedy) = self.run();
+        std::hint::black_box((best, greedy));
+        let steps = u64::from(self.steps);
+        // Per step: delta eval, feasibility, Metropolis test, cooling ≈ 8.
+        let flops = steps * 8;
+        let footprint = (self.items * 17) as u64; // values + weights + taken
+        let moved = steps * 26;
+        // Strict step-to-step dependency.
+        let comm = steps * 8;
+        let span = flops;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn annealing_finds_decent_solutions() {
+        let (best, greedy) = Annealing::default().run();
+        assert!(best > 0.0);
+        assert!(greedy > 0.0);
+        // SA should reach at least 80 % of the strong greedy baseline.
+        assert!(best >= greedy * 0.8, "best {best} vs greedy {greedy}");
+    }
+
+    #[test]
+    fn small_instance_runs_fast_and_deterministically() {
+        let a = Annealing::small().run();
+        let b = Annealing::small().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn buckets_are_serial_and_data_poor() {
+        let c = Annealing::default().characterize();
+        let l = c.bucketize();
+        assert_eq!(l.size, Level::Low);
+        assert_eq!(l.bandwidth, Level::Low);
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.parallelism, Level::Low);
+        assert_eq!(l.communication, Level::High);
+    }
+}

@@ -1,0 +1,277 @@
+//! Probabilistic workloads (Table 2 rows "Bayesian inference" and
+//! "Markov chain").
+//!
+//! * [`BeliefPropagation`] — loopy BP on a grid MRF: tiny state ground
+//!   to dust by iterated message updates (compute-intensive, chatty,
+//!   data-poor — a poor CIM fit per the paper).
+//! * [`McmcChain`] — Metropolis sampling: an inherently *serial*
+//!   dependency chain, the anti-parallel extreme.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::Workload;
+use cim_sim::rng::normal;
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// Loopy belief propagation on an `n × n` grid MRF with `states` labels.
+#[derive(Debug, Clone)]
+pub struct BeliefPropagation {
+    /// Grid side.
+    pub n: usize,
+    /// Labels per node.
+    pub states: usize,
+    /// Message-passing iterations.
+    pub iters: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BeliefPropagation {
+    /// The standard TAB2 size: 8×8 grid, 4 states, 12 iterations.
+    fn default() -> Self {
+        BeliefPropagation {
+            n: 8,
+            states: 4,
+            iters: 12,
+            seed: 19,
+        }
+    }
+}
+
+impl BeliefPropagation {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        BeliefPropagation {
+            n: 4,
+            states: 2,
+            iters: 5,
+            seed: 19,
+        }
+    }
+
+    /// Runs BP and returns per-node beliefs (normalized).
+    pub fn run(&self) -> Vec<Vec<f64>> {
+        let (n, s) = (self.n, self.states);
+        let mut rng = SeedTree::new(self.seed).rng("bp");
+        // Unary potentials and a smoothness pairwise potential.
+        let unary: Vec<Vec<f64>> = (0..n * n)
+            .map(|_| (0..s).map(|_| rng.gen_range(0.1..1.0)).collect())
+            .collect();
+        let pairwise = |a: usize, b: usize| if a == b { 1.0 } else { 0.4 };
+        // messages[dir][node][state], dirs: 0=from-left 1=right 2=up 3=down
+        let mut msgs = vec![vec![vec![1.0 / s as f64; s]; n * n]; 4];
+        for _ in 0..self.iters {
+            let mut new_msgs = msgs.clone();
+            for y in 0..n {
+                for x in 0..n {
+                    let u = y * n + x;
+                    // For each outgoing direction compute the message.
+                    let neighbors = [
+                        (x > 0).then(|| (y * n + x - 1, 1usize, 0usize)),
+                        (x + 1 < n).then(|| (y * n + x + 1, 0, 1)),
+                        (y > 0).then(|| ((y - 1) * n + x, 3, 2)),
+                        (y + 1 < n).then(|| ((y + 1) * n + x, 2, 3)),
+                    ];
+                    for nb in neighbors.into_iter().flatten() {
+                        let (v, incoming_dir_at_v, exclude_dir) = nb;
+                        let mut out = vec![0.0; s];
+                        for (sv, o) in out.iter_mut().enumerate() {
+                            let mut acc = 0.0;
+                            for su in 0..s {
+                                let mut prod = unary[u][su] * pairwise(su, sv);
+                                for (d, m) in msgs.iter().enumerate() {
+                                    if d != exclude_dir {
+                                        prod *= m[u][su];
+                                    }
+                                }
+                                acc += prod;
+                            }
+                            *o = acc;
+                        }
+                        let z: f64 = out.iter().sum::<f64>().max(1e-300);
+                        out.iter_mut().for_each(|v| *v /= z);
+                        new_msgs[incoming_dir_at_v][v] = out;
+                    }
+                }
+            }
+            msgs = new_msgs;
+        }
+        // Beliefs.
+        (0..n * n)
+            .map(|u| {
+                let mut b: Vec<f64> = (0..s)
+                    .map(|su| {
+                        let mut p = unary[u][su];
+                        for m in &msgs {
+                            p *= m[u][su];
+                        }
+                        p
+                    })
+                    .collect();
+                let z: f64 = b.iter().sum::<f64>().max(1e-300);
+                b.iter_mut().for_each(|v| *v /= z);
+                b
+            })
+            .collect()
+    }
+}
+
+impl Workload for BeliefPropagation {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::BayesianInference
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let beliefs = self.run();
+        std::hint::black_box(beliefs.len());
+        let (n, s, iters) = (self.n as u64, self.states as u64, u64::from(self.iters));
+        let nodes = n * n;
+        let edges = 2 * n * (n - 1);
+        // Per directed message per iteration: s outgoing states × s inner
+        // states × (1 mul-pair + 3 message muls + 1 add) ≈ 6s² flops.
+        let flops = iters * 2 * edges * 6 * s * s;
+        let footprint = 8 * (4 * nodes * s + nodes * s); // messages + unary
+        let moved = iters * 2 * edges * 8 * (5 * s * s + 2 * s);
+        // Every message is communication between dependent units.
+        let comm = iters * 2 * edges * 8 * s;
+        // Iterations are sequential; within one, messages parallel.
+        let span = iters * 6 * s * s;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+}
+
+/// A Metropolis MCMC chain over a `dim`-dimensional Gaussian target.
+#[derive(Debug, Clone)]
+pub struct McmcChain {
+    /// State dimensionality.
+    pub dim: usize,
+    /// Chain steps.
+    pub steps: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McmcChain {
+    /// The standard TAB2 size: 64 dims, 80 000 steps.
+    fn default() -> Self {
+        McmcChain {
+            dim: 64,
+            steps: 80_000,
+            seed: 23,
+        }
+    }
+}
+
+impl McmcChain {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        McmcChain {
+            dim: 8,
+            steps: 1_000,
+            seed: 23,
+        }
+    }
+
+    /// Runs the chain; returns the acceptance rate and final state norm.
+    pub fn run(&self) -> (f64, f64) {
+        let mut rng = SeedTree::new(self.seed).rng("mcmc");
+        let mut state = vec![0.0f64; self.dim];
+        let mut log_p = 0.0; // log density of N(0, I) up to constant: -|x|²/2
+        let mut accepts = 0u64;
+        for _ in 0..self.steps {
+            let i = rng.gen_range(0..self.dim);
+            let delta = normal(&mut rng, 0.0, 0.5);
+            let old = state[i];
+            let new = old + delta;
+            let new_log_p = log_p - 0.5 * (new * new - old * old);
+            let accept = (new_log_p - log_p).exp().min(1.0);
+            if rng.gen::<f64>() < accept {
+                state[i] = new;
+                log_p = new_log_p;
+                accepts += 1;
+            }
+        }
+        let norm = state.iter().map(|x| x * x).sum::<f64>().sqrt();
+        (accepts as f64 / f64::from(self.steps), norm)
+    }
+}
+
+impl Workload for McmcChain {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::MarkovChain
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (rate, norm) = self.run();
+        std::hint::black_box((rate, norm));
+        let steps = u64::from(self.steps);
+        // Per step: proposal, density update, accept test ≈ 8 flops.
+        let flops = steps * 8;
+        let footprint = 8 * self.dim as u64 + 16; // state + log density
+        let moved = steps * 24; // read-modify-write one coordinate + density
+        // Every step depends on the previous: the chain itself is the
+        // communication.
+        let comm = steps * 8;
+        // Fully serial.
+        let span = flops;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn bp_beliefs_are_distributions() {
+        let beliefs = BeliefPropagation::small().run();
+        assert_eq!(beliefs.len(), 16);
+        for b in &beliefs {
+            let z: f64 = b.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9, "normalized, got {z}");
+            assert!(b.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bp_buckets_are_data_poor_and_chatty() {
+        let l = BeliefPropagation::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.size, Level::Low);
+        assert_eq!(l.bandwidth, Level::Low);
+        assert_eq!(l.communication, Level::High);
+    }
+
+    #[test]
+    fn mcmc_behaves_statistically() {
+        let (rate, norm) = McmcChain::default().run();
+        assert!(rate > 0.5 && rate < 0.99, "acceptance {rate}");
+        // Stationary distribution is N(0, I_64): |x| concentrates near 8.
+        assert!(norm > 3.0 && norm < 16.0, "norm {norm}");
+    }
+
+    #[test]
+    fn mcmc_is_serial_and_tiny() {
+        let c = McmcChain::default().characterize();
+        assert!(c.parallelism() < 1.5, "a chain has no parallelism");
+        let l = c.bucketize();
+        assert_eq!(l.parallelism, Level::Low);
+        assert_eq!(l.size, Level::Low);
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.communication, Level::High);
+    }
+}

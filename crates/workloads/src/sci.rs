@@ -1,0 +1,276 @@
+//! Scientific-computing workloads (Table 2 rows "Scientific Computing"
+//! and "Finite Element Modelling").
+//!
+//! * [`JacobiSolver`] — an iterative 5-point stencil solve: FLOP-hungry,
+//!   synchronizing every sweep (halo exchange + residual reduction).
+//! * [`FemSolver`] — conjugate gradient on the assembled 2-D Laplacian
+//!   (the canonical FEM inner loop): sparse matvec plus global dot
+//!   products every iteration.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::Workload;
+
+/// Jacobi iteration on an `n × n` grid for the Poisson equation.
+#[derive(Debug, Clone)]
+pub struct JacobiSolver {
+    /// Grid side.
+    pub n: usize,
+    /// Sweeps.
+    pub iters: u32,
+    /// Decomposition blocks per side (communication grain).
+    pub blocks: usize,
+}
+
+impl Default for JacobiSolver {
+    /// The standard TAB2 size: 480×480, 60 sweeps, 4×4 blocks.
+    fn default() -> Self {
+        JacobiSolver {
+            n: 480,
+            iters: 60,
+            blocks: 4,
+        }
+    }
+}
+
+impl JacobiSolver {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        JacobiSolver {
+            n: 32,
+            iters: 10,
+            blocks: 2,
+        }
+    }
+
+    /// Runs the sweeps; returns the final residual norm (should shrink).
+    pub fn run(&self) -> f64 {
+        let n = self.n;
+        // Source term: a point load in the middle.
+        let mut f = vec![0.0f64; n * n];
+        f[(n / 2) * n + n / 2] = 1.0;
+        let mut u = vec![0.0f64; n * n];
+        let mut next = vec![0.0f64; n * n];
+        for _ in 0..self.iters {
+            for y in 1..n - 1 {
+                for x in 1..n - 1 {
+                    let i = y * n + x;
+                    next[i] =
+                        0.25 * (u[i - 1] + u[i + 1] + u[i - n] + u[i + n] + f[i]);
+                }
+            }
+            std::mem::swap(&mut u, &mut next);
+        }
+        // Residual of the interior.
+        let mut res = 0.0;
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let i = y * n + x;
+                let r = f[i] - (4.0 * u[i] - u[i - 1] - u[i + 1] - u[i - n] - u[i + n]);
+                res += r * r;
+            }
+        }
+        res.sqrt()
+    }
+}
+
+impl Workload for JacobiSolver {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::ScientificComputing
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let res = self.run();
+        std::hint::black_box(res);
+        let n = self.n as u64;
+        let iters = u64::from(self.iters);
+        let interior = (n - 2) * (n - 2);
+        // 5 adds/muls per point per sweep.
+        let flops = iters * interior * 5;
+        let footprint = 3 * n * n * 8; // u, next, f
+        let moved = iters * interior * 8 * 6; // 5 reads + 1 write
+        // Per sweep: halo exchange between blocks + residual reduction.
+        let halo = 8 * (self.blocks * self.blocks) as u64 * 4 * (n / self.blocks as u64);
+        let comm = iters * (halo + 8 * (self.blocks * self.blocks) as u64);
+        // Sweeps are sequential; within one, rows are parallel.
+        let span = iters * 5 * (n - 2);
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+}
+
+/// A 5-point Laplacian in CSR form with a CG solver — the FEM inner loop.
+#[derive(Debug, Clone)]
+pub struct FemSolver {
+    /// Mesh side (nodes = side²).
+    pub side: usize,
+    /// CG iterations.
+    pub iters: u32,
+}
+
+impl Default for FemSolver {
+    /// The standard TAB2 size: 200×200 mesh, 40 CG iterations.
+    fn default() -> Self {
+        FemSolver {
+            side: 200,
+            iters: 40,
+        }
+    }
+}
+
+impl FemSolver {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        FemSolver { side: 16, iters: 10 }
+    }
+
+    fn nodes(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Assembles the Laplacian (CSR) and runs CG on `A·x = b`;
+    /// returns `(final_residual, initial_residual)`.
+    pub fn run(&self) -> (f64, f64) {
+        let n = self.side;
+        let nodes = self.nodes();
+        // Assemble 5-point Laplacian.
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        offsets.push(0u32);
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                let mut push = |j: usize, v: f64| {
+                    cols.push(j as u32);
+                    vals.push(v);
+                };
+                push(i, 4.0);
+                if x > 0 {
+                    push(i - 1, -1.0);
+                }
+                if x + 1 < n {
+                    push(i + 1, -1.0);
+                }
+                if y > 0 {
+                    push(i - n, -1.0);
+                }
+                if y + 1 < n {
+                    push(i + n, -1.0);
+                }
+                offsets.push(cols.len() as u32);
+            }
+        }
+        let spmv = |x: &[f64], y: &mut [f64]| {
+            for i in 0..nodes {
+                let mut acc = 0.0;
+                for k in offsets[i] as usize..offsets[i + 1] as usize {
+                    acc += vals[k] * x[cols[k] as usize];
+                }
+                y[i] = acc;
+            }
+        };
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+
+        let b: Vec<f64> = (0..nodes).map(|i| if i == nodes / 2 { 1.0 } else { 0.0 }).collect();
+        let mut x = vec![0.0f64; nodes];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let mut ap = vec![0.0f64; nodes];
+        let mut rsq = dot(&r, &r);
+        let initial = rsq.sqrt();
+        for _ in 0..self.iters {
+            spmv(&p, &mut ap);
+            let alpha = rsq / dot(&p, &ap).max(1e-300);
+            for i in 0..nodes {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rsq_new = dot(&r, &r);
+            let beta = rsq_new / rsq.max(1e-300);
+            for i in 0..nodes {
+                p[i] = r[i] + beta * p[i];
+            }
+            rsq = rsq_new;
+        }
+        std::hint::black_box(x[0]);
+        (rsq.sqrt(), initial)
+    }
+}
+
+impl Workload for FemSolver {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::FiniteElementModelling
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (final_res, initial_res) = self.run();
+        std::hint::black_box((final_res, initial_res));
+        let nodes = self.nodes() as u64;
+        let nnz = 5 * nodes - 4 * self.side as u64; // interior 5, edges less
+        let iters = u64::from(self.iters);
+        // Per iteration: spmv (2·nnz) + 2 dots (4·n) + 3 axpys (6·n).
+        let flops = iters * (2 * nnz + 10 * nodes);
+        let footprint = nnz * 12 + 5 * nodes * 8; // CSR + 5 vectors
+        let moved = iters * (nnz * 20 + 10 * nodes * 8);
+        // Per iteration: halo rows between row-block partitions + two
+        // global reductions.
+        let parts = 16u64;
+        let comm = iters * (parts * self.side as u64 * 8 * 2 + parts * 16);
+        // CG iterations are sequential; within one, the reduction tree
+        // and spmv rows are parallel.
+        let span = iters * (2 * 5 + 2 * 64); // spmv row + log-depth dots
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn jacobi_reduces_residual() {
+        let short = JacobiSolver { n: 32, iters: 2, blocks: 2 }.run();
+        let long = JacobiSolver { n: 32, iters: 100, blocks: 2 }.run();
+        assert!(long < short, "more sweeps, smaller residual: {short} -> {long}");
+    }
+
+    #[test]
+    fn jacobi_buckets() {
+        let l = JacobiSolver::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.size, Level::Medium);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.parallelism, Level::High);
+    }
+
+    #[test]
+    fn cg_converges_on_laplacian() {
+        let (final_res, initial_res) = FemSolver { side: 24, iters: 60 }.run();
+        assert!(
+            final_res < initial_res / 10.0,
+            "CG must reduce the residual: {initial_res} -> {final_res}"
+        );
+    }
+
+    #[test]
+    fn fem_buckets() {
+        let l = FemSolver::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Medium, "sparse FEM is not dense-matmul heavy");
+        assert_eq!(l.size, Level::Medium);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.parallelism, Level::High);
+    }
+}

@@ -1,0 +1,185 @@
+//! Search / indexing workload (Table 2 row "Search (indexing problem)").
+//!
+//! Builds an inverted index over a synthetic corpus (tokenize → hash →
+//! posting lists across shards), then serves scored queries (BM25-style
+//! term scoring over posting lists). Indexing is hash-heavy, querying is
+//! scoring-heavy, and shard merges/gathers make it chatty — the
+//! compute-and-communication combination the paper rates a poor CIM fit
+//! despite its data volume.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::Workload;
+use cim_sim::rng::{splitmix64, Zipf};
+use cim_sim::SeedTree;
+use std::collections::HashMap;
+
+/// The search workload.
+#[derive(Debug, Clone)]
+pub struct SearchIndexing {
+    /// Documents in the corpus.
+    pub docs: usize,
+    /// Words per document.
+    pub words_per_doc: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Queries served after indexing.
+    pub queries: usize,
+    /// Index shards.
+    pub shards: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchIndexing {
+    /// The standard TAB2 size: 20 k docs × 40 words, 600 queries.
+    fn default() -> Self {
+        SearchIndexing {
+            docs: 20_000,
+            words_per_doc: 40,
+            vocab: 20_000,
+            queries: 600,
+            shards: 16,
+            seed: 41,
+        }
+    }
+}
+
+impl SearchIndexing {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        SearchIndexing {
+            docs: 500,
+            words_per_doc: 20,
+            vocab: 500,
+            queries: 50,
+            shards: 4,
+            seed: 41,
+        }
+    }
+
+    /// Builds the index and serves queries; returns
+    /// `(postings_total, scored_total, top_hit_of_last_query)`.
+    pub fn run(&self) -> (u64, u64, Option<u32>) {
+        let mut rng = SeedTree::new(self.seed).rng("search");
+        let zipf = Zipf::new(self.vocab, 1.0);
+        // Index build: term -> postings (doc ids), sharded by term hash.
+        let mut shards: Vec<HashMap<u32, Vec<u32>>> =
+            (0..self.shards).map(|_| HashMap::new()).collect();
+        let mut postings_total = 0u64;
+        for doc in 0..self.docs as u32 {
+            for _ in 0..self.words_per_doc {
+                let term = zipf.sample(&mut rng) as u32;
+                let shard = (splitmix64(u64::from(term)) % self.shards as u64) as usize;
+                shards[shard].entry(term).or_default().push(doc);
+                postings_total += 1;
+            }
+        }
+        // Queries: 2 terms, BM25-ish scoring over both posting lists,
+        // accumulated into a dense per-document score array.
+        let n_docs = self.docs as f64;
+        let mut scores = vec![0.0f64; self.docs];
+        let mut scored_total = 0u64;
+        let mut last_top = None;
+        for _ in 0..self.queries {
+            scores.iter_mut().for_each(|s| *s = 0.0);
+            for _ in 0..2 {
+                let term = zipf.sample(&mut rng) as u32;
+                let shard = (splitmix64(u64::from(term)) % self.shards as u64) as usize;
+                if let Some(postings) = shards[shard].get(&term) {
+                    let idf = (n_docs / (postings.len() as f64 + 1.0)).ln();
+                    for &doc in postings {
+                        // tf is synthetic (1); the scoring arithmetic is real.
+                        let tf = 1.0;
+                        let score = idf * (tf * 2.2) / (tf + 1.2);
+                        scores[doc as usize] += score;
+                        scored_total += 1;
+                    }
+                }
+            }
+            last_top = scores
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s > 0.0)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores finite"))
+                .map(|(d, _)| d as u32);
+        }
+        (postings_total, scored_total, last_top)
+    }
+}
+
+impl Workload for SearchIndexing {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::SearchIndexing
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (postings, scored, top) = self.run();
+        std::hint::black_box(top);
+        // Indexing: hash + shard route + append ≈ 8 ops per posting
+        // (term hashing over ~6 chars at 2 ops/char counted once).
+        let index_flops = postings * (8 + 12);
+        // Query scoring: idf, tf normalization, accumulate ≈ 10 flops per
+        // scored posting.
+        let query_flops = scored * 10;
+        let flops = index_flops + query_flops;
+        // Corpus (term ids) + index (postings + hash overhead).
+        let footprint = postings * 4 + postings * 8 + self.vocab as u64 * 16;
+        let moved = postings * 24 + scored * 16;
+        // Shard exchange during build (every posting crosses to its
+        // shard) + query scatter/gather.
+        let comm = postings * 8 + self.queries as u64 * self.shards as u64 * 16;
+        // Queries are independent; within a query, scoring a posting list
+        // accumulates serially per document map, bounded by the longest
+        // posting list.
+        let longest_posting = scored / self.queries.max(1) as u64;
+        let span = longest_posting * 10;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn indexing_and_querying_work() {
+        let (postings, scored, top) = SearchIndexing::small().run();
+        assert_eq!(postings, 500 * 20);
+        assert!(scored > 0, "queries must score postings");
+        assert!(top.is_some(), "a top hit exists");
+    }
+
+    #[test]
+    fn zipf_terms_make_postings_skewed() {
+        let s = SearchIndexing::small();
+        let (_, scored, _) = s.run();
+        // Frequent terms have long posting lists, so scoring volume per
+        // query far exceeds 2 (one doc per term).
+        assert!(scored / s.queries as u64 > 10);
+    }
+
+    #[test]
+    fn buckets_are_compute_and_comm_heavy() {
+        let l = SearchIndexing::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::High);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.bandwidth, Level::High);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SearchIndexing::small().run();
+        let b = SearchIndexing::small().run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The application classes of the paper's Table 2 and their published
+//! ratings.
+//!
+//! Appendix A rates 14 application classes on six characteristics and an
+//! overall CIM suitability. This module encodes that table verbatim so
+//! the TAB2 experiment can compare *measured* characteristics against the
+//! paper's qualitative grades.
+
+use core::fmt;
+
+/// A qualitative level in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// "low"
+    Low,
+    /// "medium" (also used for the paper's "low to med.")
+    Medium,
+    /// "high"
+    High,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Level::Low => "low",
+            Level::Medium => "medium",
+            Level::High => "high",
+        })
+    }
+}
+
+impl Level {
+    /// Distance between two levels (0, 1 or 2 steps).
+    pub fn distance(self, other: Level) -> u8 {
+        (self as i8 - other as i8).unsigned_abs()
+    }
+}
+
+/// The 14 application classes of Table 2, in row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadClass {
+    /// Machine learning (training-style workloads).
+    MachineLearning,
+    /// Neural network inference.
+    NeuralNetworks,
+    /// Graph problems (social networks, intelligence).
+    GraphProblems,
+    /// Bayesian inference.
+    BayesianInference,
+    /// Markov-chain computations.
+    MarkovChain,
+    /// Key-value stores (persistency layer).
+    KeyValueStores,
+    /// Databases: analytics.
+    DatabasesAnalytics,
+    /// Databases: transactions.
+    DatabasesTransactions,
+    /// Search / indexing.
+    SearchIndexing,
+    /// Optimization (resource allocation).
+    Optimization,
+    /// Scientific computing.
+    ScientificComputing,
+    /// Finite-element modelling.
+    FiniteElementModelling,
+    /// Collaborative applications (mail, chat).
+    Collaborative,
+    /// Signal (image) processing.
+    SignalProcessing,
+}
+
+impl WorkloadClass {
+    /// All classes in Table 2 row order.
+    pub const ALL: [WorkloadClass; 14] = [
+        WorkloadClass::MachineLearning,
+        WorkloadClass::NeuralNetworks,
+        WorkloadClass::GraphProblems,
+        WorkloadClass::BayesianInference,
+        WorkloadClass::MarkovChain,
+        WorkloadClass::KeyValueStores,
+        WorkloadClass::DatabasesAnalytics,
+        WorkloadClass::DatabasesTransactions,
+        WorkloadClass::SearchIndexing,
+        WorkloadClass::Optimization,
+        WorkloadClass::ScientificComputing,
+        WorkloadClass::FiniteElementModelling,
+        WorkloadClass::Collaborative,
+        WorkloadClass::SignalProcessing,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::MachineLearning => "Machine learning",
+            WorkloadClass::NeuralNetworks => "Neural Networks",
+            WorkloadClass::GraphProblems => "Graph problems (FB, intel.)",
+            WorkloadClass::BayesianInference => "Bayesian inference",
+            WorkloadClass::MarkovChain => "Markov chain",
+            WorkloadClass::KeyValueStores => "KVSs (persistency layer)",
+            WorkloadClass::DatabasesAnalytics => "Data Bases (analytics)",
+            WorkloadClass::DatabasesTransactions => "Data Bases (transactions)",
+            WorkloadClass::SearchIndexing => "Search (indexing problem)",
+            WorkloadClass::Optimization => "Optimization problem (resource allocation)",
+            WorkloadClass::ScientificComputing => "Scientific Computing",
+            WorkloadClass::FiniteElementModelling => "Finite Element Modelling",
+            WorkloadClass::Collaborative => "Collaborative (mail, chat,..)",
+            WorkloadClass::SignalProcessing => "Signal (image) processing",
+        }
+    }
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRating {
+    /// The application class.
+    pub class: WorkloadClass,
+    /// "Compute intensive".
+    pub compute: Level,
+    /// "Data intensive: bandwidth".
+    pub bandwidth: Level,
+    /// "Data intensive: size".
+    pub size: Level,
+    /// "Operational intensity (flop/byte)".
+    pub op_intensity: Level,
+    /// "Communication (iterative)".
+    pub communication: Level,
+    /// "Parallelism (dependencies)".
+    pub parallelism: Level,
+    /// The paper's overall CIM suitability.
+    pub cim: Level,
+}
+
+/// The paper's Table 2, transcribed row by row. The paper's "low to med."
+/// entries are encoded as [`Level::Medium`]; "low to high" as
+/// [`Level::Medium`].
+pub fn paper_table() -> Vec<PaperRating> {
+    use Level::{High as H, Low as L, Medium as M};
+    use WorkloadClass as W;
+    vec![
+        PaperRating { class: W::MachineLearning, compute: H, bandwidth: H, size: H, op_intensity: H, communication: L, parallelism: H, cim: H },
+        PaperRating { class: W::NeuralNetworks, compute: H, bandwidth: H, size: H, op_intensity: H, communication: L, parallelism: H, cim: H },
+        PaperRating { class: W::GraphProblems, compute: L, bandwidth: M, size: H, op_intensity: H, communication: H, parallelism: H, cim: H },
+        PaperRating { class: W::BayesianInference, compute: H, bandwidth: L, size: L, op_intensity: H, communication: H, parallelism: M, cim: L },
+        PaperRating { class: W::MarkovChain, compute: H, bandwidth: L, size: L, op_intensity: L, communication: H, parallelism: H, cim: L },
+        PaperRating { class: W::KeyValueStores, compute: L, bandwidth: H, size: H, op_intensity: L, communication: M, parallelism: H, cim: M },
+        PaperRating { class: W::DatabasesAnalytics, compute: L, bandwidth: H, size: H, op_intensity: L, communication: M, parallelism: H, cim: H },
+        PaperRating { class: W::DatabasesTransactions, compute: M, bandwidth: H, size: M, op_intensity: H, communication: H, parallelism: M, cim: M },
+        PaperRating { class: W::SearchIndexing, compute: H, bandwidth: H, size: H, op_intensity: H, communication: H, parallelism: H, cim: L },
+        PaperRating { class: W::Optimization, compute: H, bandwidth: L, size: L, op_intensity: H, communication: H, parallelism: L, cim: L },
+        PaperRating { class: W::ScientificComputing, compute: H, bandwidth: M, size: M, op_intensity: M, communication: H, parallelism: H, cim: L },
+        PaperRating { class: W::FiniteElementModelling, compute: H, bandwidth: L, size: M, op_intensity: M, communication: H, parallelism: H, cim: M },
+        PaperRating { class: W::Collaborative, compute: L, bandwidth: H, size: M, op_intensity: L, communication: H, parallelism: L, cim: L },
+        PaperRating { class: W::SignalProcessing, compute: H, bandwidth: H, size: H, op_intensity: L, communication: H, parallelism: M, cim: L },
+    ]
+}
+
+/// Looks up the paper rating for one class.
+pub fn paper_rating(class: WorkloadClass) -> PaperRating {
+    paper_table()
+        .into_iter()
+        .find(|r| r.class == class)
+        .expect("every class has a table row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_classes_once() {
+        let t = paper_table();
+        assert_eq!(t.len(), 14);
+        for (i, c) in WorkloadClass::ALL.iter().enumerate() {
+            assert_eq!(t[i].class, *c, "row order matches enum order");
+        }
+    }
+
+    #[test]
+    fn level_ordering_and_distance() {
+        assert!(Level::Low < Level::Medium && Level::Medium < Level::High);
+        assert_eq!(Level::Low.distance(Level::High), 2);
+        assert_eq!(Level::Medium.distance(Level::Medium), 0);
+    }
+
+    #[test]
+    fn headline_rows_match_the_paper() {
+        let nn = paper_rating(WorkloadClass::NeuralNetworks);
+        assert_eq!(nn.cim, Level::High);
+        assert_eq!(nn.communication, Level::Low);
+        let opt = paper_rating(WorkloadClass::Optimization);
+        assert_eq!(opt.cim, Level::Low);
+        assert_eq!(opt.parallelism, Level::Low);
+        let kvs = paper_rating(WorkloadClass::KeyValueStores);
+        assert_eq!(kvs.cim, Level::Medium);
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let mut labels: Vec<&str> = WorkloadClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+}

@@ -1,0 +1,479 @@
+//! Storage workloads (Table 2 rows "KVSs", "Data Bases (analytics)",
+//! "Data Bases (transactions)").
+//!
+//! All three carry real storage engines: an open-addressing hash table
+//! with Zipf access, a columnar scan/aggregate, and an OCC-style
+//! transaction loop with write-ahead logging.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use crate::workload::{DataflowForm, Workload};
+use cim_dataflow::graph::GraphBuilder;
+use cim_dataflow::ops::{Elementwise, Operation, Reduction};
+use cim_sim::rng::{splitmix64, Zipf};
+use cim_sim::SeedTree;
+use rand::Rng;
+
+/// Key-value store with Zipf-skewed gets/puts.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    /// Distinct keys pre-loaded.
+    pub keys: usize,
+    /// Value size in bytes.
+    pub value_bytes: usize,
+    /// Operations issued (90 % get, 10 % put).
+    pub ops: usize,
+    /// Zipf skew of key popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvStore {
+    /// The standard TAB2 size: 100 k keys × 64 B values, 250 k ops.
+    fn default() -> Self {
+        KvStore {
+            keys: 100_000,
+            value_bytes: 64,
+            ops: 250_000,
+            skew: 0.9,
+            seed: 29,
+        }
+    }
+}
+
+impl KvStore {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        KvStore {
+            keys: 1_000,
+            value_bytes: 16,
+            ops: 2_000,
+            skew: 0.8,
+            seed: 29,
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        (self.keys * 2).next_power_of_two()
+    }
+
+    /// Runs the op mix against a real open-addressing table; returns
+    /// `(hits, probe_total, hottest_key_ops)`.
+    pub fn run(&self) -> (u64, u64, u64) {
+        let slots = self.slot_count();
+        let mask = (slots - 1) as u64;
+        let mut table: Vec<Option<(u64, Vec<u8>)>> = vec![None; slots];
+        let insert = |table: &mut Vec<Option<(u64, Vec<u8>)>>, key: u64, val: Vec<u8>| -> u64 {
+            let mut probes = 1u64;
+            let mut i = (splitmix64(key) & mask) as usize;
+            loop {
+                match &table[i] {
+                    Some((k, _)) if *k == key => {
+                        table[i] = Some((key, val));
+                        return probes;
+                    }
+                    None => {
+                        table[i] = Some((key, val));
+                        return probes;
+                    }
+                    _ => {
+                        i = (i + 1) & mask as usize;
+                        probes += 1;
+                    }
+                }
+            }
+        };
+        for k in 0..self.keys as u64 {
+            insert(&mut table, k, vec![(k & 0xFF) as u8; self.value_bytes]);
+        }
+        let zipf = Zipf::new(self.keys, self.skew);
+        let mut rng = SeedTree::new(self.seed).rng("kvs");
+        let (mut hits, mut probes_total, mut hottest) = (0u64, 0u64, 0u64);
+        for _ in 0..self.ops {
+            let key = zipf.sample(&mut rng) as u64;
+            if key == 0 {
+                hottest += 1;
+            }
+            if rng.gen::<f64>() < 0.9 {
+                // get
+                let mut i = (splitmix64(key) & mask) as usize;
+                let mut probes = 1u64;
+                loop {
+                    match &table[i] {
+                        Some((k, v)) if *k == key => {
+                            std::hint::black_box(v.len());
+                            hits += 1;
+                            break;
+                        }
+                        None => break,
+                        _ => {
+                            i = (i + 1) & mask as usize;
+                            probes += 1;
+                        }
+                    }
+                }
+                probes_total += probes;
+            } else {
+                probes_total +=
+                    insert(&mut table, key, vec![0xAB; self.value_bytes]);
+            }
+        }
+        (hits, probes_total, hottest)
+    }
+
+    /// Generates the byte-address stream of the op mix (slot probes +
+    /// value transfers), for replay through the trace-driven cache and
+    /// DRAM models: Zipf-skewed point lookups over a multi-megabyte
+    /// table — the canonical random-access victim.
+    pub fn memory_trace(&self) -> Vec<u64> {
+        let slots = self.slot_count() as u64;
+        let slot_bytes = (16 + self.value_bytes) as u64;
+        let zipf = Zipf::new(self.keys, self.skew);
+        let mut rng = SeedTree::new(self.seed).rng("kvs-trace");
+        let mut trace = Vec::with_capacity(self.ops * 3);
+        for _ in 0..self.ops {
+            let key = zipf.sample(&mut rng) as u64;
+            let slot = splitmix64(key) % slots;
+            let base = slot * slot_bytes;
+            // Header probe, then the first words of the value.
+            trace.push(base);
+            trace.push(base + 16);
+            trace.push(base + 16 + 32.min(self.value_bytes as u64 / 2));
+        }
+        trace
+    }
+}
+
+impl Workload for KvStore {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::KeyValueStores
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (hits, probes, hottest) = self.run();
+        std::hint::black_box(hits);
+        let ops = self.ops as u64;
+        // Hashing + compare per probe ≈ 6 ops.
+        let flops = probes * 6;
+        let footprint = (self.slot_count() * (16 + self.value_bytes)) as u64;
+        // Per probe: slot header (16 B); per op: value transfer.
+        let moved = probes * 16 + ops * self.value_bytes as u64;
+        // Group-commit flushes: every 1000 ops sync 8 KiB of dirty state.
+        let comm = (ops / 1000) * 8192;
+        // Same-key operations serialize; the hottest key is the span.
+        let span = hottest * 6;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+}
+
+/// Columnar analytics: filtered aggregation over a fact table.
+#[derive(Debug, Clone)]
+pub struct ColumnAnalytics {
+    /// Rows in the fact table.
+    pub rows: usize,
+    /// Scan partitions (parallelism grain).
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ColumnAnalytics {
+    /// The standard TAB2 size: 2 M rows × 4 columns, 128 partitions.
+    fn default() -> Self {
+        ColumnAnalytics {
+            rows: 2_000_000,
+            partitions: 128,
+            seed: 31,
+        }
+    }
+}
+
+impl ColumnAnalytics {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        ColumnAnalytics {
+            rows: 10_000,
+            partitions: 8,
+            seed: 31,
+        }
+    }
+
+    /// Runs `SELECT sum(c2), count(*) WHERE c0 > θ AND c1 < θ2` over a
+    /// generated table; returns `(sum, count)`.
+    pub fn run(&self) -> (f64, u64) {
+        let mut rng = SeedTree::new(self.seed).rng("analytics");
+        let n = self.rows;
+        let c0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let c1: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let c2: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let c3: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        std::hint::black_box(c3.len());
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for i in 0..n {
+            if c0[i] > 50.0 && c1[i] < 75.0 {
+                sum += c2[i];
+                count += 1;
+            }
+        }
+        (sum, count)
+    }
+
+    /// Generates the byte-address stream of the scan (three columns read
+    /// sequentially, row at a time) for replay through the cache and
+    /// DRAM models: the canonical streaming access pattern.
+    pub fn memory_trace(&self) -> Vec<u64> {
+        let n = self.rows as u64;
+        let col_bytes = n * 8;
+        let mut trace = Vec::with_capacity(self.rows * 3);
+        for i in 0..n {
+            trace.push(i * 8); // c0
+            trace.push(col_bytes + i * 8); // c1
+            trace.push(2 * col_bytes + i * 8); // c2
+        }
+        trace
+    }
+}
+
+impl Workload for ColumnAnalytics {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::DatabasesAnalytics
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (sum, count) = self.run();
+        std::hint::black_box((sum, count));
+        let rows = self.rows as u64;
+        // Two predicates + conditional accumulate ≈ 4 ops/row, plus
+        // per-partition merge.
+        let flops = rows * 4 + self.partitions as u64 * 2;
+        let footprint = rows * 4 * 8;
+        let moved = rows * 3 * 8 + self.partitions as u64 * 16;
+        // Partial aggregates exchanged at the merge point.
+        let comm = self.partitions as u64 * 16;
+        // Rows scan in parallel across partitions; each partition is a
+        // serial accumulation.
+        let span = (rows / self.partitions as u64) * 4;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+
+    fn dataflow(&self) -> Option<DataflowForm> {
+        // The scan/aggregate as dataflow: a row-batch flows through a
+        // predicate map and a sum reduction.
+        let width = 256;
+        let mut b = GraphBuilder::new();
+        let src = b.add("row_batch", Operation::Source { width });
+        let filt = b.add(
+            "predicate",
+            Operation::Map {
+                func: Elementwise::Relu, // x>0 passes, else contributes 0
+                width,
+            },
+        );
+        let agg = b.add(
+            "aggregate",
+            Operation::Reduce {
+                kind: Reduction::Sum,
+                width,
+            },
+        );
+        let sink = b.add("partial", Operation::Sink { width: 1 });
+        b.chain(&[src, filt, agg, sink]).ok()?;
+        let graph = b.build().ok()?;
+        Some(DataflowForm {
+            graph,
+            source: src,
+            sink,
+        })
+    }
+}
+
+/// OCC transactions with write-ahead logging over a row store.
+#[derive(Debug, Clone)]
+pub struct Transactions {
+    /// Rows in the store.
+    pub rows: usize,
+    /// Row payload bytes.
+    pub row_bytes: usize,
+    /// Transactions executed.
+    pub txns: usize,
+    /// Zipf skew of row popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Transactions {
+    /// The standard TAB2 size: 40 k rows × 64 B, 10 k transactions.
+    fn default() -> Self {
+        Transactions {
+            rows: 40_000,
+            row_bytes: 64,
+            txns: 10_000,
+            skew: 0.6,
+            seed: 37,
+        }
+    }
+}
+
+impl Transactions {
+    /// A small instance for fast tests.
+    pub fn small() -> Self {
+        Transactions {
+            rows: 1_000,
+            row_bytes: 32,
+            txns: 500,
+            skew: 0.9,
+            seed: 37,
+        }
+    }
+
+    /// Runs the transaction mix; returns `(commits, aborts, hottest_row_touches)`.
+    pub fn run(&self) -> (u64, u64, u64) {
+        let mut rng = SeedTree::new(self.seed).rng("txn");
+        let zipf = Zipf::new(self.rows, self.skew);
+        let mut versions = vec![0u64; self.rows];
+        let mut store: Vec<Vec<u8>> = (0..self.rows)
+            .map(|i| vec![(i & 0xFF) as u8; self.row_bytes])
+            .collect();
+        let (mut commits, mut aborts, mut hottest) = (0u64, 0u64, 0u64);
+        for _ in 0..self.txns {
+            // Read set of 4, write set of 2 (subset of reads).
+            let rows: Vec<usize> = (0..4).map(|_| zipf.sample(&mut rng)).collect();
+            hottest += rows.iter().filter(|&&r| r == 0).count() as u64;
+            let read_versions: Vec<u64> = rows.iter().map(|&r| versions[r]).collect();
+            // "Work": checksum the read rows.
+            let mut acc = 0u64;
+            for &r in &rows {
+                for &b in &store[r] {
+                    acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+                }
+            }
+            // Validate (OCC): simulate a concurrent writer bumping a hot
+            // row 2 % of the time.
+            if rng.gen::<f64>() < 0.02 {
+                versions[rows[0]] += 1;
+            }
+            let valid = rows
+                .iter()
+                .zip(&read_versions)
+                .all(|(&r, &v)| versions[r] == v);
+            if valid {
+                for &r in &rows[..2] {
+                    store[r][0] = (acc & 0xFF) as u8;
+                    versions[r] += 1;
+                }
+                commits += 1;
+            } else {
+                aborts += 1;
+            }
+        }
+        (commits, aborts, hottest)
+    }
+}
+
+impl Workload for Transactions {
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::DatabasesTransactions
+    }
+
+    fn characterize(&self) -> Characteristics {
+        let (commits, aborts, hottest) = self.run();
+        std::hint::black_box(aborts);
+        let txns = self.txns as u64;
+        // Checksumming 4 rows (2 ops/byte) + validation + updates.
+        let per_txn = 4 * self.row_bytes as u64 * 2 + 30;
+        let flops = txns * per_txn;
+        let footprint = (self.rows * (self.row_bytes + 8)) as u64;
+        let moved = txns * (6 * self.row_bytes as u64 + 64);
+        // WAL append per commit: ~100 B of durable log.
+        let comm = commits * 100;
+        // Conflicting touches of the hottest row serialize.
+        let span = hottest * per_txn;
+        Characteristics {
+            flops,
+            footprint_bytes: footprint,
+            bytes_moved: moved,
+            comm_bytes: comm,
+            critical_path_flops: span.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Level;
+
+    #[test]
+    fn kvs_gets_mostly_hit() {
+        let (hits, probes, _) = KvStore::small().run();
+        assert!(hits > 1_500, "most gets hit pre-loaded keys: {hits}");
+        assert!(probes >= 2_000, "every op probes at least once");
+    }
+
+    #[test]
+    fn kvs_buckets() {
+        let l = KvStore::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Low);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.op_intensity, Level::Low);
+        assert!(l.parallelism >= Level::Medium);
+    }
+
+    #[test]
+    fn analytics_result_is_plausible() {
+        let (sum, count) = ColumnAnalytics::small().run();
+        // Selectivity ≈ 0.5 × 0.75; mean(c2) = 5.
+        let expected = 10_000.0 * 0.375;
+        assert!((count as f64 - expected).abs() < expected * 0.15);
+        assert!((sum / count as f64 - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn analytics_buckets() {
+        let l = ColumnAnalytics::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Low);
+        assert_eq!(l.size, Level::High);
+        assert_eq!(l.bandwidth, Level::High);
+        assert_eq!(l.op_intensity, Level::Low);
+        assert_eq!(l.parallelism, Level::High);
+        assert!(l.communication <= Level::Medium);
+    }
+
+    #[test]
+    fn transactions_commit_mostly() {
+        let (commits, aborts, _) = Transactions::small().run();
+        assert_eq!(commits + aborts, 500);
+        assert!(commits > 400, "low conflict rate: {commits}");
+        assert!(aborts > 0, "some validation failures expected");
+    }
+
+    #[test]
+    fn transactions_buckets() {
+        let l = Transactions::default().characterize().bucketize();
+        assert_eq!(l.compute, Level::Medium);
+        assert_eq!(l.size, Level::Medium);
+        assert_eq!(l.communication, Level::High);
+        assert_eq!(l.parallelism, Level::Medium);
+    }
+
+    #[test]
+    fn analytics_dataflow_form() {
+        let df = ColumnAnalytics::small().dataflow().unwrap();
+        assert_eq!(df.graph.sinks().len(), 1);
+    }
+}

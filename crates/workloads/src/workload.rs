@@ -1,0 +1,92 @@
+//! The workload abstraction shared by all Table 2 application classes.
+
+use crate::chars::Characteristics;
+use crate::spec::WorkloadClass;
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+
+/// What a workload looks like to the CPU baseline: a roofline kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuKernelSpec {
+    /// Arithmetic operations.
+    pub flops: u64,
+    /// Bytes streamed from DRAM.
+    pub dram_bytes: u64,
+    /// Bytes streamed from the last-level cache.
+    pub l3_bytes: u64,
+}
+
+/// A dataflow form of a workload: graph plus its source and sink.
+#[derive(Debug, Clone)]
+pub struct DataflowForm {
+    /// The graph.
+    pub graph: DataflowGraph,
+    /// Input node.
+    pub source: NodeRef,
+    /// Output node.
+    pub sink: NodeRef,
+}
+
+/// One Table 2 application class, implemented as a real instrumented
+/// kernel.
+///
+/// `characterize` *executes* the kernel with counters — the returned
+/// [`Characteristics`] reflect work actually done, not estimates typed
+/// into a table.
+pub trait Workload: std::fmt::Debug {
+    /// Which Table 2 row this workload instantiates.
+    fn class(&self) -> WorkloadClass;
+
+    /// Runs the instrumented kernel and returns its measured counters.
+    fn characterize(&self) -> Characteristics;
+
+    /// The workload as a dataflow graph, when the class maps naturally
+    /// onto one (ML/NN, graphs, analytics, signal); `None` for classes
+    /// whose natural form is control-flow-bound.
+    fn dataflow(&self) -> Option<DataflowForm> {
+        None
+    }
+
+    /// The workload as a CPU roofline kernel, derived from the same
+    /// counters that `characterize` measures.
+    fn cpu_kernel(&self) -> CpuKernelSpec {
+        let c = self.characterize();
+        // Traffic that exceeds the footprint re-streams from DRAM; the
+        // footprint itself must come in at least once.
+        CpuKernelSpec {
+            flops: c.flops,
+            dram_bytes: c.footprint_bytes.min(c.bytes_moved),
+            l3_bytes: c.bytes_moved.saturating_sub(c.footprint_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Fake;
+    impl Workload for Fake {
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::MachineLearning
+        }
+        fn characterize(&self) -> Characteristics {
+            Characteristics {
+                flops: 100,
+                footprint_bytes: 10,
+                bytes_moved: 25,
+                comm_bytes: 0,
+                critical_path_flops: 5,
+            }
+        }
+    }
+
+    #[test]
+    fn default_cpu_kernel_splits_traffic() {
+        let k = Fake.cpu_kernel();
+        assert_eq!(k.flops, 100);
+        assert_eq!(k.dram_bytes, 10);
+        assert_eq!(k.l3_bytes, 15);
+        assert!(Fake.dataflow().is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Graph analytics with mid-stream fault recovery (paper §II.B
+//! "Memory-centric computing" + §V.A failure tolerance).
+//!
+//! PageRank's stationary adjacency state is exactly the data the paper
+//! says is "hard to reproduce after reboots/failures": here it lives in
+//! crossbar conductances. We stream rank updates through the fabric, kill
+//! the micro-unit holding the adjacency block mid-stream, and watch the
+//! engine detect, re-map to a spare, reprogram, and replay — no items
+//! lost.
+//!
+//! Run with `cargo run --release --example graph_analytics`.
+
+use cim::fabric::reliability::{run_fault_campaign, ScheduledFault};
+use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim::workloads::graphs::{pagerank, rmat, PageRank};
+use cim::workloads::Workload;
+use std::collections::HashMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Native PageRank for reference: a real RMAT graph.
+    let g = rmat(10, 8, cim::sim::SeedTree::new(7));
+    let (ranks, delta) = pagerank(&g, 15, 0.85);
+    let top = ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "native PageRank: {} nodes / {} edges, top node {} (rank {:.5}), final delta {:.2e}",
+        g.nodes(),
+        g.edges(),
+        top.0,
+        top.1,
+        delta
+    );
+
+    // 2. The dataflow form on the CIM fabric.
+    let wl = PageRank::default();
+    let df = wl.dataflow().expect("pagerank lowers to dataflow");
+    let chars = wl.characterize();
+    println!(
+        "characterization: {:.2} flops/byte traffic, parallelism {:.0}, {:.1} MB resident",
+        chars.operational_intensity(),
+        chars.parallelism(),
+        chars.footprint_bytes as f64 / 1e6
+    );
+
+    let mut device = CimDevice::new(FabricConfig::default())?;
+    let mut prog = device.load_program(&df.graph, MappingPolicy::LocalityAware)?;
+
+    // A stream of rank vectors (power iteration steps as stream items).
+    let n = 64;
+    let items: Vec<_> = (0..12)
+        .map(|_| HashMap::from([(df.source, vec![1.0 / n as f64; n])]))
+        .collect();
+
+    // 3. Kill the adjacency-holding unit before item 6.
+    let matvec_node = df
+        .graph
+        .nodes()
+        .find(|(_, node)| {
+            matches!(node.op, cim::dataflow::ops::Operation::MatVec { .. })
+        })
+        .map(|(r, _)| r.index())
+        .expect("pagerank step has a matvec");
+    let faults = [ScheduledFault {
+        before_item: 6,
+        node: matvec_node,
+    }];
+    let report = run_fault_campaign(
+        &mut device,
+        &mut prog,
+        &items,
+        &StreamOptions::default(),
+        &faults,
+    )?;
+
+    println!(
+        "stream: {} items in, {} items out ({} recoveries, {} delayed)",
+        items.len(),
+        report.stream.outputs.len(),
+        report.stream.recoveries.len(),
+        report.items_delayed
+    );
+    for r in &report.stream.recoveries {
+        println!(
+            "recovery: item {} — unit {} failed, remapped to unit {}, overhead {} \
+             (dominated by reprogramming the adjacency into a spare crossbar)",
+            r.item, r.failed_unit, r.replacement, r.overhead
+        );
+    }
+
+    // 4. Results before and after the fault agree.
+    let before: &Vec<f64> = &report.stream.outputs[0][&df.sink];
+    let after: &Vec<f64> = &report.stream.outputs[11][&df.sink];
+    let drift: f64 = before
+        .iter()
+        .zip(after)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "max |rank delta| between pre- and post-fault outputs: {drift:.3e} \
+         (same input, same answer — upstream buffering lost nothing)"
+    );
+    println!("total stream energy: {}", report.stream.energy);
+    Ok(())
+}

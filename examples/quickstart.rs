@@ -1,0 +1,83 @@
+//! Quickstart: load a neural network onto a CIM device, stream inputs
+//! through it, and compare against the CPU and GPU baselines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cim::baseline::{CpuModel, GpuModel};
+use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim::sim::SeedTree;
+use cim::workloads::nn::{mlp_graph, random_inputs};
+use std::collections::HashMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A CIM device: 4×4 tiles × 4 micro-units on a packet mesh.
+    let mut device = CimDevice::new(FabricConfig::default())?;
+    println!(
+        "device: {} micro-units on a {}x{} tile mesh",
+        device.units().len(),
+        device.config().mesh_width,
+        device.config().mesh_height
+    );
+
+    // 2. A three-layer MLP as a dataflow graph.
+    let seeds = SeedTree::new(42);
+    let (graph, src, sink) = mlp_graph(&[256, 128, 64, 10], seeds);
+    let m = graph.metrics();
+    println!(
+        "model: {} nodes, {:.1} kB of stationary weights, {} FLOPs/inference",
+        graph.node_count(),
+        m.state_bytes as f64 / 1e3,
+        m.total_flops
+    );
+
+    // 3. Static-dataflow configuration: program the crossbars (slow!).
+    let mut prog = device.load_program(&graph, MappingPolicy::LocalityAware)?;
+    println!(
+        "configuration: {} (crossbar programming), {}",
+        prog.config_cost.latency, prog.config_cost.energy
+    );
+
+    // 4. Stream 64 inferences through the pipelined fabric.
+    let batch = 64;
+    let inputs: Vec<_> = random_inputs(batch, 256, seeds.child("x"))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    let report = device.execute_stream(&mut prog, &inputs, &StreamOptions::default())?;
+    let per_item = report.makespan() / batch as u64;
+    println!(
+        "CIM: {} per inference sustained ({} mean residence), {} total energy",
+        per_item,
+        report.mean_latency(),
+        report.energy
+    );
+    println!(
+        "     first output vector: {:?}",
+        &report.outputs[0][&sink][..4.min(report.outputs[0][&sink].len())]
+    );
+
+    // 5. The same graph on the Von Neumann comparators.
+    let cpu = CpuModel::new(20).expect("20 cores is a valid socket");
+    let cpu_cost = cpu.run_graph(&graph, batch);
+    let gpu_cost = GpuModel::new().run_graph(&graph, batch);
+    println!(
+        "CPU: {} per inference, {} total energy",
+        cpu_cost.latency / batch as u64,
+        cpu_cost.energy
+    );
+    println!(
+        "GPU: {} per inference, {} total energy",
+        gpu_cost.latency / batch as u64,
+        gpu_cost.energy
+    );
+
+    let cim_s = per_item.as_secs_f64();
+    println!(
+        "speedup: {:.1}x vs CPU, {:.1}x vs GPU (latency); {:.1}x vs CPU (energy)",
+        cpu_cost.latency.as_secs_f64() / batch as f64 / cim_s,
+        gpu_cost.latency.as_secs_f64() / batch as f64 / cim_s,
+        cpu_cost.energy.as_joules() / report.energy.as_joules().max(1e-18)
+    );
+    Ok(())
+}

@@ -1,0 +1,323 @@
+//! Cross-crate integration: workloads lower to dataflow, dataflow runs on
+//! the CIM fabric, and the fabric's answers match the reference
+//! interpreter; the Von Neumann baselines price the same graphs so the
+//! platforms are comparable end to end.
+
+use cim::baseline::{CpuModel, GpuModel};
+use cim::crossbar::dpe::DpeConfig;
+use cim::dataflow::interpreter;
+use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim::sim::SeedTree;
+use cim::workloads::graphs::PageRank;
+use cim::workloads::misc::FilterBank;
+use cim::workloads::nn::{mlp_graph, synthetic_classification, template_classifier};
+use cim::workloads::store::ColumnAnalytics;
+use cim::workloads::Workload;
+use std::collections::HashMap;
+
+fn ideal_device() -> CimDevice {
+    CimDevice::new(FabricConfig {
+        dpe: DpeConfig::ideal(),
+        ..FabricConfig::default()
+    })
+    .expect("valid fabric")
+}
+
+fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn fabric_matches_interpreter_on_workload_dataflow_forms() {
+    // Every workload that lowers to dataflow must compute the same
+    // function on the fabric (up to analog quantization) as the exact
+    // interpreter.
+    let forms: Vec<(&str, cim::workloads::DataflowForm, Vec<f64>)> = vec![
+        {
+            let df = PageRank::small().dataflow().expect("lowers");
+            let n = df.graph.node(df.source).op.output_width();
+            ("pagerank", df, vec![1.0 / n as f64; n])
+        },
+        {
+            let df = FilterBank::small().dataflow().expect("lowers");
+            let w = df.graph.node(df.source).op.output_width();
+            ("filterbank", df, (0..w).map(|i| (i as f64 / w as f64) - 0.5).collect())
+        },
+        {
+            let df = ColumnAnalytics::small().dataflow().expect("lowers");
+            let w = df.graph.node(df.source).op.output_width();
+            ("analytics", df, (0..w).map(|i| ((i % 5) as f64) - 2.0).collect())
+        },
+    ];
+    for (name, df, input) in forms {
+        let mut device = ideal_device();
+        let mut prog = device
+            .load_program(&df.graph, MappingPolicy::LocalityAware)
+            .expect("fits");
+        let report = device
+            .execute_stream(
+                &mut prog,
+                &[HashMap::from([(df.source, input.clone())])],
+                &StreamOptions::default(),
+            )
+            .expect("runs");
+        let reference = interpreter::execute(
+            &df.graph,
+            &HashMap::from([(df.source, input)]),
+        )
+        .expect("reference runs");
+        let got = &report.outputs[0][&df.sink];
+        let want = &reference[&df.sink];
+        let scale = want.iter().fold(1e-9f64, |m, x| m.max(x.abs()));
+        assert!(
+            max_abs_err(got, want) / scale < 0.05,
+            "{name}: fabric diverges from reference (err {})",
+            max_abs_err(got, want) / scale
+        );
+    }
+}
+
+#[test]
+fn analog_classifier_accuracy_tracks_exact_classifier() {
+    let seeds = SeedTree::new(77);
+    let data = synthetic_classification(6, 48, 20, 0.3, seeds);
+    let (graph, src, sink) = template_classifier(&data);
+    // Noisy (realistic) fabric this time.
+    let mut device = CimDevice::new(FabricConfig::default()).expect("fabric");
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .expect("fits");
+    let inputs: Vec<_> = data
+        .samples
+        .iter()
+        .map(|s| HashMap::from([(src, s.clone())]))
+        .collect();
+    let report = device
+        .execute_stream(&mut prog, &inputs, &StreamOptions::default())
+        .expect("runs");
+    let preds: Vec<f64> = report.outputs.iter().map(|o| o[&sink][0]).collect();
+    let acc = cim::workloads::nn::accuracy(&preds, &data.labels);
+    assert!(
+        acc > 0.85,
+        "analog inference should stay close to the exact classifier: {acc}"
+    );
+}
+
+#[test]
+fn large_models_favor_cim_small_models_favor_baselines() {
+    // The crossover the paper implies: once weights exceed the CPU's
+    // caches, the CPU falls off the DRAM cliff while CIM latency stays
+    // flat; for small cached models the baselines are competitive.
+    let seeds = SeedTree::new(5);
+    let cpu = CpuModel::new(20).expect("socket");
+
+    let (small, _, _) = mlp_graph(&[128, 64], seeds);
+    let (large, src, _) = mlp_graph(&[2048, 2048], seeds);
+
+    let cpu_small = cpu.run_graph(&small, 1).latency;
+    let cpu_large = cpu.run_graph(&large, 1).latency;
+    assert!(
+        cpu_large.as_secs_f64() > 100.0 * cpu_small.as_secs_f64(),
+        "the DRAM cliff must separate the models"
+    );
+
+    let mut device = CimDevice::new(FabricConfig {
+        dpe: DpeConfig {
+            input_bits: 4,
+            ..DpeConfig::noise_free()
+        },
+        ..FabricConfig::default()
+    })
+    .expect("fabric");
+    let mut prog = device
+        .load_program(&large, MappingPolicy::LocalityAware)
+        .expect("fits");
+    let report = device
+        .execute_stream(
+            &mut prog,
+            &[HashMap::from([(src, vec![0.25; 2048])])],
+            &StreamOptions::default(),
+        )
+        .expect("runs");
+    let cim_large = report.mean_latency();
+    assert!(
+        cpu_large.as_secs_f64() / cim_large.as_secs_f64() > 10.0,
+        "large model: CIM must beat the CPU by an order of magnitude \
+         (cpu {cpu_large}, cim {cim_large})"
+    );
+}
+
+#[test]
+fn gpu_amortizes_cpu_does_not_cim_streams() {
+    let seeds = SeedTree::new(6);
+    let (graph, src, _) = mlp_graph(&[1024, 1024], seeds);
+    let gpu = GpuModel::new();
+    let t1 = gpu.run_graph(&graph, 1).latency.as_secs_f64();
+    let t64 = gpu.run_graph(&graph, 64).latency.as_secs_f64() / 64.0;
+    assert!(t1 / t64 > 5.0, "GPU batching must amortize launches");
+
+    let mut device = CimDevice::new(FabricConfig {
+        dpe: DpeConfig {
+            input_bits: 4,
+            ..DpeConfig::noise_free()
+        },
+        ..FabricConfig::default()
+    })
+    .expect("fabric");
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .expect("fits");
+    let items: Vec<_> = (0..8)
+        .map(|_| HashMap::from([(src, vec![0.2; 1024])]))
+        .collect();
+    let report = device
+        .execute_stream(&mut prog, &items, &StreamOptions::default())
+        .expect("runs");
+    // Pipelined streaming: sustained rate beats single-item residence.
+    let sustained = report.makespan().as_secs_f64() / 8.0;
+    assert!(sustained < report.mean_latency().as_secs_f64());
+}
+
+#[test]
+fn configuration_cost_amortizes_over_the_stream() {
+    // Static dataflow's bargain: pay the slow crossbar programming once,
+    // then stream. After enough items, total CIM time (config + stream)
+    // beats the CPU on the same stream.
+    let seeds = SeedTree::new(8);
+    let (graph, src, _) = mlp_graph(&[2048, 2048], seeds);
+    let cpu = CpuModel::new(20).expect("socket");
+    let n = 64;
+    let cpu_total = cpu.run_graph(&graph, n).latency.as_secs_f64();
+
+    let mut device = CimDevice::new(FabricConfig {
+        dpe: DpeConfig {
+            input_bits: 4,
+            ..DpeConfig::noise_free()
+        },
+        ..FabricConfig::default()
+    })
+    .expect("fabric");
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .expect("fits");
+    let items: Vec<_> = (0..n)
+        .map(|_| HashMap::from([(src, vec![0.1; 2048])]))
+        .collect();
+    let report = device
+        .execute_stream(&mut prog, &items, &StreamOptions::default())
+        .expect("runs");
+    let cim_total =
+        prog.config_cost.latency.as_secs_f64() + report.makespan().as_secs_f64();
+    assert!(
+        cim_total < cpu_total,
+        "after {n} items the configuration must have amortized \
+         (cim {cim_total:.2e}s vs cpu {cpu_total:.2e}s)"
+    );
+}
+
+#[test]
+fn branchy_graphs_with_multi_input_ops_run_on_the_fabric() {
+    // A residual-style block: the input forks into a matvec branch and a
+    // scaling branch, re-joins through Add, and a Concat exposes both the
+    // joined and raw views — multi-port operators crossing tiles.
+    use cim::dataflow::graph::GraphBuilder;
+    use cim::dataflow::ops::{Elementwise, Operation};
+
+    let width = 8usize;
+    let mut b = GraphBuilder::new();
+    let src = b.add("in", Operation::Source { width });
+    let mv = b.add(
+        "mv",
+        Operation::MatVec {
+            rows: width,
+            cols: width,
+            weights: (0..width * width)
+                .map(|i| if i % (width + 1) == 0 { 0.5 } else { 0.0 })
+                .collect(),
+        },
+    );
+    let scale = b.add("scale", Operation::Map { func: Elementwise::Scale(0.25), width });
+    let add = b.add("residual", Operation::Add { width });
+    let cat = b.add("concat", Operation::Concat { left: width, right: width });
+    let sink = b.add("out", Operation::Sink { width: 2 * width });
+    b.connect(src, mv, 0).expect("fork 1");
+    b.connect(src, scale, 0).expect("fork 2");
+    b.connect(mv, add, 0).expect("join 1");
+    b.connect(scale, add, 1).expect("join 2");
+    b.connect(add, cat, 0).expect("cat 1");
+    b.connect(src, cat, 1).expect("cat 2");
+    b.connect(cat, sink, 0).expect("sink");
+    let graph = b.build().expect("valid branchy graph");
+
+    let mut device = ideal_device();
+    // RoundRobin placement forces cross-tile traffic on the joins.
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::RoundRobin)
+        .expect("fits");
+    let x: Vec<f64> = (0..width).map(|i| i as f64 / 4.0).collect();
+    let report = device
+        .execute_stream(
+            &mut prog,
+            &[HashMap::from([(src, x.clone())])],
+            &StreamOptions::default(),
+        )
+        .expect("runs");
+    let reference = interpreter::execute(&graph, &HashMap::from([(src, x)]))
+        .expect("reference runs");
+    let got = &report.outputs[0][&graph.sinks()[0]];
+    let want = &reference[&graph.sinks()[0]];
+    assert_eq!(got.len(), 2 * width);
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 0.02, "fabric {g} vs reference {w}");
+    }
+}
+
+#[test]
+fn workload_traces_exercise_the_memory_system_realistically() {
+    // The locality cliff end to end: the analytics scan streams through
+    // DRAM row buffers, the Zipf KVS pointer-chases into conflicts —
+    // with the *same* trace-driven cache + DRAM models pricing both.
+    use cim::workloads::store::{ColumnAnalytics, KvStore};
+
+    let cpu = CpuModel::new(1).expect("core");
+    let scan = ColumnAnalytics { rows: 200_000, partitions: 8, seed: 1 };
+    let kvs = KvStore {
+        keys: 200_000,
+        value_bytes: 64,
+        ops: 50_000,
+        skew: 0.9,
+        seed: 2,
+    };
+    let (scan_cost, scan_cache, scan_dram) =
+        cpu.run_trace_with_dram(&scan.memory_trace());
+    let (kvs_cost, kvs_cache, kvs_dram) = cpu.run_trace_with_dram(&kvs.memory_trace());
+
+    // The scan streams: each 64-byte line serves 8 sequential accesses,
+    // and DRAM misses land in open rows.
+    assert!(
+        scan_cache.l1_hits > scan_cache.dram_accesses * 4,
+        "sequential scan mostly hits L1: {scan_cache:?}"
+    );
+    assert!(
+        scan_dram.hit_rate() > 0.8,
+        "scan misses stream through open rows: {:?}",
+        scan_dram
+    );
+    // The KVS chases pointers: its DRAM accesses conflict.
+    assert!(
+        kvs_dram.hit_rate() < 0.5,
+        "skewed point lookups thrash row buffers: {:?}",
+        kvs_dram
+    );
+    // Per access, the random workload is far more expensive.
+    let scan_per = scan_cost.latency.as_secs_f64() / scan.memory_trace().len() as f64;
+    let kvs_per = kvs_cost.latency.as_secs_f64() / kvs.memory_trace().len() as f64;
+    assert!(
+        kvs_per > 3.0 * scan_per,
+        "random access must cost multiples of streaming: {kvs_per:.2e} vs {scan_per:.2e}"
+    );
+    let _ = kvs_cache;
+}

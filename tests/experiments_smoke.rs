@@ -1,0 +1,65 @@
+//! Smoke tests over the experiment harness: every table/figure
+//! regenerates at reduced scale and preserves the paper's qualitative
+//! shape. (Full paper-scale runs live in `cim-bench`'s own test suite
+//! and the `src/bin` harnesses.)
+
+use cim_bench::experiments::{ablations, fig2, fig6, sec6, table1};
+
+#[test]
+fn fig2_shape_holds() {
+    let r = fig2::run();
+    assert!(r.trend.orders_per_decade() < -0.1);
+    assert!(r.early_mean > 1.0);
+    assert!(r.late_mean < 0.25);
+}
+
+#[test]
+fn table1_orderings_hold() {
+    let r = table1::run(4);
+    assert!(r.smp_scale_limit < r.cluster_scale_limit);
+    assert!(r.smp_fault.1 > r.cluster_fault.1);
+    assert!(r.cluster_fault.1 > r.cim_fault.1);
+    assert_eq!(r.cim_fault.0, 0.0, "CIM loses no work");
+    assert!(r.smp_blast >= r.cluster_blast);
+}
+
+#[test]
+fn sec6_shape_holds_at_reduced_scale() {
+    // 1024-dim layer: weights (8.4 MB) still exceed a single L3 slice but
+    // not the socket's combined cache, so the ratios sit lower than the
+    // paper-scale run — the *direction* of every comparison must hold.
+    let r = sec6::run(1024, 4);
+    assert!(r.latency_vs_cpu() > 10.0, "CIM beats CPU latency by >10x");
+    assert!(r.latency_vs_gpu() > 2.0, "CIM beats GPU batch-1 latency");
+    assert!(r.throughput_vs_cpu() > 10.0);
+    assert!(
+        r.throughput_vs_gpu() > 0.05 && r.throughput_vs_gpu() < 10.0,
+        "comparable to GPU"
+    );
+    assert!(r.power_vs_cpu() > 100.0);
+    assert!(r.power_vs_gpu() > 10.0);
+}
+
+#[test]
+fn fig6_monotone_evolution() {
+    let r = fig6::run(8);
+    for pair in r.modes.windows(2) {
+        assert!(pair[1].per_item_latency <= pair[0].per_item_latency);
+    }
+}
+
+#[test]
+fn ablations_shapes_hold() {
+    let adc = ablations::run_adc(&[3, 8]);
+    assert!(adc[0].accuracy < adc[1].accuracy);
+    assert!(adc[0].energy_per_inference < adc[1].energy_per_inference);
+
+    let red = ablations::run_redundancy(&[0, 2], 2);
+    assert!(!red[0].survived && red[1].survived);
+
+    let qos = ablations::run_qos(16);
+    assert!(qos.same_class > qos.cross_class);
+
+    let sec = ablations::run_security();
+    assert_eq!(sec.tampers_detected, sec.tamper_attempts);
+}

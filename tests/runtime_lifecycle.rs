@@ -1,0 +1,153 @@
+//! Lifecycle integration: the runtime multiplexes tenants on one device
+//! while self-programming patches and serviceability maintenance happen
+//! around live jobs — the §III.E "native" end state where the fabric is
+//! the computer.
+
+use cim::crossbar::aging::{RetentionModel, YEAR_SECS};
+use cim::crossbar::dpe::DpeConfig;
+use cim::dataflow::program::Patch;
+use cim::fabric::runtime::{CimRuntime, JobStatus};
+use cim::fabric::serviceability::ServiceabilityMonitor;
+use cim::fabric::{FabricConfig, MappingPolicy, StreamOptions};
+use cim::sim::SeedTree;
+use cim::workloads::nn::mlp_graph;
+use std::collections::HashMap;
+
+fn config() -> FabricConfig {
+    FabricConfig {
+        dpe: DpeConfig::ideal(),
+        ..FabricConfig::default()
+    }
+}
+
+#[test]
+fn runtime_multiplexes_independent_tenants() {
+    let mut rt = CimRuntime::new(config()).expect("boots");
+    let (g1, s1, k1) = mlp_graph(&[16, 8, 4], SeedTree::new(1));
+    let (g2, s2, k2) = mlp_graph(&[32, 16], SeedTree::new(2));
+    let a = rt.submit(g1, MappingPolicy::LocalityAware).expect("admits");
+    let b = rt.submit(g2, MappingPolicy::LocalityAware).expect("admits");
+    assert!(matches!(a, JobStatus::Running(_)));
+    assert!(matches!(b, JobStatus::Running(_)));
+
+    let ra = rt
+        .run(
+            a.id(),
+            &[HashMap::from([(s1, vec![0.5; 16])])],
+            &StreamOptions::default(),
+        )
+        .expect("job A runs");
+    let rb = rt
+        .run(
+            b.id(),
+            &[HashMap::from([(s2, vec![0.25; 32])])],
+            &StreamOptions::default(),
+        )
+        .expect("job B runs");
+    assert_eq!(ra.outputs[0][&k1].len(), 4);
+    assert_eq!(rb.outputs[0][&k2].len(), 16);
+    assert!(rt.utilization() > 0.1);
+
+    // Releasing A frees its units for reuse.
+    let before = rt.free_units();
+    rt.finish(a.id()).expect("finish A");
+    assert!(rt.free_units() > before);
+}
+
+#[test]
+fn queued_tenant_admits_after_release_and_computes_correctly() {
+    // A device sized so two jobs cannot coexist.
+    let mut rt = CimRuntime::new(FabricConfig {
+        mesh_width: 3,
+        mesh_height: 1,
+        units_per_tile: 2,
+        dpe: DpeConfig::ideal(),
+        ..FabricConfig::default()
+    })
+    .expect("boots");
+    let (g1, s1, _) = mlp_graph(&[8, 4, 2], SeedTree::new(3)); // 5 nodes of 6 units
+    let (g2, s2, k2) = mlp_graph(&[4, 2], SeedTree::new(4)); // 3 nodes
+    let a = rt.submit(g1, MappingPolicy::RoundRobin).expect("admits");
+    let b = rt.submit(g2, MappingPolicy::RoundRobin).expect("queues");
+    assert!(matches!(b, JobStatus::Queued(_)));
+
+    // Run A, finish it, B admits and runs.
+    rt.run(
+        a.id(),
+        &[HashMap::from([(s1, vec![0.5; 8])])],
+        &StreamOptions::default(),
+    )
+    .expect("A runs");
+    let admitted = rt.finish(a.id()).expect("finish");
+    assert_eq!(admitted, vec![b.id()]);
+    let rb = rt
+        .run(
+            b.id(),
+            &[HashMap::from([(s2, vec![1.0; 4])])],
+            &StreamOptions::default(),
+        )
+        .expect("B runs after admission");
+    assert_eq!(rb.outputs[0][&k2].len(), 2);
+}
+
+#[test]
+fn patch_then_service_then_run_all_interoperate() {
+    use cim::dataflow::graph::GraphBuilder;
+    use cim::dataflow::ops::{Elementwise, Operation};
+    use cim::fabric::self_prog::apply_patch;
+    use cim::fabric::CimDevice;
+    use cim::sim::SimTime;
+
+    let mut device = CimDevice::new(config()).expect("device");
+    let mut b = GraphBuilder::new();
+    let s = b.add("s", Operation::Source { width: 8 });
+    let mv = b.add(
+        "mv",
+        Operation::MatVec {
+            rows: 8,
+            cols: 8,
+            weights: (0..64).map(|i| if i % 9 == 0 { 1.0 } else { 0.0 }).collect(),
+        },
+    );
+    let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 8 });
+    let k = b.add("k", Operation::Sink { width: 8 });
+    b.chain(&[s, mv, m, k]).expect("chain");
+    let g = b.build().expect("valid");
+    let mut prog = device
+        .load_program(&g, MappingPolicy::LocalityAware)
+        .expect("fits");
+
+    // 1. Patch the activation via self-programming.
+    apply_patch(
+        &mut device,
+        &mut prog,
+        &Patch::SetMapFunc { node: 2, func: Elementwise::Scale(10.0) },
+        SimTime::ZERO,
+    )
+    .expect("patch applies");
+
+    // 2. Age the device and service it.
+    let mut mon = ServiceabilityMonitor::new(
+        &device,
+        RetentionModel::default(),
+        0.05,
+        0.99,
+    );
+    mon.advance(&mut device, 10.0 * YEAR_SECS);
+    let actions = mon.proactive_service(&mut device, &mut prog).expect("services");
+    assert!(!actions.is_empty(), "a decade of drift needs service");
+
+    // 3. The serviced, patched program still computes the right thing.
+    let report = device
+        .execute_stream(
+            &mut prog,
+            &[HashMap::from([(s, vec![1.0; 8])])],
+            &StreamOptions::default(),
+        )
+        .expect("runs");
+    let out = &report.outputs[0][&k];
+    // Identity matrix × 1.0, then ×10 gain, refreshed from golden weights.
+    for v in out {
+        assert!((v - 10.0).abs() < 0.5, "expected ~10, got {v}");
+    }
+}
