@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The repo's single CI gate. Local runs and hosted CI execute this same
+# script, so "passes ci.sh" and "passes CI" are the same statement.
+#
+# The workspace is hermetic: zero registry dependencies, so every step
+# runs with --offline and succeeds from a clean checkout with no crates.io
+# access. Keep it that way — see README.md "CI and the zero-dependency policy".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s\n' "$1"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "cargo build --release --offline"
+cargo build --workspace --release --offline
+
+step "cargo test -q --offline"
+cargo test --workspace -q --offline
+
+step "smoke-run examples/quickstart.rs"
+cargo run --release --offline --example quickstart
+
+printf '\n== ci.sh: all gates passed\n'

@@ -119,9 +119,7 @@ impl Cluster {
         let mut energy = Energy::from_fj(
             flops * cpu::ENERGY_PER_FLOP_FJ + net_bytes * cal::ENERGY_PER_NET_BYTE_FJ,
         );
-        energy += Energy::from_joules(
-            cpu::STATIC_W * n as f64 * latency.as_secs_f64(),
-        );
+        energy += Energy::from_joules(cpu::STATIC_W * n as f64 * latency.as_secs_f64());
         PlatformCost { latency, energy }
     }
 
@@ -132,8 +130,7 @@ impl Cluster {
     /// Returns `(lost_fraction_of_step, downtime)`.
     pub fn fault_impact(&self, state_bytes: u64) -> (f64, SimDuration) {
         let detection = SimDuration::from_ps(cal::FAILOVER_PS);
-        let transfer =
-            SimDuration::from_secs_f64(state_bytes as f64 / cal::NODE_BW_BYTES);
+        let transfer = SimDuration::from_secs_f64(state_bytes as f64 / cal::NODE_BW_BYTES);
         (1.0 / self.nodes as f64, detection + transfer)
     }
 
@@ -160,7 +157,10 @@ mod tests {
         let c = Cluster::new(1 << 16).unwrap();
         let limit = c.useful_scale_limit();
         assert!(limit >= 1024, "clusters scale to thousands, got {limit}");
-        assert!(limit < 1 << 16, "communication eventually binds, got {limit}");
+        assert!(
+            limit < 1 << 16,
+            "communication eventually binds, got {limit}"
+        );
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
         let t1 = one.run_kernel(flops, 0, 0).latency;
         let t20 = twenty.run_kernel(flops, 0, 0).latency;
         let speedup = t1.as_secs_f64() / t20.as_secs_f64();
-        assert!(speedup > 15.0, "near-linear scaling expected, got {speedup}");
+        assert!(
+            speedup > 15.0,
+            "near-linear scaling expected, got {speedup}"
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ impl DramChannel {
                 RowOutcome::Conflict,
                 self.config.t_rp_ps + self.config.t_rcd_ps + self.config.t_cas_ps,
             ),
-            None => (RowOutcome::Miss, self.config.t_rcd_ps + self.config.t_cas_ps),
+            None => (
+                RowOutcome::Miss,
+                self.config.t_rcd_ps + self.config.t_cas_ps,
+            ),
         };
         self.open_rows[bank] = Some(row);
         match outcome {
@@ -162,8 +165,7 @@ impl DramChannel {
             RowOutcome::Miss => self.stats.misses += 1,
             RowOutcome::Conflict => self.stats.conflicts += 1,
         }
-        let mut energy =
-            Energy::from_fj(self.config.transfer_byte_fj * bytes.max(1) as u64);
+        let mut energy = Energy::from_fj(self.config.transfer_byte_fj * bytes.max(1) as u64);
         if outcome != RowOutcome::Hit {
             energy += Energy::from_fj(self.config.activate_fj);
         }
@@ -182,8 +184,16 @@ mod tests {
 
     #[test]
     fn geometry_validation() {
-        assert!(DramChannel::new(DramConfig { banks: 0, ..DramConfig::default() }).is_none());
-        assert!(DramChannel::new(DramConfig { row_bytes: 1000, ..DramConfig::default() }).is_none());
+        assert!(DramChannel::new(DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        })
+        .is_none());
+        assert!(DramChannel::new(DramConfig {
+            row_bytes: 1000,
+            ..DramConfig::default()
+        })
+        .is_none());
         assert!(DramChannel::new(DramConfig::default()).is_some());
     }
 

@@ -179,7 +179,13 @@ mod tests {
     fn graph_without_matvec_still_runs() {
         let mut b = GraphBuilder::new();
         let s = b.add("s", Operation::Source { width: 8 });
-        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 8 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 8,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 8 });
         b.chain(&[s, m, k]).unwrap();
         let g = b.build().unwrap();

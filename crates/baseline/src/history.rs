@@ -31,34 +31,174 @@ impl Machine {
 
 /// The curated dataset, in chronological order.
 pub const MACHINES: &[Machine] = &[
-    Machine { name: "EDVAC", year: 1949, flops: 3.4e2, mem_bw: 4.0e2 },
-    Machine { name: "UNIVAC I", year: 1951, flops: 4.6e2, mem_bw: 7.0e2 },
-    Machine { name: "IBM 704", year: 1954, flops: 1.2e4, mem_bw: 2.0e4 },
-    Machine { name: "IBM 7090", year: 1959, flops: 1.0e5, mem_bw: 2.2e5 },
-    Machine { name: "CDC 6600", year: 1964, flops: 3.0e6, mem_bw: 4.8e6 },
-    Machine { name: "IBM 360/91", year: 1967, flops: 1.6e7, mem_bw: 1.3e7 },
-    Machine { name: "CDC 7600", year: 1969, flops: 3.6e7, mem_bw: 3.6e7 },
-    Machine { name: "Cray-1", year: 1976, flops: 1.6e8, mem_bw: 6.4e8 },
-    Machine { name: "Cray X-MP", year: 1983, flops: 8.0e8, mem_bw: 2.4e9 },
-    Machine { name: "Cray-2", year: 1985, flops: 1.9e9, mem_bw: 2.0e9 },
-    Machine { name: "Cray Y-MP", year: 1988, flops: 2.7e9, mem_bw: 5.4e9 },
-    Machine { name: "Intel i860", year: 1989, flops: 8.0e7, mem_bw: 1.6e8 },
-    Machine { name: "Pentium", year: 1993, flops: 6.6e7, mem_bw: 5.3e8 },
-    Machine { name: "Cray T90", year: 1995, flops: 1.8e9, mem_bw: 1.4e10 },
-    Machine { name: "Pentium II", year: 1997, flops: 3.0e8, mem_bw: 8.0e8 },
-    Machine { name: "Pentium III", year: 1999, flops: 1.0e9, mem_bw: 1.1e9 },
-    Machine { name: "Pentium 4", year: 2002, flops: 6.0e9, mem_bw: 3.2e9 },
-    Machine { name: "AMD Opteron 250", year: 2005, flops: 9.6e9, mem_bw: 6.4e9 },
-    Machine { name: "Core 2 Quad", year: 2007, flops: 3.8e10, mem_bw: 8.5e9 },
-    Machine { name: "Nehalem-EP", year: 2009, flops: 5.1e10, mem_bw: 2.6e10 },
-    Machine { name: "Sandy Bridge-EP", year: 2012, flops: 1.7e11, mem_bw: 5.1e10 },
-    Machine { name: "Haswell-EP", year: 2014, flops: 5.0e11, mem_bw: 6.0e10 },
-    Machine { name: "NVIDIA K80", year: 2014, flops: 2.9e12, mem_bw: 4.8e11 },
-    Machine { name: "Xeon Phi KNL", year: 2016, flops: 3.0e12, mem_bw: 4.0e11 },
-    Machine { name: "NVIDIA P100", year: 2016, flops: 5.3e12, mem_bw: 7.2e11 },
-    Machine { name: "Skylake-SP 8160", year: 2017, flops: 1.6e12, mem_bw: 1.2e11 },
-    Machine { name: "NVIDIA V100", year: 2017, flops: 7.8e12, mem_bw: 9.0e11 },
-    Machine { name: "Summit node", year: 2018, flops: 4.9e13, mem_bw: 5.4e12 },
+    Machine {
+        name: "EDVAC",
+        year: 1949,
+        flops: 3.4e2,
+        mem_bw: 4.0e2,
+    },
+    Machine {
+        name: "UNIVAC I",
+        year: 1951,
+        flops: 4.6e2,
+        mem_bw: 7.0e2,
+    },
+    Machine {
+        name: "IBM 704",
+        year: 1954,
+        flops: 1.2e4,
+        mem_bw: 2.0e4,
+    },
+    Machine {
+        name: "IBM 7090",
+        year: 1959,
+        flops: 1.0e5,
+        mem_bw: 2.2e5,
+    },
+    Machine {
+        name: "CDC 6600",
+        year: 1964,
+        flops: 3.0e6,
+        mem_bw: 4.8e6,
+    },
+    Machine {
+        name: "IBM 360/91",
+        year: 1967,
+        flops: 1.6e7,
+        mem_bw: 1.3e7,
+    },
+    Machine {
+        name: "CDC 7600",
+        year: 1969,
+        flops: 3.6e7,
+        mem_bw: 3.6e7,
+    },
+    Machine {
+        name: "Cray-1",
+        year: 1976,
+        flops: 1.6e8,
+        mem_bw: 6.4e8,
+    },
+    Machine {
+        name: "Cray X-MP",
+        year: 1983,
+        flops: 8.0e8,
+        mem_bw: 2.4e9,
+    },
+    Machine {
+        name: "Cray-2",
+        year: 1985,
+        flops: 1.9e9,
+        mem_bw: 2.0e9,
+    },
+    Machine {
+        name: "Cray Y-MP",
+        year: 1988,
+        flops: 2.7e9,
+        mem_bw: 5.4e9,
+    },
+    Machine {
+        name: "Intel i860",
+        year: 1989,
+        flops: 8.0e7,
+        mem_bw: 1.6e8,
+    },
+    Machine {
+        name: "Pentium",
+        year: 1993,
+        flops: 6.6e7,
+        mem_bw: 5.3e8,
+    },
+    Machine {
+        name: "Cray T90",
+        year: 1995,
+        flops: 1.8e9,
+        mem_bw: 1.4e10,
+    },
+    Machine {
+        name: "Pentium II",
+        year: 1997,
+        flops: 3.0e8,
+        mem_bw: 8.0e8,
+    },
+    Machine {
+        name: "Pentium III",
+        year: 1999,
+        flops: 1.0e9,
+        mem_bw: 1.1e9,
+    },
+    Machine {
+        name: "Pentium 4",
+        year: 2002,
+        flops: 6.0e9,
+        mem_bw: 3.2e9,
+    },
+    Machine {
+        name: "AMD Opteron 250",
+        year: 2005,
+        flops: 9.6e9,
+        mem_bw: 6.4e9,
+    },
+    Machine {
+        name: "Core 2 Quad",
+        year: 2007,
+        flops: 3.8e10,
+        mem_bw: 8.5e9,
+    },
+    Machine {
+        name: "Nehalem-EP",
+        year: 2009,
+        flops: 5.1e10,
+        mem_bw: 2.6e10,
+    },
+    Machine {
+        name: "Sandy Bridge-EP",
+        year: 2012,
+        flops: 1.7e11,
+        mem_bw: 5.1e10,
+    },
+    Machine {
+        name: "Haswell-EP",
+        year: 2014,
+        flops: 5.0e11,
+        mem_bw: 6.0e10,
+    },
+    Machine {
+        name: "NVIDIA K80",
+        year: 2014,
+        flops: 2.9e12,
+        mem_bw: 4.8e11,
+    },
+    Machine {
+        name: "Xeon Phi KNL",
+        year: 2016,
+        flops: 3.0e12,
+        mem_bw: 4.0e11,
+    },
+    Machine {
+        name: "NVIDIA P100",
+        year: 2016,
+        flops: 5.3e12,
+        mem_bw: 7.2e11,
+    },
+    Machine {
+        name: "Skylake-SP 8160",
+        year: 2017,
+        flops: 1.6e12,
+        mem_bw: 1.2e11,
+    },
+    Machine {
+        name: "NVIDIA V100",
+        year: 2017,
+        flops: 7.8e12,
+        mem_bw: 9.0e11,
+    },
+    Machine {
+        name: "Summit node",
+        year: 2018,
+        flops: 4.9e13,
+        mem_bw: 5.4e12,
+    },
 ];
 
 /// A fitted log-linear trend of the bytes/FLOP ratio over time.
@@ -124,7 +264,11 @@ mod tests {
     #[test]
     fn dataset_is_chronological_and_plausible() {
         for pair in MACHINES.windows(2) {
-            assert!(pair[0].year <= pair[1].year, "{} out of order", pair[1].name);
+            assert!(
+                pair[0].year <= pair[1].year,
+                "{} out of order",
+                pair[1].name
+            );
         }
         for m in MACHINES {
             assert!(m.flops > 0.0 && m.mem_bw > 0.0, "{} has bad data", m.name);

@@ -32,8 +32,8 @@
 pub mod cache;
 pub mod cluster;
 pub mod cost;
-pub mod dram;
 pub mod cpu;
+pub mod dram;
 pub mod gpu;
 pub mod history;
 pub mod roofline;
@@ -42,8 +42,8 @@ pub mod shared_memory;
 pub use cache::{Cache, CacheHierarchy, HierarchyStats, ServiceLevel};
 pub use cluster::Cluster;
 pub use cost::PlatformCost;
-pub use dram::{DramChannel, DramConfig, DramStats, RowOutcome};
 pub use cpu::CpuModel;
+pub use dram::{DramChannel, DramConfig, DramStats, RowOutcome};
 pub use gpu::GpuModel;
 pub use history::{fit_trend, Machine, Trend, MACHINES};
 pub use roofline::Roof;

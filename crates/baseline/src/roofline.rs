@@ -102,7 +102,10 @@ mod tests {
     fn attainable_is_min_of_roofs() {
         let r = Roof::cpu();
         let low = r.attainable(0.1);
-        assert!((low - 0.1 * r.peak_bw).abs() / low < 1e-12, "memory roof binds");
+        assert!(
+            (low - 0.1 * r.peak_bw).abs() / low < 1e-12,
+            "memory roof binds"
+        );
         let high = r.attainable(1e6);
         assert_eq!(high, r.peak_flops, "compute roof binds");
         assert!(r.memory_bound(1.0));

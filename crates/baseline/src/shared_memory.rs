@@ -114,11 +114,7 @@ impl SmpMachine {
     /// # Panics
     ///
     /// Panics unless both arguments are in `(0, 1]`.
-    pub fn fault_impact(
-        &self,
-        progress: f64,
-        checkpoint_interval: f64,
-    ) -> (f64, SimDuration) {
+    pub fn fault_impact(&self, progress: f64, checkpoint_interval: f64) -> (f64, SimDuration) {
         assert!((0.0..=1.0).contains(&progress), "progress in [0,1]");
         assert!(
             checkpoint_interval > 0.0 && checkpoint_interval <= 1.0,
@@ -176,7 +172,10 @@ mod tests {
         assert!((lost - 0.05).abs() < 1e-12);
         assert!(downtime.as_secs_f64() > 60.0);
         let (lost_no_ckpt, _) = m.fault_impact(0.99, 1.0);
-        assert!((lost_no_ckpt - 0.99).abs() < 1e-12, "no checkpoints: lose it all");
+        assert!(
+            (lost_no_ckpt - 0.99).abs() < 1e-12,
+            "no checkpoints: lose it all"
+        );
     }
 
     #[test]

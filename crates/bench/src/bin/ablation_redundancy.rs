@@ -1,5 +1,8 @@
 //! ABL-RED: spare provisioning vs fault survival.
 fn main() {
     let points = cim_bench::experiments::ablations::run_redundancy(&[0, 1, 2, 3], 2);
-    print!("{}", cim_bench::experiments::ablations::render_redundancy(&points));
+    print!(
+        "{}",
+        cim_bench::experiments::ablations::render_redundancy(&points)
+    );
 }

@@ -1,5 +1,8 @@
 //! ABL-SEC: link-encryption overhead and tamper detection.
 fn main() {
     let report = cim_bench::experiments::ablations::run_security();
-    print!("{}", cim_bench::experiments::ablations::render_security(&report));
+    print!(
+        "{}",
+        cim_bench::experiments::ablations::render_security(&report)
+    );
 }

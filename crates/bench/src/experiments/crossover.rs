@@ -83,10 +83,8 @@ pub fn run(dims: &[usize]) -> Vec<CrossoverPoint> {
             CrossoverPoint {
                 dim,
                 weight_bytes: (dim * dim * 8) as u64,
-                latency_ratio: cpu_cost.latency.as_secs_f64()
-                    / report.mean_latency().as_secs_f64(),
-                energy_ratio: cpu_cost.energy.as_joules()
-                    / report.energy.as_joules().max(1e-18),
+                latency_ratio: cpu_cost.latency.as_secs_f64() / report.mean_latency().as_secs_f64(),
+                energy_ratio: cpu_cost.energy.as_joules() / report.energy.as_joules().max(1e-18),
             }
         })
         .collect()

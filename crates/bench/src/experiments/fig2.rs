@@ -21,10 +21,7 @@ pub struct Fig2Report {
 
 /// Runs the experiment.
 pub fn run() -> Fig2Report {
-    let series: Vec<(Machine, f64)> = MACHINES
-        .iter()
-        .map(|m| (*m, m.bytes_per_flop()))
-        .collect();
+    let series: Vec<(Machine, f64)> = MACHINES.iter().map(|m| (*m, m.bytes_per_flop())).collect();
     Fig2Report {
         trend: fit_trend(MACHINES),
         early_mean: era_mean(MACHINES, 1940, 1980).expect("early machines present"),
@@ -68,7 +65,10 @@ mod tests {
     fn reproduces_the_papers_decline() {
         let r = run();
         assert!(r.trend.orders_per_decade() < -0.1, "a clear decline");
-        assert!(r.early_mean / r.late_mean > 10.0, "orders of magnitude lost");
+        assert!(
+            r.early_mean / r.late_mean > 10.0,
+            "orders of magnitude lost"
+        );
         assert_eq!(r.series.len(), MACHINES.len());
     }
 

@@ -95,7 +95,11 @@ mod tests {
             .iter()
             .find(|r| r.class == WorkloadClass::DatabasesAnalytics)
             .expect("present");
-        assert!(dba.cpu_efficiency < 0.02, "scan efficiency {}", dba.cpu_efficiency);
+        assert!(
+            dba.cpu_efficiency < 0.02,
+            "scan efficiency {}",
+            dba.cpu_efficiency
+        );
     }
 
     #[test]

@@ -139,9 +139,7 @@ pub fn run(dim: usize, stream_len: usize) -> Sec6Report {
             // engine.
             input_bits: 4,
             adc_bits: cim_sim::calib::dpe::ADC_BITS,
-            device: cim_crossbar::device::DeviceParams::ideal(
-                cim_sim::calib::dpe::CELL_BITS,
-            ),
+            device: cim_crossbar::device::DeviceParams::ideal(cim_sim::calib::dpe::CELL_BITS),
             ..DpeConfig::default()
         },
         ..FabricConfig::default()

@@ -185,7 +185,10 @@ pub fn render(r: &Table1Report) -> String {
         "failure: work lost".to_owned(),
         format!("{:.0}% of partition progress", r.smp_fault.0 * 100.0),
         format!("{:.3}% (one node's shard)", r.cluster_fault.0 * 100.0),
-        format!("{:.0}% (items replayed from upstream)", r.cim_fault.0 * 100.0),
+        format!(
+            "{:.0}% (items replayed from upstream)",
+            r.cim_fault.0 * 100.0
+        ),
     ]);
     t.row([
         "failure: downtime".to_owned(),
@@ -217,8 +220,8 @@ mod tests {
     #[test]
     fn ordering_matches_the_paper() {
         let r = run(4); // small CIM device keeps the test fast
-        // Scaling: SMP << cluster; CIM stays efficient to the edge of the
-        // device (the paper's "no perceived limit").
+                        // Scaling: SMP << cluster; CIM stays efficient to the edge of the
+                        // device (the paper's "no perceived limit").
         assert!(r.smp_scale_limit < r.cluster_scale_limit);
         let (_, last_eff) = *r.cim_scaling.last().expect("probed");
         assert!(last_eff > 0.8, "CIM farm stays near-linear: {last_eff}");

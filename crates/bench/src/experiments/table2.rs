@@ -65,8 +65,16 @@ pub fn run() -> Table2Report {
 /// Renders the table.
 pub fn render(r: &Table2Report) -> String {
     let mut t = TextTable::new([
-        "class", "compute", "bandwidth", "size", "op-int", "comm", "parallel",
-        "CIM (measured)", "CIM (paper)", "",
+        "class",
+        "compute",
+        "bandwidth",
+        "size",
+        "op-int",
+        "comm",
+        "parallel",
+        "CIM (measured)",
+        "CIM (paper)",
+        "",
     ]);
     for row in &r.rows {
         let mark = if row.predicted == row.paper { "=" } else { "!" };
@@ -105,8 +113,15 @@ mod tests {
     fn suite_agrees_with_paper_on_most_rows() {
         let r = run();
         assert_eq!(r.rows.len(), 14);
-        assert!(r.agreement() >= 12, "agreement {} rows: {:?}", r.agreement(),
-            r.rows.iter().map(|x| (x.class, x.predicted, x.paper)).collect::<Vec<_>>());
+        assert!(
+            r.agreement() >= 12,
+            "agreement {} rows: {:?}",
+            r.agreement(),
+            r.rows
+                .iter()
+                .map(|x| (x.class, x.predicted, x.paper))
+                .collect::<Vec<_>>()
+        );
         assert!(r.mean_distance() <= 0.25);
     }
 

@@ -1,0 +1,309 @@
+//! Instant-based micro-benchmark harness (replaces `criterion`).
+//!
+//! Each benchmark is warmed up, auto-batched so one timed sample lasts long
+//! enough for `Instant` resolution not to matter, then sampled N times.
+//! Per-iteration statistics (min / median / mean / p95, in nanoseconds) are
+//! emitted as **one JSON object per line on stdout**, so bench trajectories
+//! can be captured with nothing but a shell redirect:
+//!
+//! ```text
+//! cargo bench --bench hotpaths > BENCH_hotpaths.json
+//! ```
+//!
+//! Environment overrides: `BENCH_SAMPLES` (default 30), `BENCH_WARMUP_MS`
+//! (default 50), `BENCH_TARGET_SAMPLE_US` (default 500 — the auto-batcher
+//! sizes each timed sample to roughly this long).
+
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Sampling parameters, shared by every benchmark in a [`Group`].
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Warmup duration before calibration, in milliseconds.
+    pub warmup_ms: u64,
+    /// Target duration of one timed sample, in microseconds; the batch
+    /// size is chosen so `iters_per_sample × time_per_iter ≈` this.
+    pub target_sample_us: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            samples: env_u64("BENCH_SAMPLES", 30) as usize,
+            warmup_ms: env_u64("BENCH_WARMUP_MS", 50),
+            target_sample_us: env_u64("BENCH_TARGET_SAMPLE_US", 500),
+        }
+    }
+}
+
+/// The measured result of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Full benchmark name (`group/name`).
+    pub name: String,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per timed sample (auto-calibrated).
+    pub iters_per_sample: u64,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: f64,
+    /// Elements processed per iteration, if declared with
+    /// [`Group::throughput`]; lets consumers derive elements/second.
+    pub throughput_elems: Option<u64>,
+}
+
+impl BenchReport {
+    fn from_samples(
+        name: String,
+        iters_per_sample: u64,
+        mut per_iter_ns: Vec<f64>,
+        throughput_elems: Option<u64>,
+    ) -> Self {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let n = per_iter_ns.len();
+        let pick = |q: f64| per_iter_ns[((n as f64 - 1.0) * q).round() as usize];
+        BenchReport {
+            name,
+            samples: n,
+            iters_per_sample,
+            min_ns: per_iter_ns[0],
+            median_ns: pick(0.5),
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+            p95_ns: pick(0.95),
+            throughput_elems,
+        }
+    }
+
+    /// The report as one JSON object (no trailing newline).
+    pub fn json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"bench\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
+             \"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"p95_ns\":{:.1}",
+            self.name,
+            self.samples,
+            self.iters_per_sample,
+            self.min_ns,
+            self.median_ns,
+            self.mean_ns,
+            self.p95_ns
+        );
+        if let Some(elems) = self.throughput_elems {
+            let eps = elems as f64 * 1e9 / self.median_ns.max(f64::MIN_POSITIVE);
+            s.push_str(&format!(
+                ",\"throughput_elems\":{elems},\"elems_per_sec\":{eps:.0}"
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+///
+/// # Examples
+///
+/// ```
+/// use cim_bench::harness::Group;
+///
+/// let mut g = Group::new("demo");
+/// g.bench("sum_1k", || (0u64..1000).sum::<u64>());
+/// let reports = g.finish();
+/// assert_eq!(reports[0].name, "demo/sum_1k");
+/// assert!(reports[0].median_ns > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Group {
+    prefix: String,
+    opts: BenchOptions,
+    throughput_elems: Option<u64>,
+    reports: Vec<BenchReport>,
+}
+
+impl Group {
+    /// Creates a group with default (env-overridable) options.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Group::with_options(prefix, BenchOptions::default())
+    }
+
+    /// Creates a group with explicit options.
+    pub fn with_options(prefix: impl Into<String>, opts: BenchOptions) -> Self {
+        Group {
+            prefix: prefix.into(),
+            opts,
+            throughput_elems: None,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Declares the per-iteration element count for subsequent benches, so
+    /// reports carry an elements/second figure.
+    pub fn throughput(&mut self, elems: u64) {
+        self.throughput_elems = Some(elems);
+    }
+
+    /// Overrides the sample count for subsequent benches.
+    pub fn sample_size(&mut self, samples: usize) {
+        self.opts.samples = samples.max(2);
+    }
+
+    /// Runs one benchmark: warmup, batch calibration, timed samples; prints
+    /// the JSON line to stdout and retains the report.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        // Warmup + calibration: run until the warmup budget elapses,
+        // tracking the observed per-iteration cost.
+        let warmup_budget_ns = self.opts.warmup_ms.saturating_mul(1_000_000).max(1);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while (Instant::now() - warmup_start).as_nanos() < u128::from(warmup_budget_ns)
+            || warmup_iters < 3
+        {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter_ns =
+            ((Instant::now() - warmup_start).as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let target_ns = (self.opts.target_sample_us as f64) * 1_000.0;
+        let batch = ((target_ns / per_iter_ns).round() as u64).clamp(1, 1 << 24);
+
+        let mut per_iter = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push((Instant::now() - t).as_nanos() as f64 / batch as f64);
+        }
+        self.push_report(name, batch, per_iter);
+    }
+
+    /// Runs one benchmark whose routine consumes fresh state per iteration
+    /// (criterion's `iter_batched`): `setup` runs untimed, `routine` is
+    /// timed over a pre-built batch of inputs.
+    pub fn bench_with_setup<S, T, G, F>(&mut self, name: &str, mut setup: G, mut routine: F)
+    where
+        G: FnMut() -> S,
+        F: FnMut(S) -> T,
+    {
+        // Warmup and calibrate on (setup + routine), then cap the batch so
+        // pre-built inputs stay modest.
+        let warmup_budget_ns = self.opts.warmup_ms.saturating_mul(1_000_000).max(1);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        let mut routine_ns_est = f64::MAX;
+        while (Instant::now() - warmup_start).as_nanos() < u128::from(warmup_budget_ns)
+            || warmup_iters < 3
+        {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            routine_ns_est = routine_ns_est.min((Instant::now() - t).as_nanos() as f64);
+            warmup_iters += 1;
+        }
+        let target_ns = (self.opts.target_sample_us as f64) * 1_000.0;
+        let batch = ((target_ns / routine_ns_est.max(1.0)).round() as u64).clamp(1, 256);
+
+        let mut per_iter = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            per_iter.push((Instant::now() - t).as_nanos() as f64 / batch as f64);
+        }
+        self.push_report(name, batch, per_iter);
+    }
+
+    fn push_report(&mut self, name: &str, batch: u64, per_iter: Vec<f64>) {
+        let report = BenchReport::from_samples(
+            format!("{}/{}", self.prefix, name),
+            batch,
+            per_iter,
+            self.throughput_elems,
+        );
+        println!("{}", report.json_line());
+        self.reports.push(report);
+    }
+
+    /// Ends the group, returning the collected reports.
+    pub fn finish(self) -> Vec<BenchReport> {
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchOptions {
+        BenchOptions {
+            samples: 5,
+            warmup_ms: 1,
+            target_sample_us: 50,
+        }
+    }
+
+    #[test]
+    fn reports_ordered_stats_and_json() {
+        let mut g = Group::with_options("t", quick());
+        g.throughput(64);
+        g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let r = &g.finish()[0];
+        assert_eq!(r.name, "t/spin");
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert!(r.min_ns > 0.0);
+        let j = r.json_line();
+        assert!(j.starts_with("{\"bench\":\"t/spin\""), "{j}");
+        assert!(j.contains("\"median_ns\":"), "{j}");
+        assert!(j.contains("\"elems_per_sec\":"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn with_setup_gives_routine_fresh_state() {
+        let mut g = Group::with_options("t", quick());
+        g.bench_with_setup(
+            "drain",
+            || vec![1u64; 256],
+            |mut v| {
+                // Draining twice would panic on reused state.
+                assert_eq!(v.len(), 256);
+                v.clear();
+                v
+            },
+        );
+        let r = &g.finish()[0];
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn sample_size_and_throughput_are_per_group() {
+        let mut g = Group::with_options("t", quick());
+        g.sample_size(3);
+        g.bench("noop", || 1u8);
+        let r = &g.finish()[0];
+        assert_eq!(r.samples, 3);
+        assert_eq!(r.throughput_elems, None);
+    }
+}

@@ -5,7 +5,9 @@
 //! recorded results). Each experiment lives in [`experiments`] as a
 //! `run()` returning a typed report plus a `render()` producing the
 //! table text; thin binaries under `src/bin/` print them, and the
-//! criterion benches under `benches/` time the underlying hot paths.
+//! benches under `benches/` (on the in-tree [`harness`]) time the
+//! underlying hot paths.
 
 pub mod experiments;
+pub mod harness;
 pub mod table;

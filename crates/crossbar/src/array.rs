@@ -9,8 +9,8 @@ use crate::device::{CellFault, DeviceParams, MemristorCell};
 use crate::error::{CrossbarError, Result};
 use cim_sim::calib::dpe;
 use cim_sim::energy::Energy;
+use cim_sim::rng::Xoshiro256pp;
 use cim_sim::time::SimDuration;
-use rand::rngs::StdRng;
 
 /// Cost of an operation on the array: how long it occupied the array and
 /// how much energy it consumed.
@@ -63,7 +63,7 @@ pub struct CrossbarArray {
     cols: usize,
     cells: Vec<MemristorCell>,
     params: DeviceParams,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     programmed: bool,
     /// Cached effective conductances for the noise-free read fast path;
     /// rebuilt whenever cells change (program, fault, drift).
@@ -371,7 +371,10 @@ mod tests {
         a.program_levels(&[1, 2, 3, 0, 2, 2]).unwrap();
         assert_eq!(a.read_phase(&[true, true, true]).unwrap(), vec![6.0, 4.0]);
         assert_eq!(a.read_phase(&[false, true, false]).unwrap(), vec![3.0, 0.0]);
-        assert_eq!(a.read_phase(&[false, false, false]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(
+            a.read_phase(&[false, false, false]).unwrap(),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]

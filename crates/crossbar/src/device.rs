@@ -14,7 +14,7 @@
 
 use cim_sim::calib::dpe;
 use cim_sim::rng::normal;
-use rand::Rng;
+use cim_sim::rng::Rng;
 
 /// Fault condition of a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,7 +192,7 @@ mod tests {
     use super::*;
     use cim_sim::SeedTree;
 
-    fn rng() -> rand::rngs::StdRng {
+    fn rng() -> cim_sim::rng::Xoshiro256pp {
         SeedTree::new(99).rng("device-tests")
     }
 

@@ -105,10 +105,16 @@ impl DpeConfig {
             ));
         }
         if !(2..=24).contains(&self.weight_bits) {
-            return bad(format!("weight_bits must be in 2..=24, got {}", self.weight_bits));
+            return bad(format!(
+                "weight_bits must be in 2..=24, got {}",
+                self.weight_bits
+            ));
         }
         if !(2..=16).contains(&self.input_bits) {
-            return bad(format!("input_bits must be in 2..=16, got {}", self.input_bits));
+            return bad(format!(
+                "input_bits must be in 2..=16, got {}",
+                self.input_bits
+            ));
         }
         if !(1..=8).contains(&self.dac_bits) {
             return bad(format!("dac_bits must be in 1..=8, got {}", self.dac_bits));
@@ -126,7 +132,10 @@ impl DpeConfig {
             return bad("adcs_per_array must be positive".to_owned());
         }
         if self.device.bits == 0 || self.device.bits > 8 {
-            return bad(format!("cell bits must be in 1..=8, got {}", self.device.bits));
+            return bad(format!(
+                "cell bits must be in 1..=8, got {}",
+                self.device.bits
+            ));
         }
         Ok(())
     }
@@ -208,9 +217,8 @@ impl DotProductEngine {
         // Full-scale column current: every row driven at the maximum DAC
         // digit into a maximum-conductance cell.
         let max_drive = ((1u32 << config.dac_bits) - 1) as f64;
-        let full_scale = (config.array_rows as f64)
-            * f64::from(config.device.max_level().max(1))
-            * max_drive;
+        let full_scale =
+            (config.array_rows as f64) * f64::from(config.device.max_level().max(1)) * max_drive;
         let adc = Adc::new(config.adc_bits, full_scale).expect("validated adc bits");
         DotProductEngine {
             config,
@@ -240,9 +248,12 @@ impl DotProductEngine {
     /// Returns an error if the matrix is degenerate (see
     /// [`DenseMatrix::new`]).
     pub fn program(&mut self, weights: &DenseMatrix) -> Result<OpCost> {
-        let wq = Quantizer::new(self.config.weight_bits, weights.max_abs().max(f64::MIN_POSITIVE))
-            .or_else(|| Quantizer::new(self.config.weight_bits, 1.0))
-            .expect("validated weight bits");
+        let wq = Quantizer::new(
+            self.config.weight_bits,
+            weights.max_abs().max(f64::MIN_POSITIVE),
+        )
+        .or_else(|| Quantizer::new(self.config.weight_bits, 1.0))
+        .expect("validated weight bits");
         let (ar, ac) = (self.config.array_rows, self.config.array_cols);
         let row_tiles = weights.rows().div_ceil(ar);
         let col_tiles = weights.cols().div_ceil(ac);
@@ -339,10 +350,17 @@ impl DotProductEngine {
                 what: "input vector length",
             });
         }
-        let wq = self.weight_quant.expect("programmed engine has a quantizer");
-        let xq = Quantizer::new(self.config.input_bits, x.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(f64::MIN_POSITIVE))
-            .or_else(|| Quantizer::new(self.config.input_bits, 1.0))
-            .expect("validated input bits");
+        let wq = self
+            .weight_quant
+            .expect("programmed engine has a quantizer");
+        let xq = Quantizer::new(
+            self.config.input_bits,
+            x.iter()
+                .fold(0.0f64, |m, &v| m.max(v.abs()))
+                .max(f64::MIN_POSITIVE),
+        )
+        .or_else(|| Quantizer::new(self.config.input_bits, 1.0))
+        .expect("validated input bits");
         let q_in: Vec<i64> = x.iter().map(|&v| xq.quantize(v)).collect();
 
         let (ar, ac) = (self.config.array_rows, self.config.array_cols);
@@ -395,9 +413,7 @@ impl DotProductEngine {
                                 // Multi-level drivers cost extra DAC
                                 // energy, roughly linear in digit width.
                                 energy += Energy::from_fj(
-                                    cal::DAC_DRIVE_FJ
-                                        * active as u64
-                                        * u64::from(dac_bits - 1),
+                                    cal::DAC_DRIVE_FJ * active as u64 * u64::from(dac_bits - 1),
                                 );
                                 let slice_weight =
                                     (1u64 << (s as u32 * self.config.device.bits)) as f64;
@@ -427,15 +443,14 @@ impl DotProductEngine {
         // arrays operate in parallel (each has its own ADC). One trailing
         // ADC sweep drains the pipeline.
         let settle = SimDuration::from_ps(cal::READ_PHASE_PS);
-        let adc_sweep = self.adc.conversion_time() * (ac / self.config.adcs_per_array).max(1) as u64;
+        let adc_sweep =
+            self.adc.conversion_time() * (ac / self.config.adcs_per_array).max(1) as u64;
         let phase = settle.max(adc_sweep);
         let latency = phase * executed_phases + adc_sweep;
 
         // Static power of the occupied tiles over the occupied interval.
         let arrays = (row_tiles * col_tiles * 2 * slices) as f64;
-        energy += Energy::from_joules(
-            cal::TILE_STATIC_W * arrays * latency.as_secs_f64(),
-        );
+        energy += Energy::from_joules(cal::TILE_STATIC_W * arrays * latency.as_secs_f64());
 
         let scale = wq.step() * xq.step();
         let values: Vec<f64> = acc[..self.matrix_cols].iter().map(|&a| a * scale).collect();
@@ -556,7 +571,9 @@ mod tests {
         let fp = dpe.footprint().unwrap();
         assert_eq!(fp.row_tiles, 2);
         assert_eq!(fp.col_tiles, 2);
-        let x: Vec<f64> = (0..200).map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| ((i * 7 % 13) as f64 / 13.0) - 0.5)
+            .collect();
         let out = dpe.matvec(&x).unwrap();
         let exact = w.matvec(&x).unwrap();
         assert!(max_rel_err(&out.values, &exact) < 0.03);
@@ -578,7 +595,10 @@ mod tests {
     #[test]
     fn errors_on_misuse() {
         let mut dpe = engine(DpeConfig::ideal());
-        assert_eq!(dpe.matvec(&[1.0]).unwrap_err(), CrossbarError::NotProgrammed);
+        assert_eq!(
+            dpe.matvec(&[1.0]).unwrap_err(),
+            CrossbarError::NotProgrammed
+        );
         assert!(dpe.footprint().is_err());
         let w = DenseMatrix::from_fn(4, 4, |_, _| 0.5);
         dpe.program(&w).unwrap();
@@ -633,7 +653,10 @@ mod tests {
             let out = dpe.matvec(&x).unwrap();
             errs.push(max_rel_err(&out.values, &exact));
         }
-        assert!(errs[0] > errs[2], "4-bit ADC must be worse than 14-bit: {errs:?}");
+        assert!(
+            errs[0] > errs[2],
+            "4-bit ADC must be worse than 14-bit: {errs:?}"
+        );
         assert!(errs[2] < 0.02, "14-bit ADC should be near-exact: {errs:?}");
     }
 
@@ -643,9 +666,7 @@ mod tests {
         let mut dpe = engine(DpeConfig::ideal());
         dpe.program(&w).unwrap();
         let single = dpe.matvec(&[0.1; 8]).unwrap().cost;
-        let (outs, cost) = dpe
-            .matvec_batch(&vec![vec![0.1; 8]; 4])
-            .unwrap();
+        let (outs, cost) = dpe.matvec_batch(&vec![vec![0.1; 8]; 4]).unwrap();
         assert_eq!(outs.len(), 4);
         assert_eq!(cost.latency, single.latency * 4);
         assert_eq!(dpe.mvm_count(), 5);
@@ -719,11 +740,20 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_nonsense() {
-        let c = DpeConfig { weight_bits: 1, ..DpeConfig::default() };
+        let c = DpeConfig {
+            weight_bits: 1,
+            ..DpeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = DpeConfig { adcs_per_array: 0, ..DpeConfig::default() };
+        let c = DpeConfig {
+            adcs_per_array: 0,
+            ..DpeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = DpeConfig { array_rows: 0, ..DpeConfig::default() };
+        let c = DpeConfig {
+            array_rows: 0,
+            ..DpeConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(DpeConfig::default().validate().is_ok());
     }

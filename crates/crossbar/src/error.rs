@@ -54,10 +54,7 @@ impl fmt::Display for CrossbarError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "cell ({row},{col}) outside {rows}x{cols} array"
-            ),
+            } => write!(f, "cell ({row},{col}) outside {rows}x{cols} array"),
         }
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::device::CellFault;
 use crate::dpe::DotProductEngine;
+use cim_sim::rng::Rng;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// Parameters of a random stuck-at fault campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,8 +78,7 @@ impl FaultCampaign {
 /// Panics if the slices differ in length or the reference is all zeros.
 pub fn normalized_rmse(got: &[f64], reference: &[f64]) -> f64 {
     assert_eq!(got.len(), reference.len(), "length mismatch");
-    let ref_ms: f64 =
-        reference.iter().map(|x| x * x).sum::<f64>() / reference.len().max(1) as f64;
+    let ref_ms: f64 = reference.iter().map(|x| x * x).sum::<f64>() / reference.len().max(1) as f64;
     assert!(ref_ms > 0.0, "reference must be non-zero");
     let err_ms: f64 = got
         .iter()

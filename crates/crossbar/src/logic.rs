@@ -119,7 +119,10 @@ impl StatefulLogicEngine {
     /// Panics if a row index is out of range or `source == target` (the
     /// physical operation requires two distinct devices).
     pub fn imp(&mut self, source: usize, target: usize) {
-        assert!(source != target, "IMP requires distinct source and target rows");
+        assert!(
+            source != target,
+            "IMP requires distinct source and target rows"
+        );
         let old = self.rows[target];
         let new = !self.rows[source] | old;
         let switched = (old ^ new).count_ones();
@@ -211,13 +214,7 @@ impl StatefulLogicEngine {
     /// # Panics
     ///
     /// Panics if rows are not all distinct.
-    pub fn add(
-        &mut self,
-        a: usize,
-        b: usize,
-        out: usize,
-        scratch: [usize; 3],
-    ) -> u64 {
+    pub fn add(&mut self, a: usize, b: usize, out: usize, scratch: [usize; 3]) -> u64 {
         let all = [a, b, out, scratch[0], scratch[1], scratch[2]];
         for (i, x) in all.iter().enumerate() {
             for y in &all[i + 1..] {
@@ -274,7 +271,10 @@ mod tests {
         assert_eq!(e.read(1), 0x0F0F_0F0F_0F0F_0F0F);
         e.write(2, 0xFF00_FF00_FF00_FF00);
         e.nand(0, 2, 3);
-        assert_eq!(e.read(3), !(0xF0F0_F0F0_F0F0_F0F0u64 & 0xFF00_FF00_FF00_FF00));
+        assert_eq!(
+            e.read(3),
+            !(0xF0F0_F0F0_F0F0_F0F0u64 & 0xFF00_FF00_FF00_FF00)
+        );
     }
 
     #[test]
@@ -305,7 +305,13 @@ mod tests {
 
     #[test]
     fn in_memory_addition() {
-        let cases = [(0u64, 0u64), (1, 1), (123, 456), (u32::MAX as u64, 1), (0xDEAD, 0xBEEF)];
+        let cases = [
+            (0u64, 0u64),
+            (1, 1),
+            (123, 456),
+            (u32::MAX as u64, 1),
+            (0xDEAD, 0xBEEF),
+        ];
         for (a, b) in cases {
             let mut e = eng();
             e.write(0, a);

@@ -57,7 +57,11 @@ impl Quantizer {
             .iter()
             .fold(0.0f64, |m, &x| m.max(x.abs()))
             .max(f64::MIN_POSITIVE);
-        let max_abs = if max_abs <= f64::MIN_POSITIVE { 1.0 } else { max_abs };
+        let max_abs = if max_abs <= f64::MIN_POSITIVE {
+            1.0
+        } else {
+            max_abs
+        };
         Quantizer::new(bits, max_abs)
     }
 
@@ -127,10 +131,9 @@ pub fn split_slices(value: u64, slice_bits: u32, n_slices: usize) -> Vec<u16> {
 
 /// Reassembles little-endian slices produced by [`split_slices`].
 pub fn join_slices(slices: &[u16], slice_bits: u32) -> u64 {
-    slices
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (s, &v)| acc | (u64::from(v) << (s as u32 * slice_bits)))
+    slices.iter().enumerate().fold(0u64, |acc, (s, &v)| {
+        acc | (u64::from(v) << (s as u32 * slice_bits))
+    })
 }
 
 /// Extracts bit `b` (little-endian) of the two's-complement representation

@@ -43,7 +43,11 @@ impl TernaryPattern {
         if width == 0 || width > 64 {
             return None;
         }
-        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let width_mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         if mask & !width_mask != 0 || value & !mask != 0 {
             return None;
         }
@@ -52,7 +56,11 @@ impl TernaryPattern {
 
     /// An exact-match pattern (no don't-cares).
     pub fn exact(value: u64, width: u32) -> Option<Self> {
-        let width_mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let width_mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         Self::new(value & width_mask, width_mask, width)
     }
 
@@ -253,8 +261,14 @@ mod tests {
     #[test]
     fn pattern_new_validates() {
         assert!(TernaryPattern::new(0b10, 0b11, 2).is_some());
-        assert!(TernaryPattern::new(0b10, 0b01, 2).is_none(), "value outside mask");
-        assert!(TernaryPattern::new(0, 0b100, 2).is_none(), "mask outside width");
+        assert!(
+            TernaryPattern::new(0b10, 0b01, 2).is_none(),
+            "value outside mask"
+        );
+        assert!(
+            TernaryPattern::new(0, 0b100, 2).is_none(),
+            "mask outside width"
+        );
         assert!(TernaryPattern::new(0, 0, 0).is_none());
         assert!(TernaryPattern::new(0, u64::MAX, 64).is_some());
     }
@@ -310,8 +324,14 @@ mod tests {
         }
         let (_, c_small) = small.search(2);
         let (_, c_large) = large.search(2);
-        assert_eq!(c_small.latency, c_large.latency, "associative search is O(1) time");
-        assert!(c_large.energy > c_small.energy, "energy scales with stored bits");
+        assert_eq!(
+            c_small.latency, c_large.latency,
+            "associative search is O(1) time"
+        );
+        assert!(
+            c_large.energy > c_small.energy,
+            "energy scales with stored bits"
+        );
     }
 
     #[test]

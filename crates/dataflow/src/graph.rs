@@ -185,10 +185,8 @@ fn topo_order(n: usize, edges: &[Edge]) -> Result<Vec<usize>> {
     }
     // Kahn's algorithm; the min-heap makes the order deterministic
     // (smallest ready index first).
-    let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
-        .filter(|&i| indegree[i] == 0)
-        .map(Reverse)
-        .collect();
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&i| indegree[i] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse(node)) = ready.pop() {
         order.push(node);
@@ -387,8 +385,20 @@ mod tests {
         // src -> a, src -> b, (a,b) -> add -> sink
         let mut g = GraphBuilder::new();
         let src = g.add("src", Operation::Source { width: 4 });
-        let a = g.add("a", Operation::Map { func: Elementwise::Relu, width: 4 });
-        let b = g.add("b", Operation::Map { func: Elementwise::Scale(2.0), width: 4 });
+        let a = g.add(
+            "a",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 4,
+            },
+        );
+        let b = g.add(
+            "b",
+            Operation::Map {
+                func: Elementwise::Scale(2.0),
+                width: 4,
+            },
+        );
         let add = g.add("add", Operation::Add { width: 4 });
         let sink = g.add("out", Operation::Sink { width: 4 });
         g.connect(src, a, 0).unwrap();
@@ -405,8 +415,7 @@ mod tests {
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 5);
         let order = g.topo_order();
-        let pos =
-            |i: usize| order.iter().position(|&x| x == i).expect("node in order");
+        let pos = |i: usize| order.iter().position(|&x| x == i).expect("node in order");
         assert!(pos(0) < pos(1));
         assert!(pos(0) < pos(2));
         assert!(pos(1) < pos(3));
@@ -487,7 +496,13 @@ mod tests {
     fn chain_helper() {
         let mut g = GraphBuilder::new();
         let a = g.add("a", Operation::Source { width: 2 });
-        let b = g.add("b", Operation::Map { func: Elementwise::Identity, width: 2 });
+        let b = g.add(
+            "b",
+            Operation::Map {
+                func: Elementwise::Identity,
+                width: 2,
+            },
+        );
         let c = g.add("c", Operation::Sink { width: 2 });
         g.chain(&[a, b, c]).unwrap();
         assert_eq!(g.build().unwrap().edge_count(), 2);

@@ -126,7 +126,13 @@ mod tests {
                 weights: vec![1.0, -1.0, 0.5, 2.0],
             },
         );
-        let relu = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 2 });
+        let relu = b.add(
+            "relu",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 2,
+            },
+        );
         let out = b.add("out", Operation::Sink { width: 2 });
         b.chain(&[src, mv, relu, out]).unwrap();
         let g = b.build().unwrap();
@@ -139,8 +145,20 @@ mod tests {
     fn diamond_with_two_sinks() {
         let mut b = GraphBuilder::new();
         let src = b.add("in", Operation::Source { width: 2 });
-        let dbl = b.add("x2", Operation::Map { func: Elementwise::Scale(2.0), width: 2 });
-        let sum = b.add("sum", Operation::Reduce { kind: Reduction::Sum, width: 2 });
+        let dbl = b.add(
+            "x2",
+            Operation::Map {
+                func: Elementwise::Scale(2.0),
+                width: 2,
+            },
+        );
+        let sum = b.add(
+            "sum",
+            Operation::Reduce {
+                kind: Reduction::Sum,
+                width: 2,
+            },
+        );
         let s1 = b.add("o1", Operation::Sink { width: 2 });
         let s2 = b.add("o2", Operation::Sink { width: 1 });
         b.connect(src, dbl, 0).unwrap();
@@ -183,14 +201,17 @@ mod tests {
     fn input_for_non_source_rejected() {
         let mut b = GraphBuilder::new();
         let s = b.add("a", Operation::Source { width: 1 });
-        let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 1 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Identity,
+                width: 1,
+            },
+        );
         let out = b.add("out", Operation::Sink { width: 1 });
         b.chain(&[s, m, out]).unwrap();
         let g = b.build().unwrap();
-        let res = execute(
-            &g,
-            &HashMap::from([(s, vec![1.0]), (m, vec![2.0])]),
-        );
+        let res = execute(&g, &HashMap::from([(s, vec![1.0]), (m, vec![2.0])]));
         assert!(matches!(res, Err(DataflowError::InputMismatch { .. })));
     }
 }

@@ -249,7 +249,11 @@ impl Operation {
         match self {
             Operation::Source { .. } => unreachable!("sources are fed externally"),
             Operation::Sink { .. } => inputs[0].to_vec(),
-            Operation::MatVec { rows, cols, weights } => {
+            Operation::MatVec {
+                rows,
+                cols,
+                weights,
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.len(), *rows, "matvec input width");
                 let mut y = vec![0.0; *cols];
@@ -409,7 +413,14 @@ mod tests {
         };
         assert_eq!(mv.flops(), 100);
         assert_eq!(mv.state_bytes(), 400);
-        assert_eq!(Operation::Map { func: Elementwise::Relu, width: 7 }.flops(), 7);
+        assert_eq!(
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 7
+            }
+            .flops(),
+            7
+        );
         assert_eq!(Operation::Source { width: 7 }.flops(), 0);
     }
 }

@@ -108,7 +108,7 @@ impl RoutePolicy for LeastLoadedRoute {
 ///
 /// The vocabulary is intentionally small: swap a map node's function, or
 /// replace a matvec node's weights. Patches serialize to a compact byte
-/// format so they can ride in `bytes::Bytes` payloads.
+/// format so they can ride in NoC packet payloads.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Patch {
     /// Replace the elementwise function of a `Map` node.
@@ -214,9 +214,8 @@ impl Patch {
                 let mut weights = Vec::with_capacity(n);
                 for i in 0..n {
                     let off = 9 + 8 * i;
-                    let w = f64::from_le_bytes(
-                        bytes[off..off + 8].try_into().expect("len checked"),
-                    );
+                    let w =
+                        f64::from_le_bytes(bytes[off..off + 8].try_into().expect("len checked"));
                     if !w.is_finite() {
                         return Err(bad("non-finite weight"));
                     }
@@ -266,7 +265,10 @@ mod tests {
             assert_eq!(a, b);
             seen[a] = true;
         }
-        assert!(seen.iter().all(|&s| s), "hashing should spread across targets");
+        assert!(
+            seen.iter().all(|&s| s),
+            "hashing should spread across targets"
+        );
     }
 
     #[test]
@@ -277,7 +279,12 @@ mod tests {
         };
         assert_eq!(policy.select(99, &state).unwrap(), 1);
         assert!(policy
-            .select(0, &RouteState { queue_depths: vec![] })
+            .select(
+                0,
+                &RouteState {
+                    queue_depths: vec![]
+                }
+            )
             .is_err());
     }
 

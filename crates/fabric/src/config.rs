@@ -102,13 +102,22 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_configs() {
-        let c = FabricConfig { mesh_width: 0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            mesh_width: 0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = FabricConfig { units_per_tile: 0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            units_per_tile: 0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = FabricConfig { digital_ops_per_sec: 0.0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            digital_ops_per_sec: 0.0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = FabricConfig::default();

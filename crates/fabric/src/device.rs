@@ -211,7 +211,10 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let c = FabricConfig { mesh_width: 0, ..FabricConfig::default() };
+        let c = FabricConfig {
+            mesh_width: 0,
+            ..FabricConfig::default()
+        };
         assert!(CimDevice::new(c).is_err());
     }
 
@@ -245,7 +248,10 @@ mod tests {
 
     #[test]
     fn encryption_follows_config() {
-        let c = FabricConfig { encryption: true, ..FabricConfig::default() };
+        let c = FabricConfig {
+            encryption: true,
+            ..FabricConfig::default()
+        };
         let d = CimDevice::new(c).unwrap();
         assert!(d.noc().encryption());
     }

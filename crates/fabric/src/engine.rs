@@ -297,10 +297,9 @@ impl CimDevice {
                         } else {
                             let id = self.next_packet_id();
                             let stream = prog.stream_id;
-                            let packet =
-                                Packet::new(id, p_tile, my_tile, encode_f64s(&pv))
-                                    .with_stream(stream)
-                                    .with_class(TrafficClass::Guaranteed);
+                            let packet = Packet::new(id, p_tile, my_tile, encode_f64s(&pv))
+                                .with_stream(stream)
+                                .with_class(TrafficClass::Guaranteed);
                             let (_, noc) = self.units_and_noc_mut();
                             let delivery =
                                 noc.transmit(&packet, p_done).map_err(FabricError::from)?;
@@ -377,10 +376,7 @@ impl CimDevice {
             let mut outs = HashMap::new();
             let mut completed = release;
             for s in &sinks {
-                outs.insert(
-                    *s,
-                    values[s.index()].clone().expect("sink evaluated"),
-                );
+                outs.insert(*s, values[s.index()].clone().expect("sink evaluated"));
                 completed = completed.max(done[s.index()]);
             }
             report.outputs.push(outs);
@@ -418,7 +414,13 @@ mod tests {
                 weights: (0..128).map(|i| ((i % 7) as f64 - 3.0) / 10.0).collect(),
             },
         );
-        let act = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 8 });
+        let act = b.add(
+            "relu",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 8,
+            },
+        );
         let fc2 = b.add(
             "fc2",
             Operation::MatVec {
@@ -427,7 +429,13 @@ mod tests {
                 weights: (0..32).map(|i| ((i % 5) as f64 - 2.0) / 8.0).collect(),
             },
         );
-        let arg = b.add("argmax", Operation::Reduce { kind: Reduction::ArgMax, width: 4 });
+        let arg = b.add(
+            "argmax",
+            Operation::Reduce {
+                kind: Reduction::ArgMax,
+                width: 4,
+            },
+        );
         let out = b.add("out", Operation::Sink { width: 1 });
         b.chain(&[src, fc1, act, fc2, arg, out]).unwrap();
         (b.build().unwrap(), src, out)
@@ -450,8 +458,7 @@ mod tests {
                 &StreamOptions::default(),
             )
             .unwrap();
-        let reference =
-            interpreter::execute(&g, &HashMap::from([(src, x)])).unwrap();
+        let reference = interpreter::execute(&g, &HashMap::from([(src, x)])).unwrap();
         // ArgMax class prediction should agree between analog and exact.
         assert_eq!(report.outputs[0][&out], reference[&out]);
         assert!(report.energy.as_fj() > 0);
@@ -508,7 +515,11 @@ mod tests {
         // Process one clean item.
         let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
         let clean = d
-            .execute_stream(&mut prog, &[input_for(src, x.clone())], &StreamOptions::default())
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
             .unwrap();
         // Fail the unit hosting fc1 (node index 1), then run again.
         let victim = prog.placement().unit_of(1);

@@ -122,9 +122,7 @@ pub fn run_integrated(
 
     let host_per_item = match mode {
         IntegrationMode::Slave => mode.host_overhead(),
-        IntegrationMode::Cooperative | IntegrationMode::Integrated => {
-            mode.host_overhead() / items
-        }
+        IntegrationMode::Cooperative | IntegrationMode::Integrated => mode.host_overhead() / items,
         IntegrationMode::Native => SimDuration::ZERO,
     };
 
@@ -134,8 +132,7 @@ pub fn run_integrated(
     let per_item_latency = fabric_per_item + transfer_per_item + host_per_item;
 
     let host_busy = (host_per_item + transfer_per_item) * items;
-    let host_energy =
-        Energy::from_joules(IntegrationMode::HOST_ACTIVE_W * host_busy.as_secs_f64());
+    let host_energy = Energy::from_joules(IntegrationMode::HOST_ACTIVE_W * host_busy.as_secs_f64());
     Ok(IntegrationReport {
         mode,
         per_item_latency,
@@ -169,7 +166,13 @@ mod tests {
                 weights: vec![0.05; 512],
             },
         );
-        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 16 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 16,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 16 });
         b.chain(&[s, mv, m, k]).unwrap();
         (d, b.build().unwrap(), s)
@@ -218,8 +221,7 @@ mod tests {
         let (mut d, g, s) = setup();
         let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
         let inputs = batch(s, 4);
-        let native =
-            run_integrated(&mut d, &mut prog, &inputs, IntegrationMode::Native).unwrap();
+        let native = run_integrated(&mut d, &mut prog, &inputs, IntegrationMode::Native).unwrap();
         assert_eq!(native.per_item_latency, native.fabric.makespan() / 4);
         assert_eq!(native.energy, native.fabric.energy);
     }
@@ -228,10 +230,20 @@ mod tests {
     fn cooperative_amortizes_with_batch_size() {
         let (mut d, g, s) = setup();
         let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
-        let small = run_integrated(&mut d, &mut prog, &batch(s, 2), IntegrationMode::Cooperative)
-            .unwrap();
-        let large = run_integrated(&mut d, &mut prog, &batch(s, 64), IntegrationMode::Cooperative)
-            .unwrap();
+        let small = run_integrated(
+            &mut d,
+            &mut prog,
+            &batch(s, 2),
+            IntegrationMode::Cooperative,
+        )
+        .unwrap();
+        let large = run_integrated(
+            &mut d,
+            &mut prog,
+            &batch(s, 64),
+            IntegrationMode::Cooperative,
+        )
+        .unwrap();
         assert!(large.per_item_latency < small.per_item_latency);
     }
 }

@@ -122,8 +122,7 @@ pub fn map_graph_subset(
                     .filter(|&u| !used[u])
                     .min_by_key(|&u| {
                         let tile = device.unit(u).tile();
-                        let dist: u32 =
-                            producer_tiles.iter().map(|p| p.manhattan(tile)).sum();
+                        let dist: u32 = producer_tiles.iter().map(|p| p.manhattan(tile)).sum();
                         (dist, u)
                     })
                     .expect("capacity checked above");

@@ -88,10 +88,11 @@ pub fn run_fault_campaign(
                 acc.injected.extend(report.injected);
                 acc.completed.extend(report.completed);
                 acc.energy += report.energy;
-                acc.recoveries.extend(report.recoveries.into_iter().map(|mut r| {
-                    r.item += item_offset;
-                    r
-                }));
+                acc.recoveries
+                    .extend(report.recoveries.into_iter().map(|mut r| {
+                        r.item += item_offset;
+                        r
+                    }));
                 acc
             }
         });
@@ -152,11 +153,7 @@ pub fn run_duplex(
         let mut bad = false;
         for (sink, va) in a {
             let vb = &b[sink];
-            if va
-                .iter()
-                .zip(vb)
-                .any(|(x, y)| (x - y).abs() > tolerance)
-            {
+            if va.iter().zip(vb).any(|(x, y)| (x - y).abs() > tolerance) {
                 bad = true;
             }
         }
@@ -202,7 +199,13 @@ mod tests {
                 weights: (0..64).map(|i| ((i % 9) as f64 - 4.0) / 10.0).collect(),
             },
         );
-        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 8 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 8,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 8 });
         b.chain(&[s, mv, m, k]).unwrap();
         let g = b.build().unwrap();
@@ -222,8 +225,14 @@ mod tests {
         let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
         let ins = inputs(s, 10);
         let faults = [
-            ScheduledFault { before_item: 3, node: 1 },
-            ScheduledFault { before_item: 7, node: 2 },
+            ScheduledFault {
+                before_item: 3,
+                node: 1,
+            },
+            ScheduledFault {
+                before_item: 7,
+                node: 2,
+            },
         ];
         let report =
             run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &faults)
@@ -244,8 +253,7 @@ mod tests {
         let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
         let ins = inputs(s, 5);
         let report =
-            run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &[])
-                .unwrap();
+            run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &[]).unwrap();
         assert_eq!(report.stream.outputs.len(), 5);
         assert!(report.recovery_overheads.is_empty());
         assert_eq!(report.items_delayed, 0);
@@ -257,7 +265,10 @@ mod tests {
         let (g, s, _) = pipeline_graph();
         let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
         let ins = inputs(s, 4);
-        let faults = [ScheduledFault { before_item: 2, node: 1 }];
+        let faults = [ScheduledFault {
+            before_item: 2,
+            node: 1,
+        }];
         let report =
             run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &faults)
                 .unwrap();
@@ -290,9 +301,8 @@ mod tests {
         let p = d.execute_stream(&mut primary_prog, &ins, &opts).unwrap();
         let sh = d.execute_stream(&mut shadow_prog, &ins, &opts).unwrap();
         let disagree = p.outputs.iter().zip(&sh.outputs).any(|(a, b)| {
-            a.iter().any(|(sink, va)| {
-                va.iter().zip(&b[sink]).any(|(x, y)| (x - y).abs() > 1e-6)
-            })
+            a.iter()
+                .any(|(sink, va)| va.iter().zip(&b[sink]).any(|(x, y)| (x - y).abs() > 1e-6))
         });
         assert!(disagree, "stuck-on cells must perturb the primary only");
     }

@@ -243,11 +243,25 @@ mod tests {
     #[test]
     fn more_replicas_cut_latency_under_saturation() {
         let mut d1 = device();
-        let r1 = run_farm(&mut d1, &heavy_op(), 1, &items(16), SimDuration::ZERO, &LeastLoadedRoute)
-            .unwrap();
+        let r1 = run_farm(
+            &mut d1,
+            &heavy_op(),
+            1,
+            &items(16),
+            SimDuration::ZERO,
+            &LeastLoadedRoute,
+        )
+        .unwrap();
         let mut d4 = device();
-        let r4 = run_farm(&mut d4, &heavy_op(), 4, &items(16), SimDuration::ZERO, &LeastLoadedRoute)
-            .unwrap();
+        let r4 = run_farm(
+            &mut d4,
+            &heavy_op(),
+            4,
+            &items(16),
+            SimDuration::ZERO,
+            &LeastLoadedRoute,
+        )
+        .unwrap();
         assert!(
             r4.latency_quantile(0.99) < r1.latency_quantile(0.99) / 2,
             "4 replicas should cut p99 substantially"
@@ -290,11 +304,7 @@ mod tests {
         #[derive(Debug)]
         struct Pin;
         impl RoutePolicy for Pin {
-            fn select(
-                &self,
-                _tag: u64,
-                state: &RouteState,
-            ) -> cim_dataflow::Result<usize> {
+            fn select(&self, _tag: u64, state: &RouteState) -> cim_dataflow::Result<usize> {
                 if state.queue_depths.is_empty() {
                     Err(cim_dataflow::DataflowError::InvalidOperation {
                         reason: "no candidates".into(),
@@ -305,8 +315,7 @@ mod tests {
             }
         }
         let mut d = device();
-        let report =
-            run_farm(&mut d, &heavy_op(), 3, &items(9), SimDuration::ZERO, &Pin).unwrap();
+        let report = run_farm(&mut d, &heavy_op(), 3, &items(9), SimDuration::ZERO, &Pin).unwrap();
         assert!(report.assignments.iter().all(|&a| a == 0));
     }
 
@@ -316,16 +325,29 @@ mod tests {
         // A strict target that one replica cannot meet under saturation.
         let one_replica_p99 = {
             let mut probe = device();
-            run_farm(&mut probe, &heavy_op(), 1, &items(16), SimDuration::ZERO, &LeastLoadedRoute)
-                .unwrap()
-                .latency_quantile(0.99)
+            run_farm(
+                &mut probe,
+                &heavy_op(),
+                1,
+                &items(16),
+                SimDuration::ZERO,
+                &LeastLoadedRoute,
+            )
+            .unwrap()
+            .latency_quantile(0.99)
         };
         let ctl = SlaController {
             p99_target: one_replica_p99 / 4,
             max_replicas: 16,
         };
         let (replicas, achieved) = ctl
-            .autoscale(&mut d, &heavy_op(), &items(16), SimDuration::ZERO, &LeastLoadedRoute)
+            .autoscale(
+                &mut d,
+                &heavy_op(),
+                &items(16),
+                SimDuration::ZERO,
+                &LeastLoadedRoute,
+            )
             .unwrap();
         assert!(replicas > 1, "controller must scale out");
         assert!(achieved <= ctl.p99_target, "target met: {achieved}");
@@ -335,11 +357,25 @@ mod tests {
     fn farm_capacity_errors() {
         let mut d = device();
         assert!(matches!(
-            run_farm(&mut d, &heavy_op(), 0, &items(1), SimDuration::ZERO, &HashRoute),
+            run_farm(
+                &mut d,
+                &heavy_op(),
+                0,
+                &items(1),
+                SimDuration::ZERO,
+                &HashRoute
+            ),
             Err(FabricError::InvalidConfig { .. })
         ));
         assert!(matches!(
-            run_farm(&mut d, &heavy_op(), 1000, &items(1), SimDuration::ZERO, &HashRoute),
+            run_farm(
+                &mut d,
+                &heavy_op(),
+                1000,
+                &items(1),
+                SimDuration::ZERO,
+                &HashRoute
+            ),
             Err(FabricError::CapacityExceeded { .. })
         ));
     }

@@ -234,7 +234,10 @@ mod tests {
         for i in 0..nodes.saturating_sub(2) {
             let n = b.add(
                 format!("m{i}"),
-                Operation::Map { func: Elementwise::Relu, width: 4 },
+                Operation::Map {
+                    func: Elementwise::Relu,
+                    width: 4,
+                },
             );
             b.connect(prev, n, 0).expect("chain");
             prev = n;

@@ -94,7 +94,7 @@ pub fn fence_tile(device: &mut CimDevice, tile: NodeId) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::config::FabricConfig;
-    use crate::engine::{StreamOptions};
+    use crate::engine::StreamOptions;
     use crate::error::FabricError;
     use crate::mapper::MappingPolicy;
     use cim_crossbar::dpe::DpeConfig;
@@ -115,7 +115,11 @@ mod tests {
         assert_eq!(caps.reach(1), 0);
     }
 
-    fn tiny_program() -> (CimDevice, crate::engine::MappedProgram, cim_dataflow::NodeRef) {
+    fn tiny_program() -> (
+        CimDevice,
+        crate::engine::MappedProgram,
+        cim_dataflow::NodeRef,
+    ) {
         let mut d = CimDevice::new(FabricConfig {
             dpe: DpeConfig::ideal(),
             ..FabricConfig::default()
@@ -123,7 +127,13 @@ mod tests {
         .unwrap();
         let mut b = GraphBuilder::new();
         let s = b.add("s", Operation::Source { width: 2 });
-        let m = b.add("m", Operation::Map { func: Elementwise::Relu, width: 2 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 2,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 2 });
         b.chain(&[s, m, k]).unwrap();
         let g = b.build().unwrap();

@@ -123,9 +123,7 @@ pub fn apply_patch(
             },
             other => {
                 return Err(FabricError::InvalidConfig {
-                    reason: format!(
-                        "weight patch targets non-matvec node {node} ({other:?})"
-                    ),
+                    reason: format!("weight patch targets non-matvec node {node} ({other:?})"),
                 })
             }
         },
@@ -138,7 +136,9 @@ pub fn apply_patch(
     let apply_cost = match &new_op {
         Operation::MatVec { .. } => {
             // Full crossbar reprogram: the §VI write asymmetry again.
-            let cost = device.unit_mut(unit).assign(node, &new_op, &config, seeds)?;
+            let cost = device
+                .unit_mut(unit)
+                .assign(node, &new_op, &config, seeds)?;
             device.meter_mut().charge("config", cost.energy);
             cost
         }
@@ -148,7 +148,9 @@ pub fn apply_patch(
                 latency: SimDuration::from_ns(20),
                 energy: Energy::from_pj(2.0),
             };
-            device.unit_mut(unit).assign(node, &new_op, &config, seeds)?;
+            device
+                .unit_mut(unit)
+                .assign(node, &new_op, &config, seeds)?;
             device.meter_mut().charge("config", cost.energy);
             cost
         }
@@ -190,13 +192,18 @@ mod tests {
             Operation::MatVec {
                 rows: 4,
                 cols: 4,
-                weights: vec![0.5, 0.0, 0.0, 0.0,
-                              0.0, 0.5, 0.0, 0.0,
-                              0.0, 0.0, 0.5, 0.0,
-                              0.0, 0.0, 0.0, 0.5],
+                weights: vec![
+                    0.5, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.5,
+                ],
             },
         );
-        let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 4 });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Identity,
+                width: 4,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 4 });
         b.chain(&[s, mv, m, k]).expect("chain");
         (b.build().expect("valid"), s, k)
@@ -222,11 +229,16 @@ mod tests {
     fn map_patch_changes_behaviour_cheaply() {
         let mut d = device();
         let (g, src, sink) = graph();
-        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let mut prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
         let before = run_once(&mut d, &mut prog, src, sink);
         assert!(before[2] < 0.0, "identity passes the negative through");
 
-        let patch = Patch::SetMapFunc { node: 2, func: Elementwise::Relu };
+        let patch = Patch::SetMapFunc {
+            node: 2,
+            func: Elementwise::Relu,
+        };
         let outcome = apply_patch(&mut d, &mut prog, &patch, SimTime::ZERO).expect("applies");
         assert!(
             outcome.apply_cost.latency < SimDuration::from_us(1),
@@ -234,14 +246,19 @@ mod tests {
         );
         let after = run_once(&mut d, &mut prog, src, sink);
         assert_eq!(after[2], 0.0, "ReLU now clamps the negative lane");
-        assert!((after[0] - before[0]).abs() < 0.05, "positive lanes unchanged");
+        assert!(
+            (after[0] - before[0]).abs() < 0.05,
+            "positive lanes unchanged"
+        );
     }
 
     #[test]
     fn weight_patch_pays_crossbar_write_cost() {
         let mut d = device();
         let (g, src, sink) = graph();
-        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let mut prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
         let before = run_once(&mut d, &mut prog, src, sink);
 
         // Double the diagonal.
@@ -249,7 +266,10 @@ mod tests {
         for i in 0..4 {
             w[i * 4 + i] = 1.0;
         }
-        let patch = Patch::SetWeights { node: 1, weights: w };
+        let patch = Patch::SetWeights {
+            node: 1,
+            weights: w,
+        };
         let outcome = apply_patch(&mut d, &mut prog, &patch, SimTime::ZERO).expect("applies");
         assert!(
             outcome.apply_cost.latency > SimDuration::from_us(10),
@@ -258,7 +278,10 @@ mod tests {
         );
         let after = run_once(&mut d, &mut prog, src, sink);
         for (a, b) in after.iter().zip(&before) {
-            assert!((a - 2.0 * b).abs() < 0.1, "outputs should double: {a} vs {b}");
+            assert!(
+                (a - 2.0 * b).abs() < 0.1,
+                "outputs should double: {a} vs {b}"
+            );
         }
     }
 
@@ -266,8 +289,13 @@ mod tests {
     fn code_packet_rides_the_encrypted_noc() {
         let mut d = device();
         let (g, src, sink) = graph();
-        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
-        let patch = Patch::SetMapFunc { node: 2, func: Elementwise::Scale(3.0) };
+        let mut prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
+        let patch = Patch::SetMapFunc {
+            node: 2,
+            func: Elementwise::Scale(3.0),
+        };
         let packet =
             encode_patch_packet(&mut d, &prog, &patch, NodeId::new(3, 3)).expect("encodes");
         assert_eq!(packet.class, TrafficClass::Control);
@@ -275,25 +303,40 @@ mod tests {
             deliver_and_apply(&mut d, &mut prog, &packet, SimTime::ZERO).expect("applies");
         assert!(outcome.effective_at > SimTime::ZERO);
         let after = run_once(&mut d, &mut prog, src, sink);
-        assert!((after[0] - 1.5).abs() < 0.1, "0.5 * 3.0 = 1.5, got {}", after[0]);
+        assert!(
+            (after[0] - 1.5).abs() < 0.1,
+            "0.5 * 3.0 = 1.5, got {}",
+            after[0]
+        );
     }
 
     #[test]
     fn malformed_and_shape_breaking_patches_rejected() {
         let mut d = device();
         let (g, _, _) = graph();
-        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let mut prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
 
         // Wrong-length weights: shape violation.
-        let bad = Patch::SetWeights { node: 1, weights: vec![1.0; 3] };
+        let bad = Patch::SetWeights {
+            node: 1,
+            weights: vec![1.0; 3],
+        };
         assert!(apply_patch(&mut d, &mut prog, &bad, SimTime::ZERO).is_err());
 
         // Weight patch to a non-matvec node.
-        let misdirected = Patch::SetWeights { node: 2, weights: vec![1.0; 16] };
+        let misdirected = Patch::SetWeights {
+            node: 2,
+            weights: vec![1.0; 16],
+        };
         assert!(apply_patch(&mut d, &mut prog, &misdirected, SimTime::ZERO).is_err());
 
         // Out-of-range node.
-        let oob = Patch::SetMapFunc { node: 99, func: Elementwise::Relu };
+        let oob = Patch::SetMapFunc {
+            node: 99,
+            func: Elementwise::Relu,
+        };
         assert!(apply_patch(&mut d, &mut prog, &oob, SimTime::ZERO).is_err());
 
         // Garbage payload via the packet path.

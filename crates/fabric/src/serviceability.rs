@@ -163,9 +163,7 @@ impl ServiceabilityMonitor {
             let Some(node) = device.unit(r.unit).assigned_node() else {
                 continue;
             };
-            if node >= prog.graph().node_count()
-                || prog.placement().unit_of(node) != r.unit
-            {
+            if node >= prog.graph().node_count() || prog.placement().unit_of(node) != r.unit {
                 continue; // belongs to another program
             }
             let op = prog.graph().node(NodeRef::from_index(node)).op.clone();
@@ -235,7 +233,9 @@ mod tests {
         let k = b.add("k", Operation::Sink { width: 8 });
         b.chain(&[s, mv, k]).expect("chain");
         let g = b.build().expect("valid");
-        let prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
         (d, prog, s, k)
     }
 
@@ -254,30 +254,24 @@ mod tests {
     fn aging_is_observable_and_refresh_heals_it() {
         let (mut d, mut prog, s, k) = setup();
         let fresh = output(&mut d, &mut prog, s, k);
-        let mut mon =
-            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
+        let mut mon = ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
         mon.advance(&mut d, 8.0 * YEAR_SECS); // 8% drift > 5% budget
         let aged = output(&mut d, &mut prog, s, k);
-        let drifted: f64 = fresh
-            .iter()
-            .zip(&aged)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let drifted: f64 = fresh.iter().zip(&aged).map(|(a, b)| (a - b).abs()).sum();
         assert!(drifted > 0.01, "drift must be visible: {drifted}");
 
         let mv_unit = prog.placement().unit_of(1);
         let report = mon.report(&d);
-        let entry = report.iter().find(|r| r.unit == mv_unit).expect("engine unit");
+        let entry = report
+            .iter()
+            .find(|r| r.unit == mv_unit)
+            .expect("engine unit");
         assert!(entry.needs_service, "drift budget exceeded: {entry:?}");
 
         let actions = mon.proactive_service(&mut d, &mut prog).expect("services");
         assert!(matches!(actions[..], [ServiceAction::Refreshed { .. }]));
         let healed = output(&mut d, &mut prog, s, k);
-        let residual: f64 = fresh
-            .iter()
-            .zip(&healed)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let residual: f64 = fresh.iter().zip(&healed).map(|(a, b)| (a - b).abs()).sum();
         assert!(residual < drifted / 5.0, "refresh restores accuracy");
         // Monitor is clean again.
         assert!(mon.report(&d).iter().all(|r| !r.needs_service));
@@ -310,13 +304,14 @@ mod tests {
         let k = b.add("k", Operation::Sink { width: 8 });
         b.chain(&[s, mv, k]).expect("chain");
         let g = b.build().expect("valid");
-        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).expect("fits");
+        let mut prog = d
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .expect("fits");
 
         let before = output(&mut d, &mut prog, s, k);
         let mv_unit = prog.placement().unit_of(1);
         // Wear budget below the consumed 1/1000: migration required.
-        let mut mon =
-            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.5, 1e-4);
+        let mut mon = ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.5, 1e-4);
         let actions = mon.proactive_service(&mut d, &mut prog).expect("services");
         let migrated = actions
             .iter()
@@ -339,8 +334,7 @@ mod tests {
     #[test]
     fn fresh_device_needs_no_service() {
         let (mut d, mut prog, _, _) = setup();
-        let mut mon =
-            ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
+        let mut mon = ServiceabilityMonitor::new(&d, RetentionModel::default(), 0.05, 0.9);
         assert!(mon.report(&d).iter().all(|r| !r.needs_service));
         let actions = mon.proactive_service(&mut d, &mut prog).expect("no-op");
         assert!(actions.is_empty());

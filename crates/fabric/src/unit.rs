@@ -183,7 +183,10 @@ impl MicroUnit {
         let (values, cost) = match op {
             Operation::MatVec { .. } => {
                 let dpe = self.dpe.as_mut().ok_or(FabricError::InvalidConfig {
-                    reason: format!("unit {} executes matvec without a programmed engine", self.index),
+                    reason: format!(
+                        "unit {} executes matvec without a programmed engine",
+                        self.index
+                    ),
                 })?;
                 let out = dpe.matvec(inputs[0])?;
                 (out.values, out.cost)
@@ -259,9 +262,7 @@ mod tests {
         };
         u.assign(0, &op, &cfg(), seeds()).unwrap();
         let x = [1.0, 0.5, -0.5, 0.25];
-        let (vals, done, energy) = u
-            .execute(&op, &[&x], SimTime::ZERO, &cfg())
-            .unwrap();
+        let (vals, done, energy) = u.execute(&op, &[&x], SimTime::ZERO, &cfg()).unwrap();
         let exact = op.evaluate(&[&x]);
         for (a, b) in vals.iter().zip(&exact) {
             assert!((a - b).abs() < 0.05, "got {a}, want {b}");
@@ -312,9 +313,7 @@ mod tests {
         let res = u.execute(&op, &[&[1.0]], SimTime::ZERO, &cfg());
         assert_eq!(res.unwrap_err(), FabricError::NoSpareAvailable { unit: 5 });
         u.set_health(UnitHealth::Disabled);
-        assert!(u
-            .assign(0, &op, &cfg(), seeds())
-            .is_err());
+        assert!(u.assign(0, &op, &cfg(), seeds()).is_err());
     }
 
     #[test]

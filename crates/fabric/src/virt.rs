@@ -45,12 +45,7 @@ impl PartitionManager {
     /// Returns [`FabricError::InvalidConfig`] for an empty tile set, a
     /// tile outside the mesh, a reused id, id 0, or a tile already owned
     /// by another partition.
-    pub fn create(
-        &mut self,
-        device: &mut CimDevice,
-        id: u32,
-        tiles: Vec<NodeId>,
-    ) -> Result<()> {
+    pub fn create(&mut self, device: &mut CimDevice, id: u32, tiles: Vec<NodeId>) -> Result<()> {
         if id == 0 {
             return Err(FabricError::InvalidConfig {
                 reason: "partition id 0 is reserved for the default domain".to_owned(),
@@ -198,7 +193,13 @@ mod tests {
                 weights: vec![0.25; 16],
             },
         );
-        let r = b.add("relu", Operation::Map { func: Elementwise::Relu, width: 4 });
+        let r = b.add(
+            "relu",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 4,
+            },
+        );
         let k = b.add("k", Operation::Sink { width: 4 });
         b.chain(&[s, m, r, k]).unwrap();
         b.build().unwrap()
@@ -249,7 +250,10 @@ mod tests {
         use cim_noc::packet::Packet;
         let p = Packet::new(1, NodeId::new(0, 0), NodeId::new(1, 0), vec![1u8]);
         let res = d.noc_mut().transmit(&p, cim_sim::SimTime::ZERO);
-        assert!(matches!(res, Err(cim_noc::NocError::IsolationViolation { .. })));
+        assert!(matches!(
+            res,
+            Err(cim_noc::NocError::IsolationViolation { .. })
+        ));
     }
 
     #[test]

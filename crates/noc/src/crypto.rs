@@ -9,7 +9,6 @@
 //!
 //! **This is not a real cipher. Do not use it to protect data.**
 
-use bytes::Bytes;
 use cim_sim::calib::noc as cal;
 use cim_sim::energy::Energy;
 use cim_sim::rng::splitmix64;
@@ -68,7 +67,7 @@ fn keystream(key: LinkKey, nonce: u64, block: u64) -> u64 {
 /// let (back, _) = decrypt(&cipher, key, 7);
 /// assert_eq!(&back[..], &plain[..]);
 /// ```
-pub fn encrypt(plaintext: &[u8], key: LinkKey, nonce: u64) -> (Bytes, CryptoCost) {
+pub fn encrypt(plaintext: &[u8], key: LinkKey, nonce: u64) -> (Vec<u8>, CryptoCost) {
     let mut out = Vec::with_capacity(plaintext.len());
     for (i, chunk) in plaintext.chunks(8).enumerate() {
         let ks = keystream(key, nonce, i as u64).to_le_bytes();
@@ -76,11 +75,11 @@ pub fn encrypt(plaintext: &[u8], key: LinkKey, nonce: u64) -> (Bytes, CryptoCost
             out.push(b ^ ks[j]);
         }
     }
-    (Bytes::from(out), crypto_cost(plaintext.len()))
+    (out, crypto_cost(plaintext.len()))
 }
 
 /// Decrypts a payload (the stream cipher is its own inverse).
-pub fn decrypt(ciphertext: &[u8], key: LinkKey, nonce: u64) -> (Bytes, CryptoCost) {
+pub fn decrypt(ciphertext: &[u8], key: LinkKey, nonce: u64) -> (Vec<u8>, CryptoCost) {
     encrypt(ciphertext, key, nonce)
 }
 

@@ -11,7 +11,6 @@ use crate::crypto::{self, LinkKey};
 use crate::error::{NocError, Result};
 use crate::packet::{NodeId, Packet};
 use crate::topology::{Link, Mesh};
-use bytes::Bytes;
 use cim_sim::calib::noc as cal;
 use cim_sim::energy::Energy;
 use cim_sim::stats::Summary;
@@ -79,9 +78,9 @@ pub struct Delivery {
     pub hops: u32,
     /// The payload as seen *on the wire* (ciphertext when encryption is
     /// on) — what a link tap would observe.
-    pub wire_payload: Bytes,
+    pub wire_payload: Vec<u8>,
     /// The payload delivered to the destination (decrypted, verified).
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
 }
 
 /// Aggregate traffic statistics.
@@ -266,10 +265,14 @@ impl NocNetwork {
             let (cipher, cost) = crypto::encrypt(&packet.payload, key, nonce);
             cursor += cost.latency;
             energy += cost.energy;
-            let tag = crypto::auth_tag(&cipher, key, packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y));
-            (cipher.to_vec(), Some(tag))
+            let tag = crypto::auth_tag(
+                &cipher,
+                key,
+                packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y),
+            );
+            (cipher, Some(tag))
         } else {
-            (packet.payload.to_vec(), None)
+            (packet.payload.clone(), None)
         };
 
         // Walk the path, reserving each link's virtual channel.
@@ -299,14 +302,20 @@ impl NocNetwork {
             }
         }
 
-        let wire_payload = Bytes::from(wire.clone());
+        let wire_payload = wire.clone();
         // Destination boundary: verify + decrypt.
         let payload = if self.encryption {
             let key = self.domain_key(src_domain);
-            let expect = crypto::auth_tag(&wire, key, packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y));
+            let expect = crypto::auth_tag(
+                &wire,
+                key,
+                packet.id ^ u64::from(packet.dst.x) << 16 ^ u64::from(packet.dst.y),
+            );
             if Some(expect) != tag {
                 self.stats.auth_failures += 1;
-                return Err(NocError::AuthenticationFailed { packet_id: packet.id });
+                return Err(NocError::AuthenticationFailed {
+                    packet_id: packet.id,
+                });
             }
             let (plain, cost) = crypto::decrypt(&wire, key, nonce);
             cursor += cost.latency;
@@ -361,7 +370,11 @@ mod tests {
         let p = Packet::new(1, n(0, 0), n(4, 4), vec![1, 2, 3, 4]);
         let d = noc.transmit(&p, SimTime::ZERO).unwrap();
         assert_eq!(&d.payload[..], &[1, 2, 3, 4]);
-        assert_eq!(&d.wire_payload[..], &[1, 2, 3, 4], "no encryption: wire is plain");
+        assert_eq!(
+            &d.wire_payload[..],
+            &[1, 2, 3, 4],
+            "no encryption: wire is plain"
+        );
         assert_eq!(d.hops, 8);
         assert!(d.arrival > SimTime::ZERO);
     }
@@ -402,8 +415,8 @@ mod tests {
             let p = Packet::new(i, n(0, 0), n(7, 0), vec![0u8; 1024]);
             congested.transmit(&p, SimTime::ZERO).unwrap();
         }
-        let ctrl = Packet::new(100, n(0, 0), n(7, 0), vec![0u8; 16])
-            .with_class(TrafficClass::Control);
+        let ctrl =
+            Packet::new(100, n(0, 0), n(7, 0), vec![0u8; 16]).with_class(TrafficClass::Control);
         let d = congested.transmit(&ctrl, SimTime::ZERO).unwrap();
         let floor = congested.zero_load_latency(&ctrl, 7);
         assert_eq!(
@@ -448,10 +461,7 @@ mod tests {
         let p = Packet::new(1, n(0, 0), n(3, 3), vec![9u8; 32]);
         let flip = |buf: &mut Vec<u8>| buf[0] ^= 0xFF;
         let res = noc.transmit_with(&p, SimTime::ZERO, Some(&flip));
-        assert_eq!(
-            res,
-            Err(NocError::AuthenticationFailed { packet_id: 1 })
-        );
+        assert_eq!(res, Err(NocError::AuthenticationFailed { packet_id: 1 }));
         assert_eq!(noc.stats().auth_failures, 1);
     }
 
@@ -514,8 +524,11 @@ mod tests {
     #[test]
     fn stats_accumulate_per_class() {
         let mut noc = net();
-        noc.transmit(&Packet::new(1, n(0, 0), n(1, 1), vec![0u8; 64]), SimTime::ZERO)
-            .unwrap();
+        noc.transmit(
+            &Packet::new(1, n(0, 0), n(1, 1), vec![0u8; 64]),
+            SimTime::ZERO,
+        )
+        .unwrap();
         noc.transmit(
             &Packet::new(2, n(0, 0), n(1, 1), vec![0u8; 64]).with_class(TrafficClass::Control),
             SimTime::ZERO,

@@ -6,7 +6,6 @@
 //! fixed-size flits on the wire; its flit count determines serialization
 //! latency and per-hop energy.
 
-use bytes::Bytes;
 use cim_sim::calib::noc as cal;
 use core::fmt;
 
@@ -83,7 +82,7 @@ pub struct Packet {
     /// Service class.
     pub class: TrafficClass,
     /// Payload bytes (possibly ciphertext).
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
     /// Whether the payload is encrypted (set by the crypto boundary).
     pub encrypted: bool,
     /// Authentication tag, if the security policy adds one.
@@ -92,7 +91,7 @@ pub struct Packet {
 
 impl Packet {
     /// Creates a plaintext best-effort packet.
-    pub fn new(id: u64, src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Self {
+    pub fn new(id: u64, src: NodeId, dst: NodeId, payload: impl Into<Vec<u8>>) -> Self {
         Packet {
             id,
             src,

@@ -104,9 +104,8 @@ impl Mesh {
 
     /// Iterates over all node ids in row-major order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.height).flat_map(move |y| {
-            (0..self.width).map(move |x| NodeId::new(x as u16, y as u16))
-        })
+        (0..self.height)
+            .flat_map(move |y| (0..self.width).map(move |x| NodeId::new(x as u16, y as u16)))
     }
 
     /// Marks a directed link as failed (and its reverse, matching how a
@@ -132,11 +131,7 @@ impl Mesh {
         self.failed_links.len() / 2
     }
 
-    fn walk(
-        src: NodeId,
-        dst: NodeId,
-        x_first: bool,
-    ) -> Vec<NodeId> {
+    fn walk(src: NodeId, dst: NodeId, x_first: bool) -> Vec<NodeId> {
         let mut path = vec![src];
         let mut cur = src;
         let advance_x = |cur: &mut NodeId, path: &mut Vec<NodeId>| {
@@ -194,8 +189,7 @@ impl Mesh {
         if self.path_alive(&yx) {
             return Ok(yx);
         }
-        self.bfs(src, dst)
-            .ok_or(NocError::NoRoute { src, dst })
+        self.bfs(src, dst).ok_or(NocError::NoRoute { src, dst })
     }
 
     fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
@@ -304,7 +298,7 @@ mod tests {
         // Cut the straight corridor between (0,0) and (2,0):
         mesh.fail_link(n(1, 0), n(2, 0)); // breaks XY
         mesh.fail_link(n(0, 0), n(0, 1)); // breaks YX's first hop? YX for (2,0) is x-only... same row
-        // For a same-row destination XY == YX; cut forces a detour.
+                                          // For a same-row destination XY == YX; cut forces a detour.
         let path = mesh.route(n(0, 0), n(2, 0)).unwrap();
         assert_eq!(*path.last().unwrap(), n(2, 0));
         assert!(path.len() > 3, "detour is longer than the direct path");

@@ -1,0 +1,533 @@
+//! Minimal in-tree property-testing harness (replaces `proptest`).
+//!
+//! A property is a seeded generator plus a predicate. The harness runs the
+//! predicate over `cases` generated inputs; on the first failure it shrinks
+//! the input by halving (numbers toward zero, vectors toward shorter) and
+//! panics with the **case seed**, so any failure replays exactly:
+//!
+//! ```text
+//! PROP_CASE_SEED=0x1d35..   # re-run just the failing case
+//! PROP_SEED=7 PROP_CASES=10000   # widen or re-seed the whole sweep
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use cim_sim::prop::{check, PropConfig};
+//! use cim_sim::rng::Rng;
+//!
+//! check(
+//!     "reverse twice is identity",
+//!     &PropConfig::cases(64),
+//!     |rng| {
+//!         let n = rng.gen_range(0usize..20);
+//!         (0..n).map(|_| rng.gen::<u32>()).collect::<Vec<_>>()
+//!     },
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         cim_sim::prop_assert_eq!(&w, v);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::rng::{splitmix64, Xoshiro256pp};
+use std::fmt::Debug;
+
+/// How many cases to run and from which root seed.
+#[derive(Debug, Clone)]
+pub struct PropConfig {
+    /// Number of generated cases (overridable with `PROP_CASES`).
+    pub cases: u64,
+    /// Root seed for the sweep (overridable with `PROP_SEED`).
+    pub seed: u64,
+    /// Cap on shrink iterations once a failure is found.
+    pub max_shrink_steps: u32,
+}
+
+fn parse_u64(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| parse_u64(&v))
+}
+
+impl PropConfig {
+    /// A config running `cases` cases, honouring the `PROP_CASES` and
+    /// `PROP_SEED` environment overrides.
+    pub fn cases(cases: u64) -> Self {
+        PropConfig {
+            cases: env_u64("PROP_CASES").unwrap_or(cases),
+            seed: env_u64("PROP_SEED").unwrap_or(0x5EED_CA5E),
+            max_shrink_steps: 1000,
+        }
+    }
+}
+
+/// Runs `property` over `cfg.cases` inputs drawn from `generate`.
+///
+/// Each case gets its own RNG seeded from `splitmix64(root ^ index)`, so a
+/// reported case seed replays the exact input regardless of how many cases
+/// precede it. Set `PROP_CASE_SEED` to run only that one case.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing test) on the first falsified case, after
+/// shrinking, with the case seed and both the original and shrunk inputs.
+pub fn check<T, G, P>(name: &str, cfg: &PropConfig, mut generate: G, property: P)
+where
+    T: Debug + Clone + Shrink,
+    G: FnMut(&mut Xoshiro256pp) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Ok(v) = std::env::var("PROP_CASE_SEED") {
+        let seed = parse_u64(&v).expect("PROP_CASE_SEED must be a u64 (decimal or 0x-hex)");
+        run_case(name, seed, cfg, &mut generate, &property);
+        return;
+    }
+    for case in 0..cfg.cases {
+        let case_seed = splitmix64(cfg.seed ^ splitmix64(case));
+        run_case(name, case_seed, cfg, &mut generate, &property);
+    }
+}
+
+fn run_case<T, G, P>(name: &str, case_seed: u64, cfg: &PropConfig, generate: &mut G, property: &P)
+where
+    T: Debug + Clone + Shrink,
+    G: FnMut(&mut Xoshiro256pp) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Xoshiro256pp::seed_from_u64(case_seed);
+    let input = generate(&mut rng);
+    if let Err(original_error) = property(&input) {
+        let (shrunk, error, steps) = shrink_failure(
+            input.clone(),
+            original_error.clone(),
+            property,
+            cfg.max_shrink_steps,
+        );
+        panic!(
+            "property '{name}' falsified (case seed {case_seed:#018x})\n\
+             original input: {input:?}\n\
+             original error: {original_error}\n\
+             shrunk input ({steps} steps): {shrunk:?}\n\
+             shrunk error: {error}\n\
+             replay just this case with PROP_CASE_SEED={case_seed:#x}"
+        );
+    }
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_failure<T, P>(
+    mut input: T,
+    mut error: String,
+    property: &P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Debug + Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in input.shrink_candidates() {
+            if let Err(e) = property(&candidate) {
+                input = candidate;
+                error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, error, steps)
+}
+
+/// Produces structurally smaller variants of a failing input.
+///
+/// Numbers halve toward zero; vectors halve toward shorter. Implementations
+/// must only yield values strictly "smaller" than `self` so the greedy
+/// shrink loop terminates.
+pub trait Shrink: Sized {
+    /// Candidate smaller inputs, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    out.push(v - 1);
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    out.push(v - v.signum());
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0.0 && v.is_finite() {
+                    out.push(0.0);
+                    let half = v / 2.0;
+                    if half != 0.0 {
+                        out.push(half);
+                    }
+                    let trunc = v.trunc();
+                    if trunc != v && trunc.abs() < v.abs() {
+                        out.push(trunc);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {}
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.chars().count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let take = |k: usize| self.chars().take(k).collect::<String>();
+        let mut out = vec![String::new()];
+        if n > 1 {
+            out.push(take(n / 2));
+            out.push(take(n - 1));
+        }
+        out
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        // Halve the length from either end, then drop one element, then
+        // shrink individual elements in place.
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+            out.push(self[..n - 1].to_vec());
+        }
+        for (i, item) in self.iter().enumerate() {
+            for candidate in item.shrink_candidates() {
+                let mut v = self.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink_candidates().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$idx = candidate;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+shrink_tuple!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+/// Fails the surrounding property with a message when `cond` is false.
+///
+/// Use inside `check`'s property closure; expands to an early
+/// `return Err(..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property when two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the surrounding property when two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("{}\n  both: {:?}", format!($($fmt)+), l));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        check(
+            "u32 halves are smaller",
+            &PropConfig {
+                cases: 50,
+                seed: 1,
+                max_shrink_steps: 100,
+            },
+            |rng| rng.gen::<u32>(),
+            |&v| {
+                let _ = v;
+                Ok(())
+            },
+        );
+        ran += 50; // check() returning at all means no case panicked
+        assert_eq!(ran, 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_shrunk_input() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "all u64 are < 1000 (false)",
+                &PropConfig {
+                    cases: 100,
+                    seed: 2,
+                    max_shrink_steps: 200,
+                },
+                |rng| rng.gen::<u64>(),
+                |&v| {
+                    crate::prop_assert!(v < 1000, "{v} >= 1000");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result
+            .expect_err("must falsify")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("case seed 0x"), "seed missing: {msg}");
+        // Greedy halving lands just above the threshold.
+        assert!(msg.contains("shrunk input"), "shrink missing: {msg}");
+        let shrunk: u64 = msg
+            .lines()
+            .find(|l| l.contains("shrunk input"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("shrunk value parses");
+        assert!(
+            (1000..2000).contains(&shrunk),
+            "expected near-minimal counterexample, got {shrunk}"
+        );
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length_and_elements() {
+        // Property: no vec contains an element >= 100 (false for most
+        // generated vecs). The shrunk counterexample should be a single
+        // near-minimal element.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "vec elements small",
+                &PropConfig {
+                    cases: 100,
+                    seed: 3,
+                    max_shrink_steps: 500,
+                },
+                |rng| {
+                    let n = rng.gen_range(1usize..30);
+                    (0..n)
+                        .map(|_| rng.gen_range(0u64..10_000))
+                        .collect::<Vec<_>>()
+                },
+                |v| {
+                    crate::prop_assert!(v.iter().all(|&x| x < 100), "big element in {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result
+            .expect_err("must falsify")
+            .downcast::<String>()
+            .expect("string panic");
+        let shrunk_line = msg
+            .lines()
+            .find(|l| l.contains("shrunk input"))
+            .expect("has shrunk line");
+        let bracket = shrunk_line
+            .split('[')
+            .nth(1)
+            .expect("vec debug")
+            .trim_end_matches(']');
+        let elems: Vec<u64> = bracket
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().expect("u64"))
+            .collect();
+        assert_eq!(elems.len(), 1, "length should shrink to 1: {shrunk_line}");
+        assert!(
+            (100..200).contains(&elems[0]),
+            "element should shrink near 100: {shrunk_line}"
+        );
+    }
+
+    #[test]
+    fn case_seeds_are_independent_of_case_count() {
+        // The same root seed must generate the same 10th input whether the
+        // sweep runs 10 or 10_000 cases — case seeds depend only on index.
+        let a = splitmix64(7 ^ splitmix64(9));
+        let b = splitmix64(7 ^ splitmix64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuple_shrink_shrinks_components_independently() {
+        let t = (4u32, 0u32);
+        let candidates = t.shrink_candidates();
+        assert!(candidates.contains(&(0, 0)));
+        assert!(candidates.contains(&(2, 0)));
+        assert!(!candidates.contains(&(4, 0)), "must strictly decrease");
+    }
+}

@@ -230,7 +230,10 @@ impl Log2Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.count == 0 {
             return None;
         }

@@ -139,7 +139,10 @@ impl TraceBuffer {
 
     /// Last retained record whose message contains `needle`.
     pub fn rfind(&self, needle: &str) -> Option<&TraceRecord> {
-        self.records.iter().rev().find(|r| r.message.contains(needle))
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.message.contains(needle))
     }
 
     /// Count of retained records at `level` or above.

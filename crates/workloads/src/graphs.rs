@@ -10,8 +10,8 @@ use crate::spec::WorkloadClass;
 use crate::workload::{DataflowForm, Workload};
 use cim_dataflow::graph::GraphBuilder;
 use cim_dataflow::ops::{Elementwise, Operation};
+use cim_sim::rng::Rng;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// A directed graph in CSR (compressed sparse row) form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +109,8 @@ pub fn pagerank(g: &Csr, iters: u32, damping: f64) -> (Vec<f64>, f64) {
     let mut next = vec![0.0f64; n];
     let mut delta = 0.0;
     for _ in 0..iters {
-        next.iter_mut().for_each(|v| *v = (1.0 - damping) / n as f64);
+        next.iter_mut()
+            .for_each(|v| *v = (1.0 - damping) / n as f64);
         for (u, &rank) in ranks.iter().enumerate() {
             let deg = g.degree(u);
             if deg == 0 {
@@ -120,11 +121,7 @@ pub fn pagerank(g: &Csr, iters: u32, damping: f64) -> (Vec<f64>, f64) {
                 next[v as usize] += share;
             }
         }
-        delta = ranks
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        delta = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut ranks, &mut next);
     }
     (ranks, delta)
@@ -182,8 +179,8 @@ impl Workload for PageRank {
         // Per iteration: one divide+multiply per node, one add per edge.
         let flops = iters * (2 * n + e);
         let footprint = g.bytes() + 2 * 8 * n; // CSR + two rank vectors
-        // Traffic: per edge read dest (4B) + read-modify-write accumulator
-        // (16B); per node read rank + degree + init (24B).
+                                               // Traffic: per edge read dest (4B) + read-modify-write accumulator
+                                               // (16B); per node read rank + degree + init (24B).
         let moved = iters * (e * 20 + n * 24);
         // Each iteration republishes the whole rank vector to dependents.
         let comm = iters * 8 * n;

@@ -137,7 +137,10 @@ mod tests {
             WorkloadClass::DatabasesAnalytics,
             WorkloadClass::SignalProcessing,
         ] {
-            assert!(with_df.contains(&expected), "{expected:?} should lower to dataflow");
+            assert!(
+                with_df.contains(&expected),
+                "{expected:?} should lower to dataflow"
+            );
         }
     }
 }

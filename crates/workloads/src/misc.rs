@@ -11,9 +11,9 @@ use crate::spec::WorkloadClass;
 use crate::workload::{DataflowForm, Workload};
 use cim_dataflow::graph::GraphBuilder;
 use cim_dataflow::ops::{Elementwise, Operation};
+use cim_sim::rng::Rng;
 use cim_sim::rng::Zipf;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// A mail/chat message router with skewed recipients.
 #[derive(Debug, Clone)]
@@ -77,7 +77,10 @@ impl MessageRouting {
             let byte = (acc & 0xFF) as u8;
             mailboxes[to].extend(std::iter::repeat_n(byte, self.message_bytes));
         }
-        let delivered: u64 = mailboxes.iter().map(|m| (m.len() / self.message_bytes) as u64).sum();
+        let delivered: u64 = mailboxes
+            .iter()
+            .map(|m| (m.len() / self.message_bytes) as u64)
+            .sum();
         (delivered, hot)
     }
 }
@@ -185,7 +188,7 @@ impl Workload for FilterBank {
         let flops = stages * interior * 50;
         let footprint = 2 * n * n * 8; // ping-pong buffers
         let moved = stages * interior * 8 * 26; // 25 reads + 1 write
-        // Stage-to-stage frame handoff.
+                                                // Stage-to-stage frame handoff.
         let comm = stages * n * n * 8;
         // Stages sequential, pixels parallel within a stage.
         let span = stages * 50;
@@ -269,7 +272,12 @@ mod tests {
     fn filter_bank_smooths() {
         // Raw noise in [-1, 1] has mean |x| = 0.5; one near-box smoothing
         // pass collapses it by several times.
-        let smoothed = FilterBank { image: 64, stages: 1, seed: 1 }.run();
+        let smoothed = FilterBank {
+            image: 64,
+            stages: 1,
+            seed: 1,
+        }
+        .run();
         assert!(
             smoothed < 0.3,
             "smoothing must shrink noise magnitude, got {smoothed}"

@@ -167,11 +167,7 @@ impl Workload for MlTraining {
         let weight_bytes: u64 = weights.iter().map(|w| 8 * w.len() as u64).sum();
         let act_bytes: u64 = acts.iter().map(|a| 8 * a.len() as u64).sum();
         // Span: one dot-product chain per layer, three passes.
-        let span: u64 = 3 * self
-            .dims
-            .windows(2)
-            .map(|w| 2 * w[0] as u64)
-            .sum::<u64>();
+        let span: u64 = 3 * self.dims.windows(2).map(|w| 2 * w[0] as u64).sum::<u64>();
         Characteristics {
             flops,
             footprint_bytes: weight_bytes + act_bytes,
@@ -348,7 +344,10 @@ mod tests {
     fn ml_small_counters_are_consistent() {
         let c = MlTraining::small().characterize();
         assert!(c.flops > 0);
-        assert!(c.bytes_moved > c.footprint_bytes, "training re-streams data");
+        assert!(
+            c.bytes_moved > c.footprint_bytes,
+            "training re-streams data"
+        );
         assert_eq!(c.comm_bytes, 0);
         assert!(c.parallelism() > 8.0);
     }

@@ -8,8 +8,8 @@
 use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
 use cim_dataflow::ops::{Elementwise, Operation, Reduction};
 use cim_sim::rng::normal;
+use cim_sim::rng::Rng;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// A dataflow MLP: `dims[0] → dims[1] → … → dims.last()`, ReLU between
 /// layers, random Gaussian weights scaled 1/√fan_in.
@@ -50,7 +50,8 @@ pub fn mlp_graph(dims: &[usize], seeds: SeedTree) -> (DataflowGraph, NodeRef, No
                 weights,
             },
         );
-        b.connect(prev, fc, 0).expect("widths match by construction");
+        b.connect(prev, fc, 0)
+            .expect("widths match by construction");
         prev = fc;
         if i + 2 < dims.len() {
             let act = b.add(
@@ -64,7 +65,12 @@ pub fn mlp_graph(dims: &[usize], seeds: SeedTree) -> (DataflowGraph, NodeRef, No
             prev = act;
         }
     }
-    let sink = b.add("output", Operation::Sink { width: *dims.last().expect("non-empty") });
+    let sink = b.add(
+        "output",
+        Operation::Sink {
+            width: *dims.last().expect("non-empty"),
+        },
+    );
     b.connect(prev, sink, 0).expect("widths match");
     (b.build().expect("structurally valid MLP"), src, sink)
 }
@@ -116,7 +122,10 @@ pub fn synthetic_classification(
     noise: f64,
     seeds: SeedTree,
 ) -> Dataset {
-    assert!(classes > 0 && dim > 0 && per_class > 0, "degenerate dataset");
+    assert!(
+        classes > 0 && dim > 0 && per_class > 0,
+        "degenerate dataset"
+    );
     assert!(noise >= 0.0, "noise must be non-negative");
     let mut rng = seeds.rng("dataset");
     let class_means: Vec<Vec<f64>> = (0..classes)

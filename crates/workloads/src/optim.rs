@@ -9,8 +9,8 @@
 use crate::chars::Characteristics;
 use crate::spec::WorkloadClass;
 use crate::workload::Workload;
+use cim_sim::rng::Rng;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// Simulated-annealing knapsack.
 #[derive(Debug, Clone)]

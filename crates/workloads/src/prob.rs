@@ -11,8 +11,8 @@ use crate::chars::Characteristics;
 use crate::spec::WorkloadClass;
 use crate::workload::Workload;
 use cim_sim::rng::normal;
+use cim_sim::rng::Rng;
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// Loopy belief propagation on an `n × n` grid MRF with `states` labels.
 #[derive(Debug, Clone)]
@@ -216,8 +216,8 @@ impl Workload for McmcChain {
         let flops = steps * 8;
         let footprint = 8 * self.dim as u64 + 16; // state + log density
         let moved = steps * 24; // read-modify-write one coordinate + density
-        // Every step depends on the previous: the chain itself is the
-        // communication.
+                                // Every step depends on the previous: the chain itself is the
+                                // communication.
         let comm = steps * 8;
         // Fully serial.
         let span = flops;

@@ -55,8 +55,7 @@ impl JacobiSolver {
             for y in 1..n - 1 {
                 for x in 1..n - 1 {
                     let i = y * n + x;
-                    next[i] =
-                        0.25 * (u[i - 1] + u[i + 1] + u[i - n] + u[i + n] + f[i]);
+                    next[i] = 0.25 * (u[i - 1] + u[i + 1] + u[i - n] + u[i + n] + f[i]);
                 }
             }
             std::mem::swap(&mut u, &mut next);
@@ -89,7 +88,7 @@ impl Workload for JacobiSolver {
         let flops = iters * interior * 5;
         let footprint = 3 * n * n * 8; // u, next, f
         let moved = iters * interior * 8 * 6; // 5 reads + 1 write
-        // Per sweep: halo exchange between blocks + residual reduction.
+                                              // Per sweep: halo exchange between blocks + residual reduction.
         let halo = 8 * (self.blocks * self.blocks) as u64 * 4 * (n / self.blocks as u64);
         let comm = iters * (halo + 8 * (self.blocks * self.blocks) as u64);
         // Sweeps are sequential; within one, rows are parallel.
@@ -126,7 +125,10 @@ impl Default for FemSolver {
 impl FemSolver {
     /// A small instance for fast tests.
     pub fn small() -> Self {
-        FemSolver { side: 16, iters: 10 }
+        FemSolver {
+            side: 16,
+            iters: 10,
+        }
     }
 
     fn nodes(&self) -> usize {
@@ -177,7 +179,9 @@ impl FemSolver {
         };
         let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
 
-        let b: Vec<f64> = (0..nodes).map(|i| if i == nodes / 2 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..nodes)
+            .map(|i| if i == nodes / 2 { 1.0 } else { 0.0 })
+            .collect();
         let mut x = vec![0.0f64; nodes];
         let mut r = b.clone();
         let mut p = r.clone();
@@ -242,9 +246,22 @@ mod tests {
 
     #[test]
     fn jacobi_reduces_residual() {
-        let short = JacobiSolver { n: 32, iters: 2, blocks: 2 }.run();
-        let long = JacobiSolver { n: 32, iters: 100, blocks: 2 }.run();
-        assert!(long < short, "more sweeps, smaller residual: {short} -> {long}");
+        let short = JacobiSolver {
+            n: 32,
+            iters: 2,
+            blocks: 2,
+        }
+        .run();
+        let long = JacobiSolver {
+            n: 32,
+            iters: 100,
+            blocks: 2,
+        }
+        .run();
+        assert!(
+            long < short,
+            "more sweeps, smaller residual: {short} -> {long}"
+        );
     }
 
     #[test]
@@ -258,7 +275,11 @@ mod tests {
 
     #[test]
     fn cg_converges_on_laplacian() {
-        let (final_res, initial_res) = FemSolver { side: 24, iters: 60 }.run();
+        let (final_res, initial_res) = FemSolver {
+            side: 24,
+            iters: 60,
+        }
+        .run();
         assert!(
             final_res < initial_res / 10.0,
             "CG must reduce the residual: {initial_res} -> {final_res}"
@@ -268,7 +289,11 @@ mod tests {
     #[test]
     fn fem_buckets() {
         let l = FemSolver::default().characterize().bucketize();
-        assert_eq!(l.compute, Level::Medium, "sparse FEM is not dense-matmul heavy");
+        assert_eq!(
+            l.compute,
+            Level::Medium,
+            "sparse FEM is not dense-matmul heavy"
+        );
         assert_eq!(l.size, Level::Medium);
         assert_eq!(l.communication, Level::High);
         assert_eq!(l.parallelism, Level::High);

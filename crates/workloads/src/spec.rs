@@ -137,20 +137,146 @@ pub fn paper_table() -> Vec<PaperRating> {
     use Level::{High as H, Low as L, Medium as M};
     use WorkloadClass as W;
     vec![
-        PaperRating { class: W::MachineLearning, compute: H, bandwidth: H, size: H, op_intensity: H, communication: L, parallelism: H, cim: H },
-        PaperRating { class: W::NeuralNetworks, compute: H, bandwidth: H, size: H, op_intensity: H, communication: L, parallelism: H, cim: H },
-        PaperRating { class: W::GraphProblems, compute: L, bandwidth: M, size: H, op_intensity: H, communication: H, parallelism: H, cim: H },
-        PaperRating { class: W::BayesianInference, compute: H, bandwidth: L, size: L, op_intensity: H, communication: H, parallelism: M, cim: L },
-        PaperRating { class: W::MarkovChain, compute: H, bandwidth: L, size: L, op_intensity: L, communication: H, parallelism: H, cim: L },
-        PaperRating { class: W::KeyValueStores, compute: L, bandwidth: H, size: H, op_intensity: L, communication: M, parallelism: H, cim: M },
-        PaperRating { class: W::DatabasesAnalytics, compute: L, bandwidth: H, size: H, op_intensity: L, communication: M, parallelism: H, cim: H },
-        PaperRating { class: W::DatabasesTransactions, compute: M, bandwidth: H, size: M, op_intensity: H, communication: H, parallelism: M, cim: M },
-        PaperRating { class: W::SearchIndexing, compute: H, bandwidth: H, size: H, op_intensity: H, communication: H, parallelism: H, cim: L },
-        PaperRating { class: W::Optimization, compute: H, bandwidth: L, size: L, op_intensity: H, communication: H, parallelism: L, cim: L },
-        PaperRating { class: W::ScientificComputing, compute: H, bandwidth: M, size: M, op_intensity: M, communication: H, parallelism: H, cim: L },
-        PaperRating { class: W::FiniteElementModelling, compute: H, bandwidth: L, size: M, op_intensity: M, communication: H, parallelism: H, cim: M },
-        PaperRating { class: W::Collaborative, compute: L, bandwidth: H, size: M, op_intensity: L, communication: H, parallelism: L, cim: L },
-        PaperRating { class: W::SignalProcessing, compute: H, bandwidth: H, size: H, op_intensity: L, communication: H, parallelism: M, cim: L },
+        PaperRating {
+            class: W::MachineLearning,
+            compute: H,
+            bandwidth: H,
+            size: H,
+            op_intensity: H,
+            communication: L,
+            parallelism: H,
+            cim: H,
+        },
+        PaperRating {
+            class: W::NeuralNetworks,
+            compute: H,
+            bandwidth: H,
+            size: H,
+            op_intensity: H,
+            communication: L,
+            parallelism: H,
+            cim: H,
+        },
+        PaperRating {
+            class: W::GraphProblems,
+            compute: L,
+            bandwidth: M,
+            size: H,
+            op_intensity: H,
+            communication: H,
+            parallelism: H,
+            cim: H,
+        },
+        PaperRating {
+            class: W::BayesianInference,
+            compute: H,
+            bandwidth: L,
+            size: L,
+            op_intensity: H,
+            communication: H,
+            parallelism: M,
+            cim: L,
+        },
+        PaperRating {
+            class: W::MarkovChain,
+            compute: H,
+            bandwidth: L,
+            size: L,
+            op_intensity: L,
+            communication: H,
+            parallelism: H,
+            cim: L,
+        },
+        PaperRating {
+            class: W::KeyValueStores,
+            compute: L,
+            bandwidth: H,
+            size: H,
+            op_intensity: L,
+            communication: M,
+            parallelism: H,
+            cim: M,
+        },
+        PaperRating {
+            class: W::DatabasesAnalytics,
+            compute: L,
+            bandwidth: H,
+            size: H,
+            op_intensity: L,
+            communication: M,
+            parallelism: H,
+            cim: H,
+        },
+        PaperRating {
+            class: W::DatabasesTransactions,
+            compute: M,
+            bandwidth: H,
+            size: M,
+            op_intensity: H,
+            communication: H,
+            parallelism: M,
+            cim: M,
+        },
+        PaperRating {
+            class: W::SearchIndexing,
+            compute: H,
+            bandwidth: H,
+            size: H,
+            op_intensity: H,
+            communication: H,
+            parallelism: H,
+            cim: L,
+        },
+        PaperRating {
+            class: W::Optimization,
+            compute: H,
+            bandwidth: L,
+            size: L,
+            op_intensity: H,
+            communication: H,
+            parallelism: L,
+            cim: L,
+        },
+        PaperRating {
+            class: W::ScientificComputing,
+            compute: H,
+            bandwidth: M,
+            size: M,
+            op_intensity: M,
+            communication: H,
+            parallelism: H,
+            cim: L,
+        },
+        PaperRating {
+            class: W::FiniteElementModelling,
+            compute: H,
+            bandwidth: L,
+            size: M,
+            op_intensity: M,
+            communication: H,
+            parallelism: H,
+            cim: M,
+        },
+        PaperRating {
+            class: W::Collaborative,
+            compute: L,
+            bandwidth: H,
+            size: M,
+            op_intensity: L,
+            communication: H,
+            parallelism: L,
+            cim: L,
+        },
+        PaperRating {
+            class: W::SignalProcessing,
+            compute: H,
+            bandwidth: H,
+            size: H,
+            op_intensity: L,
+            communication: H,
+            parallelism: M,
+            cim: L,
+        },
     ]
 }
 

@@ -10,9 +10,9 @@ use crate::spec::WorkloadClass;
 use crate::workload::{DataflowForm, Workload};
 use cim_dataflow::graph::GraphBuilder;
 use cim_dataflow::ops::{Elementwise, Operation, Reduction};
+use cim_sim::rng::Rng;
 use cim_sim::rng::{splitmix64, Zipf};
 use cim_sim::SeedTree;
-use rand::Rng;
 
 /// Key-value store with Zipf-skewed gets/puts.
 #[derive(Debug, Clone)]
@@ -115,8 +115,7 @@ impl KvStore {
                 }
                 probes_total += probes;
             } else {
-                probes_total +=
-                    insert(&mut table, key, vec![0xAB; self.value_bytes]);
+                probes_total += insert(&mut table, key, vec![0xAB; self.value_bytes]);
             }
         }
         (hits, probes_total, hottest)

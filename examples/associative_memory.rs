@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // A checksum stage: sum, then fold with XOR.
     let pulses = logic.add(0, 1, 2, [3, 4, 5]);
     logic.bulk_xor(2, 0, 6);
-    println!("in-memory add: {a:#x} + {b:#x} = {:#x} ({pulses} pulses)", logic.read(2));
+    println!(
+        "in-memory add: {a:#x} + {b:#x} = {:#x} ({pulses} pulses)",
+        logic.read(2)
+    );
     println!("xor fold:      {:#x}", logic.read(6));
     assert_eq!(logic.read(2), a.wrapping_add(b));
     assert_eq!(logic.read(6), a.wrapping_add(b) ^ a);

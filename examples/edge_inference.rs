@@ -62,9 +62,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let frames = data.len() as u64;
     let per_frame_energy = report.energy / frames;
     let per_frame_latency = report.makespan() / frames;
-    println!(
-        "CIM edge: {per_frame_latency} and {per_frame_energy} per frame (link encrypted)"
-    );
+    println!("CIM edge: {per_frame_latency} and {per_frame_energy} per frame (link encrypted)");
 
     // The CPU alternative: a single low-power core doing the same math.
     let cpu = CpuModel::new(1).expect("single core");

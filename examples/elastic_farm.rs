@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 1. Hash routing vs least-loaded routing on 4 replicas.
     for (name, policy) in [
-        ("hash", &HashRoute as &dyn cim::dataflow::program::RoutePolicy),
+        (
+            "hash",
+            &HashRoute as &dyn cim::dataflow::program::RoutePolicy,
+        ),
         ("least-loaded", &LeastLoadedRoute),
     ] {
         let mut device = CimDevice::new(FabricConfig::default())?;
@@ -51,14 +54,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Find what a single replica achieves, then demand 4x better.
     let probe = {
         let mut d = CimDevice::new(FabricConfig::default())?;
-        run_farm(&mut d, &stage, 1, &items, SimDuration::ZERO, &LeastLoadedRoute)?
-            .latency_quantile(0.99)
+        run_farm(
+            &mut d,
+            &stage,
+            1,
+            &items,
+            SimDuration::ZERO,
+            &LeastLoadedRoute,
+        )?
+        .latency_quantile(0.99)
     };
     let controller = SlaController {
         p99_target: probe / 4,
         max_replicas: 32,
     };
-    println!("\nSLA: single replica p99 is {probe}; target {} ", controller.p99_target);
+    println!(
+        "\nSLA: single replica p99 is {probe}; target {} ",
+        controller.p99_target
+    );
     let (replicas, achieved) = controller.autoscale(
         &mut device,
         &stage,

@@ -59,9 +59,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let matvec_node = df
         .graph
         .nodes()
-        .find(|(_, node)| {
-            matches!(node.op, cim::dataflow::ops::Operation::MatVec { .. })
-        })
+        .find(|(_, node)| matches!(node.op, cim::dataflow::ops::Operation::MatVec { .. }))
         .map(|(r, _)| r.index())
         .expect("pagerank step has a matvec");
     let faults = [ScheduledFault {

@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     assert_ne!(&delivery.wire_payload[..], &secret[..]);
     assert_eq!(&delivery.payload[..], &secret[..]);
-    println!("delivered:  {:?} (verified + decrypted at the boundary)\n",
-             String::from_utf8_lossy(&delivery.payload));
+    println!(
+        "delivered:  {:?} (verified + decrypted at the boundary)\n",
+        String::from_utf8_lossy(&delivery.payload)
+    );
 
     // --- 2. Tampering: a man-in-the-middle flips bits ------------------
     let tamper = |buf: &mut Vec<u8>| buf[0] ^= 0xFF;
@@ -74,7 +76,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             ..StreamOptions::default()
         },
     );
-    println!("deny-all capability table: {:?}", denied.err().map(|e| e.to_string()));
+    println!(
+        "deny-all capability table: {:?}",
+        denied.err().map(|e| e.to_string())
+    );
 
     let mut caps = CapabilityTable::new();
     caps.grant_placement(prog.stream_id, prog.placement());

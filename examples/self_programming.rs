@@ -43,13 +43,21 @@ fn main() -> Result<(), Box<dyn Error>> {
             weights: smooth,
         },
     );
-    let act = b.add("act", Operation::Map { func: Elementwise::Identity, width });
+    let act = b.add(
+        "act",
+        Operation::Map {
+            func: Elementwise::Identity,
+            width,
+        },
+    );
     let sink = b.add("out", Operation::Sink { width });
     b.chain(&[src, filt, act, sink])?;
     let graph = b.build()?;
     let mut prog = device.load_program(&graph, MappingPolicy::LocalityAware)?;
 
-    let step: Vec<f64> = (0..width).map(|i| if i < width / 2 { 0.0 } else { 1.0 }).collect();
+    let step: Vec<f64> = (0..width)
+        .map(|i| if i < width / 2 { 0.0 } else { 1.0 })
+        .collect();
     let run = |device: &mut CimDevice, prog: &mut _| -> Result<Vec<f64>, Box<dyn Error>> {
         let r = device.execute_stream(
             prog,

@@ -44,12 +44,20 @@ fn fabric_matches_interpreter_on_workload_dataflow_forms() {
         {
             let df = FilterBank::small().dataflow().expect("lowers");
             let w = df.graph.node(df.source).op.output_width();
-            ("filterbank", df, (0..w).map(|i| (i as f64 / w as f64) - 0.5).collect())
+            (
+                "filterbank",
+                df,
+                (0..w).map(|i| (i as f64 / w as f64) - 0.5).collect(),
+            )
         },
         {
             let df = ColumnAnalytics::small().dataflow().expect("lowers");
             let w = df.graph.node(df.source).op.output_width();
-            ("analytics", df, (0..w).map(|i| ((i % 5) as f64) - 2.0).collect())
+            (
+                "analytics",
+                df,
+                (0..w).map(|i| ((i % 5) as f64) - 2.0).collect(),
+            )
         },
     ];
     for (name, df, input) in forms {
@@ -64,11 +72,8 @@ fn fabric_matches_interpreter_on_workload_dataflow_forms() {
                 &StreamOptions::default(),
             )
             .expect("runs");
-        let reference = interpreter::execute(
-            &df.graph,
-            &HashMap::from([(df.source, input)]),
-        )
-        .expect("reference runs");
+        let reference = interpreter::execute(&df.graph, &HashMap::from([(df.source, input)]))
+            .expect("reference runs");
         let got = &report.outputs[0][&df.sink];
         let want = &reference[&df.sink];
         let scale = want.iter().fold(1e-9f64, |m, x| m.max(x.abs()));
@@ -209,8 +214,7 @@ fn configuration_cost_amortizes_over_the_stream() {
     let report = device
         .execute_stream(&mut prog, &items, &StreamOptions::default())
         .expect("runs");
-    let cim_total =
-        prog.config_cost.latency.as_secs_f64() + report.makespan().as_secs_f64();
+    let cim_total = prog.config_cost.latency.as_secs_f64() + report.makespan().as_secs_f64();
     assert!(
         cim_total < cpu_total,
         "after {n} items the configuration must have amortized \
@@ -239,9 +243,21 @@ fn branchy_graphs_with_multi_input_ops_run_on_the_fabric() {
                 .collect(),
         },
     );
-    let scale = b.add("scale", Operation::Map { func: Elementwise::Scale(0.25), width });
+    let scale = b.add(
+        "scale",
+        Operation::Map {
+            func: Elementwise::Scale(0.25),
+            width,
+        },
+    );
     let add = b.add("residual", Operation::Add { width });
-    let cat = b.add("concat", Operation::Concat { left: width, right: width });
+    let cat = b.add(
+        "concat",
+        Operation::Concat {
+            left: width,
+            right: width,
+        },
+    );
     let sink = b.add("out", Operation::Sink { width: 2 * width });
     b.connect(src, mv, 0).expect("fork 1");
     b.connect(src, scale, 0).expect("fork 2");
@@ -265,8 +281,8 @@ fn branchy_graphs_with_multi_input_ops_run_on_the_fabric() {
             &StreamOptions::default(),
         )
         .expect("runs");
-    let reference = interpreter::execute(&graph, &HashMap::from([(src, x)]))
-        .expect("reference runs");
+    let reference =
+        interpreter::execute(&graph, &HashMap::from([(src, x)])).expect("reference runs");
     let got = &report.outputs[0][&graph.sinks()[0]];
     let want = &reference[&graph.sinks()[0]];
     assert_eq!(got.len(), 2 * width);
@@ -283,7 +299,11 @@ fn workload_traces_exercise_the_memory_system_realistically() {
     use cim::workloads::store::{ColumnAnalytics, KvStore};
 
     let cpu = CpuModel::new(1).expect("core");
-    let scan = ColumnAnalytics { rows: 200_000, partitions: 8, seed: 1 };
+    let scan = ColumnAnalytics {
+        rows: 200_000,
+        partitions: 8,
+        seed: 1,
+    };
     let kvs = KvStore {
         keys: 200_000,
         value_bytes: 64,
@@ -291,8 +311,7 @@ fn workload_traces_exercise_the_memory_system_realistically() {
         skew: 0.9,
         seed: 2,
     };
-    let (scan_cost, scan_cache, scan_dram) =
-        cpu.run_trace_with_dram(&scan.memory_trace());
+    let (scan_cost, scan_cache, scan_dram) = cpu.run_trace_with_dram(&scan.memory_trace());
     let (kvs_cost, kvs_cache, kvs_dram) = cpu.run_trace_with_dram(&kvs.memory_trace());
 
     // The scan streams: each 64-byte line serves 8 sequential accesses,

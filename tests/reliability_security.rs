@@ -34,16 +34,36 @@ fn cascading_faults_are_absorbed_until_spares_run_out() {
         .collect();
     // Three separate faults against three different nodes mid-stream.
     let faults = [
-        ScheduledFault { before_item: 4, node: 1 },
-        ScheduledFault { before_item: 9, node: 3 },
-        ScheduledFault { before_item: 14, node: 2 },
+        ScheduledFault {
+            before_item: 4,
+            node: 1,
+        },
+        ScheduledFault {
+            before_item: 9,
+            node: 3,
+        },
+        ScheduledFault {
+            before_item: 14,
+            node: 2,
+        },
     ];
-    let report = run_fault_campaign(&mut d, &mut prog, &items, &StreamOptions::default(), &faults)
-        .expect("spares cover all three");
+    let report = run_fault_campaign(
+        &mut d,
+        &mut prog,
+        &items,
+        &StreamOptions::default(),
+        &faults,
+    )
+    .expect("spares cover all three");
     assert_eq!(report.stream.outputs.len(), 20, "no item lost");
     assert_eq!(report.stream.recoveries.len(), 3);
     // Each recovery picked a distinct replacement.
-    let mut repl: Vec<usize> = report.stream.recoveries.iter().map(|r| r.replacement).collect();
+    let mut repl: Vec<usize> = report
+        .stream
+        .recoveries
+        .iter()
+        .map(|r| r.replacement)
+        .collect();
     repl.sort_unstable();
     repl.dedup();
     assert_eq!(repl.len(), 3);
@@ -77,7 +97,8 @@ fn duplex_execution_flags_silent_corruption_only_when_present() {
     let dpe = dirty.unit_mut(victim).dpe_mut().expect("matvec unit");
     dpe.for_each_array(|_, _, _, _, xbar| {
         for r in 0..8 {
-            xbar.inject_fault(r, r, CellFault::StuckOn).expect("in bounds");
+            xbar.inject_fault(r, r, CellFault::StuckOn)
+                .expect("in bounds");
         }
     });
     let p = dirty
@@ -202,7 +223,10 @@ fn recovery_respects_capability_grants() {
         Err(cim::fabric::FabricError::CapabilityDenied { unit, .. }) => unit,
         other => panic!("stale grants must not cover the spare: {other:?}"),
     };
-    assert_ne!(denied_unit, victim, "the denial names the spare, not the victim");
+    assert_ne!(
+        denied_unit, victim,
+        "the denial names the spare, not the victim"
+    );
     // The orchestrator grants the spare and retries: recovery completes.
     caps.grant(prog.stream_id, denied_unit);
     let ok = d.execute_stream(

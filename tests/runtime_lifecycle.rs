@@ -106,10 +106,18 @@ fn patch_then_service_then_run_all_interoperate() {
         Operation::MatVec {
             rows: 8,
             cols: 8,
-            weights: (0..64).map(|i| if i % 9 == 0 { 1.0 } else { 0.0 }).collect(),
+            weights: (0..64)
+                .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
+                .collect(),
         },
     );
-    let m = b.add("m", Operation::Map { func: Elementwise::Identity, width: 8 });
+    let m = b.add(
+        "m",
+        Operation::Map {
+            func: Elementwise::Identity,
+            width: 8,
+        },
+    );
     let k = b.add("k", Operation::Sink { width: 8 });
     b.chain(&[s, mv, m, k]).expect("chain");
     let g = b.build().expect("valid");
@@ -121,20 +129,20 @@ fn patch_then_service_then_run_all_interoperate() {
     apply_patch(
         &mut device,
         &mut prog,
-        &Patch::SetMapFunc { node: 2, func: Elementwise::Scale(10.0) },
+        &Patch::SetMapFunc {
+            node: 2,
+            func: Elementwise::Scale(10.0),
+        },
         SimTime::ZERO,
     )
     .expect("patch applies");
 
     // 2. Age the device and service it.
-    let mut mon = ServiceabilityMonitor::new(
-        &device,
-        RetentionModel::default(),
-        0.05,
-        0.99,
-    );
+    let mut mon = ServiceabilityMonitor::new(&device, RetentionModel::default(), 0.05, 0.99);
     mon.advance(&mut device, 10.0 * YEAR_SECS);
-    let actions = mon.proactive_service(&mut device, &mut prog).expect("services");
+    let actions = mon
+        .proactive_service(&mut device, &mut prog)
+        .expect("services");
     assert!(!actions.is_empty(), "a decade of drift needs service");
 
     // 3. The serviced, patched program still computes the right thing.
