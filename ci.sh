@@ -25,4 +25,12 @@ cargo test --workspace -q --offline
 step "smoke-run examples/quickstart.rs"
 cargo run --release --offline --example quickstart
 
+step "telemetry smoke: quickstart --telemetry + schema check"
+TELEMETRY_OUT="$(mktemp -t cim-telemetry-XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT"' EXIT
+cargo run --release --offline --example quickstart -- --telemetry "$TELEMETRY_OUT"
+# Every line must parse as JSON with component/metric/value keys; the
+# checker is in-tree (no external JSON tooling, per the hermetic policy).
+cargo run --release --offline -p cim-bench --bin telemetry_check -- "$TELEMETRY_OUT"
+
 printf '\n== ci.sh: all gates passed\n'

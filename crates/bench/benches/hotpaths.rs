@@ -129,6 +129,34 @@ fn bench_fabric() {
     g.finish();
 }
 
+/// The telemetry tentpole's overhead contract: with the handle disabled
+/// the instrumented matvec path must stay within noise (≤5%) of its
+/// pre-instrumentation cost, and enabling metrics must stay cheap enough
+/// to leave on under load. Compare the disabled/enabled lines directly —
+/// the pair shares one programmed engine and input.
+fn bench_telemetry() {
+    use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+    let mut g = Group::new("telemetry");
+    let seeds = SeedTree::new(9);
+    let w = DenseMatrix::from_fn(128, 128, |r, cc| (((r + cc) % 17) as f64 / 17.0) - 0.5);
+    let x = vec![0.3; 128];
+
+    let mut off = DotProductEngine::new(DpeConfig::noise_free(), seeds);
+    off.program(&w).unwrap();
+    g.bench("dpe_matvec_128_telemetry_off", || {
+        black_box(off.matvec(black_box(&x)).unwrap())
+    });
+
+    let mut on = DotProductEngine::new(DpeConfig::noise_free(), seeds);
+    let tel = Telemetry::new(TelemetryLevel::Metrics);
+    on.attach_telemetry(&tel, "tile(0,0)/mu0");
+    on.program(&w).unwrap();
+    g.bench("dpe_matvec_128_telemetry_metrics", || {
+        black_box(on.matvec(black_box(&x)).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_associative() {
     let mut g = Group::new("associative");
     let mut cam = Tcam::new(1024, 32);
@@ -152,5 +180,6 @@ fn main() {
     bench_cache();
     bench_dataflow();
     bench_fabric();
+    bench_telemetry();
     bench_associative();
 }

@@ -1,0 +1,24 @@
+//! Validates a telemetry JSON-lines file (as written by `--telemetry`):
+//! every non-empty line must parse as a JSON object carrying the
+//! required `component`, `metric` and `value` keys. Exits non-zero with
+//! the first offending line on failure — the in-tree CI checker, so the
+//! hermetic build needs no external JSON tooling.
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1).map(PathBuf::from) else {
+        eprintln!("usage: telemetry_check <file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    match cim_bench::telemetry_out::validate_file(&path) {
+        Ok(lines) => {
+            println!("{}: {lines} valid telemetry lines", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}

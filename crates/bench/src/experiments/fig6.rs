@@ -9,6 +9,7 @@ use crate::table::TextTable;
 use cim_crossbar::dpe::DpeConfig;
 use cim_fabric::integration::{run_integrated, IntegrationMode, IntegrationReport};
 use cim_fabric::{CimDevice, FabricConfig, MappingPolicy};
+use cim_sim::telemetry::{Telemetry, TelemetryLevel};
 use cim_sim::SeedTree;
 use cim_workloads::nn::{mlp_graph, random_inputs};
 use std::collections::HashMap;
@@ -24,12 +25,20 @@ pub struct Fig6Report {
 
 /// Runs the evolution experiment.
 pub fn run(batch: usize) -> Fig6Report {
+    run_with_telemetry(batch).0
+}
+
+/// Like [`run`], but with device telemetry enabled; the returned handle
+/// holds the accumulated metrics of all four integration-mode runs (for
+/// `--telemetry` export in the `fig6_evolution` binary).
+pub fn run_with_telemetry(batch: usize) -> (Fig6Report, Telemetry) {
     let seeds = SeedTree::new(0xF16);
     let mut device = CimDevice::new(FabricConfig {
         dpe: DpeConfig::noise_free(),
         ..FabricConfig::default()
     })
     .expect("default fabric");
+    let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     let (graph, src, _sink) = mlp_graph(&[256, 128, 32], seeds);
     let mut prog = device
         .load_program(&graph, MappingPolicy::LocalityAware)
@@ -42,7 +51,7 @@ pub fn run(batch: usize) -> Fig6Report {
         .iter()
         .map(|&mode| run_integrated(&mut device, &mut prog, &inputs, mode).expect("runs"))
         .collect();
-    Fig6Report { batch, modes }
+    (Fig6Report { batch, modes }, tel)
 }
 
 /// Renders the evolution table.

@@ -22,6 +22,7 @@ use cim_dataflow::ops::{Operation, Reduction};
 use cim_fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
 use cim_sim::energy::Energy;
 use cim_sim::rng::normal;
+use cim_sim::telemetry::{MetricValue, Telemetry, TelemetryLevel};
 use cim_sim::time::SimDuration;
 use cim_sim::SeedTree;
 use std::collections::HashMap;
@@ -45,6 +46,96 @@ impl PlatformNumbers {
     }
 }
 
+/// One hardware stage's share of the CIM batch-1 operating point,
+/// aggregated from telemetry counters across the whole device.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentShare {
+    /// Stage name: `array`, `dac`, `adc`, `digital`, `alu` or `noc`.
+    pub component: &'static str,
+    /// Busy time attributed to the stage (disjoint across stages).
+    pub busy: SimDuration,
+    /// Energy attributed to the stage.
+    pub energy: Energy,
+}
+
+/// Per-component decomposition of the CIM batch-1 latency and energy.
+///
+/// The shares come from hierarchical telemetry counters, not a separate
+/// model, so they account for (nearly) all of the end-to-end totals: the
+/// instrumentation buckets the same integer femtojoules and picoseconds
+/// the cost model charges.
+#[derive(Debug, Clone)]
+pub struct ComponentBreakdown {
+    /// Stage shares in pipeline order.
+    pub shares: Vec<ComponentShare>,
+    /// End-to-end batch-1 latency the shares should sum to.
+    pub total_latency: SimDuration,
+    /// End-to-end batch-1 energy the shares should sum to.
+    pub total_energy: Energy,
+}
+
+impl ComponentBreakdown {
+    /// Sum of the per-stage busy times.
+    pub fn accounted_latency(&self) -> SimDuration {
+        self.shares.iter().map(|s| s.busy).sum::<SimDuration>()
+    }
+
+    /// Sum of the per-stage energies.
+    pub fn accounted_energy(&self) -> Energy {
+        self.shares.iter().map(|s| s.energy).sum::<Energy>()
+    }
+}
+
+/// Stage bucket for a telemetry component path.
+fn classify(path: &str) -> Option<&'static str> {
+    if path == "noc" || path.starts_with("noc/") {
+        return Some("noc");
+    }
+    for stage in ["array", "dac", "adc", "digital", "alu"] {
+        if path.ends_with(&format!("/{stage}")) {
+            return Some(stage);
+        }
+    }
+    None
+}
+
+/// Aggregates the device's telemetry counters into stage shares.
+fn breakdown_from(
+    tel: &Telemetry,
+    total_latency: SimDuration,
+    total_energy: Energy,
+) -> ComponentBreakdown {
+    const ORDER: [&str; 6] = ["alu", "dac", "array", "adc", "digital", "noc"];
+    let mut busy = [0u64; 6];
+    let mut energy = [0u64; 6];
+    for s in tel.snapshot() {
+        let Some(stage) = classify(&s.component) else {
+            continue;
+        };
+        let i = ORDER.iter().position(|&o| o == stage).expect("known stage");
+        if let MetricValue::Counter(n) = s.value {
+            match s.metric {
+                "energy_fj" => energy[i] += n,
+                "busy_ps" => busy[i] += n,
+                _ => {}
+            }
+        }
+    }
+    ComponentBreakdown {
+        shares: ORDER
+            .iter()
+            .zip(busy.iter().zip(&energy))
+            .map(|(&component, (&ps, &fj))| ComponentShare {
+                component,
+                busy: SimDuration::from_ps(ps),
+                energy: Energy::from_fj(fj),
+            })
+            .collect(),
+        total_latency,
+        total_energy,
+    }
+}
+
 /// The full §VI comparison.
 #[derive(Debug, Clone)]
 pub struct Sec6Report {
@@ -56,6 +147,8 @@ pub struct Sec6Report {
     pub cpu: PlatformNumbers,
     /// GPU board numbers.
     pub gpu: PlatformNumbers,
+    /// Where the CIM batch-1 latency and energy actually go.
+    pub breakdown: ComponentBreakdown,
 }
 
 impl Sec6Report {
@@ -125,6 +218,15 @@ fn layer_graph(dim: usize, seeds: SeedTree) -> (DataflowGraph, NodeRef) {
 /// the throughput phase. The paper-scale configuration is
 /// `run(4096, 6)`; smaller dims keep CI fast while preserving shape.
 pub fn run(dim: usize, stream_len: usize) -> Sec6Report {
+    run_with_telemetry(dim, stream_len).0
+}
+
+/// Like [`run`], but also returns the device telemetry handle so callers
+/// can export the raw metrics (`--telemetry` in the `sec6_dpe` binary).
+/// The handle holds the metrics of the final (throughput) phase; the
+/// batch-1 phase is snapshotted into the report's breakdown before the
+/// reset between phases.
+pub fn run_with_telemetry(dim: usize, stream_len: usize) -> (Sec6Report, Telemetry) {
     let seeds = SeedTree::new(0x5EC6);
     let (graph, src) = layer_graph(dim, seeds);
 
@@ -145,13 +247,21 @@ pub fn run(dim: usize, stream_len: usize) -> Sec6Report {
         ..FabricConfig::default()
     })
     .expect("default fabric");
+    let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     let mut prog = device
         .load_program(&graph, MappingPolicy::LocalityAware)
         .expect("graph fits");
+    // Drop the programming-phase counters: the breakdown decomposes the
+    // *inference* operating point (§VI treats write asymmetry separately).
+    device.reset_occupancy();
     let one = vec![HashMap::from([(src, vec![0.25; dim])])];
     let single = device
         .execute_stream(&mut prog, &one, &StreamOptions::default())
         .expect("runs");
+    // At batch 1 the pipeline is a serial chain, so the disjoint per-stage
+    // busy counters decompose the end-to-end latency (and the per-stage
+    // energy counters bucket the exact integer femtojoules charged).
+    let breakdown = breakdown_from(&tel, single.mean_latency(), single.energy);
     device.reset_occupancy();
     let stream: Vec<_> = (0..stream_len)
         .map(|i| HashMap::from([(src, vec![(i % 3) as f64 / 4.0; dim])]))
@@ -186,12 +296,16 @@ pub fn run(dim: usize, stream_len: usize) -> Sec6Report {
         energy_per_item: gpu_single.energy,
     };
 
-    Sec6Report {
-        model: format!("{dim}x{dim} dense layer + argmax"),
-        cim,
-        cpu,
-        gpu,
-    }
+    (
+        Sec6Report {
+            model: format!("{dim}x{dim} dense layer + argmax"),
+            cim,
+            cpu,
+            gpu,
+            breakdown,
+        },
+        tel,
+    )
 }
 
 /// Renders the §VI comparison table.
@@ -223,6 +337,40 @@ pub fn render(r: &Sec6Report) -> String {
     ]);
     let mut out = format!("SEC6: Dot Product Engine vs CPU vs GPU ({})\n\n", r.model);
     out.push_str(&t.render());
+
+    let b = &r.breakdown;
+    let lat_total = b.total_latency.as_secs_f64();
+    let e_total = b.total_energy.as_fj() as f64;
+    let mut bt = TextTable::new(["CIM stage", "busy", "busy %", "energy", "energy %"]);
+    for s in &b.shares {
+        let lat_pct = if lat_total > 0.0 {
+            100.0 * s.busy.as_secs_f64() / lat_total
+        } else {
+            0.0
+        };
+        let e_pct = if e_total > 0.0 {
+            100.0 * s.energy.as_fj() as f64 / e_total
+        } else {
+            0.0
+        };
+        bt.row([
+            s.component.to_owned(),
+            s.busy.to_string(),
+            format!("{lat_pct:.1}%"),
+            s.energy.to_string(),
+            format!("{e_pct:.1}%"),
+        ]);
+    }
+    out.push_str("\nper-component breakdown of the CIM batch-1 point (from telemetry):\n\n");
+    out.push_str(&bt.render());
+    out.push_str(&format!(
+        "\naccounted: latency {} of {} end-to-end, energy {} of {}.\n",
+        b.accounted_latency(),
+        b.total_latency,
+        b.accounted_energy(),
+        b.total_energy,
+    ));
+
     out.push_str(&format!(
         "\npaper bands: latency 10-10^4x vs CPU (got {}), 10-10^2x vs GPU (got {});\n\
          throughput 10^3-10^6x vs CPU (got {}), ~GPU (got {});\n\
@@ -299,5 +447,34 @@ mod tests {
         let s = render(report());
         assert!(s.contains("paper bands"));
         assert!(s.contains("4096x4096"));
+        assert!(s.contains("per-component breakdown"));
+        assert!(s.contains("adc"));
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_end_to_end_totals() {
+        let b = &report().breakdown;
+        let lat = b.total_latency.as_secs_f64();
+        let lat_acc = b.accounted_latency().as_secs_f64();
+        assert!(
+            (lat_acc - lat).abs() <= 0.01 * lat,
+            "latency shares {lat_acc} vs end-to-end {lat}"
+        );
+        let e = b.total_energy.as_fj() as f64;
+        let e_acc = b.accounted_energy().as_fj() as f64;
+        assert!(
+            (e_acc - e).abs() <= 0.01 * e,
+            "energy shares {e_acc} vs end-to-end {e}"
+        );
+        // The decomposition is non-trivial: the analog stages dominate.
+        let share = |name: &str| {
+            b.shares
+                .iter()
+                .find(|s| s.component == name)
+                .expect("stage present")
+        };
+        assert!(share("adc").energy.as_fj() > 0);
+        assert!(share("array").energy.as_fj() > 0);
+        assert!(share("alu").busy.as_ps() > 0);
     }
 }

@@ -14,6 +14,7 @@
 //! (default 50), `BENCH_TARGET_SAMPLE_US` (default 500 — the auto-batcher
 //! sizes each timed sample to roughly this long).
 
+use cim_sim::stats::Samples;
 use std::time::Instant;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -71,20 +72,26 @@ impl BenchReport {
     fn from_samples(
         name: String,
         iters_per_sample: u64,
-        mut per_iter_ns: Vec<f64>,
+        per_iter_ns: Vec<f64>,
         throughput_elems: Option<u64>,
     ) -> Self {
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
-        let n = per_iter_ns.len();
-        let pick = |q: f64| per_iter_ns[((n as f64 - 1.0) * q).round() as usize];
+        let mut timings = Samples::new();
+        for &v in &per_iter_ns {
+            timings.record(v);
+        }
+        // One sort serves every rank (`Samples::percentiles`), instead of
+        // paying the O(n log n) `percentile` cost per statistic.
+        let q = timings
+            .percentiles(&[0.0, 50.0, 95.0])
+            .expect("at least one timed sample");
         BenchReport {
             name,
-            samples: n,
+            samples: timings.len(),
             iters_per_sample,
-            min_ns: per_iter_ns[0],
-            median_ns: pick(0.5),
-            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
-            p95_ns: pick(0.95),
+            min_ns: q[0],
+            median_ns: q[1],
+            mean_ns: timings.mean(),
+            p95_ns: q[2],
             throughput_elems,
         }
     }

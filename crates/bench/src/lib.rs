@@ -11,3 +11,4 @@
 pub mod experiments;
 pub mod harness;
 pub mod table;
+pub mod telemetry_out;

@@ -23,6 +23,7 @@ use crate::matrix::DenseMatrix;
 use crate::quant::{split_slices, Quantizer};
 use cim_sim::calib::dpe as cal;
 use cim_sim::energy::Energy;
+use cim_sim::telemetry::{ComponentId, Telemetry};
 use cim_sim::time::SimDuration;
 use cim_sim::SeedTree;
 
@@ -203,6 +204,11 @@ pub struct DotProductEngine {
     total_energy: Energy,
     total_busy: SimDuration,
     mvm_count: u64,
+    tel: Telemetry,
+    tel_array: ComponentId,
+    tel_dac: ComponentId,
+    tel_adc: ComponentId,
+    tel_digital: ComponentId,
 }
 
 impl DotProductEngine {
@@ -231,7 +237,25 @@ impl DotProductEngine {
             total_energy: Energy::ZERO,
             total_busy: SimDuration::ZERO,
             mvm_count: 0,
+            tel: Telemetry::disabled(),
+            tel_array: ComponentId::NONE,
+            tel_dac: ComponentId::NONE,
+            tel_adc: ComponentId::NONE,
+            tel_digital: ComponentId::NONE,
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent operations attribute energy,
+    /// latency and event counts to `{path}/array`, `{path}/dac`,
+    /// `{path}/adc` and `{path}/digital`. Component ids are interned here
+    /// once, so the hot matvec loop never formats a path. Attaching a
+    /// disabled handle (the default state) keeps every event a no-op.
+    pub fn attach_telemetry(&mut self, t: &Telemetry, path: &str) {
+        self.tel = t.clone();
+        self.tel_array = t.component(&format!("{path}/array"));
+        self.tel_dac = t.component(&format!("{path}/dac"));
+        self.tel_adc = t.component(&format!("{path}/adc"));
+        self.tel_digital = t.component(&format!("{path}/digital"));
     }
 
     /// The engine configuration.
@@ -310,6 +334,15 @@ impl DotProductEngine {
         self.matrix_cols = weights.cols();
         self.total_energy += cost.energy;
         self.total_busy += cost.latency;
+        if self.tel.is_enabled() {
+            // Programming cost is kept out of the matvec breakdown
+            // categories; §VI treats the write asymmetry separately.
+            self.tel
+                .counter_add(self.tel_array, "program_energy_fj", cost.energy.as_fj());
+            self.tel
+                .counter_add(self.tel_array, "program_ps", cost.latency.as_ps());
+            self.tel.counter_add(self.tel_array, "programs", 1);
+        }
         Ok(cost)
     }
 
@@ -379,14 +412,19 @@ impl DotProductEngine {
         let neg_mag: Vec<u64> = q_in.iter().map(|&q| (-q).max(0) as u64).collect();
 
         let mut acc = vec![0.0f64; col_tiles * ac];
-        let mut energy = Energy::ZERO;
         let mut executed_phases = 0u64;
+        // Per-category energy in fJ: bucketing the same integer adds the
+        // combined accumulator used to make, so the total is unchanged and
+        // telemetry can attribute it to DAC / ADC / array / digital.
+        let (mut array_fj, mut dac_fj, mut adc_fj, mut digital_fj) = (0u64, 0u64, 0u64, 0u64);
+        let (mut slice_reads, mut conversions, mut dac_drives) = (0u64, 0u64, 0u64);
 
         for (polarity, mags) in [(1.0f64, &pos_mag), (-1.0f64, &neg_mag)] {
             for d in 0..n_digits {
                 let digit_weight = polarity * digit_base.pow(d) as f64;
                 let shift = d * dac_bits;
                 let mut phase_active = false;
+                let phase_start_fj = array_fj + dac_fj + adc_fj + digital_fj;
                 for rt in 0..row_tiles {
                     let levels: Vec<u16> = (0..ar)
                         .map(|r| {
@@ -409,12 +447,11 @@ impl DotProductEngine {
                             for s in 0..slices {
                                 let xbar = &mut self.arrays[rt][ct][sign][s];
                                 let sums = xbar.read_phase_levels(&levels)?;
-                                energy += xbar.read_phase_cost(active).energy;
+                                array_fj += xbar.read_phase_cost(active).energy.as_fj();
                                 // Multi-level drivers cost extra DAC
                                 // energy, roughly linear in digit width.
-                                energy += Energy::from_fj(
-                                    cal::DAC_DRIVE_FJ * active as u64 * u64::from(dac_bits - 1),
-                                );
+                                dac_fj +=
+                                    cal::DAC_DRIVE_FJ * active as u64 * u64::from(dac_bits - 1);
                                 let slice_weight =
                                     (1u64 << (s as u32 * self.config.device.bits)) as f64;
                                 for (c, &sum) in sums.iter().enumerate() {
@@ -423,16 +460,19 @@ impl DotProductEngine {
                                     acc[ct * ac + c] +=
                                         sign_f * digit_weight * slice_weight * recon;
                                 }
-                                energy += Energy::from_fj(
-                                    (self.adc.conversion_energy().as_fj() + cal::SHIFT_ADD_FJ)
-                                        * ac as u64,
-                                );
+                                adc_fj += self.adc.conversion_energy().as_fj() * ac as u64;
+                                digital_fj += cal::SHIFT_ADD_FJ * ac as u64;
+                                slice_reads += 1;
+                                conversions += ac as u64;
+                                dac_drives += active as u64;
                             }
                         }
                     }
                 }
                 if phase_active {
                     executed_phases += 1;
+                    let phase_fj = array_fj + dac_fj + adc_fj + digital_fj - phase_start_fj;
+                    self.tel.record(self.tel_array, "phase_energy_fj", phase_fj);
                 }
             }
         }
@@ -450,7 +490,38 @@ impl DotProductEngine {
 
         // Static power of the occupied tiles over the occupied interval.
         let arrays = (row_tiles * col_tiles * 2 * slices) as f64;
-        energy += Energy::from_joules(cal::TILE_STATIC_W * arrays * latency.as_secs_f64());
+        let static_fj =
+            Energy::from_joules(cal::TILE_STATIC_W * arrays * latency.as_secs_f64()).as_fj();
+        let energy = Energy::from_fj(array_fj + dac_fj + adc_fj + digital_fj + static_fj);
+
+        if self.tel.is_enabled() {
+            // Latency attribution is disjoint so per-stage busy times sum
+            // exactly to the matvec latency: each pipelined phase goes to
+            // the dominant stage, the trailing drain sweep to the ADC.
+            let (array_ps, adc_ps) = if settle >= adc_sweep {
+                ((phase * executed_phases).as_ps(), adc_sweep.as_ps())
+            } else {
+                (0, (phase * executed_phases + adc_sweep).as_ps())
+            };
+            self.tel
+                .counter_add(self.tel_array, "energy_fj", array_fj + static_fj);
+            self.tel
+                .counter_add(self.tel_array, "static_energy_fj", static_fj);
+            self.tel.counter_add(self.tel_array, "busy_ps", array_ps);
+            self.tel
+                .counter_add(self.tel_array, "read_phases", slice_reads);
+            self.tel
+                .counter_add(self.tel_array, "mac_ops", self.macs_per_matvec());
+            self.tel.counter_add(self.tel_dac, "energy_fj", dac_fj);
+            self.tel.counter_add(self.tel_dac, "drives", dac_drives);
+            self.tel.counter_add(self.tel_adc, "energy_fj", adc_fj);
+            self.tel.counter_add(self.tel_adc, "busy_ps", adc_ps);
+            self.tel
+                .counter_add(self.tel_adc, "conversions", conversions);
+            self.tel
+                .counter_add(self.tel_digital, "energy_fj", digital_fj);
+            self.tel.counter_add(self.tel_digital, "mvms", 1);
+        }
 
         let scale = wq.step() * xq.step();
         let values: Vec<f64> = acc[..self.matrix_cols].iter().map(|&a| a * scale).collect();
@@ -756,6 +827,68 @@ mod tests {
         };
         assert!(c.validate().is_err());
         assert!(DpeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_decomposition_matches_reported_cost() {
+        use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+        let w = DenseMatrix::from_fn(200, 150, |r, c| (((r + 2 * c) % 19) as f64 / 19.0) - 0.5);
+        let mut dpe = engine(DpeConfig::noise_free());
+        let t = Telemetry::new(TelemetryLevel::Metrics);
+        dpe.attach_telemetry(&t, "mu0");
+        dpe.program(&w).unwrap();
+        let x: Vec<f64> = (0..200).map(|i| ((i % 13) as f64 / 13.0) - 0.4).collect();
+        let out = dpe.matvec(&x).unwrap();
+
+        let sum_over = |metric: &'static str| {
+            t.snapshot()
+                .iter()
+                .filter(|s| s.metric == metric && s.component.starts_with("mu0/"))
+                .filter_map(|s| s.as_counter())
+                .sum::<u64>()
+        };
+        // Energy decomposes exactly: array (incl. static) + dac + adc +
+        // digital equals the reported matvec energy.
+        assert_eq!(sum_over("energy_fj"), out.cost.energy.as_fj());
+        // Latency attribution is disjoint: array + adc busy == latency.
+        assert_eq!(sum_over("busy_ps"), out.cost.latency.as_ps());
+        // Event counts line up with the analog model.
+        let t_adc = t.component("mu0/adc");
+        let t_array = t.component("mu0/array");
+        assert_eq!(
+            t.snapshot()
+                .iter()
+                .find(|s| s.component == "mu0/array" && s.metric == "mac_ops")
+                .and_then(|s| s.as_counter()),
+            Some(dpe.macs_per_matvec())
+        );
+        t.with_registry(|r| {
+            assert!(r.counter(t_adc, "conversions") > 0);
+            assert!(r.histogram(t_array, "phase_energy_fj").is_some());
+            assert_eq!(r.counter(t_array, "programs"), 1);
+        });
+        // A second run accumulates deterministically: same input, same adds.
+        let before = sum_over("energy_fj");
+        let out2 = dpe.matvec(&x).unwrap();
+        assert_eq!(sum_over("energy_fj") - before, out2.cost.energy.as_fj());
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let w = DenseMatrix::from_fn(16, 8, |r, c| ((r + c) as f64 - 5.0) / 6.0);
+        let x = vec![0.5; 16];
+        let run = |attach: bool| {
+            let mut dpe = engine(DpeConfig::noise_free());
+            if attach {
+                dpe.attach_telemetry(&cim_sim::Telemetry::disabled(), "mu0");
+            }
+            dpe.program(&w).unwrap();
+            dpe.matvec(&x).unwrap()
+        };
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.cost.latency, b.cost.latency);
+        assert_eq!(a.cost.energy, b.cost.energy);
     }
 
     #[test]

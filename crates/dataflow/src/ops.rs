@@ -157,6 +157,21 @@ impl Operation {
         }
     }
 
+    /// Stable lowercase name of the operation variant. Used as the span
+    /// name in telemetry timelines, so it is `&'static str` by design.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Operation::Source { .. } => "source",
+            Operation::Sink { .. } => "sink",
+            Operation::MatVec { .. } => "matvec",
+            Operation::Map { .. } => "map",
+            Operation::Add { .. } => "add",
+            Operation::Mul { .. } => "mul",
+            Operation::Reduce { .. } => "reduce",
+            Operation::Concat { .. } => "concat",
+        }
+    }
+
     /// Floating-point operations per activation of this node.
     pub fn flops(&self) -> u64 {
         match self {

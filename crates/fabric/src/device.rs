@@ -11,6 +11,8 @@ use crate::unit::{MicroUnit, UnitHealth};
 use cim_noc::network::NocNetwork;
 use cim_noc::packet::NodeId;
 use cim_sim::energy::EnergyMeter;
+use cim_sim::telemetry::{ComponentId, Telemetry, TelemetryLevel};
+use cim_sim::time::SimDuration;
 use cim_sim::trace::TraceBuffer;
 use cim_sim::SeedTree;
 
@@ -38,6 +40,10 @@ pub struct CimDevice {
     meter: EnergyMeter,
     trace: TraceBuffer,
     next_packet_id: u64,
+    telemetry: Telemetry,
+    tel_engine: ComponentId,
+    tel_runtime: ComponentId,
+    tel_noc: ComponentId,
 }
 
 impl CimDevice {
@@ -69,7 +75,84 @@ impl CimDevice {
             meter: EnergyMeter::new(),
             trace: TraceBuffer::default(),
             next_packet_id: 0,
+            telemetry: Telemetry::disabled(),
+            tel_engine: ComponentId::NONE,
+            tel_runtime: ComponentId::NONE,
+            tel_noc: ComponentId::NONE,
         })
+    }
+
+    /// Enables telemetry at `level` for the whole device: the stream
+    /// engine, the runtime, the NoC (under `noc/…`) and every micro-unit
+    /// (under `tile(x,y)/mu{i}/…`). Returns the shared handle, which stays
+    /// live after the device is dropped.
+    pub fn enable_telemetry(&mut self, level: TelemetryLevel) -> Telemetry {
+        let t = Telemetry::new(level);
+        self.install_telemetry(&t);
+        t
+    }
+
+    /// Installs an existing telemetry handle (e.g. one sink shared across
+    /// devices). All component ids are interned up front so the hot paths
+    /// do no string work.
+    pub fn install_telemetry(&mut self, t: &Telemetry) {
+        self.telemetry = t.clone();
+        self.tel_engine = t.component("engine");
+        self.tel_runtime = t.component("runtime");
+        self.tel_noc = t.component("noc");
+        self.noc.attach_telemetry(t, "noc");
+        for u in &mut self.units {
+            u.attach_telemetry(t);
+        }
+    }
+
+    /// The device telemetry handle (disabled unless
+    /// [`enable_telemetry`](Self::enable_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    pub(crate) fn engine_component(&self) -> ComponentId {
+        self.tel_engine
+    }
+
+    pub(crate) fn runtime_component(&self) -> ComponentId {
+        self.tel_runtime
+    }
+
+    pub(crate) fn noc_component(&self) -> ComponentId {
+        self.tel_noc
+    }
+
+    /// Fault→recovery latencies, one per recovery, oldest first.
+    ///
+    /// Measured from the span tracer when span tracing is on
+    /// ([`TelemetryLevel::Full`]): each `recovery` span runs from the
+    /// fault's detection window to replay readiness. When spans are off,
+    /// falls back to pairing component-scoped `fault detected` /
+    /// `recovered` trace records via [`TraceBuffer::find_in`] — never the
+    /// old whole-buffer substring search, which could match an unrelated
+    /// unit's message.
+    pub fn recovery_latencies(&self) -> Vec<SimDuration> {
+        let spans = self.telemetry.completed_spans("recovery");
+        if !spans.is_empty() {
+            return spans.iter().filter_map(|s| s.duration()).collect();
+        }
+        let mut components: Vec<&str> = Vec::new();
+        for r in self.trace.iter() {
+            if r.message.contains("fault detected") && !components.contains(&r.component.as_str()) {
+                components.push(&r.component);
+            }
+        }
+        let mut out = Vec::new();
+        for comp in components {
+            let fault = self.trace.find_in(comp, "fault detected");
+            let recovered = self.trace.find_in(comp, "recovered");
+            if let (Some(f), Some(r)) = (fault, recovered) {
+                out.push(r.at.saturating_since(f.at));
+            }
+        }
+        out
     }
 
     /// The device configuration.
@@ -182,8 +265,9 @@ impl CimDevice {
             .collect()
     }
 
-    /// Resets all unit occupancy, NoC reservations, meter and trace —
-    /// health and assignments (including programmed engines) are kept.
+    /// Resets all unit occupancy, NoC reservations, meter, trace and
+    /// telemetry values — health and assignments (including programmed
+    /// engines) are kept, as is the telemetry component interning.
     /// Call between independent experiments on the same loaded device.
     pub fn reset_occupancy(&mut self) {
         for u in &mut self.units {
@@ -192,6 +276,7 @@ impl CimDevice {
         self.noc.reset();
         self.meter.reset();
         self.trace.clear();
+        self.telemetry.reset_values();
     }
 }
 

@@ -234,6 +234,9 @@ impl CimDevice {
         let graph = prog.graph.clone();
         let sources = graph.sources();
         let sinks = graph.sinks();
+        let tel = self.telemetry().clone();
+        let tel_engine = self.engine_component();
+        let tel_noc = self.noc_component();
         let mut report = StreamReport {
             outputs: Vec::with_capacity(inputs.len()),
             injected: Vec::with_capacity(inputs.len()),
@@ -257,6 +260,8 @@ impl CimDevice {
             }
             let release = opts.start + opts.inter_arrival * item_idx as u64;
             report.injected.push(release);
+            let item_span = tel.span_enter(tel_engine, "item", release);
+            let item_energy_start = report.energy;
 
             let n = graph.node_count();
             let mut values: Vec<Option<Vec<f64>>> = vec![None; n];
@@ -305,6 +310,8 @@ impl CimDevice {
                                 noc.transmit(&packet, p_done).map_err(FabricError::from)?;
                             report.energy += delivery.energy;
                             self.meter_mut().charge("noc", delivery.energy);
+                            let route = tel.span_enter_child(item_span, tel_noc, "route", p_done);
+                            tel.span_exit(route, delivery.arrival, delivery.energy);
                             ready = ready.max(delivery.arrival);
                             in_values.push(decode_f64s(&delivery.payload));
                         }
@@ -356,11 +363,31 @@ impl CimDevice {
                             overhead,
                         });
                         let when = ready + overhead;
+                        // Fault-to-recovery is a first-class span: the
+                        // detection window plus the spare's programming,
+                        // attributed to the failed unit with the write
+                        // energy it cost. The paired trace records keep a
+                        // human-readable timeline (and a span-free
+                        // measurement path via `find_in`).
+                        let recovery_span = tel.span_enter_child(
+                            item_span,
+                            self.unit(failed).telemetry_component(),
+                            "recovery",
+                            ready,
+                        );
+                        tel.span_exit(recovery_span, when, program_cost.energy);
+                        tel.counter_add(tel_engine, "recoveries", 1);
                         self.trace_mut().emit(
-                            when,
+                            ready,
                             TraceLevel::Error,
                             format!("unit{failed}"),
-                            format!("fault detected; node {node_idx} remapped to unit {spare}"),
+                            format!("fault detected; node {node_idx} fenced"),
+                        );
+                        self.trace_mut().emit(
+                            when,
+                            TraceLevel::Info,
+                            format!("unit{failed}"),
+                            format!("recovered; node {node_idx} remapped to unit {spare}"),
                         );
                         self.unit_mut(spare)
                             .execute(&node.op, &in_refs, when, &config)?
@@ -369,6 +396,22 @@ impl CimDevice {
                 };
                 report.energy += energy;
                 self.meter_mut().charge("compute", energy);
+                if tel.is_enabled() {
+                    // Placement reflects any recovery remap by now.
+                    let exec_unit = prog.placement.unit_of(node_idx);
+                    let node_span = tel.span_enter_child(
+                        item_span,
+                        self.unit(exec_unit).telemetry_component(),
+                        node.op.kind(),
+                        ready,
+                    );
+                    tel.span_exit(node_span, t_done, energy);
+                    tel.record(
+                        tel_engine,
+                        "dispatch_ns",
+                        ready.saturating_since(release).as_ps() / 1000,
+                    );
+                }
                 values[node_idx] = Some(vals);
                 done[node_idx] = t_done;
             }
@@ -381,6 +424,15 @@ impl CimDevice {
             }
             report.outputs.push(outs);
             report.completed.push(completed);
+            tel.span_exit(item_span, completed, report.energy - item_energy_start);
+            if tel.is_enabled() {
+                tel.counter_add(tel_engine, "items", 1);
+                tel.record(
+                    tel_engine,
+                    "item_latency_ns",
+                    completed.saturating_since(release).as_ps() / 1000,
+                );
+            }
         }
         Ok(report)
     }
@@ -543,6 +595,60 @@ mod tests {
             )
             .unwrap();
         assert!(after.recoveries.is_empty());
+    }
+
+    #[test]
+    fn recovery_latency_measured_from_spans() {
+        use cim_sim::telemetry::TelemetryLevel;
+        let mut d = device();
+        let tel = d.enable_telemetry(TelemetryLevel::Full);
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let victim = prog.placement().unit_of(1);
+        d.fail_unit(victim);
+        let report = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, vec![0.5; 16])],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(report.recoveries.len(), 1);
+        let overhead = report.recoveries[0].overhead;
+        // Span-based measurement agrees with the engine's own accounting.
+        assert_eq!(d.recovery_latencies(), vec![overhead]);
+        let spans = tel.completed_spans("recovery");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].component,
+            d.unit(victim).telemetry_component(),
+            "recovery attributed to the failed unit"
+        );
+        assert!(spans[0].energy.as_fj() > 0, "carries the reprogram energy");
+        // The causal timeline exists: items, node ops and routes as spans.
+        assert!(!tel.completed_spans("item").is_empty());
+        assert!(!tel.completed_spans("matvec").is_empty());
+        assert!(!tel.completed_spans("route").is_empty());
+    }
+
+    #[test]
+    fn recovery_latency_trace_fallback_without_spans() {
+        // With telemetry fully disabled the measurement still works,
+        // from component-scoped trace record pairs (find_in), and gives
+        // the same number the spans would.
+        let mut d = device();
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let victim = prog.placement().unit_of(1);
+        d.fail_unit(victim);
+        let report = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, vec![0.5; 16])],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(d.recovery_latencies(), vec![report.recoveries[0].overhead]);
     }
 
     #[test]

@@ -93,6 +93,24 @@ impl CimRuntime {
         &self.device
     }
 
+    /// The device, mutable (fault injection, telemetry setup).
+    pub fn device_mut(&mut self) -> &mut CimDevice {
+        &mut self.device
+    }
+
+    /// Publishes admission counters and scheduler gauges under the
+    /// `runtime` component. No-ops (one branch) when telemetry is off.
+    fn publish_sched_state(&mut self, counter: &'static str) {
+        let tel = self.device.telemetry().clone();
+        if !tel.is_enabled() {
+            return;
+        }
+        let c = self.device.runtime_component();
+        tel.counter_add(c, counter, 1);
+        tel.gauge_set(c, "queue_depth", self.queue.len() as f64);
+        tel.gauge_set(c, "utilization", self.utilization());
+    }
+
     /// Free healthy micro-units right now.
     pub fn free_units(&self) -> usize {
         self.device
@@ -154,10 +172,12 @@ impl CimRuntime {
         // FIFO: if anything is already queued, join the queue.
         if !self.queue.is_empty() || graph.node_count() > self.free_units() {
             self.queue.push_back((id, graph, policy));
+            self.publish_sched_state("jobs_queued");
             return Ok(JobStatus::Queued(id));
         }
         let prog = self.device.load_program(&graph, policy)?;
         self.jobs.insert(id, prog);
+        self.publish_sched_state("jobs_admitted");
         Ok(JobStatus::Running(id))
     }
 
@@ -202,8 +222,10 @@ impl CimRuntime {
             self.queue.pop_front();
             let prog = self.device.load_program(&graph, policy)?;
             self.jobs.insert(id, prog);
+            self.publish_sched_state("jobs_admitted");
             admitted.push(id);
         }
+        self.publish_sched_state("jobs_finished");
         Ok(admitted)
     }
 }

@@ -14,6 +14,7 @@ use cim_crossbar::matrix::DenseMatrix;
 use cim_dataflow::ops::Operation;
 use cim_noc::packet::NodeId;
 use cim_sim::energy::Energy;
+use cim_sim::telemetry::{ComponentId, Telemetry};
 use cim_sim::time::{SimDuration, SimTime};
 use cim_sim::SeedTree;
 
@@ -40,6 +41,10 @@ pub struct MicroUnit {
     items: u64,
     dpe: Option<DotProductEngine>,
     assigned_node: Option<usize>,
+    tel: Telemetry,
+    tel_unit: ComponentId,
+    tel_alu: ComponentId,
+    tel_path: String,
 }
 
 impl MicroUnit {
@@ -54,7 +59,30 @@ impl MicroUnit {
             items: 0,
             dpe: None,
             assigned_node: None,
+            tel: Telemetry::disabled(),
+            tel_unit: ComponentId::NONE,
+            tel_alu: ComponentId::NONE,
+            tel_path: String::new(),
         }
+    }
+
+    /// Attaches a telemetry sink. The unit reports under
+    /// `tile(x,y)/mu{index}` with its digital ALU under `…/alu`; a
+    /// programmed analog engine (current or future) reports under
+    /// `…/array`, `…/dac`, `…/adc` and `…/digital`.
+    pub fn attach_telemetry(&mut self, t: &Telemetry) {
+        self.tel = t.clone();
+        self.tel_path = format!("tile({},{})/mu{}", self.tile.x, self.tile.y, self.index);
+        self.tel_unit = t.component(&self.tel_path);
+        self.tel_alu = t.component(&format!("{}/alu", self.tel_path));
+        if let Some(dpe) = &mut self.dpe {
+            dpe.attach_telemetry(t, &self.tel_path);
+        }
+    }
+
+    /// This unit's interned telemetry component (for span attribution).
+    pub fn telemetry_component(&self) -> ComponentId {
+        self.tel_unit
     }
 
     /// Device-wide unit index.
@@ -144,6 +172,9 @@ impl MicroUnit {
                 let m = DenseMatrix::new(*rows, *cols, weights.clone())?;
                 let mut dpe =
                     DotProductEngine::new(config.dpe.clone(), seeds.child_idx(self.index as u64));
+                if self.tel.is_enabled() {
+                    dpe.attach_telemetry(&self.tel, &self.tel_path);
+                }
                 let cost = dpe.program(&m)?;
                 self.dpe = Some(dpe);
                 Ok(cost)
@@ -201,6 +232,13 @@ impl MicroUnit {
                 let ops = op.flops().max(values.len() as u64).max(1);
                 let latency = SimDuration::from_secs_f64(ops as f64 / config.digital_ops_per_sec);
                 let energy = Energy::from_fj(ops * config.digital_energy_per_op_fj);
+                if self.tel.is_enabled() {
+                    self.tel
+                        .counter_add(self.tel_alu, "energy_fj", energy.as_fj());
+                    self.tel
+                        .counter_add(self.tel_alu, "busy_ps", latency.as_ps());
+                    self.tel.counter_add(self.tel_alu, "ops", ops);
+                }
                 (values, OpCost { latency, energy })
             }
         };
@@ -208,6 +246,11 @@ impl MicroUnit {
         self.busy_until = done;
         self.busy_accum += cost.latency;
         self.items += 1;
+        if self.tel.is_enabled() {
+            self.tel.counter_add(self.tel_unit, "items", 1);
+            self.tel
+                .counter_add(self.tel_unit, "busy_ps", cost.latency.as_ps());
+        }
         Ok((values, done, cost.energy))
     }
 

@@ -14,8 +14,12 @@ use crate::topology::{Link, Mesh};
 use cim_sim::calib::noc as cal;
 use cim_sim::energy::Energy;
 use cim_sim::stats::Summary;
+use cim_sim::telemetry::{ComponentId, Telemetry};
 use cim_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+
+/// Histogram name per virtual channel (index = `virtual_channel()`).
+const VC_LATENCY_METRIC: [&str; 3] = ["latency_ns_vc0", "latency_ns_vc1", "latency_ns_vc2"];
 
 /// Assigns nodes to isolation domains and controls cross-domain traffic
 /// (§IV.B "dynamic hardware isolation").
@@ -129,6 +133,12 @@ pub struct NocNetwork {
     encryption: bool,
     master_seed: u64,
     stats: NocStats,
+    tel: Telemetry,
+    tel_root: ComponentId,
+    /// Per-link component ids, interned on a link's first use so the
+    /// steady-state transmit path never formats a path string.
+    tel_links: HashMap<Link, ComponentId>,
+    tel_prefix: String,
 }
 
 impl NocNetwork {
@@ -154,7 +164,35 @@ impl NocNetwork {
             encryption: false,
             master_seed,
             stats: NocStats::default(),
+            tel: Telemetry::disabled(),
+            tel_root: ComponentId::NONE,
+            tel_links: HashMap::new(),
+            tel_prefix: String::new(),
         })
+    }
+
+    /// Attaches a telemetry sink under `prefix` (e.g. `"noc"`). Per-link
+    /// utilization counters and queue gauges appear as
+    /// `{prefix}/link(x0,y0)->(x1,y1)` components; packet/energy totals
+    /// and per-class latency histograms live on `{prefix}` itself. Clones
+    /// of this network share the sink.
+    pub fn attach_telemetry(&mut self, t: &Telemetry, prefix: &str) {
+        self.tel = t.clone();
+        self.tel_root = t.component(prefix);
+        self.tel_prefix = prefix.to_owned();
+        self.tel_links.clear();
+    }
+
+    fn link_component(&mut self, link: Link) -> ComponentId {
+        if let Some(&id) = self.tel_links.get(&link) {
+            return id;
+        }
+        let id = self.tel.component(&format!(
+            "{}/link({},{})->({},{})",
+            self.tel_prefix, link.from.x, link.from.y, link.to.x, link.to.y
+        ));
+        self.tel_links.insert(link, id);
+        id
     }
 
     /// The underlying mesh (for fault injection on links).
@@ -247,6 +285,7 @@ impl NocNetwork {
     ) -> Result<Delivery> {
         if !self.policy.allows(packet.src, packet.dst) {
             self.stats.isolation_rejects += 1;
+            self.tel.counter_add(self.tel_root, "isolation_rejects", 1);
             return Err(NocError::IsolationViolation {
                 src: packet.src,
                 dst: packet.dst,
@@ -288,13 +327,27 @@ impl NocNetwork {
         for (i, w) in path.windows(2).enumerate() {
             let link = Link::new(w[0], w[1]);
             let slot = self.busy.entry((link, vc)).or_insert(SimTime::ZERO);
+            let queue_wait = slot.saturating_since(cursor);
             let start = cursor.max(*slot) + router_delay + crypto_link_delay;
             let done = start + serialization;
+            let backlog = done.saturating_since(cursor);
             *slot = done;
             *self.reserved.entry(link).or_insert(SimDuration::ZERO) += serialization;
             cursor = done;
             energy += Energy::from_fj(cal::FLIT_HOP_FJ * flits);
             self.stats.flit_hops += flits;
+            if self.tel.is_enabled() {
+                let lid = self.link_component(link);
+                self.tel
+                    .counter_add(lid, "reserved_ps", serialization.as_ps());
+                self.tel.counter_add(lid, "flits", flits);
+                // Instantaneous per-link state: how far this VC's queue
+                // extends past the packet's own arrival at the link.
+                self.tel
+                    .gauge_set(lid, "backlog_ps", backlog.as_ps() as f64);
+                self.tel
+                    .record(self.tel_root, "queue_wait_ps", queue_wait.as_ps());
+            }
             if i == (hops as usize) / 2 {
                 if let Some(t) = tamper {
                     t(&mut wire);
@@ -313,6 +366,8 @@ impl NocNetwork {
             );
             if Some(expect) != tag {
                 self.stats.auth_failures += 1;
+                self.tel.counter_add(self.tel_root, "auth_failures", 1);
+                self.tel.counter_add(self.tel_root, "drops", 1);
                 return Err(NocError::AuthenticationFailed {
                     packet_id: packet.id,
                 });
@@ -328,6 +383,20 @@ impl NocNetwork {
         self.stats.packets += 1;
         self.stats.energy += energy;
         self.stats.latency_ns[vc].record((cursor - depart).as_ns_f64());
+        if self.tel.is_enabled() {
+            self.tel.counter_add(self.tel_root, "packets", 1);
+            self.tel
+                .counter_add(self.tel_root, "flit_hops", flits * u64::from(hops));
+            self.tel
+                .counter_add(self.tel_root, "energy_fj", energy.as_fj());
+            self.tel
+                .counter_add(self.tel_root, "busy_ps", (cursor - depart).as_ps());
+            self.tel.record(
+                self.tel_root,
+                VC_LATENCY_METRIC[vc],
+                (cursor - depart).as_ps() / 1000,
+            );
+        }
         Ok(Delivery {
             arrival: cursor,
             energy,
@@ -519,6 +588,52 @@ mod tests {
         // Reset clears telemetry.
         noc.reset();
         assert!(noc.hottest_link().is_none());
+    }
+
+    #[test]
+    fn telemetry_tracks_links_and_totals() {
+        use cim_sim::telemetry::{MetricValue, Telemetry, TelemetryLevel};
+        let t = Telemetry::new(TelemetryLevel::Metrics);
+        let mut noc = net();
+        noc.attach_telemetry(&t, "noc");
+        for i in 0..4 {
+            let p = Packet::new(i, n(0, 0), n(3, 0), vec![0u8; 256]);
+            noc.transmit(&p, SimTime::ZERO).unwrap();
+        }
+        noc.policy_mut().assign(n(7, 7), 2);
+        let blocked = Packet::new(9, n(0, 0), n(7, 7), vec![1]);
+        assert!(noc.transmit(&blocked, SimTime::ZERO).is_err());
+
+        let root = t.component("noc");
+        t.with_registry(|r| {
+            assert_eq!(r.counter(root, "packets"), 4);
+            assert_eq!(r.counter(root, "isolation_rejects"), 1);
+            assert_eq!(
+                r.counter(root, "energy_fj"),
+                noc.stats().energy.as_fj(),
+                "telemetry energy mirrors NocStats"
+            );
+            // Queued packets show up in the wait histogram.
+            let waits = r.histogram(root, "queue_wait_ps").expect("recorded");
+            assert_eq!(waits.count(), 4 * 3, "3 hops per packet");
+            assert!(waits.sum() > 0, "later packets queued behind the first");
+        });
+        // Per-link components carry utilization; link (0,0)->(1,0) saw
+        // all four packets.
+        let snap = t.snapshot();
+        let hot = snap
+            .iter()
+            .find(|s| s.component == "noc/link(0,0)->(1,0)" && s.metric == "reserved_ps")
+            .expect("hot link present");
+        let load = noc
+            .link_load()
+            .into_iter()
+            .find(|(l, _)| l.from == n(0, 0) && l.to == n(1, 0))
+            .unwrap();
+        assert_eq!(hot.as_counter(), Some(load.1.as_ps()));
+        assert!(snap.iter().any(|s| s.component == "noc/link(0,0)->(1,0)"
+            && s.metric == "backlog_ps"
+            && matches!(s.value, MetricValue::Gauge(g) if g > 0.0)));
     }
 
     #[test]

@@ -214,6 +214,11 @@ impl Log2Histogram {
         }
     }
 
+    /// Sum of all recorded values (u128: 2^64 max-values don't overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Number of values that fell in bucket `i`.
     ///
     /// # Panics
@@ -242,7 +247,11 @@ impl Log2Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i == 0 { 0 } else { (1u128 << i) as u64 - 1 });
+                // Bucket 64 covers values up to u64::MAX; the shift must be
+                // done in u128 *including* the -1, otherwise `(1u128 << 64)
+                // as u64` truncates to 0 and underflows.
+                let bound = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                return Some(bound.min(u64::MAX as u128) as u64);
             }
         }
         Some(u64::MAX)
@@ -319,21 +328,60 @@ impl Samples {
 
     /// The `p`-th percentile (nearest-rank method); `None` when empty.
     ///
+    /// Costs O(n log n) when any [`record`](Self::record) happened since
+    /// the last percentile query (the backing vector is re-sorted); later
+    /// queries without intervening records are O(1). When querying several
+    /// percentiles after a batch of records, prefer
+    /// [`percentiles`](Self::percentiles), which sorts once.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&mut self, p: f64) -> Option<f64> {
-        assert!(
-            (0.0..=100.0).contains(&p),
-            "percentile must be in [0,100], got {p}"
-        );
         if self.values.is_empty() {
             return None;
         }
         self.ensure_sorted();
+        Some(self.percentile_sorted(p))
+    }
+
+    /// The percentiles at each requested rank, with a single sort.
+    ///
+    /// Returns one value per entry of `ps`, in the same order, or `None`
+    /// when no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is outside `[0, 100]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cim_sim::stats::Samples;
+    ///
+    /// let mut s = Samples::new();
+    /// for v in 1..=100u64 {
+    ///     s.record(v as f64);
+    /// }
+    /// assert_eq!(s.percentiles(&[50.0, 90.0, 99.0]), Some(vec![50.0, 90.0, 99.0]));
+    /// ```
+    pub fn percentiles(&mut self, ps: &[f64]) -> Option<Vec<f64>> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        Some(ps.iter().map(|&p| self.percentile_sorted(p)).collect())
+    }
+
+    /// Nearest-rank lookup; requires `values` sorted and non-empty.
+    fn percentile_sorted(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0,100], got {p}"
+        );
         let n = self.values.len();
         let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
-        Some(self.values[rank.min(n) - 1])
+        self.values[rank.min(n) - 1]
     }
 
     /// Arithmetic mean; zero when empty.
@@ -455,6 +503,37 @@ mod tests {
         assert!((511..=1023).contains(&median), "median bound {median}");
         assert_eq!(h.quantile_upper_bound(1.0), Some(1023));
         assert!(Log2Histogram::new().quantile_upper_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_handles_u64_max() {
+        // Regression: bucket 64's upper bound used to be computed as
+        // `(1u128 << 64) as u64 - 1`, which truncates to 0 before the
+        // subtraction (debug panic / wrong value in release).
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(64), 1);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX as u128);
+        // Bucket 63 (values 2^62..2^63) is unaffected by the clamp.
+        let mut h63 = Log2Histogram::new();
+        h63.record(1u64 << 62);
+        assert_eq!(h63.quantile_upper_bound(1.0), Some((1u64 << 63) - 1));
+    }
+
+    #[test]
+    fn samples_percentiles_batch_matches_single() {
+        let mut s = Samples::new();
+        for v in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            s.record(v);
+        }
+        let batch = s.percentiles(&[0.0, 50.0, 100.0]).unwrap();
+        assert_eq!(batch, vec![1.0, 5.0, 9.0]);
+        for (i, p) in [0.0, 50.0, 100.0].into_iter().enumerate() {
+            assert_eq!(s.percentile(p), Some(batch[i]));
+        }
+        assert!(Samples::new().percentiles(&[50.0]).is_none());
     }
 
     #[test]

@@ -145,6 +145,25 @@ impl TraceBuffer {
             .find(|r| r.message.contains(needle))
     }
 
+    /// First retained record from `component` (exact match) whose message
+    /// contains `needle`, oldest-first. Unlike [`find`](Self::find), this
+    /// cannot match a record from a different unit whose message happens
+    /// to mention the same word.
+    pub fn find_in(&self, component: &str, needle: &str) -> Option<&TraceRecord> {
+        self.records
+            .iter()
+            .find(|r| r.component == component && r.message.contains(needle))
+    }
+
+    /// Last retained record from `component` whose message contains
+    /// `needle`.
+    pub fn rfind_in(&self, component: &str, needle: &str) -> Option<&TraceRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.component == component && r.message.contains(needle))
+    }
+
     /// Count of retained records at `level` or above.
     pub fn count_at_least(&self, level: TraceLevel) -> usize {
         self.records.iter().filter(|r| r.level >= level).count()
@@ -204,6 +223,48 @@ mod tests {
         assert_eq!(b.rfind("fault").map(|r| r.at), Some(SimTime::from_ns(9)));
         let gap = b.find("recovered").unwrap().at - b.find("fault").unwrap().at;
         assert_eq!(gap.as_ns_f64(), 4.0);
+    }
+
+    #[test]
+    fn find_in_scopes_to_component() {
+        let mut b = TraceBuffer::with_capacity(10);
+        b.emit(
+            SimTime::from_ns(1),
+            TraceLevel::Error,
+            "unit0",
+            "fault detected",
+        );
+        b.emit(
+            SimTime::from_ns(2),
+            TraceLevel::Info,
+            "unit1",
+            "fault cleared",
+        );
+        b.emit(
+            SimTime::from_ns(3),
+            TraceLevel::Error,
+            "unit0",
+            "fault again",
+        );
+        // Plain find matches unit0's record first even when the caller
+        // meant unit1 — the component-scoped variants do not.
+        assert_eq!(
+            b.find_in("unit1", "fault").map(|r| r.at),
+            Some(SimTime::from_ns(2))
+        );
+        assert_eq!(
+            b.find_in("unit0", "fault").map(|r| r.at),
+            Some(SimTime::from_ns(1))
+        );
+        assert_eq!(
+            b.rfind_in("unit0", "fault").map(|r| r.at),
+            Some(SimTime::from_ns(3))
+        );
+        assert!(b.find_in("unit2", "fault").is_none());
+        assert!(
+            b.find_in("unit", "fault").is_none(),
+            "component match is exact"
+        );
     }
 
     #[test]

@@ -1,18 +1,36 @@
 //! Quickstart: load a neural network onto a CIM device, stream inputs
 //! through it, and compare against the CPU and GPU baselines.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`. Pass
+//! `--telemetry out.jsonl` to also export the device's metrics as
+//! JSON lines; a one-screen summary is printed either way.
 
 use cim::baseline::{CpuModel, GpuModel};
 use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim::sim::telemetry::{validate_jsonl_line, TelemetryLevel};
 use cim::sim::SeedTree;
 use cim::workloads::nn::{mlp_graph, random_inputs};
 use std::collections::HashMap;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| {
+            let path = args.get(i + 1).cloned();
+            args.drain(i..args.len().min(i + 2));
+            path.expect("--telemetry requires a path")
+        })
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--telemetry=").map(str::to_owned))
+        });
+
     // 1. A CIM device: 4×4 tiles × 4 micro-units on a packet mesh.
     let mut device = CimDevice::new(FabricConfig::default())?;
+    let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     println!(
         "device: {} micro-units on a {}x{} tile mesh",
         device.units().len(),
@@ -79,5 +97,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         gpu_cost.latency.as_secs_f64() / batch as f64 / cim_s,
         cpu_cost.energy.as_joules() / report.energy.as_joules().max(1e-18)
     );
+
+    // 6. Where did the time and energy go? One screen of metrics.
+    println!();
+    print!("{}", tel.render_summary(16));
+
+    if let Some(path) = telemetry_path {
+        let text = tel.export_jsonl();
+        for (i, line) in text.lines().enumerate() {
+            validate_jsonl_line(line).map_err(|e| format!("telemetry line {}: {e}", i + 1))?;
+        }
+        std::fs::write(&path, &text)?;
+        println!("telemetry: wrote {} lines to {path}", text.lines().count());
+    }
     Ok(())
 }

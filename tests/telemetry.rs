@@ -1,0 +1,66 @@
+//! Integration tests for the telemetry tentpole: the JSON-lines export
+//! must be deterministic (byte-identical across same-seed runs) and
+//! every exported line must satisfy the in-tree schema validator.
+
+use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
+use cim::sim::telemetry::{validate_jsonl_line, TelemetryLevel};
+use cim::sim::SeedTree;
+use cim::workloads::nn::{mlp_graph, random_inputs};
+use std::collections::HashMap;
+
+/// Run one small end-to-end workload on a fresh device and return the
+/// telemetry export.
+fn run_once(seed: u64, level: TelemetryLevel) -> String {
+    let mut device = CimDevice::new(FabricConfig::default()).unwrap();
+    let tel = device.enable_telemetry(level);
+    let seeds = SeedTree::new(seed);
+    let (graph, src, _sink) = mlp_graph(&[64, 32, 10], seeds);
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .unwrap();
+    let inputs: Vec<_> = random_inputs(4, 64, seeds.child("x"))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    device
+        .execute_stream(&mut prog, &inputs, &StreamOptions::default())
+        .unwrap();
+    tel.export_jsonl()
+}
+
+#[test]
+fn export_is_byte_identical_across_same_seed_runs() {
+    let a = run_once(7, TelemetryLevel::Metrics);
+    let b = run_once(7, TelemetryLevel::Metrics);
+    assert!(!a.is_empty(), "an instrumented run must export metrics");
+    assert_eq!(a, b, "same seed, same device, same workload => same bytes");
+}
+
+#[test]
+fn export_lines_all_pass_the_schema_validator() {
+    let text = run_once(11, TelemetryLevel::Full);
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        lines += 1;
+    }
+    assert!(lines > 16, "a full run should export many metric lines");
+}
+
+#[test]
+fn disabled_telemetry_exports_nothing() {
+    let mut device = CimDevice::new(FabricConfig::default()).unwrap();
+    let tel = device.telemetry().clone();
+    assert!(!tel.is_enabled());
+    let seeds = SeedTree::new(3);
+    let (graph, src, _sink) = mlp_graph(&[64, 32, 10], seeds);
+    let mut prog = device
+        .load_program(&graph, MappingPolicy::LocalityAware)
+        .unwrap();
+    let inputs = vec![HashMap::from([(src, vec![0.25; 64])])];
+    device
+        .execute_stream(&mut prog, &inputs, &StreamOptions::default())
+        .unwrap();
+    assert!(tel.export_jsonl().is_empty());
+    assert!(tel.snapshot().is_empty());
+}
