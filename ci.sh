@@ -19,8 +19,15 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 step "cargo build --release --offline"
 cargo build --workspace --release --offline
 
-step "cargo test -q --offline"
-cargo test --workspace -q --offline
+# The suite runs twice: serial reference, then multi-threaded. The
+# determinism contract (see DESIGN.md "Host-parallel execution") says
+# both must see bit-identical modeled numbers, so any thread-count
+# sensitivity fails here rather than on a user's machine.
+step "cargo test -q --offline (CIM_THREADS=1)"
+CIM_THREADS=1 cargo test --workspace -q --offline
+
+step "cargo test -q --offline (CIM_THREADS=4)"
+CIM_THREADS=4 cargo test --workspace -q --offline
 
 step "smoke-run examples/quickstart.rs"
 cargo run --release --offline --example quickstart
@@ -32,5 +39,14 @@ cargo run --release --offline --example quickstart -- --telemetry "$TELEMETRY_OU
 # Every line must parse as JSON with component/metric/value keys; the
 # checker is in-tree (no external JSON tooling, per the hermetic policy).
 cargo run --release --offline -p cim-bench --bin telemetry_check -- "$TELEMETRY_OUT"
+
+step "bench baseline: serial vs parallel batch throughput"
+# Records the host-parallel baseline (threads=1 vs threads=4 on the
+# same workload); outputs stay bit-identical, only wall-clock moves.
+# Kept fast for CI with a small sample budget.
+BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
+    cargo bench --offline -p cim-bench --bench parallel | tee BENCH_parallel.json
+# Sanity: both thread-count lines landed as JSON objects.
+grep -c '^{"bench":"parallel/matvec_batch64_t' BENCH_parallel.json | grep -qx 2
 
 printf '\n== ci.sh: all gates passed\n'

@@ -1,0 +1,49 @@
+//! Serial-vs-parallel batch throughput — the recorded baseline for the
+//! host-parallel execution layer (`BENCH_parallel.json`).
+//!
+//! Times the same deterministic workload at `threads = 1` and
+//! `threads = 4` so the trajectory captures the host-parallel speedup
+//! (or, on a single-core runner, its absence) without changing any
+//! modeled numbers: outputs are bit-identical across all variants.
+//!
+//! ```text
+//! cargo bench --bench parallel > BENCH_parallel.json
+//! ```
+
+use cim_bench::harness::Group;
+use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+use cim_crossbar::matrix::DenseMatrix;
+use cim_sim::SeedTree;
+
+const BATCH: usize = 64;
+const DIM: usize = 128;
+
+fn programmed_engine() -> DotProductEngine {
+    let w = DenseMatrix::from_fn(DIM, DIM, |r, c| (((r * 3 + c) % 17) as f64 / 17.0) - 0.5);
+    let mut dpe = DotProductEngine::new(DpeConfig::noise_free(), SeedTree::new(0xBA7C));
+    dpe.program(&w).expect("programs");
+    dpe
+}
+
+fn batch_inputs() -> Vec<Vec<f64>> {
+    (0..BATCH)
+        .map(|i| {
+            (0..DIM)
+                .map(|j| (((i + j) % 7) as f64 / 7.0) - 0.4)
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let xs = batch_inputs();
+    let mut g = Group::new("parallel");
+    g.throughput(BATCH as u64);
+    for threads in [1usize, 4] {
+        let mut dpe = programmed_engine();
+        g.bench(&format!("matvec_batch{BATCH}_t{threads}"), || {
+            dpe.matvec_batch_threads(&xs, threads).expect("runs").1
+        });
+    }
+    g.finish();
+}

@@ -54,40 +54,48 @@ fn layer(dim: usize, seeds: SeedTree) -> (DataflowGraph, NodeRef) {
 }
 
 /// Runs the sweep over the given layer dimensions.
+///
+/// Each dimension is an independent measurement on its own device, so
+/// the grid fans out across `CIM_THREADS` host threads
+/// ([`crate::harness::parallel_points`]); per-point seeds derive from
+/// the dimension, making results bit-identical at every thread count.
 pub fn run(dims: &[usize]) -> Vec<CrossoverPoint> {
+    run_threads(dims, cim_sim::pool::thread_count())
+}
+
+/// [`run`] with an explicit host thread count.
+pub fn run_threads(dims: &[usize], threads: usize) -> Vec<CrossoverPoint> {
     let seeds = SeedTree::new(0x0C0E);
     let cpu = CpuModel::new(20).expect("socket");
-    dims.iter()
-        .map(|&dim| {
-            let (graph, src) = layer(dim, seeds.child_idx(dim as u64));
-            let cpu_cost = cpu.run_graph(&graph, 1);
+    crate::harness::parallel_points_threads(threads, dims, |_, &dim| {
+        let (graph, src) = layer(dim, seeds.child_idx(dim as u64));
+        let cpu_cost = cpu.run_graph(&graph, 1);
 
-            let mut device = CimDevice::new(FabricConfig {
-                dpe: DpeConfig {
-                    input_bits: 4,
-                    ..DpeConfig::noise_free()
-                },
-                ..FabricConfig::default()
-            })
-            .expect("fabric");
-            let mut prog = device
-                .load_program(&graph, MappingPolicy::LocalityAware)
-                .expect("fits");
-            let report = device
-                .execute_stream(
-                    &mut prog,
-                    &[HashMap::from([(src, vec![0.25; dim])])],
-                    &StreamOptions::default(),
-                )
-                .expect("runs");
-            CrossoverPoint {
-                dim,
-                weight_bytes: (dim * dim * 8) as u64,
-                latency_ratio: cpu_cost.latency.as_secs_f64() / report.mean_latency().as_secs_f64(),
-                energy_ratio: cpu_cost.energy.as_joules() / report.energy.as_joules().max(1e-18),
-            }
+        let mut device = CimDevice::new(FabricConfig {
+            dpe: DpeConfig {
+                input_bits: 4,
+                ..DpeConfig::noise_free()
+            },
+            ..FabricConfig::default()
         })
-        .collect()
+        .expect("fabric");
+        let mut prog = device
+            .load_program(&graph, MappingPolicy::LocalityAware)
+            .expect("fits");
+        let report = device
+            .execute_stream(
+                &mut prog,
+                &[HashMap::from([(src, vec![0.25; dim])])],
+                &StreamOptions::default(),
+            )
+            .expect("runs");
+        CrossoverPoint {
+            dim,
+            weight_bytes: (dim * dim * 8) as u64,
+            latency_ratio: cpu_cost.latency.as_secs_f64() / report.mean_latency().as_secs_f64(),
+            energy_ratio: cpu_cost.energy.as_joules() / report.energy.as_joules().max(1e-18),
+        }
+    })
 }
 
 /// Renders the sweep.

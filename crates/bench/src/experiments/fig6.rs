@@ -29,28 +29,44 @@ pub fn run(batch: usize) -> Fig6Report {
 }
 
 /// Like [`run`], but with device telemetry enabled; the returned handle
-/// holds the accumulated metrics of all four integration-mode runs (for
+/// holds the merged metrics of all four integration-mode runs (for
 /// `--telemetry` export in the `fig6_evolution` binary).
+///
+/// Each mode runs on its own freshly built device — `run_integrated`
+/// resets occupancy first, so a per-mode device is result-identical to
+/// the old shared-device sequence — which lets the four evolution points
+/// fan out across `CIM_THREADS` host threads. Per-mode telemetry sinks
+/// are merged in evolution order, so the export is byte-identical at
+/// every thread count (and now covers all four modes instead of only the
+/// last one measured).
 pub fn run_with_telemetry(batch: usize) -> (Fig6Report, Telemetry) {
     let seeds = SeedTree::new(0xF16);
-    let mut device = CimDevice::new(FabricConfig {
-        dpe: DpeConfig::noise_free(),
-        ..FabricConfig::default()
-    })
-    .expect("default fabric");
-    let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     let (graph, src, _sink) = mlp_graph(&[256, 128, 32], seeds);
-    let mut prog = device
-        .load_program(&graph, MappingPolicy::LocalityAware)
-        .expect("fits");
     let inputs: Vec<_> = random_inputs(batch, 256, seeds.child("x"))
         .into_iter()
         .map(|x| HashMap::from([(src, x)]))
         .collect();
-    let modes = IntegrationMode::ALL
-        .iter()
-        .map(|&mode| run_integrated(&mut device, &mut prog, &inputs, mode).expect("runs"))
-        .collect();
+    let tel = Telemetry::new(TelemetryLevel::Metrics);
+    let results = crate::harness::parallel_points(&IntegrationMode::ALL, |_, &mode| {
+        let mut device = CimDevice::new(FabricConfig {
+            dpe: DpeConfig::noise_free(),
+            ..FabricConfig::default()
+        })
+        .expect("default fabric");
+        let mode_tel = device.enable_telemetry(TelemetryLevel::Metrics);
+        let mut prog = device
+            .load_program(&graph, MappingPolicy::LocalityAware)
+            .expect("fits");
+        let report = run_integrated(&mut device, &mut prog, &inputs, mode).expect("runs");
+        (report, mode_tel)
+    });
+    let mut modes = Vec::with_capacity(results.len());
+    for (report, mode_tel) in results {
+        if let Some(reg) = mode_tel.registry_clone() {
+            tel.merge_registry(&reg);
+        }
+        modes.push(report);
+    }
     (Fig6Report { batch, modes }, tel)
 }
 

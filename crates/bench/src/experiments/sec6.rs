@@ -231,22 +231,7 @@ pub fn run_with_telemetry(dim: usize, stream_len: usize) -> (Sec6Report, Telemet
     let (graph, src) = layer_graph(dim, seeds);
 
     // --- CIM fabric --------------------------------------------------------
-    let mut device = CimDevice::new(FabricConfig {
-        dpe: DpeConfig {
-            // 4-bit inputs: the latency/energy ratios of §VI concern
-            // inference-class precision. Devices are noise-free (accuracy
-            // is the ABL-ADC experiment's concern) but the ADC stays at
-            // the calibrated 8-bit design point — a 16-bit converter
-            // would burn 4^8 more energy per sample and misprice the
-            // engine.
-            input_bits: 4,
-            adc_bits: cim_sim::calib::dpe::ADC_BITS,
-            device: cim_crossbar::device::DeviceParams::ideal(cim_sim::calib::dpe::CELL_BITS),
-            ..DpeConfig::default()
-        },
-        ..FabricConfig::default()
-    })
-    .expect("default fabric");
+    let mut device = CimDevice::new(cim_config()).expect("default fabric");
     let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     let mut prog = device
         .load_program(&graph, MappingPolicy::LocalityAware)
@@ -306,6 +291,80 @@ pub fn run_with_telemetry(dim: usize, stream_len: usize) -> (Sec6Report, Telemet
         },
         tel,
     )
+}
+
+/// The fabric configuration every CIM measurement in this experiment
+/// uses (see the inline rationale in [`run_with_telemetry`]).
+fn cim_config() -> FabricConfig {
+    FabricConfig {
+        dpe: DpeConfig {
+            // 4-bit inputs: the latency/energy ratios of §VI concern
+            // inference-class precision. Devices are noise-free (accuracy
+            // is the ABL-ADC experiment's concern) but the ADC stays at
+            // the calibrated 8-bit design point — a 16-bit converter
+            // would burn 4^8 more energy per sample and misprice the
+            // engine.
+            input_bits: 4,
+            adc_bits: cim_sim::calib::dpe::ADC_BITS,
+            device: cim_crossbar::device::DeviceParams::ideal(cim_sim::calib::dpe::CELL_BITS),
+            ..DpeConfig::default()
+        },
+        ..FabricConfig::default()
+    }
+}
+
+/// One point of the batch-scaling curve (§VI at batch scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPoint {
+    /// Stream length at this point.
+    pub batch: usize,
+    /// First-injection to last-completion span.
+    pub makespan: SimDuration,
+    /// Sustained throughput, items per second.
+    pub throughput: f64,
+    /// Mean energy per item across the stream.
+    pub energy_per_item: Energy,
+}
+
+/// Sweeps the CIM fabric's throughput across batch sizes — the batch
+/// curve behind the paper's "bandwidth" claim. Each point builds its own
+/// device (a sweep point is an independent measurement), so the sweep
+/// fans out across `CIM_THREADS` host threads via
+/// [`crate::harness::parallel_points`]; results are bit-identical at
+/// every thread count.
+pub fn run_batch_curve(dim: usize, batches: &[usize]) -> Vec<BatchPoint> {
+    run_batch_curve_threads(dim, batches, cim_sim::pool::thread_count())
+}
+
+/// [`run_batch_curve`] with an explicit host thread count.
+pub fn run_batch_curve_threads(dim: usize, batches: &[usize], threads: usize) -> Vec<BatchPoint> {
+    let seeds = SeedTree::new(0x5EC6);
+    let (graph, src) = layer_graph(dim, seeds);
+    crate::harness::parallel_points_threads(threads, batches, |_, &batch| {
+        let mut device = CimDevice::new(cim_config()).expect("default fabric");
+        let mut prog = device
+            .load_program(&graph, MappingPolicy::LocalityAware)
+            .expect("graph fits");
+        device.reset_occupancy();
+        // Inputs cycle over non-zero values: an all-zero vector would
+        // skip every analog phase and misprice the point.
+        let stream: Vec<_> = (0..batch)
+            .map(|i| HashMap::from([(src, vec![((i % 3) + 1) as f64 / 4.0; dim])]))
+            .collect();
+        let report = device
+            .execute_stream(&mut prog, &stream, &StreamOptions::default())
+            .expect("runs");
+        BatchPoint {
+            batch,
+            makespan: report.makespan(),
+            throughput: report.throughput().unwrap_or(0.0),
+            energy_per_item: if batch > 0 {
+                Energy::from_fj(report.energy.as_fj() / batch as u64)
+            } else {
+                Energy::ZERO
+            },
+        }
+    })
 }
 
 /// Renders the §VI comparison table.
@@ -449,6 +508,26 @@ mod tests {
         assert!(s.contains("4096x4096"));
         assert!(s.contains("per-component breakdown"));
         assert!(s.contains("adc"));
+    }
+
+    #[test]
+    fn batch_curve_scales_throughput_and_is_thread_count_invariant() {
+        // Small dim keeps this CI-fast; the curve's shape (throughput
+        // grows with batch as the pipeline fills) holds at any scale.
+        let batches = [1usize, 4, 16];
+        let serial = run_batch_curve_threads(64, &batches, 1);
+        assert_eq!(serial.len(), 3);
+        assert!(
+            serial[2].throughput > serial[0].throughput,
+            "pipeline fill must raise sustained throughput: {serial:?}"
+        );
+        for threads in [2, 8] {
+            assert_eq!(
+                serial,
+                run_batch_curve_threads(64, &batches, threads),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

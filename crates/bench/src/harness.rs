@@ -17,6 +17,32 @@
 use cim_sim::stats::Samples;
 use std::time::Instant;
 
+/// Maps `f` over the points of a sweep on up to `CIM_THREADS` host
+/// threads, preserving point order — the parallel-map entry every
+/// multi-device experiment sweep (sec6 batch curve, fig6 evolution
+/// modes, crossover grid) funnels through. Each point must build its own
+/// device/model state inside `f`; see [`cim_sim::pool`] for the
+/// determinism contract.
+pub fn parallel_points<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    cim_sim::pool::parallel_map(points, f)
+}
+
+/// [`parallel_points`] with an explicit thread count (used by the
+/// determinism tests; results are identical at every count).
+pub fn parallel_points_threads<T, R, F>(threads: usize, points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    cim_sim::pool::parallel_map_threads(threads, points, f)
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()

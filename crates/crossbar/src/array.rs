@@ -31,13 +31,21 @@ impl OpCost {
         }
     }
 
-    /// Combines costs of operations running in parallel: latencies take the
-    /// max, energies add.
-    pub fn join_parallel(self, other: OpCost) -> OpCost {
+    /// Combines costs of operations running in parallel: latencies take
+    /// the max, energies add. The dual of [`then`](Self::then) — use it
+    /// whenever two operations occupy *different* physical resources over
+    /// the same interval (batch items on engine shards, arrays behind
+    /// independent ADCs).
+    pub fn par(self, other: OpCost) -> OpCost {
         OpCost {
             latency: self.latency.max(other.latency),
             energy: self.energy + other.energy,
         }
+    }
+
+    /// Alias for [`par`](Self::par), kept for existing call sites.
+    pub fn join_parallel(self, other: OpCost) -> OpCost {
+        self.par(other)
     }
 }
 
@@ -87,6 +95,15 @@ impl CrossbarArray {
             programmed: false,
             fast: None,
         }
+    }
+
+    /// Re-derives the read-noise RNG from `seeds`, exactly as
+    /// [`new`](Self::new) does. This is the seed-split determinism hook:
+    /// giving each batch item a per-item seed tree makes the noise stream
+    /// a function of the item index alone, independent of which engine
+    /// shard (or host thread) executes it.
+    pub fn reseed(&mut self, seeds: cim_sim::SeedTree) {
+        self.rng = seeds.rng("crossbar-array");
     }
 
     /// Rebuilds (or clears) the noise-free conductance cache. Reads are

@@ -191,7 +191,7 @@ pub struct DpeFootprint {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DotProductEngine {
     config: DpeConfig,
     adc: Adc,
@@ -205,6 +205,7 @@ pub struct DotProductEngine {
     total_busy: SimDuration,
     mvm_count: u64,
     tel: Telemetry,
+    tel_path: String,
     tel_array: ComponentId,
     tel_dac: ComponentId,
     tel_adc: ComponentId,
@@ -238,6 +239,7 @@ impl DotProductEngine {
             total_busy: SimDuration::ZERO,
             mvm_count: 0,
             tel: Telemetry::disabled(),
+            tel_path: String::new(),
             tel_array: ComponentId::NONE,
             tel_dac: ComponentId::NONE,
             tel_adc: ComponentId::NONE,
@@ -252,6 +254,7 @@ impl DotProductEngine {
     /// disabled handle (the default state) keeps every event a no-op.
     pub fn attach_telemetry(&mut self, t: &Telemetry, path: &str) {
         self.tel = t.clone();
+        self.tel_path = path.to_owned();
         self.tel_array = t.component(&format!("{path}/array"));
         self.tel_dac = t.component(&format!("{path}/dac"));
         self.tel_adc = t.component(&format!("{path}/adc"));
@@ -532,20 +535,110 @@ impl DotProductEngine {
         Ok(DpeOutput { values, cost })
     }
 
-    /// Runs a batch of inputs through the engine, sequentially (a single
-    /// engine instance is one physical resource).
+    /// Re-derives every array's read-noise stream from `seeds`, using the
+    /// same per-array derivation as [`program`](Self::program). The
+    /// engine's own seed tree is replaced, so subsequent operations are a
+    /// pure function of `seeds` regardless of prior history.
+    pub fn reseed(&mut self, seeds: SeedTree) {
+        self.seeds = seeds;
+        let slices = self.config.slices();
+        for (rt, row) in self.arrays.iter_mut().enumerate() {
+            let col_tiles = row.len();
+            for (ct, pair) in row.iter_mut().enumerate() {
+                for (sign, stack) in pair.iter_mut().enumerate() {
+                    for (s, xbar) in stack.iter_mut().enumerate() {
+                        xbar.reseed(
+                            seeds
+                                .child("dpe-array")
+                                .child_idx((rt * col_tiles + ct) as u64)
+                                .child_idx((sign * slices + s) as u64),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs a batch of inputs through the engine: each item executes on
+    /// its own engine shard (the batched deployment of §VI — replicated
+    /// weights behind independent ADCs), so the combined cost is
+    /// [`OpCost::par`] across items (max latency, summed energy).
+    ///
+    /// Host threads come from `CIM_THREADS` (see [`cim_sim::pool`]).
+    /// Results are bit-identical at every thread count: item `i` computes
+    /// with the seed stream `seeds/batch/{mvm_count}/{i}` regardless of
+    /// which shard runs it, and shard-local telemetry registries are
+    /// merged into the attached sink in shard order.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`matvec`](Self::matvec) error.
+    /// Propagates the first (lowest-index) [`matvec`](Self::matvec) error.
     pub fn matvec_batch(&mut self, xs: &[Vec<f64>]) -> Result<(Vec<Vec<f64>>, OpCost)> {
+        self.matvec_batch_threads(xs, cim_sim::pool::thread_count())
+    }
+
+    /// [`matvec_batch`](Self::matvec_batch) with an explicit host thread
+    /// count (`1` forces the serial in-line path; results are identical).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest-index) [`matvec`](Self::matvec) error.
+    pub fn matvec_batch_threads(
+        &mut self,
+        xs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<(Vec<Vec<f64>>, OpCost)> {
+        if self.arrays.is_empty() {
+            return Err(CrossbarError::NotProgrammed);
+        }
+        if xs.is_empty() {
+            return Ok((Vec::new(), OpCost::default()));
+        }
+        let base = self.seeds.child("batch").child_idx(self.mvm_count);
+        let shard_level = self.tel.level();
+        let shard_enabled = self.tel.is_enabled();
+        let this = &*self;
+        let (results, shards) = cim_sim::pool::parallel_map_reduce(
+            threads,
+            xs,
+            |_| {
+                let mut eng = this.clone();
+                // Shards record into private sinks so the merged export
+                // is independent of the item→thread partition; a shared
+                // sink would interleave nondeterministically.
+                let tel = if shard_enabled {
+                    let t = Telemetry::new(shard_level);
+                    eng.attach_telemetry(&t, &this.tel_path);
+                    Some(t)
+                } else {
+                    None
+                };
+                (eng, tel)
+            },
+            |(eng, _), i, x| {
+                eng.reseed(base.child_idx(i as u64));
+                eng.matvec(x)
+            },
+        );
+
         let mut outs = Vec::with_capacity(xs.len());
         let mut cost = OpCost::default();
-        for x in xs {
-            let out = self.matvec(x)?;
-            cost = cost.then(out.cost);
+        for r in results {
+            let out = r?;
+            cost = cost.par(out.cost);
             outs.push(out.values);
         }
+        for (_, tel) in &shards {
+            if let Some(reg) = tel.as_ref().and_then(Telemetry::registry_clone) {
+                self.tel.merge_registry(&reg);
+            }
+        }
+        self.total_energy += cost.energy;
+        self.total_busy += cost.latency;
+        self.mvm_count += xs.len() as u64;
+        // Leave the engine's RNG state a pure function of (seed, item
+        // count) so post-batch operations are partition-independent too.
+        self.reseed(base.child_idx(xs.len() as u64));
         Ok((outs, cost))
     }
 
@@ -732,15 +825,83 @@ mod tests {
     }
 
     #[test]
-    fn batch_accumulates_cost() {
+    fn batch_combines_cost_in_parallel() {
         let w = DenseMatrix::from_fn(8, 8, |_, _| 0.5);
         let mut dpe = engine(DpeConfig::ideal());
         dpe.program(&w).unwrap();
         let single = dpe.matvec(&[0.1; 8]).unwrap().cost;
         let (outs, cost) = dpe.matvec_batch(&vec![vec![0.1; 8]; 4]).unwrap();
         assert_eq!(outs.len(), 4);
-        assert_eq!(cost.latency, single.latency * 4);
+        // Items run on parallel engine shards: latency is the max across
+        // identical items, energy the sum.
+        assert_eq!(cost.latency, single.latency);
+        assert_eq!(cost.energy.as_fj(), single.energy.as_fj() * 4);
         assert_eq!(dpe.mvm_count(), 5);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts() {
+        // Noisy config so the per-item RNG reseeding actually matters.
+        let w = DenseMatrix::from_fn(32, 16, |r, c| (((r + 5 * c) % 13) as f64 / 13.0) - 0.5);
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|i| {
+                (0..32)
+                    .map(|j| (((i + j) % 7) as f64 / 7.0) - 0.5)
+                    .collect()
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut dpe = engine(DpeConfig::default());
+            dpe.program(&w).unwrap();
+            dpe.matvec_batch_threads(&xs, threads).unwrap()
+        };
+        let (outs1, cost1) = run(1);
+        for threads in [2, 3, 8] {
+            let (outs, cost) = run(threads);
+            assert_eq!(outs, outs1, "threads={threads}");
+            assert_eq!(cost, cost1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_is_byte_identical_across_thread_counts() {
+        use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+        let w = DenseMatrix::from_fn(32, 16, |r, c| (((r * 2 + c) % 11) as f64 / 11.0) - 0.5);
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..32)
+                    .map(|j| (((i * 3 + j) % 5) as f64 / 5.0) - 0.3)
+                    .collect()
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut dpe = engine(DpeConfig::default());
+            let t = Telemetry::new(TelemetryLevel::Metrics);
+            dpe.attach_telemetry(&t, "mu0");
+            dpe.program(&w).unwrap();
+            dpe.matvec_batch_threads(&xs, threads).unwrap();
+            t.export_jsonl()
+        };
+        let serial = run(1);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn batch_state_after_run_is_partition_independent() {
+        // A batch followed by more work must not depend on how the batch
+        // was sharded: the engine reseeds to a defined post-batch state.
+        let w = DenseMatrix::from_fn(16, 8, |r, c| (((r + c) % 9) as f64 / 9.0) - 0.4);
+        let x: Vec<f64> = (0..16).map(|i| ((i % 4) as f64 / 4.0) - 0.3).collect();
+        let run = |threads: usize| {
+            let mut dpe = engine(DpeConfig::default());
+            dpe.program(&w).unwrap();
+            dpe.matvec_batch_threads(&vec![x.clone(); 5], threads)
+                .unwrap();
+            dpe.matvec(&x).unwrap().values
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

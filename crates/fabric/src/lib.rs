@@ -18,6 +18,7 @@
 //! | [`security`] | §IV.A |
 //! | [`virt`] | §IV.B |
 //! | [`resman`] | §IV.C + §III.B dynamic dataflow |
+//! | [`replicate`] | §VI scale-out (replicated devices, host-parallel) |
 //! | [`runtime`] | §III.E run-times and operating systems |
 //! | [`reliability`] | §V.A |
 //! | [`self_prog`] | §III.B self-programmable dataflow |
@@ -68,6 +69,7 @@ pub mod error;
 pub mod integration;
 pub mod mapper;
 pub mod reliability;
+pub mod replicate;
 pub mod resman;
 pub mod runtime;
 pub mod security;
@@ -83,6 +85,7 @@ pub use error::{FabricError, Result};
 pub use integration::{run_integrated, IntegrationMode, IntegrationReport};
 pub use mapper::{map_graph, map_graph_subset, MappingPolicy, Placement};
 pub use reliability::{run_duplex, run_fault_campaign, CampaignReport, ScheduledFault};
+pub use replicate::{execute_stream_replicated, execute_stream_replicated_threads, StreamItem};
 pub use resman::{run_farm, FarmReport, LoadReport, SlaController};
 pub use runtime::{CimRuntime, JobId, JobStatus};
 pub use security::{fence_tile, CapabilityTable};

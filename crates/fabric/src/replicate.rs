@@ -1,0 +1,292 @@
+//! Replicated stream execution: scale-out across identical devices.
+//!
+//! A stream whose items are independent (inference over a batch, a
+//! parameter sweep) can be served by `N` replicas of the same device,
+//! each programmed with the same graph — the scale-out deployment §VI
+//! compares against single-device throughput. Replicas are *model-level*
+//! resources: the item→replica partition is fixed by the replica count
+//! alone, never by the host thread count, so a run at `CIM_THREADS=8`
+//! is bit-identical to `CIM_THREADS=1` (see [`cim_sim::pool`]).
+//!
+//! Each replica records into a private telemetry sink; the registries
+//! are merged into the caller's sink in replica order, keeping
+//! JSON-lines exports byte-identical across thread counts.
+
+use crate::config::FabricConfig;
+use crate::device::CimDevice;
+use crate::engine::{StreamOptions, StreamReport};
+use crate::error::Result;
+use crate::mapper::MappingPolicy;
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+use cim_sim::energy::Energy;
+use cim_sim::pool;
+use cim_sim::telemetry::Telemetry;
+use std::collections::HashMap;
+
+/// One stream item: every source node mapped to its input vector.
+pub type StreamItem = HashMap<NodeRef, Vec<f64>>;
+
+/// Executes `items` across `replicas` identical devices built from
+/// `config`, host-parallelized with `CIM_THREADS` threads.
+///
+/// Items are split into `replicas` contiguous chunks (balanced to within
+/// one item); replica `r` builds a fresh [`CimDevice`], loads `graph`
+/// under `policy`, and streams its chunk with `options`. The returned
+/// report concatenates the per-replica reports in item order: replicas
+/// run concurrently, so `injected`/`completed` timestamps are each
+/// replica's local timeline starting at `options.start`, energies sum,
+/// and recovery events carry global item indices.
+///
+/// When `telemetry` is enabled, every replica installs a private sink at
+/// the same component paths and the registries are merged into
+/// `telemetry` in replica order — deterministic, thread-count-invariant
+/// exports.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-replica) build, load or stream error.
+pub fn execute_stream_replicated(
+    config: &FabricConfig,
+    graph: &DataflowGraph,
+    policy: MappingPolicy,
+    items: &[StreamItem],
+    options: &StreamOptions,
+    replicas: usize,
+    telemetry: &Telemetry,
+) -> Result<StreamReport> {
+    execute_stream_replicated_threads(
+        config,
+        graph,
+        policy,
+        items,
+        options,
+        replicas,
+        telemetry,
+        pool::thread_count(),
+    )
+}
+
+/// [`execute_stream_replicated`] with an explicit host thread count.
+///
+/// The item→replica partition depends only on `replicas` and
+/// `items.len()`; `threads` affects wall-clock time, nothing else.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-replica) build, load or stream error.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_replicated_threads(
+    config: &FabricConfig,
+    graph: &DataflowGraph,
+    policy: MappingPolicy,
+    items: &[StreamItem],
+    options: &StreamOptions,
+    replicas: usize,
+    telemetry: &Telemetry,
+    threads: usize,
+) -> Result<StreamReport> {
+    let empty = StreamReport {
+        outputs: Vec::new(),
+        injected: Vec::new(),
+        completed: Vec::new(),
+        energy: Energy::ZERO,
+        recoveries: Vec::new(),
+    };
+    if items.is_empty() {
+        return Ok(empty);
+    }
+    let replicas = replicas.max(1).min(items.len());
+    let level = telemetry.level();
+    let shard_enabled = telemetry.is_enabled();
+
+    // One work item per replica; chunks are contiguous and balanced, so
+    // concatenating per-replica reports preserves global item order.
+    let chunks: Vec<(usize, usize)> = (0..replicas)
+        .map(|r| (items.len() * r / replicas, items.len() * (r + 1) / replicas))
+        .collect();
+    let results = pool::parallel_map_threads(threads, &chunks, |_, &(lo, hi)| {
+        let mut device = CimDevice::new(config.clone())?;
+        let tel = if shard_enabled {
+            let t = Telemetry::new(level);
+            device.install_telemetry(&t);
+            Some(t)
+        } else {
+            None
+        };
+        let mut prog = device.load_program(graph, policy)?;
+        let mut report = device.execute_stream(&mut prog, &items[lo..hi], options)?;
+        for ev in &mut report.recoveries {
+            ev.item += lo;
+        }
+        Ok::<_, crate::error::FabricError>((report, tel))
+    });
+
+    let mut merged = empty;
+    for r in results {
+        let (report, tel) = r?;
+        merged.outputs.extend(report.outputs);
+        merged.injected.extend(report.injected);
+        merged.completed.extend(report.completed);
+        merged.energy += report.energy;
+        merged.recoveries.extend(report.recoveries);
+        if let Some(reg) = tel.as_ref().and_then(Telemetry::registry_clone) {
+            telemetry.merge_registry(&reg);
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+    use cim_sim::telemetry::TelemetryLevel;
+
+    fn graph() -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let src = b.add("in", Operation::Source { width: 8 });
+        let fc = b.add(
+            "fc",
+            Operation::MatVec {
+                rows: 8,
+                cols: 4,
+                weights: (0..32).map(|i| ((i % 5) as f64 - 2.0) / 8.0).collect(),
+            },
+        );
+        let relu = b.add(
+            "relu",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width: 4,
+            },
+        );
+        let out = b.add("out", Operation::Sink { width: 4 });
+        b.chain(&[src, fc, relu, out]).unwrap();
+        (b.build().unwrap(), src, out)
+    }
+
+    fn items(src: NodeRef, n: usize) -> Vec<StreamItem> {
+        (0..n)
+            .map(|i| {
+                HashMap::from([(
+                    src,
+                    (0..8).map(|j| (((i + j) % 5) as f64 / 5.0) - 0.3).collect(),
+                )])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicated_outputs_match_single_device() {
+        let config = FabricConfig::default();
+        let (g, src, out) = graph();
+        let xs = items(src, 10);
+        let mut device = CimDevice::new(config.clone()).unwrap();
+        let mut prog = device
+            .load_program(&g, MappingPolicy::LocalityAware)
+            .unwrap();
+        let single = device
+            .execute_stream(&mut prog, &xs, &StreamOptions::default())
+            .unwrap();
+        let rep = execute_stream_replicated(
+            &config,
+            &g,
+            MappingPolicy::LocalityAware,
+            &xs,
+            &StreamOptions::default(),
+            3,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rep.outputs.len(), 10);
+        for (a, b) in rep.outputs.iter().zip(&single.outputs) {
+            assert_eq!(a[&out], b[&out], "replicas compute the same function");
+        }
+    }
+
+    #[test]
+    fn replication_is_thread_count_invariant() {
+        let config = FabricConfig::default();
+        let (g, src, _) = graph();
+        let xs = items(src, 11);
+        let run = |threads: usize| {
+            let t = Telemetry::new(TelemetryLevel::Metrics);
+            let rep = execute_stream_replicated_threads(
+                &config,
+                &g,
+                MappingPolicy::LocalityAware,
+                &xs,
+                &StreamOptions::default(),
+                4,
+                &t,
+                threads,
+            )
+            .unwrap();
+            (rep.outputs, rep.injected, rep.completed, t.export_jsonl())
+        };
+        let serial = run(1);
+        assert!(!serial.3.is_empty(), "telemetry export must be populated");
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn recovery_indices_are_global() {
+        // Chunks must offset their local recovery item indices.
+        let config = FabricConfig::default();
+        let (g, src, _) = graph();
+        let xs = items(src, 6);
+        let rep = execute_stream_replicated(
+            &config,
+            &g,
+            MappingPolicy::LocalityAware,
+            &xs,
+            &StreamOptions::default(),
+            3,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(rep.recoveries.is_empty(), "healthy devices never recover");
+        assert_eq!(rep.injected.len(), 6);
+        assert_eq!(rep.completed.len(), 6);
+        assert!(rep.energy.as_fj() > 0);
+    }
+
+    #[test]
+    fn replica_count_is_clamped_to_items() {
+        let config = FabricConfig::default();
+        let (g, src, out) = graph();
+        let xs = items(src, 2);
+        let rep = execute_stream_replicated(
+            &config,
+            &g,
+            MappingPolicy::LocalityAware,
+            &xs,
+            &StreamOptions::default(),
+            16,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rep.outputs.len(), 2);
+        assert_eq!(rep.outputs[0][&out].len(), 4);
+    }
+
+    #[test]
+    fn empty_stream_is_a_cheap_no_op() {
+        let config = FabricConfig::default();
+        let (g, _, _) = graph();
+        let rep = execute_stream_replicated(
+            &config,
+            &g,
+            MappingPolicy::LocalityAware,
+            &[],
+            &StreamOptions::default(),
+            4,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(rep.outputs.is_empty());
+        assert_eq!(rep.energy, Energy::ZERO);
+    }
+}

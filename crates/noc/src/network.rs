@@ -226,10 +226,20 @@ impl NocNetwork {
     }
 
     /// Clears per-link reservations and statistics (fresh experiment).
+    ///
+    /// Runtime telemetry gauges (`backlog_ps` on every link this network
+    /// ever touched) are zeroed too: a gauge is instantaneous state, and
+    /// letting the last experiment's queue depth bleed into the next
+    /// run's snapshot misreports a freshly reset network as loaded.
     pub fn reset(&mut self) {
         self.busy.clear();
         self.reserved.clear();
         self.stats = NocStats::default();
+        if self.tel.is_enabled() {
+            for &lid in self.tel_links.values() {
+                self.tel.gauge_set(lid, "backlog_ps", 0.0);
+            }
+        }
     }
 
     /// Cumulative reserved (serialization) time per link, hottest first —
@@ -355,9 +365,10 @@ impl NocNetwork {
             }
         }
 
-        let wire_payload = wire.clone();
-        // Destination boundary: verify + decrypt.
-        let payload = if self.encryption {
+        // Destination boundary: verify + decrypt. `wire` is moved into the
+        // delivery record, so the plaintext path delivers the single copy
+        // made at the source boundary instead of cloning it twice.
+        let (wire_payload, payload) = if self.encryption {
             let key = self.domain_key(src_domain);
             let expect = crypto::auth_tag(
                 &wire,
@@ -375,9 +386,10 @@ impl NocNetwork {
             let (plain, cost) = crypto::decrypt(&wire, key, nonce);
             cursor += cost.latency;
             energy += cost.energy;
-            plain
+            (wire, plain)
         } else {
-            wire_payload.clone()
+            let payload = wire.clone();
+            (wire, payload)
         };
 
         self.stats.packets += 1;
@@ -408,11 +420,18 @@ impl NocNetwork {
 
     /// The zero-load latency of a packet over `hops` hops — the floor the
     /// QoS experiments compare against.
+    ///
+    /// With encryption on this includes everything an uncontended
+    /// [`transmit`](Self::transmit) charges: the per-hop link crypto
+    /// *and* the source-side encrypt plus destination-side decrypt at the
+    /// boundaries (each a fixed [`cal::CRYPTO_CYCLES`], pipelined per
+    /// byte), so floor == measured latency on an idle network.
     pub fn zero_load_latency(&self, packet: &Packet, hops: u32) -> SimDuration {
         let serialization = Self::cycle() * (packet.flit_count() * cal::LINK_CYCLES);
         let per_hop = Self::cycle() * cal::ROUTER_CYCLES + serialization;
         let crypto = if self.encryption {
-            Self::cycle() * (cal::CRYPTO_CYCLES * u64::from(hops))
+            // hops link passes + 2 boundary operations (encrypt, decrypt).
+            Self::cycle() * (cal::CRYPTO_CYCLES * (u64::from(hops) + 2))
         } else {
             SimDuration::ZERO
         };
@@ -634,6 +653,57 @@ mod tests {
         assert!(snap.iter().any(|s| s.component == "noc/link(0,0)->(1,0)"
             && s.metric == "backlog_ps"
             && matches!(s.value, MetricValue::Gauge(g) if g > 0.0)));
+    }
+
+    #[test]
+    fn zero_load_latency_matches_uncontended_encrypted_transmit() {
+        // Regression: the floor used to omit the source-side encrypt and
+        // dest-side decrypt that transmit charges, underestimating true
+        // uncontended latency whenever encryption was on.
+        let mut noc = net();
+        noc.set_encryption(true);
+        for (dst, payload) in [(n(3, 3), 64usize), (n(7, 0), 16), (n(1, 0), 1024)] {
+            let p = Packet::new(1, n(0, 0), dst, vec![0u8; payload]);
+            let d = noc.transmit(&p, SimTime::ZERO).unwrap();
+            let floor = noc.zero_load_latency(&p, d.hops);
+            assert_eq!(
+                (d.arrival - SimTime::ZERO).as_ps(),
+                floor.as_ps(),
+                "floor must equal measured uncontended latency (dst {dst:?})"
+            );
+            noc.reset();
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_runtime_gauges() {
+        use cim_sim::telemetry::{MetricValue, Telemetry, TelemetryLevel};
+        let t = Telemetry::new(TelemetryLevel::Metrics);
+        let mut noc = net();
+        noc.attach_telemetry(&t, "noc");
+        let p = Packet::new(1, n(0, 0), n(3, 0), vec![0u8; 512]);
+        noc.transmit(&p, SimTime::ZERO).unwrap();
+        let loaded = t.snapshot();
+        assert!(
+            loaded
+                .iter()
+                .any(|s| s.metric == "backlog_ps"
+                    && matches!(s.value, MetricValue::Gauge(g) if g > 0.0)),
+            "traffic must raise a backlog gauge"
+        );
+        // Regression: reset used to leave the last packet's backlog in
+        // the gauges, so a fresh experiment's snapshot showed load.
+        noc.reset();
+        for s in t.snapshot() {
+            if s.metric == "backlog_ps" {
+                assert!(
+                    matches!(s.value, MetricValue::Gauge(g) if g == 0.0),
+                    "gauge {}/{} must be zero after reset",
+                    s.component,
+                    s.metric
+                );
+            }
+        }
     }
 
     #[test]

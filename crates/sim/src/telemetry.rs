@@ -41,10 +41,9 @@
 use crate::energy::Energy;
 use crate::stats::Log2Histogram;
 use crate::time::{SimDuration, SimTime};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A pre-interned component path. Obtained from
 /// [`MetricsRegistry::component`] or [`Telemetry::component`]; passing it
@@ -516,12 +515,25 @@ struct TelemetryInner {
 /// ([`Telemetry::disabled`], also `Default`) carries no allocation at all
 /// and every operation returns after a single branch — instrumented hot
 /// paths cost nothing when telemetry is off.
+///
+/// The sink is behind a `Mutex`, so a handle may be moved into worker
+/// threads ([`crate::pool`]). The deterministic-parallelism contract
+/// still prefers **shard-local** sinks: workers record into their own
+/// `Telemetry` and the shards are merged in shard order afterwards
+/// ([`merge_registry`](Self::merge_registry)), keeping exports
+/// byte-identical across thread counts.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<RefCell<TelemetryInner>>>,
+    inner: Option<Arc<Mutex<TelemetryInner>>>,
 }
 
 impl Telemetry {
+    fn lock(i: &Arc<Mutex<TelemetryInner>>) -> MutexGuard<'_, TelemetryInner> {
+        // A worker that panicked mid-record leaves only scalar metric
+        // state behind; poisoning carries no useful protection here.
+        i.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A handle recording at `level`. `TelemetryLevel::Off` yields a
     /// disabled handle.
     pub fn new(level: TelemetryLevel) -> Self {
@@ -529,7 +541,7 @@ impl Telemetry {
             return Self::disabled();
         }
         Telemetry {
-            inner: Some(Rc::new(RefCell::new(TelemetryInner {
+            inner: Some(Arc::new(Mutex::new(TelemetryInner {
                 level,
                 registry: MetricsRegistry::new(),
                 tracer: SpanTracer::default(),
@@ -552,7 +564,7 @@ impl Telemetry {
     pub fn level(&self) -> TelemetryLevel {
         self.inner
             .as_ref()
-            .map_or(TelemetryLevel::Off, |i| i.borrow().level)
+            .map_or(TelemetryLevel::Off, |i| Self::lock(i).level)
     }
 
     /// Interns a component path (cold path — do this once at attach
@@ -560,7 +572,7 @@ impl Telemetry {
     /// [`ComponentId::NONE`].
     pub fn component(&self, path: &str) -> ComponentId {
         match &self.inner {
-            Some(i) => i.borrow_mut().registry.component(path),
+            Some(i) => Self::lock(i).registry.component(path),
             None => ComponentId::NONE,
         }
     }
@@ -569,7 +581,7 @@ impl Telemetry {
     #[inline]
     pub fn counter_add(&self, c: ComponentId, metric: &'static str, n: u64) {
         if let Some(i) = &self.inner {
-            i.borrow_mut().registry.counter_add(c, metric, n);
+            Self::lock(i).registry.counter_add(c, metric, n);
         }
     }
 
@@ -577,7 +589,7 @@ impl Telemetry {
     #[inline]
     pub fn gauge_set(&self, c: ComponentId, metric: &'static str, v: f64) {
         if let Some(i) = &self.inner {
-            i.borrow_mut().registry.gauge_set(c, metric, v);
+            Self::lock(i).registry.gauge_set(c, metric, v);
         }
     }
 
@@ -585,7 +597,7 @@ impl Telemetry {
     #[inline]
     pub fn record(&self, c: ComponentId, metric: &'static str, v: u64) {
         if let Some(i) = &self.inner {
-            i.borrow_mut().registry.record(c, metric, v);
+            Self::lock(i).registry.record(c, metric, v);
         }
     }
 
@@ -605,7 +617,7 @@ impl Telemetry {
         at: SimTime,
     ) -> SpanId {
         if let Some(i) = &self.inner {
-            let mut i = i.borrow_mut();
+            let mut i = Self::lock(i);
             if i.level >= TelemetryLevel::Full {
                 return i.tracer.enter_child(parent, c, name, at);
             }
@@ -620,33 +632,55 @@ impl Telemetry {
             return;
         }
         if let Some(i) = &self.inner {
-            i.borrow_mut().tracer.exit(id, at, energy);
+            Self::lock(i).tracer.exit(id, at, energy);
         }
     }
 
     /// Runs `f` against the live registry; `None` when disabled.
     pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
-        self.inner.as_ref().map(|i| f(&i.borrow().registry))
+        self.inner.as_ref().map(|i| f(&Self::lock(i).registry))
+    }
+
+    /// Merges a (typically shard-local) registry into this sink via
+    /// [`MetricsRegistry::merge`]: counters add, histograms merge, gauges
+    /// keep the max. The merge is order- and partition-independent, which
+    /// is what keeps exports byte-identical across thread counts when
+    /// parallel workers record into shard-local registries that are
+    /// merged back in shard order. No-op when disabled.
+    pub fn merge_registry(&self, other: &MetricsRegistry) {
+        if let Some(i) = &self.inner {
+            Self::lock(i).registry.merge(other);
+        }
+    }
+
+    /// A clone of the live registry (e.g. to ship a shard's metrics back
+    /// to the spawning thread); `None` when disabled.
+    pub fn registry_clone(&self) -> Option<MetricsRegistry> {
+        self.with_registry(Clone::clone)
     }
 
     /// A deterministic snapshot of all metrics (empty when disabled).
     pub fn snapshot(&self) -> Vec<MetricSample> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.borrow().registry.snapshot())
+            .map_or_else(Vec::new, |i| Self::lock(i).registry.snapshot())
     }
 
     /// All retained spans, creation order (empty when disabled).
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |i| i.borrow().tracer.iter().cloned().collect())
+            .map_or_else(Vec::new, |i| Self::lock(i).tracer.iter().cloned().collect())
     }
 
     /// Completed spans with the given name, creation order.
     pub fn completed_spans(&self, name: &str) -> Vec<SpanRecord> {
         self.inner.as_ref().map_or_else(Vec::new, |i| {
-            i.borrow().tracer.completed_named(name).cloned().collect()
+            Self::lock(i)
+                .tracer
+                .completed_named(name)
+                .cloned()
+                .collect()
         })
     }
 
@@ -655,7 +689,7 @@ impl Telemetry {
     /// phases on the same device.
     pub fn reset_values(&self) {
         if let Some(i) = &self.inner {
-            let mut i = i.borrow_mut();
+            let mut i = Self::lock(i);
             i.registry.reset_values();
             i.tracer.clear();
         }
@@ -669,7 +703,7 @@ impl Telemetry {
         let Some(i) = &self.inner else {
             return String::new();
         };
-        let i = i.borrow();
+        let i = Self::lock(i);
         let mut out = i.registry.export_jsonl();
         for s in i.tracer.iter() {
             let Some(end) = s.end else { continue };

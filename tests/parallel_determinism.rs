@@ -1,0 +1,94 @@
+//! Cross-crate determinism contract for the host-parallel layer.
+//!
+//! Running the simulator on more host threads must change wall-clock
+//! time only — every modeled number (outputs, costs) and every
+//! telemetry export must be bit-identical to the serial run. These
+//! tests pin that contract end to end: crossbar batch matvec under a
+//! noisy device model, a multi-device bench sweep, and a replicated
+//! fabric stream, each at explicit thread counts 1, 2 and 8 (explicit
+//! so the tests cannot race on the `CIM_THREADS` environment variable).
+
+use cim_bench::experiments::sec6;
+use cim_crossbar::dpe::{DotProductEngine, DpeConfig};
+use cim_crossbar::matrix::DenseMatrix;
+use cim_fabric::{execute_stream_replicated_threads, FabricConfig, MappingPolicy, StreamOptions};
+use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+use cim_sim::SeedTree;
+use cim_workloads::nn::{mlp_graph, random_inputs};
+use std::collections::HashMap;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn noisy_matvec_batch_is_bit_identical_across_thread_counts() {
+    let w = DenseMatrix::from_fn(48, 24, |r, c| (((r * 7 + c) % 19) as f64 / 19.0) - 0.5);
+    let xs: Vec<Vec<f64>> = (0..11)
+        .map(|i| {
+            (0..48)
+                .map(|j| (((i + 2 * j) % 9) as f64 / 9.0) - 0.4)
+                .collect()
+        })
+        .collect();
+    let run = |threads: usize| {
+        // Default config keeps programming/read noise on, so per-item
+        // RNG reseeding is actually load-bearing here.
+        let mut dpe = DotProductEngine::new(DpeConfig::default(), SeedTree::new(0xD373));
+        let tel = Telemetry::new(TelemetryLevel::Metrics);
+        dpe.attach_telemetry(&tel, "dpe0");
+        dpe.program(&w).expect("programs");
+        let (outs, cost) = dpe.matvec_batch_threads(&xs, threads).expect("runs");
+        (outs, cost, tel.export_jsonl())
+    };
+    let (outs1, cost1, jsonl1) = run(1);
+    assert!(!jsonl1.is_empty(), "telemetry export must not be empty");
+    for threads in &THREAD_COUNTS[1..] {
+        let (outs, cost, jsonl) = run(*threads);
+        assert_eq!(outs, outs1, "outputs differ at threads={threads}");
+        assert_eq!(cost, cost1, "cost differs at threads={threads}");
+        assert_eq!(jsonl, jsonl1, "telemetry differs at threads={threads}");
+    }
+}
+
+#[test]
+fn bench_batch_curve_sweep_is_bit_identical_across_thread_counts() {
+    let run = |threads: usize| sec6::run_batch_curve_threads(48, &[1, 3, 8], threads);
+    let serial = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(run(*threads), serial, "sweep differs at threads={threads}");
+    }
+}
+
+#[test]
+fn replicated_stream_is_bit_identical_across_thread_counts() {
+    let seeds = SeedTree::new(0x9E9);
+    let (graph, src, _sink) = mlp_graph(&[64, 32], seeds);
+    let items: Vec<_> = random_inputs(10, 64, seeds.child("x"))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    let config = FabricConfig::default();
+    let run = |threads: usize| {
+        let tel = Telemetry::new(TelemetryLevel::Metrics);
+        let report = execute_stream_replicated_threads(
+            &config,
+            &graph,
+            MappingPolicy::LocalityAware,
+            &items,
+            &StreamOptions::default(),
+            4,
+            &tel,
+            threads,
+        )
+        .expect("runs");
+        (report.outputs, report.energy, tel.export_jsonl())
+    };
+    let (outs1, energy1, jsonl1) = run(1);
+    assert_eq!(outs1.len(), items.len());
+    assert!(!jsonl1.is_empty(), "telemetry export must not be empty");
+    for threads in &THREAD_COUNTS[1..] {
+        let (outs, energy, jsonl) = run(*threads);
+        assert_eq!(outs, outs1, "outputs differ at threads={threads}");
+        assert_eq!(energy, energy1, "energy differs at threads={threads}");
+        assert_eq!(jsonl, jsonl1, "telemetry differs at threads={threads}");
+    }
+}
