@@ -40,6 +40,16 @@ cargo run --release --offline --example quickstart -- --telemetry "$TELEMETRY_OU
 # checker is in-tree (no external JSON tooling, per the hermetic policy).
 cargo run --release --offline -p cim-bench --bin telemetry_check -- "$TELEMETRY_OUT"
 
+step "serving soak (CIM_THREADS=1)"
+# The serving front-end's acceptance gates: overload sheds with bounded
+# p99, repeated unit failures lose nothing, retry-after-repair works.
+# Run at both thread settings — every asserted number is modeled, so
+# the two runs must agree bit-for-bit.
+CIM_THREADS=1 cargo test -q --offline --test serving_soak
+
+step "serving soak (CIM_THREADS=4)"
+CIM_THREADS=4 cargo test -q --offline --test serving_soak
+
 step "bench baseline: serial vs parallel batch throughput"
 # Records the host-parallel baseline (threads=1 vs threads=4 on the
 # same workload); outputs stay bit-identical, only wall-clock moves.
@@ -48,5 +58,13 @@ BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
     cargo bench --offline -p cim-bench --bench parallel | tee BENCH_parallel.json
 # Sanity: both thread-count lines landed as JSON objects.
 grep -c '^{"bench":"parallel/matvec_batch64_t' BENCH_parallel.json | grep -qx 2
+
+step "bench baseline: serving front-end throughput"
+# Records the serving-layer baseline (light load and overload operating
+# points) next to BENCH_parallel.json.
+BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
+    cargo bench --offline -p cim-bench --bench serving | tee BENCH_serving.json
+# Sanity: both operating-point lines landed as JSON objects.
+grep -c '^{"bench":"serving/open_loop_' BENCH_serving.json | grep -qx 2
 
 printf '\n== ci.sh: all gates passed\n'

@@ -1,0 +1,31 @@
+//! Serving-layer throughput — the recorded baseline for the request
+//! front-end (`BENCH_serving.json`).
+//!
+//! Times a full open-loop serving run (admission, dispatch, SLO
+//! accounting) at a light-load and an overload operating point. Wall
+//! clock is the only thing that varies between machines; the modeled
+//! serving numbers are bit-identical everywhere.
+//!
+//! ```text
+//! cargo bench --bench serving > BENCH_serving.json
+//! ```
+
+use cim_bench::experiments::serving::run_threads;
+use cim_bench::harness::Group;
+
+const N_REQUESTS: usize = 150;
+
+fn main() {
+    let mut g = Group::new("serving");
+    g.throughput(N_REQUESTS as u64);
+    for (name, rate) in [("light_100k", 100_000.0), ("overload_3200k", 3_200_000.0)] {
+        g.bench(&format!("open_loop_{name}"), || {
+            // Single-threaded inside the timer: one point, one service.
+            run_threads(&[rate], N_REQUESTS, 0x5E21, 1)
+                .pop()
+                .expect("one point")
+                .admitted
+        });
+    }
+    g.finish();
+}

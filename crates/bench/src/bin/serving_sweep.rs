@@ -1,0 +1,16 @@
+//! Serving load sweep (§III.E serving front-end over the CIM fabric):
+//! offered load from light traffic through ~8× saturation, standard
+//! three-tenant mix. Pass a request count per point to override the
+//! default 400.
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let points = cim_bench::experiments::serving::run(
+        &cim_bench::experiments::serving::DEFAULT_RATES,
+        n,
+        0x5E21,
+    );
+    print!("{}", cim_bench::experiments::serving::render(&points));
+}

@@ -47,6 +47,36 @@ impl RetentionModel {
         assert!(elapsed_secs >= 0.0, "elapsed time must be non-negative");
         (self.drift_at_life * elapsed_secs / self.retention_life_secs).min(1.0)
     }
+
+    /// The *additional* multiplicative drift fraction for advancing a cell
+    /// that is already `age_secs` old by another `elapsed_secs`.
+    ///
+    /// Conductance decays multiplicatively: after age `a` a cell retains
+    /// `1 − drift_fraction(a)` of its programmed value. Applying the raw
+    /// `drift_fraction(dt)` once per `advance` call therefore compounds —
+    /// N small steps drift more than one big one, and the clamp makes
+    /// 2×10 yr ≠ 1×20 yr. This incremental form is renormalized so the
+    /// factors telescope exactly:
+    ///
+    /// `(1 − incr) · (1 − drift_fraction(a)) = 1 − drift_fraction(a + dt)`
+    ///
+    /// which makes any split of an interval equivalent to one call over
+    /// the whole interval, clamp included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    pub fn incremental_drift_fraction(&self, age_secs: f64, elapsed_secs: f64) -> f64 {
+        assert!(age_secs >= 0.0, "age must be non-negative");
+        let before = self.drift_fraction(age_secs);
+        let after = self.drift_fraction(age_secs + elapsed_secs);
+        if before >= 1.0 {
+            // Fully drifted: conductance is already zero, nothing left to
+            // decay (avoids 0/0 below).
+            return 0.0;
+        }
+        ((after - before) / (1.0 - before)).clamp(0.0, 1.0)
+    }
 }
 
 /// Tracks deployment age of a programmed engine and applies drift/refresh.
@@ -104,11 +134,17 @@ impl AgingManager {
     /// Advances deployment time, applying the corresponding drift to every
     /// array in the engine.
     ///
+    /// Uses [`RetentionModel::incremental_drift_fraction`], so splitting an
+    /// interval across many `advance` calls drifts exactly as much as one
+    /// call over the whole interval (step-size independence).
+    ///
     /// # Panics
     ///
     /// Panics if `elapsed_secs` is negative.
     pub fn advance(&mut self, dpe: &mut DotProductEngine, elapsed_secs: f64) {
-        let frac = self.model.drift_fraction(elapsed_secs);
+        let frac = self
+            .model
+            .incremental_drift_fraction(self.age_secs, elapsed_secs);
         dpe.for_each_array(|_, _, _, _, xbar| {
             xbar.drift_all(1.0, frac);
         });
@@ -208,5 +244,80 @@ mod tests {
     fn negative_elapsed_panics() {
         let m = RetentionModel::default();
         let _ = m.drift_fraction(-1.0);
+    }
+
+    #[test]
+    fn incremental_fractions_telescope_to_the_single_call_drift() {
+        let m = RetentionModel::default();
+        // Effective retained fraction after N split advances must equal the
+        // single-call value to 1e-12, for step counts that do and do not
+        // cross the clamp.
+        for (total, steps) in [
+            (7.3 * YEAR_SECS, 13),
+            (20.0 * YEAR_SECS, 40),
+            (250.0 * YEAR_SECS, 7), // deep into the clamp
+        ] {
+            let dt = total / steps as f64;
+            let mut retained = 1.0;
+            let mut age = 0.0;
+            for _ in 0..steps {
+                retained *= 1.0 - m.incremental_drift_fraction(age, dt);
+                age += dt;
+            }
+            let split_drift = 1.0 - retained;
+            let single_drift = m.drift_fraction(total);
+            assert!(
+                (split_drift - single_drift).abs() < 1e-12,
+                "split {split_drift} vs single {single_drift} over {steps} steps"
+            );
+        }
+    }
+
+    #[test]
+    fn split_advance_matches_single_advance_rmse() {
+        // Two identical engines, one aged in 20 small steps, one in a
+        // single call: their readout errors must agree to 1e-12.
+        let (mut dpe_split, w, x) = setup();
+        let (mut dpe_single, _, _) = setup();
+        let exact = w.matvec(&x).unwrap();
+        let total = 6.0 * YEAR_SECS;
+
+        let mut mgr_split = AgingManager::new(RetentionModel::default(), w.clone());
+        for _ in 0..20 {
+            mgr_split.advance(&mut dpe_split, total / 20.0);
+        }
+        let mut mgr_single = AgingManager::new(RetentionModel::default(), w.clone());
+        mgr_single.advance(&mut dpe_single, total);
+
+        assert!((mgr_split.age_secs() - mgr_single.age_secs()).abs() < 1e-3);
+        let err_split = normalized_rmse(&dpe_split.matvec(&x).unwrap().values, &exact);
+        let err_single = normalized_rmse(&dpe_single.matvec(&x).unwrap().values, &exact);
+        assert!(
+            (err_split - err_single).abs() < 1e-12,
+            "split {err_split} vs single {err_single}"
+        );
+        assert!(err_single > 1e-3, "six years of drift must be visible");
+    }
+
+    #[test]
+    fn clamped_drift_is_path_independent() {
+        // 2×10 yr and 1×20 yr both cross the 10-yr retention life of a
+        // fully-drifting model; they must end at identical conductances.
+        let model = RetentionModel {
+            retention_life_secs: 10.0 * YEAR_SECS,
+            drift_at_life: 1.0,
+        };
+        let (mut dpe_a, w, x) = setup();
+        let (mut dpe_b, _, _) = setup();
+        let mut mgr_a = AgingManager::new(model, w.clone());
+        mgr_a.advance(&mut dpe_a, 10.0 * YEAR_SECS);
+        mgr_a.advance(&mut dpe_a, 10.0 * YEAR_SECS);
+        let mut mgr_b = AgingManager::new(model, w);
+        mgr_b.advance(&mut dpe_b, 20.0 * YEAR_SECS);
+        let out_a = dpe_a.matvec(&x).unwrap().values;
+        let out_b = dpe_b.matvec(&x).unwrap().values;
+        for (a, b) in out_a.iter().zip(&out_b) {
+            assert!((a - b).abs() < 1e-12, "2x10yr {a} vs 1x20yr {b}");
+        }
     }
 }

@@ -319,97 +319,112 @@ impl CimDevice {
                 }
                 let in_refs: Vec<&[f64]> = in_values.iter().map(Vec::as_slice).collect();
 
-                // Execute, with one recovery attempt on unit failure.
+                // Execute, with §V.A fenced-retry recovery on unit failure.
+                // The loop survives *repeated* failures on one node: every
+                // failed attempt fences one unit (clearing its stale
+                // assignment so a later repair returns it to the spare
+                // pool) and remaps to a fresh spare, so it is bounded by
+                // the device's spare supply — `find_spare` draws from a
+                // finite healthy pool and errors when it runs dry.
                 let config = self.config().clone();
-                let exec = {
-                    let unit = self.unit_mut(unit_idx);
-                    if let cim_dataflow::ops::Operation::Source { .. } = node.op {
-                        // Sources inject: charge a digital pass-through.
-                        unit.execute(&node.op, &in_refs[..1], ready, &config)
-                    } else {
-                        unit.execute(&node.op, &in_refs, ready, &config)
-                    }
-                };
-                let (vals, t_done, energy) = match exec {
-                    Ok(ok) => ok,
-                    Err(FabricError::NoSpareAvailable { unit: failed }) => {
-                        // §V.A recovery: detect, fence, re-map, reprogram,
-                        // replay from buffered inputs.
-                        let spare = self
-                            .find_spare(failed)
-                            .ok_or(FabricError::NoSpareAvailable { unit: failed })?;
-                        // The spare must itself be authorized: recovery is
-                        // not a capability bypass (secure default — the
-                        // orchestrator re-grants after a remap).
-                        if let Some(caps) = &opts.capabilities {
-                            if !caps.allows(prog.stream_id, spare) {
-                                return Err(FabricError::CapabilityDenied {
-                                    stream: prog.stream_id,
-                                    unit: spare,
-                                });
-                            }
+                let is_source = matches!(node.op, cim_dataflow::ops::Operation::Source { .. });
+                let mut exec_unit = unit_idx;
+                let mut when = ready;
+                let (vals, t_done, energy) = loop {
+                    let exec = {
+                        let unit = self.unit_mut(exec_unit);
+                        if is_source {
+                            // Sources inject: charge a digital pass-through.
+                            unit.execute(&node.op, &in_refs[..1], when, &config)
+                        } else {
+                            unit.execute(&node.op, &in_refs, when, &config)
                         }
-                        let seeds = self.seeds().child("recovery");
-                        let program_cost = self
-                            .unit_mut(spare)
-                            .assign(node_idx, &node.op, &config, seeds)?;
-                        self.meter_mut().charge("config", program_cost.energy);
-                        prog.placement.node_to_unit[node_idx] = spare;
-                        let overhead = FAULT_DETECTION + program_cost.latency;
-                        report.recoveries.push(RecoveryEvent {
-                            item: item_idx,
-                            failed_unit: failed,
-                            replacement: spare,
-                            overhead,
-                        });
-                        let when = ready + overhead;
-                        // Fault-to-recovery is a first-class span: the
-                        // detection window plus the spare's programming,
-                        // attributed to the failed unit with the write
-                        // energy it cost. The paired trace records keep a
-                        // human-readable timeline (and a span-free
-                        // measurement path via `find_in`).
-                        let recovery_span = tel.span_enter_child(
-                            item_span,
-                            self.unit(failed).telemetry_component(),
-                            "recovery",
-                            ready,
-                        );
-                        tel.span_exit(recovery_span, when, program_cost.energy);
-                        tel.counter_add(tel_engine, "recoveries", 1);
-                        self.trace_mut().emit(
-                            ready,
-                            TraceLevel::Error,
-                            format!("unit{failed}"),
-                            format!("fault detected; node {node_idx} fenced"),
-                        );
-                        self.trace_mut().emit(
-                            when,
-                            TraceLevel::Info,
-                            format!("unit{failed}"),
-                            format!("recovered; node {node_idx} remapped to unit {spare}"),
-                        );
-                        self.unit_mut(spare)
-                            .execute(&node.op, &in_refs, when, &config)?
+                    };
+                    match exec {
+                        Ok(ok) => break ok,
+                        Err(FabricError::NoSpareAvailable { unit: failed }) => {
+                            // §V.A recovery: detect, fence, re-map,
+                            // reprogram, replay from buffered inputs.
+                            let spare = self
+                                .find_spare(failed)
+                                .ok_or(FabricError::NoSpareAvailable { unit: failed })?;
+                            // The spare must itself be authorized: recovery
+                            // is not a capability bypass (secure default —
+                            // the orchestrator re-grants after a remap).
+                            if let Some(caps) = &opts.capabilities {
+                                if !caps.allows(prog.stream_id, spare) {
+                                    return Err(FabricError::CapabilityDenied {
+                                        stream: prog.stream_id,
+                                        unit: spare,
+                                    });
+                                }
+                            }
+                            let seeds = self.seeds().child("recovery");
+                            let program_cost = self
+                                .unit_mut(spare)
+                                .assign(node_idx, &node.op, &config, seeds)?;
+                            self.meter_mut().charge("config", program_cost.energy);
+                            // Fence: the node has moved, so the failed unit
+                            // must not keep claiming it — a stale assignment
+                            // would exclude the unit from the spare pool
+                            // forever, even after repair.
+                            self.unit_mut(failed).clear_assignment();
+                            prog.placement.node_to_unit[node_idx] = spare;
+                            let overhead = FAULT_DETECTION + program_cost.latency;
+                            report.recoveries.push(RecoveryEvent {
+                                item: item_idx,
+                                failed_unit: failed,
+                                replacement: spare,
+                                overhead,
+                            });
+                            let detected = when;
+                            when += overhead;
+                            // Fault-to-recovery is a first-class span: the
+                            // detection window plus the spare's programming,
+                            // attributed to the failed unit with the write
+                            // energy it cost. The paired trace records keep
+                            // a human-readable timeline (and a span-free
+                            // measurement path via `find_in`).
+                            let recovery_span = tel.span_enter_child(
+                                item_span,
+                                self.unit(failed).telemetry_component(),
+                                "recovery",
+                                detected,
+                            );
+                            tel.span_exit(recovery_span, when, program_cost.energy);
+                            tel.counter_add(tel_engine, "recoveries", 1);
+                            self.trace_mut().emit(
+                                detected,
+                                TraceLevel::Error,
+                                format!("unit{failed}"),
+                                format!("fault detected; node {node_idx} fenced"),
+                            );
+                            self.trace_mut().emit(
+                                when,
+                                TraceLevel::Info,
+                                format!("unit{failed}"),
+                                format!("recovered; node {node_idx} remapped to unit {spare}"),
+                            );
+                            exec_unit = spare;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
                 };
                 report.energy += energy;
                 self.meter_mut().charge("compute", energy);
                 if tel.is_enabled() {
-                    // Placement reflects any recovery remap by now.
-                    let exec_unit = prog.placement.unit_of(node_idx);
+                    // `exec_unit` and `when` reflect any recovery remaps.
                     let node_span = tel.span_enter_child(
                         item_span,
                         self.unit(exec_unit).telemetry_component(),
                         node.op.kind(),
-                        ready,
+                        when,
                     );
                     tel.span_exit(node_span, t_done, energy);
                     tel.record(
                         tel_engine,
                         "dispatch_ns",
-                        ready.saturating_since(release).as_ps() / 1000,
+                        when.saturating_since(release).as_ps() / 1000,
                     );
                 }
                 values[node_idx] = Some(vals);
@@ -649,6 +664,113 @@ mod tests {
             )
             .unwrap();
         assert_eq!(d.recovery_latencies(), vec![report.recoveries[0].overhead]);
+    }
+
+    #[test]
+    fn fencing_clears_the_failed_units_assignment() {
+        let mut d = device();
+        let (g, src, _) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let victim = prog.placement().unit_of(1);
+        d.fail_unit(victim);
+        d.execute_stream(
+            &mut prog,
+            &[input_for(src, vec![0.5; 16])],
+            &StreamOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            d.unit(victim).assigned_node(),
+            None,
+            "fenced unit must not keep a stale claim on its remapped node"
+        );
+    }
+
+    #[test]
+    fn repaired_unit_rejoins_the_spare_pool() {
+        // 7 units, 6-node graph: exactly one spare at a time, so the
+        // second recovery only succeeds if the first fenced unit rejoined
+        // the pool after repair.
+        let mut d = CimDevice::new(FabricConfig {
+            mesh_width: 1,
+            mesh_height: 1,
+            units_per_tile: 7,
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        })
+        .unwrap();
+        let (g, src, out) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::RoundRobin).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        let clean = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+
+        let victim = prog.placement().unit_of(1);
+        d.fail_unit(victim);
+        let first = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(first.recoveries.len(), 1);
+
+        // Repair the fenced unit; it must become a spare candidate again.
+        d.unit_mut(victim).set_health(UnitHealth::Healthy);
+        assert_eq!(
+            d.find_spare(victim),
+            Some(victim),
+            "repaired unit must rejoin the spare pool"
+        );
+
+        // Fail node 1's new host: the only remaining spare is the repaired
+        // victim, so this recovery exercises the fix end to end.
+        let second_host = prog.placement().unit_of(1);
+        d.fail_unit(second_host);
+        let second = d
+            .execute_stream(&mut prog, &[input_for(src, x)], &StreamOptions::default())
+            .unwrap();
+        assert_eq!(second.recoveries.len(), 1);
+        assert_eq!(second.recoveries[0].replacement, victim);
+        assert_eq!(second.outputs[0][&out], clean.outputs[0][&out]);
+    }
+
+    #[test]
+    fn stream_survives_multiple_unit_failures() {
+        let mut d = device();
+        let (g, src, out) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        let clean = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        // Three distinct units fail before one stream; every node recovers
+        // within the same execute_stream call and no item is lost.
+        let victims: Vec<usize> = (1..=3).map(|n| prog.placement().unit_of(n)).collect();
+        for &v in &victims {
+            d.fail_unit(v);
+        }
+        let items: Vec<_> = (0..4).map(|_| input_for(src, x.clone())).collect();
+        let report = d
+            .execute_stream(&mut prog, &items, &StreamOptions::default())
+            .unwrap();
+        assert_eq!(report.outputs.len(), 4, "no item lost");
+        assert_eq!(report.recoveries.len(), 3);
+        let failed: Vec<usize> = report.recoveries.iter().map(|r| r.failed_unit).collect();
+        assert_eq!(failed, victims);
+        for o in &report.outputs {
+            assert_eq!(o[&out], clean.outputs[0][&out]);
+        }
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub enum FabricError {
         /// Unit that was refused.
         unit: usize,
     },
+    /// The service admission queue is full; the request was shed.
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// A request kept hitting recoverable faults until its retry budget
+    /// ran out.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -56,6 +67,12 @@ impl fmt::Display for FabricError {
             }
             FabricError::CapabilityDenied { stream, unit } => {
                 write!(f, "stream {stream} lacks a capability for unit {unit}")
+            }
+            FabricError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests in flight)")
+            }
+            FabricError::RetriesExhausted { attempts } => {
+                write!(f, "request failed after {attempts} attempts")
             }
         }
     }

@@ -20,6 +20,7 @@
 //! | [`resman`] | §IV.C + §III.B dynamic dataflow |
 //! | [`replicate`] | §VI scale-out (replicated devices, host-parallel) |
 //! | [`runtime`] | §III.E run-times and operating systems |
+//! | [`service`](mod@service) | §III.E serving front-end + §V.A retry |
 //! | [`reliability`] | §V.A |
 //! | [`self_prog`] | §III.B self-programmable dataflow |
 //! | [`serviceability`] | §V.D graceful aging and self-healing |
@@ -74,6 +75,7 @@ pub mod resman;
 pub mod runtime;
 pub mod security;
 pub mod self_prog;
+pub mod service;
 pub mod serviceability;
 pub mod unit;
 pub mod virt;
@@ -90,6 +92,10 @@ pub use resman::{run_farm, FarmReport, LoadReport, SlaController};
 pub use runtime::{CimRuntime, JobId, JobStatus};
 pub use security::{fence_tile, CapabilityTable};
 pub use self_prog::{apply_patch, deliver_and_apply, encode_patch_packet, PatchOutcome};
+pub use service::{
+    CimService, Disposition, LatencyStats, RequestOutcome, ServiceConfig, ServiceEvent,
+    ServiceReport,
+};
 pub use serviceability::{ServiceAction, ServiceabilityMonitor, UnitServiceReport};
 pub use unit::{MicroUnit, UnitHealth};
 pub use virt::{Partition, PartitionManager};

@@ -260,6 +260,86 @@ mod tests {
     }
 
     #[test]
+    fn fault_before_the_first_item_recovers_item_zero() {
+        let mut d = device();
+        let (g, s, k) = pipeline_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let ins = inputs(s, 4);
+        let faults = [ScheduledFault {
+            before_item: 0,
+            node: 1,
+        }];
+        let report =
+            run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &faults)
+                .unwrap();
+        assert_eq!(report.stream.outputs.len(), 4, "no item lost");
+        assert_eq!(report.recovery_overheads.len(), 1);
+        assert_eq!(report.stream.recoveries[0].item, 0, "item 0 recovers");
+        for out in &report.stream.outputs {
+            assert_eq!(out[&k].len(), 8);
+        }
+    }
+
+    #[test]
+    fn two_faults_before_the_same_item_both_recover() {
+        let mut d = device();
+        let (g, s, k) = pipeline_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let ins = inputs(s, 6);
+        // Two different nodes lose their units at the same instant; the
+        // stream must fence and replace both while item 2 is in flight.
+        let faults = [
+            ScheduledFault {
+                before_item: 2,
+                node: 1,
+            },
+            ScheduledFault {
+                before_item: 2,
+                node: 2,
+            },
+        ];
+        let report =
+            run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &faults)
+                .unwrap();
+        assert_eq!(report.stream.outputs.len(), 6, "no item lost");
+        assert_eq!(
+            report.recovery_overheads.len(),
+            2,
+            "one overhead per injection"
+        );
+        assert_eq!(report.items_delayed, 1, "both faults hit the same item");
+        for out in &report.stream.outputs {
+            assert_eq!(out[&k].len(), 8);
+        }
+    }
+
+    #[test]
+    fn fault_before_the_final_item_still_completes_the_stream() {
+        let mut d = device();
+        let (g, s, k) = pipeline_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let ins = inputs(s, 5);
+        let faults = [ScheduledFault {
+            before_item: 4,
+            node: 1,
+        }];
+        let report =
+            run_fault_campaign(&mut d, &mut prog, &ins, &StreamOptions::default(), &faults)
+                .unwrap();
+        assert_eq!(report.stream.outputs.len(), 5, "no item lost");
+        assert_eq!(report.recovery_overheads.len(), 1);
+        assert_eq!(
+            report.stream.recoveries[0].item, 4,
+            "the final item is the one delayed"
+        );
+        assert_eq!(out_width(&report, k), 8);
+    }
+
+    fn out_width(report: &CampaignReport, k: NodeRef) -> usize {
+        report.stream.outputs.last().unwrap()[&k].len()
+    }
+
+    #[test]
     fn recovery_overhead_is_dominated_by_reprogramming() {
         let mut d = device();
         let (g, s, _) = pipeline_graph();

@@ -70,6 +70,7 @@ pub struct CimRuntime {
     device: CimDevice,
     jobs: HashMap<JobId, MappedProgram>,
     queue: VecDeque<(JobId, DataflowGraph, MappingPolicy)>,
+    rejected: Vec<JobId>,
     next_id: u64,
 }
 
@@ -84,6 +85,7 @@ impl CimRuntime {
             device: CimDevice::new(config)?,
             jobs: HashMap::new(),
             queue: VecDeque::new(),
+            rejected: Vec::new(),
             next_id: 0,
         })
     }
@@ -147,6 +149,17 @@ impl CimRuntime {
         self.queue.iter().map(|(id, _, _)| *id).collect()
     }
 
+    /// Queued jobs dropped because permanent unit failures shrank the
+    /// device below their footprint (they could never be admitted).
+    pub fn rejected_jobs(&self) -> &[JobId] {
+        &self.rejected
+    }
+
+    /// A loaded job's program (placement inspection, fault targeting).
+    pub fn program(&self, job: JobId) -> Option<&MappedProgram> {
+        self.jobs.get(&job)
+    }
+
     fn fresh_id(&mut self) -> JobId {
         let id = JobId(self.next_id);
         self.next_id += 1;
@@ -159,13 +172,16 @@ impl CimRuntime {
     /// # Errors
     ///
     /// Returns [`FabricError::CapacityExceeded`] if the graph can *never*
-    /// fit (more nodes than the device has units), or propagates
-    /// programming failures.
+    /// fit — more nodes than the device has *healthy* units (a job
+    /// admitted against the total count would wedge the FIFO forever once
+    /// permanent failures shrink the device) — or propagates programming
+    /// failures.
     pub fn submit(&mut self, graph: DataflowGraph, policy: MappingPolicy) -> Result<JobStatus> {
-        if graph.node_count() > self.device.units().len() {
+        let healthy = self.device.healthy_unit_count();
+        if graph.node_count() > healthy {
             return Err(FabricError::CapacityExceeded {
                 needed: graph.node_count(),
-                available: self.device.units().len(),
+                available: healthy,
             });
         }
         let id = self.fresh_id();
@@ -202,6 +218,11 @@ impl CimRuntime {
     /// Finishes a job: releases its units and admits queued jobs that now
     /// fit (FIFO). Returns the newly admitted job ids.
     ///
+    /// Queued jobs that can *never* fit any more — permanent unit failures
+    /// shrank the healthy pool below their footprint while they waited —
+    /// are dropped into [`rejected_jobs`](Self::rejected_jobs) rather than
+    /// left to wedge the FIFO in front of admissible work.
+    ///
     /// # Errors
     ///
     /// Returns [`FabricError::InvalidConfig`] for unknown jobs; propagates
@@ -213,9 +234,16 @@ impl CimRuntime {
         for &unit in &prog.placement().node_to_unit {
             self.device.unit_mut(unit).reset();
         }
-        // FIFO admission: stop at the first job that does not fit.
+        // FIFO admission: stop at the first job that does not fit *yet*;
+        // drop jobs that cannot fit ever.
         let mut admitted = Vec::new();
         while let Some((id, graph, policy)) = self.queue.front().cloned() {
+            if graph.node_count() > self.device.healthy_unit_count() {
+                self.queue.pop_front();
+                self.rejected.push(id);
+                self.publish_sched_state("jobs_rejected");
+                continue;
+            }
             if graph.node_count() > self.free_units() {
                 break;
             }
@@ -339,6 +367,48 @@ mod tests {
             rt.submit(g, MappingPolicy::RoundRobin),
             Err(FabricError::CapacityExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn admission_checks_healthy_units_not_total() {
+        let mut rt = small_runtime(4);
+        rt.device_mut().fail_unit(0);
+        // 4 total units but only 3 healthy: a 4-node job can never fit.
+        let (g, _, _) = chain(4);
+        assert!(matches!(
+            rt.submit(g, MappingPolicy::RoundRobin),
+            Err(FabricError::CapacityExceeded {
+                needed: 4,
+                available: 3,
+            })
+        ));
+        // A 3-node job still goes straight to Running.
+        let (g3, _, _) = chain(3);
+        let s = rt.submit(g3, MappingPolicy::RoundRobin).expect("fits");
+        assert!(matches!(s, JobStatus::Running(_)));
+    }
+
+    #[test]
+    fn permanently_unfittable_queued_job_is_dropped_not_wedged() {
+        let mut rt = small_runtime(4);
+        let (g1, _, _) = chain(4);
+        let (g2, _, _) = chain(4);
+        let (g3, _, _) = chain(2);
+        let a = rt.submit(g1, MappingPolicy::RoundRobin).expect("fits");
+        let b = rt.submit(g2, MappingPolicy::RoundRobin).expect("queues");
+        let c = rt.submit(g3, MappingPolicy::RoundRobin).expect("queues");
+        assert!(matches!(b, JobStatus::Queued(_)));
+
+        // A permanent failure shrinks the device to 3 healthy units while
+        // the 4-node job waits: it can never run again.
+        rt.device_mut().fail_unit(0);
+        let admitted = rt.finish(a.id()).expect("finish");
+        // The dead job is dropped instead of blocking the FIFO, and the
+        // 2-node job behind it is admitted.
+        assert_eq!(admitted, vec![c.id()]);
+        assert_eq!(rt.rejected_jobs(), &[b.id()]);
+        assert!(rt.queued_jobs().is_empty());
+        assert_eq!(rt.running_jobs(), vec![c.id()]);
     }
 
     #[test]

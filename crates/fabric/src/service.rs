@@ -1,0 +1,845 @@
+//! Request serving: admission control, deadlines and retry (§III.E, §V.A).
+//!
+//! The paper's deployment story starts with CIM parts attached "as slave
+//! devices" that a host hands work to. This module is that front door:
+//! a [`CimService`] keeps one resident program per tenant class on the
+//! device (stationary weights), admits an open-loop arrival stream
+//! against a bounded queue, sheds load once the queue is full, enforces
+//! per-request deadlines, and retries recoverable faults with bounded
+//! exponential backoff — riding on the engine's §V.A mid-stream spare
+//! recovery for faults that surface while a request is executing.
+//!
+//! Everything runs in simulated time on the in-tree RNG, so a serving
+//! sweep is bit-identical at every `CIM_THREADS` setting.
+//!
+//! ```text
+//! arrivals ──► admission (queue bound) ──► dispatch ──► engine
+//!                  │ full                     │ fault        │ fault,
+//!                  ▼                          ▼ (no spare)   ▼ spare left
+//!                shed                  backoff + retry   §V.A recovery
+//! ```
+
+use crate::engine::StreamOptions;
+use crate::error::{FabricError, Result};
+use crate::mapper::MappingPolicy;
+use crate::runtime::{CimRuntime, JobId, JobStatus};
+use crate::unit::UnitHealth;
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+use cim_sim::rng::{exponential, Rng};
+use cim_sim::stats::Samples;
+use cim_sim::time::{SimDuration, SimTime};
+use cim_sim::SeedTree;
+use std::collections::HashMap;
+
+/// Serving-policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum requests in flight (admitted but not yet departed);
+    /// arrivals beyond this are shed.
+    pub queue_capacity: usize,
+    /// Total attempts per request, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `backoff_base · 2^(k-1)`.
+    pub backoff_base: SimDuration,
+    /// Placement policy for resident class programs.
+    pub mapping: MappingPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 16,
+            max_attempts: 3,
+            backoff_base: SimDuration::from_us(10),
+            mapping: MappingPolicy::LocalityAware,
+        }
+    }
+}
+
+/// A scheduled serviceability event applied while the stream runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// Hard-fail a unit (detected by the engine on next dispatch).
+    FailUnit {
+        /// Simulated time at which the unit dies.
+        at: SimTime,
+        /// The unit index.
+        unit: usize,
+    },
+    /// Return a failed unit to service (field replacement / reboot).
+    RepairUnit {
+        /// Simulated time at which the unit is healthy again.
+        at: SimTime,
+        /// The unit index.
+        unit: usize,
+    },
+}
+
+impl ServiceEvent {
+    fn at(&self) -> SimTime {
+        match *self {
+            ServiceEvent::FailUnit { at, .. } | ServiceEvent::RepairUnit { at, .. } => at,
+        }
+    }
+}
+
+/// Terminal state of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Finished within its deadline.
+    Completed {
+        /// Completion time.
+        finished: SimTime,
+        /// Attempts made (1 = no retries).
+        attempts: u32,
+        /// Whether a §V.A mid-stream recovery happened underneath it.
+        recovered: bool,
+        /// Sink output vector.
+        output: Vec<f64>,
+    },
+    /// Finished, but past its deadline (SLO miss; result discarded).
+    TimedOut {
+        /// Time the request left the system.
+        finished: SimTime,
+        /// Attempts made before giving up or finishing late.
+        attempts: u32,
+    },
+    /// Rejected at admission: the queue was full.
+    Shed,
+    /// Every attempt hit a fault and the retry budget ran out.
+    Failed {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+/// One request's journey through the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Arrival-order request id.
+    pub id: u64,
+    /// Index of the request's class (registration order).
+    pub class: usize,
+    /// Open-loop arrival time.
+    pub arrival: SimTime,
+    /// How the request ended.
+    pub disposition: Disposition,
+}
+
+/// Latency percentiles over requests that ran to completion (including
+/// SLO misses), in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Mean.
+    pub mean_us: f64,
+    /// Worst admitted request.
+    pub max_us: f64,
+}
+
+/// SLO accounting for one open-loop serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Per-request outcomes, in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests offered by the arrival process.
+    pub offered: usize,
+    /// Requests that passed admission.
+    pub admitted: usize,
+    /// Requests shed at admission (queue full).
+    pub shed: usize,
+    /// Requests completed within deadline.
+    pub completed: usize,
+    /// Requests that finished or gave up past deadline.
+    pub timed_out: usize,
+    /// Requests whose retry budget ran out.
+    pub failed: usize,
+    /// §V.A mid-stream recoveries observed under successful attempts.
+    pub recoveries: usize,
+    /// Retry attempts beyond each request's first.
+    pub retries: usize,
+    /// Latency distribution of requests that ran to completion.
+    pub latency: LatencyStats,
+}
+
+impl ServiceReport {
+    /// No request was lost: every admitted request either completed or
+    /// is accounted as a deliberate SLO miss — none vanished or failed.
+    pub fn zero_lost(&self) -> bool {
+        self.failed == 0 && self.completed + self.timed_out == self.admitted
+    }
+
+    /// Goodput: fraction of offered requests completed within deadline.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+struct ServiceClass {
+    name: String,
+    job: JobId,
+    src: NodeRef,
+    sink: NodeRef,
+    input_width: usize,
+    deadline: SimDuration,
+    weight: u32,
+}
+
+/// The request-serving front-end over a [`CimRuntime`].
+///
+/// # Examples
+///
+/// ```
+/// use cim_fabric::service::{CimService, ServiceConfig};
+/// use cim_fabric::FabricConfig;
+/// use cim_sim::time::SimDuration;
+/// use cim_sim::SeedTree;
+/// use cim_dataflow::graph::GraphBuilder;
+/// use cim_dataflow::ops::Operation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut svc = CimService::new(
+///     FabricConfig::default(),
+///     ServiceConfig::default(),
+///     SeedTree::new(1),
+/// )?;
+/// let mut b = GraphBuilder::new();
+/// let s = b.add("in", Operation::Source { width: 4 });
+/// let k = b.add("out", Operation::Sink { width: 4 });
+/// b.connect(s, k, 0)?;
+/// svc.register_class("echo", b.build()?, s, k, SimDuration::from_us(500), 1)?;
+/// let report = svc.run_open_loop(50_000.0, 20, &[])?;
+/// assert_eq!(report.offered, 20);
+/// assert!(report.zero_lost());
+/// # Ok(())
+/// # }
+/// ```
+pub struct CimService {
+    rt: CimRuntime,
+    cfg: ServiceConfig,
+    classes: Vec<ServiceClass>,
+    seeds: SeedTree,
+    /// Departure times of admitted-but-unfinished requests.
+    in_flight: Vec<SimTime>,
+    next_request: u64,
+}
+
+impl std::fmt::Debug for CimService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CimService")
+            .field("classes", &self.classes.len())
+            .field("config", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CimService {
+    /// Boots a service on a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-construction failures.
+    pub fn new(
+        fabric: crate::config::FabricConfig,
+        cfg: ServiceConfig,
+        seeds: SeedTree,
+    ) -> Result<Self> {
+        assert!(cfg.max_attempts >= 1, "need at least one attempt");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
+        Ok(CimService {
+            rt: CimRuntime::new(fabric)?,
+            cfg,
+            classes: Vec::new(),
+            seeds,
+            in_flight: Vec::new(),
+            next_request: 0,
+        })
+    }
+
+    /// The underlying runtime (telemetry, fault injection, placement).
+    pub fn runtime(&self) -> &CimRuntime {
+        &self.rt
+    }
+
+    /// The underlying runtime, mutable.
+    pub fn runtime_mut(&mut self) -> &mut CimRuntime {
+        &mut self.rt
+    }
+
+    /// Registered class names, in registration order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// The resident job serving a class (placement inspection / fault
+    /// targeting). `None` for out-of-range indices.
+    pub fn class_job(&self, class: usize) -> Option<JobId> {
+        self.classes.get(class).map(|c| c.job)
+    }
+
+    /// Registers a tenant class: loads its graph as a *resident* program
+    /// and returns the class index. `weight` is the class's share of the
+    /// open-loop traffic mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::CapacityExceeded`] if the graph cannot be
+    /// resident alongside the already-registered classes (residency is
+    /// the point: serving never waits for reprogramming), or propagates
+    /// programming failures.
+    pub fn register_class(
+        &mut self,
+        name: &str,
+        graph: DataflowGraph,
+        src: NodeRef,
+        sink: NodeRef,
+        deadline: SimDuration,
+        weight: u32,
+    ) -> Result<usize> {
+        let input_width = graph.node(src).op.output_width();
+        let nodes = graph.node_count();
+        let free = self.rt.free_units();
+        let status = self.rt.submit(graph, self.cfg.mapping)?;
+        let job = match status {
+            JobStatus::Running(id) => id,
+            // Resident or bust: a queued class could never serve.
+            JobStatus::Queued(_) => {
+                return Err(FabricError::CapacityExceeded {
+                    needed: nodes,
+                    available: free,
+                });
+            }
+        };
+        self.classes.push(ServiceClass {
+            name: name.to_string(),
+            job,
+            src,
+            sink,
+            input_width,
+            deadline,
+            weight,
+        });
+        Ok(self.classes.len() - 1)
+    }
+
+    /// Admission control: purges departed requests and checks the queue
+    /// bound at `arrival`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::QueueFull`] when the request must be shed.
+    fn try_admit(&mut self, arrival: SimTime) -> Result<()> {
+        self.in_flight.retain(|&dep| dep > arrival);
+        if self.in_flight.len() >= self.cfg.queue_capacity {
+            return Err(FabricError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Dispatches one admitted request with deadline-aware bounded
+    /// retry. Returns `(finished, attempts, recovered, output)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::RetriesExhausted`] when every attempt hit a
+    /// recoverable fault; recoverable here means the engine ran out of
+    /// spares ([`FabricError::NoSpareAvailable`]) — a later attempt can
+    /// succeed after a repair. Other execution errors propagate.
+    fn dispatch(
+        &mut self,
+        class: usize,
+        arrival: SimTime,
+        input: Vec<f64>,
+        events: &[ServiceEvent],
+        next_event: &mut usize,
+    ) -> Result<(SimTime, u32, bool, Vec<f64>)> {
+        let deadline = arrival + self.classes[class].deadline;
+        let job = self.classes[class].job;
+        let src = self.classes[class].src;
+        let sink = self.classes[class].sink;
+        let mut when = arrival;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.apply_events_until(events, next_event, when);
+            let opts = StreamOptions {
+                start: when,
+                ..StreamOptions::default()
+            };
+            let item = HashMap::from([(src, input.clone())]);
+            match self.rt.run(job, std::slice::from_ref(&item), &opts) {
+                Ok(report) => {
+                    let finished = report.completed[0];
+                    let output = report.outputs[0][&sink].clone();
+                    return Ok((finished, attempts, !report.recoveries.is_empty(), output));
+                }
+                Err(FabricError::NoSpareAvailable { .. }) => {
+                    if attempts >= self.cfg.max_attempts {
+                        return Err(FabricError::RetriesExhausted { attempts });
+                    }
+                    // Exponential backoff: 1×, 2×, 4×… the base gap.
+                    when += self.cfg.backoff_base * (1u64 << (attempts - 1));
+                    if when > deadline {
+                        // The budget outlives the SLO; stop burning spares.
+                        return Ok((when, attempts, false, Vec::new()));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn apply_events_until(&mut self, events: &[ServiceEvent], next: &mut usize, now: SimTime) {
+        while let Some(ev) = events.get(*next) {
+            if ev.at() > now {
+                break;
+            }
+            match *ev {
+                ServiceEvent::FailUnit { unit, .. } => self.rt.device_mut().fail_unit(unit),
+                ServiceEvent::RepairUnit { unit, .. } => {
+                    self.rt
+                        .device_mut()
+                        .unit_mut(unit)
+                        .set_health(UnitHealth::Healthy);
+                }
+            }
+            *next += 1;
+        }
+    }
+
+    /// Serves an open-loop Poisson-like arrival stream of `n` requests
+    /// at `rate_hz` offered requests per second, classes drawn from the
+    /// registered traffic weights. `events` is a fault/repair schedule
+    /// (applied in time order as the stream passes each event's time).
+    ///
+    /// Deterministic in the service's seed: bit-identical outcomes and
+    /// telemetry at every `CIM_THREADS` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] if no class is registered
+    /// or all weights are zero; propagates non-recoverable execution
+    /// errors (recoverable faults become dispositions, not errors).
+    pub fn run_open_loop(
+        &mut self,
+        rate_hz: f64,
+        n: usize,
+        events: &[ServiceEvent],
+    ) -> Result<ServiceReport> {
+        if self.classes.is_empty() {
+            return Err(FabricError::InvalidConfig {
+                reason: "no request class registered".into(),
+            });
+        }
+        let total_weight: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
+        if total_weight == 0 {
+            return Err(FabricError::InvalidConfig {
+                reason: "all class weights are zero".into(),
+            });
+        }
+        assert!(rate_hz > 0.0, "offered rate must be positive");
+        let mut events = events.to_vec();
+        events.sort_by_key(ServiceEvent::at);
+        let mut next_event = 0usize;
+
+        let mut arrivals_rng = self.seeds.rng("arrivals");
+        let mut class_rng = self.seeds.rng("classes");
+        let mut input_rng = self.seeds.rng("inputs");
+
+        let tel = self.rt.device().telemetry().clone();
+        let comp = tel.is_enabled().then(|| tel.component("service"));
+
+        let mut outcomes = Vec::with_capacity(n);
+        let mut now = SimTime::ZERO;
+        let mut latencies = Samples::new();
+        let (mut admitted, mut shed, mut completed, mut timed_out, mut failed) = (0, 0, 0, 0, 0);
+        let (mut recoveries, mut retries) = (0usize, 0usize);
+
+        for _ in 0..n {
+            now += SimDuration::from_secs_f64(exponential(&mut arrivals_rng, rate_hz));
+            let class = {
+                let mut pick = class_rng.gen_range(0..total_weight);
+                let mut idx = self.classes.len() - 1;
+                for (i, c) in self.classes.iter().enumerate() {
+                    let w = u64::from(c.weight);
+                    if pick < w {
+                        idx = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                idx
+            };
+            let width = self.classes[class].input_width;
+            let input: Vec<f64> = (0..width).map(|_| input_rng.gen_range(-1.0..1.0)).collect();
+
+            let id = self.next_request;
+            self.next_request += 1;
+
+            let disposition = if let Err(FabricError::QueueFull { .. }) = self.try_admit(now) {
+                shed += 1;
+                Disposition::Shed
+            } else {
+                admitted += 1;
+                match self.dispatch(class, now, input, &events, &mut next_event) {
+                    Ok((finished, attempts, recovered, output)) => {
+                        retries += (attempts - 1) as usize;
+                        if recovered {
+                            recoveries += 1;
+                        }
+                        self.in_flight.push(finished);
+                        let lat = finished.saturating_since(now);
+                        if lat <= self.classes[class].deadline && !output.is_empty() {
+                            completed += 1;
+                            latencies.record(lat.as_us_f64());
+                            Disposition::Completed {
+                                finished,
+                                attempts,
+                                recovered,
+                                output,
+                            }
+                        } else {
+                            timed_out += 1;
+                            latencies.record(lat.as_us_f64());
+                            Disposition::TimedOut { finished, attempts }
+                        }
+                    }
+                    Err(FabricError::RetriesExhausted { attempts }) => {
+                        retries += (attempts - 1) as usize;
+                        failed += 1;
+                        self.in_flight.push(now);
+                        Disposition::Failed { attempts }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            outcomes.push(RequestOutcome {
+                id,
+                class,
+                arrival: now,
+                disposition,
+            });
+        }
+
+        let latency = match latencies.percentiles(&[50.0, 95.0, 99.0]) {
+            Some(ps) => LatencyStats {
+                p50_us: ps[0],
+                p95_us: ps[1],
+                p99_us: ps[2],
+                mean_us: latencies.mean(),
+                max_us: latencies.percentile(100.0).unwrap_or(0.0),
+            },
+            None => LatencyStats::default(),
+        };
+
+        if let Some(c) = comp {
+            tel.counter_add(c, "offered", n as u64);
+            tel.counter_add(c, "admitted", admitted as u64);
+            tel.counter_add(c, "shed", shed as u64);
+            tel.counter_add(c, "completed", completed as u64);
+            tel.counter_add(c, "timed_out", timed_out as u64);
+            tel.counter_add(c, "failed", failed as u64);
+            tel.counter_add(c, "recoveries", recoveries as u64);
+            tel.counter_add(c, "retries", retries as u64);
+            tel.gauge_set(c, "p99_us", latency.p99_us);
+            tel.gauge_set(c, "goodput", completed as f64 / n.max(1) as f64);
+            for o in &outcomes {
+                if let Disposition::Completed { finished, .. }
+                | Disposition::TimedOut { finished, .. } = &o.disposition
+                {
+                    let ns = finished.saturating_since(o.arrival).as_ps() / 1000;
+                    tel.record(c, "latency_ns", ns);
+                }
+            }
+        }
+
+        Ok(ServiceReport {
+            outcomes,
+            offered: n,
+            admitted,
+            shed,
+            completed,
+            timed_out,
+            failed,
+            recoveries,
+            retries,
+            latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+
+    /// source → relu → sink on `width` lanes.
+    fn tiny_graph(width: usize) -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width,
+            },
+        );
+        let k = b.add("k", Operation::Sink { width });
+        b.chain(&[s, m, k]).expect("chain");
+        (b.build().expect("valid"), s, k)
+    }
+
+    fn fabric(units: usize) -> FabricConfig {
+        FabricConfig {
+            mesh_width: units,
+            mesh_height: 1,
+            units_per_tile: 1,
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        }
+    }
+
+    fn service(units: usize, cfg: ServiceConfig, deadline: SimDuration) -> CimService {
+        let mut svc = CimService::new(fabric(units), cfg, SeedTree::new(0x5EED)).expect("boots");
+        let (g, s, k) = tiny_graph(4);
+        svc.register_class("tiny", g, s, k, deadline, 1)
+            .expect("resident");
+        svc
+    }
+
+    #[test]
+    fn light_load_meets_every_slo() {
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(100));
+        let r = svc.run_open_loop(10_000.0, 50, &[]).expect("serves");
+        assert_eq!(r.offered, 50);
+        assert_eq!(r.completed, 50);
+        assert_eq!((r.shed, r.timed_out, r.failed), (0, 0, 0));
+        assert!(r.zero_lost());
+        assert!((r.goodput() - 1.0).abs() < 1e-12);
+        assert!(r.latency.p99_us <= 100.0, "p99 {}", r.latency.p99_us);
+        for o in &r.outcomes {
+            assert!(matches!(
+                o.disposition,
+                Disposition::Completed {
+                    attempts: 1,
+                    recovered: false,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn overload_sheds_and_bounds_p99() {
+        let cfg = ServiceConfig {
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(4, cfg, SimDuration::from_us(100));
+        // Far past saturation: the relu pipeline serves an item in
+        // ~15 ns, so 500 M req/s offers ~7× its capacity.
+        let r = svc.run_open_loop(500_000_000.0, 300, &[]).expect("serves");
+        assert!(r.shed > 0, "overload must shed: {r:?}");
+        assert!(r.admitted > 0, "some requests still get in");
+        assert!(r.zero_lost(), "shedding loses nothing that was admitted");
+        // Bounded queue ⇒ bounded wait: p99 of admitted requests stays
+        // within (capacity + 1) service times, not open-ended.
+        let unloaded = {
+            let mut probe = service(4, ServiceConfig::default(), SimDuration::from_us(100));
+            let p = probe.run_open_loop(1_000.0, 20, &[]).expect("probe");
+            p.latency.max_us
+        };
+        let bound = unloaded * 5.0 + 10.0;
+        assert!(
+            r.latency.p99_us <= bound,
+            "p99 {} must stay under {bound}",
+            r.latency.p99_us
+        );
+    }
+
+    #[test]
+    fn service_level_retry_succeeds_after_repair() {
+        // 3 units, 3 nodes: no spare exists, so the engine's §V.A path
+        // cannot help — only the service-level backoff retry can.
+        let cfg = ServiceConfig {
+            backoff_base: SimDuration::from_us(100),
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(3, cfg, SimDuration::from_ms(5));
+        let job = svc.class_job(0).expect("registered");
+        let victim = svc
+            .runtime()
+            .program(job)
+            .expect("resident")
+            .placement()
+            .node_to_unit[1];
+        let events = [
+            ServiceEvent::FailUnit {
+                at: SimTime::ZERO,
+                unit: victim,
+            },
+            // Repaired before the first backoff expires.
+            ServiceEvent::RepairUnit {
+                at: SimTime::from_ns(50_000),
+                unit: victim,
+            },
+        ];
+        let r = svc.run_open_loop(1_000_000.0, 1, &events).expect("serves");
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.retries, 1, "exactly one backoff retry");
+        assert!(r.zero_lost());
+        assert!(matches!(
+            r.outcomes[0].disposition,
+            Disposition::Completed { attempts: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn retries_exhaust_into_failed_disposition() {
+        let cfg = ServiceConfig {
+            max_attempts: 3,
+            backoff_base: SimDuration::from_us(100),
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(3, cfg, SimDuration::from_ms(5));
+        let job = svc.class_job(0).expect("registered");
+        let victim = svc
+            .runtime()
+            .program(job)
+            .expect("resident")
+            .placement()
+            .node_to_unit[1];
+        let events = [ServiceEvent::FailUnit {
+            at: SimTime::ZERO,
+            unit: victim,
+        }];
+        let r = svc.run_open_loop(1_000_000.0, 1, &events).expect("serves");
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.retries, 2);
+        assert!(!r.zero_lost());
+        assert!(matches!(
+            r.outcomes[0].disposition,
+            Disposition::Failed { attempts: 3 }
+        ));
+    }
+
+    #[test]
+    fn deadline_cuts_the_retry_budget_short() {
+        // Backoff alone (100 µs) exceeds the 20 µs SLO: the service must
+        // stop after one attempt instead of burning the remaining budget.
+        let cfg = ServiceConfig {
+            max_attempts: 5,
+            backoff_base: SimDuration::from_us(100),
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(3, cfg, SimDuration::from_us(20));
+        let job = svc.class_job(0).expect("registered");
+        let victim = svc
+            .runtime()
+            .program(job)
+            .expect("resident")
+            .placement()
+            .node_to_unit[1];
+        let events = [ServiceEvent::FailUnit {
+            at: SimTime::ZERO,
+            unit: victim,
+        }];
+        let r = svc.run_open_loop(1_000_000.0, 1, &events).expect("serves");
+        assert_eq!(r.timed_out, 1);
+        assert!(matches!(
+            r.outcomes[0].disposition,
+            Disposition::TimedOut { attempts: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn mid_stream_failure_recovers_transparently() {
+        // 6 units, 3 nodes: spares exist, so the engine's §V.A recovery
+        // absorbs the fault without any service-level retry.
+        let mut svc = service(6, ServiceConfig::default(), SimDuration::from_ms(1));
+        let job = svc.class_job(0).expect("registered");
+        let victim = svc
+            .runtime()
+            .program(job)
+            .expect("resident")
+            .placement()
+            .node_to_unit[1];
+        let events = [ServiceEvent::FailUnit {
+            at: SimTime::ZERO,
+            unit: victim,
+        }];
+        let r = svc.run_open_loop(100_000.0, 10, &events).expect("serves");
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.recoveries, 1, "one mid-stream recovery");
+        assert_eq!(r.retries, 0, "no service-level retry needed");
+        assert!(r.zero_lost());
+        assert!(r.outcomes.iter().any(|o| matches!(
+            o.disposition,
+            Disposition::Completed {
+                recovered: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn classes_must_be_resident() {
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(100));
+        // 3 of 4 units are taken by the first class; another 3-node
+        // class cannot be resident.
+        let (g, s, k) = tiny_graph(4);
+        let err = svc.register_class("late", g, s, k, SimDuration::from_us(100), 1);
+        assert!(matches!(err, Err(FabricError::CapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn serving_without_classes_errors() {
+        let mut svc =
+            CimService::new(fabric(4), ServiceConfig::default(), SeedTree::new(1)).expect("boots");
+        assert!(matches!(
+            svc.run_open_loop(1_000.0, 1, &[]),
+            Err(FabricError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(30));
+            svc.run_open_loop(2_000_000.0, 200, &[]).expect("serves")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_counters_match_the_report() {
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(100));
+        let tel = svc
+            .runtime_mut()
+            .device_mut()
+            .enable_telemetry(cim_sim::telemetry::TelemetryLevel::Metrics);
+        let r = svc.run_open_loop(10_000.0, 30, &[]).expect("serves");
+        let c = tel.component("service");
+        tel.with_registry(|reg| {
+            assert_eq!(reg.counter(c, "offered"), 30);
+            assert_eq!(reg.counter(c, "completed"), r.completed as u64);
+            assert_eq!(reg.counter(c, "shed"), r.shed as u64);
+            let h = reg.histogram(c, "latency_ns").expect("latency histogram");
+            assert_eq!(h.count(), (r.completed + r.timed_out) as u64);
+        })
+        .expect("registry");
+    }
+}

@@ -103,10 +103,18 @@ impl ServiceabilityMonitor {
     }
 
     /// Advances deployment time: every programmed engine drifts by the
-    /// corresponding fraction and every unit's age grows.
+    /// fraction its own age calls for and every unit's age grows.
+    ///
+    /// Drift is applied incrementally
+    /// ([`RetentionModel::incremental_drift_fraction`]) so many small
+    /// `advance` calls land on exactly the conductances one big call
+    /// produces — units refreshed at different times each continue from
+    /// their own age, and the clamp stays path-independent.
     pub fn advance(&mut self, device: &mut CimDevice, elapsed_secs: f64) {
-        let frac = self.retention.drift_fraction(elapsed_secs);
         for (i, age) in self.ages.iter_mut().enumerate() {
+            let frac = self
+                .retention
+                .incremental_drift_fraction(*age, elapsed_secs);
             *age += elapsed_secs;
             if let Some(dpe) = device.unit_mut(i).dpe_mut() {
                 dpe.for_each_array(|_, _, _, _, xbar| xbar.drift_all(1.0, frac));
@@ -177,6 +185,9 @@ impl ServiceabilityMonitor {
                 let cost = device.unit_mut(spare).assign(node, &op, &config, seeds)?;
                 device.meter_mut().charge("config", cost.energy);
                 device.unit_mut(r.unit).set_health(UnitHealth::Disabled);
+                // The node has moved: drop the worn unit's stale assignment
+                // so un-fencing it later returns it to the spare pool.
+                device.unit_mut(r.unit).clear_assignment();
                 prog.placement.node_to_unit[node] = spare;
                 self.ages[spare] = 0.0;
                 actions.push(ServiceAction::Migrated {
@@ -328,6 +339,34 @@ mod tests {
         let after = output(&mut d, &mut prog, s, k);
         for (a, b) in after.iter().zip(&before) {
             assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn split_advance_matches_single_advance() {
+        // Step-size independence: 16 quarter-year advances must leave the
+        // device at exactly the state of one 4-year advance.
+        let (mut d_split, mut prog_split, s, k) = setup();
+        let (mut d_single, mut prog_single, _, _) = setup();
+        let mut mon_split =
+            ServiceabilityMonitor::new(&d_split, RetentionModel::default(), 0.05, 0.9);
+        let mut mon_single =
+            ServiceabilityMonitor::new(&d_single, RetentionModel::default(), 0.05, 0.9);
+        for _ in 0..16 {
+            mon_split.advance(&mut d_split, YEAR_SECS / 4.0);
+        }
+        mon_single.advance(&mut d_single, 4.0 * YEAR_SECS);
+
+        let out_split = output(&mut d_split, &mut prog_split, s, k);
+        let out_single = output(&mut d_single, &mut prog_single, s, k);
+        for (a, b) in out_split.iter().zip(&out_single) {
+            assert!((a - b).abs() < 1e-12, "split {a} vs single {b}");
+        }
+        // Reported projected drift agrees too (ages sum identically).
+        let r_split = mon_split.report(&d_split);
+        let r_single = mon_single.report(&d_single);
+        for (a, b) in r_split.iter().zip(&r_single) {
+            assert!((a.projected_drift - b.projected_drift).abs() < 1e-12);
         }
     }
 

@@ -134,6 +134,15 @@ impl MicroUnit {
         self.items = 0;
     }
 
+    /// Clears the node assignment and drops the programmed engine, keeping
+    /// health and occupancy telemetry. Used when a unit is fenced after its
+    /// node was remapped elsewhere: without this, a later-repaired unit
+    /// would look permanently occupied and never rejoin the spare pool.
+    pub fn clear_assignment(&mut self) {
+        self.assigned_node = None;
+        self.dpe = None;
+    }
+
     /// Clears assignment and occupancy (not health).
     pub fn reset(&mut self) {
         self.busy_until = SimTime::ZERO;

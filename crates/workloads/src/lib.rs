@@ -45,11 +45,13 @@ pub mod optim;
 pub mod prob;
 pub mod sci;
 pub mod search;
+pub mod serving;
 pub mod spec;
 pub mod store;
 pub mod workload;
 
 pub use chars::{cim_suitability, Characteristics, MeasuredLevels};
+pub use serving::{sample_class, standard_request_mix, RequestClassSpec};
 pub use spec::{paper_rating, paper_table, Level, PaperRating, WorkloadClass};
 pub use workload::{CpuKernelSpec, DataflowForm, Workload};
 

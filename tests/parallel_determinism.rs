@@ -92,3 +92,24 @@ fn replicated_stream_is_bit_identical_across_thread_counts() {
         assert_eq!(jsonl, jsonl1, "telemetry differs at threads={threads}");
     }
 }
+
+#[test]
+fn serving_sweep_is_bit_identical_across_thread_counts() {
+    use cim_bench::experiments::serving;
+
+    // Two points spanning light load and overload; every field of a
+    // ServingPoint — counters, percentiles, telemetry export — must be
+    // byte-stable regardless of how the sweep is scheduled on host
+    // threads.
+    let run = |threads: usize| serving::run_threads(&[100_000.0, 3_200_000.0], 120, 0xA11, threads);
+    let serial = run(1);
+    assert_eq!(serial.len(), 2);
+    assert!(
+        !serial[0].telemetry_jsonl.is_empty(),
+        "telemetry export must not be empty"
+    );
+    assert!(serial[1].shed > 0, "second point must be past saturation");
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(run(*threads), serial, "sweep differs at threads={threads}");
+    }
+}

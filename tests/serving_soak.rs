@@ -1,0 +1,137 @@
+//! Serving-layer soak: overload behaviour and fault survival, end to
+//! end through the public API (the acceptance gates for the request
+//! front-end).
+//!
+//! Run at `CIM_THREADS=1` and `=4` by `ci.sh`; every number asserted
+//! here is modeled (sim-time), so thread count cannot move it.
+
+use cim::fabric::service::{CimService, ServiceConfig, ServiceEvent};
+use cim::fabric::FabricConfig;
+use cim::sim::time::{SimDuration, SimTime};
+use cim::sim::SeedTree;
+use cim::workloads::serving::standard_request_mix;
+use cim_crossbar::dpe::DpeConfig;
+
+fn boot(seed: u64) -> CimService {
+    let mut svc = CimService::new(
+        FabricConfig::default(),
+        ServiceConfig::default(),
+        SeedTree::new(seed),
+    )
+    .expect("service boots");
+    for spec in standard_request_mix() {
+        let (g, src, sink) = spec.build_graph(SeedTree::new(seed ^ 0xC1A55));
+        svc.register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+            .expect("mix fits the default fabric");
+    }
+    svc
+}
+
+/// Past saturation the service sheds load instead of queueing without
+/// bound, and the p99 of requests it *does* admit stays bounded by the
+/// queue depth — the overload acceptance gate.
+#[test]
+fn overload_sheds_and_keeps_admitted_p99_bounded() {
+    let mut svc = boot(0x50AC);
+    let r = svc
+        .run_open_loop(3_200_000.0, 400, &[])
+        .expect("stream serves");
+    assert!(r.shed > 0, "overload must shed: {r:?}");
+    assert!(r.timed_out > 0, "overload must also miss deadlines");
+    assert_eq!(r.failed, 0, "overload alone must not lose requests");
+    assert!(r.zero_lost());
+    // Queue capacity 16 bounds the wait; 50 µs is ~2× the worst p99
+    // observed across the recorded sweep (EXPERIMENTS.md).
+    assert!(
+        r.latency.p99_us < 50.0,
+        "p99 of admitted requests must stay bounded, got {}",
+        r.latency.p99_us
+    );
+}
+
+/// Three units die under one open-loop stream — each hosting a live
+/// node of a tenant's resident program. §V.A spare recovery absorbs
+/// every failure and no request is lost: the multi-failure acceptance
+/// gate.
+#[test]
+fn stream_survives_three_unit_failures_with_zero_loss() {
+    let mut svc = boot(0x5E21);
+    // Victims: three units hosting nodes of the interactive tenant.
+    let job = svc.class_job(0).expect("interactive is registered");
+    let victims: Vec<usize> = svc
+        .runtime()
+        .program(job)
+        .expect("resident")
+        .placement()
+        .node_to_unit[1..4]
+        .to_vec();
+    let events: Vec<ServiceEvent> = victims
+        .iter()
+        .enumerate()
+        .map(|(i, &unit)| ServiceEvent::FailUnit {
+            at: SimTime::from_ns(((i + 1) * 300_000) as u64),
+            unit,
+        })
+        .collect();
+    let r = svc
+        .run_open_loop(100_000.0, 400, &events)
+        .expect("stream serves");
+    assert_eq!(r.recoveries, 3, "each failure must recover in-stream");
+    assert_eq!(r.failed, 0, "no request may be lost");
+    assert!(r.zero_lost(), "{r:?}");
+    assert_eq!(r.shed, 0, "this load level does not shed");
+    assert_eq!(
+        r.completed + r.timed_out,
+        r.admitted,
+        "every admitted request is accounted for"
+    );
+}
+
+/// When the spare pool is dry, a fenced retry with backoff picks the
+/// request back up after a field repair returns the unit to service.
+#[test]
+fn retry_after_repair_completes_the_request() {
+    // Exactly as many units as the class needs: no spares at all.
+    let spec = &standard_request_mix()[0];
+    let (g, src, sink) = spec.build_graph(SeedTree::new(3));
+    let nodes = g.node_count();
+    let mut svc = CimService::new(
+        FabricConfig {
+            mesh_width: nodes,
+            mesh_height: 1,
+            units_per_tile: 1,
+            dpe: DpeConfig::ideal(),
+            ..FabricConfig::default()
+        },
+        ServiceConfig {
+            backoff_base: SimDuration::from_us(100),
+            ..ServiceConfig::default()
+        },
+        SeedTree::new(0xF1D0),
+    )
+    .expect("boots");
+    svc.register_class(spec.name, g, src, sink, SimDuration::from_ms(5), 1)
+        .expect("resident");
+    let job = svc.class_job(0).expect("registered");
+    let victim = svc
+        .runtime()
+        .program(job)
+        .expect("resident")
+        .placement()
+        .node_to_unit[1];
+    let events = [
+        ServiceEvent::FailUnit {
+            at: SimTime::ZERO,
+            unit: victim,
+        },
+        ServiceEvent::RepairUnit {
+            at: SimTime::from_ns(50_000),
+            unit: victim,
+        },
+    ];
+    let r = svc.run_open_loop(1_000_000.0, 5, &events).expect("serves");
+    assert_eq!(r.completed, 5);
+    assert!(r.retries >= 1, "at least the first request must retry");
+    assert_eq!(r.recoveries, 0, "no spare existed to recover onto");
+    assert!(r.zero_lost());
+}
