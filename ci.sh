@@ -1,6 +1,21 @@
 #!/usr/bin/env bash
-# The repo's single CI gate. Local runs and hosted CI execute this same
-# script, so "passes ci.sh" and "passes CI" are the same statement.
+# The repo's CI gate. Local runs and hosted CI execute this same script,
+# so "passes ci.sh" and "passes CI" are the same statement.
+#
+#   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1).
+#                     The fast inner-loop gate; hosted CI runs it on
+#                     every push and pull request.
+#   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
+#   ./ci.sh full      pass, example smokes, serving soaks, the chaos
+#                     campaign (clean sweep + weakened-invariant replay
+#                     self-check) and the bench-regression comparison
+#                     against the committed BENCH_*.json baselines.
+#                     Hosted CI runs it on pushes to main.
+#   ./ci.sh baseline  Regenerates BENCH_*.json from this machine and
+#                     overwrites the committed baselines. Run it (and
+#                     commit the result) when a deliberate change moves
+#                     wall-clock medians past the ±30% tolerance, or
+#                     when switching baseline hardware.
 #
 # The workspace is hermetic: zero registry dependencies, so every step
 # runs with --offline and succeeds from a clean checkout with no crates.io
@@ -8,8 +23,15 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+MODE="${1:-full}"
+case "$MODE" in
+    quick|full|baseline) ;;
+    *) echo "usage: ./ci.sh [quick|full|baseline]" >&2; exit 2 ;;
+esac
+
 step() { printf '\n== %s\n' "$1"; }
 
+# ---------------------------------------------------------------- quick
 step "cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -19,13 +41,19 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 step "cargo build --release --offline"
 cargo build --workspace --release --offline
 
-# The suite runs twice: serial reference, then multi-threaded. The
-# determinism contract (see DESIGN.md "Host-parallel execution") says
-# both must see bit-identical modeled numbers, so any thread-count
-# sensitivity fails here rather than on a user's machine.
 step "cargo test -q --offline (CIM_THREADS=1)"
 CIM_THREADS=1 cargo test --workspace -q --offline
 
+if [ "$MODE" = quick ]; then
+    printf '\n== ci.sh quick: all gates passed\n'
+    exit 0
+fi
+
+# ----------------------------------------------------------- full extras
+# The suite runs a second time multi-threaded. The determinism contract
+# (see DESIGN.md "Host-parallel execution") says both passes must see
+# bit-identical modeled numbers, so any thread-count sensitivity fails
+# here rather than on a user's machine.
 step "cargo test -q --offline (CIM_THREADS=4)"
 CIM_THREADS=4 cargo test --workspace -q --offline
 
@@ -33,38 +61,71 @@ step "smoke-run examples/quickstart.rs"
 cargo run --release --offline --example quickstart
 
 step "telemetry smoke: quickstart --telemetry + schema check"
-TELEMETRY_OUT="$(mktemp -t cim-telemetry-XXXXXX.jsonl)"
-trap 'rm -f "$TELEMETRY_OUT"' EXIT
-cargo run --release --offline --example quickstart -- --telemetry "$TELEMETRY_OUT"
+SCRATCH="$(mktemp -d -t cim-ci-XXXXXX)"
+trap 'rm -rf "$SCRATCH"' EXIT
+cargo run --release --offline --example quickstart -- --telemetry "$SCRATCH/telemetry.jsonl"
 # Every line must parse as JSON with component/metric/value keys; the
 # checker is in-tree (no external JSON tooling, per the hermetic policy).
-cargo run --release --offline -p cim-bench --bin telemetry_check -- "$TELEMETRY_OUT"
+cargo run --release --offline -p cim-bench --bin telemetry_check -- "$SCRATCH/telemetry.jsonl"
 
 step "serving soak (CIM_THREADS=1)"
 # The serving front-end's acceptance gates: overload sheds with bounded
 # p99, repeated unit failures lose nothing, retry-after-repair works.
-# Run at both thread settings — every asserted number is modeled, so
-# the two runs must agree bit-for-bit.
 CIM_THREADS=1 cargo test -q --offline --test serving_soak
 
 step "serving soak (CIM_THREADS=4)"
 CIM_THREADS=4 cargo test -q --offline --test serving_soak
 
-step "bench baseline: serial vs parallel batch throughput"
-# Records the host-parallel baseline (threads=1 vs threads=4 on the
-# same workload); outputs stay bit-identical, only wall-clock moves.
-# Kept fast for CI with a small sample budget.
-BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
-    cargo bench --offline -p cim-bench --bench parallel | tee BENCH_parallel.json
-# Sanity: both thread-count lines landed as JSON objects.
-grep -c '^{"bench":"parallel/matvec_batch64_t' BENCH_parallel.json | grep -qx 2
+step "chaos campaign: 64-seed sweep must be clean"
+# Fixed root seed, budgeted for CI. Any invariant violation writes a
+# shrunk replay file and fails the gate.
+cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 64 --budget-ms 120000 --out "$SCRATCH/chaos_repro.jsonl"
 
-step "bench baseline: serving front-end throughput"
-# Records the serving-layer baseline (light load and overload operating
-# points) next to BENCH_parallel.json.
+step "chaos self-check: weakened invariant must be caught and replay bit-identically"
+# Sabotage one invariant (recovery bound forced to zero): the campaign
+# must detect it, shrink it, and the replay file must reproduce the
+# exact same violation fingerprint at both thread settings.
+if cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 64 --weaken recovery_bound_zero --out "$SCRATCH/weakened_repro.jsonl"; then
+    echo "FAIL: weakened chaos campaign did not detect a violation" >&2
+    exit 1
+fi
+[ -s "$SCRATCH/weakened_repro.jsonl" ]
+CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$SCRATCH/weakened_repro.jsonl"
+CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$SCRATCH/weakened_repro.jsonl"
+
+# ------------------------------------------------------------- benches
+# Fresh bench runs land in scratch files; `full` compares them against
+# the committed baselines (median wall-clock within ±30%, modeled
+# throughput exact), `baseline` overwrites the committed files.
+step "bench: serial vs parallel batch throughput"
 BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
-    cargo bench --offline -p cim-bench --bench serving | tee BENCH_serving.json
-# Sanity: both operating-point lines landed as JSON objects.
-grep -c '^{"bench":"serving/open_loop_' BENCH_serving.json | grep -qx 2
+    cargo bench --offline -p cim-bench --bench parallel | tee "$SCRATCH/BENCH_parallel.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --validate "$SCRATCH/BENCH_parallel.json" \
+    --expect parallel/matvec_batch64_t1 --expect parallel/matvec_batch64_t4
+
+step "bench: serving front-end throughput"
+BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
+    cargo bench --offline -p cim-bench --bench serving | tee "$SCRATCH/BENCH_serving.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --validate "$SCRATCH/BENCH_serving.json" \
+    --expect serving/open_loop_light_100k --expect serving/open_loop_overload_3200k
+
+if [ "$MODE" = baseline ]; then
+    cp "$SCRATCH/BENCH_parallel.json" BENCH_parallel.json
+    cp "$SCRATCH/BENCH_serving.json" BENCH_serving.json
+    printf '\n== ci.sh baseline: BENCH_parallel.json and BENCH_serving.json regenerated — commit them\n'
+    exit 0
+fi
+
+step "bench regression: fresh medians vs committed baselines"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --baseline BENCH_parallel.json --fresh "$SCRATCH/BENCH_parallel.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --baseline BENCH_serving.json --fresh "$SCRATCH/BENCH_serving.json"
 
 printf '\n== ci.sh: all gates passed\n'

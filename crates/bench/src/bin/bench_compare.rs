@@ -1,0 +1,243 @@
+//! Bench-regression gate: validate bench JSONL and diff fresh results
+//! against committed baselines.
+//!
+//! ```text
+//! bench_compare --validate FILE [--expect BENCH_NAME]...
+//! bench_compare --baseline OLD.json --fresh NEW.json [--tolerance 0.30]
+//! ```
+//!
+//! **Validate mode** checks that every non-empty line of `FILE` is a
+//! well-formed bench record (`bench`, `samples`, `iters_per_sample`,
+//! `min_ns`, `median_ns`, `mean_ns`, `p95_ns`) and that every
+//! `--expect`ed bench name is present — the structured replacement for
+//! greping line counts out of `tee` output.
+//!
+//! **Diff mode** compares a fresh bench run against a committed
+//! baseline, bench-by-bench (matched on the `bench` name):
+//!
+//! - `median_ns` may drift up to `--tolerance` (default ±30%) in either
+//!   direction — wall-clock medians wobble with host load, but a 30%
+//!   regression is a real one;
+//! - `throughput_elems` must match **exactly** — it counts modeled
+//!   elements, so any drift is a functional change, not noise;
+//! - the two files must cover the same bench set — a missing or extra
+//!   bench fails with a pointer at `./ci.sh baseline` to regenerate.
+//!
+//! Exit code 0 when everything passes, 1 otherwise; every failure
+//! prints one `FAIL:`-prefixed line.
+
+use cim_sim::json::{self, Json};
+use std::process::ExitCode;
+
+/// One parsed bench record.
+struct BenchRecord {
+    name: String,
+    median_ns: f64,
+    throughput_elems: Option<u64>,
+}
+
+const REQUIRED_KEYS: [&str; 7] = [
+    "bench",
+    "samples",
+    "iters_per_sample",
+    "min_ns",
+    "median_ns",
+    "mean_ns",
+    "p95_ns",
+];
+
+/// Parses one bench JSONL file, validating every line's schema.
+fn parse_bench_file(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let value = json::parse(line).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        for key in REQUIRED_KEYS {
+            if value.get(key).is_none() {
+                return Err(format!("{path}:{lineno}: missing required key \"{key}\""));
+            }
+        }
+        let name = value
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}:{lineno}: \"bench\" is not a string"))?
+            .to_owned();
+        let median_ns = value
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}:{lineno}: \"median_ns\" is not a number"))?;
+        let throughput_elems = match value.get("throughput_elems") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                format!("{path}:{lineno}: \"throughput_elems\" is not an exact integer")
+            })?),
+        };
+        if records.iter().any(|r: &BenchRecord| r.name == name) {
+            return Err(format!("{path}:{lineno}: duplicate bench {name:?}"));
+        }
+        records.push(BenchRecord {
+            name,
+            median_ns,
+            throughput_elems,
+        });
+    }
+    Ok(records)
+}
+
+fn validate(path: &str, expected: &[String]) -> ExitCode {
+    let records = match parse_bench_file(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("FAIL: {path} contains no bench records");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for want in expected {
+        if !records.iter().any(|r| &r.name == want) {
+            eprintln!("FAIL: {path} is missing expected bench {want:?}");
+            ok = false;
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {} bench record(s) valid", records.len());
+    ExitCode::SUCCESS
+}
+
+fn diff(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, fresh) = match (
+        parse_bench_file(baseline_path),
+        parse_bench_file(fresh_path),
+    ) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for b in &baseline {
+        let Some(f) = fresh.iter().find(|f| f.name == b.name) else {
+            eprintln!(
+                "FAIL: bench {:?} is in the baseline {baseline_path} but missing from the \
+                 fresh run — if it was removed on purpose, regenerate with ./ci.sh baseline",
+                b.name
+            );
+            ok = false;
+            continue;
+        };
+        // Exact-throughput check: modeled element counts never wobble.
+        if b.throughput_elems != f.throughput_elems {
+            eprintln!(
+                "FAIL: bench {:?} throughput_elems changed: baseline {:?}, fresh {:?} \
+                 — modeled throughput is exact; this is a functional change",
+                b.name, b.throughput_elems, f.throughput_elems
+            );
+            ok = false;
+        }
+        // Median wall-clock drift check.
+        let drift = (f.median_ns - b.median_ns) / b.median_ns;
+        if drift.abs() > tolerance {
+            eprintln!(
+                "FAIL: bench {:?} median drifted {:+.1}% (baseline {:.3} ms, fresh {:.3} ms, \
+                 tolerance ±{:.0}%) — investigate, or regenerate with ./ci.sh baseline",
+                b.name,
+                drift * 100.0,
+                b.median_ns / 1e6,
+                f.median_ns / 1e6,
+                tolerance * 100.0
+            );
+            ok = false;
+        } else {
+            println!(
+                "ok: {} median {:+.1}% (baseline {:.3} ms, fresh {:.3} ms)",
+                b.name,
+                drift * 100.0,
+                b.median_ns / 1e6,
+                f.median_ns / 1e6
+            );
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            eprintln!(
+                "FAIL: bench {:?} is in the fresh run but not in the baseline {baseline_path} \
+                 — commit a new baseline with ./ci.sh baseline",
+                f.name
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "bench_compare: {} bench(es) within ±{:.0}% of {}",
+            baseline.len(),
+            tolerance * 100.0,
+            baseline_path
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_compare: {err}");
+    eprintln!("usage: bench_compare --validate FILE [--expect BENCH_NAME]...");
+    eprintln!("       bench_compare --baseline OLD.json --fresh NEW.json [--tolerance 0.30]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut validate_file: Option<String> = None;
+    let mut expected: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut tolerance = 0.30f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match args[i].as_str() {
+            "--validate" => match value {
+                Some(p) => validate_file = Some(p.to_owned()),
+                None => return usage("--validate needs a file"),
+            },
+            "--expect" => match value {
+                Some(n) => expected.push(n.to_owned()),
+                None => return usage("--expect needs a bench name"),
+            },
+            "--baseline" => match value {
+                Some(p) => baseline = Some(p.to_owned()),
+                None => return usage("--baseline needs a file"),
+            },
+            "--fresh" => match value {
+                Some(p) => fresh = Some(p.to_owned()),
+                None => return usage("--fresh needs a file"),
+            },
+            "--tolerance" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => tolerance = t,
+                _ => return usage("--tolerance needs a positive fraction (e.g. 0.30)"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+
+    match (validate_file, baseline, fresh) {
+        (Some(path), None, None) => validate(&path, &expected),
+        (None, Some(b), Some(f)) => diff(&b, &f, tolerance),
+        _ => usage("pick exactly one mode: --validate FILE, or --baseline OLD --fresh NEW"),
+    }
+}

@@ -1,0 +1,119 @@
+//! Budgeted chaos seed sweep for CI.
+//!
+//! ```text
+//! chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N]
+//!                [--requests N] [--weaken NAME] [--out PATH]
+//! ```
+//!
+//! Sweeps `N` seeds (default 64) through the chaos invariants. Exit 0
+//! when every seed that fit the budget is clean; on a violation, the
+//! shrunk minimal reproducer is written to `--out` (default
+//! `chaos_repro.jsonl`) and the exit code is 1 — feed the file to
+//! `chaos_replay` to reproduce it bit-identically.
+
+use cim_chaos::campaign::{run_campaign, CampaignConfig};
+use cim_chaos::replay::render_replay;
+use cim_chaos::runner::{ChaosConfig, Weaken};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse_u64(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cc = CampaignConfig::default();
+    let mut chaos = ChaosConfig::default();
+    let mut out = "chaos_repro.jsonl".to_owned();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Option<&str> { args.get(i + 1).map(String::as_str) };
+        match flag {
+            "--seeds" => match value(i).and_then(parse_u64) {
+                Some(n) => cc.seeds = n as usize,
+                None => return usage("--seeds needs a count"),
+            },
+            "--root-seed" => match value(i).and_then(parse_u64) {
+                Some(s) => cc.root_seed = s,
+                None => return usage("--root-seed needs a u64 (decimal or 0x-hex)"),
+            },
+            "--budget-ms" => match value(i).and_then(parse_u64) {
+                Some(ms) => cc.budget = Some(Duration::from_millis(ms)),
+                None => return usage("--budget-ms needs a millisecond count"),
+            },
+            "--requests" => match value(i).and_then(parse_u64) {
+                Some(n) if n > 0 => chaos.requests = n as usize,
+                _ => return usage("--requests needs a positive count"),
+            },
+            "--weaken" => match value(i).and_then(Weaken::from_name) {
+                Some(w) => chaos.weaken = w,
+                None => {
+                    return usage(
+                        "--weaken needs one of: none, recovery_bound_zero, no_failures_ever",
+                    )
+                }
+            },
+            "--out" => match value(i) {
+                Some(p) => out = p.to_owned(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+
+    let report = run_campaign(&cc, &chaos);
+    println!(
+        "chaos campaign: {}/{} seeds run, {} clean, {} recoveries, {} retries, {} shed",
+        report.run,
+        report.planned,
+        report.clean,
+        report.total_recoveries,
+        report.total_retries,
+        report.total_shed
+    );
+    if report.run < report.planned && report.violation.is_none() {
+        println!(
+            "note: wall-clock budget exhausted after {} of {} seeds (all clean so far)",
+            report.run, report.planned
+        );
+    }
+
+    match report.violation {
+        None => ExitCode::SUCCESS,
+        Some(v) => {
+            eprintln!(
+                "VIOLATION at seed {:#018x}: {} ({})",
+                v.seed, v.replay.invariant, v.replay.detail
+            );
+            eprintln!(
+                "shrunk {} -> {} events in {} steps",
+                v.original.events.len(),
+                v.replay.schedule.events.len(),
+                v.shrink_steps
+            );
+            match std::fs::write(&out, render_replay(&v.replay)) {
+                Ok(()) => eprintln!("replay file written to {out} (run: chaos_replay {out})"),
+                Err(e) => eprintln!("failed to write replay file {out}: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("chaos_campaign: {err}");
+    eprintln!(
+        "usage: chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N] \
+         [--requests N] [--weaken NAME] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,83 @@
+//! Reproduces a chaos violation from its replay file.
+//!
+//! ```text
+//! chaos_replay path/to/repro.jsonl
+//! ```
+//!
+//! Parses the replay file, re-runs the recorded schedule under the
+//! recorded config, and checks the violation reproduces: same
+//! invariant, and — when the file carries one — a bit-identical run
+//! fingerprint. Exit 0 on a faithful reproduction, 1 otherwise. Because
+//! the whole stack is deterministic, running this under different
+//! `CIM_THREADS` settings must give the same result; CI does exactly
+//! that.
+
+use cim_chaos::replay::parse_replay;
+use cim_chaos::runner::run_schedule;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: chaos_replay path/to/repro.jsonl");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos_replay: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match parse_replay(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("chaos_replay: malformed replay file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "replaying seed {:#018x}: {} events, recorded violation '{}' ({})",
+        file.seed,
+        file.schedule.events.len(),
+        file.invariant,
+        file.detail
+    );
+
+    match run_schedule(&file.config, &file.schedule) {
+        Ok(rec) => {
+            eprintln!(
+                "NOT REPRODUCED: the schedule now satisfies every invariant \
+                 (fingerprint {:#018x})",
+                rec.fingerprint
+            );
+            ExitCode::FAILURE
+        }
+        Err(v) => {
+            if v.invariant != file.invariant {
+                eprintln!(
+                    "DIFFERENT VIOLATION: recorded '{}', observed '{}' ({})",
+                    file.invariant, v.invariant, v.detail
+                );
+                return ExitCode::FAILURE;
+            }
+            match (file.fingerprint, v.fingerprint) {
+                (Some(want), Some(got)) if want != got => {
+                    eprintln!("FINGERPRINT MISMATCH: recorded {want:#018x}, observed {got:#018x}");
+                    ExitCode::FAILURE
+                }
+                _ => {
+                    println!(
+                        "reproduced: '{}' ({}){}",
+                        v.invariant,
+                        v.detail,
+                        v.fingerprint
+                            .map(|fp| format!(", fingerprint {fp:#018x}"))
+                            .unwrap_or_default()
+                    );
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+    }
+}

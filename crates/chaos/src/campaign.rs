@@ -1,0 +1,262 @@
+//! Budgeted seed sweeps with shrink-on-violation.
+//!
+//! A campaign expands each seed into a schedule ([`generate_schedule`]),
+//! runs it through every invariant ([`run_schedule`]) on the workspace
+//! thread pool, and stops at the **first violating seed in seed order**
+//! — chunk results are scanned in order, so the outcome is independent
+//! of host thread count. The violating schedule is then shrunk with the
+//! in-tree property-test shrinker to a minimal still-failing
+//! reproducer and packaged as a [`ReplayFile`].
+//!
+//! The wall-clock budget is checked between chunks: a campaign under CI
+//! budget pressure reports how far it got (`run < planned`) instead of
+//! blowing the gate's time box. Budget checks never affect *which*
+//! violation is found first — only how many clean seeds get swept.
+
+use crate::generate::generate_schedule;
+use crate::replay::ReplayFile;
+use crate::runner::{run_schedule, ChaosConfig, RunRecord, Violation};
+use crate::schedule::ChaosSchedule;
+use cim_sim::prop;
+use cim_sim::rng::splitmix64;
+use std::time::{Duration, Instant};
+
+/// Sweep shape: how many seeds, from which root, under what budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Root seed; per-seed campaign seeds derive via SplitMix64, so any
+    /// single seed replays without re-running its predecessors.
+    pub root_seed: u64,
+    /// Seeds to sweep.
+    pub seeds: usize,
+    /// Wall-clock budget; `None` sweeps every seed.
+    pub budget: Option<Duration>,
+    /// Seeds per parallel chunk (budget checks happen between chunks).
+    pub chunk: usize,
+    /// Cap on shrink iterations after a violation.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            root_seed: 0xC1A0_0C4A,
+            seeds: 64,
+            budget: None,
+            chunk: 8,
+            max_shrink_steps: 400,
+        }
+    }
+}
+
+/// The `i`-th campaign seed for a root seed.
+pub fn campaign_seed(root: u64, index: usize) -> u64 {
+    splitmix64(root ^ splitmix64(index as u64))
+}
+
+/// A violation found by a campaign, shrunk and packaged for replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignViolation {
+    /// The violating campaign seed.
+    pub seed: u64,
+    /// The schedule as generated (before shrinking).
+    pub original: ChaosSchedule,
+    /// Accepted shrink steps taken to reach the minimal schedule.
+    pub shrink_steps: u32,
+    /// The minimal still-violating reproducer, ready to serialize with
+    /// [`crate::replay::render_replay`].
+    pub replay: ReplayFile,
+}
+
+/// What a sweep did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Seeds the config asked for.
+    pub planned: usize,
+    /// Seeds actually run (less than `planned` when the budget ran out
+    /// or a violation stopped the sweep).
+    pub run: usize,
+    /// Seeds whose runs satisfied every invariant.
+    pub clean: usize,
+    /// §V.A recoveries observed across clean runs.
+    pub total_recoveries: usize,
+    /// Retries observed across clean runs.
+    pub total_retries: usize,
+    /// Requests shed across clean runs.
+    pub total_shed: usize,
+    /// The first violation in seed order, if any.
+    pub violation: Option<CampaignViolation>,
+}
+
+impl CampaignReport {
+    /// Whether the sweep finished every planned seed with no violation.
+    pub fn all_clean(&self) -> bool {
+        self.violation.is_none() && self.run == self.planned
+    }
+}
+
+/// Runs a campaign on the workspace thread pool (`CIM_THREADS`).
+pub fn run_campaign(cc: &CampaignConfig, chaos: &ChaosConfig) -> CampaignReport {
+    run_campaign_threads(cim_sim::pool::thread_count(), cc, chaos)
+}
+
+/// Runs a campaign on exactly `threads` host threads. The report —
+/// including which violation is found and what it shrinks to — is
+/// bit-identical at every thread count; only wall-clock changes.
+pub fn run_campaign_threads(
+    threads: usize,
+    cc: &CampaignConfig,
+    chaos: &ChaosConfig,
+) -> CampaignReport {
+    let started = Instant::now();
+    let seeds: Vec<u64> = (0..cc.seeds)
+        .map(|i| campaign_seed(cc.root_seed, i))
+        .collect();
+
+    let mut report = CampaignReport {
+        planned: cc.seeds,
+        run: 0,
+        clean: 0,
+        total_recoveries: 0,
+        total_retries: 0,
+        total_shed: 0,
+        violation: None,
+    };
+
+    for chunk in seeds.chunks(cc.chunk.max(1)) {
+        let results: Vec<(ChaosSchedule, Result<RunRecord, Violation>)> =
+            cim_sim::pool::parallel_map_threads(threads, chunk, |_, &seed| {
+                let schedule = generate_schedule(seed, chaos);
+                let outcome = run_schedule(chaos, &schedule);
+                (schedule, outcome)
+            });
+        for (i, (schedule, outcome)) in results.into_iter().enumerate() {
+            report.run += 1;
+            match outcome {
+                Ok(rec) => {
+                    report.clean += 1;
+                    report.total_recoveries += rec.recoveries;
+                    report.total_retries += rec.retries;
+                    report.total_shed += rec.counts[2];
+                }
+                Err(violation) => {
+                    report.violation = Some(shrink_violation(
+                        chaos,
+                        chunk[i],
+                        schedule,
+                        violation,
+                        cc.max_shrink_steps,
+                    ));
+                    return report;
+                }
+            }
+        }
+        if let Some(budget) = cc.budget {
+            if started.elapsed() >= budget {
+                return report;
+            }
+        }
+    }
+    report
+}
+
+/// Shrinks a known-violating schedule and packages the replay file.
+fn shrink_violation(
+    chaos: &ChaosConfig,
+    seed: u64,
+    schedule: ChaosSchedule,
+    violation: Violation,
+    max_steps: u32,
+) -> CampaignViolation {
+    let property = |s: &ChaosSchedule| match run_schedule(chaos, s) {
+        Ok(_) => Ok(()),
+        Err(v) => Err(v.to_string()),
+    };
+    let (shrunk, _error, shrink_steps) = prop::shrink(
+        schedule.clone(),
+        violation.to_string(),
+        &property,
+        max_steps,
+    );
+    // Re-run the minimal schedule once more to capture the fingerprint
+    // the replay must reproduce. Deterministic, so this cannot pass.
+    let final_violation = run_schedule(chaos, &shrunk)
+        .err()
+        .unwrap_or_else(|| violation.clone());
+    CampaignViolation {
+        seed,
+        original: schedule,
+        shrink_steps,
+        replay: ReplayFile {
+            seed,
+            config: chaos.clone(),
+            schedule: shrunk,
+            invariant: final_violation.invariant.to_owned(),
+            detail: final_violation.detail,
+            fingerprint: final_violation.fingerprint,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Weaken;
+
+    fn small_chaos() -> ChaosConfig {
+        ChaosConfig {
+            requests: 10,
+            // ~10 requests at 200 kHz span ~50 µs; keep the event
+            // horizon inside the active window so faults actually land.
+            horizon_ps: 50_000_000,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_thread_invariant() {
+        let cc = CampaignConfig {
+            seeds: 4,
+            ..CampaignConfig::default()
+        };
+        let chaos = small_chaos();
+        let serial = run_campaign_threads(1, &cc, &chaos);
+        assert!(serial.all_clean(), "violation: {:?}", serial.violation);
+        let parallel = run_campaign_threads(4, &cc, &chaos);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn weakened_invariant_is_caught_and_shrunk() {
+        let cc = CampaignConfig {
+            seeds: 16,
+            ..CampaignConfig::default()
+        };
+        let chaos = ChaosConfig {
+            weaken: Weaken::RecoveryBoundZero,
+            ..small_chaos()
+        };
+        let report = run_campaign(&cc, &chaos);
+        let v = report.violation.expect("a weakened invariant must trip");
+        assert_eq!(v.replay.invariant, "recovery_bound");
+        assert!(
+            v.replay.schedule.events.len() <= v.original.events.len(),
+            "shrinking never grows the schedule"
+        );
+        // The minimal reproducer still violates.
+        assert!(run_schedule(&chaos, &v.replay.schedule).is_err());
+    }
+
+    #[test]
+    fn zero_budget_stops_after_first_chunk() {
+        let cc = CampaignConfig {
+            seeds: 12,
+            chunk: 2,
+            budget: Some(std::time::Duration::ZERO),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cc, &small_chaos());
+        assert_eq!(report.run, 2, "one chunk then the budget gate");
+        assert!(report.violation.is_none());
+    }
+}

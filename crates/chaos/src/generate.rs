@@ -1,0 +1,166 @@
+//! Seed → schedule expansion.
+//!
+//! Every campaign seed deterministically expands into one
+//! [`ChaosSchedule`] through the workspace [`SeedTree`] — the same seed
+//! always yields the same schedule, on every host and thread count,
+//! which is what makes a one-line replay file (seed + config) a
+//! complete reproducer even before the event list is read.
+//!
+//! The action mix is weighted toward the recoverable faults the stack
+//! claims to absorb (unit failures with §V.A recovery, link failures
+//! with rerouting) with a long tail of degradation events (cell faults,
+//! drift, congestion, arrival bursts). Repairs are biased toward
+//! previously failed units/links so schedules exercise the
+//! fail → degrade → repair → recover cycle instead of monotonically
+//! destroying the fabric.
+
+use crate::runner::ChaosConfig;
+use crate::schedule::{ChaosAction, ChaosEvent, ChaosSchedule, Pressure};
+use cim_sim::rng::Rng;
+use cim_sim::SeedTree;
+
+/// Expands `seed` into a chaos schedule sized for `cfg`'s fabric.
+pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
+    let seeds = SeedTree::new(seed).child("chaos");
+    let mut ev_rng = seeds.rng("events");
+    let mut pr_rng = seeds.rng("pressure");
+
+    // Pressure: half the seeds serve at the base operating point, the
+    // rest stack overload (up to 8×) and deadline tightening (up to 4×).
+    let pressure = if pr_rng.gen_bool(0.5) {
+        Pressure::default()
+    } else {
+        Pressure {
+            rate_x1000: pr_rng.gen_range(1000u32..8001),
+            deadline_div: pr_rng.gen_range(1u32..5),
+        }
+    };
+
+    let units = cfg.total_units() as u16;
+    let (w, h) = (cfg.mesh_width as u16, cfg.mesh_height as u16);
+    let n_events = ev_rng.gen_range(1usize..cfg.max_events.max(2));
+    let mut failed_units: Vec<u16> = Vec::new();
+    let mut failed_links: Vec<(u16, u16, u16, u16)> = Vec::new();
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let at_ps = ev_rng.gen_range(0u64..cfg.horizon_ps.max(1));
+        let roll = ev_rng.gen_range(0u32..100);
+        let action = match roll {
+            0..=21 => {
+                let unit = ev_rng.gen_range(0u16..units.max(1));
+                failed_units.push(unit);
+                ChaosAction::FailUnit { unit }
+            }
+            22..=39 => {
+                // Bias repair toward a unit this schedule actually
+                // failed; a repair of a healthy unit is a no-op.
+                let unit = if !failed_units.is_empty() && ev_rng.gen_bool(0.75) {
+                    failed_units[ev_rng.gen_range(0usize..failed_units.len())]
+                } else {
+                    ev_rng.gen_range(0u16..units.max(1))
+                };
+                ChaosAction::RepairUnit { unit }
+            }
+            40..=49 => {
+                let (ax, ay, bx, by) = random_adjacent_link(&mut ev_rng, w, h);
+                failed_links.push((ax, ay, bx, by));
+                ChaosAction::FailLink { ax, ay, bx, by }
+            }
+            50..=59 => {
+                let (ax, ay, bx, by) = if !failed_links.is_empty() && ev_rng.gen_bool(0.75) {
+                    failed_links[ev_rng.gen_range(0usize..failed_links.len())]
+                } else {
+                    random_adjacent_link(&mut ev_rng, w, h)
+                };
+                ChaosAction::RepairLink { ax, ay, bx, by }
+            }
+            60..=69 => ChaosAction::CellFaults {
+                unit: ev_rng.gen_range(0u16..units.max(1)),
+                rate_ppm: ev_rng.gen_range(0u32..2_000),
+                stuck_on_ppm: ev_rng.gen_range(0u32..500_000),
+                seed: ev_rng.gen(),
+            },
+            70..=77 => ChaosAction::DriftSpike {
+                unit: ev_rng.gen_range(0u16..units.max(1)),
+                drift_ppm: ev_rng.gen_range(0u32..20_000),
+            },
+            78..=89 => {
+                let fx = ev_rng.gen_range(0u16..w.max(1));
+                let fy = ev_rng.gen_range(0u16..h.max(1));
+                let tx = ev_rng.gen_range(0u16..w.max(1));
+                let ty = ev_rng.gen_range(0u16..h.max(1));
+                ChaosAction::Congestion {
+                    ax: fx,
+                    ay: fy,
+                    bx: tx,
+                    by: ty,
+                    packets: ev_rng.gen_range(1u16..32),
+                    bytes: ev_rng.gen_range(16u16..256),
+                }
+            }
+            _ => ChaosAction::ArrivalBurst {
+                extra: ev_rng.gen_range(1u16..24),
+            },
+        };
+        events.push(ChaosEvent { at_ps, action });
+    }
+    // Sort by time; the sort is stable so equal-time events keep their
+    // generation order and the expansion stays bit-deterministic.
+    events.sort_by_key(|e| e.at_ps);
+    ChaosSchedule { pressure, events }
+}
+
+/// A uniformly random *adjacent* link on a `w × h` mesh, so generated
+/// (as opposed to shrunk) link failures always hit a physical link.
+fn random_adjacent_link<R: Rng>(rng: &mut R, w: u16, h: u16) -> (u16, u16, u16, u16) {
+    let horizontal = if w > 1 && h > 1 {
+        rng.gen_bool(0.5)
+    } else {
+        w > 1
+    };
+    if horizontal {
+        let x = rng.gen_range(0u16..(w - 1).max(1));
+        let y = rng.gen_range(0u16..h.max(1));
+        (x, y, x + 1, y)
+    } else if h > 1 {
+        let x = rng.gen_range(0u16..w.max(1));
+        let y = rng.gen_range(0u16..(h - 1).max(1));
+        (x, y, x, y + 1)
+    } else {
+        // 1×1 mesh: no links exist; emit a harmless self-pair.
+        (0, 0, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let cfg = ChaosConfig::default();
+        let a = generate_schedule(0xDEAD_BEEF, &cfg);
+        let b = generate_schedule(0xDEAD_BEEF, &cfg);
+        assert_eq!(a, b);
+        let c = generate_schedule(0xDEAD_BEF0, &cfg);
+        assert_ne!(a, c, "distinct seeds should diverge");
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_bounds() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..50u64 {
+            let s = generate_schedule(seed, &cfg);
+            assert!(!s.events.is_empty());
+            assert!(s.events.len() < cfg.max_events.max(2));
+            assert!(s.events.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+            for e in &s.events {
+                assert!(e.at_ps < cfg.horizon_ps);
+                if let ChaosAction::FailLink { ax, ay, bx, by } = e.action {
+                    let dist = ax.abs_diff(bx) + ay.abs_diff(by);
+                    assert_eq!(dist, 1, "generated link failures are adjacent");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic chaos testing for the CIM stack.
+//!
+//! A chaos *campaign* sweeps seeds; each seed deterministically expands
+//! into a [`schedule::ChaosSchedule`] — a sorted list of fault events
+//! spanning every layer of the simulator (crossbar cell faults and drift
+//! spikes, NoC link failures and congestion bursts, micro-unit failures
+//! and repairs, service-front-door arrival bursts) plus *pressure* knobs
+//! (offered load, deadline tightness). The schedule runs against a
+//! serving fabric and a set of declared [`runner::Violation`] invariants:
+//!
+//! 1. **Conservation** — admission accounting balances: every offered
+//!    request is admitted or shed, every admitted request completes,
+//!    times out or fails; with no hard faults in the schedule nothing
+//!    fails at all.
+//! 2. **Bounded recovery** — every §V.A mid-stream recovery latency
+//!    stays under a configured bound.
+//! 3. **Telemetry validity** — the run's JSONL telemetry export is
+//!    non-empty and every line passes
+//!    [`cim_sim::telemetry::validate_jsonl_line`].
+//! 4. **Replay determinism** — a second fresh run of the same schedule
+//!    produces a bit-identical fingerprint (outcomes + telemetry), the
+//!    property that makes everything else debuggable.
+//!
+//! On violation the campaign shrinks the schedule to a minimal still-
+//! failing reproducer with the in-tree [`cim_sim::prop`] shrinker, and
+//! [`replay`] serializes seed + schedule + expected fingerprint as a
+//! self-contained JSON-lines file (`chaos_replay file.jsonl` re-runs
+//! it). Everything is seed-deterministic and single-allocation-ordered,
+//! so campaigns are bit-identical at every `CIM_THREADS` setting.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod generate;
+pub mod replay;
+pub mod runner;
+pub mod schedule;
+
+pub use campaign::{run_campaign, run_campaign_threads, CampaignConfig, CampaignReport};
+pub use generate::generate_schedule;
+pub use replay::{parse_replay, render_replay, ReplayFile};
+pub use runner::{run_schedule, ChaosConfig, RunRecord, Violation, Weaken};
+pub use schedule::{ChaosAction, ChaosEvent, ChaosSchedule, Pressure};

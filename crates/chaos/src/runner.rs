@@ -1,0 +1,498 @@
+//! Runs one chaos schedule against a serving fabric and checks the
+//! declared invariants.
+//!
+//! The runner boots a fresh [`CimService`] for every run — chaos state
+//! must never leak between schedules — registers two resident request
+//! classes (an 8→8 MLP and an elementwise-ReLU pipeline), lowers the
+//! schedule onto the service's event machinery and serves an open-loop
+//! arrival stream under the schedule's pressure knobs. Afterwards it
+//! checks, in order:
+//!
+//! 1. **conservation** — `admitted + shed == offered` and
+//!    `completed + timed_out + failed == admitted`;
+//! 2. **no_unexpected_failures** — schedules without unit/link failures
+//!    must not fail any request;
+//! 3. **recovery_bound** — every §V.A recovery latency is under
+//!    [`ChaosConfig::recovery_bound`];
+//! 4. **telemetry_valid** — the JSONL export is non-empty and every
+//!    line passes [`cim_sim::telemetry::validate_jsonl_line`];
+//! 5. **determinism** — a second fresh run of the same schedule yields
+//!    a bit-identical [`RunRecord::fingerprint`].
+//!
+//! [`Weaken`] deliberately sabotages one invariant so tests (and CI
+//! self-checks) can confirm the campaign catches, shrinks and replays a
+//! real violation end to end.
+
+use crate::schedule::ChaosSchedule;
+use cim_crossbar::dpe::DpeConfig;
+use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
+use cim_dataflow::ops::{Elementwise, Operation};
+use cim_fabric::config::FabricConfig;
+use cim_fabric::service::{CimService, Disposition, ServiceConfig, ServiceReport};
+use cim_sim::telemetry::{validate_jsonl_line, TelemetryLevel};
+use cim_sim::time::SimDuration;
+use cim_sim::SeedTree;
+
+/// Fixed-parameter harness a campaign runs every schedule against.
+///
+/// The schedule carries all the randomness; the config (fabric shape,
+/// workload classes, request count, bounds) is held constant so that a
+/// replay file plus its config fields fully determines the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Mesh width (nodes). Two-dimensional by default so single link
+    /// failures degrade routes instead of partitioning the fabric.
+    pub mesh_width: usize,
+    /// Mesh height (nodes).
+    pub mesh_height: usize,
+    /// Micro-units per mesh node.
+    pub units_per_tile: usize,
+    /// Open-loop requests offered per run.
+    pub requests: usize,
+    /// Base offered arrival rate, Hz (scaled by the schedule's
+    /// [`crate::schedule::Pressure::rate_x1000`]).
+    pub base_rate_hz: f64,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Retry budget per request, including the first attempt.
+    pub max_attempts: u32,
+    /// Base per-request deadline (tightened by the schedule's
+    /// [`crate::schedule::Pressure::deadline_div`]).
+    pub base_deadline: SimDuration,
+    /// Upper bound every observed §V.A recovery latency must satisfy.
+    pub recovery_bound: SimDuration,
+    /// Horizon chaos events are generated inside, picoseconds.
+    pub horizon_ps: u64,
+    /// Maximum events per generated schedule.
+    pub max_events: usize,
+    /// Test-only invariant sabotage; [`Weaken::None`] in CI configs.
+    pub weaken: Weaken,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            mesh_width: 4,
+            mesh_height: 2,
+            units_per_tile: 2,
+            requests: 40,
+            base_rate_hz: 200_000.0,
+            queue_capacity: 8,
+            max_attempts: 4,
+            base_deadline: SimDuration::from_us(2_000),
+            recovery_bound: SimDuration::from_us(5_000),
+            horizon_ps: 300_000_000, // 300 µs: covers the arrival stream
+            max_events: 12,
+            weaken: Weaken::None,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Total micro-units on the configured fabric.
+    pub fn total_units(&self) -> usize {
+        self.mesh_width * self.mesh_height * self.units_per_tile
+    }
+}
+
+/// Test-only invariant sabotage, used to prove the pipeline catches
+/// violations (detection → shrink → replay file → reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weaken {
+    /// Ship configuration: all invariants at full strength.
+    #[default]
+    None,
+    /// Pretend the recovery bound is zero, so any schedule that causes
+    /// a §V.A recovery violates invariant 3.
+    RecoveryBoundZero,
+    /// Pretend request conservation requires `failed == 0` even under
+    /// hard faults, so exhausted retry budgets violate invariant 2.
+    NoFailuresEver,
+}
+
+impl Weaken {
+    /// Stable name used in replay files and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Weaken::None => "none",
+            Weaken::RecoveryBoundZero => "recovery_bound_zero",
+            Weaken::NoFailuresEver => "no_failures_ever",
+        }
+    }
+
+    /// Parses a CLI/replay-file name.
+    pub fn from_name(name: &str) -> Option<Weaken> {
+        match name {
+            "none" => Some(Weaken::None),
+            "recovery_bound_zero" => Some(Weaken::RecoveryBoundZero),
+            "no_failures_ever" => Some(Weaken::NoFailuresEver),
+            _ => None,
+        }
+    }
+}
+
+/// What one schedule run produced, summarized for reporting and replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// FNV-1a fingerprint over every request outcome (ids, classes,
+    /// arrival times, dispositions, attempt counts, output bits) and the
+    /// full telemetry export. Bit-identical across replays.
+    pub fingerprint: u64,
+    /// Requests offered / admitted / shed / completed / timed out /
+    /// failed, in that order.
+    pub counts: [usize; 6],
+    /// §V.A mid-stream recoveries observed.
+    pub recoveries: usize,
+    /// Retry attempts beyond first attempts.
+    pub retries: usize,
+    /// Lines in the telemetry export.
+    pub telemetry_lines: usize,
+    /// Largest observed recovery latency (zero when none).
+    pub max_recovery: SimDuration,
+}
+
+/// One violated invariant: which one, what happened, and (when the run
+/// itself completed) the fingerprint a replay must reproduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (`conservation`, `no_unexpected_failures`,
+    /// `recovery_bound`, `telemetry_valid`, `determinism`, `run_error`).
+    pub invariant: &'static str,
+    /// Human-readable description of the observed violation.
+    pub detail: String,
+    /// Fingerprint of the violating run, when one was produced.
+    pub fingerprint: Option<u64>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant '{}' violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+/// source → relu → sink on `width` lanes: the low-latency second tenant.
+fn relu_graph(width: usize) -> (DataflowGraph, NodeRef, NodeRef) {
+    let mut b = GraphBuilder::new();
+    let s = b.add("src", Operation::Source { width });
+    let m = b.add(
+        "relu",
+        Operation::Map {
+            func: Elementwise::Relu,
+            width,
+        },
+    );
+    let k = b.add("sink", Operation::Sink { width });
+    b.chain(&[s, m, k]).expect("chain is well-formed");
+    (b.build().expect("graph is valid"), s, k)
+}
+
+struct RunOnce {
+    report: ServiceReport,
+    fingerprint: u64,
+    telemetry: String,
+    recovery_latencies: Vec<SimDuration>,
+}
+
+/// Boots a fresh service and runs the schedule once.
+fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, String> {
+    let fabric = FabricConfig {
+        mesh_width: cfg.mesh_width,
+        mesh_height: cfg.mesh_height,
+        units_per_tile: cfg.units_per_tile,
+        dpe: DpeConfig::ideal(),
+        ..FabricConfig::default()
+    };
+    let service_cfg = ServiceConfig {
+        queue_capacity: cfg.queue_capacity,
+        max_attempts: cfg.max_attempts,
+        ..ServiceConfig::default()
+    };
+    // The service seed is FIXED: all chaos randomness lives in the
+    // schedule, so (config, schedule) alone determines the run.
+    let mut svc = CimService::new(fabric, service_cfg, SeedTree::new(0xC1A0_5EED))
+        .map_err(|e| format!("service boot failed: {e}"))?;
+    let tel = svc
+        .runtime_mut()
+        .device_mut()
+        .enable_telemetry(TelemetryLevel::Full);
+
+    let deadline = schedule.pressure.deadline(cfg.base_deadline);
+    let (mlp, mlp_src, mlp_sink) =
+        cim_workloads::nn::mlp_graph(&[8, 8], SeedTree::new(0xC1A55).child("mlp"));
+    svc.register_class("mlp", mlp, mlp_src, mlp_sink, deadline, 2)
+        .map_err(|e| format!("mlp class registration failed: {e}"))?;
+    let (relu, relu_src, relu_sink) = relu_graph(8);
+    svc.register_class("relu", relu, relu_src, relu_sink, deadline, 1)
+        .map_err(|e| format!("relu class registration failed: {e}"))?;
+
+    let rate_hz = schedule.pressure.rate_hz(cfg.base_rate_hz);
+    let events = schedule.to_service_events();
+    let report = svc
+        .run_open_loop(rate_hz, cfg.requests, &events)
+        .map_err(|e| format!("serving run aborted: {e}"))?;
+
+    let telemetry = tel.export_jsonl();
+    let recovery_latencies = svc.runtime().device().recovery_latencies();
+    let fingerprint = fingerprint_run(&report, &telemetry);
+    Ok(RunOnce {
+        report,
+        fingerprint,
+        telemetry,
+        recovery_latencies,
+    })
+}
+
+/// FNV-1a over every outcome plus the telemetry export: the equality
+/// witness replay and thread-invariance checks compare.
+fn fingerprint_run(report: &ServiceReport, telemetry: &str) -> u64 {
+    let mut h = Fnv::new();
+    for o in &report.outcomes {
+        h.u64(o.id);
+        h.u64(o.class as u64);
+        h.u64(o.arrival.as_ps());
+        match &o.disposition {
+            Disposition::Completed {
+                finished,
+                attempts,
+                recovered,
+                output,
+            } => {
+                h.u64(1);
+                h.u64(finished.as_ps());
+                h.u64(u64::from(*attempts));
+                h.u64(u64::from(*recovered));
+                for v in output {
+                    h.u64(v.to_bits());
+                }
+            }
+            Disposition::TimedOut { finished, attempts } => {
+                h.u64(2);
+                h.u64(finished.as_ps());
+                h.u64(u64::from(*attempts));
+            }
+            Disposition::Shed => h.u64(3),
+            Disposition::Failed { attempts } => {
+                h.u64(4);
+                h.u64(u64::from(*attempts));
+            }
+        }
+    }
+    h.bytes(telemetry.as_bytes());
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Runs `schedule` under `cfg` and checks every invariant.
+///
+/// # Errors
+///
+/// Returns the **first** violated invariant (the check order above), so
+/// shrinking minimizes against a stable failure signature.
+pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRecord, Violation> {
+    let first = run_once(cfg, schedule).map_err(|detail| Violation {
+        invariant: "run_error",
+        detail,
+        fingerprint: None,
+    })?;
+    let report = &first.report;
+
+    // 1. Conservation: nothing vanishes at admission or dispatch.
+    if report.admitted + report.shed != report.offered
+        || report.completed + report.timed_out + report.failed != report.admitted
+    {
+        return Err(Violation {
+            invariant: "conservation",
+            detail: format!(
+                "offered {} != admitted {} + shed {}, or admitted != completed {} + timed_out {} + failed {}",
+                report.offered,
+                report.admitted,
+                report.shed,
+                report.completed,
+                report.timed_out,
+                report.failed
+            ),
+            fingerprint: Some(first.fingerprint),
+        });
+    }
+
+    // 2. Hard failures need a hard fault in the schedule to explain them.
+    let failures_allowed = schedule.has_hard_faults() && cfg.weaken != Weaken::NoFailuresEver;
+    if report.failed > 0 && !failures_allowed {
+        return Err(Violation {
+            invariant: "no_unexpected_failures",
+            detail: format!(
+                "{} request(s) failed under a schedule with no unit/link failures",
+                report.failed
+            ),
+            fingerprint: Some(first.fingerprint),
+        });
+    }
+
+    // 3. Every §V.A recovery completes inside the bound.
+    let bound = match cfg.weaken {
+        Weaken::RecoveryBoundZero => SimDuration::ZERO,
+        _ => cfg.recovery_bound,
+    };
+    let max_recovery = first
+        .recovery_latencies
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
+    if max_recovery > bound {
+        return Err(Violation {
+            invariant: "recovery_bound",
+            detail: format!(
+                "recovery took {:.3} µs, bound is {:.3} µs",
+                max_recovery.as_us_f64(),
+                bound.as_us_f64()
+            ),
+            fingerprint: Some(first.fingerprint),
+        });
+    }
+
+    // 4. Telemetry must export, and every line must be schema-valid.
+    if first.telemetry.is_empty() {
+        return Err(Violation {
+            invariant: "telemetry_valid",
+            detail: "telemetry export is empty".to_owned(),
+            fingerprint: Some(first.fingerprint),
+        });
+    }
+    for (i, line) in first.telemetry.lines().enumerate() {
+        if let Err(e) = validate_jsonl_line(line) {
+            return Err(Violation {
+                invariant: "telemetry_valid",
+                detail: format!("telemetry line {} invalid: {e}", i + 1),
+                fingerprint: Some(first.fingerprint),
+            });
+        }
+    }
+
+    // 5. A second fresh run must be bit-identical.
+    let second = run_once(cfg, schedule).map_err(|detail| Violation {
+        invariant: "run_error",
+        detail: format!("replay run aborted: {detail}"),
+        fingerprint: Some(first.fingerprint),
+    })?;
+    if second.fingerprint != first.fingerprint {
+        return Err(Violation {
+            invariant: "determinism",
+            detail: format!(
+                "fresh re-run fingerprint {:#018x} != first run {:#018x}",
+                second.fingerprint, first.fingerprint
+            ),
+            fingerprint: Some(first.fingerprint),
+        });
+    }
+
+    Ok(RunRecord {
+        fingerprint: first.fingerprint,
+        counts: [
+            report.offered,
+            report.admitted,
+            report.shed,
+            report.completed,
+            report.timed_out,
+            report.failed,
+        ],
+        recoveries: report.recoveries,
+        retries: report.retries,
+        telemetry_lines: first.telemetry.lines().count(),
+        max_recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ChaosAction, ChaosEvent, Pressure};
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            requests: 12,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_schedule_satisfies_all_invariants() {
+        let rec = run_schedule(&quick_cfg(), &ChaosSchedule::empty()).expect("clean run");
+        assert_eq!(rec.counts[0], 12);
+        assert!(rec.telemetry_lines > 0);
+    }
+
+    #[test]
+    fn runs_are_fingerprint_stable() {
+        let cfg = quick_cfg();
+        let sched = ChaosSchedule {
+            pressure: Pressure {
+                rate_x1000: 3000,
+                deadline_div: 2,
+            },
+            events: vec![
+                ChaosEvent {
+                    at_ps: 5_000_000,
+                    action: ChaosAction::FailUnit { unit: 3 },
+                },
+                ChaosEvent {
+                    at_ps: 40_000_000,
+                    action: ChaosAction::RepairUnit { unit: 3 },
+                },
+                ChaosEvent {
+                    at_ps: 10_000_000,
+                    action: ChaosAction::ArrivalBurst { extra: 6 },
+                },
+            ],
+        };
+        let a = run_schedule(&cfg, &sched).expect("chaos absorbed");
+        let b = run_schedule(&cfg, &sched).expect("chaos absorbed");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weakened_recovery_bound_flags_a_violation() {
+        let cfg = ChaosConfig {
+            weaken: Weaken::RecoveryBoundZero,
+            ..quick_cfg()
+        };
+        // A unit failure mid-stream forces a §V.A recovery, whose
+        // latency cannot be ≤ 0.
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ChaosEvent {
+                at_ps: 1_000_000,
+                action: ChaosAction::FailUnit { unit: 0 },
+            }],
+        };
+        let v = run_schedule(&cfg, &sched).expect_err("weakened invariant must trip");
+        assert_eq!(v.invariant, "recovery_bound");
+        assert!(v.fingerprint.is_some());
+    }
+}

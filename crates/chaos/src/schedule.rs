@@ -1,0 +1,573 @@
+//! Chaos schedules: the shrinkable fault-event grammar.
+//!
+//! A schedule is plain data — flat `Copy` events with picosecond
+//! timestamps plus two pressure knobs — deliberately decoupled from
+//! `cim_fabric`'s [`ServiceEvent`] so it can implement the in-tree
+//! [`Shrink`] trait (the orphan rule forbids implementing `cim_sim`'s
+//! trait for `cim_fabric`'s type) and serialize to one JSON line per
+//! event. [`ChaosEvent::to_service_event`] lowers each event onto the
+//! fabric's injection machinery at run time.
+
+use cim_fabric::engine::InjectionKind;
+use cim_fabric::service::ServiceEvent;
+use cim_noc::packet::NodeId;
+use cim_sim::prop::Shrink;
+use cim_sim::time::SimTime;
+
+/// One layer-spanning fault action, with all coordinates flattened to
+/// integers so the whole event is `Copy + Eq` and trivially shrinkable
+/// and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Hard-fail micro-unit `unit` (out-of-range indices are ignored by
+    /// the fabric — shrinking stays safe).
+    FailUnit {
+        /// Linear unit index.
+        unit: u16,
+    },
+    /// Return micro-unit `unit` to service.
+    RepairUnit {
+        /// Linear unit index.
+        unit: u16,
+    },
+    /// Sever the mesh link between `(ax, ay)` and `(bx, by)`. Arbitrary
+    /// pairs are accepted (non-adjacent pairs are no-ops in the mesh's
+    /// failed-link set), so shrunken coordinates never panic.
+    FailLink {
+        /// Endpoint A, x coordinate.
+        ax: u16,
+        /// Endpoint A, y coordinate.
+        ay: u16,
+        /// Endpoint B, x coordinate.
+        bx: u16,
+        /// Endpoint B, y coordinate.
+        by: u16,
+    },
+    /// Restore the link between `(ax, ay)` and `(bx, by)`.
+    RepairLink {
+        /// Endpoint A, x coordinate.
+        ax: u16,
+        /// Endpoint A, y coordinate.
+        ay: u16,
+        /// Endpoint B, x coordinate.
+        bx: u16,
+        /// Endpoint B, y coordinate.
+        by: u16,
+    },
+    /// Inject stuck-at cell faults into unit `unit`'s crossbars at
+    /// `rate_ppm` parts-per-million, `stuck_on_ppm` of them stuck-on,
+    /// seeded by `seed` (kept in `u32` so every serialized value is an
+    /// exact JSON number).
+    CellFaults {
+        /// Linear unit index.
+        unit: u16,
+        /// Cell fault rate, parts per million.
+        rate_ppm: u32,
+        /// Stuck-on fraction of faulty cells, parts per million.
+        stuck_on_ppm: u32,
+        /// Seed for the deterministic fault pattern.
+        seed: u32,
+    },
+    /// Age unit `unit`'s crossbars by a sudden conductance drift of
+    /// `drift_ppm` parts-per-million.
+    DriftSpike {
+        /// Linear unit index.
+        unit: u16,
+        /// Drift magnitude, parts per million.
+        drift_ppm: u32,
+    },
+    /// Flood the route `(ax, ay) → (bx, by)` with `packets` best-effort
+    /// packets of `bytes` bytes each, congesting shared links.
+    Congestion {
+        /// Source node, x coordinate.
+        ax: u16,
+        /// Source node, y coordinate.
+        ay: u16,
+        /// Destination node, x coordinate.
+        bx: u16,
+        /// Destination node, y coordinate.
+        by: u16,
+        /// Number of flood packets.
+        packets: u16,
+        /// Payload size per packet, bytes.
+        bytes: u16,
+    },
+    /// Service-layer arrival burst: the next `extra` open-loop arrivals
+    /// after this instant land back-to-back, hammering admission.
+    ArrivalBurst {
+        /// Simultaneous arrivals beyond the first.
+        extra: u16,
+    },
+}
+
+impl ChaosAction {
+    /// Short stable identifier used in replay files and labels.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ChaosAction::FailUnit { .. } => "fail_unit",
+            ChaosAction::RepairUnit { .. } => "repair_unit",
+            ChaosAction::FailLink { .. } => "fail_link",
+            ChaosAction::RepairLink { .. } => "repair_link",
+            ChaosAction::CellFaults { .. } => "cell_faults",
+            ChaosAction::DriftSpike { .. } => "drift_spike",
+            ChaosAction::Congestion { .. } => "congestion",
+            ChaosAction::ArrivalBurst { .. } => "arrival_burst",
+        }
+    }
+
+    /// Whether this action can make requests *fail* outright (as opposed
+    /// to merely degrading latency or accuracy). Used by the
+    /// no-hard-fault conservation invariant.
+    pub fn is_hard_fault(&self) -> bool {
+        matches!(
+            self,
+            ChaosAction::FailUnit { .. } | ChaosAction::FailLink { .. }
+        )
+    }
+}
+
+/// Shrinking an action reduces its numeric fields toward zero but never
+/// changes its kind: a minimal reproducer should keep the *shape* of
+/// the failure while shedding incidental magnitude.
+impl Shrink for ChaosAction {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match *self {
+            ChaosAction::FailUnit { unit } => unit
+                .shrink_candidates()
+                .into_iter()
+                .map(|unit| ChaosAction::FailUnit { unit })
+                .collect(),
+            ChaosAction::RepairUnit { unit } => unit
+                .shrink_candidates()
+                .into_iter()
+                .map(|unit| ChaosAction::RepairUnit { unit })
+                .collect(),
+            ChaosAction::FailLink { ax, ay, bx, by } => shrink4(ax, ay, bx, by)
+                .into_iter()
+                .map(|(ax, ay, bx, by)| ChaosAction::FailLink { ax, ay, bx, by })
+                .collect(),
+            ChaosAction::RepairLink { ax, ay, bx, by } => shrink4(ax, ay, bx, by)
+                .into_iter()
+                .map(|(ax, ay, bx, by)| ChaosAction::RepairLink { ax, ay, bx, by })
+                .collect(),
+            ChaosAction::CellFaults {
+                unit,
+                rate_ppm,
+                stuck_on_ppm,
+                seed,
+            } => {
+                let mut out = Vec::new();
+                for u in unit.shrink_candidates() {
+                    out.push(ChaosAction::CellFaults {
+                        unit: u,
+                        rate_ppm,
+                        stuck_on_ppm,
+                        seed,
+                    });
+                }
+                for r in rate_ppm.shrink_candidates() {
+                    out.push(ChaosAction::CellFaults {
+                        unit,
+                        rate_ppm: r,
+                        stuck_on_ppm,
+                        seed,
+                    });
+                }
+                for s in stuck_on_ppm.shrink_candidates() {
+                    out.push(ChaosAction::CellFaults {
+                        unit,
+                        rate_ppm,
+                        stuck_on_ppm: s,
+                        seed,
+                    });
+                }
+                out
+            }
+            ChaosAction::DriftSpike { unit, drift_ppm } => {
+                let mut out = Vec::new();
+                for u in unit.shrink_candidates() {
+                    out.push(ChaosAction::DriftSpike { unit: u, drift_ppm });
+                }
+                for d in drift_ppm.shrink_candidates() {
+                    out.push(ChaosAction::DriftSpike { unit, drift_ppm: d });
+                }
+                out
+            }
+            ChaosAction::Congestion {
+                ax,
+                ay,
+                bx,
+                by,
+                packets,
+                bytes,
+            } => {
+                let mut out = Vec::new();
+                for p in packets.shrink_candidates() {
+                    out.push(ChaosAction::Congestion {
+                        ax,
+                        ay,
+                        bx,
+                        by,
+                        packets: p,
+                        bytes,
+                    });
+                }
+                for b in bytes.shrink_candidates() {
+                    out.push(ChaosAction::Congestion {
+                        ax,
+                        ay,
+                        bx,
+                        by,
+                        packets,
+                        bytes: b,
+                    });
+                }
+                for (ax, ay, bx, by) in shrink4(ax, ay, bx, by) {
+                    out.push(ChaosAction::Congestion {
+                        ax,
+                        ay,
+                        bx,
+                        by,
+                        packets,
+                        bytes,
+                    });
+                }
+                out
+            }
+            ChaosAction::ArrivalBurst { extra } => extra
+                .shrink_candidates()
+                .into_iter()
+                .map(|extra| ChaosAction::ArrivalBurst { extra })
+                .collect(),
+        }
+    }
+}
+
+/// Shrink one coordinate of a 4-tuple at a time.
+fn shrink4(ax: u16, ay: u16, bx: u16, by: u16) -> Vec<(u16, u16, u16, u16)> {
+    let mut out = Vec::new();
+    for a in ax.shrink_candidates() {
+        out.push((a, ay, bx, by));
+    }
+    for a in ay.shrink_candidates() {
+        out.push((ax, a, bx, by));
+    }
+    for b in bx.shrink_candidates() {
+        out.push((ax, ay, b, by));
+    }
+    for b in by.shrink_candidates() {
+        out.push((ax, ay, bx, b));
+    }
+    out
+}
+
+/// One timed chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Fire time, picoseconds of simulated time.
+    pub at_ps: u64,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+impl ChaosEvent {
+    /// Lowers this event to the service layer's event type.
+    pub fn to_service_event(&self) -> ServiceEvent {
+        let at = SimTime::from_ps(self.at_ps);
+        match self.action {
+            ChaosAction::FailUnit { unit } => ServiceEvent::FailUnit {
+                at,
+                unit: usize::from(unit),
+            },
+            ChaosAction::RepairUnit { unit } => ServiceEvent::RepairUnit {
+                at,
+                unit: usize::from(unit),
+            },
+            ChaosAction::FailLink { ax, ay, bx, by } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::FailLink {
+                    a: NodeId { x: ax, y: ay },
+                    b: NodeId { x: bx, y: by },
+                },
+            },
+            ChaosAction::RepairLink { ax, ay, bx, by } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::RepairLink {
+                    a: NodeId { x: ax, y: ay },
+                    b: NodeId { x: bx, y: by },
+                },
+            },
+            ChaosAction::CellFaults {
+                unit,
+                rate_ppm,
+                stuck_on_ppm,
+                seed,
+            } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::CellFaults {
+                    unit: usize::from(unit),
+                    rate_ppm,
+                    stuck_on_ppm,
+                    seed: u64::from(seed),
+                },
+            },
+            ChaosAction::DriftSpike { unit, drift_ppm } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::DriftSpike {
+                    unit: usize::from(unit),
+                    drift_ppm,
+                },
+            },
+            ChaosAction::Congestion {
+                ax,
+                ay,
+                bx,
+                by,
+                packets,
+                bytes,
+            } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::Congestion {
+                    from: NodeId { x: ax, y: ay },
+                    to: NodeId { x: bx, y: by },
+                    packets,
+                    bytes,
+                },
+            },
+            ChaosAction::ArrivalBurst { extra } => ServiceEvent::ArrivalBurst { at, extra },
+        }
+    }
+}
+
+/// Shrink an event by pulling its time toward zero or simplifying its
+/// action — one axis at a time, so each candidate is strictly smaller.
+impl Shrink for ChaosEvent {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for at_ps in self.at_ps.shrink_candidates() {
+            out.push(ChaosEvent {
+                at_ps,
+                action: self.action,
+            });
+        }
+        for action in self.action.shrink_candidates() {
+            out.push(ChaosEvent {
+                at_ps: self.at_ps,
+                action,
+            });
+        }
+        out
+    }
+}
+
+/// Service-pressure knobs generated alongside the fault events.
+///
+/// Integers (not floats) so the schedule stays `Eq` and exactly
+/// serializable: `rate_x1000` is the offered arrival rate in
+/// milli-hertz-per-hertz units (`rate_hz = rate_x1000 / 1000 × base`),
+/// `deadline_div` divides the configured base deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pressure {
+    /// Offered-rate multiplier, thousandths (1000 = the config's base
+    /// rate; 4000 = 4× overload).
+    pub rate_x1000: u32,
+    /// Deadline divisor (1 = the config's base deadline; 4 = 4× tighter).
+    pub deadline_div: u32,
+}
+
+impl Default for Pressure {
+    fn default() -> Self {
+        Pressure {
+            rate_x1000: 1000,
+            deadline_div: 1,
+        }
+    }
+}
+
+impl Pressure {
+    /// Effective offered rate for a configured base rate.
+    pub fn rate_hz(&self, base_hz: f64) -> f64 {
+        let x = self.rate_x1000.max(1);
+        base_hz * f64::from(x) / 1000.0
+    }
+
+    /// Effective deadline for a configured base deadline.
+    pub fn deadline(&self, base: cim_sim::time::SimDuration) -> cim_sim::time::SimDuration {
+        base / u64::from(self.deadline_div.max(1))
+    }
+}
+
+/// Shrinking pressure relaxes it toward the defaults (rate down to
+/// 1000, divisor down to 1) — a minimal reproducer should need as
+/// little overload as possible.
+impl Shrink for Pressure {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.rate_x1000 > 1000 {
+            out.push(Pressure {
+                rate_x1000: 1000,
+                ..*self
+            });
+            let half = (self.rate_x1000 / 2).max(1000);
+            if half != 1000 {
+                out.push(Pressure {
+                    rate_x1000: half,
+                    ..*self
+                });
+            }
+        }
+        if self.deadline_div > 1 {
+            out.push(Pressure {
+                deadline_div: 1,
+                ..*self
+            });
+            let half = (self.deadline_div / 2).max(1);
+            if half != 1 {
+                out.push(Pressure {
+                    deadline_div: half,
+                    ..*self
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A complete chaos schedule: what to inject, when, and under how much
+/// service pressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Load/deadline pressure for the serving run.
+    pub pressure: Pressure,
+    /// Fault events, kept sorted by [`ChaosEvent::at_ps`].
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule at default pressure (the shrinker's floor).
+    pub fn empty() -> Self {
+        ChaosSchedule {
+            pressure: Pressure::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Lowers the whole schedule to service events, sorted by time.
+    pub fn to_service_events(&self) -> Vec<ServiceEvent> {
+        let mut evs: Vec<ServiceEvent> = self
+            .events
+            .iter()
+            .map(ChaosEvent::to_service_event)
+            .collect();
+        evs.sort_by_key(ServiceEvent::at);
+        evs
+    }
+
+    /// Whether any event can hard-fail requests (unit/link failures).
+    pub fn has_hard_faults(&self) -> bool {
+        self.events.iter().any(|e| e.action.is_hard_fault())
+    }
+}
+
+/// Shrink the event list (dropping/halving/simplifying events via the
+/// `Vec` impl) and the pressure, one axis at a time. Event order within
+/// the vector is preserved by every candidate, so lowering stays
+/// deterministic.
+impl Shrink for ChaosSchedule {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<ChaosSchedule> = self
+            .events
+            .shrink_candidates()
+            .into_iter()
+            .map(|events| ChaosSchedule {
+                pressure: self.pressure,
+                events,
+            })
+            .collect();
+        for pressure in self.pressure.shrink_candidates() {
+            out.push(ChaosSchedule {
+                pressure,
+                events: self.events.clone(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_candidates_preserve_action_kind() {
+        let ev = ChaosEvent {
+            at_ps: 1_000_000,
+            action: ChaosAction::CellFaults {
+                unit: 3,
+                rate_ppm: 500,
+                stuck_on_ppm: 250,
+                seed: 42,
+            },
+        };
+        for cand in ev.shrink_candidates() {
+            assert_eq!(cand.action.kind_name(), "cell_faults");
+        }
+    }
+
+    #[test]
+    fn schedule_shrinks_toward_empty() {
+        let sched = ChaosSchedule {
+            pressure: Pressure {
+                rate_x1000: 4000,
+                deadline_div: 2,
+            },
+            events: vec![
+                ChaosEvent {
+                    at_ps: 10,
+                    action: ChaosAction::FailUnit { unit: 1 },
+                },
+                ChaosEvent {
+                    at_ps: 20,
+                    action: ChaosAction::ArrivalBurst { extra: 8 },
+                },
+            ],
+        };
+        let cands = sched.shrink_candidates();
+        assert!(cands.iter().any(|c| c.events.is_empty()));
+        assert!(cands.iter().any(|c| c.pressure == Pressure::default()
+            || c.pressure.rate_x1000 == 1000
+            || c.pressure.deadline_div == 1));
+    }
+
+    #[test]
+    fn lowering_is_sorted_and_total() {
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![
+                ChaosEvent {
+                    at_ps: 500,
+                    action: ChaosAction::Congestion {
+                        ax: 0,
+                        ay: 0,
+                        bx: 1,
+                        by: 0,
+                        packets: 4,
+                        bytes: 64,
+                    },
+                },
+                ChaosEvent {
+                    at_ps: 100,
+                    action: ChaosAction::FailLink {
+                        ax: 0,
+                        ay: 0,
+                        bx: 0,
+                        by: 1,
+                    },
+                },
+            ],
+        };
+        let evs = sched.to_service_events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+}

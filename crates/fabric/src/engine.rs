@@ -21,7 +21,7 @@ use crate::security::CapabilityTable;
 use crate::unit::UnitHealth;
 use cim_crossbar::array::OpCost;
 use cim_dataflow::graph::{DataflowGraph, NodeRef};
-use cim_noc::packet::{Packet, TrafficClass};
+use cim_noc::packet::{NodeId, Packet, TrafficClass};
 use cim_sim::energy::Energy;
 use cim_sim::time::{SimDuration, SimTime};
 use cim_sim::trace::TraceLevel;
@@ -63,6 +63,91 @@ pub struct StreamOptions {
     pub start: SimTime,
     /// Capability policy; `None` disables checks.
     pub capabilities: Option<CapabilityTable>,
+    /// Fault injections to land at precise sim-time points *during* the
+    /// stream (chaos instrumentation). Each injection is applied the
+    /// first time the stream's simulated clock passes its `at`, i.e.
+    /// between two node executions of the item in flight — not merely
+    /// between stream items. Applying an injection twice is harmless
+    /// (they are absolute state-sets), so callers that also drive
+    /// [`CimDevice::apply_injection`] between streams stay consistent.
+    pub injections: Vec<Injection>,
+}
+
+/// What a scheduled fault injection does to the device.
+///
+/// Variants are plain `Copy` data (rates in parts-per-million rather
+/// than `f64` so schedules stay `Eq`-comparable for shrinking and
+/// replay round-trips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// Hard-fail a micro-unit (§V.A fault).
+    FailUnit {
+        /// Device-wide unit index.
+        unit: usize,
+    },
+    /// Return a failed/fenced unit to the healthy spare pool.
+    RepairUnit {
+        /// Device-wide unit index.
+        unit: usize,
+    },
+    /// Sever a bidirectional mesh link; traffic reroutes around it.
+    FailLink {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Restore a previously severed mesh link.
+    RepairLink {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Inject stuck-at cell faults into a unit's programmed crossbars
+    /// (`cim_crossbar::faults::FaultCampaign`); a no-op on units without
+    /// an analog engine.
+    CellFaults {
+        /// Device-wide unit index.
+        unit: usize,
+        /// Cell fault rate in parts-per-million.
+        rate_ppm: u32,
+        /// Fraction of faults stuck ON (vs OFF), in parts-per-million.
+        stuck_on_ppm: u32,
+        /// Seed for the fault-placement RNG stream.
+        seed: u64,
+    },
+    /// Apply a retention-drift spike to a unit's crossbars
+    /// (`drift_fraction` in parts-per-million); a no-op on units
+    /// without an analog engine.
+    DriftSpike {
+        /// Device-wide unit index.
+        unit: usize,
+        /// Drift fraction in parts-per-million.
+        drift_ppm: u32,
+    },
+    /// A burst of best-effort background packets between two tiles,
+    /// contending with stream traffic for link bandwidth.
+    Congestion {
+        /// Source tile.
+        from: NodeId,
+        /// Destination tile.
+        to: NodeId,
+        /// Number of packets in the burst.
+        packets: u16,
+        /// Payload size of each packet in bytes.
+        bytes: u16,
+    },
+}
+
+/// A fault injection scheduled at an absolute sim-time point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// When the injection lands (applied the first time the stream
+    /// clock passes this point).
+    pub at: SimTime,
+    /// What it does.
+    pub kind: InjectionKind,
 }
 
 /// One recovery performed during a stream (§V.A).
@@ -215,11 +300,98 @@ impl CimDevice {
         candidates.first().copied()
     }
 
+    /// Applies one fault injection to the device, immediately.
+    ///
+    /// Out-of-range unit indices and unknown links are ignored rather
+    /// than panicking: replay files are external input, and a shrunk
+    /// schedule must stay applicable on any device size. Injections are
+    /// absolute state-sets, so re-applying one is harmless.
+    pub fn apply_injection(&mut self, inj: &Injection) {
+        match inj.kind {
+            InjectionKind::FailUnit { unit } => {
+                if unit < self.units().len() {
+                    self.fail_unit(unit);
+                }
+            }
+            InjectionKind::RepairUnit { unit } => {
+                if unit < self.units().len() {
+                    self.unit_mut(unit).set_health(UnitHealth::Healthy);
+                }
+            }
+            InjectionKind::FailLink { a, b } => {
+                self.noc_mut().mesh_mut().fail_link(a, b);
+            }
+            InjectionKind::RepairLink { a, b } => {
+                self.noc_mut().mesh_mut().repair_link(a, b);
+            }
+            InjectionKind::CellFaults {
+                unit,
+                rate_ppm,
+                stuck_on_ppm,
+                seed,
+            } => {
+                if unit < self.units().len() {
+                    if let Some(dpe) = self.unit_mut(unit).dpe_mut() {
+                        let campaign = cim_crossbar::faults::FaultCampaign::new(
+                            f64::from(rate_ppm) / 1e6,
+                            f64::from(stuck_on_ppm) / 1e6,
+                        );
+                        campaign.inject(dpe, cim_sim::SeedTree::new(seed));
+                    }
+                }
+            }
+            InjectionKind::DriftSpike { unit, drift_ppm } => {
+                if unit < self.units().len() {
+                    if let Some(dpe) = self.unit_mut(unit).dpe_mut() {
+                        let frac = f64::from(drift_ppm) / 1e6;
+                        dpe.for_each_array(|_, _, _, _, xbar| xbar.drift_all(1.0, frac));
+                    }
+                }
+            }
+            InjectionKind::Congestion {
+                from,
+                to,
+                packets,
+                bytes,
+            } => {
+                for _ in 0..packets {
+                    let id = self.next_packet_id();
+                    let pkt = Packet::new(id, from, to, vec![0u8; bytes as usize])
+                        .with_class(TrafficClass::BestEffort);
+                    let (_, noc) = self.units_and_noc_mut();
+                    // Background traffic: a burst on a partitioned mesh
+                    // simply doesn't arrive; that is not a stream error.
+                    let _ = noc.transmit(&pkt, inj.at);
+                }
+            }
+        }
+    }
+
+    /// Applies every not-yet-applied injection whose `at` the stream
+    /// clock has passed. `cursor` indexes into `injections` (sorted by
+    /// `at`); `now` is the high-water mark of the stream's clock, which
+    /// keeps the application order deterministic even though per-node
+    /// ready times are not globally monotone across parallel branches.
+    fn apply_due_injections(&mut self, injections: &[Injection], cursor: &mut usize, now: SimTime) {
+        while let Some(inj) = injections.get(*cursor) {
+            if inj.at > now {
+                break;
+            }
+            self.apply_injection(inj);
+            *cursor += 1;
+        }
+    }
+
     /// Executes a stream of inputs through a loaded program.
     ///
     /// Each element of `inputs` maps every source node to its input
     /// vector for that item. Items are injected `opts.inter_arrival`
     /// apart (back to back when zero) and pipeline through the fabric.
+    ///
+    /// When `opts.injections` is non-empty, each injection is applied
+    /// the first time the stream's simulated clock reaches its `at` —
+    /// between node executions of the in-flight item, so a mid-item
+    /// unit failure takes the full §V.A detection/recovery path.
     ///
     /// # Errors
     ///
@@ -244,6 +416,13 @@ impl CimDevice {
             energy: Energy::ZERO,
             recoveries: Vec::new(),
         };
+        // Chaos instrumentation: injections sorted by landing time, a
+        // cursor of what has been applied, and a high-water clock so
+        // application order is deterministic (see apply_due_injections).
+        let mut injections = opts.injections.clone();
+        injections.sort_by_key(|i| i.at);
+        let mut inj_cursor = 0usize;
+        let mut inj_water = opts.start;
 
         for (item_idx, item) in inputs.iter().enumerate() {
             for s in &sources {
@@ -260,6 +439,8 @@ impl CimDevice {
             }
             let release = opts.start + opts.inter_arrival * item_idx as u64;
             report.injected.push(release);
+            inj_water = inj_water.max(release);
+            self.apply_due_injections(&injections, &mut inj_cursor, inj_water);
             let item_span = tel.span_enter(tel_engine, "item", release);
             let item_energy_start = report.energy;
 
@@ -331,6 +512,8 @@ impl CimDevice {
                 let mut exec_unit = unit_idx;
                 let mut when = ready;
                 let (vals, t_done, energy) = loop {
+                    inj_water = inj_water.max(when);
+                    self.apply_due_injections(&injections, &mut inj_cursor, inj_water);
                     let exec = {
                         let unit = self.unit_mut(exec_unit);
                         if is_source {
@@ -801,6 +984,104 @@ mod tests {
         let mut prog = d.load_program(&g, MappingPolicy::RoundRobin).unwrap();
         let res = d.execute_stream(&mut prog, &[HashMap::new()], &StreamOptions::default());
         assert!(matches!(res, Err(FabricError::Dataflow(_))));
+    }
+
+    #[test]
+    fn scheduled_injection_lands_mid_item_and_recovers() {
+        let mut d = device();
+        let (g, src, out) = mlp_graph();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        let clean = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        // Schedule fc2's host to fail 1 ps into the item: the source node
+        // executes first (injection not yet due at its attempt), then the
+        // clock passes 1 ps and the failure lands mid-item, forcing the
+        // §V.A recovery path when the stream reaches fc2.
+        let victim = prog.placement().unit_of(3);
+        let opts = StreamOptions {
+            injections: vec![Injection {
+                at: clean.injected[0] + SimDuration::from_ps(1),
+                kind: InjectionKind::FailUnit { unit: victim },
+            }],
+            ..StreamOptions::default()
+        };
+        let report = d
+            .execute_stream(&mut prog, &[input_for(src, x)], &opts)
+            .unwrap();
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].failed_unit, victim);
+        assert_eq!(report.outputs[0][&out], clean.outputs[0][&out]);
+    }
+
+    #[test]
+    fn scheduled_link_failure_reroutes_without_error() {
+        use cim_noc::packet::NodeId;
+        let mut d = device();
+        let (g, src, out) = mlp_graph();
+        // RoundRobin spreads nodes across tiles so results ride the NoC.
+        let mut prog = d.load_program(&g, MappingPolicy::RoundRobin).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+        let clean = d
+            .execute_stream(
+                &mut prog,
+                &[input_for(src, x.clone())],
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        let opts = StreamOptions {
+            injections: vec![Injection {
+                at: clean.injected[0] + SimDuration::from_ps(1),
+                kind: InjectionKind::FailLink {
+                    a: NodeId::new(0, 0),
+                    b: NodeId::new(1, 0),
+                },
+            }],
+            ..StreamOptions::default()
+        };
+        let report = d
+            .execute_stream(&mut prog, &[input_for(src, x)], &opts)
+            .unwrap();
+        // Values are routing-independent; only timing may change.
+        assert_eq!(report.outputs[0][&out], clean.outputs[0][&out]);
+        assert!(d.noc_mut().mesh_mut().link_failed(
+            cim_noc::packet::NodeId::new(0, 0),
+            cim_noc::packet::NodeId::new(1, 0)
+        ));
+    }
+
+    #[test]
+    fn injections_are_idempotent_state_sets() {
+        let mut d = device();
+        let inj = Injection {
+            at: SimTime::ZERO,
+            kind: InjectionKind::FailUnit { unit: 0 },
+        };
+        d.apply_injection(&inj);
+        d.apply_injection(&inj); // re-application must be harmless
+        assert_eq!(d.unit(0).health(), UnitHealth::Failed);
+        let repair = Injection {
+            at: SimTime::ZERO,
+            kind: InjectionKind::RepairUnit { unit: 0 },
+        };
+        d.apply_injection(&repair);
+        assert_eq!(d.unit(0).health(), UnitHealth::Healthy);
+        // Out-of-range targets are ignored, not panics: shrunk replay
+        // schedules must stay applicable on any device size.
+        d.apply_injection(&Injection {
+            at: SimTime::ZERO,
+            kind: InjectionKind::CellFaults {
+                unit: 10_000,
+                rate_ppm: 1000,
+                stuck_on_ppm: 500_000,
+                seed: 1,
+            },
+        });
     }
 
     #[test]

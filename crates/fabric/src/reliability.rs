@@ -78,6 +78,7 @@ pub fn run_fault_campaign(
             inter_arrival: opts.inter_arrival,
             start: opts.start + opts.inter_arrival * cursor as u64,
             capabilities: opts.capabilities.clone(),
+            injections: opts.injections.clone(),
         };
         let report = device.execute_stream(prog, chunk, &chunk_opts)?;
         merged = Some(match merged {

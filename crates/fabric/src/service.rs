@@ -19,11 +19,10 @@
 //!                shed                  backoff + retry   §V.A recovery
 //! ```
 
-use crate::engine::StreamOptions;
+use crate::engine::{Injection, InjectionKind, StreamOptions};
 use crate::error::{FabricError, Result};
 use crate::mapper::MappingPolicy;
 use crate::runtime::{CimRuntime, JobId, JobStatus};
-use crate::unit::UnitHealth;
 use cim_dataflow::graph::{DataflowGraph, NodeRef};
 use cim_sim::rng::{exponential, Rng};
 use cim_sim::stats::Samples;
@@ -57,6 +56,19 @@ impl Default for ServiceConfig {
 }
 
 /// A scheduled serviceability event applied while the stream runs.
+///
+/// Events due between dispatches are applied exactly once by the
+/// service's own cursor; the still-future tail is additionally handed
+/// to the engine as [`StreamOptions::injections`], so an event whose
+/// time falls *inside* a request's execution lands at that precise
+/// sim-time point instead of waiting for the next dispatch boundary.
+/// Because both layers may see the same event, applications must
+/// tolerate repetition: health and link events are absolute state-sets
+/// and [`InjectionKind::CellFaults`] is seed-deterministic, so
+/// re-application is a no-op; [`InjectionKind::Congestion`] and
+/// [`InjectionKind::DriftSpike`] compound when a mid-stream landing is
+/// replayed at the next boundary — deterministically, so replays stay
+/// bit-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceEvent {
     /// Hard-fail a unit (detected by the engine on next dispatch).
@@ -73,12 +85,51 @@ pub enum ServiceEvent {
         /// The unit index.
         unit: usize,
     },
+    /// Any engine-level injection (link failure/repair, congestion
+    /// burst, crossbar cell faults, drift spike) at a precise sim-time
+    /// point.
+    Inject {
+        /// Simulated time at which the injection lands.
+        at: SimTime,
+        /// What it does.
+        kind: InjectionKind,
+    },
+    /// An arrival burst at the service front door: the next `extra`
+    /// open-loop arrivals after this point land back-to-back at the
+    /// same instant, hammering the admission queue.
+    ArrivalBurst {
+        /// Simulated time at which the burst begins.
+        at: SimTime,
+        /// Arrivals beyond the first that land simultaneously.
+        extra: u16,
+    },
 }
 
 impl ServiceEvent {
-    fn at(&self) -> SimTime {
+    /// The simulated time this event fires.
+    pub fn at(&self) -> SimTime {
         match *self {
-            ServiceEvent::FailUnit { at, .. } | ServiceEvent::RepairUnit { at, .. } => at,
+            ServiceEvent::FailUnit { at, .. }
+            | ServiceEvent::RepairUnit { at, .. }
+            | ServiceEvent::Inject { at, .. }
+            | ServiceEvent::ArrivalBurst { at, .. } => at,
+        }
+    }
+
+    /// The engine-level injection this event maps to; `None` for
+    /// service-layer-only events ([`ServiceEvent::ArrivalBurst`]).
+    pub fn to_injection(&self) -> Option<Injection> {
+        match *self {
+            ServiceEvent::FailUnit { at, unit } => Some(Injection {
+                at,
+                kind: InjectionKind::FailUnit { unit },
+            }),
+            ServiceEvent::RepairUnit { at, unit } => Some(Injection {
+                at,
+                kind: InjectionKind::RepairUnit { unit },
+            }),
+            ServiceEvent::Inject { at, kind } => Some(Injection { at, kind }),
+            ServiceEvent::ArrivalBurst { .. } => None,
         }
     }
 }
@@ -352,9 +403,11 @@ impl CimService {
     /// # Errors
     ///
     /// [`FabricError::RetriesExhausted`] when every attempt hit a
-    /// recoverable fault; recoverable here means the engine ran out of
-    /// spares ([`FabricError::NoSpareAvailable`]) — a later attempt can
-    /// succeed after a repair. Other execution errors propagate.
+    /// recoverable fault; recoverable means the engine ran out of
+    /// spares ([`FabricError::NoSpareAvailable`]) or the mesh lost the
+    /// route ([`cim_noc::NocError::NoRoute`] — a severed link partition)
+    /// — in both cases a later attempt can succeed after a repair.
+    /// Other execution errors propagate.
     fn dispatch(
         &mut self,
         class: usize,
@@ -372,8 +425,15 @@ impl CimService {
         loop {
             attempts += 1;
             self.apply_events_until(events, next_event, when);
+            // The still-future event tail rides into the engine so that
+            // an event falling inside this request's execution lands at
+            // its precise sim-time point (§V.A mid-item detection).
             let opts = StreamOptions {
                 start: when,
+                injections: events[*next_event..]
+                    .iter()
+                    .filter_map(ServiceEvent::to_injection)
+                    .collect(),
                 ..StreamOptions::default()
             };
             let item = HashMap::from([(src, input.clone())]);
@@ -383,7 +443,10 @@ impl CimService {
                     let output = report.outputs[0][&sink].clone();
                     return Ok((finished, attempts, !report.recoveries.is_empty(), output));
                 }
-                Err(FabricError::NoSpareAvailable { .. }) => {
+                Err(
+                    FabricError::NoSpareAvailable { .. }
+                    | FabricError::Noc(cim_noc::NocError::NoRoute { .. }),
+                ) => {
                     if attempts >= self.cfg.max_attempts {
                         return Err(FabricError::RetriesExhausted { attempts });
                     }
@@ -404,14 +467,8 @@ impl CimService {
             if ev.at() > now {
                 break;
             }
-            match *ev {
-                ServiceEvent::FailUnit { unit, .. } => self.rt.device_mut().fail_unit(unit),
-                ServiceEvent::RepairUnit { unit, .. } => {
-                    self.rt
-                        .device_mut()
-                        .unit_mut(unit)
-                        .set_health(UnitHealth::Healthy);
-                }
+            if let Some(inj) = ev.to_injection() {
+                self.rt.device_mut().apply_injection(&inj);
             }
             *next += 1;
         }
@@ -451,6 +508,20 @@ impl CimService {
         let mut events = events.to_vec();
         events.sort_by_key(ServiceEvent::at);
         let mut next_event = 0usize;
+        // Arrival bursts are a service-layer effect: once the open-loop
+        // clock passes a burst's time, its `extra` follow-on arrivals
+        // land at the same instant as the triggering arrival. The RNG is
+        // only consumed for non-burst arrivals, so schedules without
+        // bursts draw the exact same arrival sequence as before.
+        let bursts: Vec<(SimTime, u16)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                ServiceEvent::ArrivalBurst { at, extra } => Some((at, extra)),
+                _ => None,
+            })
+            .collect();
+        let mut burst_idx = 0usize;
+        let mut burst_left = 0u32;
 
         let mut arrivals_rng = self.seeds.rng("arrivals");
         let mut class_rng = self.seeds.rng("classes");
@@ -466,7 +537,15 @@ impl CimService {
         let (mut recoveries, mut retries) = (0usize, 0usize);
 
         for _ in 0..n {
-            now += SimDuration::from_secs_f64(exponential(&mut arrivals_rng, rate_hz));
+            if burst_left > 0 {
+                burst_left -= 1; // simultaneous with the previous arrival
+            } else {
+                now += SimDuration::from_secs_f64(exponential(&mut arrivals_rng, rate_hz));
+                while burst_idx < bursts.len() && bursts[burst_idx].0 <= now {
+                    burst_left += u32::from(bursts[burst_idx].1);
+                    burst_idx += 1;
+                }
+            }
             let class = {
                 let mut pick = class_rng.gen_range(0..total_weight);
                 let mut idx = self.classes.len() - 1;
@@ -793,6 +872,122 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn arrival_burst_hammers_the_admission_queue() {
+        let cfg = ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        };
+        // Light offered rate: without the burst nothing is ever shed.
+        let clean = {
+            let mut svc = service(4, cfg.clone(), SimDuration::from_us(100));
+            svc.run_open_loop(10_000.0, 40, &[]).expect("serves")
+        };
+        assert_eq!(clean.shed, 0);
+        let mut svc = service(4, cfg, SimDuration::from_us(100));
+        let events = [ServiceEvent::ArrivalBurst {
+            at: SimTime::ZERO,
+            extra: 20,
+        }];
+        let r = svc.run_open_loop(10_000.0, 40, &events).expect("serves");
+        assert_eq!(r.offered, 40, "bursts compress arrivals, not add them");
+        assert!(r.shed > 0, "21 simultaneous arrivals must overrun cap 2");
+        assert!(r.zero_lost(), "shedding loses nothing admitted");
+        // The burst lands back-to-back: 21 outcomes share one arrival time.
+        let first_burst_arrival = r.outcomes[0].arrival;
+        let simultaneous = r
+            .outcomes
+            .iter()
+            .filter(|o| o.arrival == first_burst_arrival)
+            .count();
+        assert_eq!(simultaneous, 21);
+    }
+
+    #[test]
+    fn inject_events_land_through_the_service() {
+        use cim_noc::packet::NodeId;
+        // Link + congestion + cell-fault events flow through the same
+        // schedule; the run completes and stays accounted.
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(500));
+        let events = [
+            ServiceEvent::Inject {
+                at: SimTime::ZERO,
+                kind: InjectionKind::Congestion {
+                    from: NodeId::new(0, 0),
+                    to: NodeId::new(3, 0),
+                    packets: 4,
+                    bytes: 256,
+                },
+            },
+            ServiceEvent::Inject {
+                at: SimTime::from_ns(1000),
+                kind: InjectionKind::CellFaults {
+                    unit: 1,
+                    rate_ppm: 1000,
+                    stuck_on_ppm: 500_000,
+                    seed: 9,
+                },
+            },
+            // Sever the only route between fc's tiles (1-D mesh): any
+            // request in the window fails its attempt with NoRoute and
+            // must be rescued by backoff retry after the repair below.
+            ServiceEvent::Inject {
+                at: SimTime::from_ns(2000),
+                kind: InjectionKind::FailLink {
+                    a: NodeId::new(1, 0),
+                    b: NodeId::new(2, 0),
+                },
+            },
+            ServiceEvent::Inject {
+                at: SimTime::from_ns(5000),
+                kind: InjectionKind::RepairLink {
+                    a: NodeId::new(1, 0),
+                    b: NodeId::new(2, 0),
+                },
+            },
+        ];
+        let r = svc.run_open_loop(100_000.0, 20, &events).expect("serves");
+        assert_eq!(r.offered, 20);
+        assert!(r.zero_lost(), "injections must not lose requests: {r:?}");
+        assert!(!svc
+            .runtime_mut()
+            .device_mut()
+            .noc_mut()
+            .mesh_mut()
+            .link_failed(NodeId::new(1, 0), NodeId::new(2, 0)));
+    }
+
+    #[test]
+    fn event_schedules_are_deterministic() {
+        use cim_noc::packet::NodeId;
+        let run = || {
+            let mut svc = service(6, ServiceConfig::default(), SimDuration::from_us(200));
+            let events = [
+                ServiceEvent::ArrivalBurst {
+                    at: SimTime::ZERO,
+                    extra: 5,
+                },
+                ServiceEvent::FailUnit {
+                    at: SimTime::from_ns(500),
+                    unit: 1,
+                },
+                ServiceEvent::Inject {
+                    at: SimTime::from_ns(800),
+                    kind: InjectionKind::FailLink {
+                        a: NodeId::new(0, 0),
+                        b: NodeId::new(1, 0),
+                    },
+                },
+                ServiceEvent::RepairUnit {
+                    at: SimTime::from_ns(50_000),
+                    unit: 1,
+                },
+            ];
+            svc.run_open_loop(200_000.0, 60, &events).expect("serves")
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

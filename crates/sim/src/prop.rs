@@ -125,6 +125,27 @@ where
     }
 }
 
+/// Shrinks a *known-failing* input to a smaller one that still fails.
+///
+/// This is the same greedy loop [`check`] uses after falsifying a case,
+/// exposed for harnesses that discover failures outside the property
+/// sweep (e.g. a chaos campaign that already holds a failing fault
+/// schedule). `property` must return `Err` for `input`; the returned
+/// tuple is the shrunk input, the error it produced, and the number of
+/// accepted shrink steps.
+///
+/// The loop is deterministic: candidates come from
+/// [`Shrink::shrink_candidates`] in order and the first still-failing
+/// candidate is always taken, so the same input shrinks to the same
+/// minimum regardless of host threading.
+pub fn shrink<T, P>(input: T, error: String, property: &P, max_steps: u32) -> (T, String, u32)
+where
+    T: Debug + Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    shrink_failure(input, error, property, max_steps)
+}
+
 /// Greedy shrink: repeatedly take the first candidate that still fails.
 fn shrink_failure<T, P>(
     mut input: T,

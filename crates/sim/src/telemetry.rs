@@ -818,9 +818,11 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Validates one JSON-lines telemetry line: it must parse as a JSON
-/// object and contain the `component`, `metric` and `value` keys. This
-/// is the in-tree checker `ci.sh` runs over `--telemetry` output (no
-/// external JSON dependency, per the hermetic-build policy).
+/// object (via [`crate::json::parse`]) and contain the `component`,
+/// `metric` and `value` keys. This is the in-tree checker `ci.sh` runs
+/// over `--telemetry` output (no external JSON dependency, per the
+/// hermetic-build policy); chaos replay files reuse the same schema so
+/// this validator covers them too.
 ///
 /// # Errors
 ///
@@ -837,239 +839,16 @@ fn json_f64(v: f64) -> String {
 /// assert!(validate_jsonl_line("not json").is_err());
 /// ```
 pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
-    let mut p = JsonParser {
-        bytes: line.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let keys = p.parse_object()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
+    let value = crate::json::parse(line)?;
+    let members = value
+        .as_object()
+        .ok_or_else(|| "top-level value is not an object".to_owned())?;
     for required in ["component", "metric", "value"] {
-        if !keys.iter().any(|k| k == required) {
+        if !members.iter().any(|(k, _)| k == required) {
             return Err(format!("missing required key \"{required}\""));
         }
     }
     Ok(())
-}
-
-/// A minimal recursive-descent JSON syntax checker (values are validated
-/// and discarded; only top-level object keys are collected).
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Vec<String>, String> {
-        self.expect(b'{')?;
-        let mut keys = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(keys);
-        }
-        loop {
-            self.skip_ws();
-            keys.push(self.parse_string()?);
-            self.skip_ws();
-            self.expect(b':')?;
-            self.parse_value()?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(keys);
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object().map(|_| ()),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => self.parse_string().map(|_| ()),
-            Some(b't') => self.parse_literal("true"),
-            Some(b'f') => self.parse_literal("false"),
-            Some(b'n') => self.parse_literal("null"),
-            Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            other => Err(format!(
-                "expected a JSON value at byte {}, found {:?}",
-                self.pos,
-                other.map(|c| c as char)
-            )),
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<(), String> {
-        self.expect(b'[')?;
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.parse_value()?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s: Vec<u8> = Vec::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".to_owned()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    // The input is a &str, so unescaped bytes are valid
-                    // UTF-8; escapes only add ASCII.
-                    return String::from_utf8(s).map_err(|e| e.to_string());
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
-                            s.push(c);
-                            self.pos += 1;
-                        }
-                        Some(b'u') => {
-                            self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => {
-                                        return Err(format!("bad \\u escape at byte {}", self.pos))
-                                    }
-                                }
-                            }
-                            // Escaped code points are syntax-checked only;
-                            // key names in our schema are plain ASCII.
-                            s.push(b'?');
-                        }
-                        other => {
-                            return Err(format!(
-                                "bad escape at byte {}: {:?}",
-                                self.pos,
-                                other.map(|c| c as char)
-                            ))
-                        }
-                    }
-                }
-                Some(b) if b < 0x20 => {
-                    return Err(format!("raw control byte {b:#04x} in string"));
-                }
-                Some(b) => {
-                    s.push(b);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("expected '{lit}' at byte {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut digits = 0;
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-            digits += 1;
-        }
-        if digits == 0 {
-            return Err(format!("bad number at byte {start}"));
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            let mut frac = 0;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-                frac += 1;
-            }
-            if frac == 0 {
-                return Err(format!("bad fraction at byte {}", self.pos));
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            let mut exp = 0;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-                exp += 1;
-            }
-            if exp == 0 {
-                return Err(format!("bad exponent at byte {}", self.pos));
-            }
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]

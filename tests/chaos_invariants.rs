@@ -1,0 +1,211 @@
+//! End-to-end acceptance for the chaos subsystem: campaign sweeps stay
+//! clean on the shipped config, a deliberately weakened invariant is
+//! caught → shrunk → serialized → reproduced bit-identically, and every
+//! piece of the pipeline is invariant to the host thread count.
+//!
+//! Run at `CIM_THREADS=1` and `=4` by `ci.sh`; every asserted value is
+//! modeled or fingerprinted, so thread count cannot move it.
+
+use cim_chaos::campaign::{run_campaign_threads, CampaignConfig};
+use cim_chaos::generate::generate_schedule;
+use cim_chaos::replay::{parse_replay, render_replay};
+use cim_chaos::runner::{run_schedule, ChaosConfig, Weaken};
+use cim_chaos::schedule::{ChaosAction, ChaosEvent, ChaosSchedule, Pressure};
+
+/// A config small enough for test budgets but with the event horizon
+/// matched to the ~requests/rate serving window so faults land while
+/// the stream is live.
+fn test_chaos() -> ChaosConfig {
+    ChaosConfig {
+        requests: 16,
+        horizon_ps: 80_000_000,
+        ..ChaosConfig::default()
+    }
+}
+
+/// The shipped configuration absorbs a seed sweep with zero violations.
+#[test]
+fn campaign_smoke_is_clean_on_shipped_config() {
+    let cc = CampaignConfig {
+        seeds: 8,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign_threads(cim::sim::pool::thread_count(), &cc, &test_chaos());
+    assert!(
+        report.all_clean(),
+        "shipped invariants must hold: {:?}",
+        report.violation
+    );
+    assert_eq!(report.clean, 8);
+}
+
+/// Campaign reports — including every clean run's aggregate counters —
+/// are bit-identical across host thread counts.
+#[test]
+fn campaign_reports_are_thread_invariant() {
+    let cc = CampaignConfig {
+        seeds: 6,
+        ..CampaignConfig::default()
+    };
+    let chaos = test_chaos();
+    let serial = run_campaign_threads(1, &cc, &chaos);
+    let parallel = run_campaign_threads(4, &cc, &chaos);
+    assert_eq!(serial, parallel);
+}
+
+/// Generate → serialize → parse → re-run must reproduce the recorded
+/// run exactly: same violation invariant, same fingerprint.
+#[test]
+fn replay_file_round_trips_and_reproduces_bit_identically() {
+    let chaos = ChaosConfig {
+        weaken: Weaken::RecoveryBoundZero,
+        ..test_chaos()
+    };
+    let cc = CampaignConfig {
+        seeds: 64,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign_threads(2, &cc, &chaos);
+    let violation = report
+        .violation
+        .expect("the weakened recovery bound must trip within 64 seeds");
+
+    let text = render_replay(&violation.replay);
+    let parsed = parse_replay(&text).expect("replay file parses");
+    assert_eq!(parsed, violation.replay, "lossless round-trip");
+    assert_eq!(render_replay(&parsed), text, "canonical re-render");
+
+    // Re-running the parsed schedule reproduces the recorded violation
+    // and fingerprint — the exact check the chaos_replay bin performs.
+    let v = run_schedule(&parsed.config, &parsed.schedule)
+        .expect_err("the minimal reproducer still violates");
+    assert_eq!(v.invariant, parsed.invariant);
+    assert_eq!(v.fingerprint, parsed.fingerprint);
+}
+
+/// The same failing seed shrinks to the same minimal schedule whether
+/// the campaign ran on one thread or four.
+#[test]
+fn shrinker_is_deterministic_across_thread_counts() {
+    let chaos = ChaosConfig {
+        weaken: Weaken::RecoveryBoundZero,
+        ..test_chaos()
+    };
+    let cc = CampaignConfig {
+        seeds: 64,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign_threads(1, &cc, &chaos);
+    let b = run_campaign_threads(4, &cc, &chaos);
+    let (va, vb) = (
+        a.violation.expect("weakened invariant trips at 1 thread"),
+        b.violation.expect("weakened invariant trips at 4 threads"),
+    );
+    assert_eq!(va.seed, vb.seed, "same first violating seed");
+    assert_eq!(
+        va.replay.schedule, vb.replay.schedule,
+        "same minimal schedule"
+    );
+    assert_eq!(va.replay.fingerprint, vb.replay.fingerprint);
+    assert_eq!(va.shrink_steps, vb.shrink_steps);
+}
+
+/// Schedule expansion is a pure function of (seed, config): hand two
+/// different thread pools the same seeds and the schedules agree.
+#[test]
+fn generation_is_a_pure_function_of_seed() {
+    let chaos = test_chaos();
+    let seeds: Vec<u64> = (0..32).map(|i| 0x5EED ^ (i * 7919)).collect();
+    let serial: Vec<ChaosSchedule> = seeds
+        .iter()
+        .map(|&s| generate_schedule(s, &chaos))
+        .collect();
+    let parallel =
+        cim::sim::pool::parallel_map_threads(4, &seeds, |_, &s| generate_schedule(s, &chaos));
+    assert_eq!(serial, parallel);
+}
+
+/// A hand-built schedule exercising every action kind round-trips
+/// through the replay format and survives the full invariant gauntlet.
+#[test]
+fn every_action_kind_is_absorbed_and_serializable() {
+    let chaos = test_chaos();
+    let schedule = ChaosSchedule {
+        pressure: Pressure {
+            rate_x1000: 2000,
+            deadline_div: 1,
+        },
+        events: vec![
+            ChaosEvent {
+                at_ps: 2_000_000,
+                action: ChaosAction::CellFaults {
+                    unit: 1,
+                    rate_ppm: 800,
+                    stuck_on_ppm: 300_000,
+                    seed: 99,
+                },
+            },
+            ChaosEvent {
+                at_ps: 4_000_000,
+                action: ChaosAction::DriftSpike {
+                    unit: 2,
+                    drift_ppm: 5_000,
+                },
+            },
+            ChaosEvent {
+                at_ps: 6_000_000,
+                action: ChaosAction::Congestion {
+                    ax: 0,
+                    ay: 0,
+                    bx: 3,
+                    by: 1,
+                    packets: 12,
+                    bytes: 96,
+                },
+            },
+            ChaosEvent {
+                at_ps: 8_000_000,
+                action: ChaosAction::FailUnit { unit: 0 },
+            },
+            ChaosEvent {
+                at_ps: 9_000_000,
+                action: ChaosAction::ArrivalBurst { extra: 10 },
+            },
+            ChaosEvent {
+                at_ps: 12_000_000,
+                action: ChaosAction::FailLink {
+                    ax: 1,
+                    ay: 0,
+                    bx: 2,
+                    by: 0,
+                },
+            },
+            ChaosEvent {
+                at_ps: 30_000_000,
+                action: ChaosAction::RepairLink {
+                    ax: 1,
+                    ay: 0,
+                    bx: 2,
+                    by: 0,
+                },
+            },
+            ChaosEvent {
+                at_ps: 35_000_000,
+                action: ChaosAction::RepairUnit { unit: 0 },
+            },
+        ],
+    };
+    let rec = run_schedule(&chaos, &schedule).expect("all invariants absorb the full action mix");
+    assert_eq!(rec.counts[0], chaos.requests);
+
+    let file = cim_chaos::replay::ReplayFile {
+        seed: 0,
+        config: chaos,
+        schedule: schedule.clone(),
+        invariant: "none".to_owned(),
+        detail: "hand-built smoke schedule".to_owned(),
+        fingerprint: Some(rec.fingerprint),
+    };
+    let parsed = parse_replay(&render_replay(&file)).expect("parses");
+    assert_eq!(parsed.schedule, schedule);
+}
