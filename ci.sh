@@ -2,20 +2,26 @@
 # The repo's CI gate. Local runs and hosted CI execute this same script,
 # so "passes ci.sh" and "passes CI" are the same statement.
 #
-#   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1).
-#                     The fast inner-loop gate; hosted CI runs it on
-#                     every push and pull request.
+#   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1), plus
+#                     the small-sample analytic_check (two-tier
+#                     agreement). The fast inner-loop gate; hosted CI
+#                     runs it on every push and pull request.
 #   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
 #   ./ci.sh full      pass, example smokes, serving soaks, the chaos
 #                     campaign (clean sweep + weakened-invariant replay
-#                     self-check) and the bench-regression comparison
-#                     against the committed BENCH_*.json baselines.
+#                     self-check), the wide-sample analytic_check seed
+#                     sweep, and the bench-regression comparison against
+#                     the committed BENCH_*.json baselines (with the
+#                     ≥10× analytic serving speedup floor).
 #                     Hosted CI runs it on pushes to main.
 #   ./ci.sh baseline  Regenerates BENCH_*.json from this machine and
 #                     overwrites the committed baselines. Run it (and
 #                     commit the result) when a deliberate change moves
-#                     wall-clock medians past the ±30% tolerance, or
-#                     when switching baseline hardware.
+#                     wall-clock medians past the ±30% host-scaled
+#                     tolerance, or when switching baseline hardware.
+#
+# Failure artifacts (fresh bench JSONL, analytic disagreement lines)
+# land in target/ci-artifacts/ so hosted CI can upload them.
 #
 # The workspace is hermetic: zero registry dependencies, so every step
 # runs with --offline and succeeds from a clean checkout with no crates.io
@@ -43,6 +49,19 @@ cargo build --workspace --release --offline
 
 step "cargo test -q --offline (CIM_THREADS=1)"
 CIM_THREADS=1 cargo test --workspace -q --offline
+
+# Failure artifacts accumulate here; target/ is cached between hosted
+# runs, so start clean or a stale disagreement file would be re-uploaded.
+ART="target/ci-artifacts"
+rm -rf "$ART"
+mkdir -p "$ART"
+
+step "analytic_check: two-tier agreement, small sample"
+# The analytic fast path must agree with the DES within the declared
+# bounds (latency ±10%, energy ±5%, throughput ordering preserved);
+# disagreements land in the artifact dir for upload.
+cargo run --release --offline -p cim-bench --bin analytic_check -- \
+    --sample small --out "$ART/analytic_disagreements.jsonl"
 
 if [ "$MODE" = quick ]; then
     printf '\n== ci.sh quick: all gates passed\n'
@@ -97,35 +116,74 @@ CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
 CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
     "$SCRATCH/weakened_repro.jsonl"
 
+step "analytic_check: two-tier agreement, wide sample + seed sweep"
+cargo run --release --offline -p cim-bench --bin analytic_check -- \
+    --sample wide --seeds 3 --out "$ART/analytic_disagreements.jsonl"
+
 # ------------------------------------------------------------- benches
-# Fresh bench runs land in scratch files; `full` compares them against
-# the committed baselines (median wall-clock within ±30%, modeled
+# Fresh bench runs land in target/ci-artifacts (uploaded by hosted CI on
+# failure); `full` compares them against the committed baselines (median
+# wall-clock within ±30% after host-speed calibration, modeled
 # throughput exact), `baseline` overwrites the committed files.
 step "bench: serial vs parallel batch throughput"
 BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
-    cargo bench --offline -p cim-bench --bench parallel | tee "$SCRATCH/BENCH_parallel.json"
+    cargo bench --offline -p cim-bench --bench parallel | tee "$ART/BENCH_parallel.json"
 cargo run --release --offline -p cim-bench --bin bench_compare -- \
-    --validate "$SCRATCH/BENCH_parallel.json" \
+    --validate "$ART/BENCH_parallel.json" \
     --expect parallel/matvec_batch64_t1 --expect parallel/matvec_batch64_t4
 
 step "bench: serving front-end throughput"
 BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
-    cargo bench --offline -p cim-bench --bench serving | tee "$SCRATCH/BENCH_serving.json"
+    cargo bench --offline -p cim-bench --bench serving | tee "$ART/BENCH_serving.json"
 cargo run --release --offline -p cim-bench --bin bench_compare -- \
-    --validate "$SCRATCH/BENCH_serving.json" \
+    --validate "$ART/BENCH_serving.json" \
     --expect serving/open_loop_light_100k --expect serving/open_loop_overload_3200k
 
+step "bench: two-tier serving wall-clock"
+BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
+    cargo bench --offline -p cim-bench --bench analytic | tee "$ART/BENCH_analytic.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --validate "$ART/BENCH_analytic.json" \
+    --expect analytic/serving_detailed --expect analytic/serving_analytic
+
+step "analytic speedup: detailed/analytic median ratio must stay >= 10x"
+# Both records are in the file just validated; the ratio is the tier's
+# whole reason to exist, so a collapse below 10x fails the gate.
+awk '
+    /"bench":"analytic\/serving_detailed"/ {
+        split($0, a, "\"median_ns\":"); split(a[2], b, ","); det = b[1]
+    }
+    /"bench":"analytic\/serving_analytic"/ {
+        split($0, a, "\"median_ns\":"); split(a[2], b, ","); ana = b[1]
+    }
+    END {
+        if (ana + 0 <= 0 || det + 0 <= 0) {
+            print "FAIL: missing analytic bench medians" > "/dev/stderr"; exit 1
+        }
+        ratio = det / ana
+        printf "analytic serving speedup: %.1fx (detailed %.3f ms, analytic %.3f ms)\n", \
+            ratio, det / 1e6, ana / 1e6
+        if (ratio < 10) {
+            printf "FAIL: analytic speedup %.1fx is below the 10x floor\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$ART/BENCH_analytic.json"
+
 if [ "$MODE" = baseline ]; then
-    cp "$SCRATCH/BENCH_parallel.json" BENCH_parallel.json
-    cp "$SCRATCH/BENCH_serving.json" BENCH_serving.json
-    printf '\n== ci.sh baseline: BENCH_parallel.json and BENCH_serving.json regenerated — commit them\n'
+    cp "$ART/BENCH_parallel.json" BENCH_parallel.json
+    cp "$ART/BENCH_serving.json" BENCH_serving.json
+    cp "$ART/BENCH_analytic.json" BENCH_analytic.json
+    printf '\n== ci.sh baseline: BENCH_parallel.json, BENCH_serving.json and BENCH_analytic.json regenerated — commit them\n'
     exit 0
 fi
 
 step "bench regression: fresh medians vs committed baselines"
 cargo run --release --offline -p cim-bench --bin bench_compare -- \
-    --baseline BENCH_parallel.json --fresh "$SCRATCH/BENCH_parallel.json"
+    --baseline BENCH_parallel.json --fresh "$ART/BENCH_parallel.json"
 cargo run --release --offline -p cim-bench --bin bench_compare -- \
-    --baseline BENCH_serving.json --fresh "$SCRATCH/BENCH_serving.json"
+    --baseline BENCH_serving.json --fresh "$ART/BENCH_serving.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --baseline BENCH_analytic.json --fresh "$ART/BENCH_analytic.json"
 
 printf '\n== ci.sh: all gates passed\n'

@@ -175,6 +175,7 @@ fn bench_associative() {
 }
 
 fn main() {
+    cim_bench::harness::emit_calibration();
     bench_crossbar();
     bench_noc();
     bench_cache();

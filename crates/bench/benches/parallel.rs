@@ -36,6 +36,7 @@ fn batch_inputs() -> Vec<Vec<f64>> {
 }
 
 fn main() {
+    cim_bench::harness::emit_calibration();
     let xs = batch_inputs();
     let mut g = Group::new("parallel");
     g.throughput(BATCH as u64);

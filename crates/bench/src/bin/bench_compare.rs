@@ -18,6 +18,13 @@
 //! - `median_ns` may drift up to `--tolerance` (default ±30%) in either
 //!   direction — wall-clock medians wobble with host load, but a 30%
 //!   regression is a real one;
+//! - when both files carry the `_calibration/host` record (a fixed
+//!   in-process CPU workload every bench binary measures at run time),
+//!   baseline medians are first scaled by the fresh/baseline
+//!   calibration ratio, so a baseline recorded on one CI host still
+//!   gates a run on a faster or slower one; the calibration record
+//!   itself is exempt from every check, and files without it fall back
+//!   to unscaled comparison;
 //! - `throughput_elems` must match **exactly** — it counts modeled
 //!   elements, so any drift is a functional change, not noise;
 //! - the two files must cover the same bench set — a missing or extra
@@ -26,6 +33,7 @@
 //! Exit code 0 when everything passes, 1 otherwise; every failure
 //! prints one `FAIL:`-prefixed line.
 
+use cim_bench::harness::CALIBRATION_BENCH;
 use cim_sim::json::{self, Json};
 use std::process::ExitCode;
 
@@ -114,6 +122,36 @@ fn validate(path: &str, expected: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Fresh-over-baseline host-speed ratio from the `_calibration/host`
+/// records, or 1.0 (with a note) when either file predates them.
+fn host_speed_ratio(baseline: &[BenchRecord], fresh: &[BenchRecord]) -> f64 {
+    let median_of = |records: &[BenchRecord]| {
+        records
+            .iter()
+            .find(|r| r.name == CALIBRATION_BENCH)
+            .map(|r| r.median_ns)
+            .filter(|&m| m > 0.0)
+    };
+    match (median_of(baseline), median_of(fresh)) {
+        (Some(b), Some(f)) => {
+            let ratio = f / b;
+            println!(
+                "calibration: host ratio {ratio:.3} (baseline {:.3} ms, fresh {:.3} ms) — \
+                 baseline medians scaled accordingly",
+                b / 1e6,
+                f / 1e6
+            );
+            ratio
+        }
+        _ => {
+            println!(
+                "calibration: no {CALIBRATION_BENCH} record in both files; comparing unscaled"
+            );
+            1.0
+        }
+    }
+}
+
 fn diff(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
     let (baseline, fresh) = match (
         parse_bench_file(baseline_path),
@@ -125,8 +163,10 @@ fn diff(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let ratio = host_speed_ratio(&baseline, &fresh);
+    let is_calibration = |r: &BenchRecord| r.name.starts_with("_calibration/");
     let mut ok = true;
-    for b in &baseline {
+    for b in baseline.iter().filter(|b| !is_calibration(b)) {
         let Some(f) = fresh.iter().find(|f| f.name == b.name) else {
             eprintln!(
                 "FAIL: bench {:?} is in the baseline {baseline_path} but missing from the \
@@ -145,30 +185,31 @@ fn diff(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
             );
             ok = false;
         }
-        // Median wall-clock drift check.
-        let drift = (f.median_ns - b.median_ns) / b.median_ns;
+        // Median wall-clock drift check, against the host-scaled baseline.
+        let scaled = b.median_ns * ratio;
+        let drift = (f.median_ns - scaled) / scaled;
         if drift.abs() > tolerance {
             eprintln!(
-                "FAIL: bench {:?} median drifted {:+.1}% (baseline {:.3} ms, fresh {:.3} ms, \
-                 tolerance ±{:.0}%) — investigate, or regenerate with ./ci.sh baseline",
+                "FAIL: bench {:?} median drifted {:+.1}% (scaled baseline {:.3} ms, fresh \
+                 {:.3} ms, tolerance ±{:.0}%) — investigate, or regenerate with ./ci.sh baseline",
                 b.name,
                 drift * 100.0,
-                b.median_ns / 1e6,
+                scaled / 1e6,
                 f.median_ns / 1e6,
                 tolerance * 100.0
             );
             ok = false;
         } else {
             println!(
-                "ok: {} median {:+.1}% (baseline {:.3} ms, fresh {:.3} ms)",
+                "ok: {} median {:+.1}% (scaled baseline {:.3} ms, fresh {:.3} ms)",
                 b.name,
                 drift * 100.0,
-                b.median_ns / 1e6,
+                scaled / 1e6,
                 f.median_ns / 1e6
             );
         }
     }
-    for f in &fresh {
+    for f in fresh.iter().filter(|f| !is_calibration(f)) {
         if !baseline.iter().any(|b| b.name == f.name) {
             eprintln!(
                 "FAIL: bench {:?} is in the fresh run but not in the baseline {baseline_path} \

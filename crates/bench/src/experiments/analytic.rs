@@ -1,0 +1,327 @@
+//! Two-tier cross-validation: the analytic fast path against the DES.
+//!
+//! The analytic tier ([`cim_sim::SimMode::Analytic`]) computes per-op
+//! latency and energy in closed form instead of stepping the
+//! flow-level detailed simulation. That speed is only trustworthy
+//! while the two tiers agree, so this module replays a sample of
+//! serving configurations through *both* modes and holds them to
+//! declared bounds:
+//!
+//! - mean request latency within [`LATENCY_TOLERANCE`] (±10%),
+//! - total device energy within [`ENERGY_TOLERANCE`] (±5%),
+//! - throughput *ordering* across offered-load points preserved — the
+//!   fast tier may smooth magnitudes, but it must never rank two
+//!   operating points differently from the DES.
+//!
+//! Disagreements are serialized in the repo's telemetry JSON-lines
+//! schema (`component`/`metric`/`value`), so the same `telemetry_check`
+//! tooling that validates device exports validates the failure
+//! artifact CI uploads.
+//!
+//! The sample stays inside the tiers' shared domain of validity:
+//! offered loads up to the saturation knee, where queueing is light
+//! enough for the M/D/1-style contention term to track the busy-slot
+//! DES. Past saturation the admission queue — not the network model —
+//! dominates, and only the detailed tier is authoritative (see
+//! EXPERIMENTS.md).
+
+use crate::harness::parallel_points;
+use cim_fabric::service::{CimService, ServiceConfig};
+use cim_fabric::FabricConfig;
+use cim_sim::{SeedTree, SimMode};
+use cim_workloads::serving::standard_request_mix;
+use std::time::Instant;
+
+/// Declared agreement bound on mean request latency (fractional).
+pub const LATENCY_TOLERANCE: f64 = 0.10;
+
+/// Declared agreement bound on total modeled energy (fractional).
+pub const ENERGY_TOLERANCE: f64 = 0.05;
+
+/// One sampled configuration to replay through both tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckPoint {
+    /// Offered load, requests per second.
+    pub rate_hz: f64,
+    /// Requests offered by the arrival process.
+    pub requests: usize,
+    /// Root seed of the service (arrivals, classes, inputs, weights).
+    pub seed: u64,
+    /// Whether inter-tile packets are encrypted.
+    pub encryption: bool,
+}
+
+impl CheckPoint {
+    /// Stable identifier for telemetry components and log lines.
+    pub fn label(&self) -> String {
+        format!(
+            "rate{:.0}_seed{:#x}{}",
+            self.rate_hz,
+            self.seed,
+            if self.encryption { "_enc" } else { "" }
+        )
+    }
+}
+
+/// The small per-push sample: two operating points, plaintext and
+/// encrypted, one seed — fast enough for the quick gate.
+pub fn small_sample() -> Vec<CheckPoint> {
+    vec![
+        CheckPoint {
+            rate_hz: 20_000.0,
+            requests: 60,
+            seed: 0xA11C,
+            encryption: false,
+        },
+        CheckPoint {
+            rate_hz: 100_000.0,
+            requests: 60,
+            seed: 0xA11C,
+            encryption: true,
+        },
+    ]
+}
+
+/// The wide sample for the full gate: a rate sweep up to the
+/// saturation knee × `seeds` independent seeds × both encryption
+/// settings.
+pub fn wide_sample(seeds: u64) -> Vec<CheckPoint> {
+    let mut points = Vec::new();
+    for s in 0..seeds.max(1) {
+        for &rate_hz in &[20_000.0, 100_000.0, 250_000.0] {
+            for &encryption in &[false, true] {
+                points.push(CheckPoint {
+                    rate_hz,
+                    requests: 60,
+                    seed: 0xA11C ^ (s * 0x9E37),
+                    encryption,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// What one tier produced for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeResult {
+    /// Requests completed within deadline.
+    pub completed: usize,
+    /// Mean latency over requests that ran to completion, µs.
+    pub mean_latency_us: f64,
+    /// Total modeled energy on the device meter, femtojoules.
+    pub energy_fj: u64,
+    /// Host wall-clock spent inside the run, nanoseconds. Informational
+    /// only — never part of the agreement check.
+    pub wall_ns: u64,
+}
+
+/// Both tiers' results for one sampled configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The configuration replayed.
+    pub point: CheckPoint,
+    /// The detailed (DES) reference.
+    pub detailed: ModeResult,
+    /// The analytic fast path.
+    pub analytic: ModeResult,
+}
+
+impl Comparison {
+    /// Fractional latency disagreement, relative to the DES.
+    pub fn latency_rel_err(&self) -> f64 {
+        rel_err(self.analytic.mean_latency_us, self.detailed.mean_latency_us)
+    }
+
+    /// Fractional energy disagreement, relative to the DES.
+    pub fn energy_rel_err(&self) -> f64 {
+        rel_err(
+            self.analytic.energy_fj as f64,
+            self.detailed.energy_fj as f64,
+        )
+    }
+
+    /// Host-side speedup of the analytic tier on this configuration.
+    pub fn speedup(&self) -> f64 {
+        self.detailed.wall_ns as f64 / (self.analytic.wall_ns.max(1)) as f64
+    }
+}
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    if want.abs() < f64::MIN_POSITIVE {
+        if got.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (got - want).abs() / want.abs()
+    }
+}
+
+/// Replays one configuration in one tier.
+pub fn run_point(point: &CheckPoint, mode: SimMode) -> ModeResult {
+    let started = Instant::now();
+    let mut svc = CimService::new(
+        FabricConfig {
+            encryption: point.encryption,
+            sim_mode: mode,
+            ..FabricConfig::default()
+        },
+        ServiceConfig::default(),
+        SeedTree::new(point.seed),
+    )
+    .expect("service boots");
+    for spec in standard_request_mix() {
+        let (g, src, sink) = spec.build_graph(SeedTree::new(point.seed ^ 0x7E4A47));
+        svc.register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+            .expect("mix is resident on the default fabric");
+    }
+    let r = svc
+        .run_open_loop(point.rate_hz, point.requests, &[])
+        .expect("stream serves");
+    ModeResult {
+        completed: r.completed,
+        mean_latency_us: r.latency.mean_us,
+        energy_fj: svc.runtime().device().meter().total().as_fj(),
+        wall_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Replays every sampled configuration through both tiers, points in
+/// parallel on up to `CIM_THREADS` host threads. Modeled numbers are
+/// bit-identical at any thread count; only `wall_ns` varies.
+pub fn compare(points: &[CheckPoint]) -> Vec<Comparison> {
+    parallel_points(points, |_, p| Comparison {
+        point: p.clone(),
+        detailed: run_point(p, SimMode::Detailed),
+        analytic: run_point(p, SimMode::Analytic),
+    })
+}
+
+/// Checks a comparison set against the declared bounds. Returns the
+/// disagreement lines (telemetry JSON-lines schema, one per violated
+/// bound — empty means the tiers agree).
+pub fn check(cmps: &[Comparison]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut fail = |label: &str, metric: &str, value: f64, bound: f64| {
+        lines.push(format!(
+            "{{\"component\":\"analytic_check/{label}\",\"metric\":\"{metric}\",\
+             \"kind\":\"gauge\",\"value\":{value:.6},\"bound\":{bound}}}"
+        ));
+    };
+    for c in cmps {
+        let label = c.point.label();
+        let lat = c.latency_rel_err();
+        if lat > LATENCY_TOLERANCE {
+            fail(&label, "latency_rel_err", lat, LATENCY_TOLERANCE);
+        }
+        let en = c.energy_rel_err();
+        if en > ENERGY_TOLERANCE {
+            fail(&label, "energy_rel_err", en, ENERGY_TOLERANCE);
+        }
+    }
+    // Throughput ordering: within every (seed, encryption) rate sweep,
+    // any strict inversion between the tiers is a disagreement.
+    let mut groups: Vec<(u64, bool)> = cmps
+        .iter()
+        .map(|c| (c.point.seed, c.point.encryption))
+        .collect();
+    groups.dedup();
+    groups.sort_unstable();
+    groups.dedup();
+    for (seed, enc) in groups {
+        let sweep: Vec<&Comparison> = cmps
+            .iter()
+            .filter(|c| c.point.seed == seed && c.point.encryption == enc)
+            .collect();
+        for i in 0..sweep.len() {
+            for j in (i + 1)..sweep.len() {
+                let (a, b) = (sweep[i], sweep[j]);
+                let det = a.detailed.completed.cmp(&b.detailed.completed);
+                let ana = a.analytic.completed.cmp(&b.analytic.completed);
+                if det != std::cmp::Ordering::Equal && ana == det.reverse() {
+                    fail(
+                        &format!("{}_vs_{}", a.point.label(), b.point.label()),
+                        "throughput_order_inversion",
+                        (a.analytic.completed as f64) - (b.analytic.completed as f64),
+                        0.0,
+                    );
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Median analytic-over-detailed host speedup across a comparison set;
+/// zero for an empty set. Informational (wall-clock, host-dependent).
+pub fn median_speedup(cmps: &[Comparison]) -> f64 {
+    if cmps.is_empty() {
+        return 0.0;
+    }
+    let mut s: Vec<f64> = cmps.iter().map(Comparison::speedup).collect();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sample_agrees_within_bounds() {
+        let cmps = compare(&small_sample());
+        assert_eq!(cmps.len(), 2);
+        let lines = check(&cmps);
+        assert!(lines.is_empty(), "disagreements: {lines:?}");
+        for c in &cmps {
+            assert!(c.detailed.completed > 0, "sample must exercise requests");
+        }
+    }
+
+    #[test]
+    fn check_flags_violations_in_telemetry_schema() {
+        let mut cmps = compare(&small_sample());
+        // Corrupt one tier far past every bound.
+        cmps[0].analytic.mean_latency_us = cmps[0].detailed.mean_latency_us * 2.0 + 1.0;
+        cmps[0].analytic.energy_fj = cmps[0].detailed.energy_fj * 3 + 1;
+        let lines = check(&cmps);
+        assert_eq!(lines.len(), 2, "one line per violated bound: {lines:?}");
+        for line in &lines {
+            cim_sim::telemetry::validate_jsonl_line(line).expect("telemetry schema");
+            assert!(line.contains("analytic_check/"));
+        }
+    }
+
+    #[test]
+    fn ordering_inversions_are_caught() {
+        let mut cmps = compare(&small_sample());
+        // Same seed/encryption so the two points form one sweep group.
+        for c in &mut cmps {
+            c.point.encryption = false;
+        }
+        cmps[0].detailed.completed = 10;
+        cmps[1].detailed.completed = 50;
+        cmps[0].analytic.completed = 50;
+        cmps[1].analytic.completed = 10;
+        // Silence the magnitude bounds; only ordering should fire.
+        for c in &mut cmps {
+            c.analytic.mean_latency_us = c.detailed.mean_latency_us;
+            c.analytic.energy_fj = c.detailed.energy_fj;
+        }
+        let lines = check(&cmps);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("throughput_order_inversion")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn wide_sample_scales_with_seeds() {
+        assert_eq!(wide_sample(1).len(), 6);
+        assert_eq!(wide_sample(3).len(), 18);
+    }
+}

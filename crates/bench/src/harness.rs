@@ -43,6 +43,38 @@ where
     cim_sim::pool::parallel_map_threads(threads, points, f)
 }
 
+/// Name of the host-calibration record every bench binary emits.
+///
+/// The leading underscore keeps it visually apart from real benches;
+/// `bench_compare` uses the baseline-vs-fresh ratio of this record's
+/// median to scale its wall-clock drift window by host speed, and
+/// excludes the record itself from the drift check.
+pub const CALIBRATION_BENCH: &str = "_calibration/host";
+
+/// The fixed CPU-bound reference workload behind [`CALIBRATION_BENCH`]:
+/// a deterministic mix of integer and scalar-f64 arithmetic shaped like
+/// the simulator's hot loops, so its wall-clock tracks how fast this
+/// host runs the real benches. Returns a checksum so the optimizer
+/// cannot delete the work.
+pub fn calibration_workload() -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    let mut x = 1.000_001f64;
+    for i in 0..16_384u64 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        x = x.mul_add(1.000_000_1, (acc >> 40) as f64 * 1e-18);
+    }
+    acc ^ x.to_bits()
+}
+
+/// Measures [`calibration_workload`] with the standard harness and
+/// prints its record — call it first in every bench `main` so each
+/// `BENCH_*.json` carries its producing host's speed reference.
+pub fn emit_calibration() {
+    let mut g = Group::new("_calibration");
+    g.bench("host", calibration_workload);
+    g.finish();
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -328,6 +360,19 @@ mod tests {
         );
         let r = &g.finish()[0];
         assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn calibration_workload_is_deterministic_and_nontrivial() {
+        let a = calibration_workload();
+        assert_eq!(a, calibration_workload(), "fixed instruction stream");
+        assert_ne!(a, 0);
+        let mut g = Group::with_options("_calibration", quick());
+        g.bench("host", calibration_workload);
+        let r = &g.finish()[0];
+        assert_eq!(r.name, CALIBRATION_BENCH);
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.throughput_elems, None, "never part of throughput checks");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::device::DeviceParams;
 use crate::error::{CrossbarError, Result};
 use crate::matrix::DenseMatrix;
 use crate::quant::{split_slices, Quantizer};
+use cim_sim::analytic::SimMode;
 use cim_sim::calib::dpe as cal;
 use cim_sim::energy::Energy;
 use cim_sim::telemetry::{ComponentId, Telemetry};
@@ -199,6 +200,11 @@ pub struct DotProductEngine {
     /// arrays[row_tile][col_tile][sign][slice]
     arrays: Vec<Vec<[Vec<CrossbarArray>; 2]>>,
     weight_quant: Option<Quantizer>,
+    /// Quantized signed weight values (as f64), row-major `rows × cols`;
+    /// the analytic tier computes products from these instead of reading
+    /// the analog arrays. Kept in sync by [`program`](Self::program).
+    q_weights: Vec<f64>,
+    mode: SimMode,
     matrix_rows: usize,
     matrix_cols: usize,
     total_energy: Energy,
@@ -233,6 +239,8 @@ impl DotProductEngine {
             seeds,
             arrays: Vec::new(),
             weight_quant: None,
+            q_weights: Vec::new(),
+            mode: SimMode::Detailed,
             matrix_rows: 0,
             matrix_cols: 0,
             total_energy: Energy::ZERO,
@@ -264,6 +272,23 @@ impl DotProductEngine {
     /// The engine configuration.
     pub fn config(&self) -> &DpeConfig {
         &self.config
+    }
+
+    /// Selects the simulation tier for subsequent matvecs.
+    ///
+    /// In [`SimMode::Analytic`] the per-op cost is replayed in closed
+    /// form from the quantized digit pattern — integer-identical to the
+    /// detailed cost on every configuration — while values are the exact
+    /// quantized product (no analog noise, no ADC reconstruction error,
+    /// and cell faults injected via
+    /// [`for_each_array`](Self::for_each_array) are not observed).
+    pub fn set_mode(&mut self, mode: SimMode) {
+        self.mode = mode;
+    }
+
+    /// The active simulation tier.
+    pub fn mode(&self) -> SimMode {
+        self.mode
     }
 
     /// Programs (or reprograms) the engine with a weight matrix of shape
@@ -333,6 +358,15 @@ impl DotProductEngine {
 
         self.arrays = all;
         self.weight_quant = Some(wq);
+        // Cache the quantized signed weights for the analytic tier; the
+        // same quantizer the tiles were programmed from, so analytic
+        // values see the identical quantization grid.
+        self.q_weights = Vec::with_capacity(weights.rows() * weights.cols());
+        for r in 0..weights.rows() {
+            for c in 0..weights.cols() {
+                self.q_weights.push(wq.quantize(weights.get(r, c)) as f64);
+            }
+        }
         self.matrix_rows = weights.rows();
         self.matrix_cols = weights.cols();
         self.total_energy += cost.energy;
@@ -444,6 +478,31 @@ impl DotProductEngine {
                         continue;
                     }
                     phase_active = true;
+                    if self.mode == SimMode::Analytic {
+                        // Closed-form replay: every array in this row
+                        // tile sees the same row-activity pattern, so
+                        // the detailed loop's per-array integer charges
+                        // collapse to one charge × the array count. The
+                        // resulting fJ totals and event counts are
+                        // integer-identical to the detailed tier; only
+                        // the per-cell analog reads and per-column ADC
+                        // conversions are skipped (values come from the
+                        // cached quantized product below).
+                        let n_arr = (col_tiles * 2 * slices) as u64;
+                        let per_array_fj = self.arrays[rt][0][0][0]
+                            .read_phase_cost(active)
+                            .energy
+                            .as_fj();
+                        array_fj += per_array_fj * n_arr;
+                        dac_fj +=
+                            cal::DAC_DRIVE_FJ * active as u64 * u64::from(dac_bits - 1) * n_arr;
+                        adc_fj += self.adc.conversion_energy().as_fj() * ac as u64 * n_arr;
+                        digital_fj += cal::SHIFT_ADD_FJ * ac as u64 * n_arr;
+                        slice_reads += n_arr;
+                        conversions += ac as u64 * n_arr;
+                        dac_drives += active as u64 * n_arr;
+                        continue;
+                    }
                     for ct in 0..col_tiles {
                         for sign in 0..2 {
                             let sign_f = if sign == 0 { 1.0 } else { -1.0 };
@@ -524,6 +583,22 @@ impl DotProductEngine {
             self.tel
                 .counter_add(self.tel_digital, "energy_fj", digital_fj);
             self.tel.counter_add(self.tel_digital, "mvms", 1);
+        }
+
+        if self.mode == SimMode::Analytic {
+            // Exact quantized product: the analog loop above only
+            // replayed costs, so `acc` is still zero. Accumulation order
+            // is fixed (row-major), independent of host threading.
+            for (r, &q) in q_in.iter().enumerate() {
+                if q == 0 {
+                    continue;
+                }
+                let qf = q as f64;
+                let row = &self.q_weights[r * self.matrix_cols..(r + 1) * self.matrix_cols];
+                for (c, &w) in row.iter().enumerate() {
+                    acc[c] += qf * w;
+                }
+            }
         }
 
         let scale = wq.step() * xq.step();
@@ -1050,6 +1125,149 @@ mod tests {
         assert_eq!(a.values, b.values);
         assert_eq!(a.cost.latency, b.cost.latency);
         assert_eq!(a.cost.energy, b.cost.energy);
+    }
+
+    #[test]
+    fn analytic_cost_is_integer_identical_to_detailed() {
+        use cim_sim::analytic::SimMode;
+        // Tiled, noisy config with mixed-sign inputs: the hardest case
+        // for the closed form — phase skipping, partial row tiles,
+        // multi-bit DACs all in play.
+        let w = DenseMatrix::from_fn(200, 150, |r, c| (((r + 2 * c) % 19) as f64 / 19.0) - 0.5);
+        let x: Vec<f64> = (0..200).map(|i| ((i % 13) as f64 / 13.0) - 0.4).collect();
+        for config in [DpeConfig::default(), DpeConfig::noise_free()] {
+            let mut det = engine(config.clone());
+            det.program(&w).unwrap();
+            let d = det.matvec(&x).unwrap();
+            let mut ana = engine(config);
+            ana.set_mode(SimMode::Analytic);
+            assert_eq!(ana.mode(), SimMode::Analytic);
+            ana.program(&w).unwrap();
+            let a = ana.matvec(&x).unwrap();
+            assert_eq!(a.cost.latency, d.cost.latency, "latency must match exactly");
+            assert_eq!(
+                a.cost.energy.as_fj(),
+                d.cost.energy.as_fj(),
+                "energy must match exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_values_match_exact_quantized_product() {
+        use cim_sim::analytic::SimMode;
+        let w = DenseMatrix::from_fn(64, 32, |r, c| (((r + 3 * c) % 17) as f64 / 17.0) - 0.5);
+        let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 / 9.0) - 0.4).collect();
+        let exact = w.matvec(&x).unwrap();
+        // Even under the *noisy* device config, analytic values carry
+        // only quantization error — no analog noise, no ADC clipping.
+        let mut dpe = engine(DpeConfig::default());
+        dpe.set_mode(SimMode::Analytic);
+        dpe.program(&w).unwrap();
+        let out = dpe.matvec(&x).unwrap();
+        let err = max_rel_err(&out.values, &exact);
+        assert!(err < 0.01, "analytic values should be near-exact: {err}");
+    }
+
+    #[test]
+    fn analytic_telemetry_decomposition_still_exact() {
+        use cim_sim::analytic::SimMode;
+        use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+        let w = DenseMatrix::from_fn(200, 150, |r, c| (((r + 2 * c) % 19) as f64 / 19.0) - 0.5);
+        let mut dpe = engine(DpeConfig::noise_free());
+        dpe.set_mode(SimMode::Analytic);
+        let t = Telemetry::new(TelemetryLevel::Metrics);
+        dpe.attach_telemetry(&t, "mu0");
+        dpe.program(&w).unwrap();
+        let x: Vec<f64> = (0..200).map(|i| ((i % 13) as f64 / 13.0) - 0.4).collect();
+        let out = dpe.matvec(&x).unwrap();
+        let sum_over = |metric: &'static str| {
+            t.snapshot()
+                .iter()
+                .filter(|s| s.metric == metric && s.component.starts_with("mu0/"))
+                .filter_map(|s| s.as_counter())
+                .sum::<u64>()
+        };
+        assert_eq!(sum_over("energy_fj"), out.cost.energy.as_fj());
+        assert_eq!(sum_over("busy_ps"), out.cost.latency.as_ps());
+    }
+
+    #[test]
+    fn analytic_batch_is_bit_identical_across_thread_counts() {
+        use cim_sim::analytic::SimMode;
+        let w = DenseMatrix::from_fn(32, 16, |r, c| (((r + 5 * c) % 13) as f64 / 13.0) - 0.5);
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|i| {
+                (0..32)
+                    .map(|j| (((i + j) % 7) as f64 / 7.0) - 0.5)
+                    .collect()
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut dpe = engine(DpeConfig::default());
+            dpe.set_mode(SimMode::Analytic);
+            dpe.program(&w).unwrap();
+            dpe.matvec_batch_threads(&xs, threads).unwrap()
+        };
+        let (outs1, cost1) = run(1);
+        for threads in [2, 4] {
+            let (outs, cost) = run(threads);
+            assert_eq!(outs, outs1, "threads={threads}");
+            assert_eq!(cost, cost1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn analytic_cost_is_monotone_in_matrix_dims() {
+        use cim_sim::analytic::SimMode;
+        // Growing either dimension can only add slice reads, conversions
+        // and DAC drives — the closed-form cost must not shrink.
+        let cost_of = |rows: usize, cols: usize| {
+            let w = DenseMatrix::from_fn(rows, cols, |r, c| (((r + c) % 9) as f64 / 9.0) - 0.4);
+            let mut dpe = engine(DpeConfig::default());
+            dpe.set_mode(SimMode::Analytic);
+            dpe.program(&w).unwrap();
+            dpe.matvec(&vec![0.5; rows]).unwrap().cost
+        };
+        let mut prev = cost_of(8, 8);
+        for (rows, cols) in [(16, 8), (16, 16), (32, 16), (64, 32), (128, 64)] {
+            let cost = cost_of(rows, cols);
+            assert!(
+                cost.energy >= prev.energy,
+                "energy must not shrink growing to {rows}x{cols}"
+            );
+            assert!(
+                cost.latency >= prev.latency,
+                "latency must not shrink growing to {rows}x{cols}"
+            );
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn analytic_batch_cost_is_monotone_in_batch_size() {
+        use cim_sim::analytic::SimMode;
+        let w = DenseMatrix::from_fn(32, 16, |r, c| (((r * 3 + c) % 11) as f64 / 11.0) - 0.5);
+        let items: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                (0..32)
+                    .map(|j| (((i * j) % 5) as f64 / 5.0) - 0.3)
+                    .collect()
+            })
+            .collect();
+        let mut prev = OpCost::default();
+        for n in 1..=items.len() {
+            let mut dpe = engine(DpeConfig::default());
+            dpe.set_mode(SimMode::Analytic);
+            dpe.program(&w).unwrap();
+            let (_, cost) = dpe.matvec_batch(&items[..n]).unwrap();
+            assert!(cost.energy >= prev.energy, "energy must grow with batch");
+            assert!(
+                cost.latency >= prev.latency,
+                "batch makespan must not shrink"
+            );
+            prev = cost;
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::error::{FabricError, Result};
 use cim_crossbar::dpe::DpeConfig;
+use cim_sim::analytic::SimMode;
 
 /// Configuration of a CIM device.
 ///
@@ -25,6 +26,10 @@ pub struct FabricConfig {
     pub digital_ops_per_sec: f64,
     /// Digital ALU energy per op, femtojoules.
     pub digital_energy_per_op_fj: u64,
+    /// Simulation tier for the device's engines and NoC: detailed
+    /// flow-level simulation (the calibration reference) or the analytic
+    /// closed-form fast path cross-validated against it.
+    pub sim_mode: SimMode,
     /// Root seed for all stochastic models in the device.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl Default for FabricConfig {
             digital_ops_per_sec: 4.0e9,
             // Local-SRAM operand energy: ~1 pJ/op.
             digital_energy_per_op_fj: 1_000,
+            sim_mode: SimMode::Detailed,
             seed: 0xC1A0_5EED,
         }
     }

@@ -58,6 +58,7 @@ impl CimDevice {
         let mut noc = NocNetwork::new(config.mesh_width, config.mesh_height, config.seed)
             .map_err(FabricError::from)?;
         noc.set_encryption(config.encryption);
+        noc.set_mode(config.sim_mode);
         let mut units = Vec::with_capacity(config.total_units());
         for y in 0..config.mesh_height {
             for x in 0..config.mesh_width {

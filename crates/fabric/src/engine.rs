@@ -22,6 +22,7 @@ use crate::unit::UnitHealth;
 use cim_crossbar::array::OpCost;
 use cim_dataflow::graph::{DataflowGraph, NodeRef};
 use cim_noc::packet::{NodeId, Packet, TrafficClass};
+use cim_sim::analytic::SimMode;
 use cim_sim::energy::Energy;
 use cim_sim::time::{SimDuration, SimTime};
 use cim_sim::trace::TraceLevel;
@@ -406,6 +407,10 @@ impl CimDevice {
         let graph = prog.graph.clone();
         let sources = graph.sources();
         let sinks = graph.sinks();
+        // One config clone per stream, not per node: recoveries and
+        // injections never rewrite the device configuration.
+        let config = self.config().clone();
+        let mode = config.sim_mode;
         let tel = self.telemetry().clone();
         let tel_engine = self.engine_component();
         let tel_noc = self.noc_component();
@@ -450,7 +455,10 @@ impl CimDevice {
 
             for &node_idx in graph.topo_order() {
                 let r = NodeRef::from_index(node_idx);
-                let node = graph.node(r).clone();
+                // Borrow from the stream-local graph clone: cloning the
+                // node here would copy MatVec weight vectors on every
+                // item × node visit of the hot loop.
+                let node = graph.node(r);
                 let unit_idx = prog.placement.unit_of(node_idx);
 
                 if let Some(caps) = &opts.capabilities {
@@ -480,6 +488,27 @@ impl CimDevice {
                         if p_tile == my_tile {
                             ready = ready.max(p_done);
                             in_values.push(pv);
+                        } else if mode == SimMode::Analytic {
+                            // Analytic tier: cost the transfer in closed
+                            // form from its byte size and hand the values
+                            // over directly — no packet materialization,
+                            // no encode/decode round-trip, no cipher work.
+                            let (_, noc) = self.units_and_noc_mut();
+                            let est = noc
+                                .estimate(
+                                    p_tile,
+                                    my_tile,
+                                    pv.len() * 8,
+                                    TrafficClass::Guaranteed,
+                                    p_done,
+                                )
+                                .map_err(FabricError::from)?;
+                            report.energy += est.energy;
+                            self.meter_mut().charge("noc", est.energy);
+                            let route = tel.span_enter_child(item_span, tel_noc, "route", p_done);
+                            tel.span_exit(route, est.arrival, est.energy);
+                            ready = ready.max(est.arrival);
+                            in_values.push(pv);
                         } else {
                             let id = self.next_packet_id();
                             let stream = prog.stream_id;
@@ -507,7 +536,6 @@ impl CimDevice {
                 // pool) and remaps to a fresh spare, so it is bounded by
                 // the device's spare supply — `find_spare` draws from a
                 // finite healthy pool and errors when it runs dry.
-                let config = self.config().clone();
                 let is_source = matches!(node.op, cim_dataflow::ops::Operation::Source { .. });
                 let mut exec_unit = unit_idx;
                 let mut when = ready;

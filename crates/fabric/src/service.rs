@@ -232,6 +232,19 @@ impl ServiceReport {
         }
         self.completed as f64 / self.offered as f64
     }
+
+    /// The analytic tier's queueing view of this run: an M/D/1-style
+    /// model built from the offered arrival rate and the observed mean
+    /// service time of requests that ran to completion. Use it to ask
+    /// closed-form questions — is this operating point stable, what
+    /// wait does the queue add — without re-running the stream;
+    /// `analytic_check` cross-validates it against full runs.
+    pub fn queue_model(&self, rate_hz: f64) -> cim_sim::analytic::QueueModel {
+        cim_sim::analytic::QueueModel::new(
+            rate_hz,
+            SimDuration::from_ns_f64(self.latency.mean_us * 1_000.0),
+        )
+    }
 }
 
 struct ServiceClass {
@@ -988,6 +1001,45 @@ mod tests {
             svc.run_open_loop(200_000.0, 60, &events).expect("serves")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queue_model_reflects_the_operating_point() {
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(100));
+        let r = svc.run_open_loop(10_000.0, 50, &[]).expect("serves");
+        // Light load: far from saturation and adding almost no wait.
+        let light = r.queue_model(10_000.0);
+        assert!(light.is_stable(), "10 k req/s on a ~15 ns pipeline");
+        assert!(light.utilization() < 0.01);
+        assert!(light.predicted_latency() >= light.service());
+        // The same service time at an absurd offered rate is unstable.
+        let heavy = r.queue_model(1.0e12);
+        assert!(!heavy.is_stable());
+    }
+
+    #[test]
+    fn analytic_mode_serves_like_detailed_at_light_load() {
+        let run = |mode: cim_sim::SimMode| {
+            let mut svc = CimService::new(
+                FabricConfig {
+                    sim_mode: mode,
+                    ..fabric(4)
+                },
+                ServiceConfig::default(),
+                SeedTree::new(0x5EED),
+            )
+            .expect("boots");
+            let (g, s, k) = tiny_graph(4);
+            svc.register_class("tiny", g, s, k, SimDuration::from_us(100), 1)
+                .expect("resident");
+            svc.run_open_loop(10_000.0, 50, &[]).expect("serves")
+        };
+        let det = run(cim_sim::SimMode::Detailed);
+        let ana = run(cim_sim::SimMode::Analytic);
+        // Contention-free operating point: the analytic tier's zero-load
+        // floor is exact, so the two tiers agree request by request.
+        assert_eq!(det.completed, ana.completed);
+        assert_eq!(det.outcomes, ana.outcomes);
     }
 
     #[test]

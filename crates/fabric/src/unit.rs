@@ -181,6 +181,7 @@ impl MicroUnit {
                 let m = DenseMatrix::new(*rows, *cols, weights.clone())?;
                 let mut dpe =
                     DotProductEngine::new(config.dpe.clone(), seeds.child_idx(self.index as u64));
+                dpe.set_mode(config.sim_mode);
                 if self.tel.is_enabled() {
                     dpe.attach_telemetry(&self.tel, &self.tel_path);
                 }

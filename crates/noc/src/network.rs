@@ -9,8 +9,9 @@
 
 use crate::crypto::{self, LinkKey};
 use crate::error::{NocError, Result};
-use crate::packet::{NodeId, Packet};
+use crate::packet::{flit_count_for, NodeId, Packet, TrafficClass};
 use crate::topology::{Link, Mesh};
+use cim_sim::analytic::{ContentionModel, SimMode};
 use cim_sim::calib::noc as cal;
 use cim_sim::energy::Energy;
 use cim_sim::stats::Summary;
@@ -87,6 +88,18 @@ pub struct Delivery {
     pub payload: Vec<u8>,
 }
 
+/// Outcome of one analytic-tier transfer estimate: the delivery record
+/// without any payload movement (see [`NocNetwork::estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Predicted tail-flit arrival at the destination.
+    pub arrival: SimTime,
+    /// Predicted transfer energy (hops + crypto).
+    pub energy: Energy,
+    /// Hop count of the route.
+    pub hops: u32,
+}
+
 /// Aggregate traffic statistics.
 #[derive(Debug, Clone, Default)]
 pub struct NocStats {
@@ -131,6 +144,10 @@ pub struct NocNetwork {
     reserved: HashMap<Link, SimDuration>,
     policy: IsolationPolicy,
     encryption: bool,
+    mode: SimMode,
+    /// Contention term for the analytic tier: M/D/1 wait scaled by a
+    /// coefficient fit from detailed-mode telemetry.
+    contention: ContentionModel,
     master_seed: u64,
     stats: NocStats,
     tel: Telemetry,
@@ -162,6 +179,8 @@ impl NocNetwork {
             reserved: HashMap::new(),
             policy: IsolationPolicy::new(),
             encryption: false,
+            mode: SimMode::Detailed,
+            contention: ContentionModel::default(),
             master_seed,
             stats: NocStats::default(),
             tel: Telemetry::disabled(),
@@ -218,6 +237,33 @@ impl NocNetwork {
     /// Whether encryption is enabled.
     pub fn encryption(&self) -> bool {
         self.encryption
+    }
+
+    /// Selects the simulation tier for subsequent transfers.
+    ///
+    /// In [`SimMode::Analytic`] every transmit routes and charges costs
+    /// in closed form (zero-load floor plus a fitted M/D/1 contention
+    /// term per link) without per-VC slot bookkeeping or payload cipher
+    /// work; see [`estimate`](Self::estimate).
+    pub fn set_mode(&mut self, mode: SimMode) {
+        self.mode = mode;
+    }
+
+    /// The active simulation tier.
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
+    /// Replaces the analytic contention model (e.g. with one fit from
+    /// detailed-mode telemetry via
+    /// [`ContentionModel::fit`](cim_sim::analytic::ContentionModel::fit)).
+    pub fn set_contention(&mut self, model: ContentionModel) {
+        self.contention = model;
+    }
+
+    /// The analytic contention model in use.
+    pub fn contention(&self) -> ContentionModel {
+        self.contention
     }
 
     /// Traffic statistics so far.
@@ -293,6 +339,26 @@ impl NocNetwork {
         depart: SimTime,
         tamper: Option<TamperFn<'_>>,
     ) -> Result<Delivery> {
+        if self.mode == SimMode::Analytic {
+            // Closed-form tier: route + charge, no cipher work and no
+            // per-VC slot bookkeeping. The tamper hook needs a wire to
+            // tamper with, so it is a detailed-tier-only feature.
+            let est = self.estimate(
+                packet.src,
+                packet.dst,
+                packet.payload.len(),
+                packet.class,
+                depart,
+            )?;
+            let payload = packet.payload.clone();
+            return Ok(Delivery {
+                arrival: est.arrival,
+                energy: est.energy,
+                hops: est.hops,
+                wire_payload: payload.clone(),
+                payload,
+            });
+        }
         if !self.policy.allows(packet.src, packet.dst) {
             self.stats.isolation_rejects += 1;
             self.tel.counter_add(self.tel_root, "isolation_rejects", 1);
@@ -427,7 +493,11 @@ impl NocNetwork {
     /// boundaries (each a fixed [`cal::CRYPTO_CYCLES`], pipelined per
     /// byte), so floor == measured latency on an idle network.
     pub fn zero_load_latency(&self, packet: &Packet, hops: u32) -> SimDuration {
-        let serialization = Self::cycle() * (packet.flit_count() * cal::LINK_CYCLES);
+        self.zero_load_latency_flits(packet.flit_count(), hops)
+    }
+
+    fn zero_load_latency_flits(&self, flits: u64, hops: u32) -> SimDuration {
+        let serialization = Self::cycle() * (flits * cal::LINK_CYCLES);
         let per_hop = Self::cycle() * cal::ROUTER_CYCLES + serialization;
         let crypto = if self.encryption {
             // hops link passes + 2 boundary operations (encrypt, decrypt).
@@ -436,6 +506,107 @@ impl NocNetwork {
             SimDuration::ZERO
         };
         per_hop * u64::from(hops) + crypto
+    }
+
+    /// Analytic-tier transfer: predicts delivery time and energy for a
+    /// `bytes`-long payload from `src` to `dst` in closed form, without
+    /// moving any payload.
+    ///
+    /// Latency is the [`zero_load_latency`](Self::zero_load_latency)
+    /// floor plus, per link on the route, an M/D/1-style contention wait
+    /// at that link's observed utilisation (cumulative reserved
+    /// serialization time over elapsed simulated time, the same signal
+    /// [`link_load`](Self::link_load) reports). The link reservations
+    /// are updated so later estimates see this transfer's load, and
+    /// stats/telemetry mirror the detailed tier's totals; only the
+    /// per-VC busy slots stay untouched.
+    ///
+    /// Energy charges the full detailed-tier composition: per-hop flit
+    /// energy plus (with encryption on) one encrypt and one decrypt pass
+    /// over the payload — without running the cipher.
+    ///
+    /// # Errors
+    ///
+    /// * [`NocError::IsolationViolation`] if the policy forbids the pair;
+    /// * [`NocError::NoRoute`] if link failures disconnect the pair.
+    pub fn estimate(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        class: TrafficClass,
+        depart: SimTime,
+    ) -> Result<Estimate> {
+        if !self.policy.allows(src, dst) {
+            self.stats.isolation_rejects += 1;
+            self.tel.counter_add(self.tel_root, "isolation_rejects", 1);
+            return Err(NocError::IsolationViolation { src, dst });
+        }
+        let path = self.mesh.route(src, dst)?;
+        let vc = class.virtual_channel();
+        let flits = flit_count_for(bytes);
+        let serialization = Self::cycle() * (flits * cal::LINK_CYCLES);
+        let hops = path.len().saturating_sub(1) as u32;
+        let elapsed_ps = depart.as_ps();
+
+        let mut latency = self.zero_load_latency_flits(flits, hops);
+        let mut energy = Energy::ZERO;
+        if self.encryption {
+            // Source encrypt + destination decrypt, charged analytically.
+            energy += crypto::crypto_cost(bytes).energy * 2;
+        }
+        for w in path.windows(2) {
+            let link = Link::new(w[0], w[1]);
+            let reserved = self
+                .reserved
+                .get(&link)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+            // Utilisation: fraction of elapsed simulated time this link
+            // was reserved for serialization. Traffic before t=0 (or an
+            // all-at-once burst at the origin) reads as fully loaded.
+            let rho = if elapsed_ps > 0 {
+                reserved.as_ps() as f64 / elapsed_ps as f64
+            } else if reserved.is_zero() {
+                0.0
+            } else {
+                1.0
+            };
+            let wait = self.contention.wait(rho, serialization);
+            latency += wait;
+            *self.reserved.entry(link).or_insert(SimDuration::ZERO) += serialization;
+            energy += Energy::from_fj(cal::FLIT_HOP_FJ * flits);
+            self.stats.flit_hops += flits;
+            if self.tel.is_enabled() {
+                let lid = self.link_component(link);
+                self.tel
+                    .counter_add(lid, "reserved_ps", serialization.as_ps());
+                self.tel.counter_add(lid, "flits", flits);
+                self.tel.gauge_set(lid, "backlog_ps", wait.as_ps() as f64);
+                self.tel
+                    .record(self.tel_root, "queue_wait_ps", wait.as_ps());
+            }
+        }
+
+        self.stats.packets += 1;
+        self.stats.energy += energy;
+        self.stats.latency_ns[vc].record(latency.as_ns_f64());
+        if self.tel.is_enabled() {
+            self.tel.counter_add(self.tel_root, "packets", 1);
+            self.tel
+                .counter_add(self.tel_root, "flit_hops", flits * u64::from(hops));
+            self.tel
+                .counter_add(self.tel_root, "energy_fj", energy.as_fj());
+            self.tel
+                .counter_add(self.tel_root, "busy_ps", latency.as_ps());
+            self.tel
+                .record(self.tel_root, VC_LATENCY_METRIC[vc], latency.as_ps() / 1000);
+        }
+        Ok(Estimate {
+            arrival: depart + latency,
+            energy,
+            hops,
+        })
     }
 }
 
@@ -450,6 +621,10 @@ mod tests {
 
     fn net() -> NocNetwork {
         NocNetwork::new(8, 8, 1234).unwrap()
+    }
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_ns(x * 1_000)
     }
 
     #[test]
@@ -704,6 +879,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn analytic_uncontended_matches_zero_load_floor() {
+        // On an idle network the analytic estimate must equal the
+        // detailed tier exactly — the contention term is zero and both
+        // tiers share the zero-load formula.
+        for encrypted in [false, true] {
+            let mut det = net();
+            det.set_encryption(encrypted);
+            let mut ana = net();
+            ana.set_encryption(encrypted);
+            ana.set_mode(SimMode::Analytic);
+            assert_eq!(ana.mode(), SimMode::Analytic);
+            let p = Packet::new(1, n(0, 0), n(4, 2), vec![7u8; 200]);
+            let d = det.transmit(&p, SimTime::ZERO).unwrap();
+            let a = ana.transmit(&p, SimTime::ZERO).unwrap();
+            assert_eq!(a.arrival, d.arrival, "encrypted={encrypted}");
+            assert_eq!(a.energy, d.energy, "encrypted={encrypted}");
+            assert_eq!(a.hops, d.hops);
+            assert_eq!(&a.payload[..], &p.payload[..]);
+        }
+    }
+
+    #[test]
+    fn analytic_contention_grows_with_observed_load() {
+        let mut noc = net();
+        noc.set_mode(SimMode::Analytic);
+        let p = Packet::new(1, n(0, 0), n(3, 0), vec![0u8; 512]);
+        // Load the route over a window, then probe at a later departure
+        // so utilisation is meaningful (reserved / elapsed).
+        let idle = noc.transmit(&p, us(100)).unwrap();
+        let idle_latency = idle.arrival - us(100);
+        for i in 0..200 {
+            noc.transmit(&p, us(101 + i)).unwrap();
+        }
+        let loaded = noc.transmit(&p, us(400)).unwrap();
+        let loaded_latency = loaded.arrival - us(400);
+        assert!(
+            loaded_latency > idle_latency,
+            "contention term must grow with link load: idle {idle_latency:?}, \
+             loaded {loaded_latency:?}"
+        );
+        // Reservations feed link_load exactly as in detailed mode.
+        assert!(noc.hottest_link().is_some());
+        noc.reset();
+        assert!(noc.hottest_link().is_none());
+    }
+
+    #[test]
+    fn analytic_respects_isolation_and_routing() {
+        let mut noc = net();
+        noc.set_mode(SimMode::Analytic);
+        noc.policy_mut().assign(n(0, 0), 1);
+        noc.policy_mut().assign(n(1, 0), 2);
+        let p = Packet::new(1, n(0, 0), n(1, 0), vec![1]);
+        assert!(matches!(
+            noc.transmit(&p, SimTime::ZERO),
+            Err(NocError::IsolationViolation { .. })
+        ));
+        assert_eq!(noc.stats().isolation_rejects, 1);
+        noc.policy_mut().allow(1, 2);
+        // Failed links still reroute (the analytic tier runs the real
+        // router, only the queueing is closed-form).
+        noc.mesh_mut().fail_link(n(0, 0), n(1, 0));
+        let d = noc.transmit(&p, SimTime::ZERO).unwrap();
+        assert!(d.hops > 1, "detour is longer than the direct hop");
+    }
+
+    #[test]
+    fn analytic_stats_and_telemetry_mirror_detailed_shape() {
+        use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+        let t = Telemetry::new(TelemetryLevel::Metrics);
+        let mut noc = net();
+        noc.set_mode(SimMode::Analytic);
+        noc.attach_telemetry(&t, "noc");
+        for i in 0..4 {
+            let p = Packet::new(i, n(0, 0), n(3, 0), vec![0u8; 256]);
+            noc.transmit(&p, SimTime::ZERO).unwrap();
+        }
+        let s = noc.stats();
+        assert_eq!(s.packets, 4);
+        assert_eq!(s.latency_ns[0].count(), 4);
+        assert!(s.energy.as_fj() > 0);
+        let root = t.component("noc");
+        t.with_registry(|r| {
+            assert_eq!(r.counter(root, "packets"), 4);
+            assert_eq!(r.counter(root, "energy_fj"), noc.stats().energy.as_fj());
+        });
+        // Per-link reservation counters exist like in detailed mode.
+        assert!(t
+            .snapshot()
+            .iter()
+            .any(|s| s.component == "noc/link(0,0)->(1,0)" && s.metric == "reserved_ps"));
+    }
+
+    #[test]
+    fn fitted_contention_scales_the_wait() {
+        let mut calm = net();
+        calm.set_mode(SimMode::Analytic);
+        calm.set_contention(ContentionModel::with_alpha(0.0));
+        let mut hot = net();
+        hot.set_mode(SimMode::Analytic);
+        hot.set_contention(ContentionModel::with_alpha(4.0));
+        assert!((hot.contention().alpha() - 4.0).abs() < 1e-12);
+        let p = Packet::new(1, n(0, 0), n(3, 0), vec![0u8; 512]);
+        // Pre-load both networks identically, then probe.
+        for i in 0..100 {
+            calm.transmit(&p, us(10 + i)).unwrap();
+            hot.transmit(&p, us(10 + i)).unwrap();
+        }
+        let probe_at = us(200);
+        let c = calm.transmit(&p, probe_at).unwrap();
+        let h = hot.transmit(&p, probe_at).unwrap();
+        assert!(
+            h.arrival > c.arrival,
+            "larger alpha must predict more queueing"
+        );
+        // Alpha 0 disables contention entirely: floor latency.
+        let floor = calm.zero_load_latency(&p, c.hops);
+        assert_eq!((c.arrival - probe_at).as_ps(), floor.as_ps());
     }
 
     #[test]

@@ -131,8 +131,15 @@ impl Packet {
     /// Number of flits this packet serializes into: one head flit plus
     /// payload flits.
     pub fn flit_count(&self) -> u64 {
-        1 + (self.payload.len() as u64).div_ceil(cal::FLIT_BYTES as u64)
+        flit_count_for(self.payload.len())
     }
+}
+
+/// Flits a `bytes`-long payload serializes into — the same head-plus-
+/// payload formula as [`Packet::flit_count`], for callers that size a
+/// transfer without materializing a packet (the analytic NoC tier).
+pub fn flit_count_for(bytes: usize) -> u64 {
+    1 + (bytes as u64).div_ceil(cal::FLIT_BYTES as u64)
 }
 
 #[cfg(test)]

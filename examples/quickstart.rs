@@ -3,12 +3,14 @@
 //!
 //! Run with `cargo run --release --example quickstart`. Pass
 //! `--telemetry out.jsonl` to also export the device's metrics as
-//! JSON lines; a one-screen summary is printed either way.
+//! JSON lines; a one-screen summary is printed either way. Pass
+//! `--mode analytic` to run the closed-form fast tier instead of the
+//! flow-level DES (see DESIGN.md "Two-tier simulation").
 
 use cim::baseline::{CpuModel, GpuModel};
 use cim::fabric::{CimDevice, FabricConfig, MappingPolicy, StreamOptions};
 use cim::sim::telemetry::{validate_jsonl_line, TelemetryLevel};
-use cim::sim::SeedTree;
+use cim::sim::{SeedTree, SimMode};
 use cim::workloads::nn::{mlp_graph, random_inputs};
 use std::collections::HashMap;
 use std::error::Error;
@@ -27,9 +29,30 @@ fn main() -> Result<(), Box<dyn Error>> {
             args.iter()
                 .find_map(|a| a.strip_prefix("--telemetry=").map(str::to_owned))
         });
+    let sim_mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .map(|i| {
+            let mode = args.get(i + 1).cloned();
+            args.drain(i..args.len().min(i + 2));
+            mode.expect("--mode requires detailed|analytic")
+        })
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--mode=").map(str::to_owned))
+        })
+        .map(|m| m.parse::<SimMode>())
+        .transpose()?
+        .unwrap_or_default();
 
     // 1. A CIM device: 4×4 tiles × 4 micro-units on a packet mesh.
-    let mut device = CimDevice::new(FabricConfig::default())?;
+    let mut device = CimDevice::new(FabricConfig {
+        sim_mode,
+        ..FabricConfig::default()
+    })?;
+    if sim_mode == SimMode::Analytic {
+        println!("mode: analytic fast tier (closed-form costs, no packet-level DES)");
+    }
     let tel = device.enable_telemetry(TelemetryLevel::Metrics);
     println!(
         "device: {} micro-units on a {}x{} tile mesh",

@@ -1,0 +1,123 @@
+//! Cross-tier validation of the analytic fast path against the DES.
+//!
+//! The analytic tier's contract has two parts, and each gets pinned
+//! here end to end:
+//!
+//! 1. **Exactness where the math is exact.** On contention-free streams
+//!    the closed-form crossbar/NoC costs are the *same integers* the
+//!    detailed flow-level simulation produces — not merely close.
+//! 2. **Determinism.** The analytic tier lives under the same
+//!    bit-identical-at-any-`CIM_THREADS` contract as the DES: thread
+//!    counts are passed explicitly so the tests cannot race on the
+//!    environment variable.
+//!
+//! The statistical agreement bounds (latency ±10%, energy ±5% under
+//! contention) are enforced by the `analytic_check` CI gate; this file
+//! holds only the exact, always-true invariants.
+
+use cim_fabric::{
+    execute_stream_replicated_threads, CimDevice, FabricConfig, MappingPolicy, StreamOptions,
+};
+use cim_sim::telemetry::{Telemetry, TelemetryLevel};
+use cim_sim::{SeedTree, SimMode};
+use cim_workloads::nn::{mlp_graph, random_inputs};
+use std::collections::HashMap;
+
+fn config(mode: SimMode) -> FabricConfig {
+    FabricConfig {
+        dpe: cim_crossbar::dpe::DpeConfig::ideal(),
+        sim_mode: mode,
+        ..FabricConfig::default()
+    }
+}
+
+#[test]
+fn analytic_stream_is_exactly_detailed_when_contention_free() {
+    // One item through a cross-tile MLP: no queueing anywhere, so the
+    // analytic tier's zero-load floor and closed-form crossbar costs
+    // must reproduce the DES integers bit for bit.
+    let (graph, src, sink) = mlp_graph(&[24, 16, 8], SeedTree::new(7));
+    let input = random_inputs(1, 24, SeedTree::new(11)).remove(0);
+    let run = |mode: SimMode| {
+        let mut d = CimDevice::new(config(mode)).expect("device");
+        let mut prog = d
+            .load_program(&graph, MappingPolicy::RoundRobin)
+            .expect("loads");
+        d.execute_stream(
+            &mut prog,
+            &[HashMap::from([(src, input.clone())])],
+            &StreamOptions::default(),
+        )
+        .expect("runs")
+    };
+    let det = run(SimMode::Detailed);
+    let ana = run(SimMode::Analytic);
+    // Values: the analytic tier returns the exact quantized product,
+    // the detailed tier adds a 16-bit ADC round-trip — near-equal, not
+    // bitwise (the cost integers below *are* bitwise).
+    for (d, a) in det.outputs[0][&sink].iter().zip(&ana.outputs[0][&sink]) {
+        assert!((d - a).abs() < 1e-3, "value drift: {d} vs {a}");
+    }
+    assert_eq!(det.completed, ana.completed, "latency must match exactly");
+    assert_eq!(det.energy, ana.energy, "energy must match exactly");
+}
+
+#[test]
+fn analytic_replicated_stream_is_bit_identical_across_thread_counts() {
+    let (graph, src, _) = mlp_graph(&[16, 12, 6], SeedTree::new(3));
+    let items: Vec<_> = random_inputs(12, 16, SeedTree::new(5))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    let run = |threads: usize| {
+        let tel = Telemetry::new(TelemetryLevel::Metrics);
+        let report = execute_stream_replicated_threads(
+            &config(SimMode::Analytic),
+            &graph,
+            MappingPolicy::RoundRobin,
+            &items,
+            &StreamOptions::default(),
+            4,
+            &tel,
+            threads,
+        )
+        .expect("runs");
+        (
+            report.outputs,
+            report.completed,
+            report.energy,
+            tel.export_jsonl(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(run(threads), serial, "analytic tier differs at {threads}");
+    }
+}
+
+#[test]
+fn analytic_stream_stays_exact_under_load_free_pacing() {
+    // Items spaced far apart: the pipeline never overlaps, links stay
+    // effectively idle, and every per-item latency must equal the
+    // detailed number even though utilisation telemetry accumulates.
+    let (graph, src, _) = mlp_graph(&[16, 8], SeedTree::new(9));
+    let items: Vec<_> = random_inputs(6, 16, SeedTree::new(13))
+        .into_iter()
+        .map(|x| HashMap::from([(src, x)]))
+        .collect();
+    let opts = StreamOptions {
+        inter_arrival: cim_sim::time::SimDuration::from_ms(1),
+        ..StreamOptions::default()
+    };
+    let run = |mode: SimMode| {
+        let mut d = CimDevice::new(config(mode)).expect("device");
+        let mut prog = d
+            .load_program(&graph, MappingPolicy::RoundRobin)
+            .expect("loads");
+        d.execute_stream(&mut prog, &items, &opts).expect("runs")
+    };
+    let det = run(SimMode::Detailed);
+    let ana = run(SimMode::Analytic);
+    assert_eq!(det.latencies(), ana.latencies());
+    assert_eq!(det.energy, ana.energy);
+}
