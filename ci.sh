@@ -4,8 +4,9 @@
 #
 #   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1), plus
 #                     the small-sample analytic_check (two-tier
-#                     agreement). The fast inner-loop gate; hosted CI
-#                     runs it on every push and pull request.
+#                     agreement) and the SLO alerting smoke (healthy
+#                     silent, overload pages). The fast inner-loop gate;
+#                     hosted CI runs it on every push and pull request.
 #   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
 #   ./ci.sh full      pass, example smokes, serving soaks, the chaos
 #                     campaign (clean sweep + weakened-invariant replay
@@ -63,6 +64,11 @@ step "analytic_check: two-tier agreement, small sample"
 cargo run --release --offline -p cim-bench --bin analytic_check -- \
     --sample small --out "$ART/analytic_disagreements.jsonl"
 
+step "slo_smoke: healthy point silent, overload pages"
+# Alerting polarity of the observability pipeline: a healthy serving
+# point must fire zero SLO alerts, overload must fire a page.
+cargo run --release --offline -p cim-bench --bin slo_smoke -- --requests 300
+
 if [ "$MODE" = quick ]; then
     printf '\n== ci.sh quick: all gates passed\n'
     exit 0
@@ -86,6 +92,19 @@ cargo run --release --offline --example quickstart -- --telemetry "$SCRATCH/tele
 # Every line must parse as JSON with component/metric/value keys; the
 # checker is in-tree (no external JSON tooling, per the hermetic policy).
 cargo run --release --offline -p cim-bench --bin telemetry_check -- "$SCRATCH/telemetry.jsonl"
+
+step "observability artifacts: series/alert/profile export + folded stacks"
+# The overload artifact run must export all three observability record
+# families (CI fails if an exporter silently drops one) and the
+# flamegraph/utilization artifacts land in target/ci-artifacts for
+# upload.
+cargo run --release --offline -p cim-bench --bin slo_smoke -- \
+    --requests 300 --artifacts "$ART"
+cargo run --release --offline -p cim-bench --bin telemetry_check -- \
+    "$ART/serving_obs.jsonl" --require-kinds series,alert,profile
+[ -s "$ART/serving_time.folded" ]
+[ -s "$ART/serving_energy.folded" ]
+[ -s "$ART/serving_utilization.txt" ]
 
 step "serving soak (CIM_THREADS=1)"
 # The serving front-end's acceptance gates: overload sheds with bounded

@@ -40,6 +40,11 @@ pub struct ServingPoint {
     pub latency: LatencyStats,
     /// Full telemetry export of the point's device (byte-stable).
     pub telemetry_jsonl: String,
+    /// SLO burn-rate alerts the point's observability pipeline fired,
+    /// in firing order (empty at healthy operating points).
+    pub alerts: Vec<cim_obs::AlertEvent>,
+    /// Windowed time-series export (`kind: "series"` JSONL, byte-stable).
+    pub series_jsonl: String,
 }
 
 /// The default sweep: light load through ~8× saturation.
@@ -63,6 +68,7 @@ fn run_point(rate_hz: f64, n: usize, seed: u64) -> ServingPoint {
         .runtime_mut()
         .device_mut()
         .enable_telemetry(TelemetryLevel::Metrics);
+    svc.enable_observability(cim_obs::ObsConfig::default());
     // Same resident models at every point; only the arrival seed and
     // rate vary, so the sweep isolates the load axis.
     for spec in standard_request_mix() {
@@ -82,6 +88,8 @@ fn run_point(rate_hz: f64, n: usize, seed: u64) -> ServingPoint {
         recoveries: r.recoveries,
         latency: r.latency,
         telemetry_jsonl: tel.export_jsonl(),
+        alerts: r.alerts,
+        series_jsonl: r.series_jsonl,
     }
 }
 
@@ -141,6 +149,9 @@ mod tests {
         let heavy = &pts[1];
         assert!(heavy.shed > 0, "overload must shed: {heavy:?}");
         assert!(!light.telemetry_jsonl.is_empty());
+        assert!(light.alerts.is_empty(), "healthy load must not page");
+        assert!(!heavy.alerts.is_empty(), "overload must fire SLO alerts");
+        assert!(!light.series_jsonl.is_empty(), "series export present");
         let rendered = render(&pts);
         assert!(rendered.contains("p99"));
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N]
 //!                [--requests N] [--weaken NAME] [--out PATH]
+//!                [--telemetry PATH]
 //! ```
 //!
 //! Sweeps `N` seeds (default 64) through the chaos invariants. Exit 0
@@ -10,10 +11,16 @@
 //! shrunk minimal reproducer is written to `--out` (default
 //! `chaos_repro.jsonl`) and the exit code is 1 — feed the file to
 //! `chaos_replay` to reproduce it bit-identically.
+//!
+//! `--telemetry PATH` writes the full observability export (telemetry +
+//! time series + SLO alerts, one JSONL stream) of a deterministic
+//! representative run: the shrunk violating schedule when the campaign
+//! finds one, else the root seed's generated schedule.
 
 use cim_chaos::campaign::{run_campaign, CampaignConfig};
+use cim_chaos::generate::generate_schedule;
 use cim_chaos::replay::render_replay;
-use cim_chaos::runner::{ChaosConfig, Weaken};
+use cim_chaos::runner::{export_run, ChaosConfig, Weaken};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -30,6 +37,7 @@ fn main() -> ExitCode {
     let mut cc = CampaignConfig::default();
     let mut chaos = ChaosConfig::default();
     let mut out = "chaos_repro.jsonl".to_owned();
+    let mut telemetry: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,6 +73,10 @@ fn main() -> ExitCode {
                 Some(p) => out = p.to_owned(),
                 None => return usage("--out needs a path"),
             },
+            "--telemetry" => match value(i) {
+                Some(p) => telemetry = Some(p.to_owned()),
+                None => return usage("--telemetry needs a path"),
+            },
             other => return usage(&format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -85,6 +97,20 @@ fn main() -> ExitCode {
             "note: wall-clock budget exhausted after {} of {} seeds (all clean so far)",
             report.run, report.planned
         );
+    }
+
+    if let Some(path) = &telemetry {
+        let schedule = match &report.violation {
+            Some(v) => v.replay.schedule.clone(),
+            None => generate_schedule(cc.root_seed, &chaos),
+        };
+        match export_run(&chaos, &schedule) {
+            Ok(text) => match std::fs::write(path, text) {
+                Ok(()) => println!("observability export written to {path}"),
+                Err(e) => eprintln!("failed to write observability export {path}: {e}"),
+            },
+            Err(e) => eprintln!("observability export run aborted: {e}"),
+        }
     }
 
     match report.violation {
@@ -113,7 +139,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("chaos_campaign: {err}");
     eprintln!(
         "usage: chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N] \
-         [--requests N] [--weaken NAME] [--out PATH]"
+         [--requests N] [--weaken NAME] [--out PATH] [--telemetry PATH]"
     );
     ExitCode::FAILURE
 }

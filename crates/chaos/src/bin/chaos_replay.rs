@@ -1,25 +1,49 @@
 //! Reproduces a chaos violation from its replay file.
 //!
 //! ```text
-//! chaos_replay path/to/repro.jsonl
+//! chaos_replay path/to/repro.jsonl [--telemetry PATH]
 //! ```
 //!
 //! Parses the replay file, re-runs the recorded schedule under the
 //! recorded config, and checks the violation reproduces: same
 //! invariant, and — when the file carries one — a bit-identical run
-//! fingerprint. Exit 0 on a faithful reproduction, 1 otherwise. Because
-//! the whole stack is deterministic, running this under different
-//! `CIM_THREADS` settings must give the same result; CI does exactly
-//! that.
+//! fingerprint. The file's triage timeline (SLO alerts of the recorded
+//! violating run) is printed before replaying so the operator sees
+//! *when* the run went bad. Exit 0 on a faithful reproduction, 1
+//! otherwise. Because the whole stack is deterministic, running this
+//! under different `CIM_THREADS` settings must give the same result; CI
+//! does exactly that.
+//!
+//! `--telemetry PATH` writes the replayed run's full observability
+//! export (telemetry + time series + SLO alerts, one JSONL stream).
 
 use cim_chaos::replay::parse_replay;
-use cim_chaos::runner::run_schedule;
+use cim_chaos::runner::{export_run, run_schedule};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: chaos_replay path/to/repro.jsonl");
-        return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut telemetry: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => match args.get(i + 1) {
+                Some(p) => {
+                    telemetry = Some(p.clone());
+                    i += 2;
+                }
+                None => return usage("--telemetry needs a path"),
+            },
+            other if path.is_none() => {
+                path = Some(other.to_owned());
+                i += 1;
+            }
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing replay file path");
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -43,6 +67,29 @@ fn main() -> ExitCode {
         file.invariant,
         file.detail
     );
+    if !file.triage.is_empty() {
+        println!("triage timeline ({} alert(s)):", file.triage.len());
+        for a in &file.triage {
+            println!(
+                "  t={:>12} ps  [{}] {} tenant={} burn={:.2}",
+                a.at.as_ps(),
+                a.severity.name(),
+                a.rule,
+                a.tenant,
+                a.burn_rate
+            );
+        }
+    }
+
+    if let Some(out) = &telemetry {
+        match export_run(&file.config, &file.schedule) {
+            Ok(text) => match std::fs::write(out, text) {
+                Ok(()) => println!("observability export written to {out}"),
+                Err(e) => eprintln!("failed to write observability export {out}: {e}"),
+            },
+            Err(e) => eprintln!("observability export run aborted: {e}"),
+        }
+    }
 
     match run_schedule(&file.config, &file.schedule) {
         Ok(rec) => {
@@ -80,4 +127,10 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("chaos_replay: {err}");
+    eprintln!("usage: chaos_replay path/to/repro.jsonl [--telemetry PATH]");
+    ExitCode::FAILURE
 }

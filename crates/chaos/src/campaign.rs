@@ -194,6 +194,7 @@ fn shrink_violation(
             invariant: final_violation.invariant.to_owned(),
             detail: final_violation.detail,
             fingerprint: final_violation.fingerprint,
+            triage: final_violation.alerts,
         },
     }
 }

@@ -8,7 +8,12 @@
 //! [`ChaosConfig`], the schedule's pressure, the violated invariant and
 //! the violating run's fingerprint. Each following line is one schedule
 //! event (`metric: "event/<kind>"`, `value` = fire time in
-//! picoseconds).
+//! picoseconds), then the triage timeline: the violating run's SLO
+//! alerts (`metric: "alert/<rule>"`, rendered by
+//! [`cim_obs::AlertEvent::to_jsonl_line`]) so a reproducer records
+//! *when* the run went bad, not just that it did. The header's `value`
+//! counts schedule events only — triage lines ride behind them and are
+//! routed by metric prefix on parse.
 //!
 //! Two `u64` fields can exceed 2^53 — the campaign seed and the run
 //! fingerprint — so they are serialized as `"0x…"` hex *strings*;
@@ -18,6 +23,7 @@
 
 use crate::runner::{ChaosConfig, Weaken};
 use crate::schedule::{ChaosAction, ChaosEvent, ChaosSchedule, Pressure};
+use cim_obs::AlertEvent;
 use cim_sim::json::{self, Json};
 use cim_sim::time::SimDuration;
 
@@ -37,6 +43,11 @@ pub struct ReplayFile {
     pub detail: String,
     /// Fingerprint of the violating run, when the run completed.
     pub fingerprint: Option<u64>,
+    /// Triage timeline: the violating run's SLO alerts in firing order,
+    /// ending with the synthetic `invariant/<name>` page (see
+    /// [`crate::runner::Violation::alerts`]). Empty for pre-triage
+    /// replay files — parsing tolerates their absence.
+    pub triage: Vec<AlertEvent>,
 }
 
 fn num(v: u64) -> Json {
@@ -158,6 +169,10 @@ pub fn render_replay(file: &ReplayFile) -> String {
         ];
         pairs.extend(action_pairs(&ev.action));
         out.push_str(&Json::Object(pairs).to_string());
+        out.push('\n');
+    }
+    for alert in &file.triage {
+        out.push_str(&alert.to_jsonl_line());
         out.push('\n');
     }
     out
@@ -287,9 +302,18 @@ pub fn parse_replay(text: &str) -> Result<ReplayFile, String> {
     };
 
     let mut events = Vec::with_capacity(declared_events);
+    let mut triage = Vec::new();
     for (i, line) in lines.enumerate() {
-        let obj = json::parse(line).map_err(|e| format!("event line {}: {e}", i + 1))?;
-        events.push(parse_event(&obj).map_err(|e| format!("event line {}: {e}", i + 1))?);
+        let obj = json::parse(line).map_err(|e| format!("body line {}: {e}", i + 1))?;
+        let metric = get_str(&obj, "metric")?;
+        if metric.starts_with("alert/") {
+            triage.push(
+                AlertEvent::parse_jsonl_line(line)
+                    .map_err(|e| format!("triage line {}: {e}", i + 1 - events.len()))?,
+            );
+        } else {
+            events.push(parse_event(&obj).map_err(|e| format!("event line {}: {e}", i + 1))?);
+        }
     }
     if events.len() != declared_events {
         return Err(format!(
@@ -305,6 +329,7 @@ pub fn parse_replay(text: &str) -> Result<ReplayFile, String> {
         invariant: get_str(&header, "invariant")?.to_owned(),
         detail: get_str(&header, "detail")?.to_owned(),
         fingerprint,
+        triage,
     })
 }
 
@@ -359,6 +384,24 @@ mod tests {
             invariant: "recovery_bound".to_owned(),
             detail: "recovery took 12.5 µs, bound is 0.0 µs".to_owned(),
             fingerprint: Some(0xDEAD_BEEF_DEAD_BEEF),
+            triage: vec![
+                AlertEvent {
+                    at: cim_sim::time::SimTime::from_ps(2_500_000),
+                    tenant: "mlp".to_owned(),
+                    rule: "zero_loss".to_owned(),
+                    severity: cim_obs::AlertSeverity::Page,
+                    burn_rate: 1.0,
+                    window: SimDuration::ZERO,
+                },
+                AlertEvent {
+                    at: cim_sim::time::SimTime::from_ps(4_000_000),
+                    tenant: "chaos".to_owned(),
+                    rule: "invariant/recovery_bound".to_owned(),
+                    severity: cim_obs::AlertSeverity::Page,
+                    burn_rate: 1.0,
+                    window: SimDuration::ZERO,
+                },
+            ],
         }
     }
 
@@ -383,7 +426,9 @@ mod tests {
     fn truncated_and_malformed_files_are_rejected() {
         let text = render_replay(&sample());
         let mut lines: Vec<&str> = text.lines().collect();
-        lines.pop();
+        // Drop the two triage lines plus the last schedule event so the
+        // header's event count no longer matches.
+        lines.truncate(lines.len() - 3);
         let truncated = lines.join("\n");
         assert!(parse_replay(&truncated)
             .expect_err("event count mismatch")

@@ -29,8 +29,9 @@ use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
 use cim_dataflow::ops::{Elementwise, Operation};
 use cim_fabric::config::FabricConfig;
 use cim_fabric::service::{CimService, Disposition, ServiceConfig, ServiceReport};
+use cim_obs::{AlertEvent, AlertSeverity, ObsConfig};
 use cim_sim::telemetry::{validate_jsonl_line, TelemetryLevel};
-use cim_sim::time::SimDuration;
+use cim_sim::time::{SimDuration, SimTime};
 use cim_sim::SeedTree;
 
 /// Fixed-parameter harness a campaign runs every schedule against.
@@ -153,7 +154,7 @@ pub struct RunRecord {
 
 /// One violated invariant: which one, what happened, and (when the run
 /// itself completed) the fingerprint a replay must reproduce.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Stable invariant name (`conservation`, `no_unexpected_failures`,
     /// `recovery_bound`, `telemetry_valid`, `determinism`, `run_error`).
@@ -162,6 +163,11 @@ pub struct Violation {
     pub detail: String,
     /// Fingerprint of the violating run, when one was produced.
     pub fingerprint: Option<u64>,
+    /// Triage timeline: the violating run's SLO alerts, capped with a
+    /// synthetic page-severity `invariant/<name>` alert stamped at the
+    /// run's last observed sim time. Replay files carry this timeline so
+    /// a reproducer shows *when* the run went bad, not just that it did.
+    pub alerts: Vec<AlertEvent>,
 }
 
 impl std::fmt::Display for Violation {
@@ -219,6 +225,9 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
         .runtime_mut()
         .device_mut()
         .enable_telemetry(TelemetryLevel::Full);
+    // The observability pipeline rides every chaos run: SLO burn-rate
+    // alerts become part of the fingerprint and the triage timeline.
+    svc.enable_observability(ObsConfig::default());
 
     let deadline = schedule.pressure.deadline(cfg.base_deadline);
     let (mlp, mlp_src, mlp_sink) =
@@ -246,8 +255,9 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
     })
 }
 
-/// FNV-1a over every outcome plus the telemetry export: the equality
-/// witness replay and thread-invariance checks compare.
+/// FNV-1a over every outcome plus the telemetry export, the windowed
+/// series export and the alert timeline: the equality witness replay and
+/// thread-invariance checks compare.
 fn fingerprint_run(report: &ServiceReport, telemetry: &str) -> u64 {
     let mut h = Fnv::new();
     for o in &report.outcomes {
@@ -282,7 +292,63 @@ fn fingerprint_run(report: &ServiceReport, telemetry: &str) -> u64 {
         }
     }
     h.bytes(telemetry.as_bytes());
+    h.bytes(report.series_jsonl.as_bytes());
+    for a in &report.alerts {
+        h.u64(a.at.as_ps());
+        h.bytes(a.tenant.as_bytes());
+        h.bytes(a.rule.as_bytes());
+        h.byte(u8::from(a.severity == AlertSeverity::Page));
+        h.u64(a.burn_rate.to_bits());
+        h.u64(a.window.as_ps());
+    }
     h.finish()
+}
+
+/// The violating run's triage timeline: its SLO alerts plus a synthetic
+/// page for the broken invariant, stamped at the run's last observed
+/// sim time.
+fn triage_alerts(invariant: &'static str, report: Option<&ServiceReport>) -> Vec<AlertEvent> {
+    let mut alerts = report.map(|r| r.alerts.clone()).unwrap_or_default();
+    let detected_at = report
+        .map(|r| {
+            r.outcomes
+                .iter()
+                .map(|o| match &o.disposition {
+                    Disposition::Completed { finished, .. }
+                    | Disposition::TimedOut { finished, .. } => *finished,
+                    _ => o.arrival,
+                })
+                .max()
+                .unwrap_or(SimTime::ZERO)
+        })
+        .unwrap_or(SimTime::ZERO);
+    alerts.push(AlertEvent {
+        at: detected_at,
+        tenant: "chaos".to_owned(),
+        rule: format!("invariant/{invariant}"),
+        severity: AlertSeverity::Page,
+        burn_rate: 1.0,
+        window: SimDuration::ZERO,
+    });
+    alerts
+}
+
+/// Runs the schedule once and renders its full observability export:
+/// the telemetry snapshot, the windowed series, and the alert timeline,
+/// as one validated JSON-lines string (what the chaos bins write for
+/// `--telemetry`).
+///
+/// # Errors
+///
+/// Propagates run failures as strings.
+pub fn export_run(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<String, String> {
+    let once = run_once(cfg, schedule)?;
+    Ok(format!(
+        "{}{}{}",
+        once.telemetry,
+        once.report.series_jsonl,
+        cim_obs::alerts_jsonl(&once.report.alerts)
+    ))
 }
 
 struct Fnv(u64);
@@ -319,6 +385,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         invariant: "run_error",
         detail,
         fingerprint: None,
+        alerts: triage_alerts("run_error", None),
     })?;
     let report = &first.report;
 
@@ -338,6 +405,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 report.failed
             ),
             fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("conservation", Some(report)),
         });
     }
 
@@ -351,6 +419,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 report.failed
             ),
             fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("conservation", Some(report)),
         });
     }
 
@@ -373,6 +442,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 bound.as_us_f64()
             ),
             fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("recovery_bound", Some(report)),
         });
     }
 
@@ -382,6 +452,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
             invariant: "telemetry_valid",
             detail: "telemetry export is empty".to_owned(),
             fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("telemetry_valid", Some(report)),
         });
     }
     for (i, line) in first.telemetry.lines().enumerate() {
@@ -390,6 +461,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 invariant: "telemetry_valid",
                 detail: format!("telemetry line {} invalid: {e}", i + 1),
                 fingerprint: Some(first.fingerprint),
+                alerts: triage_alerts("telemetry_valid", Some(report)),
             });
         }
     }
@@ -399,6 +471,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         invariant: "run_error",
         detail: format!("replay run aborted: {detail}"),
         fingerprint: Some(first.fingerprint),
+        alerts: triage_alerts("run_error", Some(&first.report)),
     })?;
     if second.fingerprint != first.fingerprint {
         return Err(Violation {
@@ -408,6 +481,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 second.fingerprint, first.fingerprint
             ),
             fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("determinism", Some(&second.report)),
         });
     }
 

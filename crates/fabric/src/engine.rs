@@ -447,6 +447,9 @@ impl CimDevice {
             inj_water = inj_water.max(release);
             self.apply_due_injections(&injections, &mut inj_cursor, inj_water);
             let item_span = tel.span_enter(tel_engine, "item", release);
+            // `dispatched` leads `items` by the in-flight count, so a
+            // time-series recorder can watch work enter as well as leave.
+            tel.counter_add(tel_engine, "dispatched", 1);
             let item_energy_start = report.energy;
 
             let n = graph.node_count();

@@ -216,6 +216,14 @@ pub struct ServiceReport {
     pub retries: usize,
     /// Latency distribution of requests that ran to completion.
     pub latency: LatencyStats,
+    /// SLO alert timeline from the observability pipeline, in firing
+    /// order (empty unless [`CimService::enable_observability`] was
+    /// called).
+    pub alerts: Vec<cim_obs::AlertEvent>,
+    /// `kind:"series"` JSON-lines export of the windowed time-series
+    /// (empty unless observability is enabled; analytic-mode runs carry
+    /// the coarse series synthesized from the queue operating point).
+    pub series_jsonl: String,
 }
 
 impl ServiceReport {
@@ -294,6 +302,8 @@ pub struct CimService {
     /// Departure times of admitted-but-unfinished requests.
     in_flight: Vec<SimTime>,
     next_request: u64,
+    /// Observability pipeline config; `None` keeps the run unobserved.
+    obs: Option<cim_obs::ObsConfig>,
 }
 
 impl std::fmt::Debug for CimService {
@@ -325,7 +335,17 @@ impl CimService {
             seeds,
             in_flight: Vec::new(),
             next_request: 0,
+            obs: None,
         })
+    }
+
+    /// Attaches the observability pipeline to subsequent
+    /// [`CimService::run_open_loop`] calls: windowed time-series sampled
+    /// on the config's cadence, per-tenant SLO burn-rate alerting (specs
+    /// derived from registered classes when the config leaves them
+    /// empty), and the series/alert exports on [`ServiceReport`].
+    pub fn enable_observability(&mut self, cfg: cim_obs::ObsConfig) {
+        self.obs = Some(cfg);
     }
 
     /// The underlying runtime (telemetry, fault injection, placement).
@@ -542,6 +562,14 @@ impl CimService {
 
         let tel = self.rt.device().telemetry().clone();
         let comp = tel.is_enabled().then(|| tel.component("service"));
+        let mut obs = self.obs.as_ref().map(|cfg| {
+            let tenants: Vec<(String, SimDuration)> = self
+                .classes
+                .iter()
+                .map(|c| (c.name.clone(), c.deadline))
+                .collect();
+            cim_obs::Observability::new(cfg, &tenants, &tel)
+        });
 
         let mut outcomes = Vec::with_capacity(n);
         let mut now = SimTime::ZERO;
@@ -578,22 +606,44 @@ impl CimService {
             let id = self.next_request;
             self.next_request += 1;
 
+            // Counters are bumped as each disposition lands (not batched
+            // after the run) so the time-series recorder below sees live
+            // values; end-of-run totals are unchanged.
+            if let Some(c) = comp {
+                tel.counter_add(c, "offered", 1);
+            }
             let disposition = if let Err(FabricError::QueueFull { .. }) = self.try_admit(now) {
                 shed += 1;
+                if let Some(c) = comp {
+                    tel.counter_add(c, "shed", 1);
+                }
                 Disposition::Shed
             } else {
                 admitted += 1;
+                if let Some(c) = comp {
+                    tel.counter_add(c, "admitted", 1);
+                }
                 match self.dispatch(class, now, input, &events, &mut next_event) {
                     Ok((finished, attempts, recovered, output)) => {
                         retries += (attempts - 1) as usize;
                         if recovered {
                             recoveries += 1;
                         }
+                        if let Some(c) = comp {
+                            tel.counter_add(c, "retries", (attempts - 1) as u64);
+                            tel.counter_add(c, "recoveries", u64::from(recovered));
+                        }
                         self.in_flight.push(finished);
                         let lat = finished.saturating_since(now);
+                        if let Some(c) = comp {
+                            tel.record(c, "latency_ns", lat.as_ps() / 1000);
+                        }
                         if lat <= self.classes[class].deadline && !output.is_empty() {
                             completed += 1;
                             latencies.record(lat.as_us_f64());
+                            if let Some(c) = comp {
+                                tel.counter_add(c, "completed", 1);
+                            }
                             Disposition::Completed {
                                 finished,
                                 attempts,
@@ -603,18 +653,47 @@ impl CimService {
                         } else {
                             timed_out += 1;
                             latencies.record(lat.as_us_f64());
+                            if let Some(c) = comp {
+                                tel.counter_add(c, "timed_out", 1);
+                            }
                             Disposition::TimedOut { finished, attempts }
                         }
                     }
                     Err(FabricError::RetriesExhausted { attempts }) => {
                         retries += (attempts - 1) as usize;
                         failed += 1;
+                        if let Some(c) = comp {
+                            tel.counter_add(c, "retries", (attempts - 1) as u64);
+                            tel.counter_add(c, "failed", 1);
+                        }
                         self.in_flight.push(now);
                         Disposition::Failed { attempts }
                     }
                     Err(e) => return Err(e),
                 }
             };
+            if let Some(c) = comp {
+                tel.gauge_set(c, "queue_depth", self.in_flight.len() as f64);
+            }
+            if let Some(o) = obs.as_mut() {
+                let (at, observed) = match &disposition {
+                    Disposition::Completed { finished, .. } => (
+                        *finished,
+                        cim_obs::Observed::Done {
+                            latency: finished.saturating_since(now),
+                        },
+                    ),
+                    Disposition::TimedOut { finished, .. } => {
+                        (*finished, cim_obs::Observed::TimedOut)
+                    }
+                    Disposition::Shed => (now, cim_obs::Observed::Shed),
+                    Disposition::Failed { .. } => (now, cim_obs::Observed::Failed),
+                };
+                o.observe_request(class, at, observed);
+                // Sampling rides the monotone arrival clock; finish times
+                // may run slightly ahead but the tick grid stays regular.
+                tel.with_registry(|r| o.sample_to(now, r));
+            }
             outcomes.push(RequestOutcome {
                 id,
                 class,
@@ -635,25 +714,27 @@ impl CimService {
         };
 
         if let Some(c) = comp {
-            tel.counter_add(c, "offered", n as u64);
-            tel.counter_add(c, "admitted", admitted as u64);
-            tel.counter_add(c, "shed", shed as u64);
-            tel.counter_add(c, "completed", completed as u64);
-            tel.counter_add(c, "timed_out", timed_out as u64);
-            tel.counter_add(c, "failed", failed as u64);
-            tel.counter_add(c, "recoveries", recoveries as u64);
-            tel.counter_add(c, "retries", retries as u64);
             tel.gauge_set(c, "p99_us", latency.p99_us);
             tel.gauge_set(c, "goodput", completed as f64 / n.max(1) as f64);
-            for o in &outcomes {
-                if let Disposition::Completed { finished, .. }
-                | Disposition::TimedOut { finished, .. } = &o.disposition
-                {
-                    let ns = finished.saturating_since(o.arrival).as_ps() / 1000;
-                    tel.record(c, "latency_ns", ns);
-                }
-            }
         }
+
+        let (alerts, series_jsonl) = match obs {
+            Some(mut o) => {
+                tel.with_registry(|r| o.finalize(now, r));
+                // The analytic tier records no event-by-event registry
+                // evolution; hand the operating point to `finish` so the
+                // report still carries series-shaped signals.
+                let qm = cim_sim::analytic::QueueModel::new(
+                    rate_hz,
+                    SimDuration::from_ns_f64(latency.mean_us * 1_000.0),
+                );
+                let synthetic = (self.rt.device().config().sim_mode == cim_sim::SimMode::Analytic)
+                    .then_some((&qm, now));
+                let rep = o.finish(synthetic);
+                (rep.alerts, rep.series_jsonl)
+            }
+            None => (Vec::new(), String::new()),
+        };
 
         Ok(ServiceReport {
             outcomes,
@@ -666,6 +747,8 @@ impl CimService {
             recoveries,
             retries,
             latency,
+            alerts,
+            series_jsonl,
         })
     }
 }

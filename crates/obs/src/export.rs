@@ -1,0 +1,201 @@
+//! `--telemetry <path>` support shared by every exporting binary.
+//!
+//! Binaries accept `--telemetry out.jsonl` (or `--telemetry=out.jsonl`);
+//! when present, the run's metric registry — plus any observability
+//! records (`series`, `alert`, `profile` kinds) the caller appends — is
+//! exported as deterministic JSON lines after the run. Every line is
+//! validated against the schema before it is written, so a malformed
+//! export fails the producing binary, not a downstream consumer.
+//!
+//! This lived in `cim-bench` while the snapshot export was the only
+//! producer; it moved here when the chaos bins and `examples/serving.rs`
+//! grew the same flag (cim-bench re-exports it, so existing callers are
+//! unchanged).
+
+use cim_sim::json::Json;
+use cim_sim::telemetry::{validate_jsonl_line, Telemetry};
+use std::path::{Path, PathBuf};
+
+/// Splits `--telemetry <path>` / `--telemetry=<path>` out of an argument
+/// list, returning the remaining positional arguments and the path.
+pub fn split_telemetry_arg(
+    args: impl IntoIterator<Item = String>,
+) -> (Vec<String>, Option<PathBuf>) {
+    let mut rest = Vec::new();
+    let mut path = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            path = it.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--telemetry=") {
+            path = Some(PathBuf::from(p));
+        } else {
+            rest.push(a);
+        }
+    }
+    (rest, path)
+}
+
+/// Validates and writes `tel`'s JSON-lines export, followed by any
+/// `extra` record blocks (series/alert/profile lines, each already
+/// newline-terminated), to `path`; returns the number of lines written.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] if any line fails schema
+/// validation, or the underlying write error.
+pub fn write_export_with(tel: &Telemetry, extra: &[&str], path: &Path) -> std::io::Result<usize> {
+    let mut text = tel.export_jsonl();
+    for block in extra {
+        text.push_str(block);
+    }
+    for (i, line) in text.lines().enumerate() {
+        if let Err(e) = validate_jsonl_line(line) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("telemetry line {}: {e}", i + 1),
+            ));
+        }
+    }
+    std::fs::write(path, &text)?;
+    Ok(text.lines().count())
+}
+
+/// [`write_export_with`] with no extra blocks — the original snapshot
+/// export.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] if any line fails schema
+/// validation, or the underlying write error.
+pub fn write_export(tel: &Telemetry, path: &Path) -> std::io::Result<usize> {
+    write_export_with(tel, &[], path)
+}
+
+/// Validates every line of a JSON-lines telemetry file; returns the line
+/// count, or the first offending line's number and error.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first invalid line.
+pub fn validate_file(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err(format!("{}: no telemetry lines found", path.display()));
+    }
+    Ok(count)
+}
+
+/// Asserts that a telemetry file contains at least one record of each of
+/// the given `kind`s (e.g. `["series", "alert", "profile"]`); returns
+/// the per-kind counts in argument order. Used by `telemetry_check
+/// --require-kinds` so CI fails when an exporter silently stops emitting
+/// a record family.
+///
+/// # Errors
+///
+/// Returns a description naming the first missing kind, or any
+/// read/parse error.
+pub fn require_kinds(path: &Path, kinds: &[&str]) -> Result<Vec<usize>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut counts = vec![0usize; kinds.len()];
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = cim_sim::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(kind) = v.get("kind").and_then(Json::as_str) {
+            if let Some(k) = kinds.iter().position(|&want| want == kind) {
+                counts[k] += 1;
+            }
+        }
+    }
+    for (k, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            return Err(format!(
+                "{}: no records of kind \"{}\"",
+                path.display(),
+                kinds[k]
+            ));
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::telemetry::TelemetryLevel;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn splits_flag_in_both_forms() {
+        let (rest, path) = split_telemetry_arg(strs(&["64", "--telemetry", "t.jsonl"]));
+        assert_eq!(rest, vec!["64"]);
+        assert_eq!(path, Some(PathBuf::from("t.jsonl")));
+        let (rest, path) = split_telemetry_arg(strs(&["--telemetry=x.jsonl", "7"]));
+        assert_eq!(rest, vec!["7"]);
+        assert_eq!(path, Some(PathBuf::from("x.jsonl")));
+        let (rest, path) = split_telemetry_arg(strs(&["7"]));
+        assert_eq!(rest, vec!["7"]);
+        assert_eq!(path, None);
+    }
+
+    #[test]
+    fn export_roundtrips_through_validation() {
+        let tel = Telemetry::new(TelemetryLevel::Metrics);
+        let c = tel.component("tile(0,0)/mu0/adc");
+        tel.counter_add(c, "conversions", 42);
+        let dir = std::env::temp_dir().join("cim-obs-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export.jsonl");
+        let written = write_export(&tel, &path).unwrap();
+        assert_eq!(written, 1);
+        assert_eq!(validate_file(&path), Ok(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extra_blocks_are_validated_and_counted() {
+        let tel = Telemetry::new(TelemetryLevel::Metrics);
+        let c = tel.component("svc");
+        tel.counter_add(c, "hits", 1);
+        let dir = std::env::temp_dir().join("cim-obs-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("with_series.jsonl");
+        let series =
+            "{\"component\":\"svc\",\"metric\":\"series/hits\",\"kind\":\"series\",\"value\":1,\"t_ps\":0}\n";
+        let written = write_export_with(&tel, &[series], &path).unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(require_kinds(&path, &["counter", "series"]), Ok(vec![1, 1]));
+        assert!(require_kinds(&path, &["alert"]).is_err());
+        // A malformed extra block must fail the producer.
+        let bad =
+            "{\"component\":\"svc\",\"metric\":\"series/hits\",\"kind\":\"series\",\"value\":1}\n";
+        assert!(write_export_with(&tel, &[bad], &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let dir = std::env::temp_dir().join("cim-obs-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(validate_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

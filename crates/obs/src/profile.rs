@@ -1,0 +1,429 @@
+//! Span-derived profiling: flamegraph folded stacks and per-component
+//! utilization.
+//!
+//! [`cim_sim::telemetry::SpanTracer`] records a causal tree (every span
+//! knows its parent); this module folds that tree into the two classic
+//! profiler views. **Folded stacks** attribute each span's *self* weight
+//! — duration and energy minus what its children already account for —
+//! to its root-to-leaf frame path, in the `a;b;c <weight>` format
+//! standard flamegraph tooling consumes directly. **Utilization** merges
+//! each component's span intervals into a busy/idle timeline. Both views
+//! are pure functions of the span records, so they inherit the
+//! workspace-wide determinism contract.
+
+use cim_sim::telemetry::{json_f64, json_string, SpanId, Telemetry};
+use cim_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// One aggregated root-to-leaf stack with its self weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedStack {
+    /// `;`-joined frames, root first; each frame is `component:span`.
+    pub stack: String,
+    /// Component path of the leaf frame (export attribution).
+    pub leaf_component: String,
+    /// Self time: the stack's span durations minus child time, ps.
+    pub self_ps: u64,
+    /// Self energy: span exit energy minus child energy, fJ.
+    pub self_fj: u64,
+}
+
+/// One component's busy/idle view over the profiled window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentUsage {
+    /// Registry component path.
+    pub component: String,
+    /// Union of this component's span intervals, ps.
+    pub busy_ps: u64,
+    /// `busy_ps` over the whole profiled window.
+    pub busy_fraction: f64,
+    /// Self energy attributed to this component's frames, fJ.
+    pub self_fj: u64,
+    /// Busy fraction per timeline bucket (fixed bucket count over the
+    /// window), for the idle-gap view in the text report.
+    pub timeline: Vec<f64>,
+}
+
+/// A folded profile over one run's completed spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Aggregated stacks, sorted lexicographically by frame path.
+    pub stacks: Vec<FoldedStack>,
+    /// Per-component usage, sorted by component path.
+    pub components: Vec<ComponentUsage>,
+    /// Sum of root-span durations — the end-to-end time the profile must
+    /// reconcile with, ps.
+    pub root_ps: u64,
+    /// Sum of root-span energies — the end-to-end energy total, fJ.
+    pub root_fj: u64,
+    /// Sum of self times across all stacks, ps (≤ `root_ps`; equality
+    /// when children nest cleanly inside parents).
+    pub total_self_ps: u64,
+    /// Sum of self energies across all stacks, fJ.
+    pub total_self_fj: u64,
+    /// Completed spans folded in.
+    pub span_count: usize,
+    /// Start of the profiled window.
+    pub start: SimTime,
+    /// End of the profiled window.
+    pub end: SimTime,
+}
+
+impl Profile {
+    /// Folds the telemetry handle's completed spans into a profile with
+    /// `timeline_buckets` utilization buckets per component. Returns a
+    /// zeroed profile when no spans were recorded (telemetry below
+    /// `Full`).
+    pub fn from_telemetry(tel: &Telemetry, timeline_buckets: usize) -> Profile {
+        let spans = tel.spans();
+        let paths: Vec<String> = tel
+            .with_registry(|r| {
+                spans
+                    .iter()
+                    .map(|s| r.path_of(s.component).unwrap_or("?").to_owned())
+                    .collect()
+            })
+            .unwrap_or_else(|| spans.iter().map(|_| "?".to_owned()).collect());
+
+        // Index completed spans; open spans carry no weight and are not
+        // valid parents for attribution.
+        let mut index: HashMap<SpanId, usize> = HashMap::new();
+        let mut completed: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            if s.end.is_some() {
+                index.insert(s.id, i);
+                completed.push(i);
+            }
+        }
+
+        // Child sums per parent (time and energy already accounted below).
+        let mut child_ps: HashMap<usize, u64> = HashMap::new();
+        let mut child_fj: HashMap<usize, u64> = HashMap::new();
+        for &i in &completed {
+            if let Some(p) = spans[i].parent.and_then(|p| index.get(&p)).copied() {
+                let d = spans[i].duration().map(|d| d.as_ps()).unwrap_or(0);
+                *child_ps.entry(p).or_insert(0) += d;
+                *child_fj.entry(p).or_insert(0) += spans[i].energy.as_fj();
+            }
+        }
+
+        // Stack strings: parents enter before children (span ids are
+        // handed out in enter order), so one forward pass resolves every
+        // path. A parent that fell off the tracer ring makes its child a
+        // root — degraded, still deterministic.
+        let mut stack_of: HashMap<usize, String> = HashMap::new();
+        let mut agg: BTreeMap<String, (String, u64, u64)> = BTreeMap::new();
+        let mut root_ps = 0u64;
+        let mut root_fj = 0u64;
+        let mut start = SimTime::MAX;
+        let mut end = SimTime::ZERO;
+        for (order, &i) in completed.iter().enumerate() {
+            let _ = order;
+            let s = &spans[i];
+            let frame = format!("{}:{}", paths[i], s.name);
+            let stack = match s.parent.and_then(|p| index.get(&p)).copied() {
+                Some(p) => {
+                    let parent_stack = stack_of.get(&p).cloned().unwrap_or_else(|| frame.clone());
+                    format!("{parent_stack};{frame}")
+                }
+                None => frame,
+            };
+            let dur = s.duration().map(|d| d.as_ps()).unwrap_or(0);
+            let self_ps = dur.saturating_sub(child_ps.get(&i).copied().unwrap_or(0));
+            let self_fj = s
+                .energy
+                .as_fj()
+                .saturating_sub(child_fj.get(&i).copied().unwrap_or(0));
+            if s.parent.and_then(|p| index.get(&p)).is_none() {
+                root_ps += dur;
+                root_fj += s.energy.as_fj();
+            }
+            start = start.min(s.start);
+            if let Some(e) = s.end {
+                end = end.max(e);
+            }
+            let entry = agg
+                .entry(stack.clone())
+                .or_insert_with(|| (paths[i].clone(), 0, 0));
+            entry.1 += self_ps;
+            entry.2 += self_fj;
+            stack_of.insert(i, stack);
+        }
+        if completed.is_empty() {
+            start = SimTime::ZERO;
+        }
+
+        let stacks: Vec<FoldedStack> = agg
+            .into_iter()
+            .map(|(stack, (leaf_component, self_ps, self_fj))| FoldedStack {
+                stack,
+                leaf_component,
+                self_ps,
+                self_fj,
+            })
+            .collect();
+        let total_self_ps = stacks.iter().map(|s| s.self_ps).sum();
+        let total_self_fj = stacks.iter().map(|s| s.self_fj).sum();
+
+        // Per-component interval union + bucketed timeline.
+        let mut by_component: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for &i in &completed {
+            let s = &spans[i];
+            if let Some(e) = s.end {
+                by_component
+                    .entry(paths[i].clone())
+                    .or_default()
+                    .push((s.start.as_ps(), e.as_ps()));
+            }
+        }
+        let mut energy_by_component: BTreeMap<&str, u64> = BTreeMap::new();
+        for st in &stacks {
+            *energy_by_component
+                .entry(st.leaf_component.as_str())
+                .or_insert(0) += st.self_fj;
+        }
+        let window_ps = end.as_ps().saturating_sub(start.as_ps()).max(1);
+        let buckets = timeline_buckets.max(1);
+        let components = by_component
+            .into_iter()
+            .map(|(component, mut iv)| {
+                iv.sort_unstable();
+                let merged = merge_intervals(&iv);
+                let busy_ps: u64 = merged.iter().map(|&(a, b)| b - a).sum();
+                let mut timeline = vec![0.0; buckets];
+                for (slot, frac) in timeline.iter_mut().enumerate() {
+                    let lo = start.as_ps() + (window_ps * slot as u64) / buckets as u64;
+                    let hi = start.as_ps() + (window_ps * (slot as u64 + 1)) / buckets as u64;
+                    let width = (hi - lo).max(1);
+                    let overlap: u64 = merged
+                        .iter()
+                        .map(|&(a, b)| b.min(hi).saturating_sub(a.max(lo)))
+                        .sum();
+                    *frac = overlap as f64 / width as f64;
+                }
+                let self_fj = energy_by_component
+                    .get(component.as_str())
+                    .copied()
+                    .unwrap_or(0);
+                ComponentUsage {
+                    busy_fraction: busy_ps as f64 / window_ps as f64,
+                    component,
+                    busy_ps,
+                    self_fj,
+                    timeline,
+                }
+            })
+            .collect();
+
+        Profile {
+            stacks,
+            components,
+            root_ps,
+            root_fj,
+            total_self_ps,
+            total_self_fj,
+            span_count: completed.len(),
+            start,
+            end,
+        }
+    }
+
+    /// Folded stacks weighted by self *time* (ps), one `stack weight`
+    /// line each — the format `flamegraph.pl` and speedscope ingest.
+    /// Zero-weight stacks are kept: an all-zero line is still a frame
+    /// the run visited.
+    pub fn folded_time(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stacks {
+            let _ = writeln!(out, "{} {}", s.stack, s.self_ps);
+        }
+        out
+    }
+
+    /// Folded stacks weighted by self *energy* (fJ).
+    pub fn folded_energy(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stacks {
+            let _ = writeln!(out, "{} {}", s.stack, s.self_fj);
+        }
+        out
+    }
+
+    /// The deterministic text report: reconciliation header, hottest
+    /// stacks, and the per-component utilization table with an ASCII
+    /// busy/idle timeline (`0`–`9` ≈ 0–90%+ busy per bucket).
+    pub fn render_text(&self, max_stacks: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: {} spans over {} (self {} of {} root ps, {} of {} root fJ)",
+            self.span_count,
+            SimDuration::from_ps(self.end.as_ps().saturating_sub(self.start.as_ps())),
+            self.total_self_ps,
+            self.root_ps,
+            self.total_self_fj,
+            self.root_fj,
+        );
+        let mut hottest: Vec<&FoldedStack> = self.stacks.iter().collect();
+        hottest.sort_by(|a, b| b.self_ps.cmp(&a.self_ps).then(a.stack.cmp(&b.stack)));
+        for s in hottest.iter().take(max_stacks) {
+            let _ = writeln!(
+                out,
+                "  {:>12} ps {:>12} fJ  {}",
+                s.self_ps, s.self_fj, s.stack
+            );
+        }
+        if hottest.len() > max_stacks {
+            let _ = writeln!(out, "  … {} more stacks", hottest.len() - max_stacks);
+        }
+        let _ = writeln!(out, "utilization:");
+        for c in &self.components {
+            let spark: String = c
+                .timeline
+                .iter()
+                .map(|f| char::from(b'0' + ((f * 10.0) as u8).min(9)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>5.1}% busy [{}] {} fJ",
+                c.component,
+                c.busy_fraction * 100.0,
+                spark,
+                c.self_fj,
+            );
+        }
+        out
+    }
+
+    /// `kind:"profile"` JSON lines: per stack a `profile/time` (unit
+    /// `ps`) and a `profile/energy` (unit `fj`) record, then one
+    /// `profile/busy_fraction` (unit `fraction`) record per component.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stacks {
+            for (metric, value, unit) in [
+                ("profile/time", s.self_ps as f64, "ps"),
+                ("profile/energy", s.self_fj as f64, "fj"),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{{\"component\":{},\"metric\":{},\"kind\":\"profile\",\"value\":{},\
+                     \"stack\":{},\"unit\":{}}}",
+                    json_string(&s.leaf_component),
+                    json_string(metric),
+                    json_f64(value),
+                    json_string(&s.stack),
+                    json_string(unit),
+                );
+            }
+        }
+        for c in &self.components {
+            let _ = writeln!(
+                out,
+                "{{\"component\":{},\"metric\":\"profile/busy_fraction\",\"kind\":\"profile\",\
+                 \"value\":{},\"stack\":{},\"unit\":\"fraction\"}}",
+                json_string(&c.component),
+                json_f64(c.busy_fraction),
+                json_string(&c.component),
+            );
+        }
+        out
+    }
+}
+
+/// Merges sorted, possibly-overlapping `(start, end)` intervals.
+fn merge_intervals(sorted: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for &(a, b) in sorted {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::energy::Energy;
+    use cim_sim::telemetry::{validate_jsonl_line, TelemetryLevel};
+
+    /// item(0..100ns, 10 pJ) → { mvm(10..60ns, 6 pJ), route(60..90ns, 1 pJ) }
+    fn traced() -> Telemetry {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let eng = tel.component("engine");
+        let noc = tel.component("noc");
+        let item = tel.span_enter(eng, "item", SimTime::ZERO);
+        let mvm = tel.span_enter_child(item, eng, "mvm", SimTime::from_ns(10));
+        tel.span_exit(mvm, SimTime::from_ns(60), Energy::from_pj(6.0));
+        let route = tel.span_enter_child(item, noc, "route", SimTime::from_ns(60));
+        tel.span_exit(route, SimTime::from_ns(90), Energy::from_pj(1.0));
+        tel.span_exit(item, SimTime::from_ns(100), Energy::from_pj(10.0));
+        tel
+    }
+
+    #[test]
+    fn self_weights_subtract_children_and_reconcile_with_roots() {
+        let p = Profile::from_telemetry(&traced(), 8);
+        assert_eq!(p.span_count, 3);
+        assert_eq!(p.root_ps, 100_000);
+        assert_eq!(p.root_fj, 10_000);
+        // item self = 100 - (50 + 30) ns; energies likewise nested.
+        let by_stack: std::collections::HashMap<&str, &FoldedStack> =
+            p.stacks.iter().map(|s| (s.stack.as_str(), s)).collect();
+        assert_eq!(by_stack["engine:item"].self_ps, 20_000);
+        assert_eq!(by_stack["engine:item;engine:mvm"].self_ps, 50_000);
+        assert_eq!(by_stack["engine:item;noc:route"].self_ps, 30_000);
+        assert_eq!(by_stack["engine:item"].self_fj, 3_000);
+        assert_eq!(p.total_self_ps, p.root_ps, "clean nesting: exact");
+        assert_eq!(p.total_self_fj, p.root_fj);
+    }
+
+    #[test]
+    fn folded_output_is_sorted_and_deterministic() {
+        let a = Profile::from_telemetry(&traced(), 8);
+        let b = Profile::from_telemetry(&traced(), 8);
+        assert_eq!(a, b);
+        let folded = a.folded_time();
+        let lines: Vec<&str> = folded.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "stacks are emitted in sorted order");
+        assert_eq!(lines.len(), 3);
+        assert!(folded.contains("engine:item;engine:mvm 50000"));
+    }
+
+    #[test]
+    fn utilization_merges_overlaps_and_buckets_idle_gaps() {
+        let p = Profile::from_telemetry(&traced(), 10);
+        let eng = p
+            .components
+            .iter()
+            .find(|c| c.component == "engine")
+            .unwrap();
+        // engine busy = union of item (0..100) and mvm (10..60) = 100ns.
+        assert_eq!(eng.busy_ps, 100_000);
+        assert!((eng.busy_fraction - 1.0).abs() < 1e-9);
+        let noc = p.components.iter().find(|c| c.component == "noc").unwrap();
+        assert_eq!(noc.busy_ps, 30_000);
+        // noc idle in the first buckets, busy around 60–90ns.
+        assert!(noc.timeline[0] < 0.01);
+        assert!(noc.timeline[6] > 0.9);
+    }
+
+    #[test]
+    fn text_and_jsonl_renderings_validate() {
+        let p = Profile::from_telemetry(&traced(), 8);
+        let text = p.render_text(2);
+        assert!(text.contains("… 1 more stacks"));
+        assert!(text.contains("utilization:"));
+        for line in p.export_jsonl().lines() {
+            validate_jsonl_line(line).expect("profile schema");
+        }
+        let empty = Profile::from_telemetry(&Telemetry::disabled(), 8);
+        assert_eq!(empty.span_count, 0);
+        assert!(empty.folded_time().is_empty());
+    }
+}

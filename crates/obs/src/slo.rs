@@ -1,0 +1,437 @@
+//! Per-tenant SLOs with multi-window burn-rate alerting.
+//!
+//! The engine follows the SRE playbook, scaled to simulated-time serving
+//! runs: each tenant declares a latency target, an availability budget
+//! and (optionally) zero-loss; every finished request is classified
+//! good/bad, and each alert rule compares the *burn rate* — bad fraction
+//! divided by the error budget — over a long and a short sliding window.
+//! Both windows must exceed the threshold for the rule to fire, which
+//! keeps alerts fast during real incidents (short window reacts) but
+//! quiet on old noise (long window forgets). Alerts fire on the rising
+//! edge only and carry the sim time of the observation that crossed the
+//! line, so a given seed pages at the same deterministic instant on any
+//! host.
+
+use cim_sim::telemetry::{json_f64, json_string};
+use cim_sim::time::{SimDuration, SimTime};
+
+/// Alert urgency tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertSeverity {
+    /// Wake a human: the budget is burning fast enough to exhaust within
+    /// the incident window.
+    Page,
+    /// File a ticket: slow burn that needs attention, not adrenaline.
+    Ticket,
+}
+
+impl AlertSeverity {
+    /// Stable lowercase name used in exports and replay files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertSeverity::Page => "page",
+            AlertSeverity::Ticket => "ticket",
+        }
+    }
+
+    /// Parses the stable name back; `None` for anything else.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "page" => Some(AlertSeverity::Page),
+            "ticket" => Some(AlertSeverity::Ticket),
+            _ => None,
+        }
+    }
+}
+
+/// One tenant's service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Tenant (service-class) name alerts are attributed to.
+    pub tenant: String,
+    /// A request is *good* only if it completes within this latency.
+    pub latency_target: SimDuration,
+    /// Availability objective in `(0, 1)`; the error budget is
+    /// `1 - availability`.
+    pub availability: f64,
+    /// When set, any outright-lost request fires an immediate
+    /// page-severity `zero_loss` alert, bypassing the windows.
+    pub zero_loss: bool,
+}
+
+impl SloSpec {
+    /// The default serving SLO for a tenant: its deadline as the latency
+    /// target, 99% availability, zero-loss.
+    pub fn for_tenant(tenant: &str, deadline: SimDuration) -> Self {
+        SloSpec {
+            tenant: tenant.to_owned(),
+            latency_target: deadline,
+            availability: 0.99,
+            zero_loss: true,
+        }
+    }
+}
+
+/// One multi-window burn-rate alert rule, applied to every tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRateRule {
+    /// Rule name (appears as `metric:"alert/<name>"` in exports).
+    pub name: String,
+    /// Severity of the alerts this rule emits.
+    pub severity: AlertSeverity,
+    /// Minimum burn rate (bad fraction ÷ error budget) over *both*
+    /// windows for the rule to fire.
+    pub burn_threshold: f64,
+    /// The long window: forgets slowly, keeps the alert honest.
+    pub long_window: SimDuration,
+    /// The short window: reacts quickly once trouble starts.
+    pub short_window: SimDuration,
+    /// Minimum finished requests inside the long window before the rule
+    /// may fire — suppresses single-request noise at run start.
+    pub min_count: usize,
+}
+
+impl BurnRateRule {
+    /// The default rule pair, scaled from the SRE 1h/5m + 6h/30m ladder
+    /// down to serving-sim horizons (a few ms of sim time): a fast page
+    /// at 14.4× burn over 1 ms/250 µs and a slow ticket at 6× over
+    /// 3 ms/750 µs.
+    pub fn default_rules() -> Vec<BurnRateRule> {
+        vec![
+            BurnRateRule {
+                name: "page_burn".to_owned(),
+                severity: AlertSeverity::Page,
+                burn_threshold: 14.4,
+                long_window: SimDuration::from_us(1000),
+                short_window: SimDuration::from_us(250),
+                min_count: 24,
+            },
+            BurnRateRule {
+                name: "ticket_burn".to_owned(),
+                severity: AlertSeverity::Ticket,
+                burn_threshold: 6.0,
+                long_window: SimDuration::from_us(3000),
+                short_window: SimDuration::from_us(750),
+                min_count: 48,
+            },
+        ]
+    }
+}
+
+/// A fired alert, stamped with the sim time of the observation that
+/// crossed the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Sim time the rule started firing.
+    pub at: SimTime,
+    /// Tenant the burn is attributed to.
+    pub tenant: String,
+    /// Rule name (`"zero_loss"` for the loss bypass, or an
+    /// `invariant/<name>` synthetic for chaos triage).
+    pub rule: String,
+    /// Urgency tier.
+    pub severity: AlertSeverity,
+    /// Long-window burn rate at firing time (`1.0` for bypass alerts).
+    pub burn_rate: f64,
+    /// The long window the burn was measured over (zero for bypasses).
+    pub window: SimDuration,
+}
+
+impl AlertEvent {
+    /// Parses one `kind:"alert"` JSON line back into the event — the
+    /// exact inverse of [`AlertEvent::to_jsonl_line`], used by chaos
+    /// replay files so triage timelines round-trip byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn parse_jsonl_line(line: &str) -> Result<AlertEvent, String> {
+        use cim_sim::json::Json;
+        let v = cim_sim::json::parse(line)?;
+        let metric = v
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or("alert line missing metric")?;
+        let rule = metric
+            .strip_prefix("alert/")
+            .ok_or("alert metric must start with \"alert/\"")?
+            .to_owned();
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("alert line missing numeric \"{key}\""))
+        };
+        let severity = v
+            .get("severity")
+            .and_then(Json::as_str)
+            .and_then(AlertSeverity::from_name)
+            .ok_or("alert line missing page/ticket severity")?;
+        let tenant = v
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or("alert line missing tenant")?
+            .to_owned();
+        Ok(AlertEvent {
+            at: SimTime::from_ps(num("t_ps")? as u64),
+            tenant,
+            rule,
+            severity,
+            burn_rate: num("value")?,
+            window: SimDuration::from_ps(num("window_ps")? as u64),
+        })
+    }
+
+    /// Renders the alert as one `kind:"alert"` JSON line (no trailing
+    /// newline), matching the schema
+    /// [`cim_sim::telemetry::validate_jsonl_line`] enforces.
+    pub fn to_jsonl_line(&self) -> String {
+        format!(
+            "{{\"component\":\"obs/slo\",\"metric\":{},\"kind\":\"alert\",\"value\":{},\
+             \"t_ps\":{},\"tenant\":{},\"severity\":{},\"window_ps\":{}}}",
+            json_string(&format!("alert/{}", self.rule)),
+            json_f64(self.burn_rate),
+            self.at.as_ps(),
+            json_string(&self.tenant),
+            json_string(self.severity.name()),
+            self.window.as_ps(),
+        )
+    }
+}
+
+/// One classified observation in a tenant's sliding history.
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    at: SimTime,
+    good: bool,
+}
+
+/// Evaluates SLO specs over sliding windows and accumulates alerts.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    rules: Vec<BurnRateRule>,
+    /// Per-tenant observation history (the full run: serving horizons
+    /// are short enough that trimming would save nothing and cost
+    /// determinism headaches with out-of-order finish times).
+    history: Vec<Vec<Obs>>,
+    /// Per-tenant, per-rule firing state for edge-triggered alerts.
+    firing: Vec<Vec<bool>>,
+    /// Per-tenant zero-loss tripwire.
+    lost_seen: Vec<bool>,
+    alerts: Vec<AlertEvent>,
+}
+
+impl SloEngine {
+    /// An engine for the given tenant specs and rules.
+    pub fn new(specs: Vec<SloSpec>, rules: Vec<BurnRateRule>) -> Self {
+        let n = specs.len();
+        let r = rules.len();
+        SloEngine {
+            specs,
+            rules,
+            history: vec![Vec::new(); n],
+            firing: vec![vec![false; r]; n],
+            lost_seen: vec![false; n],
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Whether `latency` meets tenant `i`'s latency target.
+    pub fn within_target(&self, tenant: usize, latency: SimDuration) -> bool {
+        latency <= self.specs[tenant].latency_target
+    }
+
+    /// Feeds one finished request: `good` per the spec's latency/
+    /// availability terms, `lost` when the request failed outright.
+    /// Evaluates every rule for the tenant and records rising-edge
+    /// alerts.
+    pub fn observe(&mut self, tenant: usize, at: SimTime, good: bool, lost: bool) {
+        let spec = &self.specs[tenant];
+        if lost && spec.zero_loss && !self.lost_seen[tenant] {
+            self.lost_seen[tenant] = true;
+            self.alerts.push(AlertEvent {
+                at,
+                tenant: spec.tenant.clone(),
+                rule: "zero_loss".to_owned(),
+                severity: AlertSeverity::Page,
+                burn_rate: 1.0,
+                window: SimDuration::ZERO,
+            });
+        }
+        self.history[tenant].push(Obs { at, good });
+        let budget = (1.0 - spec.availability).max(1e-9);
+        for r in 0..self.rules.len() {
+            let rule = &self.rules[r];
+            let (long_n, long_bad) = self.window_counts(tenant, at, rule.long_window);
+            let (short_n, short_bad) = self.window_counts(tenant, at, rule.short_window);
+            let burn = |bad: usize, n: usize| {
+                if n == 0 {
+                    0.0
+                } else {
+                    (bad as f64 / n as f64) / budget
+                }
+            };
+            let long_burn = burn(long_bad, long_n);
+            let now_firing = long_n >= rule.min_count
+                && short_n > 0
+                && long_burn >= rule.burn_threshold
+                && burn(short_bad, short_n) >= rule.burn_threshold;
+            if now_firing && !self.firing[tenant][r] {
+                self.alerts.push(AlertEvent {
+                    at,
+                    tenant: self.specs[tenant].tenant.clone(),
+                    rule: self.rules[r].name.clone(),
+                    severity: self.rules[r].severity,
+                    burn_rate: long_burn,
+                    window: self.rules[r].long_window,
+                });
+            }
+            self.firing[tenant][r] = now_firing;
+        }
+    }
+
+    /// (total, bad) observations for `tenant` with time in
+    /// `(at - window, at]`. A full scan: finish times are only roughly
+    /// ordered (a later arrival can finish earlier), and histories are
+    /// short, so scanning beats maintaining a sorted structure.
+    fn window_counts(&self, tenant: usize, at: SimTime, window: SimDuration) -> (usize, usize) {
+        let cutoff = SimTime::from_ps(at.as_ps().saturating_sub(window.as_ps()));
+        let mut n = 0;
+        let mut bad = 0;
+        for o in &self.history[tenant] {
+            if o.at > cutoff && o.at <= at {
+                n += 1;
+                if !o.good {
+                    bad += 1;
+                }
+            }
+        }
+        (n, bad)
+    }
+
+    /// Alerts fired so far, in firing order.
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.alerts
+    }
+
+    /// Consumes the engine, yielding its alert timeline sorted by sim
+    /// time. Observations are fed in arrival order but stamped with
+    /// completion times, so raw firing order is not time order; the
+    /// stable sort (ties keep firing order) makes the result a true
+    /// timeline while staying deterministic.
+    pub fn into_alerts(mut self) -> Vec<AlertEvent> {
+        self.alerts.sort_by_key(|a| a.at);
+        self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_sim::telemetry::validate_jsonl_line;
+
+    fn engine_one_tenant() -> SloEngine {
+        SloEngine::new(
+            vec![SloSpec::for_tenant("t", SimDuration::from_us(20))],
+            BurnRateRule::default_rules(),
+        )
+    }
+
+    #[test]
+    fn healthy_stream_never_alerts() {
+        let mut e = engine_one_tenant();
+        for i in 0..200u64 {
+            e.observe(0, SimTime::from_ns(i * 10_000), true, false);
+        }
+        assert!(e.alerts().is_empty());
+    }
+
+    #[test]
+    fn sustained_burn_pages_once_at_a_deterministic_time() {
+        let run = || {
+            let mut e = engine_one_tenant();
+            // 10 µs inter-arrivals, everything bad: burn = 1/0.01 = 100×.
+            for i in 0..100u64 {
+                e.observe(0, SimTime::from_ns(i * 10_000), false, false);
+            }
+            e.into_alerts()
+        };
+        let alerts = run();
+        let page: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.severity == AlertSeverity::Page)
+            .collect();
+        assert_eq!(page.len(), 1, "edge-triggered: one page, not one per obs");
+        // min_count=24 with the half-open window `(at-W, at]` (t=0 falls
+        // outside once the cutoff saturates) → index 24 crosses the line.
+        assert_eq!(page[0].at, SimTime::from_ns(24 * 10_000));
+        assert!(page[0].burn_rate > 14.4);
+        assert_eq!(run(), alerts, "double runs agree exactly");
+    }
+
+    #[test]
+    fn short_window_recovery_resets_the_edge() {
+        let mut e = engine_one_tenant();
+        let mut t = 0u64;
+        let mut step = |e: &mut SloEngine, good: bool| {
+            e.observe(0, SimTime::from_ns(t), good, false);
+            t += 10_000;
+        };
+        for _ in 0..30 {
+            step(&mut e, false);
+        }
+        // Recover: the short window (250 µs / 25 obs) drains of badness.
+        for _ in 0..60 {
+            step(&mut e, true);
+        }
+        // Burn again: a second rising edge must emit a second page.
+        for _ in 0..40 {
+            step(&mut e, false);
+        }
+        let pages = e
+            .alerts()
+            .iter()
+            .filter(|a| a.severity == AlertSeverity::Page && a.rule == "page_burn")
+            .count();
+        assert_eq!(pages, 2);
+    }
+
+    #[test]
+    fn zero_loss_fires_immediately_and_once() {
+        let mut e = engine_one_tenant();
+        e.observe(0, SimTime::from_ns(5), false, true);
+        e.observe(0, SimTime::from_ns(6), false, true);
+        let zl: Vec<_> = e
+            .alerts()
+            .iter()
+            .filter(|a| a.rule == "zero_loss")
+            .collect();
+        assert_eq!(zl.len(), 1);
+        assert_eq!(zl[0].at, SimTime::from_ns(5));
+        assert_eq!(zl[0].severity, AlertSeverity::Page);
+    }
+
+    #[test]
+    fn alert_lines_validate_and_severity_round_trips() {
+        let a = AlertEvent {
+            at: SimTime::from_ns(42),
+            tenant: "interactive".to_owned(),
+            rule: "page_burn".to_owned(),
+            severity: AlertSeverity::Page,
+            burn_rate: 33.25,
+            window: SimDuration::from_us(1000),
+        };
+        validate_jsonl_line(&a.to_jsonl_line()).expect("alert schema");
+        for s in [AlertSeverity::Page, AlertSeverity::Ticket] {
+            assert_eq!(AlertSeverity::from_name(s.name()), Some(s));
+        }
+        assert_eq!(AlertSeverity::from_name("sev1"), None);
+        // Exact round-trip: parse(render(a)) == a and re-render is
+        // byte-identical (the chaos replay contract).
+        let line = a.to_jsonl_line();
+        let back = AlertEvent::parse_jsonl_line(&line).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.to_jsonl_line(), line);
+        assert!(AlertEvent::parse_jsonl_line("{\"metric\":\"event/x\"}").is_err());
+    }
+}

@@ -257,6 +257,68 @@ impl Log2Histogram {
         Some(u64::MAX)
     }
 
+    /// The `q`-quantile (0.0..=1.0) with linear interpolation *within* the
+    /// hit bucket, assuming values are uniformly spread across it. Where
+    /// [`Log2Histogram::quantile_upper_bound`] always answers with the
+    /// bucket's upper boundary (a worst-case bound that overstates p50/p95
+    /// by up to 2× at high ranks), this estimate lands inside the bucket:
+    /// the error is bounded by one bucket width instead of snapping to a
+    /// power of two. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cim_sim::stats::Log2Histogram;
+    ///
+    /// let mut h = Log2Histogram::new();
+    /// for v in 1..=1000u64 {
+    ///     h.record(v);
+    /// }
+    /// // The true median is 500; the interpolated estimate stays within
+    /// // the hit bucket [512, 1024) width instead of answering 1023.
+    /// let p50 = h.quantile(0.5).unwrap();
+    /// assert!((p50 - 500.0).abs() <= 512.0);
+    /// assert!(p50 < h.quantile_upper_bound(0.5).unwrap() as f64 + 1.0);
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                if i == 0 {
+                    // Bucket 0 holds only the value 0.
+                    return Some(0.0);
+                }
+                // Bucket i (i >= 1) covers [2^(i-1), 2^i); bucket 64's upper
+                // edge is clamped to just past u64::MAX.
+                let lo = (1u128 << (i - 1)) as f64;
+                let hi = if i >= 64 {
+                    (u64::MAX as f64) + 1.0
+                } else {
+                    (1u128 << i) as f64
+                };
+                let frac = (target - seen) as f64 / c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+            seen += c;
+        }
+        Some(u64::MAX as f64)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -503,6 +565,43 @@ mod tests {
         assert!((511..=1023).contains(&median), "median bound {median}");
         assert_eq!(h.quantile_upper_bound(1.0), Some(1023));
         assert!(Log2Histogram::new().quantile_upper_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_interpolated_quantile_stays_inside_the_hit_bucket() {
+        let mut h = Log2Histogram::new();
+        let mut s = Samples::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+            s.record(v as f64);
+        }
+        for (q, p) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let est = h.quantile(q).expect("non-empty");
+            let exact = s.percentile(p).expect("non-empty");
+            let bucket = Log2Histogram::bucket_of(exact as u64);
+            let width = if bucket == 0 {
+                1.0
+            } else {
+                (1u128 << (bucket - 1)) as f64
+            };
+            assert!(
+                (est - exact).abs() <= width,
+                "q={q}: interpolated {est} vs exact {exact} (bucket width {width})"
+            );
+            let bound = h.quantile_upper_bound(q).expect("non-empty") as f64;
+            assert!(
+                est <= bound + 1.0,
+                "q={q}: {est} exceeds upper bound {bound}"
+            );
+        }
+        // Edge cases: empty histogram, the zero bucket, the top bucket.
+        assert!(Log2Histogram::new().quantile(0.5).is_none());
+        let mut z = Log2Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), Some(0.0));
+        let mut top = Log2Histogram::new();
+        top.record(u64::MAX);
+        assert!(top.quantile(1.0).unwrap() >= (1u64 << 63) as f64);
     }
 
     #[test]

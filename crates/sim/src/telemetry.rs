@@ -277,7 +277,8 @@ impl MetricsRegistry {
     /// like [`snapshot`](Self::snapshot). Every line carries the
     /// `component`, `metric` and `value` keys (the schema the CI checker
     /// validates) plus a `kind` discriminant; histogram lines add
-    /// `sum`, `mean` and quantile upper bounds.
+    /// `sum`, `mean`, bucket-interpolated `p50`/`p95` estimates (see
+    /// [`Log2Histogram::quantile`]) and the exact `p100` upper bound.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
         for s in self.snapshot() {
@@ -303,8 +304,8 @@ impl MetricsRegistry {
                         h.count(),
                         h.sum(),
                         json_f64(h.mean()),
-                        h.quantile_upper_bound(0.5).unwrap_or(0),
-                        h.quantile_upper_bound(0.95).unwrap_or(0),
+                        json_f64(h.quantile(0.5).unwrap_or(0.0)),
+                        json_f64(h.quantile(0.95).unwrap_or(0.0)),
                         h.quantile_upper_bound(1.0).unwrap_or(0),
                     );
                 }
@@ -773,11 +774,11 @@ impl Telemetry {
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "    {:<24} n={} mean={:.1} p95<={}",
+                        "    {:<24} n={} mean={:.1} p95~{:.0}",
                         s.metric,
                         h.count(),
                         h.mean(),
-                        h.quantile_upper_bound(0.95).unwrap_or(0)
+                        h.quantile(0.95).unwrap_or(0.0)
                     );
                 }
             }
@@ -786,7 +787,11 @@ impl Telemetry {
     }
 }
 
-fn json_string(s: &str) -> String {
+/// Renders `s` as a JSON string literal with the canonical escaping used
+/// by every in-tree exporter (telemetry, chaos replay, observability).
+/// Public so downstream crates emit byte-identical lines without a JSON
+/// dependency.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -806,7 +811,10 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+/// Renders an `f64` as a JSON number literal (`null` when non-finite),
+/// matching [`crate::json`]'s canonical `Display` so exported lines
+/// round-trip byte-for-byte through the in-tree parser.
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // Bare `inf`/`NaN` never reach here; ensure integral floats still
@@ -824,6 +832,13 @@ fn json_f64(v: f64) -> String {
 /// hermetic-build policy); chaos replay files reuse the same schema so
 /// this validator covers them too.
 ///
+/// Lines carrying a `kind` discriminant are held to that kind's extra
+/// schema: `series` records (windowed time-series samples) must carry a
+/// numeric `t_ps` timestamp; `alert` records (SLO burn-rate events) must
+/// carry `t_ps`, a `tenant` string, a `severity` of `"page"` or
+/// `"ticket"`, and a numeric `window_ps`; `profile` records (flamegraph
+/// folded stacks) must carry a `stack` string and a `unit` string.
+///
 /// # Errors
 ///
 /// Returns a human-readable description of the first syntax or schema
@@ -837,6 +852,10 @@ fn json_f64(v: f64) -> String {
 /// assert!(validate_jsonl_line(r#"{"component":"a","metric":"b","value":1}"#).is_ok());
 /// assert!(validate_jsonl_line(r#"{"component":"a"}"#).is_err());
 /// assert!(validate_jsonl_line("not json").is_err());
+/// let series = r#"{"component":"service","metric":"series/shed","kind":"series","value":2,"t_ps":100}"#;
+/// assert!(validate_jsonl_line(series).is_ok());
+/// let bad = r#"{"component":"service","metric":"series/shed","kind":"series","value":2}"#;
+/// assert!(validate_jsonl_line(bad).is_err());
 /// ```
 pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
     let value = crate::json::parse(line)?;
@@ -847,6 +866,41 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
         if !members.iter().any(|(k, _)| k == required) {
             return Err(format!("missing required key \"{required}\""));
         }
+    }
+    let number = |key: &str| -> Result<(), String> {
+        value
+            .get(key)
+            .and_then(crate::json::Json::as_f64)
+            .map(|_| ())
+            .ok_or_else(|| format!("missing numeric key \"{key}\""))
+    };
+    let string = |key: &str| -> Result<(), String> {
+        value
+            .get(key)
+            .and_then(crate::json::Json::as_str)
+            .map(|_| ())
+            .ok_or_else(|| format!("missing string key \"{key}\""))
+    };
+    match value.get("kind").and_then(crate::json::Json::as_str) {
+        Some("series") => number("t_ps")?,
+        Some("alert") => {
+            number("t_ps")?;
+            string("tenant")?;
+            number("window_ps")?;
+            match value.get("severity").and_then(crate::json::Json::as_str) {
+                Some("page") | Some("ticket") => {}
+                other => {
+                    return Err(format!(
+                        "alert severity must be \"page\" or \"ticket\", got {other:?}"
+                    ))
+                }
+            }
+        }
+        Some("profile") => {
+            string("stack")?;
+            string("unit")?;
+        }
+        _ => {}
     }
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`fabric`] | `cim-fabric` | the CIM device and execution engine |
 //! | [`baseline`] | `cim-baseline` | CPU/GPU/SMP/cluster comparators |
 //! | [`workloads`] | `cim-workloads` | the Table 2 application suite |
+//! | [`obs`] | `cim-obs` | time-series, SLO burn-rate alerts, flamegraphs |
 //!
 //! ## Quickstart
 //!
@@ -51,5 +52,6 @@ pub use cim_crossbar as crossbar;
 pub use cim_dataflow as dataflow;
 pub use cim_fabric as fabric;
 pub use cim_noc as noc;
+pub use cim_obs as obs;
 pub use cim_sim as sim;
 pub use cim_workloads as workloads;

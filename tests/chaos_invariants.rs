@@ -205,6 +205,7 @@ fn every_action_kind_is_absorbed_and_serializable() {
         invariant: "none".to_owned(),
         detail: "hand-built smoke schedule".to_owned(),
         fingerprint: Some(rec.fingerprint),
+        triage: Vec::new(),
     };
     let parsed = parse_replay(&render_replay(&file)).expect("parses");
     assert_eq!(parsed.schedule, schedule);

@@ -94,6 +94,60 @@ fn replicated_stream_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn observability_exports_are_bit_identical_across_thread_counts() {
+    use cim_bench::harness::parallel_points_threads;
+    use cim_fabric::service::{CimService, ServiceConfig};
+    use cim_obs::profile::Profile;
+    use cim_obs::{alerts_jsonl, ObsConfig};
+    use cim_workloads::serving::standard_request_mix;
+
+    // One healthy and one overloaded point, each with full span tracing;
+    // every observability artifact — time series, alert timeline, folded
+    // flamegraph stacks (time and energy) — must be byte-identical no
+    // matter how the points are scheduled on host threads.
+    let rates = [100_000.0_f64, 3_200_000.0];
+    let run = |threads: usize| {
+        parallel_points_threads(threads, &rates, |i, &rate| {
+            let seed = 0x0B5D ^ (i as u64);
+            let mut svc = CimService::new(
+                FabricConfig::default(),
+                ServiceConfig::default(),
+                SeedTree::new(seed),
+            )
+            .expect("boots");
+            svc.runtime_mut()
+                .device_mut()
+                .enable_telemetry(TelemetryLevel::Full);
+            svc.enable_observability(ObsConfig::default());
+            for spec in standard_request_mix() {
+                let (g, src, sink) = spec.build_graph(SeedTree::new(seed ^ 0x7E4A47));
+                svc.register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+                    .expect("resident");
+            }
+            let r = svc.run_open_loop(rate, 60, &[]).expect("serves");
+            let tel = svc.runtime().device().telemetry().clone();
+            let profile = Profile::from_telemetry(&tel, 16);
+            (
+                r.series_jsonl,
+                alerts_jsonl(&r.alerts),
+                profile.folded_time(),
+                profile.folded_energy(),
+            )
+        })
+    };
+    let serial = run(1);
+    assert!(!serial[0].0.is_empty(), "series export present");
+    assert!(!serial[0].2.is_empty(), "folded stacks present");
+    for threads in &THREAD_COUNTS[1..] {
+        assert_eq!(
+            run(*threads),
+            serial,
+            "obs exports differ at threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn serving_sweep_is_bit_identical_across_thread_counts() {
     use cim_bench::experiments::serving;
 

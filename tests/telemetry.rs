@@ -48,6 +48,67 @@ fn export_lines_all_pass_the_schema_validator() {
 }
 
 #[test]
+fn observability_record_kinds_pass_and_fail_the_schema_validator() {
+    // The three observability record families added by cim_obs.
+    let series = r#"{"component":"service","metric":"series/admitted","kind":"series","value":4,"t_ps":10000}"#;
+    let alert = r#"{"component":"obs/slo","metric":"alert/page_burn","kind":"alert","value":15.2,"t_ps":5000,"tenant":"interactive","severity":"page","window_ps":1000000}"#;
+    let profile = r#"{"component":"obs/profile","metric":"profile/time","kind":"profile","value":120,"stack":"service:request;engine:item","unit":"ps"}"#;
+    for line in [series, alert, profile] {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+    }
+    // Each kind's required fields are enforced.
+    let bad = [
+        // series without a timestamp
+        r#"{"component":"service","metric":"series/admitted","kind":"series","value":4}"#,
+        // alert without a tenant
+        r#"{"component":"obs/slo","metric":"alert/page_burn","kind":"alert","value":1.0,"t_ps":5000,"severity":"page","window_ps":1}"#,
+        // alert with an unknown severity
+        r#"{"component":"obs/slo","metric":"alert/page_burn","kind":"alert","value":1.0,"t_ps":5000,"tenant":"t","severity":"shrug","window_ps":1}"#,
+        // profile without a stack
+        r#"{"component":"obs/profile","metric":"profile/time","kind":"profile","value":120,"unit":"ps"}"#,
+    ];
+    for line in bad {
+        assert!(validate_jsonl_line(line).is_err(), "must reject: {line}");
+    }
+}
+
+#[test]
+fn observability_exports_are_byte_identical_across_same_seed_runs() {
+    use cim::fabric::service::{CimService, ServiceConfig};
+    use cim::obs::{alerts_jsonl, ObsConfig};
+    use cim::workloads::serving::standard_request_mix;
+
+    let run = || {
+        let mut svc = CimService::new(
+            FabricConfig::default(),
+            ServiceConfig::default(),
+            SeedTree::new(0xB17E5),
+        )
+        .unwrap();
+        svc.runtime_mut()
+            .device_mut()
+            .enable_telemetry(TelemetryLevel::Metrics);
+        svc.enable_observability(ObsConfig::default());
+        for spec in standard_request_mix() {
+            let (g, src, sink) = spec.build_graph(SeedTree::new(0xB17E5 ^ 0x7E4A47));
+            svc.register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+                .unwrap();
+        }
+        // Past saturation so the export carries alert records too.
+        let r = svc.run_open_loop(3_200_000.0, 200, &[]).unwrap();
+        format!("{}{}", r.series_jsonl, alerts_jsonl(&r.alerts))
+    };
+    let a = run();
+    let b = run();
+    assert!(a.contains("\"kind\":\"series\""), "series records present");
+    assert!(a.contains("\"kind\":\"alert\""), "alert records present");
+    assert_eq!(a, b, "observability export is a pure function of the seed");
+    for (i, line) in a.lines().enumerate() {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+    }
+}
+
+#[test]
 fn disabled_telemetry_exports_nothing() {
     let mut device = CimDevice::new(FabricConfig::default()).unwrap();
     let tel = device.telemetry().clone();
