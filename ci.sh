@@ -4,16 +4,20 @@
 #
 #   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1), plus
 #                     the small-sample analytic_check (two-tier
-#                     agreement) and the SLO alerting smoke (healthy
-#                     silent, overload pages). The fast inner-loop gate;
-#                     hosted CI runs it on every push and pull request.
+#                     agreement, single-device and fleet), the SLO
+#                     alerting smoke (healthy silent, overload pages)
+#                     and the fleet failover smoke (zero loss at 200k
+#                     requests). The fast inner-loop gate; hosted CI
+#                     runs it on every push and pull request.
 #   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
-#   ./ci.sh full      pass, example smokes, serving soaks, the chaos
-#                     campaign (clean sweep + weakened-invariant replay
-#                     self-check), the wide-sample analytic_check seed
-#                     sweep, and the bench-regression comparison against
-#                     the committed BENCH_*.json baselines (with the
-#                     ≥10× analytic serving speedup floor).
+#   ./ci.sh full      pass, example smokes, serving and fleet-failover
+#                     soaks (the latter at one million requests), the
+#                     chaos campaign (clean sweep, 4-device fleet sweep,
+#                     weakened-invariant replay self-check), the
+#                     wide-sample analytic_check seed sweep, and the
+#                     bench-regression comparison against the committed
+#                     BENCH_*.json baselines (with the ≥10× analytic
+#                     serving speedup floor).
 #                     Hosted CI runs it on pushes to main.
 #   ./ci.sh baseline  Regenerates BENCH_*.json from this machine and
 #                     overwrites the committed baselines. Run it (and
@@ -69,6 +73,13 @@ step "slo_smoke: healthy point silent, overload pages"
 # point must fire zero SLO alerts, overload must fire a page.
 cargo run --release --offline -p cim-bench --bin slo_smoke -- --requests 300
 
+step "fleet_smoke: whole-device failover, zero loss (200k requests)"
+# The fleet resilience gates at quick scale: a mid-stream device outage
+# voids and re-routes without loss or double execution, and the fleet
+# out-serves the cluster baseline on the identical workload. The full
+# gate reruns this at the one-million-request soak scale.
+cargo run --release --offline -p cim-bench --bin fleet_smoke -- --requests 200000
+
 if [ "$MODE" = quick ]; then
     printf '\n== ci.sh quick: all gates passed\n'
     exit 0
@@ -114,11 +125,32 @@ CIM_THREADS=1 cargo test -q --offline --test serving_soak
 step "serving soak (CIM_THREADS=4)"
 CIM_THREADS=4 cargo test -q --offline --test serving_soak
 
+step "fleet failover soak (CIM_THREADS=1)"
+# The router tier's acceptance gates: whole-device outages void and
+# re-route without loss, no double execution, cluster baseline replays
+# the identical workload, reports bit-identical across thread counts.
+CIM_THREADS=1 cargo test -q --offline --test fleet_failover
+
+step "fleet failover soak (CIM_THREADS=4)"
+CIM_THREADS=4 cargo test -q --offline --test fleet_failover
+
+step "fleet_smoke: one-million-request failover soak"
+# The tentpole acceptance at full scale: zero loss and exact failover
+# accounting across four devices under the two-outage campaign.
+cargo run --release --offline -p cim-bench --bin fleet_smoke
+
 step "chaos campaign: 64-seed sweep must be clean"
 # Fixed root seed, budgeted for CI. Any invariant violation writes a
 # shrunk replay file and fails the gate.
 cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
     --seeds 64 --budget-ms 120000 --out "$SCRATCH/chaos_repro.jsonl"
+
+step "chaos campaign: fleet mode (4 devices) must be clean"
+# The same invariants plus the fleet-only no-double-execution check,
+# with whole-device outages in the generated action mix.
+cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 32 --fleet-devices 4 --budget-ms 120000 \
+    --out "$SCRATCH/chaos_fleet_repro.jsonl"
 
 step "chaos self-check: weakened invariant must be caught and replay bit-identically"
 # Sabotage one invariant (recovery bound forced to zero): the campaign
@@ -165,6 +197,13 @@ cargo run --release --offline -p cim-bench --bin bench_compare -- \
     --validate "$ART/BENCH_analytic.json" \
     --expect analytic/serving_detailed --expect analytic/serving_analytic
 
+step "bench: fleet router tier wall-clock"
+BENCH_SAMPLES=10 BENCH_WARMUP_MS=20 \
+    cargo bench --offline -p cim-bench --bench fleet | tee "$ART/BENCH_fleet.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --validate "$ART/BENCH_fleet.json" \
+    --expect fleet/failover_analytic_4dev --expect fleet/cluster_replay_4dev
+
 step "analytic speedup: detailed/analytic median ratio must stay >= 10x"
 # Both records are in the file just validated; the ratio is the tier's
 # whole reason to exist, so a collapse below 10x fails the gate.
@@ -193,7 +232,8 @@ if [ "$MODE" = baseline ]; then
     cp "$ART/BENCH_parallel.json" BENCH_parallel.json
     cp "$ART/BENCH_serving.json" BENCH_serving.json
     cp "$ART/BENCH_analytic.json" BENCH_analytic.json
-    printf '\n== ci.sh baseline: BENCH_parallel.json, BENCH_serving.json and BENCH_analytic.json regenerated — commit them\n'
+    cp "$ART/BENCH_fleet.json" BENCH_fleet.json
+    printf '\n== ci.sh baseline: BENCH_parallel.json, BENCH_serving.json, BENCH_analytic.json and BENCH_fleet.json regenerated — commit them\n'
     exit 0
 fi
 
@@ -204,5 +244,7 @@ cargo run --release --offline -p cim-bench --bin bench_compare -- \
     --baseline BENCH_serving.json --fresh "$ART/BENCH_serving.json"
 cargo run --release --offline -p cim-bench --bin bench_compare -- \
     --baseline BENCH_analytic.json --fresh "$ART/BENCH_analytic.json"
+cargo run --release --offline -p cim-bench --bin bench_compare -- \
+    --baseline BENCH_fleet.json --fresh "$ART/BENCH_fleet.json"
 
 printf '\n== ci.sh: all gates passed\n'

@@ -10,6 +10,8 @@
 //! * [`gpu`] — V100-class throughput machine with launch overheads;
 //! * [`shared_memory`] — coherence-limited SMP (Table 1 col. 1);
 //! * [`cluster`] — message-passing cluster (Table 1 col. 2);
+//! * [`serving`] — cluster-side request serving with machine failover
+//!   (the like-for-like half of the fleet resilience comparison);
 //! * [`history`] — the Fig 2 machine dataset and trend fit.
 //!
 //! ## Example
@@ -37,6 +39,7 @@ pub mod dram;
 pub mod gpu;
 pub mod history;
 pub mod roofline;
+pub mod serving;
 pub mod shared_memory;
 
 pub use cache::{Cache, CacheHierarchy, HierarchyStats, ServiceLevel};
@@ -47,4 +50,5 @@ pub use dram::{DramChannel, DramConfig, DramStats, RowOutcome};
 pub use gpu::GpuModel;
 pub use history::{fit_trend, Machine, Trend, MACHINES};
 pub use roofline::Roof;
+pub use serving::{ClusterServeConfig, ClusterServeReport, MachineEvent, MachineLoad, ServeClass};
 pub use shared_memory::SmpMachine;

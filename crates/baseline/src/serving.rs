@@ -1,0 +1,454 @@
+//! Cluster request serving: the like-for-like side of the Table 1
+//! resilience comparison.
+//!
+//! `cim_fabric::fleet` serves an open-loop request stream across N CIM
+//! devices with whole-device failover; this module serves the *same*
+//! extracted workload — the `(arrival, class)` record a fleet run keeps
+//! — on a conventional message-passing cluster, with the same router
+//! shape (replica sets per class, least-outstanding routing, bounded
+//! queues) but cluster physics: every request crosses the network
+//! (RTT + bytes over [`cal::NODE_BW_BYTES`]), compute runs at socket
+//! FLOPS, and machine failover pays the heartbeat detection floor
+//! ([`cal::FAILOVER_PS`], ≈50 ms) *plus* state transfer to the standby
+//! before re-execution — the CIM fleet's resident-replica recovery
+//! (microseconds of detection, no state to ship) is exactly what this
+//! model cannot do.
+//!
+//! Keeping this in `cim-baseline` (no fabric dependency) preserves the
+//! crate layering: the fleet exports its arrivals; a bench harness feeds
+//! them to both platforms and renders one table.
+
+use cim_sim::calib::{cluster as cal, cpu};
+use cim_sim::energy::Energy;
+use cim_sim::stats::Samples;
+use cim_sim::time::{SimDuration, SimTime};
+
+/// Cluster-side serving knobs, mirroring `FleetConfig`.
+#[derive(Debug, Clone)]
+pub struct ClusterServeConfig {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Replicas per class (standby copies on distinct machines).
+    pub replicas: usize,
+    /// Maximum requests in flight per machine; arrivals beyond are shed.
+    pub queue_capacity: usize,
+    /// Resident state per class a standby must receive before it can
+    /// take over (model weights + session state), bytes.
+    pub state_bytes: u64,
+    /// Delay between a machine dying under a request and the router
+    /// re-dispatching it: heartbeat detection plus state transfer.
+    /// Defaults to [`cal::FAILOVER_PS`] + `state_bytes` over the wire.
+    pub failover_detect: SimDuration,
+}
+
+impl ClusterServeConfig {
+    /// A cluster sized like a CIM fleet: `machines` machines, the same
+    /// replica factor, the same queue bound, with the calibrated
+    /// machine-failover currency (50 ms heartbeat + state transfer).
+    pub fn like_fleet(
+        machines: usize,
+        replicas: usize,
+        queue_capacity: usize,
+        state_bytes: u64,
+    ) -> Self {
+        let transfer = SimDuration::from_secs_f64(state_bytes as f64 / cal::NODE_BW_BYTES);
+        ClusterServeConfig {
+            machines,
+            replicas,
+            queue_capacity,
+            state_bytes,
+            failover_detect: SimDuration::from_ps(cal::FAILOVER_PS) + transfer,
+        }
+    }
+}
+
+/// One request class on the cluster: arithmetic cost and SLO.
+#[derive(Debug, Clone)]
+pub struct ServeClass {
+    /// Class name (reporting).
+    pub name: String,
+    /// FLOPs one request costs a conventional machine.
+    pub flops: u64,
+    /// Request + response bytes crossing the network per request.
+    pub req_bytes: u64,
+    /// End-to-end latency SLO.
+    pub deadline: SimDuration,
+}
+
+/// A scheduled whole-machine outage/repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// The machine dies: fenced from routing, in-flight work lost.
+    Down {
+        /// Simulated time of the failure.
+        at: SimTime,
+        /// Machine index.
+        machine: usize,
+    },
+    /// The machine returns to service.
+    Up {
+        /// Simulated time of the repair.
+        at: SimTime,
+        /// Machine index.
+        machine: usize,
+    },
+}
+
+impl MachineEvent {
+    /// The simulated time this event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            MachineEvent::Down { at, .. } | MachineEvent::Up { at, .. } => at,
+        }
+    }
+}
+
+/// Per-machine accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MachineLoad {
+    /// Execution attempts dispatched to this machine.
+    pub dispatched: u64,
+    /// Requests whose final execution ran here.
+    pub served: u64,
+    /// Attempts lost to a machine failure (re-executed elsewhere).
+    pub voided: u64,
+}
+
+/// Outcome of one cluster serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterServeReport {
+    /// Requests offered (= the arrival record's length).
+    pub offered: usize,
+    /// Requests admitted to some machine queue.
+    pub admitted: usize,
+    /// Requests shed (queue full or no live replica).
+    pub shed: usize,
+    /// Requests completed within deadline.
+    pub completed: usize,
+    /// Requests that finished past deadline.
+    pub timed_out: usize,
+    /// Machine-failover re-executions performed.
+    pub failovers: usize,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Total energy: compute + network + re-execution + static burn.
+    pub energy: Energy,
+    /// Per-machine accounting.
+    pub per_machine: Vec<MachineLoad>,
+    /// Last departure time (static-energy horizon).
+    pub makespan: SimTime,
+}
+
+impl ClusterServeReport {
+    /// Every admitted request completed or is an accounted SLO miss.
+    pub fn zero_lost(&self) -> bool {
+        self.completed + self.timed_out == self.admitted
+    }
+
+    /// Fraction of offered requests completed within deadline.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+/// Time one request of `class` occupies a machine: network RTT, request
+/// bytes over the node link, then compute at socket FLOPS.
+fn service_time(class: &ServeClass) -> SimDuration {
+    let node_flops = cpu::FLOPS_PER_CORE * cpu::CORES as f64;
+    SimDuration::from_ps(cal::RTT_PS)
+        + SimDuration::from_secs_f64(class.req_bytes as f64 / cal::NODE_BW_BYTES)
+        + SimDuration::from_secs_f64(class.flops as f64 / node_flops)
+}
+
+fn down_at(downs: &[(SimTime, SimTime)], t: SimTime) -> bool {
+    downs.iter().any(|&(s, e)| s <= t && t < e)
+}
+
+fn first_down_start_in(
+    downs: &[(SimTime, SimTime)],
+    after: SimTime,
+    until: SimTime,
+) -> Option<SimTime> {
+    downs
+        .iter()
+        .map(|&(s, _)| s)
+        .filter(|&s| after < s && s <= until)
+        .min()
+}
+
+/// Serves a pre-extracted arrival record `(arrival, class_index)` on the
+/// cluster. Class `c`'s replica set is machines `(c + k) % machines` for
+/// `k < replicas` — the same rotating-anchor sharding the CIM fleet
+/// uses — and routing picks the least-outstanding live replica with
+/// ties rotating on the request index.
+///
+/// Failed machines void the requests caught on them; re-execution waits
+/// out detection + state transfer, and the wasted FLOPs are charged
+/// again (a real cluster re-runs the work).
+///
+/// # Panics
+///
+/// Panics on an empty class list, zero machines/replicas, replicas
+/// exceeding machines, or an event naming a machine outside the
+/// cluster.
+pub fn serve(
+    cfg: &ClusterServeConfig,
+    classes: &[ServeClass],
+    arrivals: &[(SimTime, usize)],
+    events: &[MachineEvent],
+) -> ClusterServeReport {
+    assert!(!classes.is_empty(), "need at least one class");
+    assert!(cfg.machines >= 1, "need at least one machine");
+    assert!(
+        cfg.replicas >= 1 && cfg.replicas <= cfg.machines,
+        "replicas must be in 1..=machines"
+    );
+    let mut events = events.to_vec();
+    events.sort_by_key(MachineEvent::at);
+    let mut downs: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); cfg.machines];
+    for ev in &events {
+        match *ev {
+            MachineEvent::Down { at, machine } => {
+                assert!(machine < cfg.machines, "event machine out of range");
+                if !down_at(&downs[machine], at) {
+                    downs[machine].push((at, SimTime::MAX));
+                }
+            }
+            MachineEvent::Up { at, machine } => {
+                assert!(machine < cfg.machines, "event machine out of range");
+                if let Some(last) = downs[machine].last_mut() {
+                    if last.1 == SimTime::MAX && last.0 <= at {
+                        last.1 = at;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut in_flight: Vec<Vec<SimTime>> = vec![Vec::new(); cfg.machines];
+    let mut busy_until: Vec<SimTime> = vec![SimTime::ZERO; cfg.machines];
+    let mut per_machine = vec![MachineLoad::default(); cfg.machines];
+    let mut latencies = Samples::new();
+    let (mut admitted, mut shed, mut completed, mut timed_out) = (0usize, 0usize, 0usize, 0usize);
+    let mut failovers = 0usize;
+    let mut dynamic_fj = 0u64;
+    let mut makespan = SimTime::ZERO;
+
+    for (i, &(arrival, class_idx)) in arrivals.iter().enumerate() {
+        let class_idx = class_idx.min(classes.len() - 1);
+        let class = &classes[class_idx];
+        let replica_set: Vec<usize> = (0..cfg.replicas)
+            .map(|k| (class_idx + k) % cfg.machines)
+            .collect();
+        // Route: least-outstanding live machine, ties rotating on the
+        // request index (mirrors the fleet router).
+        let k = replica_set.len();
+        let pick = |when: SimTime, in_flight: &mut [Vec<SimTime>]| -> Option<usize> {
+            let live: Vec<usize> = (0..k)
+                .filter(|&r| !down_at(&downs[replica_set[r]], when))
+                .collect();
+            if live.is_empty() {
+                return None;
+            }
+            for &r in &live {
+                in_flight[replica_set[r]].retain(|&dep| dep > when);
+            }
+            live.iter()
+                .copied()
+                .min_by_key(|&r| (in_flight[replica_set[r]].len(), (k + r - i % k) % k))
+        };
+        let Some(r0) = pick(arrival, &mut in_flight) else {
+            shed += 1;
+            continue;
+        };
+        let m0 = replica_set[r0];
+        if in_flight[m0].len() >= cfg.queue_capacity {
+            shed += 1;
+            continue;
+        }
+        admitted += 1;
+
+        // Execute, failing over (and re-executing) as machines die.
+        let svc = service_time(class);
+        let deadline = arrival + class.deadline;
+        let mut when = arrival;
+        let mut replica = Some(r0);
+        let (finished, final_m) = loop {
+            let Some(r) = replica else {
+                // Every replica down: the request waits for the first
+                // repair, or times out at its deadline.
+                let next_up = replica_set
+                    .iter()
+                    .flat_map(|&m| downs[m].iter().map(|&(_, e)| e))
+                    .filter(|&e| e > when && e < SimTime::MAX)
+                    .min();
+                match next_up {
+                    Some(up) if up <= deadline => {
+                        when = up;
+                        replica = pick(when, &mut in_flight);
+                        continue;
+                    }
+                    _ => break (deadline + SimDuration::from_ps(1), usize::MAX),
+                }
+            };
+            let m = replica_set[r];
+            per_machine[m].dispatched += 1;
+            let start = when.max(busy_until[m]);
+            let finish = start + svc;
+            dynamic_fj += class.flops * cpu::ENERGY_PER_FLOP_FJ
+                + class.req_bytes * cal::ENERGY_PER_NET_BYTE_FJ;
+            if let Some(died) = first_down_start_in(&downs[m], when, finish) {
+                // Machine lost mid-request: the work is wasted, the
+                // standby must detect the failure and receive the
+                // class state before re-execution.
+                per_machine[m].voided += 1;
+                failovers += 1;
+                dynamic_fj += cfg.state_bytes * cal::ENERGY_PER_NET_BYTE_FJ;
+                when = died + cfg.failover_detect;
+                if when > deadline {
+                    break (when, usize::MAX);
+                }
+                replica = pick(when, &mut in_flight);
+                continue;
+            }
+            busy_until[m] = finish;
+            break (finish, m);
+        };
+        if final_m != usize::MAX {
+            in_flight[final_m].push(finished);
+            per_machine[final_m].served += 1;
+        }
+        makespan = makespan.max(finished);
+        let lat = finished.saturating_since(arrival);
+        latencies.record(lat.as_us_f64());
+        if lat <= class.deadline && final_m != usize::MAX {
+            completed += 1;
+        } else {
+            timed_out += 1;
+        }
+    }
+
+    let (p50_us, p99_us) = match latencies.percentiles(&[50.0, 99.0]) {
+        Some(ps) => (ps[0], ps[1]),
+        None => (0.0, 0.0),
+    };
+    let mut energy = Energy::from_fj(dynamic_fj);
+    energy += Energy::from_joules(cpu::STATIC_W * cfg.machines as f64 * makespan.as_secs_f64());
+    ClusterServeReport {
+        offered: arrivals.len(),
+        admitted,
+        shed,
+        completed,
+        timed_out,
+        failovers,
+        p50_us,
+        p99_us,
+        mean_us: latencies.mean(),
+        energy,
+        per_machine,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<ServeClass> {
+        vec![
+            ServeClass {
+                name: "interactive".into(),
+                flops: 328,
+                req_bytes: 16 * 8 + 4 * 8,
+                deadline: SimDuration::from_us(20),
+            },
+            ServeClass {
+                name: "batch".into(),
+                flops: 4_608,
+                req_bytes: 64 * 8 + 8 * 8,
+                deadline: SimDuration::from_us(80),
+            },
+        ]
+    }
+
+    fn arrivals(n: usize, gap_us: u64) -> Vec<(SimTime, usize)> {
+        (0..n)
+            .map(|i| (SimTime::from_ns(i as u64 * gap_us * 1000), i % 2))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_cluster_serves_within_rtt_bound() {
+        let cfg = ClusterServeConfig::like_fleet(4, 2, 16, 1 << 20);
+        let r = serve(&cfg, &classes(), &arrivals(100, 10), &[]);
+        assert_eq!(r.offered, 100);
+        assert!(r.zero_lost());
+        assert_eq!(r.shed, 0);
+        // Every request pays at least the network RTT (2 µs).
+        assert!(r.p50_us >= 2.0, "p50 {} below the RTT floor", r.p50_us);
+        assert!(r.energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn machine_failover_pays_the_heartbeat_floor() {
+        let cfg = ClusterServeConfig::like_fleet(4, 2, 16, 1 << 20);
+        // One request in flight when its machine dies mid-service.
+        let arr = vec![(SimTime::ZERO, 0usize)];
+        let events = [MachineEvent::Down {
+            at: SimTime::from_ns(1_000),
+            machine: 0,
+        }];
+        let r = serve(&cfg, &classes(), &arr, &events);
+        assert_eq!(r.failovers, 1);
+        // 50 ms detection blows any microsecond deadline.
+        assert_eq!(r.timed_out, 1);
+        assert_eq!(r.completed, 0);
+        assert!(r.zero_lost(), "timed out is accounted, not lost");
+    }
+
+    #[test]
+    fn all_replicas_down_sheds() {
+        let cfg = ClusterServeConfig::like_fleet(2, 2, 16, 0);
+        let events = [
+            MachineEvent::Down {
+                at: SimTime::ZERO,
+                machine: 0,
+            },
+            MachineEvent::Down {
+                at: SimTime::ZERO,
+                machine: 1,
+            },
+        ];
+        let r = serve(&cfg, &classes(), &arrivals(10, 10), &events);
+        assert_eq!(r.shed, 10);
+        assert_eq!(r.admitted, 0);
+    }
+
+    #[test]
+    fn deterministic_and_accounted() {
+        let cfg = ClusterServeConfig::like_fleet(4, 2, 8, 1 << 16);
+        let events = [
+            MachineEvent::Down {
+                at: SimTime::from_ns(100_000),
+                machine: 1,
+            },
+            MachineEvent::Up {
+                at: SimTime::from_ns(400_000),
+                machine: 1,
+            },
+        ];
+        let a = serve(&cfg, &classes(), &arrivals(200, 5), &events);
+        let b = serve(&cfg, &classes(), &arrivals(200, 5), &events);
+        assert_eq!(a, b);
+        assert!(a.zero_lost());
+        let served: u64 = a.per_machine.iter().map(|m| m.served).sum();
+        assert!(served as usize <= a.admitted);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fleet serving wall-clock — the recorded baseline for the
+//! multi-device router tier (`BENCH_fleet.json`).
+//!
+//! Times one fleet failover comparison (CIM fleet with the standard
+//! two-outage campaign, then the cluster baseline replaying the same
+//! arrival record) at a bench-sized request count. Wall clock is the
+//! only thing that varies between machines; the modeled fleet numbers
+//! are bit-identical everywhere.
+//!
+//! ```text
+//! cargo bench --bench fleet > BENCH_fleet.json
+//! ```
+
+use cim_bench::experiments::fleet::{
+    cluster_classes, cluster_state_bytes, default_scenario, machine_events, outage_events,
+    run_fleet, FleetScenario,
+};
+use cim_bench::harness::Group;
+use cim_fabric::service::ServiceConfig;
+
+const N_REQUESTS: usize = 600;
+
+fn main() {
+    cim_bench::harness::emit_calibration();
+    let scenario = FleetScenario {
+        requests: N_REQUESTS,
+        ..default_scenario()
+    };
+    let mut g = Group::new("fleet");
+
+    // Deterministic pre-run for the honest throughput denominator (the
+    // completed count, not the offered count).
+    let pre = run_fleet(&scenario);
+    g.throughput(pre.completed as u64);
+    g.bench("failover_analytic_4dev", || run_fleet(&scenario).completed);
+
+    // The cluster side replays a fixed arrival record; time just the
+    // replay so the record reflects the baseline model, not the fleet.
+    let arrivals = pre.arrivals;
+    let cfg = cim_baseline::serving::ClusterServeConfig::like_fleet(
+        scenario.devices,
+        scenario.replicas,
+        ServiceConfig::default().queue_capacity,
+        cluster_state_bytes(),
+    );
+    let classes = cluster_classes();
+    let events = machine_events(&outage_events(&scenario));
+    let cluster_completed =
+        cim_baseline::serving::serve(&cfg, &classes, &arrivals, &events).completed;
+    g.throughput(cluster_completed as u64);
+    g.bench("cluster_replay_4dev", || {
+        cim_baseline::serving::serve(&cfg, &classes, &arrivals, &events).completed
+    });
+    g.finish();
+}

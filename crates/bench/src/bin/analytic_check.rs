@@ -21,6 +21,7 @@
 use cim_bench::experiments::analytic::{
     self, check, compare, median_speedup, ENERGY_TOLERANCE, LATENCY_TOLERANCE,
 };
+use cim_bench::experiments::fleet;
 use std::process::ExitCode;
 
 fn usage(err: &str) -> ExitCode {
@@ -85,9 +86,37 @@ fn main() -> ExitCode {
         median_speedup(&cmps)
     );
 
-    let disagreements = check(&cmps);
+    // The fleet half of the gate: the same bounds over multi-device
+    // serving scenarios (whole-device outage campaign included).
+    let fleet_points = if sample == "wide" {
+        fleet::mode_sample_wide(seeds)
+    } else {
+        fleet::mode_sample()
+    };
+    println!(
+        "analytic_check: {} fleet scenario(s) under the same bounds",
+        fleet_points.len()
+    );
+    let fleet_cmps = fleet::compare_modes(&fleet_points);
+    for c in &fleet_cmps {
+        println!(
+            "  {}: latency {:+.2}% energy {:+.2}% (DES {:.1} us / {} fJ) speedup {:.1}x",
+            c.scenario.label(),
+            c.latency_rel_err() * 100.0,
+            c.energy_rel_err() * 100.0,
+            c.detailed.mean_latency_us,
+            c.detailed.energy_fj,
+            c.speedup()
+        );
+    }
+
+    let mut disagreements = check(&cmps);
+    disagreements.extend(fleet::check_modes(&fleet_cmps));
     if disagreements.is_empty() {
-        println!("analytic_check: tiers agree on all {} point(s)", cmps.len());
+        println!(
+            "analytic_check: tiers agree on all {} point(s)",
+            cmps.len() + fleet_cmps.len()
+        );
         return ExitCode::SUCCESS;
     }
     for line in &disagreements {

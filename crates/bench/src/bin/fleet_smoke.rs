@@ -1,0 +1,143 @@
+//! CI gate: fleet failover soak + the live Table 1 comparison.
+//!
+//! ```text
+//! fleet_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]
+//! ```
+//!
+//! Serves an open-loop stream (default one million requests, analytic
+//! tier) across a multi-device CIM fleet with the standard two-outage
+//! campaign mid-soak, then replays the identical arrival record through
+//! the conventional-cluster baseline under the same machine outages and
+//! prints the side-by-side table. The gate enforces the fleet's
+//! resilience contract at soak scale:
+//!
+//! - zero loss: every admitted request completed or is an accounted
+//!   SLO miss, none vanished (`failed == 0`),
+//! - no double execution: final executions across devices equal
+//!   completed + timed-out requests exactly,
+//! - every whole-device failover voided exactly one attempt,
+//! - the outage campaign actually exercised failover (`failovers > 0`),
+//! - the fleet out-serves the state-shipping cluster on the same
+//!   workload.
+//!
+//! Any violation exits 1. The run is deterministic: the printed
+//! fingerprint is bit-identical on every host and thread count.
+
+use cim_bench::experiments::fleet::{
+    compare_with, default_scenario, engineered_outage, render, FleetScenario,
+};
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fleet_smoke: {err}");
+    eprintln!("usage: fleet_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scenario = FleetScenario {
+        requests: 1_000_000,
+        ..default_scenario()
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match args[i].as_str() {
+            "--requests" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => scenario.requests = n,
+                _ => return usage("--requests needs a positive count"),
+            },
+            "--devices" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => scenario.devices = n,
+                _ => return usage("--devices needs a count >= 2"),
+            },
+            "--replicas" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => scenario.replicas = n,
+                _ => return usage("--replicas needs a positive count"),
+            },
+            "--rate" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => scenario.rate_hz = r,
+                _ => return usage("--rate needs a positive req/s rate"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if scenario.replicas > scenario.devices {
+        return usage("--replicas cannot exceed --devices");
+    }
+
+    println!(
+        "fleet_smoke: {} requests at {:.0} req/s across {} devices (replicas {}), two-outage campaign",
+        scenario.requests, scenario.rate_hz, scenario.devices, scenario.replicas
+    );
+    let c = compare_with(&scenario, &engineered_outage(&scenario));
+    print!("{}", render(std::slice::from_ref(&c)));
+    println!(
+        "fleet fingerprint {:#018x}, {} failovers voided {} attempts, wall {:.2}s fleet / {:.2}s cluster",
+        c.fleet.fingerprint,
+        c.fleet.failovers,
+        c.fleet.voided_total(),
+        c.fleet_wall_ns as f64 / 1e9,
+        c.cluster_wall_ns as f64 / 1e9
+    );
+
+    let mut failed = false;
+    let mut gate = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    gate(
+        c.fleet.zero_lost(),
+        &format!(
+            "fleet lost requests: admitted {} completed {} timed_out {} failed {}",
+            c.fleet.admitted, c.fleet.completed, c.fleet.timed_out, c.fleet.failed
+        ),
+    );
+    gate(
+        c.fleet.served_total() as usize == c.fleet.completed + c.fleet.timed_out,
+        &format!(
+            "double execution: served_total {} != completed+timed_out {}",
+            c.fleet.served_total(),
+            c.fleet.completed + c.fleet.timed_out
+        ),
+    );
+    gate(
+        c.fleet.voided_total() as usize == c.fleet.failovers,
+        &format!(
+            "failover accounting: voided_total {} != failovers {}",
+            c.fleet.voided_total(),
+            c.fleet.failovers
+        ),
+    );
+    gate(
+        c.fleet.failovers > 0,
+        "outage campaign exercised no failovers",
+    );
+    gate(
+        c.cluster.zero_lost(),
+        "cluster baseline lost requests it admitted",
+    );
+    gate(
+        c.fleet.goodput() > c.cluster.goodput(),
+        &format!(
+            "fleet goodput {:.4} does not beat cluster {:.4} on the same workload",
+            c.fleet.goodput(),
+            c.cluster.goodput()
+        ),
+    );
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fleet_smoke: zero-loss soak passed, fleet goodput {:.4} vs cluster {:.4}",
+        c.fleet.goodput(),
+        c.cluster.goodput()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,688 @@
+//! Fleet resilience comparison — Table 1 made live (§III.E + §IV.B at
+//! fleet scale).
+//!
+//! One harness, two platforms: each scenario boots a [`CimFleet`]
+//! (standard three-tenant mix sharded across N devices, whole-device
+//! outages mid-stream), then replays the *identical* extracted workload
+//! — the `(arrival, class)` record the fleet report keeps — through
+//! [`cim_baseline::serving`]'s conventional cluster under the same
+//! machine outages. The two sides differ only in physics: CIM replicas
+//! hold resident conductances (microsecond failover detection, no state
+//! transfer), the cluster pays the 50 ms heartbeat floor plus shipping
+//! the class state to the standby. Because both serve the same
+//! arrivals, every delta in the rendered table is platform, not
+//! workload.
+//!
+//! The module also carries the fleet half of the two-tier agreement
+//! gate: [`compare_modes`] replays fleet scenarios through both
+//! [`SimMode`]s and [`check_modes`] holds them to the same declared
+//! bounds (latency ±10%, energy ±5%, throughput ordering) the
+//! single-device `analytic_check` enforces.
+
+use crate::harness::{parallel_points, parallel_points_threads};
+use crate::table::TextTable;
+use cim_baseline::serving::{
+    serve, ClusterServeConfig, ClusterServeReport, MachineEvent, ServeClass,
+};
+use cim_fabric::fleet::{CimFleet, FleetConfig, FleetEvent, FleetReport};
+use cim_fabric::service::ServiceConfig;
+use cim_fabric::FabricConfig;
+use cim_sim::time::SimTime;
+use cim_sim::{SeedTree, SimMode};
+use cim_workloads::serving::standard_request_mix;
+use std::time::Instant;
+
+use super::analytic::{ENERGY_TOLERANCE, LATENCY_TOLERANCE};
+
+/// One fleet serving scenario: fleet shape, offered load, and whether a
+/// whole-device outage campaign runs mid-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Devices in the fleet (= machines in the cluster baseline).
+    pub devices: usize,
+    /// Replicas per tenant class, both platforms.
+    pub replicas: usize,
+    /// Offered load, requests per second.
+    pub rate_hz: f64,
+    /// Requests offered by the arrival process.
+    pub requests: usize,
+    /// Root seed (fabric template, arrivals, classes, inputs).
+    pub seed: u64,
+    /// Simulation tier for the CIM side.
+    pub mode: SimMode,
+    /// Schedule the standard two-outage campaign (device 0 then
+    /// device 1, each down for ~20% of the run).
+    pub outage: bool,
+    /// Keep per-request outcomes on the fleet report (off for soaks;
+    /// the fingerprint still covers every request).
+    pub keep_outcomes: bool,
+}
+
+impl FleetScenario {
+    /// Stable identifier for log lines and telemetry components.
+    pub fn label(&self) -> String {
+        format!(
+            "fleet{}x{}_rate{:.0}_seed{:#x}{}",
+            self.devices,
+            self.replicas,
+            self.rate_hz,
+            self.seed,
+            if self.outage { "_outage" } else { "" }
+        )
+    }
+}
+
+/// The default comparison scenario: a 4-device fleet at a moderate
+/// operating point with the two-outage campaign.
+pub fn default_scenario() -> FleetScenario {
+    FleetScenario {
+        devices: 4,
+        replicas: 2,
+        rate_hz: 200_000.0,
+        requests: 2_000,
+        seed: 0xF1EE7,
+        mode: SimMode::Analytic,
+        outage: true,
+        keep_outcomes: false,
+    }
+}
+
+/// The standard outage campaign for a scenario: device 0 down for
+/// 25–45% of the expected run span, device 1 down for 60–80%. The
+/// windows never overlap, so every class keeps a live replica
+/// throughout. Empty when outages are off or the fleet cannot fail
+/// over (fewer than two devices).
+pub fn outage_events(s: &FleetScenario) -> Vec<FleetEvent> {
+    if !s.outage || s.devices < 2 {
+        return Vec::new();
+    }
+    // Expected span of the open-loop stream; outage placement only
+    // needs to land mid-run, not at an exact arrival.
+    let span_ps = (s.requests as f64 / s.rate_hz * 1e12) as u64;
+    let frac = |num: u64, den: u64| SimTime::from_ps(span_ps / den * num);
+    vec![
+        FleetEvent::DeviceDown {
+            at: frac(5, 20),
+            device: 0,
+        },
+        FleetEvent::DeviceUp {
+            at: frac(9, 20),
+            device: 0,
+        },
+        FleetEvent::DeviceDown {
+            at: frac(12, 20),
+            device: 1,
+        },
+        FleetEvent::DeviceUp {
+            at: frac(16, 20),
+            device: 1,
+        },
+    ]
+}
+
+/// The cluster-side mirror of a fleet outage schedule: machine `i`
+/// fails exactly when device `i` does.
+pub fn machine_events(events: &[FleetEvent]) -> Vec<MachineEvent> {
+    events
+        .iter()
+        .filter_map(|ev| match *ev {
+            FleetEvent::DeviceDown { at, device } => Some(MachineEvent::Down {
+                at,
+                machine: device,
+            }),
+            FleetEvent::DeviceUp { at, device } => Some(MachineEvent::Up {
+                at,
+                machine: device,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The standard request mix translated to cluster arithmetic: FLOPs per
+/// request, request + response bytes over the network, same deadlines.
+pub fn cluster_classes() -> Vec<ServeClass> {
+    standard_request_mix()
+        .iter()
+        .map(|spec| ServeClass {
+            name: spec.name.to_string(),
+            flops: spec.flops_per_request(),
+            req_bytes: 8
+                * (spec.input_width() + spec.layer_dims.last().copied().unwrap_or(0)) as u64,
+            deadline: spec.deadline,
+        })
+        .collect()
+}
+
+/// Resident state a cluster standby must receive before taking over: the
+/// largest class's weight matrices at f64 precision. The CIM fleet
+/// ships nothing — its replicas are already programmed.
+pub fn cluster_state_bytes() -> u64 {
+    standard_request_mix()
+        .iter()
+        .map(|spec| {
+            spec.layer_dims
+                .windows(2)
+                .map(|w| 8 * (w[0] * w[1]) as u64)
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// [`outage_events`] with a *guaranteed* mid-execution catch. A probe
+/// run (outage-free, outcomes kept, at most the first 100 000 arrivals
+/// — an identical prefix of the full run, since events only perturb
+/// the stream after they fire) locates two overlapping single-attempt
+/// interactive-class executions with nothing else in flight on their
+/// replica pair; the least-outstanding router necessarily placed them
+/// on the two distinct replica devices, so a device-0 outage inside
+/// the overlap voids exactly one of them. The device-1 window stays at
+/// the heuristic 60–80% placement. Falls back to [`outage_events`]
+/// when no qualifying pair exists.
+pub fn engineered_outage(s: &FleetScenario) -> Vec<FleetEvent> {
+    use cim_fabric::service::Disposition;
+    if s.devices < 2 || s.replicas < 2 {
+        return outage_events(s);
+    }
+    let probe_n = s.requests.min(100_000);
+    let probe = run_fleet_with(
+        &FleetScenario {
+            requests: probe_n,
+            outage: false,
+            keep_outcomes: true,
+            ..s.clone()
+        },
+        &[],
+    );
+    let span_ps = (s.requests as f64 / s.rate_hz * 1e12) as u64;
+    // Keep the engineered window clear of the device-1 outage so the
+    // interactive class never loses both replicas at once.
+    let latest = span_ps * 11 / 20;
+    // Execution windows of requests that can occupy devices 0/1:
+    // interactive (replica devices {0, 1}) and standard ({1, 2}).
+    let windows: Vec<(u64, u64, usize, u32)> = probe
+        .outcomes
+        .iter()
+        .filter(|o| o.class <= 1)
+        .filter_map(|o| match o.disposition {
+            Disposition::Completed {
+                finished, attempts, ..
+            }
+            | Disposition::TimedOut { finished, attempts } => {
+                Some((o.arrival.as_ps(), finished.as_ps(), o.class, attempts))
+            }
+            _ => None,
+        })
+        .collect();
+    let quarter = probe
+        .outcomes
+        .get(probe_n / 4)
+        .map(|o| o.arrival.as_ps())
+        .unwrap_or(0);
+    let mut down_ps = None;
+    'search: for (wj, &(aj, fj, cj, att_j)) in windows.iter().enumerate() {
+        if cj != 0 || att_j != 1 || aj < quarter || aj >= latest {
+            continue;
+        }
+        // Exactly one other request in flight over this pair's replica
+        // devices at `aj`, and it must itself be a clean single-attempt
+        // interactive execution (continuously resident on its device).
+        let mut carrier = None;
+        for (wi, &(ai, fi, ci, att_i)) in windows.iter().enumerate() {
+            if wi == wj || !(ai <= aj && aj < fi) {
+                continue;
+            }
+            if ci != 0 || att_i != 1 || carrier.is_some() {
+                continue 'search;
+            }
+            carrier = Some(fi);
+        }
+        let Some(fi) = carrier else { continue };
+        let overlap_end = fi.min(fj);
+        if overlap_end <= aj + 1 {
+            continue;
+        }
+        down_ps = Some(aj + (overlap_end - aj) / 2);
+        break;
+    }
+    let Some(down_ps) = down_ps else {
+        return outage_events(s);
+    };
+    let frac = |num: u64, den: u64| SimTime::from_ps(span_ps / den * num);
+    let up_ps = (down_ps + span_ps / 20)
+        .min(span_ps * 12 / 20 - 1)
+        .max(down_ps + 1);
+    vec![
+        FleetEvent::DeviceDown {
+            at: SimTime::from_ps(down_ps),
+            device: 0,
+        },
+        FleetEvent::DeviceUp {
+            at: SimTime::from_ps(up_ps),
+            device: 0,
+        },
+        FleetEvent::DeviceDown {
+            at: frac(12, 20),
+            device: 1,
+        },
+        FleetEvent::DeviceUp {
+            at: frac(16, 20),
+            device: 1,
+        },
+    ]
+}
+
+/// Boots the scenario's fleet (standard mix resident, rotating shards)
+/// and serves the open-loop stream under the scenario's outages.
+pub fn run_fleet(s: &FleetScenario) -> FleetReport {
+    run_fleet_with(s, &outage_events(s))
+}
+
+/// [`run_fleet`] with an explicit event schedule (e.g.
+/// [`engineered_outage`]).
+pub fn run_fleet_with(s: &FleetScenario, events: &[FleetEvent]) -> FleetReport {
+    let cfg = FleetConfig {
+        devices: s.devices,
+        replicas: s.replicas,
+        fabric: FabricConfig {
+            seed: s.seed,
+            sim_mode: s.mode,
+            ..FabricConfig::default()
+        },
+        keep_outcomes: s.keep_outcomes,
+        ..FleetConfig::default()
+    };
+    let mut fleet = CimFleet::new(cfg, SeedTree::new(s.seed)).expect("fleet boots");
+    for spec in standard_request_mix() {
+        let (g, src, sink) = spec.build_graph(SeedTree::new(s.seed ^ 0x7E4A47));
+        fleet
+            .register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+            .expect("mix is resident on the default fabric");
+    }
+    fleet
+        .run_open_loop(s.rate_hz, s.requests, events)
+        .expect("fleet serves")
+}
+
+/// Both platforms' results for one scenario, same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetComparison {
+    /// The scenario served.
+    pub scenario: FleetScenario,
+    /// The CIM fleet side.
+    pub fleet: FleetReport,
+    /// The cluster baseline side, replaying the fleet's arrival record.
+    pub cluster: ClusterServeReport,
+    /// Host wall-clock inside the fleet run, ns (informational).
+    pub fleet_wall_ns: u64,
+    /// Host wall-clock inside the cluster replay, ns (informational).
+    pub cluster_wall_ns: u64,
+}
+
+/// Runs one scenario through both platforms: the fleet first, then the
+/// cluster baseline on the extracted arrival record under mirrored
+/// machine outages.
+pub fn compare(s: &FleetScenario) -> FleetComparison {
+    compare_with(s, &outage_events(s))
+}
+
+/// [`compare`] with an explicit outage schedule applied to both sides.
+pub fn compare_with(s: &FleetScenario, events: &[FleetEvent]) -> FleetComparison {
+    let started = Instant::now();
+    let fleet = run_fleet_with(s, events);
+    let fleet_wall_ns = started.elapsed().as_nanos() as u64;
+    let cfg = ClusterServeConfig::like_fleet(
+        s.devices,
+        s.replicas,
+        ServiceConfig::default().queue_capacity,
+        cluster_state_bytes(),
+    );
+    let started = Instant::now();
+    let cluster = serve(
+        &cfg,
+        &cluster_classes(),
+        &fleet.arrivals,
+        &machine_events(events),
+    );
+    let cluster_wall_ns = started.elapsed().as_nanos() as u64;
+    FleetComparison {
+        scenario: s.clone(),
+        fleet,
+        cluster,
+        fleet_wall_ns,
+        cluster_wall_ns,
+    }
+}
+
+/// Compares every scenario, points in parallel on up to `CIM_THREADS`
+/// host threads. Modeled numbers are bit-identical at any thread count.
+pub fn run(scenarios: &[FleetScenario]) -> Vec<FleetComparison> {
+    parallel_points(scenarios, |_, s| compare(s))
+}
+
+/// [`run`] with an explicit thread count (determinism tests).
+pub fn run_threads(scenarios: &[FleetScenario], threads: usize) -> Vec<FleetComparison> {
+    parallel_points_threads(threads, scenarios, |_, s| compare(s))
+}
+
+/// Renders the comparison as a Table-1-style text table: one CIM row
+/// and one cluster row per scenario, same arrivals on both.
+pub fn render(cmps: &[FleetComparison]) -> String {
+    let mut t = TextTable::new([
+        "scenario",
+        "platform",
+        "goodput",
+        "p50(us)",
+        "p99(us)",
+        "shed",
+        "failovers",
+        "energy(uJ)",
+    ]);
+    for c in cmps {
+        let label = c.scenario.label();
+        t.row([
+            label.clone(),
+            "cim-fleet".to_owned(),
+            format!("{:.4}", c.fleet.goodput()),
+            format!("{:.1}", c.fleet.latency.p50_us),
+            format!("{:.1}", c.fleet.latency.p99_us),
+            c.fleet.shed.to_string(),
+            c.fleet.failovers.to_string(),
+            format!("{:.2}", c.fleet.energy.as_fj() as f64 / 1e9),
+        ]);
+        t.row([
+            label,
+            "cluster".to_owned(),
+            format!("{:.4}", c.cluster.goodput()),
+            format!("{:.1}", c.cluster.p50_us),
+            format!("{:.1}", c.cluster.p99_us),
+            c.cluster.shed.to_string(),
+            c.cluster.failovers.to_string(),
+            format!("{:.2}", c.cluster.energy.as_fj() as f64 / 1e9),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Two-tier agreement: the fleet half of the analytic_check gate.
+
+/// What one simulation tier produced for one fleet scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetModeResult {
+    /// Requests completed within deadline.
+    pub completed: usize,
+    /// Mean latency over requests that ran to completion, µs.
+    pub mean_latency_us: f64,
+    /// Total modeled energy across every device meter, femtojoules.
+    pub energy_fj: u64,
+    /// Host wall-clock inside the run, ns (informational).
+    pub wall_ns: u64,
+}
+
+/// Both tiers' results for one fleet scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetModeComparison {
+    /// The scenario replayed (its `mode` field is ignored; both tiers
+    /// run).
+    pub scenario: FleetScenario,
+    /// The detailed (DES) reference.
+    pub detailed: FleetModeResult,
+    /// The analytic fast path.
+    pub analytic: FleetModeResult,
+}
+
+impl FleetModeComparison {
+    /// Fractional latency disagreement, relative to the DES.
+    pub fn latency_rel_err(&self) -> f64 {
+        rel_err(self.analytic.mean_latency_us, self.detailed.mean_latency_us)
+    }
+
+    /// Fractional energy disagreement, relative to the DES.
+    pub fn energy_rel_err(&self) -> f64 {
+        rel_err(
+            self.analytic.energy_fj as f64,
+            self.detailed.energy_fj as f64,
+        )
+    }
+
+    /// Host-side speedup of the analytic tier on this scenario.
+    pub fn speedup(&self) -> f64 {
+        self.detailed.wall_ns as f64 / (self.analytic.wall_ns.max(1)) as f64
+    }
+}
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    if want.abs() < f64::MIN_POSITIVE {
+        if got.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (got - want).abs() / want.abs()
+    }
+}
+
+/// The small fleet sample for the per-push gate: one light-load point
+/// and one mid-load point with the outage campaign, both on a 4-device
+/// fleet.
+pub fn mode_sample() -> Vec<FleetScenario> {
+    let base = FleetScenario {
+        devices: 4,
+        replicas: 2,
+        rate_hz: 50_000.0,
+        requests: 120,
+        seed: 0xF1A7,
+        mode: SimMode::Detailed,
+        outage: false,
+        keep_outcomes: false,
+    };
+    vec![
+        base.clone(),
+        FleetScenario {
+            rate_hz: 150_000.0,
+            outage: true,
+            ..base
+        },
+    ]
+}
+
+/// The wide fleet sample for the full gate: the small rate pair ×
+/// `seeds` independent seeds, outage campaign on the higher rate.
+pub fn mode_sample_wide(seeds: u64) -> Vec<FleetScenario> {
+    let mut points = Vec::new();
+    for s in 0..seeds.max(1) {
+        for base in mode_sample() {
+            points.push(FleetScenario {
+                seed: base.seed ^ (s * 0x9E37),
+                ..base
+            });
+        }
+    }
+    points
+}
+
+fn run_mode(s: &FleetScenario, mode: SimMode) -> FleetModeResult {
+    let started = Instant::now();
+    let r = run_fleet(&FleetScenario { mode, ..s.clone() });
+    FleetModeResult {
+        completed: r.completed,
+        mean_latency_us: r.latency.mean_us,
+        energy_fj: r.energy.as_fj(),
+        wall_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Replays every scenario through both tiers, points in parallel on up
+/// to `CIM_THREADS` host threads.
+pub fn compare_modes(scenarios: &[FleetScenario]) -> Vec<FleetModeComparison> {
+    parallel_points(scenarios, |_, s| FleetModeComparison {
+        scenario: s.clone(),
+        detailed: run_mode(s, SimMode::Detailed),
+        analytic: run_mode(s, SimMode::Analytic),
+    })
+}
+
+/// Checks fleet mode comparisons against the declared bounds — the same
+/// tolerances as the single-device gate ([`LATENCY_TOLERANCE`],
+/// [`ENERGY_TOLERANCE`], ordering preserved). Returns disagreement
+/// lines in the telemetry JSON-lines schema; empty means the tiers
+/// agree.
+pub fn check_modes(cmps: &[FleetModeComparison]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut fail = |label: &str, metric: &str, value: f64, bound: f64| {
+        lines.push(format!(
+            "{{\"component\":\"analytic_check/{label}\",\"metric\":\"{metric}\",\
+             \"kind\":\"gauge\",\"value\":{value:.6},\"bound\":{bound}}}"
+        ));
+    };
+    for c in cmps {
+        let label = c.scenario.label();
+        let lat = c.latency_rel_err();
+        if lat > LATENCY_TOLERANCE {
+            fail(&label, "latency_rel_err", lat, LATENCY_TOLERANCE);
+        }
+        let en = c.energy_rel_err();
+        if en > ENERGY_TOLERANCE {
+            fail(&label, "energy_rel_err", en, ENERGY_TOLERANCE);
+        }
+    }
+    // Throughput ordering: within each seed's rate sweep, any strict
+    // inversion between the tiers is a disagreement.
+    let mut seeds: Vec<u64> = cmps.iter().map(|c| c.scenario.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    for seed in seeds {
+        let sweep: Vec<&FleetModeComparison> =
+            cmps.iter().filter(|c| c.scenario.seed == seed).collect();
+        for i in 0..sweep.len() {
+            for j in (i + 1)..sweep.len() {
+                let (a, b) = (sweep[i], sweep[j]);
+                let det = a.detailed.completed.cmp(&b.detailed.completed);
+                let ana = a.analytic.completed.cmp(&b.analytic.completed);
+                if det != std::cmp::Ordering::Equal && ana == det.reverse() {
+                    fail(
+                        &format!("{}_vs_{}", a.scenario.label(), b.scenario.label()),
+                        "throughput_order_inversion",
+                        (a.analytic.completed as f64) - (b.analytic.completed as f64),
+                        0.0,
+                    );
+                }
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_beats_cluster_under_the_same_outages() {
+        let s = FleetScenario {
+            requests: 400,
+            ..default_scenario()
+        };
+        let c = compare_with(&s, &engineered_outage(&s));
+        assert!(c.fleet.zero_lost(), "fleet loses nothing: {:?}", c.fleet);
+        assert!(c.cluster.zero_lost(), "cluster accounts everything");
+        assert_eq!(c.cluster.offered, c.fleet.offered, "same workload");
+        assert!(
+            c.fleet.failovers > 0,
+            "the outage campaign must catch requests in flight"
+        );
+        // The whole point of Table 1: resident replicas beat
+        // state-shipping failover on goodput, and every request on the
+        // cluster pays at least the network RTT.
+        assert!(
+            c.fleet.goodput() > c.cluster.goodput(),
+            "fleet {:.4} vs cluster {:.4}",
+            c.fleet.goodput(),
+            c.cluster.goodput()
+        );
+        assert!(c.cluster.p50_us >= 2.0, "cluster p50 under the RTT floor");
+        let rendered = render(&[c]);
+        assert!(rendered.contains("cim-fleet") && rendered.contains("cluster"));
+    }
+
+    #[test]
+    fn comparisons_are_deterministic_across_threads() {
+        let scenarios = vec![
+            FleetScenario {
+                requests: 200,
+                ..default_scenario()
+            },
+            FleetScenario {
+                requests: 200,
+                seed: 0xF1EE8,
+                ..default_scenario()
+            },
+        ];
+        let a = run_threads(&scenarios, 1);
+        let b = run_threads(&scenarios, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fleet, y.fleet, "fleet side thread-invariant");
+            assert_eq!(x.cluster, y.cluster, "cluster side thread-invariant");
+        }
+    }
+
+    #[test]
+    fn mode_sample_agrees_within_bounds() {
+        let cmps = compare_modes(&mode_sample());
+        assert_eq!(cmps.len(), 2);
+        let lines = check_modes(&cmps);
+        assert!(lines.is_empty(), "disagreements: {lines:?}");
+        for c in &cmps {
+            assert!(c.detailed.completed > 0, "sample must exercise requests");
+        }
+    }
+
+    #[test]
+    fn check_modes_flags_violations_in_telemetry_schema() {
+        let mut cmps = compare_modes(&mode_sample());
+        cmps[0].analytic.mean_latency_us = cmps[0].detailed.mean_latency_us * 2.0 + 1.0;
+        cmps[0].analytic.energy_fj = cmps[0].detailed.energy_fj * 3 + 1;
+        let lines = check_modes(&cmps);
+        assert_eq!(lines.len(), 2, "one line per violated bound: {lines:?}");
+        for line in &lines {
+            cim_sim::telemetry::validate_jsonl_line(line).expect("telemetry schema");
+            assert!(line.contains("analytic_check/fleet"));
+        }
+    }
+
+    #[test]
+    fn engineered_outage_guarantees_a_failover() {
+        // The probe-placed device-0 window must catch a request
+        // mid-execution regardless of how the heuristic placement
+        // would have fared.
+        let s = FleetScenario {
+            requests: 1_000,
+            ..default_scenario()
+        };
+        let events = engineered_outage(&s);
+        assert_eq!(events.len(), 4, "engineered pair plus device-1 window");
+        let r = run_fleet_with(&s, &events);
+        assert!(r.failovers > 0, "no request caught in flight: {r:?}");
+        assert!(r.zero_lost(), "failover must not lose requests: {r:?}");
+        assert_eq!(r.voided_total() as usize, r.failovers);
+    }
+
+    #[test]
+    fn outage_windows_never_overlap() {
+        let evs = outage_events(&default_scenario());
+        assert_eq!(evs.len(), 4);
+        // device 0 back up before device 1 goes down.
+        assert!(evs[1].at() < evs[2].at());
+        let machines = machine_events(&evs);
+        assert_eq!(machines.len(), 4);
+        assert!(outage_events(&FleetScenario {
+            devices: 1,
+            replicas: 1,
+            ..default_scenario()
+        })
+        .is_empty());
+    }
+}

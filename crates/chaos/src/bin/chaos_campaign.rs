@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N]
-//!                [--requests N] [--weaken NAME] [--out PATH]
-//!                [--telemetry PATH]
+//!                [--requests N] [--fleet-devices N] [--weaken NAME]
+//!                [--out PATH] [--telemetry PATH]
 //! ```
 //!
 //! Sweeps `N` seeds (default 64) through the chaos invariants. Exit 0
@@ -60,6 +60,10 @@ fn main() -> ExitCode {
             "--requests" => match value(i).and_then(parse_u64) {
                 Some(n) if n > 0 => chaos.requests = n as usize,
                 _ => return usage("--requests needs a positive count"),
+            },
+            "--fleet-devices" => match value(i).and_then(parse_u64) {
+                Some(n) if n >= 2 => chaos.fleet_devices = n as usize,
+                _ => return usage("--fleet-devices needs a count >= 2"),
             },
             "--weaken" => match value(i).and_then(Weaken::from_name) {
                 Some(w) => chaos.weaken = w,
@@ -139,7 +143,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("chaos_campaign: {err}");
     eprintln!(
         "usage: chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N] \
-         [--requests N] [--weaken NAME] [--out PATH] [--telemetry PATH]"
+         [--requests N] [--fleet-devices N] [--weaken NAME] [--out PATH] [--telemetry PATH]"
     );
     ExitCode::FAILURE
 }

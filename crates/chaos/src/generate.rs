@@ -41,10 +41,15 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     let n_events = ev_rng.gen_range(1usize..cfg.max_events.max(2));
     let mut failed_units: Vec<u16> = Vec::new();
     let mut failed_links: Vec<(u16, u16, u16, u16)> = Vec::new();
+    let mut downed_devices: Vec<u16> = Vec::new();
     let mut events = Vec::with_capacity(n_events);
+    // Fleet harnesses widen the roll range to admit whole-device
+    // outages; single-device configs keep the 0..100 range so their
+    // seed → schedule expansion is bit-identical to what it always was.
+    let roll_max = if cfg.is_fleet() { 130 } else { 100 };
     for _ in 0..n_events {
         let at_ps = ev_rng.gen_range(0u64..cfg.horizon_ps.max(1));
-        let roll = ev_rng.gen_range(0u32..100);
+        let roll = ev_rng.gen_range(0u32..roll_max);
         let action = match roll {
             0..=21 => {
                 let unit = ev_rng.gen_range(0u16..units.max(1));
@@ -98,9 +103,24 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
                     bytes: ev_rng.gen_range(16u16..256),
                 }
             }
-            _ => ChaosAction::ArrivalBurst {
+            90..=99 => ChaosAction::ArrivalBurst {
                 extra: ev_rng.gen_range(1u16..24),
             },
+            100..=114 => {
+                let device = ev_rng.gen_range(0u16..cfg.fleet_devices.max(1) as u16);
+                downed_devices.push(device);
+                ChaosAction::DeviceDown { device }
+            }
+            _ => {
+                // Bias the repair toward a device this schedule downed,
+                // mirroring the unit/link repair bias.
+                let device = if !downed_devices.is_empty() && ev_rng.gen_bool(0.75) {
+                    downed_devices[ev_rng.gen_range(0usize..downed_devices.len())]
+                } else {
+                    ev_rng.gen_range(0u16..cfg.fleet_devices.max(1) as u16)
+                };
+                ChaosAction::DeviceUp { device }
+            }
         };
         events.push(ChaosEvent { at_ps, action });
     }

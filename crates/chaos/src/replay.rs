@@ -104,6 +104,9 @@ fn action_pairs(action: &ChaosAction) -> Vec<(String, Json)> {
             push("bytes", u64::from(bytes));
         }
         ChaosAction::ArrivalBurst { extra } => push("extra", u64::from(extra)),
+        ChaosAction::DeviceDown { device } | ChaosAction::DeviceUp { device } => {
+            push("device", u64::from(device));
+        }
     }
     p
 }
@@ -133,6 +136,8 @@ pub fn render_replay(file: &ReplayFile) -> String {
         ),
         ("horizon_ps".to_owned(), num(cfg.horizon_ps)),
         ("max_events".to_owned(), num(cfg.max_events as u64)),
+        ("fleet_devices".to_owned(), num(cfg.fleet_devices as u64)),
+        ("fleet_replicas".to_owned(), num(cfg.fleet_replicas as u64)),
         (
             "weaken".to_owned(),
             Json::String(cfg.weaken.name().to_owned()),
@@ -252,6 +257,12 @@ fn parse_event(obj: &Json) -> Result<ChaosEvent, String> {
         "arrival_burst" => ChaosAction::ArrivalBurst {
             extra: get_u16(obj, "extra")?,
         },
+        "device_down" => ChaosAction::DeviceDown {
+            device: get_u16(obj, "device")?,
+        },
+        "device_up" => ChaosAction::DeviceUp {
+            device: get_u16(obj, "device")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(ChaosEvent { at_ps, action })
@@ -288,6 +299,16 @@ pub fn parse_replay(text: &str) -> Result<ReplayFile, String> {
         recovery_bound: SimDuration::from_ps(get_u64(&header, "recovery_bound_ps")?),
         horizon_ps: get_u64(&header, "horizon_ps")?,
         max_events: get_u64(&header, "max_events")? as usize,
+        // Pre-fleet replay files lack these fields; default to the
+        // single-device harness they were recorded against.
+        fleet_devices: header
+            .get("fleet_devices")
+            .and_then(Json::as_u64)
+            .unwrap_or(0) as usize,
+        fleet_replicas: header
+            .get("fleet_replicas")
+            .and_then(Json::as_u64)
+            .unwrap_or(2) as usize,
         weaken: Weaken::from_name(weaken_name)
             .ok_or_else(|| format!("unknown weaken mode {weaken_name:?}"))?,
     };

@@ -28,7 +28,8 @@ use cim_crossbar::dpe::DpeConfig;
 use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
 use cim_dataflow::ops::{Elementwise, Operation};
 use cim_fabric::config::FabricConfig;
-use cim_fabric::service::{CimService, Disposition, ServiceConfig, ServiceReport};
+use cim_fabric::fleet::{CimFleet, FleetConfig};
+use cim_fabric::service::{CimService, Disposition, RequestOutcome, ServiceConfig, ServiceReport};
 use cim_obs::{AlertEvent, AlertSeverity, ObsConfig};
 use cim_sim::telemetry::{validate_jsonl_line, TelemetryLevel};
 use cim_sim::time::{SimDuration, SimTime};
@@ -66,6 +67,13 @@ pub struct ChaosConfig {
     pub horizon_ps: u64,
     /// Maximum events per generated schedule.
     pub max_events: usize,
+    /// Fleet size: `>= 2` routes every schedule through a
+    /// [`CimFleet`] of this many devices (whole-device outages join the
+    /// action mix, and a fleet-specific no-double-execution invariant is
+    /// checked); `0`/`1` is the classic single-device path.
+    pub fleet_devices: usize,
+    /// Replicas per tenant class in fleet mode.
+    pub fleet_replicas: usize,
     /// Test-only invariant sabotage; [`Weaken::None`] in CI configs.
     pub weaken: Weaken,
 }
@@ -84,15 +92,23 @@ impl Default for ChaosConfig {
             recovery_bound: SimDuration::from_us(5_000),
             horizon_ps: 300_000_000, // 300 µs: covers the arrival stream
             max_events: 12,
+            fleet_devices: 0,
+            fleet_replicas: 2,
             weaken: Weaken::None,
         }
     }
 }
 
 impl ChaosConfig {
-    /// Total micro-units on the configured fabric.
+    /// Total micro-units on the configured fabric (per device, in fleet
+    /// mode).
     pub fn total_units(&self) -> usize {
         self.mesh_width * self.mesh_height * self.units_per_tile
+    }
+
+    /// Whether schedules run against a multi-device fleet.
+    pub fn is_fleet(&self) -> bool {
+        self.fleet_devices >= 2
     }
 }
 
@@ -196,15 +212,50 @@ fn relu_graph(width: usize) -> (DataflowGraph, NodeRef, NodeRef) {
     (b.build().expect("graph is valid"), s, k)
 }
 
-struct RunOnce {
-    report: ServiceReport,
-    fingerprint: u64,
-    telemetry: String,
-    recovery_latencies: Vec<SimDuration>,
+/// Fleet-only accounting the no-double-execution invariant checks.
+struct FleetAccounting {
+    served_total: u64,
+    voided_total: u64,
+    failovers: usize,
 }
 
-/// Boots a fresh service and runs the schedule once.
+struct RunOnce {
+    /// offered / admitted / shed / completed / timed out / failed.
+    counts: [usize; 6],
+    recoveries: usize,
+    retries: usize,
+    fingerprint: u64,
+    telemetry: String,
+    series_jsonl: String,
+    alerts: Vec<AlertEvent>,
+    recovery_latencies: Vec<SimDuration>,
+    /// Last simulated instant any request was observed at (triage
+    /// timestamp for synthetic invariant alerts).
+    end_time: SimTime,
+    /// Present only on fleet runs.
+    fleet: Option<FleetAccounting>,
+}
+
+/// The last simulated instant the outcome list touches.
+fn last_observed(outcomes: &[RequestOutcome]) -> SimTime {
+    outcomes
+        .iter()
+        .map(|o| match &o.disposition {
+            Disposition::Completed { finished, .. } | Disposition::TimedOut { finished, .. } => {
+                *finished
+            }
+            _ => o.arrival,
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Boots a fresh harness — a single service, or a [`CimFleet`] when
+/// [`ChaosConfig::is_fleet`] — and runs the schedule once.
 fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, String> {
+    if cfg.is_fleet() {
+        return run_once_fleet(cfg, schedule);
+    }
     let fabric = FabricConfig {
         mesh_width: cfg.mesh_width,
         mesh_height: cfg.mesh_height,
@@ -248,10 +299,122 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
     let recovery_latencies = svc.runtime().device().recovery_latencies();
     let fingerprint = fingerprint_run(&report, &telemetry);
     Ok(RunOnce {
-        report,
+        counts: [
+            report.offered,
+            report.admitted,
+            report.shed,
+            report.completed,
+            report.timed_out,
+            report.failed,
+        ],
+        recoveries: report.recoveries,
+        retries: report.retries,
         fingerprint,
         telemetry,
+        series_jsonl: report.series_jsonl.clone(),
+        alerts: report.alerts.clone(),
         recovery_latencies,
+        end_time: last_observed(&report.outcomes),
+        fleet: None,
+    })
+}
+
+/// Boots a fresh fleet and runs the schedule once across it. Same fixed
+/// seed, same two tenant classes as the single-device path; the
+/// schedule lowers through
+/// [`crate::schedule::ChaosSchedule::to_fleet_events`], so device
+/// outages fence whole devices and unit faults land on
+/// `unit / units_per_device`.
+fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, String> {
+    let fabric = FabricConfig {
+        mesh_width: cfg.mesh_width,
+        mesh_height: cfg.mesh_height,
+        units_per_tile: cfg.units_per_tile,
+        seed: 0xC1A0_5EED,
+        dpe: DpeConfig::ideal(),
+        ..FabricConfig::default()
+    };
+    let fleet_cfg = FleetConfig {
+        devices: cfg.fleet_devices,
+        replicas: cfg.fleet_replicas,
+        fabric,
+        service: ServiceConfig {
+            queue_capacity: cfg.queue_capacity,
+            max_attempts: cfg.max_attempts,
+            ..ServiceConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let mut fleet = CimFleet::new(fleet_cfg, SeedTree::new(0xC1A0_5EED))
+        .map_err(|e| format!("fleet boot failed: {e}"))?;
+    let tels: Vec<_> = (0..fleet.device_count())
+        .map(|d| {
+            fleet
+                .runtime_mut(d)
+                .device_mut()
+                .enable_telemetry(TelemetryLevel::Full)
+        })
+        .collect();
+    fleet.enable_observability(ObsConfig::default());
+
+    let deadline = schedule.pressure.deadline(cfg.base_deadline);
+    let (mlp, mlp_src, mlp_sink) =
+        cim_workloads::nn::mlp_graph(&[8, 8], SeedTree::new(0xC1A55).child("mlp"));
+    fleet
+        .register_class("mlp", mlp, mlp_src, mlp_sink, deadline, 2)
+        .map_err(|e| format!("mlp class registration failed: {e}"))?;
+    let (relu, relu_src, relu_sink) = relu_graph(8);
+    fleet
+        .register_class("relu", relu, relu_src, relu_sink, deadline, 1)
+        .map_err(|e| format!("relu class registration failed: {e}"))?;
+
+    let rate_hz = schedule.pressure.rate_hz(cfg.base_rate_hz);
+    let events = schedule.to_fleet_events(cfg.fleet_devices, cfg.total_units());
+    let report = fleet
+        .run_open_loop(rate_hz, cfg.requests, &events)
+        .map_err(|e| format!("fleet run aborted: {e}"))?;
+
+    let telemetry: String = tels.iter().map(|t| t.export_jsonl()).collect();
+    let recovery_latencies: Vec<SimDuration> = (0..fleet.device_count())
+        .flat_map(|d| fleet.runtime(d).device().recovery_latencies())
+        .collect();
+    // The fleet's own streaming fingerprint covers every outcome; fold
+    // in the telemetry, series and alert exports exactly like the
+    // single-device digest does.
+    let mut h = Fnv::new();
+    h.u64(report.fingerprint);
+    h.bytes(telemetry.as_bytes());
+    h.bytes(report.series_jsonl.as_bytes());
+    for a in &report.alerts {
+        h.u64(a.at.as_ps());
+        h.bytes(a.tenant.as_bytes());
+        h.bytes(a.rule.as_bytes());
+        h.byte(u8::from(a.severity == AlertSeverity::Page));
+        h.u64(a.burn_rate.to_bits());
+        h.u64(a.window.as_ps());
+    }
+    Ok(RunOnce {
+        counts: [
+            report.offered,
+            report.admitted,
+            report.shed,
+            report.completed,
+            report.timed_out,
+            report.failed,
+        ],
+        recoveries: report.recoveries,
+        retries: report.retries,
+        fingerprint: h.finish(),
+        telemetry,
+        series_jsonl: report.series_jsonl.clone(),
+        alerts: report.alerts.clone(),
+        recovery_latencies,
+        end_time: last_observed(&report.outcomes),
+        fleet: Some(FleetAccounting {
+            served_total: report.served_total(),
+            voided_total: report.voided_total(),
+            failovers: report.failovers,
+        }),
     })
 }
 
@@ -307,21 +470,9 @@ fn fingerprint_run(report: &ServiceReport, telemetry: &str) -> u64 {
 /// The violating run's triage timeline: its SLO alerts plus a synthetic
 /// page for the broken invariant, stamped at the run's last observed
 /// sim time.
-fn triage_alerts(invariant: &'static str, report: Option<&ServiceReport>) -> Vec<AlertEvent> {
-    let mut alerts = report.map(|r| r.alerts.clone()).unwrap_or_default();
-    let detected_at = report
-        .map(|r| {
-            r.outcomes
-                .iter()
-                .map(|o| match &o.disposition {
-                    Disposition::Completed { finished, .. }
-                    | Disposition::TimedOut { finished, .. } => *finished,
-                    _ => o.arrival,
-                })
-                .max()
-                .unwrap_or(SimTime::ZERO)
-        })
-        .unwrap_or(SimTime::ZERO);
+fn triage_alerts(invariant: &'static str, run: Option<&RunOnce>) -> Vec<AlertEvent> {
+    let mut alerts = run.map(|r| r.alerts.clone()).unwrap_or_default();
+    let detected_at = run.map(|r| r.end_time).unwrap_or(SimTime::ZERO);
     alerts.push(AlertEvent {
         at: detected_at,
         tenant: "chaos".to_owned(),
@@ -346,8 +497,8 @@ pub fn export_run(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<String,
     Ok(format!(
         "{}{}{}",
         once.telemetry,
-        once.report.series_jsonl,
-        cim_obs::alerts_jsonl(&once.report.alerts)
+        once.series_jsonl,
+        cim_obs::alerts_jsonl(&once.alerts)
     ))
 }
 
@@ -387,39 +538,53 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         fingerprint: None,
         alerts: triage_alerts("run_error", None),
     })?;
-    let report = &first.report;
+    let [offered, admitted, shed, completed, timed_out, failed] = first.counts;
 
     // 1. Conservation: nothing vanishes at admission or dispatch.
-    if report.admitted + report.shed != report.offered
-        || report.completed + report.timed_out + report.failed != report.admitted
-    {
+    if admitted + shed != offered || completed + timed_out + failed != admitted {
         return Err(Violation {
             invariant: "conservation",
             detail: format!(
-                "offered {} != admitted {} + shed {}, or admitted != completed {} + timed_out {} + failed {}",
-                report.offered,
-                report.admitted,
-                report.shed,
-                report.completed,
-                report.timed_out,
-                report.failed
+                "offered {offered} != admitted {admitted} + shed {shed}, or admitted != \
+                 completed {completed} + timed_out {timed_out} + failed {failed}"
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("conservation", Some(report)),
+            alerts: triage_alerts("conservation", Some(&first)),
         });
+    }
+
+    // 1b. Fleet runs: whole-device failover must never double-count an
+    // execution — each request's final run is served exactly once, and
+    // every failover voids exactly one in-flight attempt.
+    if let Some(fleet) = &first.fleet {
+        if fleet.served_total != (completed + timed_out) as u64
+            || fleet.voided_total != fleet.failovers as u64
+        {
+            return Err(Violation {
+                invariant: "no_double_execution",
+                detail: format!(
+                    "devices served {} (completed + timed_out is {}), voided {} across {} failovers",
+                    fleet.served_total,
+                    completed + timed_out,
+                    fleet.voided_total,
+                    fleet.failovers
+                ),
+                fingerprint: Some(first.fingerprint),
+                alerts: triage_alerts("no_double_execution", Some(&first)),
+            });
+        }
     }
 
     // 2. Hard failures need a hard fault in the schedule to explain them.
     let failures_allowed = schedule.has_hard_faults() && cfg.weaken != Weaken::NoFailuresEver;
-    if report.failed > 0 && !failures_allowed {
+    if failed > 0 && !failures_allowed {
         return Err(Violation {
             invariant: "no_unexpected_failures",
             detail: format!(
-                "{} request(s) failed under a schedule with no unit/link failures",
-                report.failed
+                "{failed} request(s) failed under a schedule with no unit/link failures"
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("conservation", Some(report)),
+            alerts: triage_alerts("conservation", Some(&first)),
         });
     }
 
@@ -442,7 +607,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 bound.as_us_f64()
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("recovery_bound", Some(report)),
+            alerts: triage_alerts("recovery_bound", Some(&first)),
         });
     }
 
@@ -452,7 +617,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
             invariant: "telemetry_valid",
             detail: "telemetry export is empty".to_owned(),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("telemetry_valid", Some(report)),
+            alerts: triage_alerts("telemetry_valid", Some(&first)),
         });
     }
     for (i, line) in first.telemetry.lines().enumerate() {
@@ -461,7 +626,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 invariant: "telemetry_valid",
                 detail: format!("telemetry line {} invalid: {e}", i + 1),
                 fingerprint: Some(first.fingerprint),
-                alerts: triage_alerts("telemetry_valid", Some(report)),
+                alerts: triage_alerts("telemetry_valid", Some(&first)),
             });
         }
     }
@@ -471,7 +636,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         invariant: "run_error",
         detail: format!("replay run aborted: {detail}"),
         fingerprint: Some(first.fingerprint),
-        alerts: triage_alerts("run_error", Some(&first.report)),
+        alerts: triage_alerts("run_error", Some(&first)),
     })?;
     if second.fingerprint != first.fingerprint {
         return Err(Violation {
@@ -481,22 +646,15 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 second.fingerprint, first.fingerprint
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("determinism", Some(&second.report)),
+            alerts: triage_alerts("determinism", Some(&second)),
         });
     }
 
     Ok(RunRecord {
         fingerprint: first.fingerprint,
-        counts: [
-            report.offered,
-            report.admitted,
-            report.shed,
-            report.completed,
-            report.timed_out,
-            report.failed,
-        ],
-        recoveries: report.recoveries,
-        retries: report.retries,
+        counts: first.counts,
+        recoveries: first.recoveries,
+        retries: first.retries,
         telemetry_lines: first.telemetry.lines().count(),
         max_recovery,
     })
@@ -568,5 +726,35 @@ mod tests {
         let v = run_schedule(&cfg, &sched).expect_err("weakened invariant must trip");
         assert_eq!(v.invariant, "recovery_bound");
         assert!(v.fingerprint.is_some());
+    }
+
+    #[test]
+    fn fleet_mode_absorbs_a_device_outage() {
+        let cfg = ChaosConfig {
+            fleet_devices: 3,
+            requests: 16,
+            ..ChaosConfig::default()
+        };
+        // Device 0 dies early and returns after most arrivals: every
+        // request it was serving fails over to the replica device. The
+        // run passes conservation, no-double-execution and determinism
+        // (all checked inside run_schedule).
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![
+                ChaosEvent {
+                    at_ps: 2_000_000,
+                    action: ChaosAction::DeviceDown { device: 0 },
+                },
+                ChaosEvent {
+                    at_ps: 100_000_000,
+                    action: ChaosAction::DeviceUp { device: 0 },
+                },
+            ],
+        };
+        let rec = run_schedule(&cfg, &sched).expect("fleet absorbs the outage");
+        assert_eq!(rec.counts[0], 16);
+        assert_eq!(rec.counts[5], 0, "no requests lost: {:?}", rec.counts);
+        assert!(rec.telemetry_lines > 0);
     }
 }

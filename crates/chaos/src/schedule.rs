@@ -9,6 +9,7 @@
 //! fabric's injection machinery at run time.
 
 use cim_fabric::engine::InjectionKind;
+use cim_fabric::fleet::FleetEvent;
 use cim_fabric::service::ServiceEvent;
 use cim_noc::packet::NodeId;
 use cim_sim::prop::Shrink;
@@ -98,6 +99,19 @@ pub enum ChaosAction {
         /// Simultaneous arrivals beyond the first.
         extra: u16,
     },
+    /// Whole-device outage (fleet runs only): device `device` is fenced
+    /// from routing and every request caught on it fails over. On a
+    /// single-device harness this action does not lower (no service
+    /// event), so shrunk single-device schedules stay runnable.
+    DeviceDown {
+        /// Fleet device index.
+        device: u16,
+    },
+    /// The device returns to service and rejoins routing.
+    DeviceUp {
+        /// Fleet device index.
+        device: u16,
+    },
 }
 
 impl ChaosAction {
@@ -112,6 +126,8 @@ impl ChaosAction {
             ChaosAction::DriftSpike { .. } => "drift_spike",
             ChaosAction::Congestion { .. } => "congestion",
             ChaosAction::ArrivalBurst { .. } => "arrival_burst",
+            ChaosAction::DeviceDown { .. } => "device_down",
+            ChaosAction::DeviceUp { .. } => "device_up",
         }
     }
 
@@ -121,7 +137,9 @@ impl ChaosAction {
     pub fn is_hard_fault(&self) -> bool {
         matches!(
             self,
-            ChaosAction::FailUnit { .. } | ChaosAction::FailLink { .. }
+            ChaosAction::FailUnit { .. }
+                | ChaosAction::FailLink { .. }
+                | ChaosAction::DeviceDown { .. }
         )
     }
 }
@@ -239,6 +257,16 @@ impl Shrink for ChaosAction {
                 .into_iter()
                 .map(|extra| ChaosAction::ArrivalBurst { extra })
                 .collect(),
+            ChaosAction::DeviceDown { device } => device
+                .shrink_candidates()
+                .into_iter()
+                .map(|device| ChaosAction::DeviceDown { device })
+                .collect(),
+            ChaosAction::DeviceUp { device } => device
+                .shrink_candidates()
+                .into_iter()
+                .map(|device| ChaosAction::DeviceUp { device })
+                .collect(),
         }
     }
 }
@@ -271,10 +299,12 @@ pub struct ChaosEvent {
 }
 
 impl ChaosEvent {
-    /// Lowers this event to the service layer's event type.
-    pub fn to_service_event(&self) -> ServiceEvent {
+    /// Lowers this event to the service layer's event type. Fleet-only
+    /// actions ([`ChaosAction::DeviceDown`]/[`ChaosAction::DeviceUp`])
+    /// have no single-device equivalent and return `None`.
+    pub fn to_service_event(&self) -> Option<ServiceEvent> {
         let at = SimTime::from_ps(self.at_ps);
-        match self.action {
+        Some(match self.action {
             ChaosAction::FailUnit { unit } => ServiceEvent::FailUnit {
                 at,
                 unit: usize::from(unit),
@@ -335,6 +365,77 @@ impl ChaosEvent {
                 },
             },
             ChaosAction::ArrivalBurst { extra } => ServiceEvent::ArrivalBurst { at, extra },
+            ChaosAction::DeviceDown { .. } | ChaosAction::DeviceUp { .. } => return None,
+        })
+    }
+
+    /// Lowers this event onto an `n_devices`-device fleet with
+    /// `units_per_device` micro-units per device. Unit-indexed actions
+    /// address the fleet's units linearly (`unit / units_per_device`
+    /// picks the device, the remainder is the device-local unit), mesh
+    /// coordinate actions hash their coordinates onto a device, and
+    /// device actions clamp the index modulo the fleet — so arbitrary
+    /// shrunk values always lower to something runnable.
+    pub fn to_fleet_event(&self, n_devices: usize, units_per_device: usize) -> FleetEvent {
+        let at = SimTime::from_ps(self.at_ps);
+        let n = n_devices.max(1);
+        let per = units_per_device.max(1);
+        let coord_device = |ax: u16, ay: u16, bx: u16, by: u16| {
+            (usize::from(ax) + usize::from(ay) + usize::from(bx) + usize::from(by)) % n
+        };
+        // Unit-indexed actions: split the linear fleet index into a
+        // device and a device-local unit, then reuse the single-device
+        // lowering on the localized action.
+        let localize = |unit: u16, rewrite: &dyn Fn(u16) -> ChaosAction| -> FleetEvent {
+            let device = (usize::from(unit) / per) % n;
+            let local = (usize::from(unit) % per) as u16;
+            let event = ChaosEvent {
+                at_ps: self.at_ps,
+                action: rewrite(local),
+            }
+            .to_service_event()
+            .expect("unit-indexed actions always lower");
+            FleetEvent::Device { device, event }
+        };
+        match self.action {
+            ChaosAction::DeviceDown { device } => FleetEvent::DeviceDown {
+                at,
+                device: usize::from(device) % n,
+            },
+            ChaosAction::DeviceUp { device } => FleetEvent::DeviceUp {
+                at,
+                device: usize::from(device) % n,
+            },
+            ChaosAction::FailUnit { unit } => {
+                localize(unit, &|unit| ChaosAction::FailUnit { unit })
+            }
+            ChaosAction::RepairUnit { unit } => {
+                localize(unit, &|unit| ChaosAction::RepairUnit { unit })
+            }
+            ChaosAction::CellFaults {
+                unit,
+                rate_ppm,
+                stuck_on_ppm,
+                seed,
+            } => localize(unit, &|unit| ChaosAction::CellFaults {
+                unit,
+                rate_ppm,
+                stuck_on_ppm,
+                seed,
+            }),
+            ChaosAction::DriftSpike { unit, drift_ppm } => {
+                localize(unit, &|unit| ChaosAction::DriftSpike { unit, drift_ppm })
+            }
+            ChaosAction::FailLink { ax, ay, bx, by }
+            | ChaosAction::RepairLink { ax, ay, bx, by } => FleetEvent::Device {
+                device: coord_device(ax, ay, bx, by),
+                event: self.to_service_event().expect("link actions lower"),
+            },
+            ChaosAction::Congestion { ax, ay, bx, by, .. } => FleetEvent::Device {
+                device: coord_device(ax, ay, bx, by),
+                event: self.to_service_event().expect("congestion lowers"),
+            },
+            ChaosAction::ArrivalBurst { extra } => FleetEvent::ArrivalBurst { at, extra },
         }
     }
 }
@@ -453,13 +554,27 @@ impl ChaosSchedule {
     }
 
     /// Lowers the whole schedule to service events, sorted by time.
+    /// Fleet-only actions (device outages) are dropped — they have no
+    /// single-device meaning.
     pub fn to_service_events(&self) -> Vec<ServiceEvent> {
         let mut evs: Vec<ServiceEvent> = self
             .events
             .iter()
-            .map(ChaosEvent::to_service_event)
+            .filter_map(ChaosEvent::to_service_event)
             .collect();
         evs.sort_by_key(ServiceEvent::at);
+        evs
+    }
+
+    /// Lowers the whole schedule onto an `n_devices` fleet, sorted by
+    /// time (see [`ChaosEvent::to_fleet_event`]).
+    pub fn to_fleet_events(&self, n_devices: usize, units_per_device: usize) -> Vec<FleetEvent> {
+        let mut evs: Vec<FleetEvent> = self
+            .events
+            .iter()
+            .map(|e| e.to_fleet_event(n_devices, units_per_device))
+            .collect();
+        evs.sort_by_key(FleetEvent::at);
         evs
     }
 
@@ -569,5 +684,36 @@ mod tests {
         let evs = sched.to_service_events();
         assert_eq!(evs.len(), 2);
         assert!(evs.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn fleet_lowering_splits_units_and_clamps_devices() {
+        // Linear unit 21 on 16-unit devices → device 1, local unit 5.
+        let ev = ChaosEvent {
+            at_ps: 7,
+            action: ChaosAction::FailUnit { unit: 21 },
+        };
+        match ev.to_fleet_event(4, 16) {
+            FleetEvent::Device {
+                device,
+                event: ServiceEvent::FailUnit { unit, .. },
+            } => {
+                assert_eq!(device, 1);
+                assert_eq!(unit, 5);
+            }
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+        // Shrunk/arbitrary device indices clamp onto the fleet.
+        let down = ChaosEvent {
+            at_ps: 7,
+            action: ChaosAction::DeviceDown { device: 9 },
+        };
+        assert!(matches!(
+            down.to_fleet_event(4, 16),
+            FleetEvent::DeviceDown { device: 1, .. }
+        ));
+        // Device outages have no single-device lowering.
+        assert!(down.to_service_event().is_none());
+        assert!(down.action.is_hard_fault());
     }
 }

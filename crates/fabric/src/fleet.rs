@@ -1,0 +1,1260 @@
+//! Multi-device serving fleet: tenant-aware routing and whole-device
+//! failover (paper §IV.B/C at fleet scale, Table 1 made live).
+//!
+//! [`crate::service::CimService`] fronts one device; a production story
+//! needs a *fleet*. [`CimFleet`] owns N simulated [`CimRuntime`] devices
+//! and adds the router tier above them: each tenant class is sharded
+//! onto a replica set of devices (resident programs on every replica),
+//! arrivals are routed to the least-outstanding live replica, and a
+//! whole-device outage ([`FleetEvent::DeviceDown`]) fences the device —
+//! requests caught mid-execution are *voided* (their work discarded,
+//! never double-counted) and re-dispatched to a surviving replica after
+//! a short detection delay. [`FleetEvent::DeviceUp`] re-admits the
+//! repaired device into routing.
+//!
+//! The contrast with a conventional cluster is the failover currency:
+//! CIM replicas hold *resident* programmed conductances, so recovery
+//! pays only detection plus re-execution, not the
+//! checkpoint-shipping/state-transfer penalty `baseline::cluster`
+//! charges (50 ms detection + state over the network). The fleet report
+//! keeps the full arrival record so `baseline::serving` can replay the
+//! identical workload through the cluster model — one harness, two
+//! platforms, same chaos schedule.
+//!
+//! ```text
+//!            ┌─ router: shard + replica set per class ─┐
+//! arrivals ──┤  least-outstanding live replica          ├──► device 0..N
+//!            └─ DeviceDown: void + re-route + detect ───┘
+//! ```
+//!
+//! Everything runs in simulated time on the in-tree RNG: reports are
+//! bit-identical at every `CIM_THREADS` setting, and
+//! [`FleetReport::fingerprint`] condenses the whole run (outcomes,
+//! dispositions, output bits) into one comparable word even when
+//! outcome storage is turned off for soaks.
+
+use crate::config::FabricConfig;
+use crate::error::{FabricError, Result};
+use crate::runtime::{CimRuntime, JobId, JobStatus};
+use crate::service::{
+    weighted_pick, Disposition, LatencyStats, RequestOutcome, ServiceConfig, ServiceEvent,
+};
+use cim_dataflow::graph::{DataflowGraph, NodeRef};
+use cim_sim::energy::Energy;
+use cim_sim::rng::{exponential, splitmix64, Rng};
+use cim_sim::stats::Samples;
+use cim_sim::telemetry::{ComponentId, Telemetry, TelemetryLevel};
+use cim_sim::time::{SimDuration, SimTime};
+use cim_sim::SeedTree;
+use std::collections::HashMap;
+
+/// How the router picks among a class's live replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// The replica with the fewest requests still in flight; ties break
+    /// round-robin on the request id so equally idle replicas share
+    /// load instead of funnelling everything to the first.
+    #[default]
+    LeastOutstanding,
+    /// Strict rotation by request id, ignoring load.
+    RoundRobin,
+}
+
+/// Fleet-level knobs on top of the per-device [`ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Replicas per tenant class (resident copies on distinct devices).
+    pub replicas: usize,
+    /// Per-device fabric template; device `i` gets a distinct derived
+    /// seed so stochastic models decorrelate across the fleet.
+    pub fabric: FabricConfig,
+    /// Admission/retry policy, applied per device queue.
+    pub service: ServiceConfig,
+    /// Router policy.
+    pub routing: RoutingPolicy,
+    /// Delay between a device dying under a request and the router
+    /// re-dispatching it to a replica — the CIM failover currency:
+    /// replicas are already resident, so this is detection, not state
+    /// transfer.
+    pub failover_detect: SimDuration,
+    /// Keep per-request outcomes on the report. Turn off for multi-
+    /// million-request soaks; the fingerprint and counters still cover
+    /// every request.
+    pub keep_outcomes: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 4,
+            replicas: 2,
+            fabric: FabricConfig::default(),
+            service: ServiceConfig::default(),
+            routing: RoutingPolicy::LeastOutstanding,
+            failover_detect: SimDuration::from_us(2),
+            keep_outcomes: true,
+        }
+    }
+}
+
+/// A scheduled fleet-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// Whole-device outage: the device is fenced from routing and every
+    /// request caught mid-execution on it is voided and re-routed.
+    DeviceDown {
+        /// Simulated time the device dies.
+        at: SimTime,
+        /// Fleet device index.
+        device: usize,
+    },
+    /// The device returns to service and rejoins routing.
+    DeviceUp {
+        /// Simulated time the device is healthy again.
+        at: SimTime,
+        /// Fleet device index.
+        device: usize,
+    },
+    /// A device-local serviceability event (unit/link faults, repairs,
+    /// injections), with unit/tile coordinates local to that device.
+    Device {
+        /// Fleet device index.
+        device: usize,
+        /// The device-local event.
+        event: ServiceEvent,
+    },
+    /// An arrival burst at the fleet front door (see
+    /// [`ServiceEvent::ArrivalBurst`]).
+    ArrivalBurst {
+        /// Simulated time the burst begins.
+        at: SimTime,
+        /// Arrivals beyond the first that land simultaneously.
+        extra: u16,
+    },
+}
+
+impl FleetEvent {
+    /// The simulated time this event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FleetEvent::DeviceDown { at, .. }
+            | FleetEvent::DeviceUp { at, .. }
+            | FleetEvent::ArrivalBurst { at, .. } => at,
+            FleetEvent::Device { event, .. } => event.at(),
+        }
+    }
+}
+
+/// Per-device accounting on the fleet report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceLoad {
+    /// Execution attempts dispatched to this device.
+    pub dispatched: u64,
+    /// Attempts that completed here and counted (the request's final
+    /// execution).
+    pub served: u64,
+    /// Attempts whose work was discarded because the device died before
+    /// the result could leave it (re-routed elsewhere; never counted
+    /// twice).
+    pub voided: u64,
+    /// Energy charged on this device's meter.
+    pub energy: Energy,
+}
+
+/// SLO accounting for one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-request outcomes in arrival order; empty when
+    /// [`FleetConfig::keep_outcomes`] is off (the fingerprint still
+    /// covers them).
+    pub outcomes: Vec<RequestOutcome>,
+    /// `(arrival, class)` for every offered request, in order — the
+    /// extracted workload `baseline::serving` replays through the
+    /// cluster model for the like-for-like Table 1 comparison. Always
+    /// recorded.
+    pub arrivals: Vec<(SimTime, usize)>,
+    /// Requests offered by the arrival process.
+    pub offered: usize,
+    /// Requests that passed admission on some device.
+    pub admitted: usize,
+    /// Requests shed at admission (queue full, or no live replica).
+    pub shed: usize,
+    /// Requests completed within deadline.
+    pub completed: usize,
+    /// Requests that finished or gave up past deadline.
+    pub timed_out: usize,
+    /// Requests whose retry budget ran out.
+    pub failed: usize,
+    /// §V.A mid-stream spare recoveries under successful attempts.
+    pub recoveries: usize,
+    /// Retry attempts beyond each request's first (not counting
+    /// failover re-routes).
+    pub retries: usize,
+    /// Whole-device failover re-routes performed by the router.
+    pub failovers: usize,
+    /// Latency distribution of requests that ran to completion.
+    pub latency: LatencyStats,
+    /// Per-device dispatch/void/energy accounting.
+    pub per_device: Vec<DeviceLoad>,
+    /// Total energy across every device meter.
+    pub energy: Energy,
+    /// FNV-1a digest of every outcome (id, class, arrival, disposition,
+    /// output bits) — order-sensitive, collected streamingly so soaks
+    /// with `keep_outcomes: false` still get an exact equality check.
+    pub fingerprint: u64,
+    /// SLO alert timeline (empty unless observability is enabled).
+    pub alerts: Vec<cim_obs::AlertEvent>,
+    /// `kind:"series"` JSON-lines export of the fleet time-series
+    /// (empty unless observability is enabled).
+    pub series_jsonl: String,
+}
+
+impl FleetReport {
+    /// No admitted request was lost: every one completed or is a
+    /// deliberate, accounted SLO miss.
+    pub fn zero_lost(&self) -> bool {
+        self.failed == 0 && self.completed + self.timed_out == self.admitted
+    }
+
+    /// Fraction of offered requests completed within deadline.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+
+    /// Total requests whose final execution each device served — must
+    /// equal `completed + timed_out` when nothing double-executes.
+    pub fn served_total(&self) -> u64 {
+        self.per_device.iter().map(|d| d.served).sum()
+    }
+
+    /// Total voided (discarded, re-routed) executions — must equal
+    /// `failovers` when every failover voids exactly one attempt.
+    pub fn voided_total(&self) -> u64 {
+        self.per_device.iter().map(|d| d.voided).sum()
+    }
+}
+
+/// Streaming FNV-1a over little-endian words (same parameters as the
+/// chaos runner's digest, so cross-layer comparisons stay cheap).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+struct FleetClass {
+    name: String,
+    src: NodeRef,
+    sink: NodeRef,
+    input_width: usize,
+    deadline: SimDuration,
+    weight: u32,
+    /// `(device, resident job)` per replica, preference order.
+    replicas: Vec<(usize, JobId)>,
+}
+
+struct FleetDevice {
+    rt: CimRuntime,
+    /// Departure times of requests whose final execution ran here.
+    in_flight: Vec<SimTime>,
+    dispatched: u64,
+    served: u64,
+    voided: u64,
+}
+
+/// What one dispatch attempt on a device came back with.
+enum Attempt {
+    /// `(finished, recovered, output)` — the device survived to deliver.
+    Delivered(SimTime, bool, Vec<f64>),
+    /// The device died at the contained time before the result left it.
+    DeviceLost(SimTime),
+    /// Recoverable fault (no spare / no route): back off and retry.
+    Recoverable,
+}
+
+/// The router tier over N CIM devices.
+///
+/// # Examples
+///
+/// ```
+/// use cim_fabric::fleet::{CimFleet, FleetConfig};
+/// use cim_sim::time::SimDuration;
+/// use cim_sim::SeedTree;
+/// use cim_dataflow::graph::GraphBuilder;
+/// use cim_dataflow::ops::Operation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fleet = CimFleet::new(FleetConfig::default(), SeedTree::new(1))?;
+/// let mut b = GraphBuilder::new();
+/// let s = b.add("in", Operation::Source { width: 4 });
+/// let k = b.add("out", Operation::Sink { width: 4 });
+/// b.connect(s, k, 0)?;
+/// fleet.register_class("echo", b.build()?, s, k, SimDuration::from_us(500), 1)?;
+/// let report = fleet.run_open_loop(50_000.0, 20, &[])?;
+/// assert_eq!(report.offered, 20);
+/// assert!(report.zero_lost());
+/// # Ok(())
+/// # }
+/// ```
+pub struct CimFleet {
+    cfg: FleetConfig,
+    devices: Vec<FleetDevice>,
+    classes: Vec<FleetClass>,
+    seeds: SeedTree,
+    /// Rotating shard anchor: consecutive classes start their replica
+    /// sets on consecutive devices, spreading tenants across the fleet.
+    next_shard: usize,
+    next_request: u64,
+    tel: Telemetry,
+    obs: Option<cim_obs::ObsConfig>,
+}
+
+impl std::fmt::Debug for CimFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CimFleet")
+            .field("devices", &self.devices.len())
+            .field("classes", &self.classes.len())
+            .field("config", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CimFleet {
+    /// Boots `cfg.devices` fresh devices. Device `i` derives its fabric
+    /// seed from the template seed, so the fleet's stochastic models
+    /// (noise, drift, cell faults) decorrelate across devices while the
+    /// whole fleet stays a pure function of one root seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for zero devices or a
+    /// replica count outside `1..=devices`; propagates device
+    /// construction failures.
+    pub fn new(cfg: FleetConfig, seeds: SeedTree) -> Result<Self> {
+        if cfg.devices == 0 {
+            return Err(FabricError::InvalidConfig {
+                reason: "fleet needs at least one device".into(),
+            });
+        }
+        if cfg.replicas == 0 || cfg.replicas > cfg.devices {
+            return Err(FabricError::InvalidConfig {
+                reason: format!(
+                    "replica count {} must be in 1..={} (device count)",
+                    cfg.replicas, cfg.devices
+                ),
+            });
+        }
+        assert!(cfg.service.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            cfg.service.queue_capacity >= 1,
+            "queue capacity must be positive"
+        );
+        let mut devices = Vec::with_capacity(cfg.devices);
+        for i in 0..cfg.devices {
+            let fabric = FabricConfig {
+                seed: splitmix64(cfg.fabric.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..cfg.fabric.clone()
+            };
+            devices.push(FleetDevice {
+                rt: CimRuntime::new(fabric)?,
+                in_flight: Vec::new(),
+                dispatched: 0,
+                served: 0,
+                voided: 0,
+            });
+        }
+        Ok(CimFleet {
+            cfg,
+            devices,
+            classes: Vec::new(),
+            seeds,
+            next_shard: 0,
+            next_request: 0,
+            tel: Telemetry::new(TelemetryLevel::Metrics),
+            obs: None,
+        })
+    }
+
+    /// Attaches the observability pipeline to subsequent
+    /// [`CimFleet::run_open_loop`] calls. Empty
+    /// [`cim_obs::ObsConfig::tracks`] default to
+    /// [`cim_obs::TrackSpec::fleet_defaults`] scoped to this fleet's
+    /// device count.
+    pub fn enable_observability(&mut self, cfg: cim_obs::ObsConfig) {
+        self.obs = Some(cfg);
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device `i`'s runtime, read-only (placement/telemetry inspection).
+    pub fn runtime(&self, device: usize) -> &CimRuntime {
+        &self.devices[device].rt
+    }
+
+    /// Device `i`'s runtime, mutable (fault targeting).
+    pub fn runtime_mut(&mut self, device: usize) -> &mut CimRuntime {
+        &mut self.devices[device].rt
+    }
+
+    /// The devices hosting a class's replicas, preference order.
+    pub fn replica_devices(&self, class: usize) -> Vec<usize> {
+        self.classes
+            .get(class)
+            .map(|c| c.replicas.iter().map(|&(d, _)| d).collect())
+            .unwrap_or_default()
+    }
+
+    /// Registered class names, in registration order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Registers a tenant class: loads its graph as a resident program
+    /// on [`FleetConfig::replicas`] distinct devices (the replica set,
+    /// anchored at a rotating shard cursor) and returns the class index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::CapacityExceeded`] if any replica cannot
+    /// be resident (the placements made so far are rolled back), or
+    /// propagates programming failures.
+    pub fn register_class(
+        &mut self,
+        name: &str,
+        graph: DataflowGraph,
+        src: NodeRef,
+        sink: NodeRef,
+        deadline: SimDuration,
+        weight: u32,
+    ) -> Result<usize> {
+        let input_width = graph.node(src).op.output_width();
+        let anchor = self.next_shard;
+        let mut replicas = Vec::with_capacity(self.cfg.replicas);
+        for k in 0..self.cfg.replicas {
+            let d = (anchor + k) % self.devices.len();
+            let nodes = graph.node_count();
+            let free = self.devices[d].rt.free_units();
+            let status = match self.devices[d]
+                .rt
+                .submit(graph.clone(), self.cfg.service.mapping)
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    self.rollback(&replicas);
+                    return Err(e);
+                }
+            };
+            match status {
+                JobStatus::Running(id) => replicas.push((d, id)),
+                // Resident or bust, on every replica: a queued copy
+                // could never serve and would wedge that device's FIFO.
+                JobStatus::Queued(_) => {
+                    self.rollback(&replicas);
+                    return Err(FabricError::CapacityExceeded {
+                        needed: nodes,
+                        available: free,
+                    });
+                }
+            }
+        }
+        self.next_shard = (self.next_shard + 1) % self.devices.len();
+        self.classes.push(FleetClass {
+            name: name.to_string(),
+            src,
+            sink,
+            input_width,
+            deadline,
+            weight,
+            replicas,
+        });
+        Ok(self.classes.len() - 1)
+    }
+
+    fn rollback(&mut self, placed: &[(usize, JobId)]) {
+        for &(d, job) in placed {
+            // Freshly submitted and never run; finish cannot fail.
+            let _ = self.devices[d].rt.finish(job);
+        }
+    }
+
+    /// Live replicas of `class` at time `when` (devices not fenced by a
+    /// down interval), as indices into the class's replica list.
+    fn live_replicas(
+        &self,
+        class: usize,
+        when: SimTime,
+        downs: &[Vec<(SimTime, SimTime)>],
+    ) -> Vec<usize> {
+        self.classes[class]
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(d, _))| !down_at(&downs[d], when))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Routes one request to a replica index, or `None` if every
+    /// replica is fenced.
+    fn route(
+        &mut self,
+        class: usize,
+        id: u64,
+        when: SimTime,
+        downs: &[Vec<(SimTime, SimTime)>],
+    ) -> Option<usize> {
+        let live = self.live_replicas(class, when, downs);
+        if live.is_empty() {
+            return None;
+        }
+        let k = self.classes[class].replicas.len();
+        match self.cfg.routing {
+            RoutingPolicy::RoundRobin => {
+                let want = (id as usize) % k;
+                // The wanted replica, or the next live one after it.
+                (0..k)
+                    .map(|off| (want + off) % k)
+                    .find(|r| live.contains(r))
+            }
+            RoutingPolicy::LeastOutstanding => {
+                // Purge departed requests so counts reflect `when`, then
+                // pick the emptiest queue; ties rotate on the request id.
+                for &r in &live {
+                    let d = self.classes[class].replicas[r].0;
+                    self.devices[d].in_flight.retain(|&dep| dep > when);
+                }
+                live.iter().copied().min_by_key(|&r| {
+                    let d = self.classes[class].replicas[r].0;
+                    (
+                        self.devices[d].in_flight.len(),
+                        (k + r - id as usize % k) % k,
+                    )
+                })
+            }
+        }
+    }
+
+    /// One execution attempt on replica `r` of `class`, honouring the
+    /// device's scheduled down intervals: a result that would land
+    /// after the device dies is voided, not delivered.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &mut self,
+        class: usize,
+        r: usize,
+        when: SimTime,
+        input: &[f64],
+        downs: &[Vec<(SimTime, SimTime)>],
+        dev_events: &[Vec<ServiceEvent>],
+        dev_cursor: &mut [usize],
+        dev_comp: &[ComponentId],
+    ) -> Result<Attempt> {
+        let (d, job) = self.classes[class].replicas[r];
+        let src = self.classes[class].src;
+        self.tel.counter_add(dev_comp[d], "dispatched", 1);
+        // Apply this device's events that are due, exactly once.
+        while let Some(ev) = dev_events[d].get(dev_cursor[d]) {
+            if ev.at() > when {
+                break;
+            }
+            if let Some(inj) = ev.to_injection() {
+                self.devices[d].rt.device_mut().apply_injection(&inj);
+            }
+            dev_cursor[d] += 1;
+        }
+        let opts = crate::engine::StreamOptions {
+            start: when,
+            injections: dev_events[d][dev_cursor[d]..]
+                .iter()
+                .filter_map(ServiceEvent::to_injection)
+                .collect(),
+            ..crate::engine::StreamOptions::default()
+        };
+        self.devices[d].dispatched += 1;
+        let item = HashMap::from([(src, input.to_vec())]);
+        match self.devices[d]
+            .rt
+            .run(job, std::slice::from_ref(&item), &opts)
+        {
+            Ok(report) => {
+                let finished = report.completed[0];
+                // Did the device die while this request was on it? The
+                // schedule is known up front, so the check covers every
+                // interval, not just ones already applied.
+                if let Some(died) = first_down_start_in(&downs[d], when, finished) {
+                    self.devices[d].voided += 1;
+                    return Ok(Attempt::DeviceLost(died));
+                }
+                let sink = self.classes[class].sink;
+                let output = report.outputs[0][&sink].clone();
+                Ok(Attempt::Delivered(
+                    finished,
+                    !report.recoveries.is_empty(),
+                    output,
+                ))
+            }
+            Err(
+                FabricError::NoSpareAvailable { .. }
+                | FabricError::Noc(cim_noc::NocError::NoRoute { .. }),
+            ) => Ok(Attempt::Recoverable),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serves an open-loop arrival stream of `n` requests at `rate_hz`
+    /// across the fleet. The arrival/class/input RNG streams match
+    /// [`crate::service::CimService::run_open_loop`] draw for draw, so a
+    /// fleet of one device sees the same workload a single service
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for no classes, all-zero
+    /// weights, or an event naming a device outside the fleet;
+    /// propagates non-recoverable execution errors.
+    pub fn run_open_loop(
+        &mut self,
+        rate_hz: f64,
+        n: usize,
+        events: &[FleetEvent],
+    ) -> Result<FleetReport> {
+        if self.classes.is_empty() {
+            return Err(FabricError::InvalidConfig {
+                reason: "no request class registered".into(),
+            });
+        }
+        let weights: Vec<u32> = self.classes.iter().map(|c| c.weight).collect();
+        if weights.iter().all(|&w| w == 0) {
+            return Err(FabricError::InvalidConfig {
+                reason: "all class weights are zero".into(),
+            });
+        }
+        assert!(rate_hz > 0.0, "offered rate must be positive");
+
+        let mut events = events.to_vec();
+        events.sort_by_key(FleetEvent::at);
+        let n_devices = self.devices.len();
+        // Split the fleet schedule into its three consumers: down
+        // intervals per device (router fencing), device-local service
+        // events (engine injections), and front-door bursts.
+        let mut downs: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_devices];
+        let mut dev_events: Vec<Vec<ServiceEvent>> = vec![Vec::new(); n_devices];
+        let mut bursts: Vec<(SimTime, u16)> = Vec::new();
+        for ev in &events {
+            match *ev {
+                FleetEvent::DeviceDown { at, device } => {
+                    check_device(device, n_devices)?;
+                    // Ignore a down landing inside an existing outage.
+                    if !down_at(&downs[device], at) {
+                        downs[device].push((at, SimTime::MAX));
+                    }
+                }
+                FleetEvent::DeviceUp { at, device } => {
+                    check_device(device, n_devices)?;
+                    if let Some(last) = downs[device].last_mut() {
+                        if last.1 == SimTime::MAX && last.0 <= at {
+                            last.1 = at;
+                        }
+                    }
+                }
+                FleetEvent::Device { device, event } => {
+                    check_device(device, n_devices)?;
+                    dev_events[device].push(event);
+                }
+                FleetEvent::ArrivalBurst { at, extra } => bursts.push((at, extra)),
+            }
+        }
+        let mut dev_cursor = vec![0usize; n_devices];
+        let mut burst_idx = 0usize;
+        let mut burst_left = 0u32;
+
+        let mut arrivals_rng = self.seeds.rng("arrivals");
+        let mut class_rng = self.seeds.rng("classes");
+        let mut input_rng = self.seeds.rng("inputs");
+
+        let tel = self.tel.clone();
+        let comp = tel.component("fleet");
+        let dev_comp: Vec<_> = (0..n_devices)
+            .map(|i| tel.component(&format!("fleet/dev{i}")))
+            .collect();
+        let mut obs = self.obs.as_ref().map(|cfg| {
+            let mut cfg = cfg.clone();
+            if cfg.tracks.is_empty() {
+                cfg.tracks = cim_obs::TrackSpec::fleet_defaults(n_devices);
+            }
+            let tenants: Vec<(String, SimDuration)> = self
+                .classes
+                .iter()
+                .map(|c| (c.name.clone(), c.deadline))
+                .collect();
+            cim_obs::Observability::new(&cfg, &tenants, &tel)
+        });
+
+        let keep = self.cfg.keep_outcomes;
+        let mut outcomes = Vec::with_capacity(if keep { n } else { 0 });
+        let mut arrivals = Vec::with_capacity(n);
+        let mut fnv = Fnv::new();
+        let mut now = SimTime::ZERO;
+        let mut latencies = Samples::new();
+        let (mut admitted, mut shed, mut completed, mut timed_out, mut failed) = (0, 0, 0, 0, 0);
+        let (mut recoveries, mut retries, mut failovers) = (0usize, 0usize, 0usize);
+
+        for _ in 0..n {
+            if burst_left > 0 {
+                burst_left -= 1; // simultaneous with the previous arrival
+            } else {
+                now += SimDuration::from_secs_f64(exponential(&mut arrivals_rng, rate_hz));
+                while burst_idx < bursts.len() && bursts[burst_idx].0 <= now {
+                    burst_left += u32::from(bursts[burst_idx].1);
+                    burst_idx += 1;
+                }
+            }
+            let class = weighted_pick(&mut class_rng, &weights);
+            let width = self.classes[class].input_width;
+            let input: Vec<f64> = (0..width).map(|_| input_rng.gen_range(-1.0..1.0)).collect();
+
+            let id = self.next_request;
+            self.next_request += 1;
+            arrivals.push((now, class));
+            tel.counter_add(comp, "offered", 1);
+
+            // Admission: route to a live replica and check its queue.
+            // Both "every replica is down" and "the routed queue is
+            // full" shed — fail fast at the front door rather than
+            // letting doomed work occupy the fleet.
+            let routed = self.route(class, id, now, &downs).and_then(|r| {
+                let d = self.classes[class].replicas[r].0;
+                self.devices[d].in_flight.retain(|&dep| dep > now);
+                (self.devices[d].in_flight.len() < self.cfg.service.queue_capacity).then_some(r)
+            });
+            let disposition = match routed {
+                None => {
+                    shed += 1;
+                    tel.counter_add(comp, "shed", 1);
+                    Disposition::Shed
+                }
+                Some(r) => {
+                    admitted += 1;
+                    tel.counter_add(comp, "admitted", 1);
+                    match self.dispatch(
+                        class,
+                        r,
+                        now,
+                        &input,
+                        &downs,
+                        &dev_events,
+                        &mut dev_cursor,
+                        &dev_comp,
+                        &mut failovers,
+                    ) {
+                        Ok((finished, attempts, recovered, output, final_r)) => {
+                            retries += (attempts - 1) as usize;
+                            if recovered {
+                                recoveries += 1;
+                            }
+                            tel.counter_add(comp, "retries", u64::from(attempts - 1));
+                            tel.counter_add(comp, "recoveries", u64::from(recovered));
+                            let d = self.classes[class].replicas[final_r].0;
+                            self.devices[d].in_flight.push(finished);
+                            self.devices[d].served += 1;
+                            tel.counter_add(dev_comp[d], "served", 1);
+                            let lat = finished.saturating_since(now);
+                            tel.record(comp, "latency_ns", lat.as_ps() / 1000);
+                            latencies.record(lat.as_us_f64());
+                            if lat <= self.classes[class].deadline && !output.is_empty() {
+                                completed += 1;
+                                tel.counter_add(comp, "completed", 1);
+                                Disposition::Completed {
+                                    finished,
+                                    attempts,
+                                    recovered,
+                                    output,
+                                }
+                            } else {
+                                timed_out += 1;
+                                tel.counter_add(comp, "timed_out", 1);
+                                Disposition::TimedOut { finished, attempts }
+                            }
+                        }
+                        Err(FabricError::RetriesExhausted { attempts }) => {
+                            retries += (attempts - 1) as usize;
+                            failed += 1;
+                            tel.counter_add(comp, "retries", u64::from(attempts - 1));
+                            tel.counter_add(comp, "failed", 1);
+                            Disposition::Failed { attempts }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            tel.gauge_set(
+                comp,
+                "queue_depth",
+                self.devices
+                    .iter()
+                    .map(|d| d.in_flight.len())
+                    .sum::<usize>() as f64,
+            );
+            for (i, dev) in self.devices.iter().enumerate() {
+                tel.gauge_set(dev_comp[i], "in_flight", dev.in_flight.len() as f64);
+            }
+            if let Some(o) = obs.as_mut() {
+                let (at, observed) = match &disposition {
+                    Disposition::Completed { finished, .. } => (
+                        *finished,
+                        cim_obs::Observed::Done {
+                            latency: finished.saturating_since(now),
+                        },
+                    ),
+                    Disposition::TimedOut { finished, .. } => {
+                        (*finished, cim_obs::Observed::TimedOut)
+                    }
+                    Disposition::Shed => (now, cim_obs::Observed::Shed),
+                    Disposition::Failed { .. } => (now, cim_obs::Observed::Failed),
+                };
+                o.observe_request(class, at, observed);
+                tel.with_registry(|r| o.sample_to(now, r));
+            }
+            // Fingerprint every outcome, storage or not.
+            fnv.write_u64(id);
+            fnv.write_u64(class as u64);
+            fnv.write_u64(now.as_ps());
+            match &disposition {
+                Disposition::Completed {
+                    finished,
+                    attempts,
+                    recovered,
+                    output,
+                } => {
+                    fnv.write_u64(1);
+                    fnv.write_u64(finished.as_ps());
+                    fnv.write_u64(u64::from(*attempts));
+                    fnv.write_u64(u64::from(*recovered));
+                    for v in output {
+                        fnv.write_u64(v.to_bits());
+                    }
+                }
+                Disposition::TimedOut { finished, attempts } => {
+                    fnv.write_u64(2);
+                    fnv.write_u64(finished.as_ps());
+                    fnv.write_u64(u64::from(*attempts));
+                }
+                Disposition::Shed => fnv.write_u64(3),
+                Disposition::Failed { attempts } => {
+                    fnv.write_u64(4);
+                    fnv.write_u64(u64::from(*attempts));
+                }
+            }
+            if keep {
+                outcomes.push(RequestOutcome {
+                    id,
+                    class,
+                    arrival: now,
+                    disposition,
+                });
+            }
+        }
+
+        let latency = match latencies.percentiles(&[50.0, 95.0, 99.0]) {
+            Some(ps) => LatencyStats {
+                p50_us: ps[0],
+                p95_us: ps[1],
+                p99_us: ps[2],
+                mean_us: latencies.mean(),
+                max_us: latencies.percentile(100.0).unwrap_or(0.0),
+            },
+            None => LatencyStats::default(),
+        };
+        tel.counter_add(comp, "failovers", failovers as u64);
+        tel.gauge_set(comp, "p99_us", latency.p99_us);
+        tel.gauge_set(comp, "goodput", completed as f64 / n.max(1) as f64);
+
+        let per_device: Vec<DeviceLoad> = self
+            .devices
+            .iter()
+            .map(|d| DeviceLoad {
+                dispatched: d.dispatched,
+                served: d.served,
+                voided: d.voided,
+                energy: d.rt.device().meter().total(),
+            })
+            .collect();
+        let energy = per_device
+            .iter()
+            .fold(Energy::ZERO, |acc, d| acc + d.energy);
+
+        let (alerts, series_jsonl) = match obs {
+            Some(mut o) => {
+                tel.with_registry(|r| o.finalize(now, r));
+                let qm = cim_sim::analytic::QueueModel::new(
+                    rate_hz,
+                    SimDuration::from_ns_f64(latency.mean_us * 1_000.0),
+                );
+                let synthetic =
+                    (self.cfg.fabric.sim_mode == cim_sim::SimMode::Analytic).then_some((&qm, now));
+                let rep = o.finish(synthetic);
+                (rep.alerts, rep.series_jsonl)
+            }
+            None => (Vec::new(), String::new()),
+        };
+
+        Ok(FleetReport {
+            outcomes,
+            arrivals,
+            offered: n,
+            admitted,
+            shed,
+            completed,
+            timed_out,
+            failed,
+            recoveries,
+            retries,
+            failovers,
+            latency,
+            per_device,
+            energy,
+            fingerprint: fnv.0,
+            alerts,
+            series_jsonl,
+        })
+    }
+
+    /// Dispatches one admitted request with whole-device failover and
+    /// deadline-aware bounded retry. Returns
+    /// `(finished, attempts, recovered, output, final_replica)`.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        class: usize,
+        first: usize,
+        arrival: SimTime,
+        input: &[f64],
+        downs: &[Vec<(SimTime, SimTime)>],
+        dev_events: &[Vec<ServiceEvent>],
+        dev_cursor: &mut [usize],
+        dev_comp: &[ComponentId],
+        failovers: &mut usize,
+    ) -> Result<(SimTime, u32, bool, Vec<f64>, usize)> {
+        let deadline = arrival + self.classes[class].deadline;
+        let id = self.next_request - 1;
+        let mut when = arrival;
+        let mut attempts = 0u32;
+        let mut replica = Some(first);
+        loop {
+            let Some(r) = replica else {
+                // Every replica fenced right now: burn a retry waiting
+                // for a repair, like any other recoverable fault.
+                attempts += 1;
+                if attempts >= self.cfg.service.max_attempts {
+                    return Err(FabricError::RetriesExhausted { attempts });
+                }
+                when += self.cfg.service.backoff_base * (1u64 << (attempts - 1));
+                if when > deadline {
+                    return Ok((when, attempts, false, Vec::new(), first));
+                }
+                replica = self.route(class, id, when, downs);
+                continue;
+            };
+            attempts += 1;
+            match self.attempt(
+                class, r, when, input, downs, dev_events, dev_cursor, dev_comp,
+            )? {
+                Attempt::Delivered(finished, recovered, output) => {
+                    return Ok((finished, attempts, recovered, output, r));
+                }
+                Attempt::DeviceLost(died) => {
+                    // Whole-device failover: the voided attempt never
+                    // counts; after the detection delay the router
+                    // re-dispatches to a surviving replica. Not charged
+                    // against the retry budget — the device died, the
+                    // request did nothing wrong — but the deadline
+                    // still applies.
+                    *failovers += 1;
+                    attempts -= 1;
+                    when = died + self.cfg.failover_detect;
+                    if when > deadline {
+                        return Ok((when, attempts.max(1), false, Vec::new(), r));
+                    }
+                    replica = self.route(class, id, when, downs);
+                }
+                Attempt::Recoverable => {
+                    if attempts >= self.cfg.service.max_attempts {
+                        return Err(FabricError::RetriesExhausted { attempts });
+                    }
+                    when += self.cfg.service.backoff_base * (1u64 << (attempts - 1));
+                    if when > deadline {
+                        return Ok((when, attempts, false, Vec::new(), r));
+                    }
+                    replica = self.route(class, id, when, downs);
+                }
+            }
+        }
+    }
+}
+
+fn check_device(device: usize, n: usize) -> Result<()> {
+    if device >= n {
+        return Err(FabricError::InvalidConfig {
+            reason: format!("event names device {device}, fleet has {n}"),
+        });
+    }
+    Ok(())
+}
+
+/// Whether `t` falls inside any `[start, end)` down interval.
+fn down_at(downs: &[(SimTime, SimTime)], t: SimTime) -> bool {
+    downs.iter().any(|&(s, e)| s <= t && t < e)
+}
+
+/// The earliest down interval starting in `(after, until]`, if any — a
+/// request executing over that window loses its device.
+fn first_down_start_in(
+    downs: &[(SimTime, SimTime)],
+    after: SimTime,
+    until: SimTime,
+) -> Option<SimTime> {
+    downs
+        .iter()
+        .map(|&(s, _)| s)
+        .filter(|&s| after < s && s <= until)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_crossbar::dpe::DpeConfig;
+    use cim_dataflow::graph::GraphBuilder;
+    use cim_dataflow::ops::{Elementwise, Operation};
+
+    fn tiny_graph(width: usize) -> (DataflowGraph, NodeRef, NodeRef) {
+        let mut b = GraphBuilder::new();
+        let s = b.add("s", Operation::Source { width });
+        let m = b.add(
+            "m",
+            Operation::Map {
+                func: Elementwise::Relu,
+                width,
+            },
+        );
+        let k = b.add("k", Operation::Sink { width });
+        b.chain(&[s, m, k]).expect("chain");
+        (b.build().expect("valid"), s, k)
+    }
+
+    fn small_fleet_config(devices: usize, replicas: usize) -> FleetConfig {
+        FleetConfig {
+            devices,
+            replicas,
+            fabric: FabricConfig {
+                mesh_width: 2,
+                mesh_height: 2,
+                units_per_tile: 1,
+                dpe: DpeConfig::ideal(),
+                ..FabricConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn fleet(devices: usize, replicas: usize) -> CimFleet {
+        let mut f =
+            CimFleet::new(small_fleet_config(devices, replicas), SeedTree::new(0x5EED)).unwrap();
+        let (g, s, k) = tiny_graph(4);
+        f.register_class("tiny", g, s, k, SimDuration::from_us(100), 1)
+            .expect("resident");
+        f
+    }
+
+    #[test]
+    fn fleet_serves_and_spreads_load() {
+        let mut f = fleet(4, 2);
+        let r = f.run_open_loop(10_000.0, 100, &[]).expect("serves");
+        assert_eq!(r.offered, 100);
+        assert_eq!(r.completed, 100);
+        assert!(r.zero_lost());
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.served_total(), 100);
+        assert_eq!(r.voided_total(), 0);
+        // Least-outstanding with rotating ties: both replicas serve.
+        let dispatched: Vec<u64> = r.per_device.iter().map(|d| d.dispatched).collect();
+        let active = dispatched.iter().filter(|&&d| d > 0).count();
+        assert_eq!(active, 2, "both replica devices serve: {dispatched:?}");
+        assert!(r.energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn classes_shard_across_the_fleet() {
+        // 8 units per device: two resident 3-node classes fit on each.
+        let mut cfg = small_fleet_config(4, 2);
+        cfg.fabric.units_per_tile = 2;
+        let mut f = CimFleet::new(cfg, SeedTree::new(7)).unwrap();
+        for i in 0..4 {
+            let (g, s, k) = tiny_graph(4);
+            f.register_class(&format!("c{i}"), g, s, k, SimDuration::from_us(100), 1)
+                .expect("resident");
+        }
+        // Rotating shard anchor: class i anchors at device i.
+        for i in 0..4 {
+            assert_eq!(f.replica_devices(i), vec![i, (i + 1) % 4]);
+        }
+    }
+
+    #[test]
+    fn device_down_fails_over_without_loss() {
+        let mut f = fleet(4, 2);
+        // Probe the span of the run so the outage lands mid-stream.
+        let span = {
+            let mut probe = fleet(4, 2);
+            let r = probe.run_open_loop(10_000.0, 200, &[]).expect("probe");
+            r.arrivals.last().unwrap().0
+        };
+        let down_at = SimTime::from_ps(span.as_ps() / 4);
+        let up_at = SimTime::from_ps(span.as_ps() / 2);
+        let events = [
+            FleetEvent::DeviceDown {
+                at: down_at,
+                device: 0,
+            },
+            FleetEvent::DeviceUp {
+                at: up_at,
+                device: 0,
+            },
+        ];
+        let r = f.run_open_loop(10_000.0, 200, &events).expect("serves");
+        assert!(r.zero_lost(), "whole-device failover loses nothing: {r:?}");
+        assert_eq!(r.failed, 0);
+        // No double-execution: each surviving request served exactly
+        // once, each failover voided exactly one attempt.
+        assert_eq!(r.served_total() as usize, r.completed + r.timed_out);
+        assert_eq!(r.voided_total() as usize, r.failovers);
+        // The fenced window routed around device 0 and recovered after.
+        assert!(
+            r.per_device[0].dispatched > 0,
+            "device 0 serves before and after the outage"
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_sheds_at_the_door() {
+        let mut f = fleet(2, 1);
+        // The only replica of the class is down for the entire run.
+        let events = [FleetEvent::DeviceDown {
+            at: SimTime::ZERO,
+            device: 0,
+        }];
+        let r = f.run_open_loop(10_000.0, 50, &events).expect("serves");
+        assert_eq!(r.shed, 50, "no live replica: everything sheds");
+        assert_eq!(r.admitted, 0);
+        assert!(r.zero_lost(), "shed is accounted, not lost");
+    }
+
+    #[test]
+    fn reports_and_fingerprints_are_deterministic() {
+        let run = |keep: bool| {
+            let mut cfg = small_fleet_config(4, 2);
+            cfg.keep_outcomes = keep;
+            let mut f = CimFleet::new(cfg, SeedTree::new(0x5EED)).unwrap();
+            let (g, s, k) = tiny_graph(4);
+            f.register_class("tiny", g, s, k, SimDuration::from_us(100), 1)
+                .expect("resident");
+            let events = [
+                FleetEvent::DeviceDown {
+                    at: SimTime::from_ns(500_000),
+                    device: 1,
+                },
+                FleetEvent::DeviceUp {
+                    at: SimTime::from_ns(2_000_000),
+                    device: 1,
+                },
+            ];
+            f.run_open_loop(50_000.0, 120, &events).expect("serves")
+        };
+        let a = run(true);
+        let b = run(true);
+        assert_eq!(a, b, "double runs are bit-identical");
+        let slim = run(false);
+        assert!(slim.outcomes.is_empty(), "soak mode stores no outcomes");
+        assert_eq!(
+            slim.fingerprint, a.fingerprint,
+            "fingerprint is storage-independent"
+        );
+        assert_eq!(slim.arrivals, a.arrivals);
+    }
+
+    #[test]
+    fn analytic_mode_serves_like_detailed_at_light_load() {
+        let run = |mode: cim_sim::SimMode| {
+            let mut cfg = small_fleet_config(4, 2);
+            cfg.fabric.sim_mode = mode;
+            let mut f = CimFleet::new(cfg, SeedTree::new(0x5EED)).unwrap();
+            let (g, s, k) = tiny_graph(4);
+            f.register_class("tiny", g, s, k, SimDuration::from_us(100), 1)
+                .expect("resident");
+            f.run_open_loop(10_000.0, 50, &[]).expect("serves")
+        };
+        let det = run(cim_sim::SimMode::Detailed);
+        let ana = run(cim_sim::SimMode::Analytic);
+        assert_eq!(det.completed, ana.completed);
+        assert_eq!(det.outcomes, ana.outcomes);
+    }
+
+    #[test]
+    fn invalid_configs_and_events_error() {
+        assert!(CimFleet::new(
+            FleetConfig {
+                devices: 0,
+                ..small_fleet_config(4, 2)
+            },
+            SeedTree::new(1)
+        )
+        .is_err());
+        assert!(CimFleet::new(small_fleet_config(2, 3), SeedTree::new(1)).is_err());
+        let mut f = fleet(2, 1);
+        let events = [FleetEvent::DeviceDown {
+            at: SimTime::ZERO,
+            device: 9,
+        }];
+        assert!(matches!(
+            f.run_open_loop(1_000.0, 1, &events),
+            Err(FabricError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn observability_rides_the_fleet() {
+        let mut f = fleet(4, 2);
+        f.enable_observability(cim_obs::ObsConfig::default());
+        let r = f.run_open_loop(10_000.0, 60, &[]).expect("serves");
+        assert!(!r.series_jsonl.is_empty(), "fleet series exported");
+        assert!(
+            r.series_jsonl.contains("\"component\":\"fleet\""),
+            "fleet-scoped series present"
+        );
+        assert!(
+            r.series_jsonl.contains("\"component\":\"fleet/dev0\""),
+            "per-device series present"
+        );
+        for line in r.series_jsonl.lines() {
+            cim_sim::telemetry::validate_jsonl_line(line).expect("series schema");
+        }
+        assert!(r.alerts.is_empty(), "healthy fleet fires no alerts");
+    }
+}

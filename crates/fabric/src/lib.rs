@@ -21,6 +21,7 @@
 //! | [`replicate`] | §VI scale-out (replicated devices, host-parallel) |
 //! | [`runtime`] | §III.E run-times and operating systems |
 //! | [`service`](mod@service) | §III.E serving front-end + §V.A retry |
+//! | [`fleet`](mod@fleet) | §IV.B/C at fleet scale — router, device failover (Table 1) |
 //! | [`reliability`] | §V.A |
 //! | [`self_prog`] | §III.B self-programmable dataflow |
 //! | [`serviceability`] | §V.D graceful aging and self-healing |
@@ -67,6 +68,7 @@ pub mod config;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod integration;
 pub mod mapper;
 pub mod reliability;
@@ -84,6 +86,7 @@ pub use config::FabricConfig;
 pub use device::CimDevice;
 pub use engine::{MappedProgram, RecoveryEvent, StreamOptions, StreamReport};
 pub use error::{FabricError, Result};
+pub use fleet::{CimFleet, DeviceLoad, FleetConfig, FleetEvent, FleetReport, RoutingPolicy};
 pub use integration::{run_integrated, IntegrationMode, IntegrationReport};
 pub use mapper::{map_graph, map_graph_subset, MappingPolicy, Placement};
 pub use reliability::{run_duplex, run_fault_campaign, CampaignReport, ScheduledFault};

@@ -54,8 +54,12 @@ pub struct FarmReport {
     pub outputs: Vec<Vec<f64>>,
     /// Completion time of each item.
     pub completed: Vec<SimTime>,
+    /// Injection time of each item (`inter_arrival` apart).
+    pub injected: Vec<SimTime>,
     /// Which replica processed each item.
     pub assignments: Vec<usize>,
+    /// Device unit index hosting each replica, replica-index order.
+    pub replica_units: Vec<usize>,
 }
 
 impl FarmReport {
@@ -68,8 +72,11 @@ impl FarmReport {
             .collect()
     }
 
-    /// The `p`-quantile completion latency assuming simultaneous
-    /// injection at time zero.
+    /// The `p`-quantile per-item latency, measured from each item's own
+    /// injection time — the same per-item latencies
+    /// [`FarmReport::latencies`] reports, not wall-clock completion
+    /// times (items arrive `inter_arrival` apart, so measuring from
+    /// time zero would overstate late items' latency).
     ///
     /// # Panics
     ///
@@ -77,11 +84,7 @@ impl FarmReport {
     pub fn latency_quantile(&self, p: f64) -> SimDuration {
         assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
         assert!(!self.completed.is_empty(), "empty farm report");
-        let mut lats: Vec<SimDuration> = self
-            .completed
-            .iter()
-            .map(|&c| c.saturating_since(SimTime::ZERO))
-            .collect();
+        let mut lats = self.latencies(&self.injected);
         lats.sort_unstable();
         let rank = ((p * lats.len() as f64).ceil().max(1.0) as usize).min(lats.len());
         lats[rank - 1]
@@ -108,18 +111,48 @@ pub fn run_farm(
             reason: "farm needs at least one replica".to_owned(),
         });
     }
-    let free: Vec<usize> = device
+    // Spread replicas across distinct tiles (round-robin, tile order)
+    // before doubling up on any one tile: replicas exist for parallel
+    // service and independent failure, so packing them into one tile
+    // neighbourhood — what a first-N scan does — defeats both. This is
+    // the farm-side counterpart of [`MappingPolicy::LocalityAware`],
+    // which clusters *chained* nodes; sibling replicas want the
+    // opposite: maximal spread.
+    let mut tiles: Vec<cim_noc::packet::NodeId> = Vec::new();
+    let mut per_tile: Vec<Vec<usize>> = Vec::new();
+    let mut available = 0usize;
+    for u in device
         .units()
         .iter()
         .filter(|u| u.health() == UnitHealth::Healthy && u.assigned_node().is_none())
-        .map(|u| u.index())
-        .take(replica_count)
-        .collect();
-    if free.len() < replica_count {
+    {
+        available += 1;
+        match tiles.iter().position(|&t| t == u.tile()) {
+            Some(i) => per_tile[i].push(u.index()),
+            None => {
+                tiles.push(u.tile());
+                per_tile.push(vec![u.index()]);
+            }
+        }
+    }
+    if available < replica_count {
         return Err(FabricError::CapacityExceeded {
             needed: replica_count,
-            available: free.len(),
+            available,
         });
+    }
+    let mut free = Vec::with_capacity(replica_count);
+    let mut depth = 0usize;
+    while free.len() < replica_count {
+        for column in &per_tile {
+            if let Some(&u) = column.get(depth) {
+                free.push(u);
+                if free.len() == replica_count {
+                    break;
+                }
+            }
+        }
+        depth += 1;
     }
     let seeds = device.seeds().child("farm");
     let config = device.config().clone();
@@ -130,7 +163,9 @@ pub fn run_farm(
     let mut report = FarmReport {
         outputs: Vec::with_capacity(items.len()),
         completed: Vec::with_capacity(items.len()),
+        injected: Vec::with_capacity(items.len()),
         assignments: Vec::with_capacity(items.len()),
+        replica_units: free.clone(),
     };
     for (i, item) in items.iter().enumerate() {
         let release = SimTime::ZERO + inter_arrival * i as u64;
@@ -153,6 +188,7 @@ pub fn run_farm(
         device.meter_mut().charge("compute", energy);
         report.outputs.push(values);
         report.completed.push(done);
+        report.injected.push(release);
         report.assignments.push(choice);
     }
     Ok(report)
@@ -351,6 +387,61 @@ mod tests {
             .unwrap();
         assert!(replicas > 1, "controller must scale out");
         assert!(achieved <= ctl.p99_target, "target met: {achieved}");
+    }
+
+    #[test]
+    fn quantile_measured_from_injection_times() {
+        // Regression: `latency_quantile` used to rank completion times
+        // measured from `SimTime::ZERO`, overstating late items' latency
+        // whenever `inter_arrival > 0`. Both latency paths must agree.
+        let mut d = device();
+        let gap = SimDuration::from_us(50);
+        let report = run_farm(&mut d, &heavy_op(), 2, &items(16), gap, &LeastLoadedRoute).unwrap();
+        let mut lats = report.latencies(&report.injected);
+        lats.sort_unstable();
+        for (p, rank) in [(0.5, 8usize), (0.99, 16), (1.0, 16)] {
+            assert_eq!(report.latency_quantile(p), lats[rank - 1], "p={p}");
+        }
+        // With a wide gap each item's own latency stays bounded even
+        // though the last item *completes* far from time zero.
+        let wall_clock_last = report.completed[15].saturating_since(SimTime::ZERO);
+        assert!(
+            report.latency_quantile(1.0) < wall_clock_last,
+            "quantile must not be measured from time zero"
+        );
+    }
+
+    #[test]
+    fn replicas_spread_across_tiles() {
+        // Regression: a first-N scan packed all replicas onto the first
+        // tile neighbourhood; sibling replicas must land on distinct
+        // tiles while distinct tiles remain.
+        let mut d = device();
+        let per_tile = d.units_on_tile(d.units()[0].tile()).len();
+        let replicas = per_tile * 2; // a first-N scan would span only 2 tiles
+        let report = run_farm(
+            &mut d,
+            &heavy_op(),
+            replicas,
+            &items(replicas),
+            SimDuration::ZERO,
+            &LeastLoadedRoute,
+        )
+        .unwrap();
+        assert_eq!(report.replica_units.len(), replicas);
+        let mut tiles: Vec<_> = report
+            .replica_units
+            .iter()
+            .map(|&u| d.unit(u).tile())
+            .collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        assert!(
+            tiles.len() >= replicas.min(8),
+            "replicas packed onto {} tiles, expected spread: {:?}",
+            tiles.len(),
+            report.replica_units
+        );
     }
 
     #[test]

@@ -255,6 +255,28 @@ impl ServiceReport {
     }
 }
 
+/// Draws an index from `weights` proportionally to each entry, consuming
+/// exactly one `gen_range` from the RNG. Shared by the service and fleet
+/// front doors so their class mixes stay draw-for-draw identical.
+///
+/// # Panics
+///
+/// Panics (in `gen_range`) if every weight is zero; callers validate.
+pub(crate) fn weighted_pick(rng: &mut impl Rng, weights: &[u32]) -> usize {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut pick = rng.gen_range(0..total);
+    let mut idx = weights.len() - 1;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = u64::from(w);
+        if pick < w {
+            idx = i;
+            break;
+        }
+        pick -= w;
+    }
+    idx
+}
+
 struct ServiceClass {
     name: String,
     job: JobId,
@@ -531,7 +553,8 @@ impl CimService {
                 reason: "no request class registered".into(),
             });
         }
-        let total_weight: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
+        let class_weights: Vec<u32> = self.classes.iter().map(|c| c.weight).collect();
+        let total_weight: u64 = class_weights.iter().map(|&w| u64::from(w)).sum();
         if total_weight == 0 {
             return Err(FabricError::InvalidConfig {
                 reason: "all class weights are zero".into(),
@@ -587,19 +610,7 @@ impl CimService {
                     burst_idx += 1;
                 }
             }
-            let class = {
-                let mut pick = class_rng.gen_range(0..total_weight);
-                let mut idx = self.classes.len() - 1;
-                for (i, c) in self.classes.iter().enumerate() {
-                    let w = u64::from(c.weight);
-                    if pick < w {
-                        idx = i;
-                        break;
-                    }
-                    pick -= w;
-                }
-                idx
-            };
+            let class = weighted_pick(&mut class_rng, &class_weights);
             let width = self.classes[class].input_width;
             let input: Vec<f64> = (0..width).map(|_| input_rng.gen_range(-1.0..1.0)).collect();
 

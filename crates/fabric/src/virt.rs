@@ -10,6 +10,7 @@ use crate::device::CimDevice;
 use crate::engine::MappedProgram;
 use crate::error::{FabricError, Result};
 use crate::mapper::{map_graph_subset, MappingPolicy};
+use crate::unit::UnitHealth;
 use cim_crossbar::array::OpCost;
 use cim_dataflow::graph::DataflowGraph;
 use cim_noc::packet::NodeId;
@@ -22,6 +23,11 @@ pub struct Partition {
     pub id: u32,
     /// Member tiles.
     pub tiles: Vec<NodeId>,
+    /// Whether the partition was fenced by [`PartitionManager::fail_over`].
+    /// A failed partition cannot host programs or serve as a failover
+    /// target until it is [`PartitionManager::rejoin`]ed or
+    /// [`PartitionManager::release`]d.
+    pub failed: bool,
 }
 
 /// Manages tenant partitions on one device.
@@ -72,7 +78,11 @@ impl PartitionManager {
         for t in &tiles {
             device.noc_mut().policy_mut().assign(*t, id);
         }
-        self.partitions.push(Partition { id, tiles });
+        self.partitions.push(Partition {
+            id,
+            tiles,
+            failed: false,
+        });
         Ok(())
     }
 
@@ -120,6 +130,11 @@ impl PartitionManager {
                 reason: format!("unknown or empty partition {id}"),
             });
         }
+        if self.partition(id).is_some_and(|p| p.failed) {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("partition {id} is failed; rejoin or release it first"),
+            });
+        }
         let placement = map_graph_subset(device, graph, policy, &units)?;
         device.finish_load(graph, placement)
     }
@@ -129,12 +144,18 @@ impl PartitionManager {
     /// Returns the reconfiguration cost — §IV.B promises failover with
     /// "minimal impact", and this measures exactly how minimal.
     ///
+    /// The `from` partition is marked failed: its tiles stay owned (so no
+    /// other tenant can squat on them) but it rejects programs and cannot
+    /// serve as a failover target until [`PartitionManager::rejoin`] or
+    /// [`PartitionManager::release`] reclaims it.
+    ///
     /// # Errors
     ///
-    /// Returns [`FabricError::InvalidConfig`] for unknown partitions, or
-    /// propagates remapping failures.
+    /// Returns [`FabricError::InvalidConfig`] for unknown partitions, an
+    /// already-failed `from`, or a failed `to`; propagates remapping
+    /// failures.
     pub fn fail_over(
-        &self,
+        &mut self,
         device: &mut CimDevice,
         prog: &mut MappedProgram,
         from: u32,
@@ -145,6 +166,16 @@ impl PartitionManager {
         if from_units.is_empty() || to_units.is_empty() {
             return Err(FabricError::InvalidConfig {
                 reason: format!("unknown partition in failover {from} -> {to}"),
+            });
+        }
+        if self.partition(from).is_some_and(|p| p.failed) {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("partition {from} already failed"),
+            });
+        }
+        if self.partition(to).is_some_and(|p| p.failed) {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("failover target partition {to} is failed"),
             });
         }
         // Fence the failed partition.
@@ -160,7 +191,68 @@ impl PartitionManager {
             config_cost: cost,
             stream_id: prog.stream_id,
         };
+        self.partitions
+            .iter_mut()
+            .find(|p| p.id == from)
+            .expect("validated above")
+            .failed = true;
         Ok(cost)
+    }
+
+    /// Releases a partition entirely: tiles return to the default domain
+    /// (id 0), fenced units are re-enabled, and stale assignments are
+    /// cleared, so the tiles can be re-partitioned. Units that failed for
+    /// real ([`UnitHealth::Failed`]) stay failed — only administrative
+    /// fences ([`UnitHealth::Disabled`]) are lifted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for an unknown partition.
+    pub fn release(&mut self, device: &mut CimDevice, id: u32) -> Result<()> {
+        let Some(pos) = self.partitions.iter().position(|p| p.id == id) else {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("unknown partition {id}"),
+            });
+        };
+        let part = self.partitions.remove(pos);
+        for t in &part.tiles {
+            device.noc_mut().policy_mut().assign(*t, 0);
+            for u in device.units_on_tile(*t) {
+                let unit = device.unit_mut(u);
+                if unit.health() == UnitHealth::Disabled {
+                    unit.set_health(UnitHealth::Healthy);
+                }
+                unit.clear_assignment();
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-admits a failed partition after repair: clears the failed mark
+    /// and lifts administrative fences on its units so it can host
+    /// programs and serve as a failover target again. Tile ownership and
+    /// the isolation domain are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidConfig`] for an unknown partition.
+    pub fn rejoin(&mut self, device: &mut CimDevice, id: u32) -> Result<()> {
+        let Some(part) = self.partitions.iter_mut().find(|p| p.id == id) else {
+            return Err(FabricError::InvalidConfig {
+                reason: format!("unknown partition {id}"),
+            });
+        };
+        part.failed = false;
+        for t in &part.tiles {
+            for u in device.units_on_tile(*t) {
+                let unit = device.unit_mut(u);
+                if unit.health() == UnitHealth::Disabled {
+                    unit.set_health(UnitHealth::Healthy);
+                }
+                unit.clear_assignment();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -275,10 +367,11 @@ mod tests {
 
         let cost = pm.fail_over(&mut d, &mut prog, 1, 2).unwrap();
         assert!(cost.latency.as_ps() > 0, "failover pays reprogramming");
-        // Old units are fenced.
+        // Old units are fenced and the partition is marked failed.
         for &u in &pm.units_of(&d, 1) {
             assert_ne!(d.unit(u).health(), crate::unit::UnitHealth::Healthy);
         }
+        assert!(pm.partition(1).unwrap().failed, "partition 1 marked failed");
         // Program still works on the new partition.
         let after = d
             .execute_stream(&mut prog, &input, &StreamOptions::default())
@@ -288,5 +381,47 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 0.05, "failover changed results: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn failed_partition_can_release_or_rejoin() {
+        let mut d = device();
+        let mut pm = PartitionManager::new();
+        pm.create(&mut d, 1, column(0)).unwrap();
+        pm.create(&mut d, 2, column(2)).unwrap();
+        let g = graph();
+        let mut prog = pm
+            .load_program_in(&mut d, 1, &g, MappingPolicy::LocalityAware)
+            .unwrap();
+        pm.fail_over(&mut d, &mut prog, 1, 2).unwrap();
+
+        // Failed partitions reject programs, repeat failovers, and
+        // failover targeting.
+        assert!(pm
+            .load_program_in(&mut d, 1, &g, MappingPolicy::LocalityAware)
+            .is_err());
+        assert!(pm.fail_over(&mut d, &mut prog, 1, 2).is_err());
+        assert!(pm.fail_over(&mut d, &mut prog, 2, 1).is_err());
+
+        // Release frees the tiles back to the default domain: a new
+        // tenant can claim them and its units are healthy again.
+        pm.release(&mut d, 1).unwrap();
+        assert_eq!(pm.owner_of(NodeId::new(0, 0)), None);
+        pm.create(&mut d, 3, column(0)).unwrap();
+        for &u in &pm.units_of(&d, 3) {
+            assert_eq!(d.unit(u).health(), crate::unit::UnitHealth::Healthy);
+        }
+        pm.load_program_in(&mut d, 3, &g, MappingPolicy::LocalityAware)
+            .unwrap();
+
+        // Rejoin re-admits a repaired partition in place: fail 2 over to
+        // 3, repair it, and fail back.
+        pm.fail_over(&mut d, &mut prog, 2, 3).unwrap();
+        pm.rejoin(&mut d, 2).unwrap();
+        assert!(!pm.partition(2).unwrap().failed);
+        for &u in &pm.units_of(&d, 2) {
+            assert_eq!(d.unit(u).health(), crate::unit::UnitHealth::Healthy);
+        }
+        pm.fail_over(&mut d, &mut prog, 3, 2).unwrap();
     }
 }

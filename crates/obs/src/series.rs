@@ -107,6 +107,52 @@ impl TrackSpec {
             TrackSpec::new("noc", "busy_ps", Probe::Counter, "busy_ps"),
         ]
     }
+
+    /// The default probe set for a fleet run: request dispositions,
+    /// failover count and aggregate queue depth at the router, latency
+    /// quantiles from the fleet histogram, plus per-device dispatch and
+    /// occupancy series scoped to `fleet/dev<i>` components.
+    pub fn fleet_defaults(devices: usize) -> Vec<TrackSpec> {
+        let mut tracks = vec![
+            TrackSpec::new("fleet", "offered", Probe::Counter, "offered"),
+            TrackSpec::new("fleet", "admitted", Probe::Counter, "admitted"),
+            TrackSpec::new("fleet", "completed", Probe::Counter, "completed"),
+            TrackSpec::new("fleet", "shed", Probe::Counter, "shed"),
+            TrackSpec::new("fleet", "timed_out", Probe::Counter, "timed_out"),
+            TrackSpec::new("fleet", "failed", Probe::Counter, "failed"),
+            TrackSpec::new("fleet", "retries", Probe::Counter, "retries"),
+            TrackSpec::new("fleet", "queue_depth", Probe::Gauge, "queue_depth"),
+            TrackSpec::new(
+                "fleet",
+                "latency_ns",
+                Probe::HistogramQuantile(0.5),
+                "latency_ns_p50",
+            ),
+            TrackSpec::new(
+                "fleet",
+                "latency_ns",
+                Probe::HistogramQuantile(0.99),
+                "latency_ns_p99",
+            ),
+        ];
+        for i in 0..devices {
+            let comp = format!("fleet/dev{i}");
+            tracks.push(TrackSpec::new(
+                &comp,
+                "dispatched",
+                Probe::Counter,
+                "dispatched",
+            ));
+            tracks.push(TrackSpec::new(&comp, "served", Probe::Counter, "served"));
+            tracks.push(TrackSpec::new(
+                &comp,
+                "in_flight",
+                Probe::Gauge,
+                "in_flight",
+            ));
+        }
+        tracks
+    }
 }
 
 /// One recorded point.

@@ -39,6 +39,23 @@ impl RequestClassSpec {
     pub fn build_graph(&self, seeds: SeedTree) -> (DataflowGraph, NodeRef, NodeRef) {
         mlp_graph(&self.layer_dims, seeds)
     }
+
+    /// Floating-point operations one request of this class costs a
+    /// conventional machine: 2·rows·cols per matvec layer (multiply +
+    /// accumulate) plus the activation pass between layers. The cluster
+    /// baseline charges this against its FLOPS budget so CIM-vs-cluster
+    /// comparisons serve the same arithmetic.
+    pub fn flops_per_request(&self) -> u64 {
+        let mut flops = 0u64;
+        for w in self.layer_dims.windows(2) {
+            flops += 2 * (w[0] as u64) * (w[1] as u64);
+        }
+        // ReLU between layers (not after the last).
+        for &d in &self.layer_dims[1..self.layer_dims.len() - 1] {
+            flops += d as u64;
+        }
+        flops
+    }
 }
 
 /// The standard three-tenant mix the serving experiments use.
@@ -115,6 +132,18 @@ mod tests {
             .expect("runs");
             assert_eq!(out[&sink].len(), *spec.layer_dims.last().unwrap());
         }
+    }
+
+    #[test]
+    fn flops_count_layers_and_activations() {
+        let spec = RequestClassSpec {
+            name: "t",
+            layer_dims: vec![16, 8, 4],
+            deadline: SimDuration::from_us(20),
+            weight: 1,
+        };
+        // 2·16·8 + 2·8·4 matvec flops + 8 hidden-layer relu ops.
+        assert_eq!(spec.flops_per_request(), 256 + 64 + 8);
     }
 
     #[test]
