@@ -5,15 +5,18 @@
 #   ./ci.sh quick     fmt → clippy → build → test (CIM_THREADS=1), plus
 #                     the small-sample analytic_check (two-tier
 #                     agreement, single-device and fleet), the SLO
-#                     alerting smoke (healthy silent, overload pages)
-#                     and the fleet failover smoke (zero loss at 200k
-#                     requests). The fast inner-loop gate; hosted CI
-#                     runs it on every push and pull request.
+#                     alerting smoke (healthy silent, overload pages),
+#                     the fleet failover smoke (zero loss at 200k
+#                     requests) and the power-loss smoke (crash
+#                     recovery at 100k requests). The fast inner-loop
+#                     gate; hosted CI runs it on every push and pull
+#                     request.
 #   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
-#   ./ci.sh full      pass, example smokes, serving and fleet-failover
-#                     soaks (the latter at one million requests), the
-#                     chaos campaign (clean sweep, 4-device fleet sweep,
-#                     weakened-invariant replay self-check), the
+#   ./ci.sh full      pass, example smokes, serving, fleet-failover and
+#                     power-loss soaks (the failover soak at one million
+#                     requests), the chaos campaign (clean sweep,
+#                     4-device fleet sweep, power-loss sweep, two
+#                     weakened-invariant replay self-checks), the
 #                     wide-sample analytic_check seed sweep, and the
 #                     bench-regression comparison against the committed
 #                     BENCH_*.json baselines (with the ≥10× analytic
@@ -80,6 +83,12 @@ step "fleet_smoke: whole-device failover, zero loss (200k requests)"
 # gate reruns this at the one-million-request soak scale.
 cargo run --release --offline -p cim-bench --bin fleet_smoke -- --requests 200000
 
+step "powerloss_smoke: crash recovery, detectable-recovery contract (100k requests)"
+# Every engineered outage window becomes a power-loss crash: the device
+# loses its volatile state and rejoins through the nonvolatile restore.
+# Zero loss, exact accounting, pristine restores, double-run determinism.
+cargo run --release --offline -p cim-bench --bin powerloss_smoke -- --requests 100000
+
 if [ "$MODE" = quick ]; then
     printf '\n== ci.sh quick: all gates passed\n'
     exit 0
@@ -134,6 +143,15 @@ CIM_THREADS=1 cargo test -q --offline --test fleet_failover
 step "fleet failover soak (CIM_THREADS=4)"
 CIM_THREADS=4 cargo test -q --offline --test fleet_failover
 
+step "power-loss soak (CIM_THREADS=1)"
+# The crash-recovery contract end to end: every device crashes once
+# mid-stream, nothing is lost or double-executed, every restore is
+# pristine, reports and telemetry byte-identical across double runs.
+CIM_THREADS=1 cargo test -q --offline --test powerloss_soak
+
+step "power-loss soak (CIM_THREADS=4)"
+CIM_THREADS=4 cargo test -q --offline --test powerloss_soak
+
 step "fleet_smoke: one-million-request failover soak"
 # The tentpole acceptance at full scale: zero loss and exact failover
 # accounting across four devices under the two-outage campaign.
@@ -152,6 +170,14 @@ cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
     --seeds 32 --fleet-devices 4 --budget-ms 120000 \
     --out "$SCRATCH/chaos_fleet_repro.jsonl"
 
+step "chaos campaign: power-loss fleet mode (32 seeds) must be clean"
+# Crashes join the fleet action mix; every schedule containing one is
+# held to the detectable-recovery contract (crash_conservation,
+# crash_no_double_execution, crash_determinism).
+cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 32 --fleet-devices 4 --power-loss --budget-ms 120000 \
+    --out "$SCRATCH/chaos_powerloss_repro.jsonl"
+
 step "chaos self-check: weakened invariant must be caught and replay bit-identically"
 # Sabotage one invariant (recovery bound forced to zero): the campaign
 # must detect it, shrink it, and the replay file must reproduce the
@@ -166,6 +192,23 @@ CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
     "$SCRATCH/weakened_repro.jsonl"
 CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
     "$SCRATCH/weakened_repro.jsonl"
+
+step "chaos self-check: skipped volatile wipe must be caught as a dirty restore"
+# Sabotage the power-loss recovery pass (restart keeps stale volatile
+# state): the crash contract must catch it, shrink it to a minimal
+# crash reproducer, and the replay must be bit-identical at both
+# thread settings.
+if cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 32 --power-loss --weaken skip_volatile_clear \
+    --out "$SCRATCH/dirty_restore_repro.jsonl"; then
+    echo "FAIL: weakened crash recovery did not detect a dirty restore" >&2
+    exit 1
+fi
+[ -s "$SCRATCH/dirty_restore_repro.jsonl" ]
+CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$SCRATCH/dirty_restore_repro.jsonl"
+CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$SCRATCH/dirty_restore_repro.jsonl"
 
 step "analytic_check: two-tier agreement, wide sample + seed sweep"
 cargo run --release --offline -p cim-bench --bin analytic_check -- \

@@ -1,0 +1,146 @@
+//! CI gate: power-loss recovery soak under the detectable-recovery
+//! contract.
+//!
+//! ```text
+//! powerloss_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]
+//! ```
+//!
+//! Serves an open-loop stream across a multi-device CIM fleet while the
+//! engineered outage campaign runs as *crashes*: each probe-placed
+//! outage window becomes a [`cim_fabric::fleet::FleetEvent::PowerLoss`],
+//! so the device is fenced mid-execution, loses its volatile state, and
+//! rejoins through the nonvolatile restore + volatile wipe recovery
+//! pass. The gate enforces the crash-recovery contract at soak scale:
+//!
+//! - no completed request lost across a crash (`failed == 0`, admission
+//!   accounting balances),
+//! - no request executes twice: final executions across devices equal
+//!   completed + timed-out exactly, every failover voided exactly one
+//!   attempt, and every restore reported a pristine volatile image
+//!   (`dirty_restores == 0`),
+//! - the campaign actually crashed devices mid-flight (`crashes >= 1`,
+//!   `failovers > 0`),
+//! - double-run determinism: a second fresh soak of the same scenario
+//!   yields a bit-identical fleet fingerprint.
+//!
+//! Any violation exits 1.
+
+use cim_bench::experiments::fleet::{
+    default_scenario, engineered_powerloss, run_fleet_with, FleetScenario,
+};
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("powerloss_smoke: {err}");
+    eprintln!("usage: powerloss_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scenario = FleetScenario {
+        requests: 200_000,
+        ..default_scenario()
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match args[i].as_str() {
+            "--requests" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => scenario.requests = n,
+                _ => return usage("--requests needs a positive count"),
+            },
+            "--devices" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => scenario.devices = n,
+                _ => return usage("--devices needs a count >= 2"),
+            },
+            "--replicas" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => scenario.replicas = n,
+                _ => return usage("--replicas needs a positive count"),
+            },
+            "--rate" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => scenario.rate_hz = r,
+                _ => return usage("--rate needs a positive req/s rate"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if scenario.replicas > scenario.devices {
+        return usage("--replicas cannot exceed --devices");
+    }
+
+    println!(
+        "powerloss_smoke: {} requests at {:.0} req/s across {} devices (replicas {}), crash campaign",
+        scenario.requests, scenario.rate_hz, scenario.devices, scenario.replicas
+    );
+    let events = engineered_powerloss(&scenario);
+    let r = run_fleet_with(&scenario, &events);
+    println!(
+        "fleet fingerprint {:#018x}: {} crashes ({} dirty), {} failovers voided {} attempts",
+        r.fingerprint,
+        r.crashes,
+        r.dirty_restores,
+        r.failovers,
+        r.voided_total()
+    );
+
+    let mut failed = false;
+    let mut gate = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    gate(
+        r.zero_lost(),
+        &format!(
+            "requests lost across crashes: admitted {} completed {} timed_out {} failed {}",
+            r.admitted, r.completed, r.timed_out, r.failed
+        ),
+    );
+    gate(
+        r.served_total() as usize == r.completed + r.timed_out,
+        &format!(
+            "double execution: served_total {} != completed+timed_out {}",
+            r.served_total(),
+            r.completed + r.timed_out
+        ),
+    );
+    gate(
+        r.voided_total() as usize == r.failovers,
+        &format!(
+            "failover accounting: voided_total {} != failovers {}",
+            r.voided_total(),
+            r.failovers
+        ),
+    );
+    gate(
+        r.dirty_restores == 0,
+        &format!("{} of {} restores were dirty", r.dirty_restores, r.crashes),
+    );
+    gate(r.crashes >= 1, "crash campaign crashed no devices");
+    gate(r.failovers > 0, "crash campaign caught nothing in flight");
+
+    // Double-run determinism: the contract's third clause, at soak
+    // scale. The second run re-boots everything from the same seeds.
+    let again = run_fleet_with(&scenario, &events);
+    gate(
+        again.fingerprint == r.fingerprint,
+        &format!(
+            "crash recovery is nondeterministic: {:#018x} != {:#018x}",
+            again.fingerprint, r.fingerprint
+        ),
+    );
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "powerloss_smoke: crash-recovery soak passed, goodput {:.4}, {} recoveries pristine",
+        r.goodput(),
+        r.crashes
+    );
+    ExitCode::SUCCESS
+}

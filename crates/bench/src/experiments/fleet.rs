@@ -29,7 +29,7 @@ use cim_fabric::service::ServiceConfig;
 use cim_fabric::FabricConfig;
 use cim_sim::time::SimTime;
 use cim_sim::{SeedTree, SimMode};
-use cim_workloads::serving::standard_request_mix;
+use cim_workloads::serving::{standard_request_mix, RequestClassSpec};
 use std::time::Instant;
 
 use super::analytic::{ENERGY_TOLERANCE, LATENCY_TOLERANCE};
@@ -121,20 +121,36 @@ pub fn outage_events(s: &FleetScenario) -> Vec<FleetEvent> {
 }
 
 /// The cluster-side mirror of a fleet outage schedule: machine `i`
-/// fails exactly when device `i` does.
+/// fails exactly when device `i` does. A fleet power loss mirrors as a
+/// down/up pair — the cluster has no notion of lost volatile state, it
+/// just loses the machine for the dark window.
 pub fn machine_events(events: &[FleetEvent]) -> Vec<MachineEvent> {
     events
         .iter()
-        .filter_map(|ev| match *ev {
-            FleetEvent::DeviceDown { at, device } => Some(MachineEvent::Down {
+        .flat_map(|ev| match *ev {
+            FleetEvent::DeviceDown { at, device } => vec![MachineEvent::Down {
                 at,
                 machine: device,
-            }),
-            FleetEvent::DeviceUp { at, device } => Some(MachineEvent::Up {
+            }],
+            FleetEvent::DeviceUp { at, device } => vec![MachineEvent::Up {
                 at,
                 machine: device,
-            }),
-            _ => None,
+            }],
+            FleetEvent::PowerLoss {
+                at,
+                device,
+                restart_after,
+            } => vec![
+                MachineEvent::Down {
+                    at,
+                    machine: device,
+                },
+                MachineEvent::Up {
+                    at: at + restart_after,
+                    machine: device,
+                },
+            ],
+            _ => Vec::new(),
         })
         .collect()
 }
@@ -160,12 +176,7 @@ pub fn cluster_classes() -> Vec<ServeClass> {
 pub fn cluster_state_bytes() -> u64 {
     standard_request_mix()
         .iter()
-        .map(|spec| {
-            spec.layer_dims
-                .windows(2)
-                .map(|w| 8 * (w[0] * w[1]) as u64)
-                .sum::<u64>()
-        })
+        .map(RequestClassSpec::weights_bytes)
         .max()
         .unwrap_or(0)
 }
@@ -271,6 +282,36 @@ pub fn engineered_outage(s: &FleetScenario) -> Vec<FleetEvent> {
             device: 1,
         },
     ]
+}
+
+/// [`engineered_outage`] with every outage turned into a crash: the
+/// same probe-placed windows, but each down/up pair becomes one
+/// [`FleetEvent::PowerLoss`] whose dark interval is the pair's window.
+/// The caught-in-flight guarantee carries over (a crash fences the
+/// device exactly like an outage), and the restart additionally
+/// exercises the nonvolatile restore + volatile wipe recovery pass.
+pub fn engineered_powerloss(s: &FleetScenario) -> Vec<FleetEvent> {
+    let outages = engineered_outage(s);
+    let mut events = Vec::with_capacity(outages.len() / 2);
+    let mut pending: Vec<(usize, SimTime)> = Vec::new();
+    for ev in &outages {
+        match *ev {
+            FleetEvent::DeviceDown { at, device } => pending.push((device, at)),
+            FleetEvent::DeviceUp { at, device } => {
+                if let Some(pos) = pending.iter().position(|&(d, _)| d == device) {
+                    let (_, down_at) = pending.swap_remove(pos);
+                    events.push(FleetEvent::PowerLoss {
+                        at: down_at,
+                        device,
+                        restart_after: at - down_at,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    events.sort_by_key(FleetEvent::at);
+    events
 }
 
 /// Boots the scenario's fleet (standard mix resident, rotating shards)
@@ -667,6 +708,25 @@ mod tests {
         let r = run_fleet_with(&s, &events);
         assert!(r.failovers > 0, "no request caught in flight: {r:?}");
         assert!(r.zero_lost(), "failover must not lose requests: {r:?}");
+        assert_eq!(r.voided_total() as usize, r.failovers);
+    }
+
+    #[test]
+    fn engineered_powerloss_crashes_without_loss() {
+        let s = FleetScenario {
+            requests: 1_000,
+            ..default_scenario()
+        };
+        let events = engineered_powerloss(&s);
+        assert_eq!(events.len(), 2, "one crash per outage window: {events:?}");
+        let r = run_fleet_with(&s, &events);
+        assert!(
+            r.zero_lost(),
+            "crash recovery must not lose requests: {r:?}"
+        );
+        assert!(r.failovers > 0, "crashes must catch requests in flight");
+        assert!(r.crashes >= 1, "restarts must run the recovery pass: {r:?}");
+        assert_eq!(r.dirty_restores, 0, "every restore must be pristine");
         assert_eq!(r.voided_total() as usize, r.failovers);
     }
 

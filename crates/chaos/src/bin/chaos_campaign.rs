@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N]
-//!                [--requests N] [--fleet-devices N] [--weaken NAME]
-//!                [--out PATH] [--telemetry PATH]
+//!                [--requests N] [--fleet-devices N] [--power-loss]
+//!                [--weaken NAME] [--out PATH] [--telemetry PATH]
 //! ```
 //!
 //! Sweeps `N` seeds (default 64) through the chaos invariants. Exit 0
@@ -65,11 +65,19 @@ fn main() -> ExitCode {
                 Some(n) if n >= 2 => chaos.fleet_devices = n as usize,
                 _ => return usage("--fleet-devices needs a count >= 2"),
             },
+            "--power-loss" => {
+                // Valueless flag: admit PowerLoss crashes into generated
+                // schedules (and the crash-recovery contract with them).
+                chaos.power_loss = true;
+                i += 1;
+                continue;
+            }
             "--weaken" => match value(i).and_then(Weaken::from_name) {
                 Some(w) => chaos.weaken = w,
                 None => {
                     return usage(
-                        "--weaken needs one of: none, recovery_bound_zero, no_failures_ever",
+                        "--weaken needs one of: none, recovery_bound_zero, no_failures_ever, \
+                         skip_volatile_clear",
                     )
                 }
             },
@@ -143,7 +151,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("chaos_campaign: {err}");
     eprintln!(
         "usage: chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N] \
-         [--requests N] [--fleet-devices N] [--weaken NAME] [--out PATH] [--telemetry PATH]"
+         [--requests N] [--fleet-devices N] [--power-loss] [--weaken NAME] \
+         [--out PATH] [--telemetry PATH]"
     );
     ExitCode::FAILURE
 }

@@ -44,12 +44,26 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     let mut downed_devices: Vec<u16> = Vec::new();
     let mut events = Vec::with_capacity(n_events);
     // Fleet harnesses widen the roll range to admit whole-device
-    // outages; single-device configs keep the 0..100 range so their
+    // outages, and `power_loss` widens it further to admit crashes;
+    // configs without either keep the 0..100 range so their
     // seed → schedule expansion is bit-identical to what it always was.
-    let roll_max = if cfg.is_fleet() { 130 } else { 100 };
+    // On single-device power-loss configs the roll skips the
+    // fleet-only 100..130 outage band so the crash weight matches the
+    // fleet's without consuming extra RNG draws.
+    let roll_max = match (cfg.is_fleet(), cfg.power_loss) {
+        (true, true) => 145,
+        (true, false) => 130,
+        (false, true) => 115,
+        (false, false) => 100,
+    };
     for _ in 0..n_events {
         let at_ps = ev_rng.gen_range(0u64..cfg.horizon_ps.max(1));
         let roll = ev_rng.gen_range(0u32..roll_max);
+        let roll = if !cfg.is_fleet() && roll >= 100 {
+            roll + 30
+        } else {
+            roll
+        };
         let action = match roll {
             0..=21 => {
                 let unit = ev_rng.gen_range(0u16..units.max(1));
@@ -111,7 +125,7 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
                 downed_devices.push(device);
                 ChaosAction::DeviceDown { device }
             }
-            _ => {
+            115..=129 => {
                 // Bias the repair toward a device this schedule downed,
                 // mirroring the unit/link repair bias.
                 let device = if !downed_devices.is_empty() && ev_rng.gen_bool(0.75) {
@@ -121,6 +135,12 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
                 };
                 ChaosAction::DeviceUp { device }
             }
+            _ => ChaosAction::PowerLoss {
+                device: ev_rng.gen_range(0u16..cfg.fleet_devices.max(1) as u16),
+                // 1–50 µs dark: long enough to straddle requests, short
+                // enough that recovery lands inside the horizon.
+                restart_after_ps: ev_rng.gen_range(1_000_000u32..50_000_000),
+            },
         };
         events.push(ChaosEvent { at_ps, action });
     }
@@ -164,6 +184,42 @@ mod tests {
         assert_eq!(a, b);
         let c = generate_schedule(0xDEAD_BEF0, &cfg);
         assert_ne!(a, c, "distinct seeds should diverge");
+    }
+
+    #[test]
+    fn power_loss_is_gated_and_produces_crashes() {
+        let plain = ChaosConfig::default();
+        let crashy = ChaosConfig {
+            power_loss: true,
+            ..ChaosConfig::default()
+        };
+        let fleet_crashy = ChaosConfig {
+            fleet_devices: 4,
+            power_loss: true,
+            ..ChaosConfig::default()
+        };
+        let mut saw_crash = false;
+        for seed in 0..50u64 {
+            // Gating: configs without power_loss never emit a crash, and
+            // their expansion is untouched by the wider roll range.
+            let base = generate_schedule(seed, &plain);
+            assert!(!base.has_power_loss());
+            for cfg in [&crashy, &fleet_crashy] {
+                let s = generate_schedule(seed, cfg);
+                saw_crash |= s.has_power_loss();
+                for e in &s.events {
+                    if let ChaosAction::PowerLoss {
+                        device,
+                        restart_after_ps,
+                    } = e.action
+                    {
+                        assert!(usize::from(device) < cfg.fleet_devices.max(1));
+                        assert!((1_000_000..50_000_000).contains(&restart_after_ps));
+                    }
+                }
+            }
+        }
+        assert!(saw_crash, "50 seeds must produce at least one crash");
     }
 
     #[test]

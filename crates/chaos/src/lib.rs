@@ -21,6 +21,16 @@
 //!    produces a bit-identical fingerprint (outcomes + telemetry), the
 //!    property that makes everything else debuggable.
 //!
+//! Campaigns run with `power_loss` additionally admit
+//! [`schedule::ChaosAction::PowerLoss`] crashes and hold every crash
+//! schedule to the **detectable-recovery contract**: no completed
+//! request is lost across a crash (`crash_conservation`), no request
+//! executes twice — including via a restart that inherits stale
+//! volatile state (`crash_no_double_execution`) — and double-run
+//! determinism holds for any (config, schedule) containing crashes
+//! (`crash_determinism`). Crash reproducers shrink exactly like every
+//! other violation.
+//!
 //! On violation the campaign shrinks the schedule to a minimal still-
 //! failing reproducer with the in-tree [`cim_sim::prop`] shrinker, and
 //! [`replay`] serializes seed + schedule + expected fingerprint as a

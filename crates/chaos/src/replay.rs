@@ -107,6 +107,13 @@ fn action_pairs(action: &ChaosAction) -> Vec<(String, Json)> {
         ChaosAction::DeviceDown { device } | ChaosAction::DeviceUp { device } => {
             push("device", u64::from(device));
         }
+        ChaosAction::PowerLoss {
+            device,
+            restart_after_ps,
+        } => {
+            push("device", u64::from(device));
+            push("restart_after_ps", u64::from(restart_after_ps));
+        }
     }
     p
 }
@@ -138,6 +145,7 @@ pub fn render_replay(file: &ReplayFile) -> String {
         ("max_events".to_owned(), num(cfg.max_events as u64)),
         ("fleet_devices".to_owned(), num(cfg.fleet_devices as u64)),
         ("fleet_replicas".to_owned(), num(cfg.fleet_replicas as u64)),
+        ("power_loss".to_owned(), num(u64::from(cfg.power_loss))),
         (
             "weaken".to_owned(),
             Json::String(cfg.weaken.name().to_owned()),
@@ -263,6 +271,10 @@ fn parse_event(obj: &Json) -> Result<ChaosEvent, String> {
         "device_up" => ChaosAction::DeviceUp {
             device: get_u16(obj, "device")?,
         },
+        "power_loss" => ChaosAction::PowerLoss {
+            device: get_u16(obj, "device")?,
+            restart_after_ps: get_u32(obj, "restart_after_ps")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(ChaosEvent { at_ps, action })
@@ -309,6 +321,9 @@ pub fn parse_replay(text: &str) -> Result<ReplayFile, String> {
             .get("fleet_replicas")
             .and_then(Json::as_u64)
             .unwrap_or(2) as usize,
+        // Pre-crash replay files lack this field; those campaigns never
+        // generated PowerLoss events.
+        power_loss: header.get("power_loss").and_then(Json::as_u64).unwrap_or(0) != 0,
         weaken: Weaken::from_name(weaken_name)
             .ok_or_else(|| format!("unknown weaken mode {weaken_name:?}"))?,
     };
@@ -399,6 +414,13 @@ mod tests {
                     ChaosEvent {
                         at_ps: 4_000_000,
                         action: ChaosAction::ArrivalBurst { extra: 9 },
+                    },
+                    ChaosEvent {
+                        at_ps: 5_000_000,
+                        action: ChaosAction::PowerLoss {
+                            device: 1,
+                            restart_after_ps: 25_000_000,
+                        },
                     },
                 ],
             },

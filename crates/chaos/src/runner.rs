@@ -19,11 +19,24 @@
 //! 5. **determinism** — a second fresh run of the same schedule yields
 //!    a bit-identical [`RunRecord::fingerprint`].
 //!
+//! Schedules containing a power-loss crash are additionally held to the
+//! **detectable-recovery contract**, reported under three crash-scoped
+//! invariant names so a reproducer says which recovery guarantee broke:
+//!
+//! - **crash_conservation** — no completed request is lost across a
+//!   crash (the conservation equations, under crash schedules);
+//! - **crash_no_double_execution** — no request executes twice: fleet
+//!   served/voided accounting stays exact *and* every restore reports a
+//!   pristine volatile image (a dirty restore means pre-crash state bled
+//!   into post-crash accounting);
+//! - **crash_determinism** — double-run determinism holds for any
+//!   (config, schedule) containing crashes.
+//!
 //! [`Weaken`] deliberately sabotages one invariant so tests (and CI
 //! self-checks) can confirm the campaign catches, shrinks and replays a
 //! real violation end to end.
 
-use crate::schedule::ChaosSchedule;
+use crate::schedule::{ChaosAction, ChaosSchedule};
 use cim_crossbar::dpe::DpeConfig;
 use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
 use cim_dataflow::ops::{Elementwise, Operation};
@@ -74,6 +87,12 @@ pub struct ChaosConfig {
     pub fleet_devices: usize,
     /// Replicas per tenant class in fleet mode.
     pub fleet_replicas: usize,
+    /// Admit [`crate::schedule::ChaosAction::PowerLoss`] crashes into
+    /// generated schedules. Off by default so existing configs keep
+    /// their bit-identical seed → schedule expansion; crash schedules
+    /// additionally pin the crash-recovery contract (see
+    /// [`run_schedule`]).
+    pub power_loss: bool,
     /// Test-only invariant sabotage; [`Weaken::None`] in CI configs.
     pub weaken: Weaken,
 }
@@ -94,6 +113,7 @@ impl Default for ChaosConfig {
             max_events: 12,
             fleet_devices: 0,
             fleet_replicas: 2,
+            power_loss: false,
             weaken: Weaken::None,
         }
     }
@@ -125,6 +145,10 @@ pub enum Weaken {
     /// Pretend request conservation requires `failed == 0` even under
     /// hard faults, so exhausted retry budgets violate invariant 2.
     NoFailuresEver,
+    /// Skip the volatile-state wipe in the power-loss recovery pass, so
+    /// a restart inherits stale occupancy — the dirty restore the
+    /// crash-recovery contract must detect.
+    SkipVolatileClear,
 }
 
 impl Weaken {
@@ -134,6 +158,7 @@ impl Weaken {
             Weaken::None => "none",
             Weaken::RecoveryBoundZero => "recovery_bound_zero",
             Weaken::NoFailuresEver => "no_failures_ever",
+            Weaken::SkipVolatileClear => "skip_volatile_clear",
         }
     }
 
@@ -143,6 +168,7 @@ impl Weaken {
             "none" => Some(Weaken::None),
             "recovery_bound_zero" => Some(Weaken::RecoveryBoundZero),
             "no_failures_ever" => Some(Weaken::NoFailuresEver),
+            "skip_volatile_clear" => Some(Weaken::SkipVolatileClear),
             _ => None,
         }
     }
@@ -162,6 +188,8 @@ pub struct RunRecord {
     pub recoveries: usize,
     /// Retry attempts beyond first attempts.
     pub retries: usize,
+    /// Power-loss crashes recovered during the run.
+    pub crashes: usize,
     /// Lines in the telemetry export.
     pub telemetry_lines: usize,
     /// Largest observed recovery latency (zero when none).
@@ -173,7 +201,9 @@ pub struct RunRecord {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// Stable invariant name (`conservation`, `no_unexpected_failures`,
-    /// `recovery_bound`, `telemetry_valid`, `determinism`, `run_error`).
+    /// `recovery_bound`, `telemetry_valid`, `determinism`, `run_error`;
+    /// crash schedules report `crash_conservation`,
+    /// `crash_no_double_execution`, `crash_determinism`).
     pub invariant: &'static str,
     /// Human-readable description of the observed violation.
     pub detail: String,
@@ -224,6 +254,8 @@ struct RunOnce {
     counts: [usize; 6],
     recoveries: usize,
     retries: usize,
+    crashes: usize,
+    dirty_restores: usize,
     fingerprint: u64,
     telemetry: String,
     series_jsonl: String,
@@ -266,6 +298,7 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
     let service_cfg = ServiceConfig {
         queue_capacity: cfg.queue_capacity,
         max_attempts: cfg.max_attempts,
+        restore_clears_volatile: cfg.weaken != Weaken::SkipVolatileClear,
         ..ServiceConfig::default()
     };
     // The service seed is FIXED: all chaos randomness lives in the
@@ -309,6 +342,8 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
         ],
         recoveries: report.recoveries,
         retries: report.retries,
+        crashes: report.crashes,
+        dirty_restores: report.dirty_restores,
         fingerprint,
         telemetry,
         series_jsonl: report.series_jsonl.clone(),
@@ -341,6 +376,7 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
         service: ServiceConfig {
             queue_capacity: cfg.queue_capacity,
             max_attempts: cfg.max_attempts,
+            restore_clears_volatile: cfg.weaken != Weaken::SkipVolatileClear,
             ..ServiceConfig::default()
         },
         ..FleetConfig::default()
@@ -404,6 +440,8 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
         ],
         recoveries: report.recoveries,
         retries: report.retries,
+        crashes: report.crashes,
+        dirty_restores: report.dirty_restores,
         fingerprint: h.finish(),
         telemetry,
         series_jsonl: report.series_jsonl.clone(),
@@ -467,11 +505,33 @@ fn fingerprint_run(report: &ServiceReport, telemetry: &str) -> u64 {
     h.finish()
 }
 
-/// The violating run's triage timeline: its SLO alerts plus a synthetic
-/// page for the broken invariant, stamped at the run's last observed
-/// sim time.
-fn triage_alerts(invariant: &'static str, run: Option<&RunOnce>) -> Vec<AlertEvent> {
+/// The violating run's triage timeline: its SLO alerts, a ticket per
+/// scheduled power loss (the recovery timeline — when each device went
+/// dark, and for how long), and a synthetic page for the broken
+/// invariant, stamped at the run's last observed sim time.
+fn triage_alerts(
+    invariant: &'static str,
+    run: Option<&RunOnce>,
+    schedule: &ChaosSchedule,
+) -> Vec<AlertEvent> {
     let mut alerts = run.map(|r| r.alerts.clone()).unwrap_or_default();
+    for ev in &schedule.events {
+        if let ChaosAction::PowerLoss {
+            device,
+            restart_after_ps,
+        } = ev.action
+        {
+            alerts.push(AlertEvent {
+                at: SimTime::from_ps(ev.at_ps),
+                tenant: format!("dev{device}"),
+                rule: "power_loss".to_owned(),
+                severity: AlertSeverity::Ticket,
+                burn_rate: 0.0,
+                window: SimDuration::from_ps(u64::from(restart_after_ps)),
+            });
+        }
+    }
+    alerts.sort_by_key(|a| a.at);
     let detected_at = run.map(|r| r.end_time).unwrap_or(SimTime::ZERO);
     alerts.push(AlertEvent {
         at: detected_at,
@@ -532,36 +592,69 @@ impl Fnv {
 /// Returns the **first** violated invariant (the check order above), so
 /// shrinking minimizes against a stable failure signature.
 pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRecord, Violation> {
+    // Crash schedules are held to the detectable-recovery contract: the
+    // same conservation/uniqueness/determinism checks run, but under
+    // contract names so a crash reproducer reports *which* recovery
+    // guarantee broke, and a dirty-restore check joins them.
+    let crash = schedule.has_power_loss();
     let first = run_once(cfg, schedule).map_err(|detail| Violation {
         invariant: "run_error",
         detail,
         fingerprint: None,
-        alerts: triage_alerts("run_error", None),
+        alerts: triage_alerts("run_error", None, schedule),
     })?;
     let [offered, admitted, shed, completed, timed_out, failed] = first.counts;
 
-    // 1. Conservation: nothing vanishes at admission or dispatch.
+    // 1. Conservation: nothing vanishes at admission or dispatch. For
+    // crash schedules this is the contract's first clause — no
+    // completed request is lost across a crash.
     if admitted + shed != offered || completed + timed_out + failed != admitted {
+        let invariant = if crash {
+            "crash_conservation"
+        } else {
+            "conservation"
+        };
         return Err(Violation {
-            invariant: "conservation",
+            invariant,
             detail: format!(
                 "offered {offered} != admitted {admitted} + shed {shed}, or admitted != \
                  completed {completed} + timed_out {timed_out} + failed {failed}"
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("conservation", Some(&first)),
+            alerts: triage_alerts(invariant, Some(&first), schedule),
         });
     }
 
-    // 1b. Fleet runs: whole-device failover must never double-count an
+    // 1b. No execution counts twice. A restart that inherits stale
+    // volatile state is the crash-layer version of double-counting —
+    // pre-crash occupancy, meters and queues bleed into post-crash
+    // accounting — so a dirty restore violates the contract directly.
+    if first.dirty_restores > 0 {
+        return Err(Violation {
+            invariant: "crash_no_double_execution",
+            detail: format!(
+                "{} of {} crash restore(s) left non-pristine volatile state",
+                first.dirty_restores, first.crashes
+            ),
+            fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("crash_no_double_execution", Some(&first), schedule),
+        });
+    }
+
+    // 1c. Fleet runs: whole-device failover must never double-count an
     // execution — each request's final run is served exactly once, and
     // every failover voids exactly one in-flight attempt.
     if let Some(fleet) = &first.fleet {
         if fleet.served_total != (completed + timed_out) as u64
             || fleet.voided_total != fleet.failovers as u64
         {
+            let invariant = if crash {
+                "crash_no_double_execution"
+            } else {
+                "no_double_execution"
+            };
             return Err(Violation {
-                invariant: "no_double_execution",
+                invariant,
                 detail: format!(
                     "devices served {} (completed + timed_out is {}), voided {} across {} failovers",
                     fleet.served_total,
@@ -570,7 +663,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                     fleet.failovers
                 ),
                 fingerprint: Some(first.fingerprint),
-                alerts: triage_alerts("no_double_execution", Some(&first)),
+                alerts: triage_alerts(invariant, Some(&first), schedule),
             });
         }
     }
@@ -584,7 +677,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 "{failed} request(s) failed under a schedule with no unit/link failures"
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("conservation", Some(&first)),
+            alerts: triage_alerts("no_unexpected_failures", Some(&first), schedule),
         });
     }
 
@@ -607,7 +700,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 bound.as_us_f64()
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("recovery_bound", Some(&first)),
+            alerts: triage_alerts("recovery_bound", Some(&first), schedule),
         });
     }
 
@@ -617,7 +710,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
             invariant: "telemetry_valid",
             detail: "telemetry export is empty".to_owned(),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("telemetry_valid", Some(&first)),
+            alerts: triage_alerts("telemetry_valid", Some(&first), schedule),
         });
     }
     for (i, line) in first.telemetry.lines().enumerate() {
@@ -626,27 +719,34 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
                 invariant: "telemetry_valid",
                 detail: format!("telemetry line {} invalid: {e}", i + 1),
                 fingerprint: Some(first.fingerprint),
-                alerts: triage_alerts("telemetry_valid", Some(&first)),
+                alerts: triage_alerts("telemetry_valid", Some(&first), schedule),
             });
         }
     }
 
-    // 5. A second fresh run must be bit-identical.
+    // 5. A second fresh run must be bit-identical. For crash schedules
+    // this is the contract's third clause — recovery itself must be
+    // deterministic, or a crash reproducer stops reproducing.
     let second = run_once(cfg, schedule).map_err(|detail| Violation {
         invariant: "run_error",
         detail: format!("replay run aborted: {detail}"),
         fingerprint: Some(first.fingerprint),
-        alerts: triage_alerts("run_error", Some(&first)),
+        alerts: triage_alerts("run_error", Some(&first), schedule),
     })?;
     if second.fingerprint != first.fingerprint {
+        let invariant = if crash {
+            "crash_determinism"
+        } else {
+            "determinism"
+        };
         return Err(Violation {
-            invariant: "determinism",
+            invariant,
             detail: format!(
                 "fresh re-run fingerprint {:#018x} != first run {:#018x}",
                 second.fingerprint, first.fingerprint
             ),
             fingerprint: Some(first.fingerprint),
-            alerts: triage_alerts("determinism", Some(&second)),
+            alerts: triage_alerts(invariant, Some(&second), schedule),
         });
     }
 
@@ -655,6 +755,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         counts: first.counts,
         recoveries: first.recoveries,
         retries: first.retries,
+        crashes: first.crashes,
         telemetry_lines: first.telemetry.lines().count(),
         max_recovery,
     })
@@ -756,5 +857,60 @@ mod tests {
         assert_eq!(rec.counts[0], 16);
         assert_eq!(rec.counts[5], 0, "no requests lost: {:?}", rec.counts);
         assert!(rec.telemetry_lines > 0);
+    }
+
+    /// One crash mid-stream, single-device and fleet: the recovery
+    /// contract (crash_conservation, crash_no_double_execution,
+    /// crash_determinism — all checked inside run_schedule) holds.
+    #[test]
+    fn power_loss_schedules_satisfy_the_recovery_contract() {
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ChaosEvent {
+                at_ps: 20_000_000,
+                action: ChaosAction::PowerLoss {
+                    device: 0,
+                    restart_after_ps: 10_000_000,
+                },
+            }],
+        };
+        let single = run_schedule(&quick_cfg(), &sched).expect("single-device crash recovered");
+        assert!(single.crashes >= 1, "the crash must actually land");
+
+        let fleet_cfg = ChaosConfig {
+            fleet_devices: 3,
+            requests: 16,
+            ..ChaosConfig::default()
+        };
+        let fleet = run_schedule(&fleet_cfg, &sched).expect("fleet crash recovered");
+        assert!(fleet.crashes >= 1);
+    }
+
+    #[test]
+    fn weakened_volatile_clear_trips_the_crash_contract() {
+        let cfg = ChaosConfig {
+            weaken: Weaken::SkipVolatileClear,
+            ..quick_cfg()
+        };
+        // Crash while a request is in flight so the restart inherits
+        // real stale occupancy; the dirty restore must be detected and
+        // attributed to the crash contract.
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ChaosEvent {
+                at_ps: 20_000_000,
+                action: ChaosAction::PowerLoss {
+                    device: 0,
+                    restart_after_ps: 10_000_000,
+                },
+            }],
+        };
+        let v = run_schedule(&cfg, &sched).expect_err("dirty restore must be detected");
+        assert_eq!(v.invariant, "crash_no_double_execution");
+        assert!(v.fingerprint.is_some());
+        assert!(
+            v.alerts.iter().any(|a| a.rule == "power_loss"),
+            "triage timeline carries the recovery timeline"
+        );
     }
 }

@@ -112,6 +112,17 @@ pub enum ChaosAction {
         /// Fleet device index.
         device: u16,
     },
+    /// Power loss: device `device` crashes, losing all volatile state;
+    /// `restart_after_ps` later it reboots through the persistence
+    /// layer's recovery pass (nonvolatile conductances and resident
+    /// programs survive). On a single-device harness the device index
+    /// is ignored — the one device crashes.
+    PowerLoss {
+        /// Fleet device index (ignored on single-device runs).
+        device: u16,
+        /// Outage duration, picoseconds.
+        restart_after_ps: u32,
+    },
 }
 
 impl ChaosAction {
@@ -128,6 +139,7 @@ impl ChaosAction {
             ChaosAction::ArrivalBurst { .. } => "arrival_burst",
             ChaosAction::DeviceDown { .. } => "device_down",
             ChaosAction::DeviceUp { .. } => "device_up",
+            ChaosAction::PowerLoss { .. } => "power_loss",
         }
     }
 
@@ -140,6 +152,7 @@ impl ChaosAction {
             ChaosAction::FailUnit { .. }
                 | ChaosAction::FailLink { .. }
                 | ChaosAction::DeviceDown { .. }
+                | ChaosAction::PowerLoss { .. }
         )
     }
 }
@@ -267,6 +280,25 @@ impl Shrink for ChaosAction {
                 .into_iter()
                 .map(|device| ChaosAction::DeviceUp { device })
                 .collect(),
+            ChaosAction::PowerLoss {
+                device,
+                restart_after_ps,
+            } => {
+                let mut out = Vec::new();
+                for d in device.shrink_candidates() {
+                    out.push(ChaosAction::PowerLoss {
+                        device: d,
+                        restart_after_ps,
+                    });
+                }
+                for r in restart_after_ps.shrink_candidates() {
+                    out.push(ChaosAction::PowerLoss {
+                        device,
+                        restart_after_ps: r,
+                    });
+                }
+                out
+            }
         }
     }
 }
@@ -365,6 +397,14 @@ impl ChaosEvent {
                 },
             },
             ChaosAction::ArrivalBurst { extra } => ServiceEvent::ArrivalBurst { at, extra },
+            // A single-device harness still crashes: the device index
+            // is meaningless with one device, so it is ignored.
+            ChaosAction::PowerLoss {
+                restart_after_ps, ..
+            } => ServiceEvent::PowerLoss {
+                at,
+                restart_after: cim_sim::time::SimDuration::from_ps(u64::from(restart_after_ps)),
+            },
             ChaosAction::DeviceDown { .. } | ChaosAction::DeviceUp { .. } => return None,
         })
     }
@@ -405,6 +445,14 @@ impl ChaosEvent {
             ChaosAction::DeviceUp { device } => FleetEvent::DeviceUp {
                 at,
                 device: usize::from(device) % n,
+            },
+            ChaosAction::PowerLoss {
+                device,
+                restart_after_ps,
+            } => FleetEvent::PowerLoss {
+                at,
+                device: usize::from(device) % n,
+                restart_after: cim_sim::time::SimDuration::from_ps(u64::from(restart_after_ps)),
             },
             ChaosAction::FailUnit { unit } => {
                 localize(unit, &|unit| ChaosAction::FailUnit { unit })
@@ -582,6 +630,14 @@ impl ChaosSchedule {
     pub fn has_hard_faults(&self) -> bool {
         self.events.iter().any(|e| e.action.is_hard_fault())
     }
+
+    /// Whether any event is a power loss — such schedules are held to
+    /// the crash-recovery contract's invariants.
+    pub fn has_power_loss(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::PowerLoss { .. }))
+    }
 }
 
 /// Shrink the event list (dropping/halving/simplifying events via the
@@ -627,6 +683,39 @@ mod tests {
         for cand in ev.shrink_candidates() {
             assert_eq!(cand.action.kind_name(), "cell_faults");
         }
+    }
+
+    #[test]
+    fn power_loss_shrinks_kind_preserving_and_lowers_everywhere() {
+        let ev = ChaosEvent {
+            at_ps: 2_000_000,
+            action: ChaosAction::PowerLoss {
+                device: 3,
+                restart_after_ps: 5_000_000,
+            },
+        };
+        for cand in ev.shrink_candidates() {
+            assert_eq!(cand.action.kind_name(), "power_loss");
+        }
+        assert!(ev.action.is_hard_fault());
+        // Crashes lower on both harnesses: the single device crashes
+        // (index ignored), the fleet clamps the index.
+        match ev.to_service_event() {
+            Some(ServiceEvent::PowerLoss { restart_after, .. }) => {
+                assert_eq!(restart_after.as_ps(), 5_000_000);
+            }
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+        assert!(matches!(
+            ev.to_fleet_event(2, 16),
+            FleetEvent::PowerLoss { device: 1, .. }
+        ));
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ev],
+        };
+        assert!(sched.has_power_loss());
+        assert!(!ChaosSchedule::empty().has_power_loss());
     }
 
     #[test]

@@ -279,6 +279,38 @@ impl CimDevice {
         self.trace.clear();
         self.telemetry.reset_values();
     }
+
+    /// Power-loss amnesia: wipes every piece of device state that does
+    /// *not* survive a crash — unit control state (occupancy, node
+    /// assignments, programmed-engine handles; [`MicroUnit::reset`]),
+    /// NoC reservations and gauges, the energy meter and the trace
+    /// buffer. Unlike [`reset_occupancy`](Self::reset_occupancy) this
+    /// deliberately does **not** touch the telemetry registry values:
+    /// the registry is the *host-side* observer of the device and its
+    /// counters (service accounting, alert history) must survive a
+    /// device crash. Callers restore the nonvolatile slice afterwards
+    /// from a [`crate::persist::PersistentImage`].
+    pub fn wipe_volatile(&mut self) {
+        for u in &mut self.units {
+            u.reset();
+        }
+        self.noc.reset();
+        self.meter.reset();
+        self.trace.clear();
+    }
+
+    /// Whether the device's volatile state equals a fresh boot's: every
+    /// unit idle with zero accumulated load, no NoC link reservations,
+    /// an empty energy meter, an empty trace buffer. This is the
+    /// post-restore half of the recovery contract — after
+    /// [`wipe_volatile`](Self::wipe_volatile) + image restore it must
+    /// hold, or the restart inherited stale run-time state.
+    pub fn volatile_pristine(&self) -> bool {
+        self.units.iter().all(MicroUnit::volatile_pristine)
+            && self.noc.link_load().is_empty()
+            && self.meter.total().as_fj() == 0
+            && self.trace.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,8 @@ use crate::config::FabricConfig;
 use crate::error::{FabricError, Result};
 use crate::runtime::{CimRuntime, JobId, JobStatus};
 use crate::service::{
-    weighted_pick, Disposition, LatencyStats, RequestOutcome, ServiceConfig, ServiceEvent,
+    backoff_delay, weighted_pick, Disposition, LatencyStats, RequestOutcome, ServiceConfig,
+    ServiceEvent,
 };
 use cim_dataflow::graph::{DataflowGraph, NodeRef};
 use cim_sim::energy::Energy;
@@ -133,6 +134,20 @@ pub enum FleetEvent {
         /// Arrivals beyond the first that land simultaneously.
         extra: u16,
     },
+    /// Power loss on one device: it is fenced like a
+    /// [`FleetEvent::DeviceDown`] with a known end, its volatile state
+    /// is lost, and the [`crate::runtime::CimRuntime::power_cycle`]
+    /// recovery pass restores the nonvolatile image when it rejoins
+    /// routing at `at + restart_after`. In-flight work is voided and
+    /// re-routed exactly like any whole-device failover.
+    PowerLoss {
+        /// Simulated time power is lost.
+        at: SimTime,
+        /// Fleet device index.
+        device: usize,
+        /// Outage duration: the device rejoins at `at + restart_after`.
+        restart_after: SimDuration,
+    },
 }
 
 impl FleetEvent {
@@ -141,7 +156,8 @@ impl FleetEvent {
         match *self {
             FleetEvent::DeviceDown { at, .. }
             | FleetEvent::DeviceUp { at, .. }
-            | FleetEvent::ArrivalBurst { at, .. } => at,
+            | FleetEvent::ArrivalBurst { at, .. }
+            | FleetEvent::PowerLoss { at, .. } => at,
             FleetEvent::Device { event, .. } => event.at(),
         }
     }
@@ -194,6 +210,14 @@ pub struct FleetReport {
     pub retries: usize,
     /// Whole-device failover re-routes performed by the router.
     pub failovers: usize,
+    /// Power-loss crashes recovered by devices (each one a
+    /// [`crate::runtime::CimRuntime::power_cycle`] pass).
+    pub crashes: usize,
+    /// Crashes whose restore left non-pristine volatile state. Always 0
+    /// under the shipped recovery pass; nonzero only when
+    /// [`ServiceConfig::restore_clears_volatile`] is deliberately
+    /// weakened.
+    pub dirty_restores: usize,
     /// Latency distribution of requests that ran to completion.
     pub latency: LatencyStats,
     /// Per-device dispatch/void/energy accounting.
@@ -274,6 +298,8 @@ struct FleetDevice {
     dispatched: u64,
     served: u64,
     voided: u64,
+    crashes: u64,
+    dirty_restores: u64,
 }
 
 /// What one dispatch attempt on a device came back with.
@@ -375,6 +401,8 @@ impl CimFleet {
                 dispatched: 0,
                 served: 0,
                 voided: 0,
+                crashes: 0,
+                dirty_restores: 0,
             });
         }
         Ok(CimFleet {
@@ -574,7 +602,20 @@ impl CimFleet {
             if ev.at() > when {
                 break;
             }
-            if let Some(inj) = ev.to_injection() {
+            if let ServiceEvent::PowerLoss { .. } = ev {
+                // The crash is in the past (its down interval already
+                // fenced routing and voided straddled work); run the
+                // recovery pass now, before this attempt touches state.
+                let pristine = self.devices[d]
+                    .rt
+                    .power_cycle(self.cfg.service.restore_clears_volatile);
+                self.devices[d].crashes += 1;
+                self.tel.counter_add(dev_comp[d], "crashes", 1);
+                if !pristine {
+                    self.devices[d].dirty_restores += 1;
+                    self.tel.counter_add(dev_comp[d], "dirty_restores", 1);
+                }
+            } else if let Some(inj) = ev.to_injection() {
                 self.devices[d].rt.device_mut().apply_injection(&inj);
             }
             dev_cursor[d] += 1;
@@ -661,17 +702,50 @@ impl CimFleet {
             match *ev {
                 FleetEvent::DeviceDown { at, device } => {
                     check_device(device, n_devices)?;
-                    // Ignore a down landing inside an existing outage.
-                    if !down_at(&downs[device], at) {
+                    // Ignore a down landing inside an existing outage,
+                    // or inside the detection window of the previous
+                    // down's start: the router has not yet re-admitted
+                    // the device, so a flap inside the window is one
+                    // outage, not two — fencing it twice would void
+                    // attempts that were never dispatched.
+                    let shadowed = down_at(&downs[device], at)
+                        || downs[device]
+                            .last()
+                            .is_some_and(|&(s, _)| at < s + self.cfg.failover_detect);
+                    if !shadowed {
                         downs[device].push((at, SimTime::MAX));
                     }
                 }
                 FleetEvent::DeviceUp { at, device } => {
                     check_device(device, n_devices)?;
+                    // An up with no matching open down (the down was
+                    // shadowed, or never happened) is a no-op.
                     if let Some(last) = downs[device].last_mut() {
                         if last.1 == SimTime::MAX && last.0 <= at {
                             last.1 = at;
                         }
+                    }
+                }
+                FleetEvent::PowerLoss {
+                    at,
+                    device,
+                    restart_after,
+                } => {
+                    check_device(device, n_devices)?;
+                    // A crash while the device is already dark (or still
+                    // inside the detection window) kills nothing new:
+                    // full no-op, same shadowing rule as DeviceDown.
+                    let shadowed = down_at(&downs[device], at)
+                        || downs[device]
+                            .last()
+                            .is_some_and(|&(s, _)| at < s + self.cfg.failover_detect);
+                    if !shadowed {
+                        // Fence like an outage with a known end, and
+                        // queue the recovery pass on the device's event
+                        // feed so the power cycle applies exactly once,
+                        // before the next attempt touches state.
+                        downs[device].push((at, at + restart_after));
+                        dev_events[device].push(ServiceEvent::PowerLoss { at, restart_after });
                     }
                 }
                 FleetEvent::Device { device, event } => {
@@ -927,6 +1001,8 @@ impl CimFleet {
             recoveries,
             retries,
             failovers,
+            crashes: self.devices.iter().map(|d| d.crashes).sum::<u64>() as usize,
+            dirty_restores: self.devices.iter().map(|d| d.dirty_restores).sum::<u64>() as usize,
             latency,
             per_device,
             energy,
@@ -965,7 +1041,7 @@ impl CimFleet {
                 if attempts >= self.cfg.service.max_attempts {
                     return Err(FabricError::RetriesExhausted { attempts });
                 }
-                when += self.cfg.service.backoff_base * (1u64 << (attempts - 1));
+                when += backoff_delay(self.cfg.service.backoff_base, attempts);
                 if when > deadline {
                     return Ok((when, attempts, false, Vec::new(), first));
                 }
@@ -998,7 +1074,7 @@ impl CimFleet {
                     if attempts >= self.cfg.service.max_attempts {
                         return Err(FabricError::RetriesExhausted { attempts });
                     }
-                    when += self.cfg.service.backoff_base * (1u64 << (attempts - 1));
+                    when += backoff_delay(self.cfg.service.backoff_base, attempts);
                     if when > deadline {
                         return Ok((when, attempts, false, Vec::new(), r));
                     }
@@ -1150,6 +1226,84 @@ mod tests {
             r.per_device[0].dispatched > 0,
             "device 0 serves before and after the outage"
         );
+    }
+
+    #[test]
+    fn power_loss_fails_over_and_recovers_without_loss() {
+        let mut f = fleet(4, 2);
+        let span = {
+            let mut probe = fleet(4, 2);
+            let r = probe.run_open_loop(10_000.0, 200, &[]).expect("probe");
+            r.arrivals.last().unwrap().0
+        };
+        // Crash each replica of the class once, at staggered points.
+        let events = [
+            FleetEvent::PowerLoss {
+                at: SimTime::from_ps(span.as_ps() / 4),
+                device: 0,
+                restart_after: SimDuration::from_us(20),
+            },
+            FleetEvent::PowerLoss {
+                at: SimTime::from_ps(span.as_ps() / 2),
+                device: 1,
+                restart_after: SimDuration::from_us(20),
+            },
+        ];
+        let r = f.run_open_loop(10_000.0, 200, &events).expect("serves");
+        assert!(r.zero_lost(), "power loss loses nothing: {r:?}");
+        assert_eq!(r.served_total() as usize, r.completed + r.timed_out);
+        assert_eq!(r.voided_total() as usize, r.failovers);
+        assert!(r.crashes >= 1, "a recovery pass ran: {r:?}");
+        assert_eq!(r.dirty_restores, 0, "the shipped recovery restores clean");
+    }
+
+    #[test]
+    fn shadowed_crash_and_flapping_down_are_no_ops() {
+        // A second DeviceDown inside the 2 µs detection window of the
+        // first, and a PowerLoss inside the open outage, must both be
+        // no-ops: one outage, one failover currency, accounts intact.
+        let mut f = fleet(4, 2);
+        let span = {
+            let mut probe = fleet(4, 2);
+            let r = probe.run_open_loop(10_000.0, 200, &[]).expect("probe");
+            r.arrivals.last().unwrap().0
+        };
+        let down = SimTime::from_ps(span.as_ps() / 4);
+        let events = [
+            FleetEvent::DeviceDown {
+                at: down,
+                device: 0,
+            },
+            // Flap: inside the detection window of the first down.
+            FleetEvent::DeviceDown {
+                at: down + SimDuration::from_us(1),
+                device: 0,
+            },
+            // Crash while already dark: nothing left to kill.
+            FleetEvent::PowerLoss {
+                at: down + SimDuration::from_us(10),
+                device: 0,
+                restart_after: SimDuration::from_us(5),
+            },
+            FleetEvent::DeviceUp {
+                at: SimTime::from_ps(span.as_ps() / 2),
+                device: 0,
+            },
+            // Up with no matching open down: a no-op too.
+            FleetEvent::DeviceUp {
+                at: SimTime::from_ps(span.as_ps() / 2 + 1_000_000),
+                device: 0,
+            },
+        ];
+        let r = f.run_open_loop(10_000.0, 200, &events).expect("serves");
+        assert!(r.zero_lost(), "{r:?}");
+        assert_eq!(
+            r.voided_total() as usize,
+            r.failovers,
+            "unmatched events must not skew the voided accounting: {r:?}"
+        );
+        assert_eq!(r.crashes, 0, "the shadowed crash never fires");
+        assert_eq!(r.served_total() as usize, r.completed + r.timed_out);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`resman`] | §IV.C + §III.B dynamic dataflow |
 //! | [`replicate`] | §VI scale-out (replicated devices, host-parallel) |
 //! | [`runtime`] | §III.E run-times and operating systems |
+//! | [`persist`] | nonvolatility exploited — crash persistence + power-loss recovery |
 //! | [`service`](mod@service) | §III.E serving front-end + §V.A retry |
 //! | [`fleet`](mod@fleet) | §IV.B/C at fleet scale — router, device failover (Table 1) |
 //! | [`reliability`] | §V.A |
@@ -71,6 +72,7 @@ pub mod error;
 pub mod fleet;
 pub mod integration;
 pub mod mapper;
+pub mod persist;
 pub mod reliability;
 pub mod replicate;
 pub mod resman;
@@ -89,6 +91,7 @@ pub use error::{FabricError, Result};
 pub use fleet::{CimFleet, DeviceLoad, FleetConfig, FleetEvent, FleetReport, RoutingPolicy};
 pub use integration::{run_integrated, IntegrationMode, IntegrationReport};
 pub use mapper::{map_graph, map_graph_subset, MappingPolicy, Placement};
+pub use persist::PersistentImage;
 pub use reliability::{run_duplex, run_fault_campaign, CampaignReport, ScheduledFault};
 pub use replicate::{execute_stream_replicated, execute_stream_replicated_threads, StreamItem};
 pub use resman::{run_farm, FarmReport, LoadReport, SlaController};

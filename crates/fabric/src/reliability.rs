@@ -358,6 +358,53 @@ mod tests {
     }
 
     #[test]
+    fn power_cycle_mid_stream_preserves_programmed_state() {
+        // §V.A meets persistence: a power loss between items wipes the
+        // volatile machinery but the programmed conductances are
+        // memristive and survive, so the stream resumes bit-identically
+        // without reprogramming.
+        let (g, s, k) = pipeline_graph();
+        let ins = inputs(s, 8);
+
+        let mut base = device();
+        let mut base_prog = base.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let uninterrupted = base
+            .execute_stream(&mut base_prog, &ins, &StreamOptions::default())
+            .unwrap();
+
+        let mut d = device();
+        let mut prog = d.load_program(&g, MappingPolicy::LocalityAware).unwrap();
+        let first = d
+            .execute_stream(&mut prog, &ins[..4], &StreamOptions::default())
+            .unwrap();
+        // The crash: snapshot the nonvolatile slice of every unit
+        // (health, assignment, programmed engine — what the memristors
+        // keep), wipe everything volatile, restore. This is the same
+        // pass `CimRuntime::power_cycle` runs, exercised at device
+        // level against an in-flight §V.A stream.
+        let nv: Vec<_> = d
+            .units()
+            .iter()
+            .map(|u| (u.health(), u.assigned_node(), u.dpe().cloned()))
+            .collect();
+        d.wipe_volatile();
+        assert!(d.volatile_pristine(), "a wiped device looks freshly booted");
+        for (i, (health, node, dpe)) in nv.into_iter().enumerate() {
+            d.unit_mut(i).restore_nv(health, node, dpe);
+        }
+        let second = d
+            .execute_stream(&mut prog, &ins[4..], &StreamOptions::default())
+            .unwrap();
+
+        for (i, out) in first.outputs.iter().chain(&second.outputs).enumerate() {
+            assert_eq!(
+                out[&k], uninterrupted.outputs[i][&k],
+                "item {i} survives the crash bit-identically"
+            );
+        }
+    }
+
+    #[test]
     fn duplex_detects_injected_corruption() {
         let mut d = device();
         let (g, s, _) = pipeline_graph();

@@ -67,11 +67,11 @@ impl JobStatus {
 /// ```
 #[derive(Debug)]
 pub struct CimRuntime {
-    device: CimDevice,
-    jobs: HashMap<JobId, MappedProgram>,
-    queue: VecDeque<(JobId, DataflowGraph, MappingPolicy)>,
-    rejected: Vec<JobId>,
-    next_id: u64,
+    pub(crate) device: CimDevice,
+    pub(crate) jobs: HashMap<JobId, MappedProgram>,
+    pub(crate) queue: VecDeque<(JobId, DataflowGraph, MappingPolicy)>,
+    pub(crate) rejected: Vec<JobId>,
+    pub(crate) next_id: u64,
 }
 
 impl CimRuntime {
@@ -102,7 +102,7 @@ impl CimRuntime {
 
     /// Publishes admission counters and scheduler gauges under the
     /// `runtime` component. No-ops (one branch) when telemetry is off.
-    fn publish_sched_state(&mut self, counter: &'static str) {
+    pub(crate) fn publish_sched_state(&mut self, counter: &'static str) {
         let tel = self.device.telemetry().clone();
         if !tel.is_enabled() {
             return;

@@ -38,10 +38,16 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Total attempts per request, including the first (≥ 1).
     pub max_attempts: u32,
-    /// Backoff before retry `k` is `backoff_base · 2^(k-1)`.
+    /// Backoff before retry `k` is `backoff_base · 2^min(k-1, 32)` —
+    /// exponential, saturating at the cap (see [`backoff_delay`]).
     pub backoff_base: SimDuration,
     /// Placement policy for resident class programs.
     pub mapping: MappingPolicy,
+    /// Whether a power-loss restore wipes volatile device state before
+    /// reloading the persisted image (the correct recovery pass). Only
+    /// chaos campaigns turn this off, to prove the recovery contract
+    /// *detects* a restart that inherits stale state.
+    pub restore_clears_volatile: bool,
 }
 
 impl Default for ServiceConfig {
@@ -51,8 +57,18 @@ impl Default for ServiceConfig {
             max_attempts: 3,
             backoff_base: SimDuration::from_us(10),
             mapping: MappingPolicy::LocalityAware,
+            restore_clears_volatile: true,
         }
     }
+}
+
+/// Backoff before the next attempt after `attempts` attempts have been
+/// made: `base · 2^(attempts-1)`, with the exponent saturated at 32 so
+/// attempt counts near 64 (or beyond) cap the delay instead of
+/// overflowing the shift. Monotone non-decreasing in `attempts`, then
+/// constant at the cap. Shared by the service and fleet retry paths.
+pub(crate) fn backoff_delay(base: SimDuration, attempts: u32) -> SimDuration {
+    base * (1u64 << attempts.saturating_sub(1).min(32))
 }
 
 /// A scheduled serviceability event applied while the stream runs.
@@ -103,6 +119,19 @@ pub enum ServiceEvent {
         /// Arrivals beyond the first that land simultaneously.
         extra: u16,
     },
+    /// Power loss: the device goes dark at `at`, loses all volatile
+    /// state, and comes back `restart_after` later through the
+    /// [`crate::runtime::CimRuntime::power_cycle`] recovery pass.
+    /// Programmed conductances, resident programs and drift state
+    /// survive (memristor nonvolatility); any attempt executing across
+    /// the crash is voided and re-dispatched after the restart, exactly
+    /// the way fleet failover voids in-flight work.
+    PowerLoss {
+        /// Simulated time at which power is lost.
+        at: SimTime,
+        /// Outage duration: the device restarts at `at + restart_after`.
+        restart_after: SimDuration,
+    },
 }
 
 impl ServiceEvent {
@@ -112,12 +141,15 @@ impl ServiceEvent {
             ServiceEvent::FailUnit { at, .. }
             | ServiceEvent::RepairUnit { at, .. }
             | ServiceEvent::Inject { at, .. }
-            | ServiceEvent::ArrivalBurst { at, .. } => at,
+            | ServiceEvent::ArrivalBurst { at, .. }
+            | ServiceEvent::PowerLoss { at, .. } => at,
         }
     }
 
     /// The engine-level injection this event maps to; `None` for
-    /// service-layer-only events ([`ServiceEvent::ArrivalBurst`]).
+    /// service-layer-only events ([`ServiceEvent::ArrivalBurst`],
+    /// [`ServiceEvent::PowerLoss`] — a crash never rides into the
+    /// engine; the service voids the straddled attempt instead).
     pub fn to_injection(&self) -> Option<Injection> {
         match *self {
             ServiceEvent::FailUnit { at, unit } => Some(Injection {
@@ -129,7 +161,7 @@ impl ServiceEvent {
                 kind: InjectionKind::RepairUnit { unit },
             }),
             ServiceEvent::Inject { at, kind } => Some(Injection { at, kind }),
-            ServiceEvent::ArrivalBurst { .. } => None,
+            ServiceEvent::ArrivalBurst { .. } | ServiceEvent::PowerLoss { .. } => None,
         }
     }
 }
@@ -214,6 +246,13 @@ pub struct ServiceReport {
     pub recoveries: usize,
     /// Retry attempts beyond each request's first.
     pub retries: usize,
+    /// Power-loss crashes the device survived during the run.
+    pub crashes: usize,
+    /// Crashes whose restore left non-pristine volatile state. Always 0
+    /// under the shipped recovery pass; nonzero only when
+    /// [`ServiceConfig::restore_clears_volatile`] is deliberately
+    /// weakened — the detectable half of the recovery contract.
+    pub dirty_restores: usize,
     /// Latency distribution of requests that ran to completion.
     pub latency: LatencyStats,
     /// SLO alert timeline from the observability pipeline, in firing
@@ -324,6 +363,10 @@ pub struct CimService {
     /// Departure times of admitted-but-unfinished requests.
     in_flight: Vec<SimTime>,
     next_request: u64,
+    /// Power-loss crashes applied during the current run.
+    crashes: usize,
+    /// Crashes whose restore reported non-pristine volatile state.
+    dirty_restores: usize,
     /// Observability pipeline config; `None` keeps the run unobserved.
     obs: Option<cim_obs::ObsConfig>,
 }
@@ -357,6 +400,8 @@ impl CimService {
             seeds,
             in_flight: Vec::new(),
             next_request: 0,
+            crashes: 0,
+            dirty_restores: 0,
             obs: None,
         })
     }
@@ -470,6 +515,7 @@ impl CimService {
         input: Vec<f64>,
         events: &[ServiceEvent],
         next_event: &mut usize,
+        outages: &[(SimTime, SimTime)],
     ) -> Result<(SimTime, u32, bool, Vec<f64>)> {
         let deadline = arrival + self.classes[class].deadline;
         let job = self.classes[class].job;
@@ -478,6 +524,12 @@ impl CimService {
         let mut when = arrival;
         let mut attempts = 0u32;
         loop {
+            // A power outage blacks the device out for its whole
+            // `[start, end)` window: no attempt can start while it is
+            // dark, so dispatch waits for the restart.
+            if let Some(&(_, end)) = outages.iter().find(|&&(s, e)| s <= when && when < e) {
+                when = end;
+            }
             attempts += 1;
             self.apply_events_until(events, next_event, when);
             // The still-future event tail rides into the engine so that
@@ -495,6 +547,22 @@ impl CimService {
             match self.rt.run(job, std::slice::from_ref(&item), &opts) {
                 Ok(report) => {
                     let finished = report.completed[0];
+                    // A crash inside the execution window voids the
+                    // attempt exactly like fleet failover: the result is
+                    // lost with the device's volatile state, and the
+                    // request re-dispatches after the restart without
+                    // burning retry budget (no double execution: the
+                    // voided result is never surfaced).
+                    if let Some(&(_, end)) =
+                        outages.iter().find(|&&(s, _)| when < s && s <= finished)
+                    {
+                        attempts -= 1;
+                        when = end;
+                        if when > deadline {
+                            return Ok((when, attempts.max(1), false, Vec::new()));
+                        }
+                        continue;
+                    }
                     let output = report.outputs[0][&sink].clone();
                     return Ok((finished, attempts, !report.recoveries.is_empty(), output));
                 }
@@ -505,8 +573,9 @@ impl CimService {
                     if attempts >= self.cfg.max_attempts {
                         return Err(FabricError::RetriesExhausted { attempts });
                     }
-                    // Exponential backoff: 1×, 2×, 4×… the base gap.
-                    when += self.cfg.backoff_base * (1u64 << (attempts - 1));
+                    // Exponential backoff: 1×, 2×, 4×… the base gap,
+                    // saturating so huge attempt budgets cannot overflow.
+                    when += backoff_delay(self.cfg.backoff_base, attempts);
                     if when > deadline {
                         // The budget outlives the SLO; stop burning spares.
                         return Ok((when, attempts, false, Vec::new()));
@@ -522,7 +591,24 @@ impl CimService {
             if ev.at() > now {
                 break;
             }
-            if let Some(inj) = ev.to_injection() {
+            if let ServiceEvent::PowerLoss { .. } = ev {
+                // The crash happened in the past (the outage window
+                // already fenced dispatch); apply the recovery pass now,
+                // exactly once, before the next attempt touches state.
+                let pristine = self.rt.power_cycle(self.cfg.restore_clears_volatile);
+                self.crashes += 1;
+                if !pristine {
+                    self.dirty_restores += 1;
+                }
+                let tel = self.rt.device().telemetry().clone();
+                if tel.is_enabled() {
+                    let c = tel.component("service");
+                    tel.counter_add(c, "crashes", 1);
+                    if !pristine {
+                        tel.counter_add(c, "dirty_restores", 1);
+                    }
+                }
+            } else if let Some(inj) = ev.to_injection() {
                 self.rt.device_mut().apply_injection(&inj);
             }
             *next += 1;
@@ -563,6 +649,25 @@ impl CimService {
         assert!(rate_hz > 0.0, "offered rate must be positive");
         let mut events = events.to_vec();
         events.sort_by_key(ServiceEvent::at);
+        // Power-loss outages: the device is dark from each crash until
+        // its restart completes. A crash landing while the device is
+        // already dark is a no-op (there is nothing left to kill), so it
+        // is dropped from the schedule entirely — the outage list and
+        // the power-cycle cursor stay consistent.
+        let mut outages: Vec<(SimTime, SimTime)> = Vec::new();
+        events.retain(|e| match *e {
+            ServiceEvent::PowerLoss { at, restart_after } => {
+                if outages.last().is_some_and(|&(_, end)| at < end) {
+                    false
+                } else {
+                    outages.push((at, at + restart_after));
+                    true
+                }
+            }
+            _ => true,
+        });
+        self.crashes = 0;
+        self.dirty_restores = 0;
         let mut next_event = 0usize;
         // Arrival bursts are a service-layer effect: once the open-loop
         // clock passes a burst's time, its `extra` follow-on arrivals
@@ -634,7 +739,7 @@ impl CimService {
                 if let Some(c) = comp {
                     tel.counter_add(c, "admitted", 1);
                 }
-                match self.dispatch(class, now, input, &events, &mut next_event) {
+                match self.dispatch(class, now, input, &events, &mut next_event, &outages) {
                     Ok((finished, attempts, recovered, output)) => {
                         retries += (attempts - 1) as usize;
                         if recovered {
@@ -757,6 +862,8 @@ impl CimService {
             failed,
             recoveries,
             retries,
+            crashes: self.crashes,
+            dirty_restores: self.dirty_restores,
             latency,
             alerts,
             series_jsonl,
@@ -1092,6 +1199,129 @@ mod tests {
                     unit: 1,
                 },
             ];
+            svc.run_open_loop(200_000.0, 60, &events).expect("serves")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn backoff_is_monotone_then_saturates() {
+        let base = SimDuration::from_us(10);
+        // Monotone non-decreasing over the whole climb and past the cap.
+        let mut prev = SimDuration::ZERO;
+        for attempts in 1..=80u32 {
+            let d = backoff_delay(base, attempts);
+            assert!(d >= prev, "backoff must be monotone at attempt {attempts}");
+            prev = d;
+        }
+        // Constant once the exponent saturates: attempt counts near 64
+        // (the old shift's overflow cliff) and beyond all cap out.
+        let cap = backoff_delay(base, 33);
+        assert_eq!(cap, base * (1u64 << 32));
+        for attempts in [33u32, 34, 63, 64, 65, 1_000, u32::MAX] {
+            assert_eq!(
+                backoff_delay(base, attempts),
+                cap,
+                "backoff must be constant at attempt {attempts}"
+            );
+        }
+        // First retry waits exactly the base gap.
+        assert_eq!(backoff_delay(base, 1), base);
+    }
+
+    /// Probes an unperturbed run and returns the first request's
+    /// execution window, so a crash can be planted strictly inside it.
+    fn first_request_window() -> (SimTime, SimTime) {
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_ms(1));
+        let probe = svc.run_open_loop(100_000.0, 5, &[]).expect("probe");
+        match &probe.outcomes[0].disposition {
+            Disposition::Completed { finished, .. } => (probe.outcomes[0].arrival, *finished),
+            other => panic!("probe request must complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_loss_mid_request_voids_and_recovers() {
+        let (arrival, finished) = first_request_window();
+        assert!(finished > arrival, "execution takes time");
+        let mid = SimTime::from_ps((arrival.as_ps() + finished.as_ps()) / 2 + 1);
+        let events = [ServiceEvent::PowerLoss {
+            at: mid,
+            restart_after: SimDuration::from_us(5),
+        }];
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_ms(1));
+        let r = svc.run_open_loop(100_000.0, 5, &events).expect("serves");
+        assert_eq!(r.crashes, 1, "the crash was applied exactly once");
+        assert_eq!(r.dirty_restores, 0, "the recovery pass restores clean");
+        assert_eq!(r.completed, 5, "no completed request is lost");
+        assert!(r.zero_lost());
+        // The straddled attempt was voided, not retried: the request
+        // re-dispatched after the restart on its original budget.
+        match &r.outcomes[0].disposition {
+            Disposition::Completed {
+                finished: after,
+                attempts,
+                ..
+            } => {
+                assert_eq!(*attempts, 1, "a voided attempt burns no retry budget");
+                assert!(
+                    *after >= mid + SimDuration::from_us(5),
+                    "the request finishes after the restart"
+                );
+            }
+            other => panic!("straddled request must still complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weakened_restore_is_a_detected_dirty_restore() {
+        let (arrival, finished) = first_request_window();
+        let mid = SimTime::from_ps((arrival.as_ps() + finished.as_ps()) / 2 + 1);
+        let events = [ServiceEvent::PowerLoss {
+            at: mid,
+            restart_after: SimDuration::from_us(5),
+        }];
+        let cfg = ServiceConfig {
+            restore_clears_volatile: false,
+            ..ServiceConfig::default()
+        };
+        let mut svc = service(4, cfg, SimDuration::from_ms(1));
+        let r = svc.run_open_loop(100_000.0, 5, &events).expect("serves");
+        assert_eq!(r.crashes, 1);
+        assert_eq!(
+            r.dirty_restores, 1,
+            "skipping the volatile wipe must be detected"
+        );
+    }
+
+    #[test]
+    fn crash_inside_an_outage_window_is_shadowed() {
+        // The second crash lands while the device is already dark: it is
+        // dropped (nothing left to kill), so exactly one recovery runs.
+        let events = [
+            ServiceEvent::PowerLoss {
+                at: SimTime::from_ns(1_000),
+                restart_after: SimDuration::from_us(10),
+            },
+            ServiceEvent::PowerLoss {
+                at: SimTime::from_ns(4_000),
+                restart_after: SimDuration::from_us(10),
+            },
+        ];
+        let mut svc = service(4, ServiceConfig::default(), SimDuration::from_ms(1));
+        let r = svc.run_open_loop(100_000.0, 10, &events).expect("serves");
+        assert_eq!(r.crashes, 1, "the shadowed crash is a no-op");
+        assert!(r.zero_lost());
+    }
+
+    #[test]
+    fn crash_schedules_are_deterministic() {
+        let run = || {
+            let events = [ServiceEvent::PowerLoss {
+                at: SimTime::from_ns(3_000),
+                restart_after: SimDuration::from_us(20),
+            }];
+            let mut svc = service(4, ServiceConfig::default(), SimDuration::from_us(200));
             svc.run_open_loop(200_000.0, 60, &events).expect("serves")
         };
         assert_eq!(run(), run());

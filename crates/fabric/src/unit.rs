@@ -264,6 +264,28 @@ impl MicroUnit {
         Ok((values, done, cost.energy))
     }
 
+    /// Restores the nonvolatile slice of this unit from a persisted
+    /// image: health, node assignment, and the programmed analog engine
+    /// (conductances plus accumulated drift/aging — a memristor keeps
+    /// those across power loss). Occupancy state is deliberately *not*
+    /// part of the image; callers wipe it separately.
+    pub(crate) fn restore_nv(
+        &mut self,
+        health: UnitHealth,
+        assigned_node: Option<usize>,
+        dpe: Option<DotProductEngine>,
+    ) {
+        self.health = health;
+        self.assigned_node = assigned_node;
+        self.dpe = dpe;
+    }
+
+    /// Whether this unit's volatile (run-time) state matches a fresh
+    /// boot: no busy horizon, no accumulated load, no processed items.
+    pub(crate) fn volatile_pristine(&self) -> bool {
+        self.busy_until == SimTime::ZERO && self.busy_accum == SimDuration::ZERO && self.items == 0
+    }
+
     /// Read-only access to the analog engine (test and telemetry use).
     pub fn dpe(&self) -> Option<&DotProductEngine> {
         self.dpe.as_ref()

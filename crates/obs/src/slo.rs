@@ -11,6 +11,13 @@
 //! edge only and carry the sim time of the observation that crossed the
 //! line, so a given seed pages at the same deterministic instant on any
 //! host.
+//!
+//! [`AlertEvent`] is also the vocabulary for *synthetic* timeline
+//! entries: chaos triage injects an `invariant/<name>` page at a
+//! violating run's end and one `power_loss` ticket per scheduled crash
+//! (spanning the restart window), so a replay file's alert timeline
+//! shows when the run went bad and when each device was dark. Synthetic
+//! events use the same JSONL round-trip as burn-rate alerts.
 
 use cim_sim::telemetry::{json_f64, json_string};
 use cim_sim::time::{SimDuration, SimTime};

@@ -56,6 +56,20 @@ impl RequestClassSpec {
         }
         flops
     }
+
+    /// Bytes of model state this class keeps resident: its weight
+    /// matrices at f64 precision. This is what a conventional cluster
+    /// ships to a standby on machine failover — and what a CIM device
+    /// would have to reprogram after power loss if memristor
+    /// conductances were not nonvolatile. The fleet ships (and
+    /// reprograms) nothing; the cluster baseline charges this against
+    /// its link on every failover.
+    pub fn weights_bytes(&self) -> u64 {
+        self.layer_dims
+            .windows(2)
+            .map(|w| 8 * (w[0] as u64) * (w[1] as u64))
+            .sum()
+    }
 }
 
 /// The standard three-tenant mix the serving experiments use.
@@ -144,6 +158,8 @@ mod tests {
         };
         // 2·16·8 + 2·8·4 matvec flops + 8 hidden-layer relu ops.
         assert_eq!(spec.flops_per_request(), 256 + 64 + 8);
+        // (16·8 + 8·4) f64 weights resident in crossbars.
+        assert_eq!(spec.weights_bytes(), 8 * (128 + 32));
     }
 
     #[test]

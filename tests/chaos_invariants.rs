@@ -125,6 +125,40 @@ fn generation_is_a_pure_function_of_seed() {
     assert_eq!(serial, parallel);
 }
 
+/// A weakened power-loss recovery pass (the restart skips the
+/// volatile-state wipe) is caught by the crash contract, shrunk to a
+/// minimal reproducer that still contains a crash, and the replay file
+/// reproduces the violation bit-identically.
+#[test]
+fn weakened_volatile_clear_is_caught_shrunk_and_replayable() {
+    let chaos = ChaosConfig {
+        power_loss: true,
+        weaken: Weaken::SkipVolatileClear,
+        ..test_chaos()
+    };
+    let cc = CampaignConfig {
+        seeds: 64,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign_threads(2, &cc, &chaos);
+    let violation = report
+        .violation
+        .expect("a dirty restore must trip within 64 crash-enabled seeds");
+    assert_eq!(violation.replay.invariant, "crash_no_double_execution");
+    assert!(
+        violation.replay.schedule.has_power_loss(),
+        "the minimal reproducer must keep the crash that exposes the bug"
+    );
+
+    let text = render_replay(&violation.replay);
+    let parsed = parse_replay(&text).expect("crash replay file parses");
+    assert_eq!(parsed, violation.replay, "lossless round-trip");
+    let v = run_schedule(&parsed.config, &parsed.schedule)
+        .expect_err("the minimal crash reproducer still violates");
+    assert_eq!(v.invariant, parsed.invariant);
+    assert_eq!(v.fingerprint, parsed.fingerprint);
+}
+
 /// A hand-built schedule exercising every action kind round-trips
 /// through the replay format and survives the full invariant gauntlet.
 #[test]
@@ -178,6 +212,13 @@ fn every_action_kind_is_absorbed_and_serializable() {
                     ay: 0,
                     bx: 2,
                     by: 0,
+                },
+            },
+            ChaosEvent {
+                at_ps: 16_000_000,
+                action: ChaosAction::PowerLoss {
+                    device: 0,
+                    restart_after_ps: 5_000_000,
                 },
             },
             ChaosEvent {

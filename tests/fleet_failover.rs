@@ -9,7 +9,7 @@
 
 use cim::fabric::fleet::{CimFleet, FleetConfig, FleetEvent};
 use cim::fabric::FabricConfig;
-use cim::sim::time::SimTime;
+use cim::sim::time::{SimDuration, SimTime};
 use cim::sim::{SeedTree, SimMode};
 use cim::workloads::serving::standard_request_mix;
 use cim_bench::experiments::fleet::{
@@ -123,34 +123,37 @@ fn fleet_comparisons_are_thread_invariant() {
     }
 }
 
+/// A fresh 4-device fleet with the standard mix resident, for the
+/// unmatched-event and flap-semantics pins below.
+fn boot() -> CimFleet {
+    let mut fleet = CimFleet::new(
+        FleetConfig {
+            devices: 4,
+            replicas: 2,
+            fabric: FabricConfig {
+                sim_mode: SimMode::Analytic,
+                ..FabricConfig::default()
+            },
+            keep_outcomes: false,
+            ..FleetConfig::default()
+        },
+        SeedTree::new(0xD0E),
+    )
+    .expect("fleet boots");
+    for spec in standard_request_mix() {
+        let (g, src, sink) = spec.build_graph(SeedTree::new(0xD0E ^ 0xC1A55));
+        fleet
+            .register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+            .expect("mix fits");
+    }
+    fleet
+}
+
 /// A DeviceUp with no preceding outage and an outage that never ends
 /// both behave: the former is a no-op, the latter fences the device for
 /// the rest of the run while its replica partner carries the class.
 #[test]
 fn unmatched_device_events_behave() {
-    let boot = || {
-        let mut fleet = CimFleet::new(
-            FleetConfig {
-                devices: 4,
-                replicas: 2,
-                fabric: FabricConfig {
-                    sim_mode: SimMode::Analytic,
-                    ..FabricConfig::default()
-                },
-                keep_outcomes: false,
-                ..FleetConfig::default()
-            },
-            SeedTree::new(0xD0E),
-        )
-        .expect("fleet boots");
-        for spec in standard_request_mix() {
-            let (g, src, sink) = spec.build_graph(SeedTree::new(0xD0E ^ 0xC1A55));
-            fleet
-                .register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
-                .expect("mix fits");
-        }
-        fleet
-    };
     // Up with no outage: identical to no events at all.
     let clean = boot().run_open_loop(100_000.0, 500, &[]).expect("serves");
     let noop_up = boot()
@@ -180,4 +183,71 @@ fn unmatched_device_events_behave() {
         fenced.per_device[1].served > 0,
         "replica partner carries the fenced device's class"
     );
+}
+
+/// Flapping and shadowed events are no-ops and failover accounting
+/// stays exact: a second DeviceDown inside the detection window, a
+/// crash while the device is already dark, and a second DeviceUp after
+/// the repair all leave the run identical to the clean down/up pair —
+/// and `voided_total() == failovers` throughout.
+#[test]
+fn flapping_and_shadowed_events_keep_failover_accounting_exact() {
+    let down = SimTime::from_ns(1_000);
+    let up = SimTime::from_ns(50_000);
+    let clean = boot()
+        .run_open_loop(
+            100_000.0,
+            500,
+            &[
+                FleetEvent::DeviceDown {
+                    at: down,
+                    device: 0,
+                },
+                FleetEvent::DeviceUp { at: up, device: 0 },
+            ],
+        )
+        .expect("serves");
+    let flapped = boot()
+        .run_open_loop(
+            100_000.0,
+            500,
+            &[
+                FleetEvent::DeviceDown {
+                    at: down,
+                    device: 0,
+                },
+                // Inside the 2 µs detection window: shadowed.
+                FleetEvent::DeviceDown {
+                    at: down + SimDuration::from_ns(500),
+                    device: 0,
+                },
+                // Crash while the device is already dark: shadowed too —
+                // a device with no power cannot lose power again.
+                FleetEvent::PowerLoss {
+                    at: SimTime::from_ns(10_000),
+                    device: 0,
+                    restart_after: SimDuration::from_us(5),
+                },
+                FleetEvent::DeviceUp { at: up, device: 0 },
+                // Second repair with nothing to repair: no-op.
+                FleetEvent::DeviceUp {
+                    at: up + SimDuration::from_us(10),
+                    device: 0,
+                },
+            ],
+        )
+        .expect("serves");
+    assert_eq!(
+        clean.fingerprint, flapped.fingerprint,
+        "shadowed/unmatched events must not perturb the run"
+    );
+    assert_eq!(flapped.crashes, 0, "a shadowed crash never fires");
+    for r in [&clean, &flapped] {
+        assert!(r.zero_lost(), "{r:?}");
+        assert_eq!(
+            r.voided_total() as usize,
+            r.failovers,
+            "each failover voids exactly one attempt"
+        );
+    }
 }
