@@ -7,15 +7,19 @@
 #                     agreement, single-device and fleet), the SLO
 #                     alerting smoke (healthy silent, overload pages),
 #                     the fleet failover smoke (zero loss at 200k
-#                     requests) and the power-loss smoke (crash
-#                     recovery at 100k requests). The fast inner-loop
+#                     requests), the power-loss smoke (crash recovery
+#                     at 100k requests) and the adversarial smoke
+#                     (armed-fleet attack campaign, zero cross-tenant
+#                     reads at 100k requests). The fast inner-loop
 #                     gate; hosted CI runs it on every push and pull
 #                     request.
 #   ./ci.sh           The full gate: quick plus the CIM_THREADS=4 test
 #   ./ci.sh full      pass, example smokes, serving, fleet-failover and
 #                     power-loss soaks (the failover soak at one million
-#                     requests), the chaos campaign (clean sweep,
-#                     4-device fleet sweep, power-loss sweep, two
+#                     requests), the chaos campaigns (clean sweep,
+#                     4-device fleet sweep, power-loss sweep and the
+#                     adversarial fleet sweep, each gated on full
+#                     action-kind coverage, plus three
 #                     weakened-invariant replay self-checks), the
 #                     wide-sample analytic_check seed sweep, and the
 #                     bench-regression comparison against the committed
@@ -28,8 +32,11 @@
 #                     wall-clock medians past the ±30% host-scaled
 #                     tolerance, or when switching baseline hardware.
 #
-# Failure artifacts (fresh bench JSONL, analytic disagreement lines)
-# land in target/ci-artifacts/ so hosted CI can upload them.
+# Failure artifacts (fresh bench JSONL, analytic disagreement lines,
+# shrunk chaos reproducers, action-kind coverage histograms) land in
+# target/ci-artifacts/ so hosted CI can upload them. Per-step wall-clock
+# timings are printed as a sorted table at exit and written to
+# target/ci-artifacts/ci_timing.txt on every run, pass or fail.
 #
 # The workspace is hermetic: zero registry dependencies, so every step
 # runs with --offline and succeeds from a clean checkout with no crates.io
@@ -43,7 +50,53 @@ case "$MODE" in
     *) echo "usage: ./ci.sh [quick|full|baseline]" >&2; exit 2 ;;
 esac
 
-step() { printf '\n== %s\n' "$1"; }
+# Failure artifacts accumulate here; target/ is cached between hosted
+# runs, so start clean or a stale disagreement file would be re-uploaded.
+ART="target/ci-artifacts"
+rm -rf "$ART"
+mkdir -p "$ART"
+
+# --------------------------------------------------------- step timing
+# Every step's wall-clock is recorded; the exit trap prints a
+# slowest-first table and writes it to $ART/ci_timing.txt so a slow
+# gate names its own bottleneck.
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_START=0
+
+step_finish() {
+    if [ -n "$CURRENT_STEP" ]; then
+        STEP_NAMES+=("$CURRENT_STEP")
+        STEP_SECS+=("$((SECONDS - STEP_START))")
+        CURRENT_STEP=""
+    fi
+}
+
+step() {
+    step_finish
+    CURRENT_STEP="$1"
+    STEP_START=$SECONDS
+    printf '\n== %s\n' "$1"
+}
+
+SCRATCH=""
+finish() {
+    step_finish
+    if [ "${#STEP_NAMES[@]}" -gt 0 ]; then
+        mkdir -p "$ART"
+        {
+            printf '\n== step timing (wall-clock, slowest first)\n'
+            printf '%8s  %s\n' "seconds" "step"
+            for i in "${!STEP_NAMES[@]}"; do
+                printf '%8d  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+            done | sort -rn -k1,1
+        } | tee "$ART/ci_timing.txt"
+    fi
+    [ -n "$SCRATCH" ] && rm -rf "$SCRATCH"
+    return 0
+}
+trap finish EXIT
 
 # ---------------------------------------------------------------- quick
 step "cargo fmt --check"
@@ -57,12 +110,6 @@ cargo build --workspace --release --offline
 
 step "cargo test -q --offline (CIM_THREADS=1)"
 CIM_THREADS=1 cargo test --workspace -q --offline
-
-# Failure artifacts accumulate here; target/ is cached between hosted
-# runs, so start clean or a stale disagreement file would be re-uploaded.
-ART="target/ci-artifacts"
-rm -rf "$ART"
-mkdir -p "$ART"
 
 step "analytic_check: two-tier agreement, small sample"
 # The analytic fast path must agree with the DES within the declared
@@ -89,6 +136,14 @@ step "powerloss_smoke: crash recovery, detectable-recovery contract (100k reques
 # Zero loss, exact accounting, pristine restores, double-run determinism.
 cargo run --release --offline -p cim-bench --bin powerloss_smoke -- --requests 100000
 
+step "adversarial_smoke: armed fleet, zero cross-tenant reads (100k requests)"
+# Every device carries a fenced adversary tile firing one of every
+# attack archetype (forged token, stale replay, cross-partition scan,
+# hostile self-prog, hostile dataflow). Every probe must be blocked,
+# nothing leaks, innocent goodput is untouched, and the leak-control
+# run proves the detector is not vacuous.
+cargo run --release --offline -p cim-bench --bin adversarial_smoke -- --requests 100000
+
 if [ "$MODE" = quick ]; then
     printf '\n== ci.sh quick: all gates passed\n'
     exit 0
@@ -107,7 +162,6 @@ cargo run --release --offline --example quickstart
 
 step "telemetry smoke: quickstart --telemetry + schema check"
 SCRATCH="$(mktemp -d -t cim-ci-XXXXXX)"
-trap 'rm -rf "$SCRATCH"' EXIT
 cargo run --release --offline --example quickstart -- --telemetry "$SCRATCH/telemetry.jsonl"
 # Every line must parse as JSON with component/metric/value keys; the
 # checker is in-tree (no external JSON tooling, per the hermetic policy).
@@ -157,41 +211,60 @@ step "fleet_smoke: one-million-request failover soak"
 # accounting across four devices under the two-outage campaign.
 cargo run --release --offline -p cim-bench --bin fleet_smoke
 
-step "chaos campaign: 64-seed sweep must be clean"
+# Chaos campaign outputs — shrunk reproducers and action-kind coverage
+# histograms — land in $ART so a red gate uploads its own evidence.
+# Every campaign runs with --require-full-coverage: a green sweep must
+# prove it exercised every action kind its config enables, not just the
+# seeds that happened to fit the budget.
+step "chaos campaign: 64-seed sweep must be clean, full kind coverage"
 # Fixed root seed, budgeted for CI. Any invariant violation writes a
 # shrunk replay file and fails the gate.
 cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
-    --seeds 64 --budget-ms 120000 --out "$SCRATCH/chaos_repro.jsonl"
+    --seeds 64 --budget-ms 120000 --out "$ART/chaos_repro.jsonl" \
+    --require-full-coverage --coverage-out "$ART/chaos_coverage.txt"
 
-step "chaos campaign: fleet mode (4 devices) must be clean"
+step "chaos campaign: fleet mode (4 devices) must be clean, full kind coverage"
 # The same invariants plus the fleet-only no-double-execution check,
 # with whole-device outages in the generated action mix.
 cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
     --seeds 32 --fleet-devices 4 --budget-ms 120000 \
-    --out "$SCRATCH/chaos_fleet_repro.jsonl"
+    --out "$ART/chaos_fleet_repro.jsonl" \
+    --require-full-coverage --coverage-out "$ART/chaos_fleet_coverage.txt"
 
-step "chaos campaign: power-loss fleet mode (32 seeds) must be clean"
+step "chaos campaign: power-loss fleet mode (32 seeds) must be clean, full kind coverage"
 # Crashes join the fleet action mix; every schedule containing one is
 # held to the detectable-recovery contract (crash_conservation,
 # crash_no_double_execution, crash_determinism).
 cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
     --seeds 32 --fleet-devices 4 --power-loss --budget-ms 120000 \
-    --out "$SCRATCH/chaos_powerloss_repro.jsonl"
+    --out "$ART/chaos_powerloss_repro.jsonl" \
+    --require-full-coverage --coverage-out "$ART/chaos_powerloss_coverage.txt"
+
+step "chaos campaign: adversarial fleet mode (32 seeds) must be clean, full kind coverage"
+# The full grammar: isolation attacks (forged/replayed tokens,
+# cross-partition scans, hostile programs) join crashes and outages in
+# the fleet action mix. Every device boots with an armed adversary tile
+# and every run is held to the containment contract
+# (iso_no_cross_tenant_read, iso_bounded_blast_radius, iso_innocent_qos).
+cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 32 --fleet-devices 4 --power-loss --adversarial --budget-ms 240000 \
+    --out "$ART/chaos_adversarial_repro.jsonl" \
+    --require-full-coverage --coverage-out "$ART/chaos_adversarial_coverage.txt"
 
 step "chaos self-check: weakened invariant must be caught and replay bit-identically"
 # Sabotage one invariant (recovery bound forced to zero): the campaign
 # must detect it, shrink it, and the replay file must reproduce the
 # exact same violation fingerprint at both thread settings.
 if cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
-    --seeds 64 --weaken recovery_bound_zero --out "$SCRATCH/weakened_repro.jsonl"; then
+    --seeds 64 --weaken recovery_bound_zero --out "$ART/weakened_repro.jsonl"; then
     echo "FAIL: weakened chaos campaign did not detect a violation" >&2
     exit 1
 fi
-[ -s "$SCRATCH/weakened_repro.jsonl" ]
+[ -s "$ART/weakened_repro.jsonl" ]
 CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
-    "$SCRATCH/weakened_repro.jsonl"
+    "$ART/weakened_repro.jsonl"
 CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
-    "$SCRATCH/weakened_repro.jsonl"
+    "$ART/weakened_repro.jsonl"
 
 step "chaos self-check: skipped volatile wipe must be caught as a dirty restore"
 # Sabotage the power-loss recovery pass (restart keeps stale volatile
@@ -200,15 +273,33 @@ step "chaos self-check: skipped volatile wipe must be caught as a dirty restore"
 # thread settings.
 if cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
     --seeds 32 --power-loss --weaken skip_volatile_clear \
-    --out "$SCRATCH/dirty_restore_repro.jsonl"; then
+    --out "$ART/dirty_restore_repro.jsonl"; then
     echo "FAIL: weakened crash recovery did not detect a dirty restore" >&2
     exit 1
 fi
-[ -s "$SCRATCH/dirty_restore_repro.jsonl" ]
+[ -s "$ART/dirty_restore_repro.jsonl" ]
 CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
-    "$SCRATCH/dirty_restore_repro.jsonl"
+    "$ART/dirty_restore_repro.jsonl"
 CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
-    "$SCRATCH/dirty_restore_repro.jsonl"
+    "$ART/dirty_restore_repro.jsonl"
+
+step "chaos self-check: leaked NoC boundary must be caught as a cross-tenant read"
+# Sabotage the isolation boundary (the NoC domain check reports but
+# does not block): iso_no_cross_tenant_read must catch the leak, shrink
+# it to a minimal schedule that still carries the attack, and the
+# replay must be bit-identical at both thread settings.
+if cargo run --release --offline -p cim-chaos --bin chaos_campaign -- \
+    --seeds 32 --adversarial --weaken leak_cross_partition \
+    --out "$ART/leak_repro.jsonl"; then
+    echo "FAIL: leaky isolation boundary did not trip iso_no_cross_tenant_read" >&2
+    exit 1
+fi
+[ -s "$ART/leak_repro.jsonl" ]
+grep -q '"invariant":"iso_no_cross_tenant_read"' "$ART/leak_repro.jsonl"
+CIM_THREADS=1 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$ART/leak_repro.jsonl"
+CIM_THREADS=4 cargo run --release --offline -p cim-chaos --bin chaos_replay -- \
+    "$ART/leak_repro.jsonl"
 
 step "analytic_check: two-tier agreement, wide sample + seed sweep"
 cargo run --release --offline -p cim-bench --bin analytic_check -- \

@@ -1,0 +1,173 @@
+//! CI gate: adversarial isolation soak under the containment contract.
+//!
+//! ```text
+//! adversarial_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]
+//! ```
+//!
+//! Serves an open-loop stream across an adversary-armed CIM fleet
+//! (link encryption on, the far-corner tile of every device fenced
+//! into its own NoC isolation domain) while the engineered attack
+//! campaign fires one of every attack archetype per device: forged
+//! capability token, stale replayed token, cross-partition packet scan,
+//! hostile self-programming patch and hostile dataflow scanner. The
+//! gate enforces containment at soak scale:
+//!
+//! - every probe is blocked at the isolation boundary (`blocked ==
+//!   attempts`, and the campaign actually fired: `attempts > 0`),
+//! - zero cross-tenant reads: no victim byte reaches the adversary, no
+//!   cross-partition packet delivers, no forged/replayed token is
+//!   accepted,
+//! - bounded blast radius: the attack touches no unit outside the
+//!   adversary's own fenced tiles,
+//! - innocent QoS: no request fails under a schedule whose only faults
+//!   are (blocked) attacks, and admission accounting balances,
+//! - double-run determinism: a second fresh soak yields a bit-identical
+//!   fleet fingerprint,
+//! - the detector is not vacuous: a negative-control run with the NoC
+//!   boundary check disabled (`leak_cross_partition`) must observe
+//!   leaked victim bytes.
+//!
+//! Any violation exits 1.
+
+use cim_bench::experiments::fleet::{
+    default_scenario, engineered_adversarial, run_fleet_armed, FleetScenario,
+};
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("adversarial_smoke: {err}");
+    eprintln!("usage: adversarial_smoke [--requests N] [--devices N] [--replicas N] [--rate HZ]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scenario = FleetScenario {
+        requests: 100_000,
+        outage: false,
+        ..default_scenario()
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match args[i].as_str() {
+            "--requests" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => scenario.requests = n,
+                _ => return usage("--requests needs a positive count"),
+            },
+            "--devices" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => scenario.devices = n,
+                _ => return usage("--devices needs a count >= 2"),
+            },
+            "--replicas" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => scenario.replicas = n,
+                _ => return usage("--replicas needs a positive count"),
+            },
+            "--rate" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => scenario.rate_hz = r,
+                _ => return usage("--rate needs a positive req/s rate"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if scenario.replicas > scenario.devices {
+        return usage("--replicas cannot exceed --devices");
+    }
+
+    println!(
+        "adversarial_smoke: {} requests at {:.0} req/s across {} armed devices (replicas {}), \
+         attack campaign",
+        scenario.requests, scenario.rate_hz, scenario.devices, scenario.replicas
+    );
+    let events = engineered_adversarial(&scenario);
+    let (r, log) = run_fleet_armed(&scenario, &events, false);
+    println!(
+        "fleet fingerprint {:#018x}: {} probe attempts, {} blocked, {} cross deliveries, \
+         {} leaked bytes, {} tokens accepted",
+        r.fingerprint,
+        log.attempts,
+        log.blocked,
+        log.cross_deliveries,
+        log.leaked_bytes,
+        log.tokens_accepted
+    );
+
+    let mut failed = false;
+    let mut gate = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    gate(log.attempts > 0, "attack campaign fired no probes");
+    gate(
+        log.blocked == log.attempts,
+        &format!(
+            "isolation boundary let probes through: {} of {} blocked",
+            log.blocked, log.attempts
+        ),
+    );
+    gate(
+        log.contained(),
+        &format!(
+            "cross-tenant read: {} leaked bytes, {} cross deliveries, {} tokens accepted",
+            log.leaked_bytes, log.cross_deliveries, log.tokens_accepted
+        ),
+    );
+    gate(
+        log.touched_units.is_empty(),
+        &format!(
+            "blast radius beyond the adversary tile: touched {:?}",
+            log.touched_units
+        ),
+    );
+    gate(
+        r.failed == 0,
+        &format!(
+            "{} innocent request(s) failed under blocked attacks",
+            r.failed
+        ),
+    );
+    gate(
+        r.zero_lost(),
+        &format!(
+            "request accounting broke: admitted {} completed {} timed_out {} failed {}",
+            r.admitted, r.completed, r.timed_out, r.failed
+        ),
+    );
+
+    // Double-run determinism: the armed boot and the attack campaign
+    // are part of the deterministic image.
+    let (again, _) = run_fleet_armed(&scenario, &events, false);
+    gate(
+        again.fingerprint == r.fingerprint,
+        &format!(
+            "armed fleet is nondeterministic: {:#018x} != {:#018x}",
+            again.fingerprint, r.fingerprint
+        ),
+    );
+
+    // Negative control: with the NoC boundary check disabled the same
+    // campaign MUST leak — otherwise the zero counts above prove
+    // nothing.
+    let (_, leaky) = run_fleet_armed(&scenario, &events, true);
+    gate(
+        leaky.leaked_bytes > 0 && leaky.cross_deliveries > 0,
+        &format!(
+            "leak control observed no leak ({} bytes, {} deliveries): detector is vacuous",
+            leaky.leaked_bytes, leaky.cross_deliveries
+        ),
+    );
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "adversarial_smoke: containment soak passed, goodput {:.4}, {} probes all blocked",
+        r.goodput(),
+        log.attempts
+    );
+    ExitCode::SUCCESS
+}

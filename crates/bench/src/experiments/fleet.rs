@@ -314,6 +314,112 @@ pub fn engineered_powerloss(s: &FleetScenario) -> Vec<FleetEvent> {
     events
 }
 
+/// The engineered isolation-attack campaign: one of each attack
+/// archetype per device — a forged-token presentation, a stale replayed
+/// token (aged past the 50 µs TTL), a cross-partition scan of tile
+/// (0, 0), a hostile self-programming patch and a hostile dataflow
+/// scanner — staggered through the middle half of the run span so
+/// probes land while the stream is live.
+pub fn engineered_adversarial(s: &FleetScenario) -> Vec<FleetEvent> {
+    use cim_fabric::engine::InjectionKind;
+    use cim_fabric::service::ServiceEvent;
+    let span_ps = (s.requests as f64 / s.rate_hz * 1e12) as u64;
+    let devices = s.devices.max(1) as u64;
+    let mut events = Vec::new();
+    for d in 0..s.devices {
+        // Each device's five probes occupy its own slice of the middle
+        // half of the span.
+        let slice = span_ps / 2 / devices;
+        let base = span_ps / 4 + d as u64 * slice;
+        let at = |i: u64| SimTime::from_ps(base + i * slice / 5);
+        let kinds = [
+            InjectionKind::TokenForge { unit: d % 4 },
+            InjectionKind::TokenReplay {
+                unit: (d + 1) % 4,
+                age_ps: 80_000_000, // 80 µs: stale beyond the 50 µs TTL
+            },
+            InjectionKind::CrossPartitionScan {
+                victim: cim_noc::packet::NodeId::new(0, 0),
+                packets: 4,
+                bytes: 96,
+            },
+            InjectionKind::HostileSelfProg {
+                seed: 0xBAD_5EED + d as u64,
+            },
+            InjectionKind::HostileDataflow {
+                seed: 0xDEAD_BEEF + d as u64,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            events.push(FleetEvent::Device {
+                device: d,
+                event: ServiceEvent::Inject {
+                    at: at(i as u64),
+                    kind,
+                },
+            });
+        }
+    }
+    events.sort_by_key(FleetEvent::at);
+    events
+}
+
+/// [`run_fleet_with`] on an adversary-armed fleet: link encryption on
+/// and the far-corner tile of every device fenced into its own NoC
+/// isolation domain *before* tenant classes place, exactly like the
+/// chaos runner's adversarial harness. `leak` additionally skips the
+/// NoC boundary check — the negative control proving the attack log's
+/// detectors are not vacuous. Returns the fleet report plus the attack
+/// log aggregated across devices.
+pub fn run_fleet_armed(
+    s: &FleetScenario,
+    events: &[FleetEvent],
+    leak: bool,
+) -> (FleetReport, cim_fabric::security::AttackLog) {
+    let fabric = FabricConfig {
+        seed: s.seed,
+        sim_mode: s.mode,
+        encryption: true,
+        ..FabricConfig::default()
+    };
+    let tile = cim_noc::packet::NodeId::new(
+        fabric.mesh_width.saturating_sub(1) as u16,
+        fabric.mesh_height.saturating_sub(1) as u16,
+    );
+    let units_per_device = fabric.mesh_width * fabric.mesh_height * fabric.units_per_tile;
+    let cfg = FleetConfig {
+        devices: s.devices,
+        replicas: s.replicas,
+        fabric,
+        keep_outcomes: s.keep_outcomes,
+        ..FleetConfig::default()
+    };
+    let mut fleet = CimFleet::new(cfg, SeedTree::new(s.seed)).expect("fleet boots");
+    for d in 0..fleet.device_count() {
+        let dev = fleet.runtime_mut(d).device_mut();
+        dev.arm_adversary(tile);
+        if leak {
+            dev.noc_mut().set_leak_cross_partition(true);
+        }
+    }
+    for spec in standard_request_mix() {
+        let (g, src, sink) = spec.build_graph(SeedTree::new(s.seed ^ 0x7E4A47));
+        fleet
+            .register_class(spec.name, g, src, sink, spec.deadline, spec.weight)
+            .expect("mix is resident on the default fabric");
+    }
+    let report = fleet
+        .run_open_loop(s.rate_hz, s.requests, events)
+        .expect("fleet serves");
+    let mut log = cim_fabric::security::AttackLog::default();
+    for d in 0..fleet.device_count() {
+        if let Some(l) = fleet.runtime(d).device().attack_log() {
+            log.absorb(l, d * units_per_device);
+        }
+    }
+    (report, log)
+}
+
 /// Boots the scenario's fleet (standard mix resident, rotating shards)
 /// and serves the open-loop stream under the scenario's outages.
 pub fn run_fleet(s: &FleetScenario) -> FleetReport {

@@ -3,7 +3,9 @@
 //! ```text
 //! chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N]
 //!                [--requests N] [--fleet-devices N] [--power-loss]
-//!                [--weaken NAME] [--out PATH] [--telemetry PATH]
+//!                [--adversarial] [--weaken NAME] [--out PATH]
+//!                [--telemetry PATH] [--coverage-out PATH]
+//!                [--require-full-coverage]
 //! ```
 //!
 //! Sweeps `N` seeds (default 64) through the chaos invariants. Exit 0
@@ -11,6 +13,20 @@
 //! shrunk minimal reproducer is written to `--out` (default
 //! `chaos_repro.jsonl`) and the exit code is 1 — feed the file to
 //! `chaos_replay` to reproduce it bit-identically.
+//!
+//! `--adversarial` admits isolation attacks (forged/replayed tokens,
+//! cross-partition scans, hostile self-programming and dataflow
+//! scanners) into generated schedules and arms an adversary tile on
+//! every device; runs are then held to the `iso_*` containment
+//! invariants as well.
+//!
+//! The summary line ends with the action-kind coverage histogram and,
+//! when `--budget-ms` cut the sweep short, a `dropped=N` count — a
+//! truncated sweep is never silent. `--coverage-out PATH` writes one
+//! `kind count` line per exercised action kind; with
+//! `--require-full-coverage` the campaign exits 1 if any action kind
+//! the config enables never fired (a green gate must prove it exercised
+//! the whole grammar, not just the seeds that happened to fit).
 //!
 //! `--telemetry PATH` writes the full observability export (telemetry +
 //! time series + SLO alerts, one JSONL stream) of a deterministic
@@ -38,6 +54,8 @@ fn main() -> ExitCode {
     let mut chaos = ChaosConfig::default();
     let mut out = "chaos_repro.jsonl".to_owned();
     let mut telemetry: Option<String> = None;
+    let mut coverage_out: Option<String> = None;
+    let mut require_full_coverage = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,14 +90,31 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--adversarial" => {
+                // Valueless flag: admit isolation attacks into generated
+                // schedules (and the iso_* containment invariants with
+                // them).
+                chaos.adversarial = true;
+                i += 1;
+                continue;
+            }
+            "--require-full-coverage" => {
+                require_full_coverage = true;
+                i += 1;
+                continue;
+            }
             "--weaken" => match value(i).and_then(Weaken::from_name) {
                 Some(w) => chaos.weaken = w,
                 None => {
                     return usage(
                         "--weaken needs one of: none, recovery_bound_zero, no_failures_ever, \
-                         skip_volatile_clear",
+                         skip_volatile_clear, leak_cross_partition",
                     )
                 }
+            },
+            "--coverage-out" => match value(i) {
+                Some(p) => coverage_out = Some(p.to_owned()),
+                None => return usage("--coverage-out needs a path"),
             },
             "--out" => match value(i) {
                 Some(p) => out = p.to_owned(),
@@ -95,19 +130,60 @@ fn main() -> ExitCode {
     }
 
     let report = run_campaign(&cc, &chaos);
+    let histogram = report
+        .kinds
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
     println!(
-        "chaos campaign: {}/{} seeds run, {} clean, {} recoveries, {} retries, {} shed",
+        "chaos campaign: {}/{} seeds run, {} clean, {} recoveries, {} retries, {} shed, \
+         dropped={} | kinds: {}",
         report.run,
         report.planned,
         report.clean,
         report.total_recoveries,
         report.total_retries,
-        report.total_shed
+        report.total_shed,
+        report.dropped(),
+        if histogram.is_empty() {
+            "-"
+        } else {
+            &histogram
+        },
     );
-    if report.run < report.planned && report.violation.is_none() {
+    if report.budget_exhausted {
         println!(
-            "note: wall-clock budget exhausted after {} of {} seeds (all clean so far)",
-            report.run, report.planned
+            "note: wall-clock budget exhausted after {} of {} seeds — {} seed(s) DROPPED \
+             without running (all run seeds clean so far)",
+            report.run,
+            report.planned,
+            report.dropped()
+        );
+    }
+
+    if let Some(path) = &coverage_out {
+        let mut text = String::new();
+        for (kind, count) in &report.kinds {
+            text.push_str(&format!("{kind} {count}\n"));
+        }
+        for kind in report.missing_kinds(&chaos) {
+            text.push_str(&format!("{kind} 0\n"));
+        }
+        match std::fs::write(path, text) {
+            Ok(()) => println!("coverage histogram written to {path}"),
+            Err(e) => eprintln!("failed to write coverage histogram {path}: {e}"),
+        }
+    }
+
+    let missing = report.missing_kinds(&chaos);
+    let coverage_failed = require_full_coverage && !missing.is_empty();
+    if coverage_failed {
+        eprintln!(
+            "COVERAGE GAP: {} enabled action kind(s) never fired across {} run seed(s): {}",
+            missing.len(),
+            report.run,
+            missing.join(", ")
         );
     }
 
@@ -126,6 +202,7 @@ fn main() -> ExitCode {
     }
 
     match report.violation {
+        None if coverage_failed => ExitCode::FAILURE,
         None => ExitCode::SUCCESS,
         Some(v) => {
             eprintln!(
@@ -151,8 +228,9 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("chaos_campaign: {err}");
     eprintln!(
         "usage: chaos_campaign [--seeds N] [--root-seed HEX] [--budget-ms N] \
-         [--requests N] [--fleet-devices N] [--power-loss] [--weaken NAME] \
-         [--out PATH] [--telemetry PATH]"
+         [--requests N] [--fleet-devices N] [--power-loss] [--adversarial] \
+         [--weaken NAME] [--out PATH] [--telemetry PATH] [--coverage-out PATH] \
+         [--require-full-coverage]"
     );
     ExitCode::FAILURE
 }

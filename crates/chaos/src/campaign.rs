@@ -19,6 +19,7 @@ use crate::runner::{run_schedule, ChaosConfig, RunRecord, Violation};
 use crate::schedule::ChaosSchedule;
 use cim_sim::prop;
 use cim_sim::rng::splitmix64;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Sweep shape: how many seeds, from which root, under what budget.
@@ -84,6 +85,14 @@ pub struct CampaignReport {
     pub total_retries: usize,
     /// Requests shed across clean runs.
     pub total_shed: usize,
+    /// How many times each action kind fired across the schedules that
+    /// actually ran — the coverage gate's numerator. Keyed by
+    /// [`crate::schedule::ChaosAction::kind_name`].
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Whether the wall-clock budget cut the sweep short. When set,
+    /// `planned - run` seeds were silently skipped by earlier versions;
+    /// reports now carry the count so the CLI can say so.
+    pub budget_exhausted: bool,
     /// The first violation in seed order, if any.
     pub violation: Option<CampaignViolation>,
 }
@@ -93,6 +102,58 @@ impl CampaignReport {
     pub fn all_clean(&self) -> bool {
         self.violation.is_none() && self.run == self.planned
     }
+
+    /// Seeds the budget gate dropped without running (zero when the
+    /// sweep stopped for a violation instead).
+    pub fn dropped(&self) -> usize {
+        if self.budget_exhausted {
+            self.planned - self.run
+        } else {
+            0
+        }
+    }
+
+    /// Enabled action kinds that never fired across the swept
+    /// schedules — non-empty means the campaign's seeds don't exercise
+    /// the full grammar the config enables.
+    pub fn missing_kinds(&self, chaos: &ChaosConfig) -> Vec<&'static str> {
+        enabled_kinds(chaos)
+            .into_iter()
+            .filter(|k| self.kinds.get(k).copied().unwrap_or(0) == 0)
+            .collect()
+    }
+}
+
+/// Every action kind [`generate_schedule`] can emit under `chaos`, in
+/// sorted order — the coverage gate's denominator.
+pub fn enabled_kinds(chaos: &ChaosConfig) -> Vec<&'static str> {
+    let mut kinds = vec![
+        "arrival_burst",
+        "cell_faults",
+        "congestion",
+        "drift_spike",
+        "fail_link",
+        "fail_unit",
+        "repair_link",
+        "repair_unit",
+    ];
+    if chaos.is_fleet() {
+        kinds.extend(["device_down", "device_up"]);
+    }
+    if chaos.power_loss {
+        kinds.push("power_loss");
+    }
+    if chaos.adversarial {
+        kinds.extend([
+            "cross_partition_scan",
+            "forge_token",
+            "hostile_dataflow",
+            "hostile_self_prog",
+            "replay_token",
+        ]);
+    }
+    kinds.sort_unstable();
+    kinds
 }
 
 /// Runs a campaign on the workspace thread pool (`CIM_THREADS`).
@@ -120,6 +181,8 @@ pub fn run_campaign_threads(
         total_recoveries: 0,
         total_retries: 0,
         total_shed: 0,
+        kinds: BTreeMap::new(),
+        budget_exhausted: false,
         violation: None,
     };
 
@@ -132,6 +195,12 @@ pub fn run_campaign_threads(
             });
         for (i, (schedule, outcome)) in results.into_iter().enumerate() {
             report.run += 1;
+            // The histogram counts schedules that actually ran (clean
+            // or violating) — what the sweep exercised, not what it
+            // merely planned.
+            for ev in &schedule.events {
+                *report.kinds.entry(ev.action.kind_name()).or_insert(0) += 1;
+            }
             match outcome {
                 Ok(rec) => {
                     report.clean += 1;
@@ -152,7 +221,8 @@ pub fn run_campaign_threads(
             }
         }
         if let Some(budget) = cc.budget {
-            if started.elapsed() >= budget {
+            if started.elapsed() >= budget && report.run < report.planned {
+                report.budget_exhausted = true;
                 return report;
             }
         }
@@ -259,5 +329,53 @@ mod tests {
         let report = run_campaign(&cc, &small_chaos());
         assert_eq!(report.run, 2, "one chunk then the budget gate");
         assert!(report.violation.is_none());
+        assert!(
+            report.budget_exhausted,
+            "truncation is reported, not silent"
+        );
+        assert_eq!(report.dropped(), 10, "10 planned seeds never ran");
+        assert!(
+            !report.all_clean(),
+            "a truncated sweep is not a clean sweep"
+        );
+    }
+
+    /// With the full grammar enabled (fleet + power loss + adversarial)
+    /// a modest sweep exercises every enabled action kind at least once
+    /// and stays clean — the same property `--require-full-coverage`
+    /// gates in CI.
+    #[test]
+    fn full_grammar_campaign_covers_every_enabled_kind() {
+        let cc = CampaignConfig {
+            seeds: 24,
+            ..CampaignConfig::default()
+        };
+        let chaos = ChaosConfig {
+            fleet_devices: 3,
+            power_loss: true,
+            adversarial: true,
+            requests: 8,
+            ..small_chaos()
+        };
+        assert_eq!(
+            enabled_kinds(&chaos).len(),
+            16,
+            "8 base + 2 fleet + crash + 5 attacks"
+        );
+        let report = run_campaign(&cc, &chaos);
+        assert!(report.all_clean(), "violation: {:?}", report.violation);
+        assert_eq!(
+            report.missing_kinds(&chaos),
+            Vec::<&str>::new(),
+            "every enabled kind fires; histogram: {:?}",
+            report.kinds
+        );
+        // The same seeds with attacks disabled must report the
+        // adversarial kinds as out of scope, not as missing.
+        let plain = ChaosConfig {
+            adversarial: false,
+            ..chaos
+        };
+        assert_eq!(enabled_kinds(&plain).len(), 11);
     }
 }

@@ -43,24 +43,38 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
     let mut failed_links: Vec<(u16, u16, u16, u16)> = Vec::new();
     let mut downed_devices: Vec<u16> = Vec::new();
     let mut events = Vec::with_capacity(n_events);
-    // Fleet harnesses widen the roll range to admit whole-device
-    // outages, and `power_loss` widens it further to admit crashes;
-    // configs without either keep the 0..100 range so their
-    // seed → schedule expansion is bit-identical to what it always was.
-    // On single-device power-loss configs the roll skips the
-    // fleet-only 100..130 outage band so the crash weight matches the
-    // fleet's without consuming extra RNG draws.
-    let roll_max = match (cfg.is_fleet(), cfg.power_loss) {
-        (true, true) => 145,
-        (true, false) => 130,
-        (false, true) => 115,
-        (false, false) => 100,
-    };
+    // The roll space is a walk over optional bands: the 0..100 base is
+    // always enabled, fleet harnesses append the 100..130 whole-device
+    // outage band, `power_loss` the 130..145 crash band, and
+    // `adversarial` the 145..185 attack band (five kinds, eight wide
+    // each). A config only draws rolls for the bands it enables — so
+    // configs without any extras keep the 0..100 range and their
+    // seed → schedule expansion is bit-identical to what it always was
+    // — and the single draw is then normalized onto the canonical band
+    // layout by skipping over the disabled bands, without consuming
+    // extra RNG draws.
+    let mut roll_max = 100;
+    if cfg.is_fleet() {
+        roll_max += 30;
+    }
+    if cfg.power_loss {
+        roll_max += 15;
+    }
+    if cfg.adversarial {
+        roll_max += 40;
+    }
     for _ in 0..n_events {
         let at_ps = ev_rng.gen_range(0u64..cfg.horizon_ps.max(1));
         let roll = ev_rng.gen_range(0u32..roll_max);
+        // Normalize: skip the fleet band on single-device configs, then
+        // the crash band on no-crash configs.
         let roll = if !cfg.is_fleet() && roll >= 100 {
             roll + 30
+        } else {
+            roll
+        };
+        let roll = if !cfg.power_loss && roll >= 130 {
+            roll + 15
         } else {
             roll
         };
@@ -135,11 +149,33 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> ChaosSchedule {
                 };
                 ChaosAction::DeviceUp { device }
             }
-            _ => ChaosAction::PowerLoss {
+            130..=144 => ChaosAction::PowerLoss {
                 device: ev_rng.gen_range(0u16..cfg.fleet_devices.max(1) as u16),
                 // 1–50 µs dark: long enough to straddle requests, short
                 // enough that recovery lands inside the horizon.
                 restart_after_ps: ev_rng.gen_range(1_000_000u32..50_000_000),
+            },
+            // 145..185: the adversarial band, eight rolls per attack
+            // kind so a 32-seed campaign reliably exercises all five.
+            _ => match (roll - 145) / 8 {
+                0 => ChaosAction::ForgeToken {
+                    unit: ev_rng.gen_range(0u16..units.max(1)),
+                },
+                1 => ChaosAction::ReplayToken {
+                    unit: ev_rng.gen_range(0u16..units.max(1)),
+                    // 1 ns – 120 µs: straddles the 50 µs token TTL, so
+                    // schedules exercise both the replay and the expiry
+                    // refusal paths.
+                    age_ps: ev_rng.gen_range(1_000u32..120_000_000),
+                },
+                2 => ChaosAction::CrossPartitionScan {
+                    vx: ev_rng.gen_range(0u16..w.max(1)),
+                    vy: ev_rng.gen_range(0u16..h.max(1)),
+                    packets: ev_rng.gen_range(1u16..8),
+                    bytes: ev_rng.gen_range(16u16..128),
+                },
+                3 => ChaosAction::HostileSelfProg { seed: ev_rng.gen() },
+                _ => ChaosAction::HostileDataflow { seed: ev_rng.gen() },
             },
         };
         events.push(ChaosEvent { at_ps, action });
@@ -220,6 +256,68 @@ mod tests {
             }
         }
         assert!(saw_crash, "50 seeds must produce at least one crash");
+    }
+
+    #[test]
+    fn adversarial_is_gated_and_bit_identical_when_off() {
+        let plain = ChaosConfig::default();
+        let fleet = ChaosConfig {
+            fleet_devices: 4,
+            ..ChaosConfig::default()
+        };
+        let armed = ChaosConfig {
+            adversarial: true,
+            ..ChaosConfig::default()
+        };
+        let armed_fleet = ChaosConfig {
+            fleet_devices: 4,
+            power_loss: true,
+            adversarial: true,
+            ..ChaosConfig::default()
+        };
+        let mut saw = std::collections::HashSet::new();
+        for seed in 0..50u64 {
+            // Gating: configs without the flag never emit an attack, and
+            // the appended band leaves their expansion untouched.
+            let base = generate_schedule(seed, &plain);
+            assert!(!base.has_adversarial());
+            assert_eq!(
+                base,
+                generate_schedule(
+                    seed,
+                    &ChaosConfig {
+                        adversarial: false,
+                        ..ChaosConfig::default()
+                    }
+                )
+            );
+            assert_eq!(
+                generate_schedule(seed, &fleet),
+                generate_schedule(
+                    seed,
+                    &ChaosConfig {
+                        adversarial: false,
+                        ..fleet.clone()
+                    }
+                )
+            );
+            for cfg in [&armed, &armed_fleet] {
+                for e in &generate_schedule(seed, cfg).events {
+                    if e.action.is_adversarial() {
+                        saw.insert(e.action.kind_name());
+                    }
+                }
+            }
+        }
+        for kind in [
+            "forge_token",
+            "replay_token",
+            "cross_partition_scan",
+            "hostile_self_prog",
+            "hostile_dataflow",
+        ] {
+            assert!(saw.contains(kind), "50 seeds never produced {kind}");
+        }
     }
 
     #[test]

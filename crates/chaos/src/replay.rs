@@ -114,6 +114,25 @@ fn action_pairs(action: &ChaosAction) -> Vec<(String, Json)> {
             push("device", u64::from(device));
             push("restart_after_ps", u64::from(restart_after_ps));
         }
+        ChaosAction::ForgeToken { unit } => push("unit", u64::from(unit)),
+        ChaosAction::ReplayToken { unit, age_ps } => {
+            push("unit", u64::from(unit));
+            push("age_ps", u64::from(age_ps));
+        }
+        ChaosAction::CrossPartitionScan {
+            vx,
+            vy,
+            packets,
+            bytes,
+        } => {
+            push("vx", u64::from(vx));
+            push("vy", u64::from(vy));
+            push("packets", u64::from(packets));
+            push("bytes", u64::from(bytes));
+        }
+        ChaosAction::HostileSelfProg { seed } | ChaosAction::HostileDataflow { seed } => {
+            push("seed", u64::from(seed));
+        }
     }
     p
 }
@@ -146,6 +165,7 @@ pub fn render_replay(file: &ReplayFile) -> String {
         ("fleet_devices".to_owned(), num(cfg.fleet_devices as u64)),
         ("fleet_replicas".to_owned(), num(cfg.fleet_replicas as u64)),
         ("power_loss".to_owned(), num(u64::from(cfg.power_loss))),
+        ("adversarial".to_owned(), num(u64::from(cfg.adversarial))),
         (
             "weaken".to_owned(),
             Json::String(cfg.weaken.name().to_owned()),
@@ -275,6 +295,25 @@ fn parse_event(obj: &Json) -> Result<ChaosEvent, String> {
             device: get_u16(obj, "device")?,
             restart_after_ps: get_u32(obj, "restart_after_ps")?,
         },
+        "forge_token" => ChaosAction::ForgeToken {
+            unit: get_u16(obj, "unit")?,
+        },
+        "replay_token" => ChaosAction::ReplayToken {
+            unit: get_u16(obj, "unit")?,
+            age_ps: get_u32(obj, "age_ps")?,
+        },
+        "cross_partition_scan" => ChaosAction::CrossPartitionScan {
+            vx: get_u16(obj, "vx")?,
+            vy: get_u16(obj, "vy")?,
+            packets: get_u16(obj, "packets")?,
+            bytes: get_u16(obj, "bytes")?,
+        },
+        "hostile_self_prog" => ChaosAction::HostileSelfProg {
+            seed: get_u32(obj, "seed")?,
+        },
+        "hostile_dataflow" => ChaosAction::HostileDataflow {
+            seed: get_u32(obj, "seed")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(ChaosEvent { at_ps, action })
@@ -324,6 +363,13 @@ pub fn parse_replay(text: &str) -> Result<ReplayFile, String> {
         // Pre-crash replay files lack this field; those campaigns never
         // generated PowerLoss events.
         power_loss: header.get("power_loss").and_then(Json::as_u64).unwrap_or(0) != 0,
+        // Pre-adversarial replay files lack this field; those campaigns
+        // never generated attack events.
+        adversarial: header
+            .get("adversarial")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            != 0,
         weaken: Weaken::from_name(weaken_name)
             .ok_or_else(|| format!("unknown weaken mode {weaken_name:?}"))?,
     };
@@ -379,6 +425,7 @@ mod tests {
             seed: 0xFFFF_FFFF_FFFF_FFFF, // deliberately above 2^53
             config: ChaosConfig {
                 weaken: Weaken::RecoveryBoundZero,
+                adversarial: true,
                 ..ChaosConfig::default()
             },
             schedule: ChaosSchedule {
@@ -421,6 +468,34 @@ mod tests {
                             device: 1,
                             restart_after_ps: 25_000_000,
                         },
+                    },
+                    ChaosEvent {
+                        at_ps: 6_000_000,
+                        action: ChaosAction::ForgeToken { unit: 5 },
+                    },
+                    ChaosEvent {
+                        at_ps: 7_000_000,
+                        action: ChaosAction::ReplayToken {
+                            unit: 2,
+                            age_ps: 60_000_000,
+                        },
+                    },
+                    ChaosEvent {
+                        at_ps: 8_000_000,
+                        action: ChaosAction::CrossPartitionScan {
+                            vx: 1,
+                            vy: 0,
+                            packets: 4,
+                            bytes: 96,
+                        },
+                    },
+                    ChaosEvent {
+                        at_ps: 9_000_000,
+                        action: ChaosAction::HostileSelfProg { seed: 1234 },
+                    },
+                    ChaosEvent {
+                        at_ps: 10_000_000,
+                        action: ChaosAction::HostileDataflow { seed: 4321 },
                     },
                 ],
             },

@@ -32,6 +32,24 @@
 //! - **crash_determinism** — double-run determinism holds for any
 //!   (config, schedule) containing crashes.
 //!
+//! Adversarial schedules (generated under [`ChaosConfig::adversarial`])
+//! boot every device with an **armed adversary**: one mesh tile is
+//! fenced off, assigned to its own NoC isolation domain, and driven by
+//! the schedule's attack actions — forged and replayed capability
+//! tokens, cross-partition packet scans, hostile self-programming
+//! patches and hostile dataflow scanners. Three containment invariants
+//! join the check order:
+//!
+//! - **iso_no_cross_tenant_read** — no victim byte reaches the
+//!   adversary's observation point, no forged/replayed/expired token is
+//!   accepted, and no cross-partition packet is delivered;
+//! - **iso_bounded_blast_radius** — every unit the attack touched lies
+//!   inside the compromised domain's own fenced tile;
+//! - **iso_innocent_qos** — an attack-free replay of the same seed
+//!   (identical armed boot, adversarial events stripped) produces
+//!   identical request accounting and an identical alert timeline:
+//!   blocked attacks must cost innocent tenants nothing.
+//!
 //! [`Weaken`] deliberately sabotages one invariant so tests (and CI
 //! self-checks) can confirm the campaign catches, shrinks and replays a
 //! real violation end to end.
@@ -42,7 +60,9 @@ use cim_dataflow::graph::{DataflowGraph, GraphBuilder, NodeRef};
 use cim_dataflow::ops::{Elementwise, Operation};
 use cim_fabric::config::FabricConfig;
 use cim_fabric::fleet::{CimFleet, FleetConfig};
+use cim_fabric::security::AttackLog;
 use cim_fabric::service::{CimService, Disposition, RequestOutcome, ServiceConfig, ServiceReport};
+use cim_noc::packet::NodeId;
 use cim_obs::{AlertEvent, AlertSeverity, ObsConfig};
 use cim_sim::telemetry::{validate_jsonl_line, TelemetryLevel};
 use cim_sim::time::{SimDuration, SimTime};
@@ -93,6 +113,14 @@ pub struct ChaosConfig {
     /// additionally pin the crash-recovery contract (see
     /// [`run_schedule`]).
     pub power_loss: bool,
+    /// Admit adversarial isolation attacks
+    /// ([`crate::schedule::ChaosAction::is_adversarial`]) into generated
+    /// schedules, and boot every device with one armed adversary tile.
+    /// Off by default so existing configs keep their bit-identical
+    /// seed → schedule expansion; adversarial schedules are additionally
+    /// held to the three `iso_*` containment invariants (see
+    /// [`run_schedule`]).
+    pub adversarial: bool,
     /// Test-only invariant sabotage; [`Weaken::None`] in CI configs.
     pub weaken: Weaken,
 }
@@ -114,6 +142,7 @@ impl Default for ChaosConfig {
             fleet_devices: 0,
             fleet_replicas: 2,
             power_loss: false,
+            adversarial: false,
             weaken: Weaken::None,
         }
     }
@@ -149,6 +178,11 @@ pub enum Weaken {
     /// a restart inherits stale occupancy — the dirty restore the
     /// crash-recovery contract must detect.
     SkipVolatileClear,
+    /// Skip the NoC isolation-domain boundary check, so cross-partition
+    /// attack packets deliver and victim bytes reach the adversary —
+    /// the leak `iso_no_cross_tenant_read` must catch, shrink and
+    /// replay.
+    LeakCrossPartition,
 }
 
 impl Weaken {
@@ -159,6 +193,7 @@ impl Weaken {
             Weaken::RecoveryBoundZero => "recovery_bound_zero",
             Weaken::NoFailuresEver => "no_failures_ever",
             Weaken::SkipVolatileClear => "skip_volatile_clear",
+            Weaken::LeakCrossPartition => "leak_cross_partition",
         }
     }
 
@@ -169,6 +204,7 @@ impl Weaken {
             "recovery_bound_zero" => Some(Weaken::RecoveryBoundZero),
             "no_failures_ever" => Some(Weaken::NoFailuresEver),
             "skip_volatile_clear" => Some(Weaken::SkipVolatileClear),
+            "leak_cross_partition" => Some(Weaken::LeakCrossPartition),
             _ => None,
         }
     }
@@ -194,6 +230,12 @@ pub struct RunRecord {
     pub telemetry_lines: usize,
     /// Largest observed recovery latency (zero when none).
     pub max_recovery: SimDuration,
+    /// Adversarial probe attempts observed across every armed device
+    /// (zero on non-adversarial runs).
+    pub attack_attempts: u64,
+    /// Probe attempts blocked at the isolation boundary; on a passing
+    /// run this equals [`RunRecord::attack_attempts`].
+    pub attack_blocked: u64,
 }
 
 /// One violated invariant: which one, what happened, and (when the run
@@ -203,7 +245,9 @@ pub struct Violation {
     /// Stable invariant name (`conservation`, `no_unexpected_failures`,
     /// `recovery_bound`, `telemetry_valid`, `determinism`, `run_error`;
     /// crash schedules report `crash_conservation`,
-    /// `crash_no_double_execution`, `crash_determinism`).
+    /// `crash_no_double_execution`, `crash_determinism`; adversarial
+    /// schedules report `iso_no_cross_tenant_read`,
+    /// `iso_bounded_blast_radius`, `iso_innocent_qos`).
     pub invariant: &'static str,
     /// Human-readable description of the observed violation.
     pub detail: String,
@@ -242,6 +286,25 @@ fn relu_graph(width: usize) -> (DataflowGraph, NodeRef, NodeRef) {
     (b.build().expect("graph is valid"), s, k)
 }
 
+/// Attack-containment accounting the `iso_*` invariants check,
+/// aggregated across every armed device of the run.
+struct AttackSummary {
+    /// Per-device [`AttackLog`]s absorbed with fleet-global unit ids.
+    log: AttackLog,
+    /// Units the attack touched outside any armed tile, summed across
+    /// devices (blast radius beyond the compromised domain).
+    out_of_domain_touches: usize,
+}
+
+/// The tile the runner arms on every device of an adversarial run: the
+/// far mesh corner, away from the (0,0)-anchored tenant placement.
+fn adversary_tile(cfg: &ChaosConfig) -> NodeId {
+    NodeId::new(
+        cfg.mesh_width.saturating_sub(1) as u16,
+        cfg.mesh_height.saturating_sub(1) as u16,
+    )
+}
+
 /// Fleet-only accounting the no-double-execution invariant checks.
 struct FleetAccounting {
     served_total: u64,
@@ -266,6 +329,8 @@ struct RunOnce {
     end_time: SimTime,
     /// Present only on fleet runs.
     fleet: Option<FleetAccounting>,
+    /// Present only on adversarial runs (armed devices).
+    attack: Option<AttackSummary>,
 }
 
 /// The last simulated instant the outcome list touches.
@@ -293,6 +358,7 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
         mesh_height: cfg.mesh_height,
         units_per_tile: cfg.units_per_tile,
         dpe: DpeConfig::ideal(),
+        encryption: cfg.adversarial,
         ..FabricConfig::default()
     };
     let service_cfg = ServiceConfig {
@@ -313,6 +379,19 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
     // alerts become part of the fingerprint and the triage timeline.
     svc.enable_observability(ObsConfig::default());
 
+    // Adversarial runs arm one tile BEFORE tenant classes place: its
+    // units are fenced (so placement avoids them) and the tile joins
+    // its own NoC isolation domain. The victim/attacker split is part
+    // of the boot image, so an attack-free replay boots identically.
+    let mut armed_units: Vec<usize> = Vec::new();
+    if cfg.adversarial {
+        let dev = svc.runtime_mut().device_mut();
+        armed_units = dev.arm_adversary(adversary_tile(cfg));
+        if cfg.weaken == Weaken::LeakCrossPartition {
+            dev.noc_mut().set_leak_cross_partition(true);
+        }
+    }
+
     let deadline = schedule.pressure.deadline(cfg.base_deadline);
     let (mlp, mlp_src, mlp_sink) =
         cim_workloads::nn::mlp_graph(&[8, 8], SeedTree::new(0xC1A55).child("mlp"));
@@ -330,6 +409,14 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
 
     let telemetry = tel.export_jsonl();
     let recovery_latencies = svc.runtime().device().recovery_latencies();
+    let attack = svc
+        .runtime()
+        .device()
+        .attack_log()
+        .map(|log| AttackSummary {
+            out_of_domain_touches: log.touched_outside(&armed_units),
+            log: log.clone(),
+        });
     let fingerprint = fingerprint_run(&report, &telemetry);
     Ok(RunOnce {
         counts: [
@@ -351,6 +438,7 @@ fn run_once(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce, Stri
         recovery_latencies,
         end_time: last_observed(&report.outcomes),
         fleet: None,
+        attack,
     })
 }
 
@@ -367,6 +455,7 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
         units_per_tile: cfg.units_per_tile,
         seed: 0xC1A0_5EED,
         dpe: DpeConfig::ideal(),
+        encryption: cfg.adversarial,
         ..FabricConfig::default()
     };
     let fleet_cfg = FleetConfig {
@@ -393,6 +482,19 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
         .collect();
     fleet.enable_observability(ObsConfig::default());
 
+    // Every fleet device boots with the same armed adversary tile (see
+    // the single-device path for why this precedes class placement).
+    let mut armed_units: Vec<usize> = Vec::new();
+    if cfg.adversarial {
+        for d in 0..fleet.device_count() {
+            let dev = fleet.runtime_mut(d).device_mut();
+            armed_units = dev.arm_adversary(adversary_tile(cfg));
+            if cfg.weaken == Weaken::LeakCrossPartition {
+                dev.noc_mut().set_leak_cross_partition(true);
+            }
+        }
+    }
+
     let deadline = schedule.pressure.deadline(cfg.base_deadline);
     let (mlp, mlp_src, mlp_sink) =
         cim_workloads::nn::mlp_graph(&[8, 8], SeedTree::new(0xC1A55).child("mlp"));
@@ -414,6 +516,19 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
     let recovery_latencies: Vec<SimDuration> = (0..fleet.device_count())
         .flat_map(|d| fleet.runtime(d).device().recovery_latencies())
         .collect();
+    let attack = cfg.adversarial.then(|| {
+        let mut summary = AttackSummary {
+            log: AttackLog::default(),
+            out_of_domain_touches: 0,
+        };
+        for d in 0..fleet.device_count() {
+            if let Some(log) = fleet.runtime(d).device().attack_log() {
+                summary.out_of_domain_touches += log.touched_outside(&armed_units);
+                summary.log.absorb(log, d * cfg.total_units());
+            }
+        }
+        summary
+    });
     // The fleet's own streaming fingerprint covers every outcome; fold
     // in the telemetry, series and alert exports exactly like the
     // single-device digest does.
@@ -453,6 +568,7 @@ fn run_once_fleet(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunOnce
             voided_total: report.voided_total(),
             failovers: report.failovers,
         }),
+        attack,
     })
 }
 
@@ -528,6 +644,18 @@ fn triage_alerts(
                 severity: AlertSeverity::Ticket,
                 burn_rate: 0.0,
                 window: SimDuration::from_ps(u64::from(restart_after_ps)),
+            });
+        } else if ev.action.is_adversarial() {
+            // Attack timeline: one ticket per adversarial action, so a
+            // reproducer shows which probes fired before the invariant
+            // broke.
+            alerts.push(AlertEvent {
+                at: SimTime::from_ps(ev.at_ps),
+                tenant: "adversary".to_owned(),
+                rule: format!("attack/{}", ev.action.kind_name()),
+                severity: AlertSeverity::Ticket,
+                burn_rate: 0.0,
+                window: SimDuration::ZERO,
             });
         }
     }
@@ -668,6 +796,42 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         }
     }
 
+    // 1d. Containment: every adversarial probe must be stopped at the
+    // isolation boundary — no victim byte observed by the adversary, no
+    // forged/replayed/expired token accepted, no cross-partition packet
+    // delivered.
+    if let Some(attack) = &first.attack {
+        if !attack.log.contained() {
+            return Err(Violation {
+                invariant: "iso_no_cross_tenant_read",
+                detail: format!(
+                    "adversary observed {} victim byte(s), {} cross-partition delivery(ies), \
+                     {} accepted token(s) across {} probe attempt(s) ({} blocked)",
+                    attack.log.leaked_bytes,
+                    attack.log.cross_deliveries,
+                    attack.log.tokens_accepted,
+                    attack.log.attempts,
+                    attack.log.blocked,
+                ),
+                fingerprint: Some(first.fingerprint),
+                alerts: triage_alerts("iso_no_cross_tenant_read", Some(&first), schedule),
+            });
+        }
+        // 1e. Blast radius: everything the attack touched stays inside
+        // the compromised domain's own fenced units.
+        if attack.out_of_domain_touches > 0 {
+            return Err(Violation {
+                invariant: "iso_bounded_blast_radius",
+                detail: format!(
+                    "attack touched {} unit(s) outside the adversary's fenced tile; touched set: {:?}",
+                    attack.out_of_domain_touches, attack.log.touched_units,
+                ),
+                fingerprint: Some(first.fingerprint),
+                alerts: triage_alerts("iso_bounded_blast_radius", Some(&first), schedule),
+            });
+        }
+    }
+
     // 2. Hard failures need a hard fault in the schedule to explain them.
     let failures_allowed = schedule.has_hard_faults() && cfg.weaken != Weaken::NoFailuresEver;
     if failed > 0 && !failures_allowed {
@@ -724,6 +888,46 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         }
     }
 
+    // 4b. Innocent tenants pay nothing for blocked attacks: replay the
+    // run with every adversarial event stripped (the boot image — armed
+    // tile included — is identical) and require bit-equal request
+    // accounting and an identical SLO alert timeline. Fingerprints are
+    // deliberately NOT compared: probes legitimately consume packet ids
+    // and bump NoC counters, which telemetry may see but no innocent
+    // tenant's outcomes or burn rates ever may.
+    if cfg.adversarial && schedule.has_adversarial() {
+        let stripped = ChaosSchedule {
+            pressure: schedule.pressure,
+            events: schedule
+                .events
+                .iter()
+                .filter(|e| !e.action.is_adversarial())
+                .copied()
+                .collect(),
+        };
+        let baseline = run_once(cfg, &stripped).map_err(|detail| Violation {
+            invariant: "run_error",
+            detail: format!("attack-free baseline run aborted: {detail}"),
+            fingerprint: Some(first.fingerprint),
+            alerts: triage_alerts("run_error", Some(&first), schedule),
+        })?;
+        if baseline.counts != first.counts || baseline.alerts != first.alerts {
+            return Err(Violation {
+                invariant: "iso_innocent_qos",
+                detail: format!(
+                    "attacked run counts {:?} with {} alert(s) vs attack-free baseline {:?} \
+                     with {} alert(s): blocked attacks must not change innocent outcomes",
+                    first.counts,
+                    first.alerts.len(),
+                    baseline.counts,
+                    baseline.alerts.len(),
+                ),
+                fingerprint: Some(first.fingerprint),
+                alerts: triage_alerts("iso_innocent_qos", Some(&first), schedule),
+            });
+        }
+    }
+
     // 5. A second fresh run must be bit-identical. For crash schedules
     // this is the contract's third clause — recovery itself must be
     // deterministic, or a crash reproducer stops reproducing.
@@ -758,6 +962,8 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &ChaosSchedule) -> Result<RunRe
         crashes: first.crashes,
         telemetry_lines: first.telemetry.lines().count(),
         max_recovery,
+        attack_attempts: first.attack.as_ref().map_or(0, |a| a.log.attempts),
+        attack_blocked: first.attack.as_ref().map_or(0, |a| a.log.blocked),
     })
 }
 
@@ -911,6 +1117,104 @@ mod tests {
         assert!(
             v.alerts.iter().any(|a| a.rule == "power_loss"),
             "triage timeline carries the recovery timeline"
+        );
+    }
+
+    /// One of every adversarial action kind, spread through the run.
+    fn adversarial_sched() -> ChaosSchedule {
+        ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![
+                ChaosEvent {
+                    at_ps: 5_000_000,
+                    action: ChaosAction::ForgeToken { unit: 3 },
+                },
+                ChaosEvent {
+                    at_ps: 10_000_000,
+                    action: ChaosAction::ReplayToken {
+                        unit: 1,
+                        age_ps: 80_000_000,
+                    },
+                },
+                ChaosEvent {
+                    at_ps: 15_000_000,
+                    action: ChaosAction::CrossPartitionScan {
+                        vx: 0,
+                        vy: 0,
+                        packets: 3,
+                        bytes: 64,
+                    },
+                },
+                ChaosEvent {
+                    at_ps: 20_000_000,
+                    action: ChaosAction::HostileSelfProg { seed: 7 },
+                },
+                ChaosEvent {
+                    at_ps: 25_000_000,
+                    action: ChaosAction::HostileDataflow { seed: 11 },
+                },
+            ],
+        }
+    }
+
+    /// Every attack kind fires against single-device and fleet
+    /// harnesses; all three iso invariants (checked inside
+    /// run_schedule, including the stripped-schedule QoS replay) hold,
+    /// and every probe is blocked at the boundary.
+    #[test]
+    fn adversarial_schedule_is_contained_single_and_fleet() {
+        let cfg = ChaosConfig {
+            adversarial: true,
+            ..quick_cfg()
+        };
+        let rec = run_schedule(&cfg, &adversarial_sched()).expect("attacks contained");
+        assert!(rec.attack_attempts > 0, "attacks must actually fire");
+        assert_eq!(
+            rec.attack_blocked, rec.attack_attempts,
+            "every probe is blocked at the isolation boundary"
+        );
+
+        let fleet_cfg = ChaosConfig {
+            adversarial: true,
+            fleet_devices: 3,
+            requests: 16,
+            ..ChaosConfig::default()
+        };
+        let fleet = run_schedule(&fleet_cfg, &adversarial_sched()).expect("fleet contains attacks");
+        assert!(fleet.attack_attempts > 0);
+        assert_eq!(fleet.attack_blocked, fleet.attack_attempts);
+    }
+
+    /// The catch→shrink→replay self-check's seed violation: skipping
+    /// the NoC boundary check leaks victim bytes, and the containment
+    /// invariant must name it.
+    #[test]
+    fn weakened_noc_boundary_trips_cross_tenant_read() {
+        let cfg = ChaosConfig {
+            adversarial: true,
+            weaken: Weaken::LeakCrossPartition,
+            ..quick_cfg()
+        };
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ChaosEvent {
+                at_ps: 5_000_000,
+                action: ChaosAction::CrossPartitionScan {
+                    vx: 0,
+                    vy: 0,
+                    packets: 4,
+                    bytes: 96,
+                },
+            }],
+        };
+        let v = run_schedule(&cfg, &sched).expect_err("leak must be detected");
+        assert_eq!(v.invariant, "iso_no_cross_tenant_read");
+        assert!(v.fingerprint.is_some());
+        assert!(
+            v.alerts
+                .iter()
+                .any(|a| a.rule == "attack/cross_partition_scan"),
+            "triage timeline carries the attack timeline"
         );
     }
 }

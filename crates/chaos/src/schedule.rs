@@ -123,6 +123,47 @@ pub enum ChaosAction {
         /// Outage duration, picoseconds.
         restart_after_ps: u32,
     },
+    /// Adversarial (armed runs only): the compromised tile fabricates a
+    /// capability token for `unit` and presents a stolen one
+    /// cross-domain. The authority must refuse both.
+    ForgeToken {
+        /// Linear unit index the forged capability claims.
+        unit: u16,
+    },
+    /// Adversarial: a captured capability token for `unit` is replayed
+    /// `age_ps` after issue — refused as replayed or (past the TTL)
+    /// expired.
+    ReplayToken {
+        /// Linear unit index the token covers.
+        unit: u16,
+        /// Capture-to-replay delay, picoseconds.
+        age_ps: u32,
+    },
+    /// Adversarial: cross-partition packet injection plus exfiltration
+    /// against victim tile `(vx, vy)` — `packets` rounds of `bytes`-byte
+    /// probes in each direction across the domain boundary.
+    CrossPartitionScan {
+        /// Victim tile, x coordinate.
+        vx: u16,
+        /// Victim tile, y coordinate.
+        vy: u16,
+        /// Rounds of inject + exfiltrate probes.
+        packets: u16,
+        /// Probe payload size, bytes.
+        bytes: u16,
+    },
+    /// Adversarial: a hostile self-programming patch assembled on the
+    /// compromised tile and launched at a victim tile as a code packet.
+    HostileSelfProg {
+        /// Seed for the patch parameters and target tile.
+        seed: u32,
+    },
+    /// Adversarial: a hostile dataflow scanner program run on the
+    /// compromised tile, probing every mesh neighbour partition.
+    HostileDataflow {
+        /// Seed for the scanner program parameters.
+        seed: u32,
+    },
 }
 
 impl ChaosAction {
@@ -140,12 +181,19 @@ impl ChaosAction {
             ChaosAction::DeviceDown { .. } => "device_down",
             ChaosAction::DeviceUp { .. } => "device_up",
             ChaosAction::PowerLoss { .. } => "power_loss",
+            ChaosAction::ForgeToken { .. } => "forge_token",
+            ChaosAction::ReplayToken { .. } => "replay_token",
+            ChaosAction::CrossPartitionScan { .. } => "cross_partition_scan",
+            ChaosAction::HostileSelfProg { .. } => "hostile_self_prog",
+            ChaosAction::HostileDataflow { .. } => "hostile_dataflow",
         }
     }
 
     /// Whether this action can make requests *fail* outright (as opposed
     /// to merely degrading latency or accuracy). Used by the
-    /// no-hard-fault conservation invariant.
+    /// no-hard-fault conservation invariant. Adversarial actions are
+    /// deliberately *not* hard faults: a contained attack must not fail
+    /// a single innocent request.
     pub fn is_hard_fault(&self) -> bool {
         matches!(
             self,
@@ -153,6 +201,19 @@ impl ChaosAction {
                 | ChaosAction::FailLink { .. }
                 | ChaosAction::DeviceDown { .. }
                 | ChaosAction::PowerLoss { .. }
+        )
+    }
+
+    /// Whether this is one of the adversarial attack actions — such
+    /// schedules are held to the `iso_*` containment invariants.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(
+            self,
+            ChaosAction::ForgeToken { .. }
+                | ChaosAction::ReplayToken { .. }
+                | ChaosAction::CrossPartitionScan { .. }
+                | ChaosAction::HostileSelfProg { .. }
+                | ChaosAction::HostileDataflow { .. }
         )
     }
 }
@@ -299,6 +360,72 @@ impl Shrink for ChaosAction {
                 }
                 out
             }
+            ChaosAction::ForgeToken { unit } => unit
+                .shrink_candidates()
+                .into_iter()
+                .map(|unit| ChaosAction::ForgeToken { unit })
+                .collect(),
+            ChaosAction::ReplayToken { unit, age_ps } => {
+                let mut out = Vec::new();
+                for u in unit.shrink_candidates() {
+                    out.push(ChaosAction::ReplayToken { unit: u, age_ps });
+                }
+                for a in age_ps.shrink_candidates() {
+                    out.push(ChaosAction::ReplayToken { unit, age_ps: a });
+                }
+                out
+            }
+            ChaosAction::CrossPartitionScan {
+                vx,
+                vy,
+                packets,
+                bytes,
+            } => {
+                let mut out = Vec::new();
+                for v in vx.shrink_candidates() {
+                    out.push(ChaosAction::CrossPartitionScan {
+                        vx: v,
+                        vy,
+                        packets,
+                        bytes,
+                    });
+                }
+                for v in vy.shrink_candidates() {
+                    out.push(ChaosAction::CrossPartitionScan {
+                        vx,
+                        vy: v,
+                        packets,
+                        bytes,
+                    });
+                }
+                for p in packets.shrink_candidates() {
+                    out.push(ChaosAction::CrossPartitionScan {
+                        vx,
+                        vy,
+                        packets: p,
+                        bytes,
+                    });
+                }
+                for b in bytes.shrink_candidates() {
+                    out.push(ChaosAction::CrossPartitionScan {
+                        vx,
+                        vy,
+                        packets,
+                        bytes: b,
+                    });
+                }
+                out
+            }
+            ChaosAction::HostileSelfProg { seed } => seed
+                .shrink_candidates()
+                .into_iter()
+                .map(|seed| ChaosAction::HostileSelfProg { seed })
+                .collect(),
+            ChaosAction::HostileDataflow { seed } => seed
+                .shrink_candidates()
+                .into_iter()
+                .map(|seed| ChaosAction::HostileDataflow { seed })
+                .collect(),
         }
     }
 }
@@ -397,6 +524,44 @@ impl ChaosEvent {
                 },
             },
             ChaosAction::ArrivalBurst { extra } => ServiceEvent::ArrivalBurst { at, extra },
+            ChaosAction::ForgeToken { unit } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::TokenForge {
+                    unit: usize::from(unit),
+                },
+            },
+            ChaosAction::ReplayToken { unit, age_ps } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::TokenReplay {
+                    unit: usize::from(unit),
+                    age_ps: u64::from(age_ps),
+                },
+            },
+            ChaosAction::CrossPartitionScan {
+                vx,
+                vy,
+                packets,
+                bytes,
+            } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::CrossPartitionScan {
+                    victim: NodeId { x: vx, y: vy },
+                    packets,
+                    bytes,
+                },
+            },
+            ChaosAction::HostileSelfProg { seed } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::HostileSelfProg {
+                    seed: u64::from(seed),
+                },
+            },
+            ChaosAction::HostileDataflow { seed } => ServiceEvent::Inject {
+                at,
+                kind: InjectionKind::HostileDataflow {
+                    seed: u64::from(seed),
+                },
+            },
             // A single-device harness still crashes: the device index
             // is meaningless with one device, so it is ignored.
             ChaosAction::PowerLoss {
@@ -484,6 +649,22 @@ impl ChaosEvent {
                 event: self.to_service_event().expect("congestion lowers"),
             },
             ChaosAction::ArrivalBurst { extra } => FleetEvent::ArrivalBurst { at, extra },
+            ChaosAction::ForgeToken { unit } => {
+                localize(unit, &|unit| ChaosAction::ForgeToken { unit })
+            }
+            ChaosAction::ReplayToken { unit, age_ps } => {
+                localize(unit, &|unit| ChaosAction::ReplayToken { unit, age_ps })
+            }
+            ChaosAction::CrossPartitionScan { vx, vy, .. } => FleetEvent::Device {
+                device: coord_device(vx, vy, 0, 0),
+                event: self.to_service_event().expect("scan actions lower"),
+            },
+            ChaosAction::HostileSelfProg { seed } | ChaosAction::HostileDataflow { seed } => {
+                FleetEvent::Device {
+                    device: seed as usize % n,
+                    event: self.to_service_event().expect("hostile programs lower"),
+                }
+            }
         }
     }
 }
@@ -638,6 +819,12 @@ impl ChaosSchedule {
             .iter()
             .any(|e| matches!(e.action, ChaosAction::PowerLoss { .. }))
     }
+
+    /// Whether any event is an adversarial attack — such schedules are
+    /// held to the `iso_*` containment invariants.
+    pub fn has_adversarial(&self) -> bool {
+        self.events.iter().any(|e| e.action.is_adversarial())
+    }
 }
 
 /// Shrink the event list (dropping/halving/simplifying events via the
@@ -716,6 +903,57 @@ mod tests {
         };
         assert!(sched.has_power_loss());
         assert!(!ChaosSchedule::empty().has_power_loss());
+    }
+
+    #[test]
+    fn adversarial_actions_shrink_kind_preserving_and_lower_everywhere() {
+        let actions = [
+            ChaosAction::ForgeToken { unit: 9 },
+            ChaosAction::ReplayToken {
+                unit: 9,
+                age_ps: 60_000_000,
+            },
+            ChaosAction::CrossPartitionScan {
+                vx: 3,
+                vy: 1,
+                packets: 4,
+                bytes: 64,
+            },
+            ChaosAction::HostileSelfProg { seed: 7 },
+            ChaosAction::HostileDataflow { seed: 7 },
+        ];
+        for action in actions {
+            assert!(action.is_adversarial());
+            assert!(
+                !action.is_hard_fault(),
+                "contained attacks never fail innocent requests"
+            );
+            let ev = ChaosEvent { at_ps: 5, action };
+            for cand in ev.shrink_candidates() {
+                assert_eq!(cand.action.kind_name(), action.kind_name());
+            }
+            assert!(ev.to_service_event().is_some(), "attacks lower everywhere");
+            let _ = ev.to_fleet_event(4, 16);
+        }
+        // Unit-indexed attacks localize like any other unit action.
+        let ev = ChaosEvent {
+            at_ps: 5,
+            action: ChaosAction::ForgeToken { unit: 21 },
+        };
+        match ev.to_fleet_event(4, 16) {
+            FleetEvent::Device { device, .. } => assert_eq!(device, 1),
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+        let sched = ChaosSchedule {
+            pressure: Pressure::default(),
+            events: vec![ChaosEvent {
+                at_ps: 5,
+                action: ChaosAction::ForgeToken { unit: 0 },
+            }],
+        };
+        assert!(sched.has_adversarial());
+        assert!(!sched.has_hard_faults());
+        assert!(!ChaosSchedule::empty().has_adversarial());
     }
 
     #[test]

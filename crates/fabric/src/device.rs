@@ -7,10 +7,12 @@
 
 use crate::config::FabricConfig;
 use crate::error::{FabricError, Result};
+use crate::security::{AdversaryState, AttackLog, ADVERSARY_DOMAIN};
 use crate::unit::{MicroUnit, UnitHealth};
 use cim_noc::network::NocNetwork;
 use cim_noc::packet::NodeId;
 use cim_sim::energy::EnergyMeter;
+use cim_sim::rng::splitmix64;
 use cim_sim::telemetry::{ComponentId, Telemetry, TelemetryLevel};
 use cim_sim::time::SimDuration;
 use cim_sim::trace::TraceBuffer;
@@ -44,6 +46,9 @@ pub struct CimDevice {
     tel_engine: ComponentId,
     tel_runtime: ComponentId,
     tel_noc: ComponentId,
+    /// Armed-adversary state (compromised tile, token authority, attack
+    /// ledger) — `None` unless a chaos harness armed the device.
+    adversary: Option<AdversaryState>,
 }
 
 impl CimDevice {
@@ -80,6 +85,7 @@ impl CimDevice {
             tel_engine: ComponentId::NONE,
             tel_runtime: ComponentId::NONE,
             tel_noc: ComponentId::NONE,
+            adversary: None,
         })
     }
 
@@ -255,6 +261,50 @@ impl CimDevice {
     /// Panics if `unit` is out of range.
     pub fn disable_unit(&mut self, unit: usize) {
         self.units[unit].set_health(UnitHealth::Disabled);
+    }
+
+    /// Arms a compromised tile for the adversarial chaos campaigns, at
+    /// boot: every unit on `tile` is fenced (the mapper never places an
+    /// innocent tenant there) and the tile is assigned to
+    /// [`ADVERSARY_DOMAIN`] on the NoC isolation policy, so every packet
+    /// it originates or attracts crosses a domain boundary. Returns the
+    /// fenced unit indices — the only units inside the adversary's
+    /// legitimate blast radius.
+    ///
+    /// Arming is nonvolatile: `NocNetwork::reset` keeps the policy and
+    /// fenced health survives the persist/restore pass, so a power cycle
+    /// neither frees the tile nor clears the [`AttackLog`].
+    pub fn arm_adversary(&mut self, tile: NodeId) -> Vec<usize> {
+        let fenced = self.units_on_tile(tile);
+        for &u in &fenced {
+            self.disable_unit(u);
+        }
+        self.noc.policy_mut().assign(tile, ADVERSARY_DOMAIN);
+        let secret = splitmix64(self.config.seed ^ 0xAD5E_C0DE);
+        self.adversary = Some(AdversaryState::new(tile, secret));
+        fenced
+    }
+
+    /// The compromised tile, if the device is armed.
+    pub fn adversary_tile(&self) -> Option<NodeId> {
+        self.adversary.as_ref().map(|a| a.tile)
+    }
+
+    /// The attack verdict ledger, if the device is armed.
+    pub fn attack_log(&self) -> Option<&AttackLog> {
+        self.adversary.as_ref().map(|a| &a.log)
+    }
+
+    /// Detaches the adversary state so a probe can mutate it while using
+    /// the rest of the device; pair with
+    /// [`put_adversary`](Self::put_adversary).
+    pub(crate) fn take_adversary(&mut self) -> Option<AdversaryState> {
+        self.adversary.take()
+    }
+
+    /// Re-attaches state taken by [`take_adversary`](Self::take_adversary).
+    pub(crate) fn put_adversary(&mut self, adv: AdversaryState) {
+        self.adversary = Some(adv);
     }
 
     /// Units on a given tile, device-index order.

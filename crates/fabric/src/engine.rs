@@ -139,6 +139,50 @@ pub enum InjectionKind {
         /// Payload size of each packet in bytes.
         bytes: u16,
     },
+    /// Adversarial: the armed tile fabricates a capability token for
+    /// `unit` and presents a stolen one cross-domain
+    /// ([`crate::security::attack_forge_token`]); a no-op on unarmed
+    /// devices.
+    TokenForge {
+        /// Victim unit the forged capability claims.
+        unit: usize,
+    },
+    /// Adversarial: a captured token is replayed `age_ps` after issue —
+    /// the authority must refuse it as replayed or expired
+    /// ([`crate::security::attack_replay_token`]).
+    TokenReplay {
+        /// Victim unit the token covers.
+        unit: usize,
+        /// Capture-to-replay delay in picoseconds.
+        age_ps: u64,
+    },
+    /// Adversarial: cross-partition packet injection plus exfiltration
+    /// against a victim tile
+    /// ([`crate::security::attack_cross_partition`]). The victim
+    /// coordinate is folded into the mesh, so shrunk schedules stay
+    /// applicable on any device size.
+    CrossPartitionScan {
+        /// Victim tile.
+        victim: NodeId,
+        /// Rounds of inject + exfiltrate probes.
+        packets: u16,
+        /// Probe payload size in bytes.
+        bytes: u16,
+    },
+    /// Adversarial: a hostile self-programming patch built on the armed
+    /// tile and launched at a victim tile as a control packet
+    /// ([`crate::security::attack_hostile_self_prog`]).
+    HostileSelfProg {
+        /// Seed for the hostile patch parameters and target.
+        seed: u64,
+    },
+    /// Adversarial: a hostile dataflow scanner program run on the armed
+    /// tile, probing and exfiltrating from every mesh neighbour
+    /// ([`crate::security::attack_hostile_dataflow`]).
+    HostileDataflow {
+        /// Seed for the scanner program parameters.
+        seed: u64,
+    },
 }
 
 /// A fault injection scheduled at an absolute sim-time point.
@@ -364,6 +408,28 @@ impl CimDevice {
                     // simply doesn't arrive; that is not a stream error.
                     let _ = noc.transmit(&pkt, inj.at);
                 }
+            }
+            InjectionKind::TokenForge { unit } => {
+                crate::security::attack_forge_token(self, unit, inj.at);
+            }
+            InjectionKind::TokenReplay { unit, age_ps } => {
+                crate::security::attack_replay_token(self, unit, age_ps, inj.at);
+            }
+            InjectionKind::CrossPartitionScan {
+                victim,
+                packets,
+                bytes,
+            } => {
+                let w = self.config().mesh_width.max(1) as u16;
+                let h = self.config().mesh_height.max(1) as u16;
+                let victim = NodeId::new(victim.x % w, victim.y % h);
+                crate::security::attack_cross_partition(self, victim, packets, bytes, inj.at);
+            }
+            InjectionKind::HostileSelfProg { seed } => {
+                crate::security::attack_hostile_self_prog(self, seed, inj.at);
+            }
+            InjectionKind::HostileDataflow { seed } => {
+                crate::security::attack_hostile_dataflow(self, seed, inj.at);
             }
         }
     }

@@ -72,6 +72,24 @@ fn patch_target(patch: &Patch) -> usize {
     }
 }
 
+/// Builds a code-carrying packet for a patch *without* consulting any
+/// mapped program — the attack surface the adversarial campaigns probe:
+/// a compromised tile can serialize any patch it likes, stamp any stream
+/// id, and address any tile. Nothing in the encoding stops it; the NoC
+/// domain boundary check is what must refuse the delivery.
+pub fn rogue_patch_packet(
+    device: &mut CimDevice,
+    patch: &Patch,
+    src: cim_noc::packet::NodeId,
+    dst: cim_noc::packet::NodeId,
+    stream: u64,
+) -> Packet {
+    let id = device.next_packet_id();
+    Packet::new(id, src, dst, patch.encode())
+        .with_stream(stream)
+        .with_class(TrafficClass::Control)
+}
+
 /// Delivers a code packet over the NoC and applies it on arrival.
 ///
 /// # Errors

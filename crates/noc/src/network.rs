@@ -115,6 +115,10 @@ pub struct NocStats {
     pub isolation_rejects: u64,
     /// Packets that failed authentication.
     pub auth_failures: u64,
+    /// Delivered packets whose endpoints sat in *different* isolation
+    /// domains — legitimate only through an explicit `allow` edge (or
+    /// the [`NocNetwork::set_leak_cross_partition`] fault injection).
+    pub cross_domain_deliveries: u64,
 }
 
 /// The mesh network with per-link virtual-channel reservations.
@@ -144,6 +148,10 @@ pub struct NocNetwork {
     reserved: HashMap<Link, SimDuration>,
     policy: IsolationPolicy,
     encryption: bool,
+    /// Fault injection: when set, the domain boundary check is skipped
+    /// on every transfer (see
+    /// [`set_leak_cross_partition`](Self::set_leak_cross_partition)).
+    leak_cross_partition: bool,
     mode: SimMode,
     /// Contention term for the analytic tier: M/D/1 wait scaled by a
     /// coefficient fit from detailed-mode telemetry.
@@ -179,6 +187,7 @@ impl NocNetwork {
             reserved: HashMap::new(),
             policy: IsolationPolicy::new(),
             encryption: false,
+            leak_cross_partition: false,
             mode: SimMode::Detailed,
             contention: ContentionModel::default(),
             master_seed,
@@ -237,6 +246,22 @@ impl NocNetwork {
     /// Whether encryption is enabled.
     pub fn encryption(&self) -> bool {
         self.encryption
+    }
+
+    /// Fault injection for the chaos weakened self-check
+    /// (`leak_cross_partition`): skips the isolation-policy boundary
+    /// check on every subsequent transfer, so cross-domain packets —
+    /// which a healthy boundary rejects before reserving a single link —
+    /// are routed and delivered. Deliveries still count in
+    /// [`NocStats::cross_domain_deliveries`], which is how the
+    /// containment invariants observe the leak.
+    pub fn set_leak_cross_partition(&mut self, on: bool) {
+        self.leak_cross_partition = on;
+    }
+
+    /// Whether the boundary check is being skipped.
+    pub fn leak_cross_partition(&self) -> bool {
+        self.leak_cross_partition
     }
 
     /// Selects the simulation tier for subsequent transfers.
@@ -359,7 +384,7 @@ impl NocNetwork {
                 payload,
             });
         }
-        if !self.policy.allows(packet.src, packet.dst) {
+        if !self.leak_cross_partition && !self.policy.allows(packet.src, packet.dst) {
             self.stats.isolation_rejects += 1;
             self.tel.counter_add(self.tel_root, "isolation_rejects", 1);
             return Err(NocError::IsolationViolation {
@@ -460,6 +485,11 @@ impl NocNetwork {
 
         self.stats.packets += 1;
         self.stats.energy += energy;
+        if self.policy.domain_of(packet.src) != self.policy.domain_of(packet.dst) {
+            self.stats.cross_domain_deliveries += 1;
+            self.tel
+                .counter_add(self.tel_root, "cross_domain_deliveries", 1);
+        }
         self.stats.latency_ns[vc].record((cursor - depart).as_ns_f64());
         if self.tel.is_enabled() {
             self.tel.counter_add(self.tel_root, "packets", 1);
@@ -537,7 +567,7 @@ impl NocNetwork {
         class: TrafficClass,
         depart: SimTime,
     ) -> Result<Estimate> {
-        if !self.policy.allows(src, dst) {
+        if !self.leak_cross_partition && !self.policy.allows(src, dst) {
             self.stats.isolation_rejects += 1;
             self.tel.counter_add(self.tel_root, "isolation_rejects", 1);
             return Err(NocError::IsolationViolation { src, dst });
@@ -590,6 +620,11 @@ impl NocNetwork {
 
         self.stats.packets += 1;
         self.stats.energy += energy;
+        if self.policy.domain_of(src) != self.policy.domain_of(dst) {
+            self.stats.cross_domain_deliveries += 1;
+            self.tel
+                .counter_add(self.tel_root, "cross_domain_deliveries", 1);
+        }
         self.stats.latency_ns[vc].record(latency.as_ns_f64());
         if self.tel.is_enabled() {
             self.tel.counter_add(self.tel_root, "packets", 1);

@@ -159,8 +159,77 @@ fn weakened_volatile_clear_is_caught_shrunk_and_replayable() {
     assert_eq!(v.fingerprint, parsed.fingerprint);
 }
 
+/// An adversarial fleet campaign (full attack grammar, every device
+/// armed) stays clean, exercises every enabled action kind at least
+/// once, and its report — coverage histogram included — is
+/// bit-identical across host thread counts.
+#[test]
+fn adversarial_campaign_is_clean_covered_and_thread_invariant() {
+    let chaos = ChaosConfig {
+        adversarial: true,
+        power_loss: true,
+        fleet_devices: 3,
+        requests: 8,
+        ..test_chaos()
+    };
+    let cc = CampaignConfig {
+        seeds: 24,
+        ..CampaignConfig::default()
+    };
+    let serial = run_campaign_threads(1, &cc, &chaos);
+    assert!(
+        serial.all_clean(),
+        "every attack must be contained: {:?}",
+        serial.violation
+    );
+    assert_eq!(
+        serial.missing_kinds(&chaos),
+        Vec::<&str>::new(),
+        "every enabled action kind fired; histogram: {:?}",
+        serial.kinds
+    );
+    let parallel = run_campaign_threads(4, &cc, &chaos);
+    assert_eq!(serial, parallel);
+}
+
+/// A leaky NoC isolation boundary ([`Weaken::LeakCrossPartition`]) is
+/// caught by `iso_no_cross_tenant_read`, shrunk to a minimal schedule
+/// that still carries the attack, and the replay file reproduces the
+/// violation bit-identically — the self-check `ci.sh full` runs.
+#[test]
+fn leaky_partition_boundary_is_caught_shrunk_and_replayable() {
+    let chaos = ChaosConfig {
+        adversarial: true,
+        weaken: Weaken::LeakCrossPartition,
+        ..test_chaos()
+    };
+    let cc = CampaignConfig {
+        seeds: 64,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign_threads(2, &cc, &chaos);
+    let violation = report
+        .violation
+        .expect("a leak must trip within 64 adversarial seeds");
+    assert_eq!(violation.replay.invariant, "iso_no_cross_tenant_read");
+    assert!(
+        violation.replay.schedule.has_adversarial(),
+        "the minimal reproducer must keep the attack that exposes the leak"
+    );
+
+    let text = render_replay(&violation.replay);
+    let parsed = parse_replay(&text).expect("adversarial replay file parses");
+    assert_eq!(parsed, violation.replay, "lossless round-trip");
+    let v = run_schedule(&parsed.config, &parsed.schedule)
+        .expect_err("the minimal leak reproducer still violates");
+    assert_eq!(v.invariant, parsed.invariant);
+    assert_eq!(v.fingerprint, parsed.fingerprint);
+}
+
 /// A hand-built schedule exercising every action kind round-trips
 /// through the replay format and survives the full invariant gauntlet.
+/// The adversarial actions ride a NON-adversarial config here: no
+/// device is armed, so attack events must be harmless no-ops.
 #[test]
 fn every_action_kind_is_absorbed_and_serializable() {
     let chaos = test_chaos();
@@ -233,6 +302,34 @@ fn every_action_kind_is_absorbed_and_serializable() {
             ChaosEvent {
                 at_ps: 35_000_000,
                 action: ChaosAction::RepairUnit { unit: 0 },
+            },
+            ChaosEvent {
+                at_ps: 36_000_000,
+                action: ChaosAction::ForgeToken { unit: 2 },
+            },
+            ChaosEvent {
+                at_ps: 37_000_000,
+                action: ChaosAction::ReplayToken {
+                    unit: 4,
+                    age_ps: 70_000_000,
+                },
+            },
+            ChaosEvent {
+                at_ps: 38_000_000,
+                action: ChaosAction::CrossPartitionScan {
+                    vx: 0,
+                    vy: 1,
+                    packets: 2,
+                    bytes: 48,
+                },
+            },
+            ChaosEvent {
+                at_ps: 39_000_000,
+                action: ChaosAction::HostileSelfProg { seed: 77 },
+            },
+            ChaosEvent {
+                at_ps: 40_000_000,
+                action: ChaosAction::HostileDataflow { seed: 88 },
             },
         ],
     };
